@@ -1,0 +1,51 @@
+"""Ablation: DP implementations and the greedy shortcut.
+
+Compares the NumPy max-plus DP against the paper's literal triple loop
+(identical optima, large constant-factor gap) and against the offline
+marginal-gain greedy (near-optimal on real gain tables but not exact —
+quality curves are not concave, which is why the paper needs the DP).
+"""
+
+import pytest
+
+from repro.allocation import gains_from_profiles, solve_dp, solve_dp_reference, solve_greedy
+
+BUDGET = 300
+
+
+@pytest.fixture(scope="module")
+def gains(bench_harness):
+    return gains_from_profiles(
+        bench_harness.truth.profiles, bench_harness.split.initial_counts, BUDGET
+    )
+
+
+def test_vectorised_dp(benchmark, gains):
+    result = benchmark.pedantic(lambda: solve_dp(gains, BUDGET), rounds=3, iterations=1)
+    assert result.x.sum() == BUDGET
+
+
+def test_reference_dp(benchmark, gains):
+    result = benchmark.pedantic(
+        lambda: solve_dp_reference(gains, BUDGET), rounds=1, iterations=1
+    )
+    assert result.x.sum() == BUDGET
+
+
+def test_greedy(benchmark, gains):
+    result = benchmark.pedantic(lambda: solve_greedy(gains, BUDGET), rounds=3, iterations=1)
+    assert result.x.sum() == BUDGET
+
+
+def test_solver_agreement(benchmark, gains):
+    def run():
+        fast = solve_dp(gains, BUDGET)
+        slow = solve_dp_reference(gains, BUDGET)
+        greedy = solve_greedy(gains, BUDGET)
+        return fast, slow, greedy
+
+    fast, slow, greedy = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert abs(fast.value - slow.value) < 1e-9
+    ratio = greedy.value / fast.value
+    print(f"\ngreedy/optimal value ratio: {ratio:.4f} (greedy is not exact)")
+    assert 0.90 <= ratio <= 1.0 + 1e-12

@@ -1,0 +1,58 @@
+"""Ablation: Appendix C's incremental MA vs naive recomputation.
+
+The paper argues MU is only practical because the MA score can be
+maintained in O(|post|) per update instead of recomputing O(ω|T|) rfd
+cosines.  This bench measures the actual speedup on a long sequence and
+checks the two paths agree bit-for-bit (within float tolerance).
+"""
+
+import pytest
+
+from repro.core.stability import StabilityTracker, ma_score_direct
+from repro.simulate import figure1a_scenario
+
+OMEGA = 20
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    return figure1a_scenario(seed=7, num_posts=400).dataset.resources[0].sequence
+
+
+def incremental_sweep(sequence):
+    tracker = StabilityTracker(OMEGA)
+    scores = []
+    for post in sequence:
+        tracker.add_post(post.tags)
+        if tracker.ma_score is not None:
+            scores.append(tracker.ma_score)
+    return scores
+
+
+def direct_sweep(sequence):
+    return [
+        ma_score_direct(sequence, k, OMEGA) for k in range(OMEGA, len(sequence) + 1)
+    ]
+
+
+def test_incremental_ma(benchmark, sequence):
+    scores = benchmark.pedantic(lambda: incremental_sweep(sequence), rounds=3, iterations=1)
+    assert len(scores) == len(sequence) - OMEGA + 1
+
+
+def test_direct_ma(benchmark, sequence):
+    scores = benchmark.pedantic(lambda: direct_sweep(sequence), rounds=1, iterations=1)
+    assert len(scores) == len(sequence) - OMEGA + 1
+
+
+def test_paths_agree(benchmark, sequence):
+    incremental = incremental_sweep(sequence)
+
+    def check():
+        direct = direct_sweep(sequence)
+        for a, b in zip(incremental, direct):
+            assert abs(a - b) < 1e-9
+        return direct
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+    print(f"\nincremental and direct MA agree at all {len(incremental)} points")

@@ -1,0 +1,25 @@
+"""Section V-B: budget needed to bring EVERY resource to stability.
+
+Paper result: FC needs > 2M post tasks where FP/FP-MU need ~200k — a
+90% saving.  The reproduction shows the same direction: FP reaches full
+stability far cheaper than FC, and MU never gets there at all (it
+cannot see sub-ω resources).
+"""
+
+from repro.experiments import budget_to_stability
+
+
+def test_budget_to_full_stability(benchmark, bench_harness):
+    result = benchmark.pedantic(
+        lambda: budget_to_stability(bench_harness), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    fp = result.budgets["FP"]
+    fc = result.budgets["FC"]
+    assert fp is not None
+    if fc is not None:
+        saving = 1.0 - fp / fc
+        print(f"FP saves {saving:.0%} of FC's budget (paper: ~90%)")
+        assert fp < fc
+    assert result.budgets["MU"] is None

@@ -1,0 +1,68 @@
+"""Microbenchmarks: Table V's "efficient in time and space" claims.
+
+Times the core operations everything else is built from — post
+ingestion with incremental adjacent similarity, MA tracking, quality
+profiling, and corpus generation — so the per-strategy costs in
+Figs 6(g)/(h) can be decomposed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import TagFrequencyTable
+from repro.core.quality import QualityProfile
+from repro.core.stability import StabilityTracker
+from repro.simulate import CorpusConfig, CorpusGenerator
+
+
+@pytest.fixture(scope="module")
+def long_sequence(bench_harness):
+    resources = bench_harness.corpus.dataset.resources
+    longest = max(resources, key=lambda r: len(r.sequence))
+    return longest.sequence
+
+
+def test_frequency_table_ingest(benchmark, long_sequence):
+    def ingest():
+        table = TagFrequencyTable()
+        for post in long_sequence:
+            table.add_post(post.tags)
+        return table
+
+    table = benchmark(ingest)
+    rate = len(long_sequence) / benchmark.stats.stats.mean
+    print(f"\ningested {len(long_sequence)} posts "
+          f"({rate:,.0f} posts/s incl. adjacent similarity)")
+    assert table.num_posts == len(long_sequence)
+
+
+def test_stability_tracker_ingest(benchmark, long_sequence):
+    def ingest():
+        tracker = StabilityTracker(omega=5, tau=0.999)
+        tracker.add_posts(long_sequence)
+        return tracker
+
+    tracker = benchmark(ingest)
+    assert tracker.num_posts == len(long_sequence)
+
+
+def test_quality_profile_build(benchmark, bench_harness, long_sequence):
+    index = max(
+        range(len(bench_harness.truth.profiles)),
+        key=lambda i: len(bench_harness.truth.profiles[i]),
+    )
+    stable_rfd = bench_harness.truth.stable_rfds[index]
+    sequence = bench_harness.corpus.dataset.resources[index].sequence
+
+    profile = benchmark(lambda: QualityProfile(sequence, stable_rfd))
+    assert len(profile) == len(sequence)
+
+
+def test_corpus_generation_throughput(benchmark):
+    def generate():
+        return CorpusGenerator(CorpusConfig(n_resources=40), seed=3).generate()
+
+    corpus = benchmark.pedantic(generate, rounds=3, iterations=1)
+    posts = corpus.dataset.total_posts
+    print(f"\ngenerated {posts} posts across 40 resources")
+    assert posts > 1000

@@ -1,0 +1,25 @@
+"""Fig 1(a)/(b): rfd convergence of one resource; corpus posts power law."""
+
+from repro.experiments import figure_1a, figure_1b
+
+
+def test_fig1a_tag_trajectories(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure_1a(num_posts=500, step=50), rounds=3, iterations=1
+    )
+    print("\n== Fig 1(a): relative frequencies vs posts ==")
+    print(result.render())
+    # Convergence: the late half of each trajectory varies less than the
+    # early half (the paper's 'frequencies become very stable' claim).
+    half = len(result.checkpoints) // 2
+    for t in range(len(result.tags)):
+        assert result.trajectories[t][half:].std() <= result.trajectories[t][:half].std() + 0.05
+
+
+def test_fig1b_posts_distribution(benchmark):
+    result = benchmark.pedantic(lambda: figure_1b(n=4000, seed=7), rounds=1, iterations=1)
+    print("\n== Fig 1(b): posts-per-resource histogram ==")
+    print(result.render())
+    # A straight descending log-log line, as in the paper.
+    assert result.slope < -1.0
+    assert result.bucket_counts[0] == result.bucket_counts.max()

@@ -1,0 +1,32 @@
+"""Fig 6(a): tagging quality vs budget, all six strategies.
+
+Paper shape: DP ≥ FP-MU ≳ FP ≫ RR > FC, with MU barely improving; FC's
+curve is nearly flat.  The timed body is the paper's recommended
+strategy (FP) spending the full budget.
+"""
+
+from repro.allocation import FewestPostsFirst
+from repro.experiments import render_figure_6a
+
+
+def test_fig6a_quality_vs_budget(benchmark, bench_harness, bench_comparison):
+    budget = bench_harness.scale.max_budget
+    benchmark.pedantic(
+        lambda: bench_harness.runner.run(FewestPostsFirst(), budget),
+        rounds=3,
+        iterations=1,
+    )
+    print("\n== Fig 6(a): quality vs budget ==")
+    print(render_figure_6a(bench_comparison))
+
+    comparison = bench_comparison
+    initial = comparison["DP"].quality[0]
+    dp_gain = comparison["DP"].quality[-1] - initial
+    # FP / FP-MU are near-optimal (the paper's headline result).
+    for name in ("FP", "FP-MU"):
+        gain = comparison[name].final_quality() - initial
+        assert gain >= 0.75 * dp_gain, name
+    # FC improves least among all strategies but MU-style stragglers.
+    assert comparison["FC"].final_quality() < comparison["FP"].final_quality()
+    assert comparison["RR"].final_quality() < comparison["FP"].final_quality()
+    assert comparison["MU"].final_quality() < comparison["FP"].final_quality()

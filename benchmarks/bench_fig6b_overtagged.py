@@ -1,0 +1,24 @@
+"""Fig 6(b): number of over-tagged resources vs budget.
+
+Paper shape: FC and RR push more resources past their stable points;
+FP, MU and FP-MU never do.
+"""
+
+from repro.allocation import RoundRobin
+from repro.experiments import render_figure_6b
+
+
+def test_fig6b_overtagged_resources(benchmark, bench_harness, bench_comparison):
+    budget = bench_harness.scale.max_budget
+    benchmark.pedantic(
+        lambda: bench_harness.runner.run(RoundRobin(), budget), rounds=3, iterations=1
+    )
+    print("\n== Fig 6(b): over-tagged resources vs budget ==")
+    print(render_figure_6b(bench_comparison))
+
+    comparison = bench_comparison
+    for name in ("FP", "MU", "FP-MU"):
+        series = comparison[name]
+        assert series.over_tagged[-1] == series.over_tagged[0], name
+    assert comparison["FC"].over_tagged[-1] >= comparison["FC"].over_tagged[0]
+    assert comparison["RR"].over_tagged[-1] >= comparison["RR"].over_tagged[0]

@@ -1,0 +1,26 @@
+"""Fig 6(c): wasted post tasks vs budget.
+
+Paper shape: FC wastes roughly half its tasks on already-over-tagged
+resources; RR wastes some; FP / MU / FP-MU waste none.
+"""
+
+from repro.allocation import FreeChoice
+from repro.experiments import render_figure_6c
+
+
+def test_fig6c_wasted_posts(benchmark, bench_harness, bench_comparison):
+    budget = bench_harness.scale.max_budget
+    benchmark.pedantic(
+        lambda: bench_harness.runner.run(FreeChoice(), budget), rounds=3, iterations=1
+    )
+    print("\n== Fig 6(c): wasted post tasks vs budget ==")
+    print(render_figure_6c(bench_comparison))
+
+    comparison = bench_comparison
+    for name in ("FP", "MU", "FP-MU"):
+        assert comparison[name].wasted[-1] == 0, name
+    fc_wasted = int(comparison["FC"].wasted[-1])
+    print(f"\nFC wasted {fc_wasted}/{budget} tasks "
+          f"({100.0 * fc_wasted / budget:.0f}%; paper: ~48%)")
+    assert fc_wasted > 0.2 * budget
+    assert fc_wasted >= comparison["RR"].wasted[-1]

@@ -1,0 +1,33 @@
+"""Fig 6(d): percentage of under-tagged resources vs budget.
+
+Paper shape: FP shows a late sharp drop to zero (it floods the lowest
+counts first, then everything crosses the 10-post threshold at once);
+MU drops early but plateaus at the sub-ω floor it cannot see; FC barely
+moves.
+"""
+
+import numpy as np
+
+from repro.allocation import HybridFPMU
+from repro.experiments import render_figure_6d
+
+
+def test_fig6d_undertagged_fraction(benchmark, bench_harness, bench_comparison):
+    budget = bench_harness.scale.max_budget
+    omega = bench_harness.scale.omega
+    benchmark.pedantic(
+        lambda: bench_harness.runner.run(HybridFPMU(omega=omega), budget),
+        rounds=3,
+        iterations=1,
+    )
+    print("\n== Fig 6(d): under-tagged fraction vs budget ==")
+    print(render_figure_6d(bench_comparison))
+
+    comparison = bench_comparison
+    assert comparison["FP"].under_fraction[-1] == 0.0
+    assert comparison["FP-MU"].under_fraction[-1] == 0.0
+    # MU plateaus at its ineligibility floor.
+    floor = float((bench_harness.split.initial_counts < omega).mean())
+    assert comparison["MU"].under_fraction[-1] >= floor - 1e-9
+    # FC remains the worst reducer.
+    assert comparison["FC"].under_fraction[-1] >= comparison["FP"].under_fraction[-1]

@@ -1,0 +1,26 @@
+"""Fig 6(e): effect of the number of resources at a fixed budget.
+
+Paper shape: quality falls as the corpus grows (fixed budget spread
+thinner); FP and FP-MU stay closest to DP at every size.
+"""
+
+from repro.experiments import figure_6e
+
+
+def test_fig6e_quality_vs_resources(benchmark, bench_harness):
+    result = benchmark.pedantic(
+        lambda: figure_6e(harness=bench_harness), rounds=1, iterations=1
+    )
+    print("\n== Fig 6(e): quality vs number of resources ==")
+    print(f"(fixed budget {result.budget})")
+    print(result.render())
+
+    assert result.quality["DP"][0] >= result.quality["DP"][-1]
+    for i in range(len(result.resource_counts)):
+        assert result.quality["FP"][i] <= result.quality["DP"][i] + 1e-9
+        assert result.quality["FC"][i] <= result.quality["DP"][i] + 1e-9
+    # FP tracks DP more closely than FC does, at every corpus size.
+    for i in range(len(result.resource_counts)):
+        fp_gap = result.quality["DP"][i] - result.quality["FP"][i]
+        fc_gap = result.quality["DP"][i] - result.quality["FC"][i]
+        assert fp_gap <= fc_gap + 1e-9

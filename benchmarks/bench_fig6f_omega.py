@@ -1,0 +1,29 @@
+"""Fig 6(f): the effect of ω on MU and FP-MU.
+
+Paper shape: MU's quality falls as ω grows (more resources become
+invisible); FP-MU tracks slightly above FP until its warm-up consumes
+the whole budget, after which it *is* FP.
+"""
+
+from repro.experiments import figure_6f
+
+
+def test_fig6f_omega_sweep(benchmark, bench_harness):
+    result = benchmark.pedantic(
+        lambda: figure_6f(harness=bench_harness), rounds=1, iterations=1
+    )
+    print("\n== Fig 6(f): effect of omega ==")
+    print(f"(budget {result.budget})")
+    print(result.render())
+
+    # MU declines with omega.
+    assert result.mu_quality[0] > result.mu_quality[-1]
+    # FP-MU never falls meaningfully below FP.
+    assert (result.fpmu_quality >= result.fp_quality - 0.01).all()
+    # Warm-up grows with omega and eventually saturates the budget.
+    assert result.fpmu_warmup[-1] >= result.fpmu_warmup[0]
+    saturated = result.fpmu_warmup >= result.budget
+    if saturated.any():
+        import numpy as np
+        for i in np.flatnonzero(saturated):
+            assert abs(result.fpmu_quality[i] - result.fp_quality) < 1e-9

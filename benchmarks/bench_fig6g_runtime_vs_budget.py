@@ -1,0 +1,60 @@
+"""Fig 6(g): runtime vs budget, per strategy and for DP.
+
+Paper shape: DP's runtime explodes with the budget while the online
+strategies grow near-linearly and stay orders of magnitude faster.
+These benches time each strategy individually via pytest-benchmark; the
+summary table printed at the end uses the library's wall-clock sweep.
+"""
+
+import pytest
+
+from repro.allocation import (
+    FewestPostsFirst,
+    FreeChoice,
+    HybridFPMU,
+    MostUnstableFirst,
+    RoundRobin,
+    gains_from_profiles,
+    solve_dp,
+)
+from repro.experiments import runtime_vs_budget
+
+STRATEGIES = {
+    "FC": FreeChoice,
+    "RR": RoundRobin,
+    "FP": FewestPostsFirst,
+    "MU": lambda: MostUnstableFirst(omega=5),
+    "FP-MU": lambda: HybridFPMU(omega=5),
+}
+
+
+@pytest.mark.parametrize("name", list(STRATEGIES))
+@pytest.mark.parametrize("budget", [500, 1500])
+def test_strategy_runtime(benchmark, bench_harness, name, budget):
+    factory = STRATEGIES[name]
+    benchmark.pedantic(
+        lambda: bench_harness.runner.run(factory(), budget), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("budget", [500, 1500])
+def test_dp_runtime(benchmark, bench_harness, budget):
+    gains = gains_from_profiles(
+        bench_harness.truth.profiles, bench_harness.split.initial_counts, budget
+    )
+    benchmark.pedantic(lambda: solve_dp(gains, budget), rounds=3, iterations=1)
+
+
+def test_fig6g_summary_table(benchmark, bench_harness):
+    result = benchmark.pedantic(
+        lambda: runtime_vs_budget(
+            harness=bench_harness, budgets=(300, 600, 900, 1200, 1500)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n== Fig 6(g): runtime (s) vs budget ==")
+    print(result.render())
+    # DP is the slow one, and it grows super-linearly with the budget.
+    assert result.seconds["DP"][-1] > result.seconds["FP"][-1]
+    assert result.seconds["DP"][-1] > 1.5 * result.seconds["DP"][0]

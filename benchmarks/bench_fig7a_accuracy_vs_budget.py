@@ -1,0 +1,25 @@
+"""Fig 7(a): similarity-ranking accuracy (Kendall's τ) vs budget.
+
+Paper shape: the τ curves mirror the quality curves of Fig 6(a) — the
+strategies that buy the most tagging quality also buy the most ranking
+accuracy against the hierarchy ground truth.
+"""
+
+from repro.experiments import figure_7a
+
+
+def test_fig7a_accuracy_vs_budget(benchmark, bench_harness):
+    result = benchmark.pedantic(
+        lambda: figure_7a(harness=bench_harness, subset_size=60),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n== Fig 7(a): Kendall tau accuracy vs budget ==")
+    print(result.render())
+
+    assert result.accuracy["FP"][-1] > result.accuracy["FP"][0]
+    assert result.dp_accuracy[-1] > result.dp_accuracy[0]
+    # FP's accuracy gain beats FC's (the case-study story in aggregate).
+    fp_gain = result.accuracy["FP"][-1] - result.accuracy["FP"][0]
+    fc_gain = result.accuracy["FC"][-1] - result.accuracy["FC"][0]
+    assert fp_gain > fc_gain

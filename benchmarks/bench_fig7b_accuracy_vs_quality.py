@@ -1,0 +1,16 @@
+"""Fig 7(b): ranking accuracy vs tagging quality across run states.
+
+Paper result: the two are correlated at over 98% (Eq. 15) — the
+tagging-quality metric predicts downstream IR usefulness.
+"""
+
+from repro.experiments import figure_7a, figure_7b
+
+
+def test_fig7b_accuracy_vs_quality(benchmark, bench_harness):
+    fig7a = figure_7a(harness=bench_harness, subset_size=60)
+    result = benchmark.pedantic(lambda: figure_7b(fig7a), rounds=1, iterations=1)
+    print("\n== Fig 7(b): accuracy vs quality ==")
+    print(result.render())
+    print(f"\ncorrelation = {result.correlation:.4f} (paper: > 0.98)")
+    assert result.correlation > 0.8

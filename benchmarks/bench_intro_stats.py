@@ -1,0 +1,20 @@
+"""Section I statistics: stable points, over/under-tagging, waste, salvage.
+
+Paper values: stable points 50–200 (avg 112); ~7% over-tagged; ~25%
+under-tagged; 48% of all posts wasted; 1% of the waste would salvage
+every under-tagged resource.
+"""
+
+from repro.experiments import intro_statistics
+
+
+def test_intro_statistics(benchmark, bench_harness):
+    result = benchmark.pedantic(
+        lambda: intro_statistics(corpus=bench_harness.corpus), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    assert 80 <= result.stable_points.mean <= 150  # paper: 112
+    assert 0.10 <= result.cutoff_report.under_tagged_fraction <= 0.50  # paper: 25%
+    assert 0.25 <= result.year_report.wasted_fraction <= 0.70  # paper: 48%
+    assert result.salvage_ratio < 0.10  # paper: ~1%

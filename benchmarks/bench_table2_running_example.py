@@ -1,0 +1,17 @@
+"""Tables II & IV: the running example, recomputed and timed.
+
+Paper values: q1(3)=0.953, q2(2)=0.897, optimal x=(1,1) at quality 0.990.
+"""
+
+import pytest
+
+from repro.experiments import running_example
+
+
+def test_running_example(benchmark):
+    result = benchmark(running_example)
+    print("\n" + result.render())
+    assert result.q1_initial == pytest.approx(0.953, abs=5e-4)
+    assert result.q2_initial == pytest.approx(0.897, abs=5e-4)
+    assert result.optimal_x == (1, 1)
+    assert result.optimal_quality == pytest.approx(0.990, abs=2e-3)

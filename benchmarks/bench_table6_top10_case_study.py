@@ -1,0 +1,24 @@
+"""Table VI: top-10 similar resources for the physics-vs-java subject.
+
+Paper result: the January list is all Java sites (0/10 right), FC fixes
+almost nothing (4/10), FP recovers 9/10 of the ideal year-end list.
+"""
+
+from repro.experiments import run_case_study
+
+
+def test_table6_physics_subject(benchmark, bench_case_scenario):
+    result = benchmark.pedantic(
+        lambda: run_case_study(bench_case_scenario, budget=2500),
+        rounds=1,
+        iterations=1,
+    )
+    physics = result.subjects[0]
+    print("\n== Table VI: top-10 for the physics-vs-java subject ==")
+    print(physics.render(result.labels))
+
+    fp_column = next(k for k in physics.overlaps if k.startswith("FP"))
+    fc_column = next(k for k in physics.overlaps if k.startswith("FC"))
+    assert physics.overlaps["Jan 31"] <= 3  # the wrong (Java) list
+    assert physics.overlaps[fp_column] >= 7  # paper: 9/10
+    assert physics.overlaps[fp_column] > physics.overlaps[fc_column]

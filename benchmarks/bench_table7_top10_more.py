@@ -1,0 +1,29 @@
+"""Table VII: more top-10 comparisons, including the espn control.
+
+Paper result: FP matches the ideal Dec-31 list far better than FC on
+every early-biased subject; the over-popular control ("espn") is
+correct in all four columns because free tagging already covered it.
+"""
+
+from repro.experiments import run_case_study
+
+
+def test_table7_remaining_subjects(benchmark, bench_case_scenario):
+    result = benchmark.pedantic(
+        lambda: run_case_study(bench_case_scenario, budget=2500),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n== Table VII: all case-study subjects ==")
+    for subject in result.subjects:
+        overlap_line = "  ".join(
+            f"{name}={value}/10" for name, value in subject.overlaps.items()
+        )
+        print(f"{subject.subject.story:30s} {overlap_line}")
+
+    for subject in result.subjects[:3]:  # the early-biased subjects
+        fp_column = next(k for k in subject.overlaps if k.startswith("FP"))
+        fc_column = next(k for k in subject.overlaps if k.startswith("FC"))
+        assert subject.overlaps[fp_column] > subject.overlaps[fc_column]
+    control = result.subjects[-1]
+    assert all(value >= 9 for value in control.overlaps.values())

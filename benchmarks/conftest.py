@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks regenerate every figure and table of the paper at
+``BENCH_SCALE`` — a laptop-friendly reduction of the paper's 5,000
+resources / 10,000 budget.  The corpus, ground truth and the Fig 6
+comparison are built once per session and shared.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the regenerated tables/series alongside the timings.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentHarness, ExperimentScale, figure_6abcd
+
+BENCH_SCALE = ExperimentScale(
+    n_resources=150,
+    budgets=(0, 150, 300, 450, 600, 750, 900, 1050, 1200, 1350, 1500),
+    dp_budgets=(0, 500, 1000, 1500),
+    omega=5,
+    omega_sweep=(2, 4, 6, 8, 10, 12, 14, 16),
+    omega_sweep_budget=400,
+    resource_counts=(30, 60, 90, 120, 150),
+    seed=7,
+)
+"""The benchmark scale (~1/33 of the paper's corpus, same proportions)."""
+
+
+@pytest.fixture(scope="session")
+def bench_harness() -> ExperimentHarness:
+    """Corpus + ground truth + runner at the benchmark scale."""
+    return ExperimentHarness.from_scale(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def bench_comparison(bench_harness):
+    """The Fig 6(a)–(d) strategy comparison, shared by four benches."""
+    return figure_6abcd(harness=bench_harness)
+
+
+@pytest.fixture(scope="session")
+def bench_case_scenario():
+    from repro.simulate import case_study_scenario
+
+    return case_study_scenario(seed=1)

@@ -1,0 +1,72 @@
+"""The Section V experiment, end to end, on one corpus.
+
+Reproduces the core of the paper's evaluation: all five practical
+strategies plus the optimal DP, scored at budget checkpoints for quality
+(Fig 6(a)), over-tagging (6(b)), wasted tasks (6(c)) and under-tagged
+fraction (6(d)) — then prints the ω sweep (6(f)) and the budget-to-full-
+stability comparison.
+
+Run:  python examples/delicious_replay.py  [--resources N]
+(defaults are sized for ~1 minute; pass --resources 1000 for a larger run)
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+
+from repro.experiments import (
+    DEFAULT_SCALE,
+    ExperimentHarness,
+    budget_to_stability,
+    figure_6abcd,
+    figure_6f,
+    render_figure_6a,
+    render_figure_6b,
+    render_figure_6c,
+    render_figure_6d,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--resources", type=int, default=120)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    factor = args.resources / DEFAULT_SCALE.n_resources
+    scale = replace(
+        DEFAULT_SCALE,
+        n_resources=args.resources,
+        seed=args.seed,
+        budgets=tuple(sorted({int(round(b * factor)) for b in DEFAULT_SCALE.budgets})),
+        dp_budgets=tuple(
+            sorted({int(round(b * factor)) for b in DEFAULT_SCALE.dp_budgets})
+        ),
+        omega_sweep_budget=max(1, int(DEFAULT_SCALE.omega_sweep_budget * factor)),
+        resource_counts=tuple(
+            sorted({max(5, int(round(n * factor))) for n in DEFAULT_SCALE.resource_counts})
+        ),
+    )
+    print(f"building corpus (n={scale.n_resources}, seed={scale.seed}) ...")
+    harness = ExperimentHarness.from_scale(scale)
+
+    comparison = figure_6abcd(harness=harness)
+    print("\n== Fig 6(a): tagging quality vs budget ==")
+    print(render_figure_6a(comparison))
+    print("\n== Fig 6(b): over-tagged resources vs budget ==")
+    print(render_figure_6b(comparison))
+    print("\n== Fig 6(c): wasted post tasks vs budget ==")
+    print(render_figure_6c(comparison))
+    print("\n== Fig 6(d): under-tagged fraction vs budget ==")
+    print(render_figure_6d(comparison))
+
+    print("\n== Fig 6(f): effect of the window parameter omega ==")
+    print(figure_6f(harness=harness).render())
+
+    print("\n== Section V-B: budget to bring EVERY resource to stability ==")
+    print(budget_to_stability(harness).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""The incentive-tagging service prototype (the paper's Fig 2, run live).
+
+Spins up the full service loop: an allocation strategy proposes post
+tasks, a job board publishes them, a simulated crowd (with topical
+preferences) claims and completes them, a ledger pays rewards — and an
+*adaptive stopper* retires resources whose observed rfd has stabilised,
+so the budget keeps flowing to resources that still need it.
+
+Run:  python examples/incentive_service.py [--budget B] [--workers W]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.allocation import FewestPostsFirst, StabilityAwareFewestPosts
+from repro.core.stability import StabilityTracker
+from repro.service import IncentiveCampaign, WorkerPool
+from repro.simulate import paper_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--resources", type=int, default=40)
+    parser.add_argument("--budget", type=int, default=900)
+    parser.add_argument("--workers", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    corpus = paper_scenario(n=args.resources, seed=args.seed)
+    split = corpus.dataset.split(corpus.cutoff)
+    initial_posts = [split.initial_posts(i) for i in range(split.n)]
+    print(
+        f"corpus: {split.n} resources, "
+        f"{int(split.initial_counts.sum())} initial posts, "
+        f"budget {args.budget} reward units, {args.workers} workers"
+    )
+
+    rng = np.random.default_rng(args.seed)
+    pool = WorkerPool.uniform(args.workers, corpus.hierarchy, rng)
+
+    campaign = IncentiveCampaign(
+        corpus.models,
+        initial_posts,
+        FewestPostsFirst(),
+        pool,
+        budget=args.budget,
+        rng=rng,
+        stop_tau=0.995,
+        batch_size=60,
+    )
+    result = campaign.run(max_epochs=60)
+    print("\n" + result.render())
+
+    # How healthy is the corpus now, judged purely from observed posts?
+    stable = 0
+    for i in range(split.n):
+        tracker = StabilityTracker(5, 0.995)
+        tracker.add_posts(initial_posts[i])
+        for post in result.bought_posts[i]:
+            tracker.add_post(post.tags)
+        if tracker.is_stable:
+            stable += 1
+    print(
+        f"\nobservably stable resources after the campaign: {stable}/{split.n} "
+        f"(adaptively retired during the run: {len(result.stopped_resources)})"
+    )
+
+    top_earner = max(
+        {p.worker_id for p in result.ledger.payouts},
+        key=result.ledger.balance_of,
+        default=None,
+    )
+    if top_earner is not None:
+        print(
+            f"top-earning worker: {top_earner} with "
+            f"{result.ledger.balance_of(top_earner)} units"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Regenerate every figure/table at the default scale and save the output.
+
+Writes ``results/<item>.txt`` for each experiment; EXPERIMENTS.md quotes
+these.  Takes a few minutes at the default scale.
+
+Run:  python scripts/run_all_experiments.py [outdir]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    DEFAULT_SCALE,
+    ExperimentHarness,
+    budget_to_stability,
+    figure_1a,
+    figure_1b,
+    figure_3,
+    figure_5,
+    figure_6abcd,
+    figure_6e,
+    figure_6f,
+    figure_7a,
+    figure_7b,
+    intro_statistics,
+    render_figure_6a,
+    render_figure_6b,
+    render_figure_6c,
+    render_figure_6d,
+    run_case_study,
+    running_example,
+    runtime_vs_budget,
+    runtime_vs_resources,
+)
+from repro.simulate import case_study_scenario
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    outdir.mkdir(exist_ok=True)
+
+    def save(name: str, text: str, started: float) -> None:
+        (outdir / f"{name}.txt").write_text(text + "\n")
+        print(f"[{time.time() - started:7.1f}s] wrote {name}", flush=True)
+
+    t0 = time.time()
+    save("table2_running_example", running_example().render(), t0)
+    save("fig1a", figure_1a(num_posts=500, step=50).render(), t0)
+    save("fig1b", figure_1b(n=5000, seed=7).render(), t0)
+    save("fig3", figure_3(seed=7).render(step=40), t0)
+    save("fig5", figure_5(seed=7).render(step=50), t0)
+
+    print("building default-scale harness ...", flush=True)
+    harness = ExperimentHarness.from_scale(DEFAULT_SCALE)
+    save("intro_stats", intro_statistics(corpus=harness.corpus).render(), t0)
+
+    comparison = figure_6abcd(harness=harness)
+    save("fig6a_quality", render_figure_6a(comparison), t0)
+    save("fig6b_overtagged", render_figure_6b(comparison), t0)
+    save("fig6c_wasted", render_figure_6c(comparison), t0)
+    save("fig6d_undertagged", render_figure_6d(comparison), t0)
+    save("fig6e_resources", figure_6e(harness=harness).render(), t0)
+    save("fig6f_omega", figure_6f(harness=harness).render(), t0)
+    save(
+        "fig6g_runtime_budget",
+        runtime_vs_budget(harness=harness, budgets=(500, 1000, 1500, 2000, 2500)).render(),
+        t0,
+    )
+    save("fig6h_runtime_n", runtime_vs_resources(harness=harness, budget=600).render(), t0)
+
+    fig7a = figure_7a(harness=harness, subset_size=100)
+    save("fig7a_accuracy", fig7a.render(), t0)
+    fig7b = figure_7b(fig7a)
+    save(
+        "fig7b_correlation",
+        f"correlation (Eq. 15) = {fig7b.correlation:.4f}\n" + fig7b.render(),
+        t0,
+    )
+
+    save("stability_budget", budget_to_stability(harness).render(), t0)
+
+    scenario = case_study_scenario(seed=1)
+    save("table6_7_case_study", run_case_study(scenario, budget=2500).render(), t0)
+
+    print(f"done in {time.time() - t0:.1f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main()

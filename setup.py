@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in ``pyproject.toml``; this file exists only so that
+``pip install -e .`` works on environments whose setuptools predates
+self-contained PEP 660 editable installs (see the note in pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

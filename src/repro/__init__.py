@@ -1,0 +1,85 @@
+"""repro — a reproduction of "On Incentive-based Tagging" (ICDE 2013).
+
+The package implements the paper's tagging-stability machinery, its
+incentive allocation strategies (FC, RR, FP, MU, FP-MU and the optimal
+DP), a del.icio.us-style synthetic corpus generator, and harnesses that
+regenerate every figure and table of the paper's evaluation.
+
+Quickstart::
+
+    from repro.simulate import scenarios
+    from repro.allocation import FewestPostsFirst, IncentiveRunner
+
+    dataset, cutoff = scenarios.small_scenario(seed=7)
+    split = dataset.split(cutoff)
+    runner = IncentiveRunner.replay(split)
+    trace = runner.run(FewestPostsFirst(), budget=200)
+    print(trace.x)
+
+See ``examples/quickstart.py`` for a narrated tour.
+"""
+
+from repro.core import (
+    DEFAULT_OMEGA,
+    DEFAULT_TAU,
+    PREPARATION_OMEGA,
+    PREPARATION_TAU,
+    AllocationError,
+    BudgetError,
+    DataModelError,
+    DatasetSplit,
+    ExhaustedError,
+    NotStableError,
+    Post,
+    PostSequence,
+    QualityProfile,
+    ReproError,
+    Resource,
+    ResourceSet,
+    StabilityError,
+    StabilityTracker,
+    TagFrequencyTable,
+    TaggingDataset,
+    TagVocabulary,
+    adjacent_similarity_series,
+    cosine,
+    find_stable_point,
+    ma_series,
+    practically_stable_rfd,
+    set_quality,
+    tagging_quality,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationError",
+    "BudgetError",
+    "DEFAULT_OMEGA",
+    "DEFAULT_TAU",
+    "DataModelError",
+    "DatasetSplit",
+    "ExhaustedError",
+    "NotStableError",
+    "PREPARATION_OMEGA",
+    "PREPARATION_TAU",
+    "Post",
+    "PostSequence",
+    "QualityProfile",
+    "ReproError",
+    "Resource",
+    "ResourceSet",
+    "StabilityError",
+    "StabilityTracker",
+    "TagFrequencyTable",
+    "TagVocabulary",
+    "TaggingDataset",
+    "adjacent_similarity_series",
+    "cosine",
+    "find_stable_point",
+    "ma_series",
+    "practically_stable_rfd",
+    "set_quality",
+    "tagging_quality",
+    "__version__",
+]

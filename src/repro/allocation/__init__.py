@@ -1,0 +1,78 @@
+"""Incentive allocation: the paper's Section III-D and IV machinery.
+
+* the Algorithm 1 framework (:mod:`repro.allocation.base`,
+  :mod:`repro.allocation.runner`, :mod:`repro.allocation.oracle`),
+* the five practical strategies — FC, RR, FP, MU, FP-MU,
+* the theoretically optimal DP (Algorithm 6) with a vectorised and a
+  reference implementation,
+* the Section VI future-work extensions (weighted costs, tagger
+  preference, offline greedy).
+"""
+
+from repro.allocation.base import AllocationContext, AllocationStrategy
+from repro.allocation.budget import AllocationTrace, assignment_from_order
+from repro.allocation.dp import (
+    DPResult,
+    brute_force_optimal,
+    gains_from_profiles,
+    solve_dp,
+    solve_dp_reference,
+)
+from repro.allocation.extensions import (
+    CostAwareFewestPosts,
+    PreferenceAwareMostUnstable,
+    StabilityAwareFewestPosts,
+    solve_greedy,
+    solve_weighted_dp,
+)
+from repro.allocation.fewest_posts import FewestPostsFirst
+from repro.allocation.free_choice import FreeChoice
+from repro.allocation.hybrid import HybridFPMU
+from repro.allocation.most_unstable import MostUnstableFirst
+from repro.allocation.oracle import (
+    GenerativeTaggerSource,
+    ReplayTaggerSource,
+    TaggerSource,
+    popularity_chooser,
+)
+from repro.allocation.round_robin import RoundRobin
+from repro.allocation.runner import IncentiveRunner
+
+__all__ = [
+    "AllocationContext",
+    "AllocationStrategy",
+    "AllocationTrace",
+    "CostAwareFewestPosts",
+    "DPResult",
+    "FewestPostsFirst",
+    "FreeChoice",
+    "GenerativeTaggerSource",
+    "HybridFPMU",
+    "IncentiveRunner",
+    "MostUnstableFirst",
+    "PreferenceAwareMostUnstable",
+    "ReplayTaggerSource",
+    "RoundRobin",
+    "StabilityAwareFewestPosts",
+    "TaggerSource",
+    "assignment_from_order",
+    "brute_force_optimal",
+    "gains_from_profiles",
+    "popularity_chooser",
+    "solve_dp",
+    "solve_dp_reference",
+    "solve_greedy",
+    "solve_weighted_dp",
+]
+
+STRATEGY_REGISTRY = {
+    "FC": FreeChoice,
+    "RR": RoundRobin,
+    "FP": FewestPostsFirst,
+    "MU": MostUnstableFirst,
+    "FP-MU": HybridFPMU,
+    "FP-cost": CostAwareFewestPosts,
+    "FP-stop": StabilityAwareFewestPosts,
+    "MU-pref": PreferenceAwareMostUnstable,
+}
+"""Name -> class map used by the CLI and the experiment configs."""

@@ -1,0 +1,139 @@
+"""The strategy framework of Algorithm 1.
+
+A strategy plugs three hooks into the runner's budget loop — INIT()
+(:meth:`AllocationStrategy.initialize`), CHOOSE()
+(:meth:`AllocationStrategy.choose`) and UPDATE()
+(:meth:`AllocationStrategy.update`) — exactly as in the paper's
+Algorithm 1.  One extra hook, :meth:`AllocationStrategy.mark_exhausted`,
+handles a practicality of replayed datasets the paper glosses over: a
+chosen resource may have no future posts left, in which case the runner
+tells the strategy to stop proposing it (no budget is consumed).
+
+The *information model* is part of the contract: a strategy sees only the
+:class:`AllocationContext` — initial post counts, the initial posts
+themselves, and the posts delivered to it during the run.  Stable rfds,
+future posts and stable points are ground truth reserved for the offline
+DP and the evaluator.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+import numpy as np
+
+from repro.core.posts import Post
+from repro.allocation.oracle import TaggerSource
+
+__all__ = ["AllocationContext", "AllocationStrategy"]
+
+
+@dataclass(frozen=True)
+class AllocationContext:
+    """Everything a practical strategy is allowed to observe at INIT time.
+
+    Attributes:
+        n: Number of resources.
+        initial_counts: ``c`` — posts already received per resource
+            (positional, read-only by convention).
+        initial_posts: Per-resource initial post lists (the "January"
+            posts).  MU/FP-MU need these to seed their MA trackers.
+        source: The tagger source, exposed because the FC strategy
+            delegates its choice to the taggers themselves.
+        budget: Total reward units for the run (Algorithm 5's FP-MU
+            splits this between its warm-up and MU phases).
+        costs: Per-resource task cost in reward units (the paper's model
+            is all-ones; the weighted-cost extension generalises it).
+    """
+
+    n: int
+    initial_counts: np.ndarray
+    initial_posts: Sequence[Sequence[Post]]
+    source: TaggerSource
+    budget: int = 0
+    costs: np.ndarray | None = None
+
+    def cost_of(self, index: int) -> int:
+        """Task cost for ``index`` (1 under the paper's model)."""
+        if self.costs is None:
+            return 1
+        return int(self.costs[index])
+
+
+@dataclass
+class AllocationStrategy(ABC):
+    """Base class for incentive allocation strategies (Algorithm 1 hooks).
+
+    Subclasses implement :meth:`choose`; most also override
+    :meth:`initialize` and :meth:`update`.  The base class tracks the set
+    of exhausted resources so subclasses can consult
+    :meth:`is_exhausted` during selection.
+
+    Class attributes:
+        name: Short display name used across experiment reports
+            ("FP", "MU", ...).
+    """
+
+    name: ClassVar[str] = "strategy"
+
+    _context: AllocationContext | None = field(default=None, init=False, repr=False)
+    _exhausted: set[int] = field(default_factory=set, init=False, repr=False)
+
+    def initialize(self, context: AllocationContext) -> None:
+        """INIT() — called once before the budget loop.
+
+        Subclasses overriding this must call ``super().initialize(context)``
+        first so the shared bookkeeping is reset (strategies are reusable
+        across runs).
+        """
+        self._context = context
+        self._exhausted = set()
+
+    @abstractmethod
+    def choose(self) -> int | None:
+        """CHOOSE() — the next resource to offer a post task for.
+
+        Returns:
+            A resource index, or ``None`` when the strategy has nothing
+            left to propose (the runner then stops, possibly with budget
+            unspent — e.g. MU once every eligible resource is exhausted).
+        """
+
+    def update(self, index: int, post: Post) -> None:
+        """UPDATE() — called after a task on ``index`` completed with ``post``."""
+
+    def mark_exhausted(self, index: int) -> None:
+        """The runner observed that ``index`` has no future posts left.
+
+        Called instead of :meth:`update` when delivery failed; the
+        strategy must stop proposing this resource.  Subclasses that
+        keep per-resource structures should override and call super.
+        """
+        self._exhausted.add(index)
+
+    def notify_refusal(self, index: int) -> None:
+        """A tagger declined an offered task on ``index``.
+
+        Only fired by the preference-aware extension (the paper's base
+        model has no refusals).  Default: ignore.  Strategies that hold a
+        "pending" offer should reconsider it here, otherwise they will
+        keep proposing a resource whose taggers never accept.
+        """
+
+    def is_exhausted(self, index: int) -> bool:
+        """Whether ``index`` was marked exhausted this run."""
+        return index in self._exhausted
+
+    @property
+    def context(self) -> AllocationContext:
+        """The current run's context.
+
+        Raises:
+            RuntimeError: If the strategy was never initialised.
+        """
+        if self._context is None:
+            raise RuntimeError(f"{type(self).__name__} used before initialize()")
+        return self._context

@@ -1,0 +1,98 @@
+"""Allocation results: traces and assignment vectors.
+
+The runner records the *order* in which post tasks were delivered, not
+just the final assignment vector ``x`` — evaluation needs the order to
+score intermediate budgets (every "… vs budget" curve in Fig 6 comes from
+one trace scored at many checkpoints) and to attribute wasted tasks to
+the post count at delivery time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import AllocationError
+
+__all__ = ["AllocationTrace", "assignment_from_order"]
+
+
+def assignment_from_order(order: list[int] | np.ndarray, n: int) -> np.ndarray:
+    """Fold a delivery order into the assignment vector ``x``.
+
+    Args:
+        order: Resource index per delivered task.
+        n: Number of resources.
+
+    Returns:
+        ``int64`` array with ``x[i]`` = tasks delivered to resource ``i``.
+    """
+    x = np.zeros(n, dtype=np.int64)
+    for index in order:
+        x[index] += 1
+    return x
+
+
+@dataclass(frozen=True)
+class AllocationTrace:
+    """The full record of one allocation run.
+
+    Attributes:
+        strategy_name: Which strategy produced the trace.
+        n: Number of resources.
+        budget: Reward units the run was asked to spend.
+        order: Resource index per delivered task, in delivery order.
+        spend: Reward units consumed per delivered task (all ones under
+            the paper's model; the weighted-cost extension varies it).
+        refusals: Offered tasks that taggers declined (always 0 outside
+            the preference-aware extension).
+    """
+
+    strategy_name: str
+    n: int
+    budget: int
+    order: tuple[int, ...]
+    spend: tuple[int, ...]
+    refusals: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.order) != len(self.spend):
+            raise AllocationError("order and spend must have equal length")
+
+    @property
+    def tasks_delivered(self) -> int:
+        """Number of completed post tasks."""
+        return len(self.order)
+
+    @property
+    def budget_spent(self) -> int:
+        """Reward units actually consumed (≤ budget; < on early exhaustion)."""
+        return int(sum(self.spend))
+
+    @property
+    def x(self) -> np.ndarray:
+        """The assignment vector ``x`` (Definition 11)."""
+        return assignment_from_order(list(self.order), self.n)
+
+    def prefix_x(self, max_spend: int) -> np.ndarray:
+        """``x`` as it stood when cumulative spend first reached ``max_spend``.
+
+        Used to score one trace at many budget checkpoints: the prefix at
+        checkpoint ``b`` is exactly what the strategy would have delivered
+        with budget ``b`` (online strategies never revisit decisions).
+        """
+        x = np.zeros(self.n, dtype=np.int64)
+        spent = 0
+        for index, cost in zip(self.order, self.spend):
+            if spent + cost > max_spend:
+                break
+            spent += cost
+            x[index] += 1
+        return x
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AllocationTrace({self.strategy_name!r}, delivered={self.tasks_delivered}, "
+            f"budget={self.budget_spent}/{self.budget})"
+        )

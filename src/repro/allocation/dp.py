@@ -1,0 +1,221 @@
+"""The theoretically optimal DP allocation (Section III-D / Algorithm 6).
+
+DP assumes *full future knowledge*: for every resource the posts it would
+receive and its stable rfd are known, so the gain table
+``g_i[x] = q_i(c_i + x)`` can be computed for every ``x``.  The recurrence
+
+    ``Q(b, l) = max_{0 <= x_l <= b}  Q(b - x_l, l - 1) + q_l(c_l + x_l)``
+
+then yields the assignment maximising total quality with ``Σ x_i = B``
+exactly (Definition 11 — note quality is *not* monotone in the number of
+posts, so the equality constraint is meaningful).
+
+Three implementations:
+
+* :func:`solve_dp` — NumPy-vectorised inner maximisation; the production
+  path.
+* :func:`solve_dp_reference` — the paper's triple loop, verbatim; kept
+  for the Fig 6(g)/(h) runtime reproduction and as a cross-check.
+* :func:`brute_force_optimal` — exhaustive enumeration for tiny
+  instances; the optimality oracle in tests.
+
+All three respect per-resource caps (a replayed resource cannot receive
+more tasks than it has future posts), which Algorithm 6 leaves implicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.errors import BudgetError
+from repro.core.quality import QualityProfile
+
+__all__ = [
+    "DPResult",
+    "gains_from_profiles",
+    "solve_dp",
+    "solve_dp_reference",
+    "brute_force_optimal",
+]
+
+
+@dataclass(frozen=True)
+class DPResult:
+    """An optimal allocation.
+
+    Attributes:
+        value: The optimal *total* quality ``Σ_i q_i(c_i + x_i)``
+            (Eq. 13; divide by ``n`` for the mean form of Eq. 10).
+        x: The optimal assignment vector.
+        budget: The budget the problem was solved for.
+    """
+
+    value: float
+    x: np.ndarray
+    budget: int
+
+    @property
+    def mean_quality(self) -> float:
+        """``q(R, c + x)`` — the Definition 10 average."""
+        return self.value / len(self.x)
+
+
+def gains_from_profiles(
+    profiles: Sequence[QualityProfile],
+    initial_counts: np.ndarray,
+    budget: int,
+) -> list[np.ndarray]:
+    """Build DP gain tables from quality profiles.
+
+    Args:
+        profiles: One :class:`QualityProfile` per resource (these embody
+            the future knowledge DP requires).
+        initial_counts: ``c`` vector.
+        budget: Budget ``B`` (caps each gain table at ``B + 1`` entries).
+
+    Returns:
+        ``gains[i][x] = q_i(c_i + x)`` with ``len(gains[i]) - 1`` equal to
+        the per-resource task cap.
+    """
+    return [
+        profile.gain_array(int(initial_counts[i]), budget)
+        for i, profile in enumerate(profiles)
+    ]
+
+
+def _check_feasible(gains: Sequence[np.ndarray], budget: int) -> None:
+    if budget < 0:
+        raise BudgetError(f"budget must be non-negative, got {budget}")
+    capacity = sum(len(g) - 1 for g in gains)
+    if capacity < budget:
+        raise BudgetError(
+            f"budget {budget} exceeds total task capacity {capacity} "
+            "(replay has too few future posts)"
+        )
+
+
+def solve_dp(gains: Sequence[np.ndarray], budget: int) -> DPResult:
+    """Algorithm 6 with a NumPy-vectorised inner maximisation.
+
+    Args:
+        gains: Per-resource gain tables (see :func:`gains_from_profiles`).
+        budget: Reward units ``B``.
+
+    Returns:
+        The optimal :class:`DPResult`.
+
+    Raises:
+        BudgetError: If ``budget`` is negative or exceeds total capacity.
+    """
+    _check_feasible(gains, budget)
+    n = len(gains)
+    neg = -np.inf
+
+    # Base case l = 1: Q(b, 1) = q_1(c_1 + b), infeasible past the cap.
+    q = np.full(budget + 1, neg, dtype=np.float64)
+    first_cap = min(len(gains[0]) - 1, budget)
+    q[: first_cap + 1] = gains[0][: first_cap + 1]
+    choices = np.zeros((n, budget + 1), dtype=np.int32)
+    choices[0, : first_cap + 1] = np.arange(first_cap + 1)
+
+    for l in range(1, n):
+        gain = np.asarray(gains[l], dtype=np.float64)
+        cap = min(len(gain) - 1, budget)
+        # Pad with `cap` leading -inf entries so every b has a uniform
+        # window Q(b-cap .. b); out-of-range prefixes are infeasible.
+        padded = np.concatenate([np.full(cap, neg), q])
+        # windows[b, ::-1][x] = padded[b + cap - x] = Q(b - x), x = 0..cap.
+        windows = np.lib.stride_tricks.sliding_window_view(padded, cap + 1)
+        candidates = windows[:, ::-1] + gain[: cap + 1]
+        best_x = np.argmax(candidates, axis=1)  # ties -> smallest x, like the reference
+        q = candidates[np.arange(budget + 1), best_x]
+        choices[l] = best_x
+
+    value = float(q[budget])
+    if value == neg:  # pragma: no cover - guarded by _check_feasible
+        raise BudgetError(f"no feasible assignment spends exactly {budget} units")
+
+    x = np.zeros(n, dtype=np.int64)
+    b = budget
+    for l in range(n - 1, -1, -1):
+        x[l] = choices[l, b]
+        b -= int(x[l])
+    return DPResult(value=value, x=x, budget=budget)
+
+
+def solve_dp_reference(gains: Sequence[np.ndarray], budget: int) -> DPResult:
+    """Algorithm 6 as printed: pure-Python triple loop.
+
+    Identical results to :func:`solve_dp`; kept for the runtime figures
+    (the paper benchmarks this shape of implementation) and as a
+    vectorisation cross-check in tests.
+    """
+    _check_feasible(gains, budget)
+    n = len(gains)
+    neg = float("-inf")
+
+    q_prev = [neg] * (budget + 1)
+    first_cap = min(len(gains[0]) - 1, budget)
+    for b in range(first_cap + 1):
+        q_prev[b] = float(gains[0][b])
+    choices = [[0] * (budget + 1) for _ in range(n)]
+    for b in range(first_cap + 1):
+        choices[0][b] = b
+
+    for l in range(1, n):
+        gain = gains[l]
+        cap = len(gain) - 1
+        q_next = [neg] * (budget + 1)
+        row = choices[l]
+        for b in range(budget + 1):
+            best_value = neg
+            best_x = 0
+            for x in range(min(cap, b) + 1):
+                prev = q_prev[b - x]
+                if prev == neg:
+                    continue
+                candidate = prev + float(gain[x])
+                if candidate > best_value:
+                    best_value = candidate
+                    best_x = x
+            q_next[b] = best_value
+            row[b] = best_x
+        q_prev = q_next
+
+    x = np.zeros(n, dtype=np.int64)
+    b = budget
+    for l in range(n - 1, -1, -1):
+        x[l] = choices[l][b]
+        b -= int(x[l])
+    return DPResult(value=float(q_prev[budget]), x=x, budget=budget)
+
+
+def brute_force_optimal(gains: Sequence[np.ndarray], budget: int) -> DPResult:
+    """Exhaustive search over all exact-spend assignments (test oracle).
+
+    Exponential — intended for ``n * budget`` in the dozens.
+    """
+    _check_feasible(gains, budget)
+    n = len(gains)
+    best_value = float("-inf")
+    best_x: tuple[int, ...] = ()
+
+    def recurse(l: int, remaining: int, acc: float, partial: tuple[int, ...]) -> None:
+        nonlocal best_value, best_x
+        if l == n - 1:
+            if remaining <= len(gains[l]) - 1:
+                total = acc + float(gains[l][remaining])
+                if total > best_value:
+                    best_value = total
+                    best_x = partial + (remaining,)
+            return
+        for x in range(min(len(gains[l]) - 1, remaining) + 1):
+            recurse(l + 1, remaining - x, acc + float(gains[l][x]), partial + (x,))
+
+    recurse(0, budget, 0.0, ())
+    if not best_x and n > 0 and best_value == float("-inf"):
+        raise BudgetError(f"no feasible assignment spends exactly {budget} units")
+    return DPResult(value=best_value, x=np.array(best_x, dtype=np.int64), budget=budget)

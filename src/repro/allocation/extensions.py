@@ -1,0 +1,362 @@
+"""Extensions from the paper's future-work list (Section VI).
+
+The paper closes with two open directions: *post tasks with different
+costs* and *taking user preference into account*.  This module implements
+both, plus a fast offline greedy that serves as a near-optimal comparator
+to DP in the ablation benchmarks:
+
+* :func:`solve_weighted_dp` — optimal allocation when a task on resource
+  ``i`` costs ``w_i`` reward units (budget becomes ``Σ w_i x_i <= B``);
+* :class:`CostAwareFewestPosts` — FP that breaks count ties toward
+  cheaper resources (the runner already refuses unaffordable offers);
+* :class:`PreferenceAwareMostUnstable` — MU whose priority is the
+  *expected* stability deficit ``(1 - MA) * p̂_i``, where ``p̂_i`` is a
+  Beta-posterior estimate of the probability that a tagger accepts a
+  task on resource ``i``, updated online from observed refusals;
+* :func:`solve_greedy` — marginal-gain greedy with full future knowledge.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+from typing import ClassVar
+
+import numpy as np
+
+from repro.core.errors import AllocationError, BudgetError
+from repro.core.posts import Post
+from repro.core.stability import DEFAULT_OMEGA, StabilityTracker
+from repro.allocation.base import AllocationContext, AllocationStrategy
+from repro.allocation.dp import DPResult
+
+__all__ = [
+    "solve_weighted_dp",
+    "CostAwareFewestPosts",
+    "PreferenceAwareMostUnstable",
+    "StabilityAwareFewestPosts",
+    "solve_greedy",
+]
+
+
+def solve_weighted_dp(
+    gains: Sequence[np.ndarray],
+    costs: Sequence[int] | np.ndarray,
+    budget: int,
+) -> DPResult:
+    """Optimal allocation with per-resource task costs.
+
+    Maximises ``Σ_i g_i[x_i]`` subject to ``Σ_i w_i · x_i <= B`` (the
+    constraint relaxes to an inequality: with heterogeneous costs an
+    exact spend may be impossible).  Reduces to :func:`solve_dp`'s
+    problem when all costs are 1 and capacity is tight.
+
+    Args:
+        gains: Per-resource gain tables (``gains[i][x] = q_i(c_i + x)``).
+        costs: Positive integer cost per task, one per resource.
+        budget: Total reward units.
+
+    Returns:
+        The optimal :class:`DPResult` (``x`` holds task counts).
+
+    Raises:
+        BudgetError: On negative budget.
+        AllocationError: On non-positive or non-matching costs.
+    """
+    if budget < 0:
+        raise BudgetError(f"budget must be non-negative, got {budget}")
+    costs = np.asarray(costs, dtype=np.int64)
+    if len(costs) != len(gains):
+        raise AllocationError("costs must match gains length")
+    if len(costs) and costs.min() < 1:
+        raise AllocationError("task costs must be positive integers")
+
+    n = len(gains)
+    neg = float("-inf")
+    # q[b] = best total gain using budget at most b over resources seen so far.
+    q = np.zeros(budget + 1, dtype=np.float64)
+    choices: list[np.ndarray] = []
+    for l in range(n):
+        gain = np.asarray(gains[l], dtype=np.float64)
+        cap = len(gain) - 1
+        w = int(costs[l])
+        q_next = np.full(budget + 1, neg, dtype=np.float64)
+        choice = np.zeros(budget + 1, dtype=np.int32)
+        for b in range(budget + 1):
+            x_max = min(cap, b // w)
+            # q[b - w*x] for x = 0..x_max
+            window = q[b - w * x_max : b + 1 : w][::-1] if x_max > 0 else q[b : b + 1]
+            candidates = window + gain[: x_max + 1]
+            best = int(np.argmax(candidates))
+            q_next[b] = candidates[best]
+            choice[b] = best
+        q = q_next
+        choices.append(choice)
+
+    x = np.zeros(n, dtype=np.int64)
+    b = budget
+    for l in range(n - 1, -1, -1):
+        x[l] = choices[l][b]
+        b -= int(costs[l]) * int(x[l])
+    return DPResult(value=float(q[budget]), x=x, budget=budget)
+
+
+@dataclass
+class CostAwareFewestPosts(AllocationStrategy):
+    """FP under heterogeneous task costs.
+
+    Priority is ``(posts so far, task cost, index)``: fewest-posts first
+    (Fig 5's diminishing-returns argument is unchanged by costs), but
+    among equally-tagged resources the cheaper task buys the same
+    improvement for less budget.  Unaffordable resources are pruned by
+    the runner via ``mark_exhausted``.
+    """
+
+    name: ClassVar[str] = "FP-cost"
+
+    _heap: list[tuple[int, int, int]] = field(default_factory=list, init=False, repr=False)
+    _pending: tuple[int, int, int] | None = field(default=None, init=False, repr=False)
+
+    def initialize(self, context: AllocationContext) -> None:
+        super().initialize(context)
+        self._heap = [
+            (int(count), context.cost_of(index), index)
+            for index, count in enumerate(context.initial_counts)
+        ]
+        heapq.heapify(self._heap)
+        self._pending = None
+
+    def choose(self) -> int | None:
+        if self._pending is not None:
+            return self._pending[2]
+        if not self._heap:
+            return None
+        entry = heapq.heappop(self._heap)
+        self._pending = entry
+        return entry[2]
+
+    def update(self, index: int, post: Post) -> None:
+        if self._pending is not None and self._pending[2] == index:
+            count, cost, _ = self._pending
+            heapq.heappush(self._heap, (count + 1, cost, index))
+            self._pending = None
+
+    def mark_exhausted(self, index: int) -> None:
+        super().mark_exhausted(index)
+        if self._pending is not None and self._pending[2] == index:
+            self._pending = None
+
+
+@dataclass
+class PreferenceAwareMostUnstable(AllocationStrategy):
+    """MU weighted by estimated tagger acceptance (user preference).
+
+    Each resource's priority is the expected stability deficit a task
+    offer recovers: ``(1 - MA_i) * p̂_i``, maximised.  ``p̂_i`` starts
+    from an optional prior and is updated as a Beta posterior mean from
+    observed accepts/refusals, so resources whose taggers never accept
+    sink in priority instead of deadlocking the run.
+
+    Args:
+        omega: MA window (resources below it are ignored, as in MU).
+        prior_acceptance: Initial acceptance estimates per resource
+            (``None`` → optimistic 1.0 everywhere).
+        prior_weight: Pseudo-count weight of the prior in the posterior.
+    """
+
+    omega: int = DEFAULT_OMEGA
+    prior_acceptance: np.ndarray | None = None
+    prior_weight: float = 2.0
+
+    name: ClassVar[str] = "MU-pref"
+
+    _heap: list[tuple[float, int]] = field(default_factory=list, init=False, repr=False)
+    _trackers: dict[int, StabilityTracker] = field(default_factory=dict, init=False, repr=False)
+    _accepts: dict[int, int] = field(default_factory=dict, init=False, repr=False)
+    _refusals: dict[int, int] = field(default_factory=dict, init=False, repr=False)
+    _pending: int | None = field(default=None, init=False, repr=False)
+
+    def initialize(self, context: AllocationContext) -> None:
+        super().initialize(context)
+        if self.prior_acceptance is not None and len(self.prior_acceptance) != context.n:
+            raise AllocationError("prior_acceptance must have length n")
+        self._heap = []
+        self._trackers = {}
+        self._accepts = {}
+        self._refusals = {}
+        self._pending = None
+        for index in range(context.n):
+            posts = context.initial_posts[index]
+            if len(posts) < self.omega:
+                continue
+            tracker = StabilityTracker(self.omega)
+            tracker.add_posts(posts)
+            self._trackers[index] = tracker
+            self._heap.append((-self._expected_deficit(index), index))
+        heapq.heapify(self._heap)
+
+    # ------------------------------------------------------------------
+
+    def _acceptance_estimate(self, index: int) -> float:
+        prior = 1.0 if self.prior_acceptance is None else float(self.prior_acceptance[index])
+        accepts = self._accepts.get(index, 0)
+        refusals = self._refusals.get(index, 0)
+        return (prior * self.prior_weight + accepts) / (
+            self.prior_weight + accepts + refusals
+        )
+
+    def _expected_deficit(self, index: int) -> float:
+        score = self._trackers[index].ma_score
+        assert score is not None
+        return (1.0 - score) * self._acceptance_estimate(index)
+
+    def _push(self, index: int) -> None:
+        heapq.heappush(self._heap, (-self._expected_deficit(index), index))
+
+    # ------------------------------------------------------------------
+
+    def choose(self) -> int | None:
+        if self._pending is not None:
+            return self._pending
+        if not self._heap:
+            return None
+        _, index = heapq.heappop(self._heap)
+        self._pending = index
+        return index
+
+    def update(self, index: int, post: Post) -> None:
+        self._accepts[index] = self._accepts.get(index, 0) + 1
+        self._trackers[index].add_post(post.tags)
+        if index == self._pending:
+            self._push(index)
+            self._pending = None
+
+    def notify_refusal(self, index: int) -> None:
+        self._refusals[index] = self._refusals.get(index, 0) + 1
+        if index == self._pending:
+            # Reconsider: the refusal lowered p̂, maybe another resource
+            # now has a higher expected deficit.
+            self._push(index)
+            self._pending = None
+
+    def mark_exhausted(self, index: int) -> None:
+        super().mark_exhausted(index)
+        if index == self._pending:
+            self._pending = None
+
+    def acceptance_estimate(self, index: int) -> float:
+        """Current posterior-mean acceptance estimate for ``index``."""
+        return self._acceptance_estimate(index)
+
+
+@dataclass
+class StabilityAwareFewestPosts(AllocationStrategy):
+    """FP with *online* stable-point detection.
+
+    Plain FP keeps feeding a resource even after its rfd has stabilised —
+    harmless at small budgets, wasteful at large ones.  This variant
+    tracks every resource's observed MA score and retires a resource the
+    moment ``m(k, omega) > tau`` on its *observed* sequence, so no ground
+    truth (and no future knowledge) is used.  The retired budget flows to
+    the still-unstable resources.
+
+    Args:
+        omega: MA window of the online detector.
+        tau: Observed-MA retirement threshold.
+    """
+
+    omega: int = DEFAULT_OMEGA
+    tau: float = 0.999
+
+    name: ClassVar[str] = "FP-stop"
+
+    _heap: list[tuple[int, int]] = field(default_factory=list, init=False, repr=False)
+    _trackers: list[StabilityTracker] = field(default_factory=list, init=False, repr=False)
+    _pending: tuple[int, int] | None = field(default=None, init=False, repr=False)
+    _retired: set[int] = field(default_factory=set, init=False, repr=False)
+
+    def initialize(self, context: AllocationContext) -> None:
+        super().initialize(context)
+        self._heap = []
+        self._trackers = []
+        self._pending = None
+        self._retired = set()
+        for index in range(context.n):
+            tracker = StabilityTracker(self.omega, self.tau)
+            tracker.add_posts(context.initial_posts[index])
+            self._trackers.append(tracker)
+            if tracker.is_stable:
+                self._retired.add(index)
+            else:
+                self._heap.append((int(context.initial_counts[index]), index))
+        heapq.heapify(self._heap)
+
+    def choose(self) -> int | None:
+        if self._pending is not None:
+            return self._pending[1]
+        while self._heap:
+            count, index = heapq.heappop(self._heap)
+            if index in self._retired or self.is_exhausted(index):
+                continue
+            self._pending = (count, index)
+            return index
+        return None
+
+    def update(self, index: int, post: Post) -> None:
+        tracker = self._trackers[index]
+        tracker.add_post(post.tags)
+        if self._pending is not None and self._pending[1] == index:
+            count = self._pending[0] + 1
+            self._pending = None
+            if tracker.is_stable:
+                self._retired.add(index)
+            else:
+                heapq.heappush(self._heap, (count, index))
+
+    def mark_exhausted(self, index: int) -> None:
+        super().mark_exhausted(index)
+        if self._pending is not None and self._pending[1] == index:
+            self._pending = None
+
+    def retired_count(self) -> int:
+        """Resources retired by the online detector so far."""
+        return len(self._retired)
+
+
+def solve_greedy(gains: Sequence[np.ndarray], budget: int) -> DPResult:
+    """Offline marginal-gain greedy (ablation comparator for DP).
+
+    Repeatedly assigns the next task to the resource whose next post has
+    the largest quality delta ``g_i[x_i + 1] - g_i[x_i]``.  Optimal when
+    every gain table is concave; in general a fast approximation — the
+    ablation benchmark measures how close it lands to DP on real gain
+    shapes.
+
+    Raises:
+        BudgetError: If the budget exceeds total capacity.
+    """
+    if budget < 0:
+        raise BudgetError(f"budget must be non-negative, got {budget}")
+    capacity = sum(len(g) - 1 for g in gains)
+    if capacity < budget:
+        raise BudgetError(f"budget {budget} exceeds total task capacity {capacity}")
+
+    x = np.zeros(len(gains), dtype=np.int64)
+    heap: list[tuple[float, int]] = []
+    for index, gain in enumerate(gains):
+        if len(gain) > 1:
+            heap.append((-(float(gain[1]) - float(gain[0])), index))
+    heapq.heapify(heap)
+
+    for _ in range(budget):
+        delta_neg, index = heapq.heappop(heap)
+        x[index] += 1
+        gain = gains[index]
+        position = int(x[index])
+        if position < len(gain) - 1:
+            next_delta = float(gain[position + 1]) - float(gain[position])
+            heapq.heappush(heap, (-next_delta, index))
+
+    value = float(sum(float(g[x[i]]) for i, g in enumerate(gains)))
+    return DPResult(value=value, x=x, budget=budget)

@@ -1,0 +1,68 @@
+"""The Fewest Posts First strategy (FP, Section IV-C / Algorithm 3).
+
+FP always gives the next post task to the resource with the fewest posts
+so far (``c_i + x_i``).  The rationale is the diminishing-returns curve of
+Fig 5: an extra post improves a 10-post resource far more than a 50-post
+one.  FP is the paper's recommended strategy — nearly optimal quality,
+trivially implementable, and runnable offline.
+
+A binary heap keyed by ``(count, index)`` gives the paper's
+``O((n + B) log n)`` time; the index component makes tie-breaking
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from repro.core.posts import Post
+from repro.allocation.base import AllocationContext, AllocationStrategy
+
+__all__ = ["FewestPostsFirst"]
+
+
+@dataclass
+class FewestPostsFirst(AllocationStrategy):
+    """CHOOSE() pops the resource with the minimum ``c_i + x_i``.
+
+    The heap holds exactly one live entry per non-exhausted resource:
+    CHOOSE() pops it and UPDATE() (or ``mark_exhausted``) decides whether
+    a successor entry is pushed.
+    """
+
+    name: ClassVar[str] = "FP"
+
+    _heap: list[tuple[int, int]] = field(default_factory=list, init=False, repr=False)
+    _pending: int | None = field(default=None, init=False, repr=False)
+    _pending_count: int = field(default=0, init=False, repr=False)
+
+    def initialize(self, context: AllocationContext) -> None:
+        super().initialize(context)
+        self._heap = [(int(count), index) for index, count in enumerate(context.initial_counts)]
+        heapq.heapify(self._heap)
+        self._pending = None
+        self._pending_count = 0
+
+    def choose(self) -> int | None:
+        if self._pending is not None:
+            # The runner re-asked without completing the previous offer
+            # (e.g. a tagger refused); keep proposing the same minimum.
+            return self._pending
+        if not self._heap:
+            return None
+        count, index = heapq.heappop(self._heap)
+        self._pending = index
+        self._pending_count = count
+        return index
+
+    def update(self, index: int, post: Post) -> None:
+        if index == self._pending:
+            heapq.heappush(self._heap, (self._pending_count + 1, index))
+            self._pending = None
+
+    def mark_exhausted(self, index: int) -> None:
+        super().mark_exhausted(index)
+        if index == self._pending:
+            self._pending = None  # dropped from the heap permanently

@@ -1,0 +1,35 @@
+"""The Free Choice strategy (FC, Section IV-A).
+
+FC is the status-quo baseline: taggers pick whatever resource they like,
+and CHOOSE() simply returns that pick.  Under replay this means consuming
+the dataset's future posts in their real arrival order — which is why FC
+reproduces the paper's headline pathology: the crowd piles onto popular,
+already over-tagged resources and roughly half the budget is wasted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.allocation.base import AllocationContext, AllocationStrategy
+
+__all__ = ["FreeChoice"]
+
+
+@dataclass
+class FreeChoice(AllocationStrategy):
+    """CHOOSE() returns whichever resource the next tagger wants to tag.
+
+    The choice is delegated to the tagger source: a replay source yields
+    the true arrival stream; a generative source samples from its
+    free-choice model (e.g. popularity-weighted).
+    """
+
+    name: ClassVar[str] = "FC"
+
+    def initialize(self, context: AllocationContext) -> None:
+        super().initialize(context)
+
+    def choose(self) -> int | None:
+        return self.context.source.free_choice()

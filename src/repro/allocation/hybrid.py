@@ -1,0 +1,120 @@
+"""The hybrid FP-MU strategy (Section IV-E / Algorithm 5).
+
+MU's weakness is that it ignores every resource with fewer than ``omega``
+posts — precisely the badly under-tagged ones.  FP-MU fixes this with a
+*warm-up stage*: it first computes the total budget needed to lift every
+resource to at least ``omega`` posts,
+
+    ``b = min(B, Σ_i max(0, omega - c_i))``,
+
+spends those ``b`` units as FP would, and then runs MU with the remaining
+``B - b`` units (Algorithm 5).  A larger ``omega`` means a longer warm-up;
+once the warm-up alone consumes the whole budget, FP-MU degenerates to FP
+— the crossover visible in Fig 6(f).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from repro.core.posts import Post
+from repro.core.stability import DEFAULT_OMEGA
+from repro.allocation.base import AllocationContext, AllocationStrategy
+from repro.allocation.fewest_posts import FewestPostsFirst
+from repro.allocation.most_unstable import MostUnstableFirst
+
+__all__ = ["HybridFPMU"]
+
+
+@dataclass
+class HybridFPMU(AllocationStrategy):
+    """FP warm-up, then MU (Algorithm 5).
+
+    Args:
+        omega: MA window shared by the warm-up target and the MU phase.
+    """
+
+    omega: int = DEFAULT_OMEGA
+
+    name: ClassVar[str] = "FP-MU"
+
+    _fp: FewestPostsFirst = field(default_factory=FewestPostsFirst, init=False, repr=False)
+    _mu: MostUnstableFirst | None = field(default=None, init=False, repr=False)
+    _warmup_budget: int = field(default=0, init=False, repr=False)
+    _delivered: int = field(default=0, init=False, repr=False)
+    _delivered_posts: list[list[Post]] = field(default_factory=list, init=False, repr=False)
+
+    def initialize(self, context: AllocationContext) -> None:
+        super().initialize(context)
+        deficit = sum(max(0, self.omega - int(c)) for c in context.initial_counts)
+        self._warmup_budget = min(context.budget, deficit)
+        self._fp = FewestPostsFirst()
+        self._fp.initialize(context)
+        self._mu = None
+        self._delivered = 0
+        self._delivered_posts = [[] for _ in range(context.n)]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def in_warmup(self) -> bool:
+        """Whether the FP warm-up stage is still running."""
+        return self._mu is None and self._delivered < self._warmup_budget
+
+    def _start_mu(self) -> None:
+        """Switch phases: seed MU with counts and posts as of now."""
+        context = self.context
+        counts = context.initial_counts.copy()
+        posts = []
+        for index in range(context.n):
+            delivered = self._delivered_posts[index]
+            counts[index] += len(delivered)
+            posts.append(list(context.initial_posts[index]) + delivered)
+        mu = MostUnstableFirst(omega=self.omega)
+        mu.initialize(
+            AllocationContext(
+                n=context.n,
+                initial_counts=counts,
+                initial_posts=posts,
+                source=context.source,
+                budget=context.budget - self._delivered,
+                costs=context.costs,
+            )
+        )
+        # Carry over exhaustion knowledge learned during warm-up.
+        for index in self._exhausted:
+            mu.mark_exhausted(index)
+        self._mu = mu
+
+    def choose(self) -> int | None:
+        if self.in_warmup:
+            index = self._fp.choose()
+            if index is not None:
+                return index
+            # Warm-up cannot proceed (everything it wants is exhausted):
+            # fall through to MU with whatever counts we reached.
+        if self._mu is None:
+            self._start_mu()
+        assert self._mu is not None
+        return self._mu.choose()
+
+    def update(self, index: int, post: Post) -> None:
+        if self._mu is None:
+            self._fp.update(index, post)
+            self._delivered_posts[index].append(post)
+        else:
+            self._mu.update(index, post)
+        self._delivered += 1
+
+    def mark_exhausted(self, index: int) -> None:
+        super().mark_exhausted(index)
+        if self._mu is None:
+            self._fp.mark_exhausted(index)
+        else:
+            self._mu.mark_exhausted(index)
+
+    @property
+    def warmup_budget(self) -> int:
+        """The computed warm-up budget ``b`` (Algorithm 5, steps 1–3)."""
+        return self._warmup_budget

@@ -1,0 +1,86 @@
+"""The Most Unstable First strategy (MU, Section IV-D / Algorithm 4).
+
+MU gives the next post task to the resource with the *lowest MA score* —
+the one whose rfd is least stable and so presumably needs help most.  Two
+properties from the paper carry over exactly:
+
+* the MA score is only defined after ``omega`` posts, so resources with
+  fewer initial posts are **ignored** (the weakness FP-MU repairs);
+* the incremental MA maintenance of Appendix C makes each update
+  ``O(|post|)`` instead of ``O(omega * |T|)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from repro.core.posts import Post
+from repro.core.stability import DEFAULT_OMEGA, StabilityTracker
+from repro.allocation.base import AllocationContext, AllocationStrategy
+
+__all__ = ["MostUnstableFirst"]
+
+
+@dataclass
+class MostUnstableFirst(AllocationStrategy):
+    """CHOOSE() pops the resource with the minimum MA score.
+
+    Args:
+        omega: MA window; resources with fewer than ``omega`` observed
+            posts never enter the priority queue (Algorithm 4, line 3).
+    """
+
+    omega: int = DEFAULT_OMEGA
+
+    name: ClassVar[str] = "MU"
+
+    _heap: list[tuple[float, int]] = field(default_factory=list, init=False, repr=False)
+    _trackers: dict[int, StabilityTracker] = field(default_factory=dict, init=False, repr=False)
+    _pending: int | None = field(default=None, init=False, repr=False)
+
+    def initialize(self, context: AllocationContext) -> None:
+        super().initialize(context)
+        self._heap = []
+        self._trackers = {}
+        self._pending = None
+        for index in range(context.n):
+            posts = context.initial_posts[index]
+            if len(posts) < self.omega:
+                continue
+            tracker = StabilityTracker(self.omega)
+            tracker.add_posts(posts)
+            self._trackers[index] = tracker
+            score = tracker.ma_score
+            assert score is not None  # guaranteed: len(posts) >= omega
+            self._heap.append((score, index))
+        heapq.heapify(self._heap)
+
+    def choose(self) -> int | None:
+        if self._pending is not None:
+            return self._pending
+        if not self._heap:
+            return None
+        _, index = heapq.heappop(self._heap)
+        self._pending = index
+        return index
+
+    def update(self, index: int, post: Post) -> None:
+        tracker = self._trackers[index]
+        tracker.add_post(post.tags)
+        if index == self._pending:
+            score = tracker.ma_score
+            assert score is not None
+            heapq.heappush(self._heap, (score, index))
+            self._pending = None
+
+    def mark_exhausted(self, index: int) -> None:
+        super().mark_exhausted(index)
+        if index == self._pending:
+            self._pending = None
+
+    def ma_score_of(self, index: int) -> float | None:
+        """Current MA score of ``index`` (None if below the window)."""
+        tracker = self._trackers.get(index)
+        return None if tracker is None else tracker.ma_score

@@ -1,0 +1,176 @@
+"""Tagger sources: where completed post tasks come from.
+
+The paper's evaluation (Section V-A) replays real posts: a strategy that
+allocates a post task to resource ``r_i`` receives ``r_i``'s next
+yet-unseen post from the dataset.  :class:`ReplayTaggerSource` implements
+exactly that, including the *free-choice stream* — the global
+timestamp-order of future posts — that models what taggers do when nobody
+steers them (the FC baseline).
+
+:class:`GenerativeTaggerSource` is the open-ended alternative for
+simulation studies: posts are synthesised on demand by a caller-supplied
+factory (the :mod:`repro.simulate` tagger models plug in here), so budgets
+are unbounded by dataset size.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.core.dataset import DatasetSplit
+from repro.core.posts import Post
+
+__all__ = ["TaggerSource", "ReplayTaggerSource", "GenerativeTaggerSource"]
+
+
+class TaggerSource(ABC):
+    """Produces completed post tasks for chosen resources.
+
+    A source is stateful and single-use: each allocation run consumes a
+    fresh source (the runner takes care of this).
+    """
+
+    @abstractmethod
+    def next_post(self, index: int) -> Post | None:
+        """Complete one post task on resource ``index``.
+
+        Returns:
+            The new post, or ``None`` if the resource is exhausted (a
+            replay source ran out of that resource's future posts).
+            Returning ``None`` does not consume anything.
+        """
+
+    @abstractmethod
+    def free_choice(self) -> int | None:
+        """The resource a *freely choosing* tagger would tag next.
+
+        Returns:
+            A resource index, or ``None`` when no tagger would show up at
+            all (replay: every future post already consumed).
+        """
+
+    def remaining(self, index: int) -> int | None:
+        """Posts still available for ``index``; ``None`` means unbounded."""
+        return None
+
+    @property
+    def total_remaining(self) -> int | None:
+        """Total posts still available; ``None`` means unbounded."""
+        return None
+
+
+class ReplayTaggerSource(TaggerSource):
+    """Replays the future posts of a :class:`~repro.core.dataset.DatasetSplit`.
+
+    Task completion on resource ``i`` reveals ``future[i]`` in order.
+    Free choice walks the global arrival order, skipping posts that some
+    directed task already consumed — so a hybrid of directed and free
+    tagging never hands out the same post twice.
+
+    Args:
+        split: The frozen dataset to replay.
+    """
+
+    def __init__(self, split: DatasetSplit) -> None:
+        self._future = split.future
+        self._positions = [0] * len(split.future)
+        # Pair each free-choice entry with its per-resource offset so the
+        # cursor can tell "already consumed by a directed task" apart
+        # from "still pending".
+        seen: dict[int, int] = {}
+        order: list[tuple[int, int]] = []
+        for index in split.free_choice_order:
+            offset = seen.get(index, 0)
+            order.append((index, offset))
+            seen[index] = offset + 1
+        self._order = order
+        self._cursor = 0
+        self._total_remaining = sum(len(posts) for posts in split.future)
+
+    def next_post(self, index: int) -> Post | None:
+        position = self._positions[index]
+        if position >= len(self._future[index]):
+            return None
+        self._positions[index] = position + 1
+        self._total_remaining -= 1
+        return self._future[index][position]
+
+    def free_choice(self) -> int | None:
+        while self._cursor < len(self._order):
+            index, offset = self._order[self._cursor]
+            if offset < self._positions[index]:
+                # This arrival was already delivered to a directed task.
+                self._cursor += 1
+                continue
+            return index
+        return None
+
+    def remaining(self, index: int) -> int | None:
+        return len(self._future[index]) - self._positions[index]
+
+    @property
+    def total_remaining(self) -> int | None:
+        return self._total_remaining
+
+
+class GenerativeTaggerSource(TaggerSource):
+    """Synthesises posts on demand (unbounded crowdsourcing simulation).
+
+    Args:
+        post_factory: Called with a resource index; returns a fresh post
+            for that resource.  The :mod:`repro.simulate` tagger models
+            provide such factories.
+        free_chooser: Called with no arguments; returns the resource a
+            freely choosing tagger would pick (e.g. popularity-weighted
+            sampling).  Required only if the FC strategy is used.
+    """
+
+    def __init__(
+        self,
+        post_factory: Callable[[int], Post],
+        free_chooser: Callable[[], int] | None = None,
+    ) -> None:
+        self._post_factory = post_factory
+        self._free_chooser = free_chooser
+
+    def next_post(self, index: int) -> Post | None:
+        return self._post_factory(index)
+
+    def free_choice(self) -> int | None:
+        if self._free_chooser is None:
+            raise NotImplementedError(
+                "this generative source has no free-choice model; pass free_chooser"
+            )
+        return self._free_chooser()
+
+
+def popularity_chooser(
+    weights: Sequence[float] | np.ndarray, rng: np.random.Generator
+) -> Callable[[], int]:
+    """A free-choice model: sample resources ∝ ``weights``.
+
+    Models the empirical behaviour behind Fig 1(b): taggers pile onto
+    popular resources.  Use with :class:`GenerativeTaggerSource`.
+
+    Args:
+        weights: Non-negative popularity weights, one per resource.
+        rng: Source of randomness.
+
+    Returns:
+        A zero-argument callable returning resource indices.
+    """
+    probabilities = np.asarray(weights, dtype=np.float64)
+    if probabilities.min() < 0:
+        raise ValueError("popularity weights must be non-negative")
+    total = probabilities.sum()
+    if total <= 0:
+        raise ValueError("popularity weights must not all be zero")
+    probabilities = probabilities / total
+
+    def choose() -> int:
+        return int(rng.choice(len(probabilities), p=probabilities))
+
+    return choose

@@ -1,0 +1,44 @@
+"""The Round Robin strategy (RR, Section IV-B / Algorithm 2).
+
+RR cycles through the resources in positional order, ignoring post counts
+and stability alike.  It needs almost no state and gives every resource
+roughly the same number of post tasks — better than FC (it does not chase
+popularity) but blind to which resources actually need help.
+
+The paper's pseudo-code starts its cycle at resource 2 due to a
+``(l mod n) + 1`` quirk; we start at resource 0.  The cycle origin has no
+effect on any reported metric once ``B >= n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from repro.allocation.base import AllocationContext, AllocationStrategy
+
+__all__ = ["RoundRobin"]
+
+
+@dataclass
+class RoundRobin(AllocationStrategy):
+    """CHOOSE() walks resources cyclically, skipping exhausted ones."""
+
+    name: ClassVar[str] = "RR"
+
+    _next: int = field(default=0, init=False, repr=False)
+
+    def initialize(self, context: AllocationContext) -> None:
+        super().initialize(context)
+        self._next = 0
+
+    def choose(self) -> int | None:
+        n = self.context.n
+        if len(self._exhausted) >= n:
+            return None
+        for _ in range(n):
+            index = self._next
+            self._next = (self._next + 1) % n
+            if not self.is_exhausted(index):
+                return index
+        return None

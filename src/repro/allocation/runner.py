@@ -1,0 +1,222 @@
+"""The budget loop of Algorithm 1.
+
+:class:`IncentiveRunner` wires a strategy to a tagger source and spends
+the budget one reward unit at a time::
+
+    while budget remains:
+        i0   <- strategy.choose()
+        post <- source.next_post(i0)        # a tagger completes the task
+        strategy.update(i0, post)
+        x[i0] += 1;  budget -= cost(i0)
+
+Deviations from the pseudo-code, all forced by replaying a finite
+dataset and all documented in DESIGN.md:
+
+* if the source is exhausted for the chosen resource, the runner calls
+  ``strategy.mark_exhausted`` and retries without consuming budget;
+* if the strategy returns ``None`` (nothing left to propose) the run
+  stops early with the budget partially spent;
+* optional per-resource task *costs* and tagger *acceptance
+  probabilities* implement the paper's Section VI future-work items.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.dataset import DatasetSplit
+from repro.core.errors import AllocationError, BudgetError
+from repro.core.posts import Post
+from repro.allocation.base import AllocationContext, AllocationStrategy
+from repro.allocation.budget import AllocationTrace
+from repro.allocation.oracle import GenerativeTaggerSource, ReplayTaggerSource, TaggerSource
+
+__all__ = ["IncentiveRunner"]
+
+
+class IncentiveRunner:
+    """Executes allocation strategies against a tagger source.
+
+    Build one with :meth:`replay` (the paper's evaluation setup) or
+    :meth:`generative` (open-ended simulation), then call :meth:`run`
+    once per strategy — each run gets a fresh, independent source.
+
+    Args:
+        n: Number of resources.
+        initial_counts: ``c`` vector.
+        initial_posts: Per-resource initial posts (observable by
+            strategies).
+        source_factory: Zero-argument callable producing a fresh
+            :class:`TaggerSource` per run.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        initial_counts: np.ndarray,
+        initial_posts: Sequence[Sequence[Post]],
+        source_factory,
+    ) -> None:
+        if len(initial_counts) != n or len(initial_posts) != n:
+            raise AllocationError("initial_counts/initial_posts must have length n")
+        self.n = n
+        self.initial_counts = np.asarray(initial_counts, dtype=np.int64)
+        self.initial_posts = initial_posts
+        self._source_factory = source_factory
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def replay(cls, split: DatasetSplit) -> IncentiveRunner:
+        """A runner that replays a dataset split (Section V-A setup)."""
+        initial_posts = [split.initial_posts(i) for i in range(split.n)]
+        return cls(
+            n=split.n,
+            initial_counts=split.initial_counts,
+            initial_posts=initial_posts,
+            source_factory=lambda: ReplayTaggerSource(split),
+        )
+
+    @classmethod
+    def generative(
+        cls,
+        initial_counts: np.ndarray,
+        initial_posts: Sequence[Sequence[Post]],
+        post_factory,
+        free_chooser=None,
+    ) -> IncentiveRunner:
+        """A runner backed by a generative tagger model (unbounded posts)."""
+        return cls(
+            n=len(initial_counts),
+            initial_counts=initial_counts,
+            initial_posts=initial_posts,
+            source_factory=lambda: GenerativeTaggerSource(post_factory, free_chooser),
+        )
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        strategy: AllocationStrategy,
+        budget: int,
+        *,
+        costs: np.ndarray | None = None,
+        acceptance: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+        strict: bool = False,
+    ) -> AllocationTrace:
+        """Spend ``budget`` reward units through ``strategy``.
+
+        Args:
+            strategy: The allocation strategy (re-initialised here, so
+                instances are reusable across runs).
+            budget: Reward units available, ``>= 0``.
+            costs: Optional per-resource task costs (``int``, ``>= 1``);
+                defaults to the paper's one-unit-per-task model.
+            acceptance: Optional per-resource probability that an offered
+                task is accepted by a tagger (the user-preference
+                extension).  Refused offers consume no budget.
+            rng: Required when ``acceptance`` is given.
+            strict: If True, raise :class:`BudgetError` when the source
+                cannot possibly serve the full budget (replay only).
+
+        Returns:
+            The completed :class:`AllocationTrace`.
+
+        Raises:
+            BudgetError: On negative budget, or under ``strict`` when the
+                replayable posts cannot cover it.
+            AllocationError: If ``acceptance`` is supplied without a rng,
+                or a strategy proposes an out-of-range resource.
+        """
+        if budget < 0:
+            raise BudgetError(f"budget must be non-negative, got {budget}")
+        if acceptance is not None and rng is None:
+            raise AllocationError("acceptance simulation requires an rng")
+        if costs is not None:
+            costs = np.asarray(costs, dtype=np.int64)
+            if len(costs) != self.n:
+                raise AllocationError("costs must have length n")
+            if costs.min() < 1:
+                raise AllocationError("task costs must be >= 1 reward unit")
+
+        source: TaggerSource = self._source_factory()
+        if strict and source.total_remaining is not None and source.total_remaining < budget:
+            raise BudgetError(
+                f"budget {budget} exceeds the {source.total_remaining} replayable posts"
+            )
+
+        context = AllocationContext(
+            n=self.n,
+            initial_counts=self.initial_counts.copy(),
+            initial_posts=self.initial_posts,
+            source=source,
+            budget=budget,
+            costs=costs,
+        )
+        strategy.initialize(context)
+
+        order: list[int] = []
+        spend: list[int] = []
+        refusals = 0
+        remaining = budget
+        # A full pass of mark_exhausted over every resource is the most a
+        # well-behaved strategy can need between two deliveries; 2n+1
+        # consecutive non-delivering iterations therefore indicates a
+        # strategy that keeps proposing dead resources.
+        fruitless = 0
+        while remaining > 0:
+            index = strategy.choose()
+            if index is None:
+                break
+            if not 0 <= index < self.n:
+                raise AllocationError(
+                    f"{strategy.name} proposed resource {index}, valid range is [0, {self.n})"
+                )
+            cost = int(costs[index]) if costs is not None else 1
+            if cost > remaining:
+                strategy.mark_exhausted(index)  # unaffordable ≙ unavailable this run
+                fruitless += 1
+                if fruitless > 2 * self.n + 1:
+                    break
+                continue
+            if acceptance is not None:
+                assert rng is not None
+                if rng.random() >= acceptance[index]:
+                    # A refusal is not evidence of exhaustion — do not count
+                    # it as fruitless, only against the refusal cap.
+                    refusals += 1
+                    strategy.notify_refusal(index)
+                    if refusals > 100 * budget + 100:
+                        raise AllocationError(
+                            "taggers refused far more offers than the budget; "
+                            "acceptance probabilities are likely degenerate"
+                        )
+                    continue
+            post = source.next_post(index)
+            if post is None:
+                strategy.mark_exhausted(index)
+                fruitless += 1
+                if fruitless > 2 * self.n + 1:
+                    break
+                continue
+            fruitless = 0
+            strategy.update(index, post)
+            order.append(index)
+            spend.append(cost)
+            remaining -= cost
+
+        return AllocationTrace(
+            strategy_name=strategy.name,
+            n=self.n,
+            budget=budget,
+            order=tuple(order),
+            spend=tuple(spend),
+            refusals=refusals,
+        )

@@ -1,0 +1,60 @@
+"""Analysis utilities: corpus health, rankings, rank correlation.
+
+These are evaluation-side tools — they may consume ground truth (stable
+points, full sequences) that allocation strategies are never shown.
+"""
+
+from repro.analysis.convergence import (
+    convergence_half_life,
+    distance_to_final_curve,
+    effective_support,
+    tag_entropy,
+)
+from repro.analysis.health import CorpusHealth, corpus_health
+from repro.analysis.kendall import kendall_tau
+from repro.analysis.ranking import (
+    RankedResource,
+    all_pairs_scores,
+    overlap_at_k,
+    top_k_similar,
+)
+from repro.analysis.stable_points import (
+    UNDER_TAGGED_THRESHOLD,
+    StablePointSummary,
+    dataset_stable_points,
+    measured_unstable_point,
+    stable_point_of,
+)
+from repro.analysis.stats import DistributionSummary, pearson_correlation, summarize
+from repro.analysis.waste import (
+    WasteReport,
+    salvage_requirement,
+    waste_report,
+    wasted_tasks,
+)
+
+__all__ = [
+    "CorpusHealth",
+    "DistributionSummary",
+    "RankedResource",
+    "convergence_half_life",
+    "corpus_health",
+    "distance_to_final_curve",
+    "effective_support",
+    "tag_entropy",
+    "StablePointSummary",
+    "UNDER_TAGGED_THRESHOLD",
+    "WasteReport",
+    "all_pairs_scores",
+    "dataset_stable_points",
+    "kendall_tau",
+    "measured_unstable_point",
+    "overlap_at_k",
+    "pearson_correlation",
+    "salvage_requirement",
+    "stable_point_of",
+    "summarize",
+    "top_k_similar",
+    "waste_report",
+    "wasted_tasks",
+]

@@ -1,0 +1,98 @@
+"""rfd convergence diagnostics.
+
+The stability machinery answers "has this rfd settled?"; these
+diagnostics answer *why* and *how fast* — useful when tuning incentive
+campaigns and when validating that a synthetic corpus behaves like a
+real one:
+
+* :func:`tag_entropy` / :func:`effective_support` — how wide a
+  description is (wide rfds need more posts; the Fig 5 mechanism);
+* :func:`distance_to_final_curve` — cosine distance of every prefix rfd
+  to the final rfd (the convergence trajectory behind Fig 1(a));
+* :func:`convergence_half_life` — the prefix length after which the
+  distance to the final rfd stays below half its initial value.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import DataModelError
+from repro.core.frequency import TagFrequencyTable
+from repro.core.posts import Post, PostSequence
+
+__all__ = [
+    "tag_entropy",
+    "effective_support",
+    "distance_to_final_curve",
+    "convergence_half_life",
+]
+
+
+def tag_entropy(rfd: Mapping[str, float]) -> float:
+    """Shannon entropy (nats) of an rfd.
+
+    Args:
+        rfd: A tag distribution; non-positive entries are ignored.
+
+    Returns:
+        Entropy in nats; 0 for empty or single-tag distributions.
+    """
+    total = sum(w for w in rfd.values() if w > 0)
+    if total <= 0:
+        return 0.0
+    entropy = 0.0
+    for weight in rfd.values():
+        if weight > 0:
+            p = weight / total
+            entropy -= p * math.log(p)
+    return entropy
+
+
+def effective_support(rfd: Mapping[str, float]) -> float:
+    """Perplexity ``exp(H)`` — the "effective number of tags".
+
+    A resource whose rfd has effective support 4 behaves like a uniform
+    4-tag description; wider support predicts a later stable point.
+    """
+    return math.exp(tag_entropy(rfd))
+
+
+def distance_to_final_curve(posts: Sequence[Post] | PostSequence) -> np.ndarray:
+    """``1 - cos(F(k), F(K))`` for every prefix ``k = 1..K``.
+
+    The curve starts high (early rfds misrepresent the resource) and
+    decays toward 0 — the quantitative form of Fig 1(a)'s convergence.
+
+    Raises:
+        DataModelError: For an empty sequence.
+    """
+    if len(posts) == 0:
+        raise DataModelError("convergence curve needs at least one post")
+    final = TagFrequencyTable.from_posts(posts).rfd()
+    table = TagFrequencyTable()
+    distances = np.zeros(len(posts))
+    for k, post in enumerate(posts):
+        table.add_post(post.tags)
+        distances[k] = 1.0 - table.cosine_to(final)
+    return distances
+
+
+def convergence_half_life(posts: Sequence[Post] | PostSequence) -> int:
+    """Smallest ``k`` after which the distance-to-final stays below half
+    of the first post's distance.
+
+    "Stays below" is the operative part — a lucky early prefix that later
+    drifts away again does not count.  Returns ``len(posts)`` when the
+    sequence never settles below the threshold.
+    """
+    distances = distance_to_final_curve(posts)
+    threshold = distances[0] / 2.0
+    # Walk backwards: find the last index that violates the threshold.
+    for k in range(len(distances) - 1, -1, -1):
+        if distances[k] > threshold:
+            return min(k + 2, len(distances))
+    return 1

@@ -1,0 +1,130 @@
+"""Kendall's τ rank correlation (the Fig 7 accuracy metric).
+
+The paper follows Markines et al. and evaluates a similarity measure by
+ranking all resource pairs and correlating that ranking with a
+ground-truth ranking via Kendall's τ.  Real rankings contain heavy ties
+(both cosine scores and tree-distance ground truths repeat), so we
+implement **τ-b**, the tie-adjusted variant:
+
+    ``τ_b = (C - D) / sqrt((N - T_x) * (N - T_y))``
+
+where ``C``/``D`` count concordant/discordant pairs, ``N = n(n-1)/2``,
+and ``T_x``/``T_y`` count pairs tied in each input.  Discordance is
+counted in ``O(n log n)`` with a merge-sort inversion count; tests
+cross-check against :func:`scipy.stats.kendalltau`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.errors import DataModelError
+
+__all__ = ["kendall_tau"]
+
+
+def _count_inversions(values: list[float]) -> int:
+    """Number of (i, j) with ``i < j`` and ``values[i] > values[j]``.
+
+    Iterative bottom-up merge sort; strictly-greater comparisons mean
+    ties contribute no inversions (they are handled separately).
+    """
+    n = len(values)
+    inversions = 0
+    width = 1
+    current = list(values)
+    buffer = [0.0] * n
+    while width < n:
+        for start in range(0, n, 2 * width):
+            middle = min(start + width, n)
+            end = min(start + 2 * width, n)
+            left, right = start, middle
+            position = start
+            while left < middle and right < end:
+                if current[left] <= current[right]:
+                    buffer[position] = current[left]
+                    left += 1
+                else:
+                    inversions += middle - left
+                    buffer[position] = current[right]
+                    right += 1
+                position += 1
+            buffer[position : position + (middle - left)] = current[left:middle]
+            position += middle - left
+            buffer[position : position + (end - right)] = current[right:end]
+        current, buffer = buffer, current
+        width *= 2
+    return inversions
+
+
+def _tie_statistics(sorted_values: np.ndarray) -> int:
+    """``Σ t(t-1)/2`` over groups of equal values (input must be sorted)."""
+    total = 0
+    run = 1
+    for previous, value in zip(sorted_values, sorted_values[1:]):
+        if value == previous:
+            run += 1
+        else:
+            total += run * (run - 1) // 2
+            run = 1
+    total += run * (run - 1) // 2
+    return total
+
+
+def kendall_tau(x: Sequence[float] | np.ndarray, y: Sequence[float] | np.ndarray) -> float:
+    """Kendall's τ-b between two paired score vectors.
+
+    Args:
+        x: First score vector (e.g. cosine similarities of all pairs).
+        y: Second score vector (e.g. ground-truth similarities).
+
+    Returns:
+        τ-b in ``[-1, 1]``; ``nan`` when either vector is constant
+        (correlation undefined).
+
+    Raises:
+        DataModelError: On length mismatch or fewer than 2 items.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise DataModelError("inputs must be 1-D arrays of equal length")
+    n = len(x)
+    if n < 2:
+        raise DataModelError("Kendall's tau needs at least 2 items")
+
+    # Sort by x, breaking x-ties by y: discordant pairs are then exactly
+    # the y-inversions among pairs NOT tied in x.
+    order = np.lexsort((y, x))
+    x_sorted = x[order]
+    y_sorted = y[order]
+
+    total_pairs = n * (n - 1) // 2
+    ties_x = _tie_statistics(x_sorted)
+    ties_y = _tie_statistics(np.sort(y))
+
+    # Pairs tied in both x and y.
+    both = np.lexsort((y, x))
+    ties_xy = 0
+    run = 1
+    for a, b in zip(both, both[1:]):
+        if x[a] == x[b] and y[a] == y[b]:
+            run += 1
+        else:
+            ties_xy += run * (run - 1) // 2
+            run = 1
+    ties_xy += run * (run - 1) // 2
+
+    discordant = _count_inversions(list(y_sorted))
+    # Within x-tie groups sorted ascending by y there are no y-inversions,
+    # so `discordant` already excludes x-tied pairs.
+    concordant = total_pairs - discordant - ties_x - ties_y + ties_xy
+
+    denominator = np.sqrt(
+        float(total_pairs - ties_x) * float(total_pairs - ties_y)
+    )
+    if denominator == 0.0:
+        return float("nan")
+    return float((concordant - discordant) / denominator)

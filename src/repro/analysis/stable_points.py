@@ -1,0 +1,130 @@
+"""Corpus-level stable/unstable point analysis (Section I statistics).
+
+The paper's introduction characterises a 5,000-URL sample: stable points
+range from 50 to 200 posts (average 112), a typical unstable point is
+about 10 posts, 7% of URLs are over-tagged, and 25% are under-tagged.
+This module computes those statistics for any dataset.
+
+The *unstable point* is only informally defined in the paper; Section
+V-B3 operationalises it as "rfds are not stable below 10 posts — their
+adjacent similarity is typically below 0.95".  We provide both readings:
+the fixed 10-post threshold (used by every Fig 6(d)-style metric) and a
+measured variant (the last post at which the adjacent similarity drops
+below a threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.dataset import TaggingDataset
+from repro.core.errors import NotStableError
+from repro.core.posts import Post, PostSequence
+from repro.core.stability import (
+    PREPARATION_OMEGA,
+    PREPARATION_TAU,
+    adjacent_similarity_series,
+    practically_stable_rfd,
+)
+
+__all__ = [
+    "UNDER_TAGGED_THRESHOLD",
+    "StablePointSummary",
+    "stable_point_of",
+    "dataset_stable_points",
+    "measured_unstable_point",
+]
+
+UNDER_TAGGED_THRESHOLD = 10
+"""The paper's operational unstable point: ≤ 10 posts = under-tagged."""
+
+
+@dataclass(frozen=True)
+class StablePointSummary:
+    """Distributional summary of a dataset's stable points.
+
+    Attributes:
+        stable_points: Per-resource stable points (``-1`` where the
+            sequence never stabilises).
+        num_stable: Resources with a defined stable point.
+        mean: Mean stable point over stable resources.
+        minimum: Smallest stable point.
+        maximum: Largest stable point.
+    """
+
+    stable_points: np.ndarray
+    num_stable: int
+    mean: float
+    minimum: int
+    maximum: int
+
+    @classmethod
+    def from_array(cls, stable_points: np.ndarray) -> StablePointSummary:
+        defined = stable_points[stable_points >= 0]
+        if len(defined) == 0:
+            return cls(stable_points, 0, float("nan"), -1, -1)
+        return cls(
+            stable_points=stable_points,
+            num_stable=int(len(defined)),
+            mean=float(defined.mean()),
+            minimum=int(defined.min()),
+            maximum=int(defined.max()),
+        )
+
+
+def stable_point_of(
+    posts: Sequence[Post] | PostSequence,
+    omega: int = PREPARATION_OMEGA,
+    tau: float = PREPARATION_TAU,
+) -> int:
+    """The stable point of one sequence, ``-1`` if never reached.
+
+    Uses the paper's stringent preparation parameters by default (these
+    define "over-tagged" throughout the evaluation).
+    """
+    try:
+        k, _ = practically_stable_rfd(posts, omega, tau)
+    except NotStableError:
+        return -1
+    return k
+
+
+def dataset_stable_points(
+    dataset: TaggingDataset,
+    omega: int = PREPARATION_OMEGA,
+    tau: float = PREPARATION_TAU,
+) -> StablePointSummary:
+    """Stable points for every resource in ``dataset``.
+
+    Returns:
+        A :class:`StablePointSummary`; resources that never stabilise
+        hold ``-1`` in the array.
+    """
+    points = np.array(
+        [stable_point_of(r.sequence, omega, tau) for r in dataset.resources],
+        dtype=np.int64,
+    )
+    return StablePointSummary.from_array(points)
+
+
+def measured_unstable_point(
+    posts: Sequence[Post] | PostSequence,
+    similarity_threshold: float = 0.95,
+) -> int:
+    """The measured unstable point of one sequence.
+
+    Defined as the last post index at which the adjacent similarity is
+    still below ``similarity_threshold`` (Section V-B3's reading: below
+    this point the rfd is too jumpy to use).  Returns 0 when even the
+    second post's similarity already clears the threshold.
+    """
+    series = adjacent_similarity_series(posts)
+    last_below = 0
+    # Skip j = 1: its adjacent similarity is 0 by definition (Eq. 16).
+    for j, similarity in enumerate(series[1:], start=2):
+        if similarity < similarity_threshold:
+            last_below = j
+    return last_below

@@ -1,0 +1,98 @@
+"""Small statistics helpers used across the experiment reports.
+
+:func:`pearson_correlation` is Eq. 15 of the paper (used to back the
+Fig 7(b) claim that tagging quality and similarity-ranking accuracy
+correlate at over 98%); the rest are convenience summaries for the
+dataset reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.errors import DataModelError
+
+__all__ = ["pearson_correlation", "DistributionSummary", "summarize"]
+
+
+def pearson_correlation(
+    x: Sequence[float] | np.ndarray, y: Sequence[float] | np.ndarray
+) -> float:
+    """Sample Pearson correlation (Eq. 15).
+
+    Args:
+        x: First sample.
+        y: Second sample (paired with ``x``).
+
+    Returns:
+        Correlation in ``[-1, 1]``; ``nan`` if either sample is constant.
+
+    Raises:
+        DataModelError: On length mismatch or fewer than 2 points.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise DataModelError("inputs must be 1-D arrays of equal length")
+    if len(x) < 2:
+        raise DataModelError("correlation needs at least 2 points")
+    sx = x.std(ddof=1)
+    sy = y.std(ddof=1)
+    if sx == 0.0 or sy == 0.0:
+        return float("nan")
+    covariance = float(((x - x.mean()) * (y - y.mean())).sum()) / (len(x) - 1)
+    return covariance / (sx * sy)
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-style summary of a sample.
+
+    Attributes:
+        count: Sample size.
+        mean: Arithmetic mean.
+        minimum: Smallest value.
+        p25: First quartile.
+        median: Median.
+        p75: Third quartile.
+        maximum: Largest value.
+    """
+
+    count: int
+    mean: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    def render(self) -> str:
+        """One-line human-readable form."""
+        return (
+            f"n={self.count} mean={self.mean:.1f} min={self.minimum:.0f} "
+            f"p25={self.p25:.0f} median={self.median:.0f} p75={self.p75:.0f} "
+            f"max={self.maximum:.0f}"
+        )
+
+
+def summarize(values: Sequence[float] | np.ndarray) -> DistributionSummary:
+    """Summarise a non-empty sample.
+
+    Raises:
+        DataModelError: For empty input.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise DataModelError("cannot summarise an empty sample")
+    return DistributionSummary(
+        count=int(values.size),
+        mean=float(values.mean()),
+        minimum=float(values.min()),
+        p25=float(np.percentile(values, 25)),
+        median=float(np.percentile(values, 50)),
+        p75=float(np.percentile(values, 75)),
+        maximum=float(values.max()),
+    )

@@ -1,0 +1,149 @@
+"""Over-tagging, under-tagging and wasted posts (Figs 6(b)–(d), Section I).
+
+Terminology, following the paper:
+
+* a resource is **over-tagged** once its post count exceeds its stable
+  point — further posts do not change its rfd in any practical way;
+* a post (or post task) is **wasted** if it was given to a resource that
+  had already passed its stable point at delivery time;
+* a resource is **under-tagged** while its post count is at or below the
+  unstable point (operationally, 10 posts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import DataModelError
+from repro.analysis.stable_points import UNDER_TAGGED_THRESHOLD
+
+__all__ = ["WasteReport", "waste_report", "wasted_tasks", "salvage_requirement"]
+
+
+@dataclass(frozen=True)
+class WasteReport:
+    """Tagging-health statistics for one state of a resource set.
+
+    Attributes:
+        over_tagged: Resources past their stable point.
+        under_tagged: Resources at or below the under-tagged threshold.
+        under_tagged_fraction: ``under_tagged / n``.
+        wasted_posts: Posts delivered beyond stable points (see
+            :func:`waste_report` for the exact accounting).
+        total_posts: All posts in the examined state.
+    """
+
+    over_tagged: int
+    under_tagged: int
+    under_tagged_fraction: float
+    wasted_posts: int
+    total_posts: int
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Share of posts that were wasted (0 when there are no posts)."""
+        if self.total_posts == 0:
+            return 0.0
+        return self.wasted_posts / self.total_posts
+
+
+def waste_report(
+    counts: np.ndarray,
+    stable_points: np.ndarray,
+    *,
+    under_threshold: int = UNDER_TAGGED_THRESHOLD,
+) -> WasteReport:
+    """Health statistics of a post-count state.
+
+    ``wasted_posts`` here counts every post beyond each resource's
+    stable point (``Σ max(0, counts_i - sp_i)``) — the Section I
+    accounting ("48% of all posts were given to URLs that had already
+    passed their stable points").  For strategy-attributed waste (only
+    the posts *a strategy delivered* onto over-tagged resources, Fig
+    6(c)) use :func:`wasted_tasks`.
+
+    Args:
+        counts: Posts per resource.
+        stable_points: Stable point per resource; ``-1`` (never
+            stabilises) disables over-tagging/waste for that resource.
+        under_threshold: The unstable point.
+
+    Raises:
+        DataModelError: On length mismatch.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    stable_points = np.asarray(stable_points, dtype=np.int64)
+    if counts.shape != stable_points.shape:
+        raise DataModelError("counts and stable_points must have equal length")
+    has_sp = stable_points >= 0
+    over = (counts > stable_points) & has_sp
+    wasted = np.where(has_sp, np.maximum(0, counts - stable_points), 0)
+    under = counts <= under_threshold
+    n = len(counts)
+    return WasteReport(
+        over_tagged=int(over.sum()),
+        under_tagged=int(under.sum()),
+        under_tagged_fraction=float(under.sum()) / n if n else 0.0,
+        wasted_posts=int(wasted.sum()),
+        total_posts=int(counts.sum()),
+    )
+
+
+def wasted_tasks(
+    initial_counts: np.ndarray,
+    final_counts: np.ndarray,
+    stable_points: np.ndarray,
+) -> int:
+    """Post *tasks* a strategy delivered onto already-over-tagged resources.
+
+    A task on resource ``i`` is wasted if, at delivery, the resource's
+    count was already ``>= sp_i`` — i.e. the post could not practically
+    improve the rfd.  Because counts only grow, the wasted tasks on
+    ``i`` are ``max(0, final_i - max(initial_i, sp_i))``.
+
+    Args:
+        initial_counts: Counts before the strategy ran.
+        final_counts: Counts after.
+        stable_points: Stable point per resource (``-1`` = never, no
+            waste attributed).
+
+    Returns:
+        Total wasted tasks (Fig 6(c)'s y-axis).
+    """
+    initial_counts = np.asarray(initial_counts, dtype=np.int64)
+    final_counts = np.asarray(final_counts, dtype=np.int64)
+    stable_points = np.asarray(stable_points, dtype=np.int64)
+    if not (initial_counts.shape == final_counts.shape == stable_points.shape):
+        raise DataModelError("count/stable-point arrays must have equal length")
+    if (final_counts < initial_counts).any():
+        raise DataModelError("final counts cannot be below initial counts")
+    has_sp = stable_points >= 0
+    start = np.maximum(initial_counts, stable_points)
+    wasted = np.where(has_sp, np.maximum(0, final_counts - start), 0)
+    return int(wasted.sum())
+
+
+def salvage_requirement(
+    counts: np.ndarray,
+    *,
+    under_threshold: int = UNDER_TAGGED_THRESHOLD,
+) -> int:
+    """Posts needed to lift every under-tagged resource past the threshold.
+
+    The Section I claim — "if only 1% of the wasted posts had been
+    channeled to the under-tagged URLs, they would have passed their
+    unstable points" — compares this number against 1% of
+    :attr:`WasteReport.wasted_posts`.
+
+    Args:
+        counts: Posts per resource.
+        under_threshold: The unstable point.
+
+    Returns:
+        ``Σ max(0, threshold + 1 - counts_i)`` over under-tagged resources.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    deficits = np.maximum(0, under_threshold + 1 - counts)
+    return int(deficits.sum())

@@ -1,0 +1,314 @@
+"""Command-line interface: ``repro-tagging <command>``.
+
+Commands:
+
+* ``generate`` — synthesise a corpus and write it to JSONL;
+* ``analyze``  — corpus health: stable points, over/under-tagging, waste;
+* ``allocate`` — run one strategy on a corpus and report quality;
+* ``experiment`` — regenerate a figure/table of the paper;
+* ``case-study`` — print the Tables VI/VII top-10 comparisons.
+
+The CLI is a thin shell over the library; every command maps onto one or
+two public calls, so the printed output is reproducible from Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.allocation import STRATEGY_REGISTRY, IncentiveRunner
+from repro.core.dataset import TaggingDataset
+from repro.experiments import (
+    DEFAULT_SCALE,
+    ExperimentHarness,
+    ExperimentScale,
+    budget_to_stability,
+    figure_1a,
+    figure_1b,
+    figure_3,
+    figure_5,
+    figure_6abcd,
+    figure_6e,
+    figure_6f,
+    figure_7a,
+    figure_7b,
+    intro_statistics,
+    render_figure_6a,
+    render_figure_6b,
+    render_figure_6c,
+    render_figure_6d,
+    run_case_study,
+    running_example,
+    runtime_vs_budget,
+    runtime_vs_resources,
+)
+from repro.experiments.evaluation import GroundTruth, TraceEvaluator
+from repro.simulate import case_study_scenario, paper_scenario, universe_scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tagging",
+        description="Reproduction of 'On Incentive-based Tagging' (ICDE 2013)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic corpus")
+    generate.add_argument("output", type=Path, help="output JSONL path")
+    generate.add_argument("--resources", type=int, default=200)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--universe", action="store_true", help="heavy-tailed universe instead of a filtered corpus"
+    )
+
+    analyze = sub.add_parser("analyze", help="corpus health statistics")
+    analyze.add_argument("dataset", type=Path, nargs="?", help="JSONL corpus (default: generated)")
+    analyze.add_argument("--resources", type=int, default=150)
+    analyze.add_argument("--seed", type=int, default=7)
+
+    allocate = sub.add_parser("allocate", help="run an allocation strategy")
+    allocate.add_argument("strategy", choices=sorted(STRATEGY_REGISTRY))
+    allocate.add_argument("--budget", type=int, default=500)
+    allocate.add_argument("--resources", type=int, default=150)
+    allocate.add_argument("--seed", type=int, default=7)
+    allocate.add_argument("--omega", type=int, default=5)
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    experiment.add_argument(
+        "figure",
+        choices=[
+            "fig1a", "fig1b", "fig3", "fig5", "fig6a", "fig6b", "fig6c", "fig6d",
+            "fig6e", "fig6f", "fig6g", "fig6h", "fig7a", "fig7b",
+            "table2", "intro", "stability-budget",
+        ],
+    )
+    experiment.add_argument("--resources", type=int, default=None)
+    experiment.add_argument("--seed", type=int, default=None)
+
+    case = sub.add_parser("case-study", help="Tables VI/VII top-10 comparisons")
+    case.add_argument("--budget", type=int, default=2500)
+    case.add_argument("--seed", type=int, default=1)
+
+    campaign = sub.add_parser(
+        "campaign", help="run the incentive-tagging service prototype"
+    )
+    campaign.add_argument("strategy", choices=sorted(STRATEGY_REGISTRY), nargs="?", default="FP")
+    campaign.add_argument("--budget", type=int, default=600)
+    campaign.add_argument("--resources", type=int, default=40)
+    campaign.add_argument("--workers", type=int, default=10)
+    campaign.add_argument("--seed", type=int, default=7)
+    campaign.add_argument(
+        "--no-adaptive-stop", action="store_true", help="disable online stopping"
+    )
+
+    health = sub.add_parser("health", help="full corpus health report")
+    health.add_argument("dataset", type=Path, nargs="?", help="JSONL corpus (default: generated)")
+    health.add_argument("--resources", type=int, default=100)
+    health.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _scale_for(args: argparse.Namespace) -> ExperimentScale:
+    from dataclasses import replace
+
+    scale = DEFAULT_SCALE
+    overrides = {}
+    if args.resources is not None:
+        # Budgets are meaningful relative to corpus size: shrink or grow
+        # every grid proportionally with the resource count.
+        factor = args.resources / scale.n_resources
+        overrides["n_resources"] = args.resources
+        overrides["budgets"] = tuple(
+            sorted({int(round(b * factor)) for b in scale.budgets})
+        )
+        overrides["dp_budgets"] = tuple(
+            sorted({int(round(b * factor)) for b in scale.dp_budgets})
+        )
+        overrides["omega_sweep_budget"] = max(1, int(scale.omega_sweep_budget * factor))
+        overrides["resource_counts"] = tuple(
+            sorted({max(2, int(round(n * factor))) for n in scale.resource_counts})
+        )
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        scale = replace(scale, **overrides)
+    return scale
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    if args.universe:
+        corpus = universe_scenario(seed=args.seed, n=args.resources)
+    else:
+        corpus = paper_scenario(n=args.resources, seed=args.seed)
+    corpus.dataset.to_jsonl(args.output)
+    print(
+        f"wrote {len(corpus.dataset)} resources / {corpus.dataset.total_posts} posts "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    if args.dataset is not None:
+        dataset = TaggingDataset.from_jsonl(args.dataset)
+        from repro.analysis import dataset_stable_points, summarize
+
+        summary = dataset_stable_points(dataset)
+        print(f"corpus: {dataset.name} ({len(dataset)} resources, {dataset.total_posts} posts)")
+        defined = summary.stable_points[summary.stable_points >= 0]
+        if len(defined):
+            print(f"stable points: {summarize(defined).render()}")
+        print(f"resources without a stable point: {len(dataset) - summary.num_stable}")
+        return 0
+    stats = intro_statistics(n=args.resources, seed=args.seed)
+    print(stats.render())
+    return 0
+
+
+def _command_allocate(args: argparse.Namespace) -> int:
+    corpus = paper_scenario(n=args.resources, seed=args.seed)
+    split = corpus.dataset.split(corpus.cutoff)
+    truth = GroundTruth.build(corpus.dataset)
+    evaluator = TraceEvaluator(split, truth)
+    runner = IncentiveRunner.replay(split)
+    strategy_class = STRATEGY_REGISTRY[args.strategy]
+    try:
+        strategy = strategy_class(omega=args.omega)  # type: ignore[call-arg]
+    except TypeError:
+        strategy = strategy_class()
+    before = evaluator.quality_of_counts(split.initial_counts)
+    trace = runner.run(strategy, args.budget)
+    after = evaluator.quality_of_x(trace.x)
+    print(
+        f"{strategy.name}: delivered {trace.tasks_delivered}/{args.budget} tasks, "
+        f"quality {before:.4f} -> {after:.4f} (+{after - before:.4f})"
+    )
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    figure = args.figure
+    if figure == "table2":
+        print(running_example().render())
+        return 0
+    if figure == "fig1a":
+        print(figure_1a().render())
+        return 0
+    if figure == "fig1b":
+        print(figure_1b(n=args.resources or 5000, seed=args.seed or 0).render())
+        return 0
+    if figure == "fig3":
+        print(figure_3(seed=args.seed or 0).render())
+        return 0
+    if figure == "fig5":
+        print(figure_5(seed=args.seed or 0).render())
+        return 0
+    if figure == "intro":
+        print(intro_statistics(n=args.resources or 250, seed=args.seed or 7).render())
+        return 0
+
+    scale = _scale_for(args)
+    harness = ExperimentHarness.from_scale(scale)
+    if figure in ("fig6a", "fig6b", "fig6c", "fig6d"):
+        comparison = figure_6abcd(harness=harness)
+        renderer = {
+            "fig6a": render_figure_6a,
+            "fig6b": render_figure_6b,
+            "fig6c": render_figure_6c,
+            "fig6d": render_figure_6d,
+        }[figure]
+        print(renderer(comparison))
+    elif figure == "fig6e":
+        print(figure_6e(harness=harness).render())
+    elif figure == "fig6f":
+        print(figure_6f(harness=harness).render())
+    elif figure == "fig6g":
+        print(runtime_vs_budget(harness=harness).render())
+    elif figure == "fig6h":
+        print(runtime_vs_resources(harness=harness).render())
+    elif figure == "fig7a":
+        print(figure_7a(harness=harness).render())
+    elif figure == "fig7b":
+        print(figure_7b(figure_7a(harness=harness)).render())
+    elif figure == "stability-budget":
+        print(budget_to_stability(harness).render())
+    return 0
+
+
+def _command_case_study(args: argparse.Namespace) -> int:
+    scenario = case_study_scenario(seed=args.seed)
+    result = run_case_study(scenario, budget=args.budget)
+    print(result.render())
+    return 0
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    from repro.service import IncentiveCampaign, WorkerPool
+
+    corpus = paper_scenario(n=args.resources, seed=args.seed)
+    split = corpus.dataset.split(corpus.cutoff)
+    rng = np.random.default_rng(args.seed)
+    pool = WorkerPool.uniform(args.workers, corpus.hierarchy, rng)
+    strategy_class = STRATEGY_REGISTRY[args.strategy]
+    try:
+        strategy = strategy_class()
+    except TypeError:  # pragma: no cover - registry entries are no-arg
+        strategy = strategy_class
+    campaign = IncentiveCampaign(
+        corpus.models,
+        [split.initial_posts(i) for i in range(split.n)],
+        strategy,
+        pool,
+        budget=args.budget,
+        rng=rng,
+        stop_tau=None if args.no_adaptive_stop else 0.995,
+    )
+    result = campaign.run()
+    print(result.render())
+    return 0
+
+
+def _command_health(args: argparse.Namespace) -> int:
+    from repro.analysis import corpus_health
+
+    if args.dataset is not None:
+        dataset = TaggingDataset.from_jsonl(args.dataset)
+    else:
+        dataset = paper_scenario(n=args.resources, seed=args.seed).dataset
+    print(corpus_health(dataset).render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point.
+
+    Args:
+        argv: Argument vector (defaults to ``sys.argv[1:]``).
+
+    Returns:
+        Process exit code.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "analyze": _command_analyze,
+        "allocate": _command_allocate,
+        "experiment": _command_experiment,
+        "case-study": _command_case_study,
+        "campaign": _command_campaign,
+        "health": _command_health,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

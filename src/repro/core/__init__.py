@@ -1,0 +1,81 @@
+"""Core data model and metrics of the paper (Section III).
+
+Everything downstream — the allocation strategies, the synthetic corpus
+generator, and the experiment harnesses — is built from the primitives in
+this package:
+
+* :mod:`repro.core.posts` — posts and post sequences (Definitions 1–2),
+* :mod:`repro.core.frequency` — tag frequencies and rfds (Definitions 3–5),
+* :mod:`repro.core.similarity` — cosine (Eq. 16) and ablation metrics,
+* :mod:`repro.core.stability` — MA scores and practically-stable rfds
+  (Definitions 7–8),
+* :mod:`repro.core.quality` — tagging quality (Definitions 9–10),
+* :mod:`repro.core.resources` / :mod:`repro.core.dataset` — resource sets,
+  corpora, splits and persistence.
+"""
+
+from repro.core.dataset import DatasetSplit, TaggingDataset
+from repro.core.errors import (
+    AllocationError,
+    BudgetError,
+    DataModelError,
+    ExhaustedError,
+    NotStableError,
+    ReproError,
+    StabilityError,
+)
+from repro.core.frequency import TagFrequencyTable
+from repro.core.posts import Post, PostSequence
+from repro.core.quality import QualityProfile, set_quality, tagging_quality
+from repro.core.resources import Resource, ResourceSet
+from repro.core.similarity import SIMILARITY_METRICS, cosine, dice, jaccard, jensen_shannon
+from repro.core.stability import (
+    DEFAULT_OMEGA,
+    DEFAULT_TAU,
+    PREPARATION_OMEGA,
+    PREPARATION_TAU,
+    StabilityTracker,
+    adjacent_similarity_series,
+    find_stable_point,
+    ma_score_direct,
+    ma_series,
+    practically_stable_rfd,
+)
+from repro.core.tags import TagVocabulary, normalize_tag
+
+__all__ = [
+    "AllocationError",
+    "BudgetError",
+    "DataModelError",
+    "DatasetSplit",
+    "DEFAULT_OMEGA",
+    "DEFAULT_TAU",
+    "ExhaustedError",
+    "NotStableError",
+    "Post",
+    "PostSequence",
+    "PREPARATION_OMEGA",
+    "PREPARATION_TAU",
+    "QualityProfile",
+    "ReproError",
+    "Resource",
+    "ResourceSet",
+    "SIMILARITY_METRICS",
+    "StabilityError",
+    "StabilityTracker",
+    "TagFrequencyTable",
+    "TagVocabulary",
+    "TaggingDataset",
+    "adjacent_similarity_series",
+    "cosine",
+    "dice",
+    "find_stable_point",
+    "jaccard",
+    "jensen_shannon",
+    "ma_score_direct",
+    "ma_series",
+    "normalize_tag",
+    "practically_stable_rfd",
+    "set_quality",
+    "tagging_quality",
+]

@@ -1,0 +1,242 @@
+"""Tagging datasets: a resource set plus corpus-level operations.
+
+:class:`TaggingDataset` is the top-level container the experiments run
+on.  It owns a :class:`~repro.core.resources.ResourceSet` and provides
+
+* the **time-cutoff split** of Section V-A (posts up to the cutoff are
+  the initial state ``c``; later posts replay as completed post tasks),
+* corpus statistics (posts-per-resource distribution — Fig 1(b)),
+* JSONL persistence so generated corpora can be cached and shared, and
+* subset/sample operations for the Fig 6(e) dataset-size sweep.
+
+:class:`DatasetSplit` is the immutable result of a split and the input
+every allocation run consumes: initial counts, future posts per resource,
+and the *global future order* (all future posts merged by timestamp) that
+drives the Free Choice baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.errors import DataModelError
+from repro.core.posts import Post, PostSequence
+from repro.core.resources import Resource, ResourceSet
+
+__all__ = ["TaggingDataset", "DatasetSplit"]
+
+
+@dataclass(frozen=True)
+class DatasetSplit:
+    """A dataset frozen at a cutoff time (the experiment's information wall).
+
+    Attributes:
+        resources: The underlying resource set (shared, not copied).
+        initial_counts: ``c`` — posts per resource at the cutoff
+            (``int64`` array, positional).
+        future: Per-resource lists of posts after the cutoff, in time
+            order; a strategy's ``j``-th task on resource ``i`` reveals
+            ``future[i][j]``.
+        free_choice_order: Indices of resources in the order their future
+            posts actually arrived (all future posts merged by
+            timestamp).  This is what "taggers freely choose" looks like
+            in replay: the FC baseline consumes this stream.
+    """
+
+    resources: ResourceSet
+    initial_counts: np.ndarray
+    future: tuple[tuple[Post, ...], ...]
+    free_choice_order: tuple[int, ...]
+
+    @property
+    def n(self) -> int:
+        """Number of resources."""
+        return len(self.resources)
+
+    @property
+    def total_future_posts(self) -> int:
+        """Upper bound on any spendable budget under replay."""
+        return sum(len(posts) for posts in self.future)
+
+    def initial_posts(self, index: int) -> Sequence[Post]:
+        """The initial (pre-cutoff) posts of resource ``index``."""
+        count = int(self.initial_counts[index])
+        return self.resources[index].sequence.prefix(count)
+
+    def subset(self, indices: Sequence[int]) -> DatasetSplit:
+        """Restrict the split to ``indices`` (Fig 6(e) subsets).
+
+        The free-choice order is filtered to the kept resources and
+        re-indexed to the new positions.
+        """
+        index_map = {old: new for new, old in enumerate(indices)}
+        return DatasetSplit(
+            resources=self.resources.subset(indices),
+            initial_counts=self.initial_counts[list(indices)].copy(),
+            future=tuple(self.future[i] for i in indices),
+            free_choice_order=tuple(
+                index_map[i] for i in self.free_choice_order if i in index_map
+            ),
+        )
+
+
+class TaggingDataset:
+    """A named corpus of tagged resources.
+
+    Args:
+        resources: The corpus members.
+        name: Human-readable label used in reports.
+    """
+
+    def __init__(self, resources: ResourceSet, name: str = "dataset") -> None:
+        self.resources = resources
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # basic stats
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.resources)
+
+    @property
+    def total_posts(self) -> int:
+        """Total posts across all resources."""
+        return sum(len(r.sequence) for r in self.resources)
+
+    def posts_per_resource(self) -> np.ndarray:
+        """Post counts per resource (positional ``int64`` array)."""
+        return np.array([len(r.sequence) for r in self.resources], dtype=np.int64)
+
+    def posts_distribution(self) -> dict[int, int]:
+        """Histogram: post count -> number of resources (Fig 1(b) data)."""
+        histogram: dict[int, int] = {}
+        for resource in self.resources:
+            count = len(resource.sequence)
+            histogram[count] = histogram.get(count, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def distinct_tags(self) -> set[str]:
+        """The corpus tag universe ``T`` (as observed)."""
+        tags: set[str] = set()
+        for resource in self.resources:
+            tags.update(resource.sequence.distinct_tags())
+        return tags
+
+    # ------------------------------------------------------------------
+    # the experimental split
+    # ------------------------------------------------------------------
+
+    def split(self, cutoff: float) -> DatasetSplit:
+        """Freeze the corpus at ``cutoff`` (Section V-A's setup).
+
+        Posts with ``timestamp <= cutoff`` become the initial state;
+        later posts become the replayable future, and their global
+        timestamp order becomes the free-choice stream.
+        """
+        initial_counts = np.zeros(len(self.resources), dtype=np.int64)
+        future: list[tuple[Post, ...]] = []
+        arrival: list[tuple[float, int, int]] = []  # (timestamp, tiebreak, resource index)
+        for index, resource in enumerate(self.resources):
+            count = resource.sequence.count_before(cutoff)
+            initial_counts[index] = count
+            later = tuple(resource.sequence.suffix(count))
+            future.append(later)
+            for offset, post in enumerate(later):
+                arrival.append((post.timestamp, offset, index))
+        arrival.sort()
+        return DatasetSplit(
+            resources=self.resources,
+            initial_counts=initial_counts,
+            future=tuple(future),
+            free_choice_order=tuple(index for _, _, index in arrival),
+        )
+
+    # ------------------------------------------------------------------
+    # derived datasets
+    # ------------------------------------------------------------------
+
+    def subset(self, indices: Sequence[int], name: str | None = None) -> TaggingDataset:
+        """A dataset over the resources at ``indices``."""
+        return TaggingDataset(
+            self.resources.subset(indices),
+            name=name or f"{self.name}[{len(indices)}]",
+        )
+
+    def sample(self, n: int, rng: np.random.Generator) -> TaggingDataset:
+        """A uniform random sample of ``n`` resources (Fig 6(e) sweeps).
+
+        Raises:
+            DataModelError: If ``n`` exceeds the corpus size.
+        """
+        if n > len(self.resources):
+            raise DataModelError(f"cannot sample {n} from {len(self.resources)} resources")
+        indices = rng.choice(len(self.resources), size=n, replace=False)
+        return self.subset(sorted(int(i) for i in indices), name=f"{self.name}-sample{n}")
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def to_jsonl(self, path: str | Path) -> None:
+        """Write one JSON object per resource.
+
+        The format is stable and self-contained::
+
+            {"id": ..., "title": ..., "category": [...],
+             "posts": [{"t": timestamp, "tags": [...]}, ...]}
+        """
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for resource in self.resources:
+                record = {
+                    "id": resource.resource_id,
+                    "title": resource.title,
+                    "category": list(resource.category) if resource.category else None,
+                    "posts": [
+                        {"t": post.timestamp, "tags": sorted(post.tags)}
+                        for post in resource.sequence
+                    ],
+                }
+                handle.write(json.dumps(record) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path, name: str | None = None) -> TaggingDataset:
+        """Load a dataset previously written by :meth:`to_jsonl`.
+
+        Raises:
+            DataModelError: On malformed records.
+        """
+        path = Path(path)
+        resources = ResourceSet()
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    sequence = PostSequence(
+                        Post(frozenset(entry["tags"]), timestamp=float(entry["t"]))
+                        for entry in record["posts"]
+                    )
+                    category = record.get("category")
+                    resources.add(
+                        Resource(
+                            resource_id=record["id"],
+                            sequence=sequence,
+                            title=record.get("title"),
+                            category=tuple(category) if category else None,
+                        )
+                    )
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise DataModelError(f"{path}:{line_number}: malformed record: {exc}") from exc
+        return cls(resources, name=name or path.stem)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaggingDataset({self.name!r}, n={len(self.resources)}, posts={self.total_posts})"

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by this package derive from :class:`ReproError`, so
+callers can catch a single base class.  Sub-classes distinguish the three
+broad failure modes of the paper's machinery:
+
+* malformed inputs (:class:`DataModelError`),
+* stability computations that cannot succeed on the given post sequence
+  (:class:`StabilityError` and its child :class:`NotStableError`),
+* ill-posed allocation problems (:class:`AllocationError`,
+  :class:`BudgetError`, :class:`ExhaustedError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DataModelError",
+    "StabilityError",
+    "NotStableError",
+    "AllocationError",
+    "BudgetError",
+    "ExhaustedError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class DataModelError(ReproError):
+    """A post, resource, or dataset violates the data model of Section III-A.
+
+    Examples: an empty post (Definition 1 requires a *nonempty* set of
+    tags), posts whose timestamps are not monotonically non-decreasing
+    within a sequence, or duplicate resource identifiers in a dataset.
+    """
+
+
+class StabilityError(ReproError):
+    """A stability computation received invalid parameters.
+
+    Raised for window sizes ``omega < 2`` (Definition 7 requires
+    ``omega >= 2``) or thresholds outside the cosine range ``[0, 1]``.
+    """
+
+
+class NotStableError(StabilityError):
+    """A post sequence never reaches a practically-stable rfd.
+
+    Definition 8 requires the smallest ``k`` with ``m_i(k, omega) > tau``;
+    if no prefix of the available posts satisfies the condition, the
+    practically-stable rfd is undefined and this error is raised.
+
+    Attributes:
+        resource_id: Identifier of the offending resource, if known.
+        best_score: The highest MA score observed, useful for diagnosing
+            how far from stability the sequence is (``None`` when the
+            sequence is shorter than the window).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        resource_id: str | None = None,
+        best_score: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.resource_id = resource_id
+        self.best_score = best_score
+
+
+class AllocationError(ReproError):
+    """An incentive allocation problem is ill-posed or a strategy misused."""
+
+
+class BudgetError(AllocationError):
+    """The requested budget is negative or cannot be honoured.
+
+    The replay oracle has finitely many future posts; asking the runner
+    (or DP) for more post tasks than the oracle can ever serve raises
+    this error rather than silently under-delivering.
+    """
+
+
+class ExhaustedError(AllocationError):
+    """Every resource ran out of future posts before the budget was spent."""

@@ -1,0 +1,207 @@
+"""Tag frequencies and relative tag frequency distributions (Definitions 3–5).
+
+For a resource that has received ``k`` posts, the paper defines
+
+* ``h_i(t, k)`` — the number of the first ``k`` posts containing tag ``t``
+  (Definition 3),
+* ``f_i(t, k) = h_i(t, k) / Σ_t' h_i(t', k)`` — the relative tag frequency
+  (Definition 4), and
+* the rfd ``F_i(k)`` — the vector of all relative frequencies
+  (Definition 5).
+
+:class:`TagFrequencyTable` maintains these quantities *incrementally*.  The
+critical observation (used throughout the library, and the reason the MU
+strategy is practical — Appendix C) is that **cosine similarity is
+scale-invariant**: the rfd is the raw count vector divided by the total tag
+count, so
+
+    ``s(F_i(k-1), F_i(k)) = cos(h_i(·, k-1), h_i(·, k))``
+
+and the adjacent similarity of Definition 7 can be maintained in
+``O(|post|)`` time from three running aggregates: the per-tag counts, the
+squared norm ``Σ_t h(t)²``, and the total ``Σ_t h(t)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+from repro.core.posts import Post, PostSequence
+
+__all__ = ["TagFrequencyTable"]
+
+
+class TagFrequencyTable:
+    """Incremental tag-count statistics for one resource's post sequence.
+
+    The table starts empty (``k = 0``, where the paper defines the rfd to
+    be the zero vector) and grows one post at a time via :meth:`add_post`,
+    which also returns the adjacent similarity
+    ``s(F(k-1), F(k))`` introduced by that post.
+
+    Example:
+        >>> table = TagFrequencyTable()
+        >>> table.add_post({"google", "earth"})
+        0.0
+        >>> round(table.relative_frequency("google"), 3)
+        0.5
+    """
+
+    __slots__ = ("_counts", "_total", "_sumsq", "_num_posts")
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+        self._total = 0  # Σ_t h(t, k): total tag assignments, duplicates counted across posts
+        self._sumsq = 0  # Σ_t h(t, k)²: squared L2 norm of the count vector
+        self._num_posts = 0
+
+    @classmethod
+    def from_posts(cls, posts: Iterable[Post] | PostSequence) -> TagFrequencyTable:
+        """Build a table from existing posts (e.g. a sequence prefix)."""
+        table = cls()
+        for post in posts:
+            table.add_post(post.tags)
+        return table
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add_post(self, tags: Iterable[str]) -> float:
+        """Record one post and return the adjacent similarity it induced.
+
+        The returned value is ``s(F(k-1), F(k))`` where ``k`` is the count
+        *after* this post.  For the first post the previous rfd is the
+        zero vector and Eq. 16's "otherwise" branch applies, so the
+        similarity is 0.
+
+        Args:
+            tags: The post's tags.  Normalisation is the caller's job
+                (posts built via :meth:`Post.of` are already normalised);
+                duplicates in the iterable are collapsed because a post
+                is a set.
+
+        Returns:
+            The adjacent similarity at the new post, in ``[0, 1]``.
+        """
+        unique = set(tags)
+        if not unique:
+            # Mirrors Post's invariant; reached only by callers passing raw tag
+            # iterables instead of Post objects.
+            from repro.core.errors import DataModelError
+
+            raise DataModelError("a post must contain at least one tag (Definition 1)")
+
+        # dot(h_k, h_{k+1}) = Σ_t h_k(t)·(h_k(t) + [t in post]) = sumsq + Σ_{t in post} h_k(t)
+        overlap = sum(self._counts.get(tag, 0) for tag in unique)
+        dot = self._sumsq + overlap
+        new_sumsq = self._sumsq + 2 * overlap + len(unique)
+
+        if self._sumsq == 0:
+            similarity = 0.0
+        else:
+            similarity = dot / math.sqrt(self._sumsq * new_sumsq)
+            # Guard against floating-point drift just above 1.
+            similarity = min(similarity, 1.0)
+
+        for tag in unique:
+            self._counts[tag] = self._counts.get(tag, 0) + 1
+        self._total += len(unique)
+        self._sumsq = new_sumsq
+        self._num_posts += 1
+        return similarity
+
+    # ------------------------------------------------------------------
+    # paper quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def num_posts(self) -> int:
+        """The number of posts recorded — the paper's ``k``."""
+        return self._num_posts
+
+    @property
+    def total_tag_assignments(self) -> int:
+        """``Σ_t h(t, k)`` — the rfd's normalising constant."""
+        return self._total
+
+    @property
+    def norm(self) -> float:
+        """L2 norm of the count vector, ``sqrt(Σ_t h(t)²)``."""
+        return math.sqrt(self._sumsq)
+
+    def frequency(self, tag: str) -> int:
+        """``h_i(t, k)`` — posts among the first ``k`` containing ``tag``."""
+        return self._counts.get(tag, 0)
+
+    def relative_frequency(self, tag: str) -> float:
+        """``f_i(t, k)`` — Definition 4 (0 when no posts yet)."""
+        if self._total == 0:
+            return 0.0
+        return self._counts.get(tag, 0) / self._total
+
+    def rfd(self) -> dict[str, float]:
+        """The rfd ``F_i(k)`` as a sparse vector (Definition 5).
+
+        Tags with zero frequency are omitted; ``k = 0`` yields the empty
+        dict, the sparse encoding of the zero vector.
+        """
+        if self._total == 0:
+            return {}
+        total = self._total
+        return {tag: count / total for tag, count in self._counts.items()}
+
+    def counts(self) -> dict[str, int]:
+        """A copy of the raw count vector ``h_i(·, k)``."""
+        return dict(self._counts)
+
+    def distinct_tags(self) -> int:
+        """Number of distinct tags seen so far."""
+        return len(self._counts)
+
+    # ------------------------------------------------------------------
+    # similarity against external vectors
+    # ------------------------------------------------------------------
+
+    def cosine_to(self, vector: Mapping[str, float]) -> float:
+        """Cosine similarity between the current rfd and ``vector``.
+
+        Because cosine is scale-invariant the computation runs on the raw
+        counts, avoiding an rfd materialisation.  Follows Eq. 16: if
+        either side is the zero vector the similarity is 0.
+
+        Args:
+            vector: A sparse non-negative tag vector (rfd, stable rfd, or
+                raw counts — scaling does not matter).
+
+        Returns:
+            Cosine similarity in ``[0, 1]``.
+        """
+        if self._sumsq == 0:
+            return 0.0
+        dot = 0.0
+        norm_sq = 0.0
+        for tag, weight in vector.items():
+            norm_sq += weight * weight
+            count = self._counts.get(tag)
+            if count:
+                dot += count * weight
+        if norm_sq == 0.0:
+            return 0.0
+        return min(dot / math.sqrt(self._sumsq * norm_sq), 1.0)
+
+    def copy(self) -> TagFrequencyTable:
+        """An independent copy (used by what-if evaluations)."""
+        clone = TagFrequencyTable()
+        clone._counts = dict(self._counts)
+        clone._total = self._total
+        clone._sumsq = self._sumsq
+        clone._num_posts = self._num_posts
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TagFrequencyTable(posts={self._num_posts}, "
+            f"distinct_tags={len(self._counts)}, total={self._total})"
+        )

@@ -1,0 +1,190 @@
+"""Posts and post sequences (Definitions 1 and 2).
+
+A *post* is a nonempty set of tags assigned to a resource by one tagger in
+one tagging operation; each post carries a posting time.  The posts of a
+resource, ordered by time, form its *post sequence*
+``(p_i(1), p_i(2), ...)``.
+
+:class:`Post` is immutable and hashable.  :class:`PostSequence` is an
+ordered container that enforces the data model (nonempty tag sets,
+non-decreasing timestamps) and offers the prefix/suffix views the rest of
+the library is built on: the paper's quantities ``h``, ``f``, ``F``, ``m``
+and ``q`` are all functions of a *prefix* of a post sequence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import overload
+
+from repro.core.errors import DataModelError
+from repro.core.tags import normalize_tag
+
+__all__ = ["Post", "PostSequence"]
+
+
+@dataclass(frozen=True, slots=True)
+class Post:
+    """One tagging operation: a nonempty set of tags plus a posting time.
+
+    Attributes:
+        tags: The tags assigned in this operation.  Stored as a frozenset
+            — Definition 1 models a post as a *set*, so duplicates within
+            one operation are meaningless.
+        timestamp: Posting time.  The unit is up to the producer (the
+            synthetic generator uses fractional days since Jan 1); only
+            the ordering matters to the model.
+        tagger: Optional identifier of the tagger who made the post.  Not
+            used by the paper's metrics but kept for provenance and for
+            the tagger-preference extension.
+    """
+
+    tags: frozenset[str]
+    timestamp: float = 0.0
+    tagger: str | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tags, frozenset):
+            object.__setattr__(self, "tags", frozenset(self.tags))
+        if not self.tags:
+            raise DataModelError("a post must contain at least one tag (Definition 1)")
+
+    @classmethod
+    def of(cls, *tags: str, timestamp: float = 0.0, tagger: str | None = None) -> Post:
+        """Build a post from raw tag strings, normalising each tag.
+
+        ``Post.of("Google", "earth ")`` is the ergonomic constructor used
+        throughout examples and tests; it lowercases and strips tags via
+        :func:`repro.core.tags.normalize_tag`.
+        """
+        return cls(frozenset(normalize_tag(t) for t in tags), timestamp=timestamp, tagger=tagger)
+
+    def __len__(self) -> int:
+        return len(self.tags)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self.tags))
+
+    def __contains__(self, tag: object) -> bool:
+        return tag in self.tags
+
+
+@dataclass(slots=True)
+class PostSequence:
+    """The time-ordered posts of one resource (Definition 2).
+
+    The sequence validates, on construction and on append, that every
+    post is well-formed and that timestamps never decrease — the paper
+    assumes no two posts share an instant, but real exports contain ties,
+    so equal timestamps are allowed and insertion order breaks the tie.
+
+    Indexing is 0-based like any Python sequence; the paper's 1-based
+    ``p_i(k)`` is ``seq[k - 1]``.
+    """
+
+    _posts: list[Post] = field(default_factory=list)
+
+    def __init__(self, posts: Iterable[Post] = ()) -> None:
+        self._posts = []
+        for post in posts:
+            self.append(post)
+
+    def append(self, post: Post) -> None:
+        """Append ``post``, enforcing non-decreasing timestamps.
+
+        Raises:
+            DataModelError: If ``post`` is earlier than the current last
+                post.
+        """
+        if not isinstance(post, Post):
+            raise DataModelError(f"expected Post, got {type(post).__name__}")
+        if self._posts and post.timestamp < self._posts[-1].timestamp:
+            raise DataModelError(
+                "posts must be appended in non-decreasing timestamp order: "
+                f"{post.timestamp} < {self._posts[-1].timestamp}"
+            )
+        self._posts.append(post)
+
+    def __len__(self) -> int:
+        return len(self._posts)
+
+    def __bool__(self) -> bool:
+        return bool(self._posts)
+
+    @overload
+    def __getitem__(self, index: int) -> Post: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> list[Post]: ...
+
+    def __getitem__(self, index: int | slice) -> Post | list[Post]:
+        return self._posts[index]
+
+    def __iter__(self) -> Iterator[Post]:
+        return iter(self._posts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PostSequence):
+            return NotImplemented
+        return self._posts == other._posts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PostSequence(<{len(self._posts)} posts>)"
+
+    def post(self, k: int) -> Post:
+        """Return the paper's ``p_i(k)`` — the k-th post, 1-based.
+
+        Raises:
+            IndexError: If ``k`` is outside ``[1, len(self)]``.
+        """
+        if k < 1 or k > len(self._posts):
+            raise IndexError(f"post index k={k} outside [1, {len(self._posts)}]")
+        return self._posts[k - 1]
+
+    def prefix(self, k: int) -> Sequence[Post]:
+        """Return the first ``k`` posts (the prefix defining ``F_i(k)``).
+
+        ``k`` larger than the sequence is clamped, because callers that
+        sweep ``k`` routinely overshoot by one window.
+        """
+        if k < 0:
+            raise DataModelError(f"prefix length must be non-negative, got {k}")
+        return self._posts[:k]
+
+    def suffix(self, start: int) -> Sequence[Post]:
+        """Return posts after the first ``start`` — the *future* posts.
+
+        Used by the replay oracle: given the initial count ``c_i``, the
+        posts ``suffix(c_i)`` are the ones a strategy's post tasks will
+        reveal, in order.
+        """
+        if start < 0:
+            raise DataModelError(f"suffix start must be non-negative, got {start}")
+        return self._posts[start:]
+
+    def split_at_time(self, cutoff: float) -> tuple[PostSequence, PostSequence]:
+        """Split into (posts with ``timestamp <= cutoff``, the rest).
+
+        This is the paper's experimental setup: January posts (the
+        initial state ``c``) versus later posts (replayed as completed
+        post tasks).
+        """
+        initial = PostSequence(p for p in self._posts if p.timestamp <= cutoff)
+        future = PostSequence(p for p in self._posts if p.timestamp > cutoff)
+        return initial, future
+
+    def count_before(self, cutoff: float) -> int:
+        """Number of posts with ``timestamp <= cutoff``."""
+        return sum(1 for p in self._posts if p.timestamp <= cutoff)
+
+    def distinct_tags(self) -> set[str]:
+        """The set of distinct tags over the whole sequence."""
+        tags: set[str] = set()
+        for post in self._posts:
+            tags.update(post.tags)
+        return tags
+
+    def total_tag_assignments(self) -> int:
+        """Total number of (post, tag) pairs — the paper's ``Σ_t h(t, k)``."""
+        return sum(len(post) for post in self._posts)

@@ -1,0 +1,160 @@
+"""Tagging quality (Definitions 9–10) and precomputed quality profiles.
+
+The tagging quality of a resource after ``k`` posts is the cosine
+similarity between its rfd and its practically-stable rfd:
+
+    ``q_i(k) = s(F_i(k), φ̂_i)``
+
+and the quality of a set of resources is the mean of the members'
+qualities.  Both are cheap one-off computations; the interesting piece is
+:class:`QualityProfile`, which precomputes ``q_i(k)`` for *every* prefix
+length of a known post sequence in one ``O(total tags)`` pass.  Profiles
+power the DP algorithm (which needs the full gain table
+``q_i(c_i + x)`` for ``x = 0..B``) and the experiment evaluator (which
+scores allocation traces at many budget checkpoints).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import DataModelError
+from repro.core.posts import Post, PostSequence
+from repro.core.similarity import cosine
+
+__all__ = ["tagging_quality", "set_quality", "QualityProfile"]
+
+
+def tagging_quality(rfd: Mapping[str, float], stable_rfd: Mapping[str, float]) -> float:
+    """``q_i(k) = s(F_i(k), φ̂_i)`` (Definition 9).
+
+    Args:
+        rfd: The resource's current rfd (or raw counts — cosine is
+            scale-invariant).
+        stable_rfd: The practically-stable rfd ``φ̂_i``.
+
+    Returns:
+        Quality in ``[0, 1]``; 0 when the resource has no posts.
+    """
+    return cosine(rfd, stable_rfd)
+
+
+def set_quality(qualities: Sequence[float]) -> float:
+    """``q(R, k)`` — the mean member quality (Definition 10).
+
+    Raises:
+        DataModelError: For an empty resource set, where the average is
+            undefined.
+    """
+    if len(qualities) == 0:
+        raise DataModelError("set quality undefined for an empty resource set")
+    return float(sum(qualities)) / len(qualities)
+
+
+class QualityProfile:
+    """``q_i(k)`` for every prefix ``k = 0..K`` of a known post sequence.
+
+    The evaluator and the DP algorithm both need quality as a function of
+    the prefix length.  A profile walks the sequence once, maintaining
+
+    * the per-tag counts restricted to tags of ``φ̂`` (for the dot
+      product with the stable rfd),
+    * the squared norm of the *full* count vector (tags outside ``φ̂``
+      still contribute to the denominator),
+
+    so each post costs ``O(|post|)`` and
+
+        ``q(k) = dot(h_k, φ̂) / (‖h_k‖ · ‖φ̂‖)``.
+
+    Attributes:
+        qualities: ``float64`` array of length ``K + 1``; entry ``k`` is
+            ``q_i(k)``.  ``qualities[0] == 0`` (Eq. 16, zero vector).
+        stable_rfd: The reference distribution the profile was built
+            against.
+    """
+
+    __slots__ = ("qualities", "stable_rfd")
+
+    def __init__(
+        self,
+        posts: Sequence[Post] | PostSequence,
+        stable_rfd: Mapping[str, float],
+    ) -> None:
+        if not stable_rfd:
+            raise DataModelError("stable rfd must be a non-empty distribution")
+        self.stable_rfd = dict(stable_rfd)
+
+        ref_norm = math.sqrt(sum(w * w for w in self.stable_rfd.values()))
+        if ref_norm == 0.0:
+            raise DataModelError("stable rfd has zero norm")
+
+        counts: dict[str, int] = {}
+        dot = 0.0  # dot(h_k, stable_rfd)
+        sumsq = 0  # ‖h_k‖²
+        values = np.zeros(len(posts) + 1, dtype=np.float64)
+        for k, post in enumerate(posts, start=1):
+            for tag in post.tags:
+                previous = counts.get(tag, 0)
+                counts[tag] = previous + 1
+                sumsq += 2 * previous + 1
+                weight = self.stable_rfd.get(tag)
+                if weight is not None:
+                    dot += weight
+            values[k] = min(dot / (math.sqrt(sumsq) * ref_norm), 1.0)
+        self.qualities = values
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of posts the profile covers (``K``)."""
+        return len(self.qualities) - 1
+
+    def quality(self, k: int) -> float:
+        """``q_i(k)``.
+
+        Raises:
+            IndexError: If ``k`` is outside ``[0, K]`` — the profile only
+                knows the posts it was built from.
+        """
+        if k < 0 or k >= len(self.qualities):
+            raise IndexError(f"k={k} outside [0, {len(self.qualities) - 1}]")
+        return float(self.qualities[k])
+
+    def gain_array(self, c: int, max_tasks: int) -> np.ndarray:
+        """``[q(c), q(c+1), ..., q(c + x_max)]`` for the DP gain table.
+
+        ``x_max`` is ``min(max_tasks, K - c)``: a replayed resource cannot
+        receive more tasks than it has future posts.  The caller (DP)
+        reads the array length to learn the per-resource cap.
+
+        Args:
+            c: Initial post count ``c_i``.
+            max_tasks: Budget-side cap on ``x_i`` (usually ``B``).
+
+        Returns:
+            A read-only view ``qualities[c : c + x_max + 1]``.
+
+        Raises:
+            DataModelError: If ``c`` exceeds the profile length (the
+                initial state would already be out of replay range).
+        """
+        if c < 0 or c > len(self):
+            raise DataModelError(f"initial count c={c} outside profile range [0, {len(self)}]")
+        x_max = min(max_tasks, len(self) - c)
+        view = self.qualities[c : c + x_max + 1]
+        view.flags.writeable = False
+        return view
+
+    def verify_against(self, posts: Sequence[Post] | PostSequence, k: int) -> float:
+        """Recompute ``q_i(k)`` from scratch (test oracle).
+
+        Builds ``F_i(k)`` directly and applies Definition 9, bypassing
+        the incremental machinery.
+        """
+        from repro.core.frequency import TagFrequencyTable
+
+        table = TagFrequencyTable.from_posts(posts[:k])
+        return cosine(table.rfd(), self.stable_rfd)

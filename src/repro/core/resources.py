@@ -1,0 +1,143 @@
+"""Resources and resource sets (the paper's ``R = {r_1, ..., r_n}``).
+
+A :class:`Resource` couples an identifier with its post sequence and
+optional descriptive metadata (a human-readable title and a category path
+into the topic hierarchy, used by the Fig 7 / Table VI ground truth).
+:class:`ResourceSet` is an ordered collection with O(1) id lookup — order
+matters because every allocation vector ``x`` and count vector ``c`` in
+the library is positional.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.errors import DataModelError
+from repro.core.posts import PostSequence
+
+__all__ = ["Resource", "ResourceSet"]
+
+
+@dataclass(slots=True)
+class Resource:
+    """One taggable resource (a URL, photo, song, ...).
+
+    Attributes:
+        resource_id: Unique identifier within a :class:`ResourceSet`.
+        sequence: The resource's post sequence.
+        title: Optional display name (the case-study tables print these).
+        category: Optional category path in a topic hierarchy, root
+            first, e.g. ``("science", "physics", "classical")``.  This is
+            ground-truth metadata for evaluation only — no strategy ever
+            reads it.
+    """
+
+    resource_id: str
+    sequence: PostSequence = field(default_factory=PostSequence)
+    title: str | None = None
+    category: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.resource_id:
+            raise DataModelError("resource_id must be a non-empty string")
+        if self.category is not None and not isinstance(self.category, tuple):
+            self.category = tuple(self.category)
+
+    @property
+    def num_posts(self) -> int:
+        """Length of the post sequence."""
+        return len(self.sequence)
+
+    @property
+    def display_name(self) -> str:
+        """Title if set, else the id."""
+        return self.title if self.title is not None else self.resource_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Resource({self.resource_id!r}, posts={len(self.sequence)})"
+
+
+class ResourceSet:
+    """An ordered set of resources with positional and id-based access.
+
+    The positional index of a resource here is the index used in every
+    ``c`` / ``x`` vector across the allocation machinery, so the order is
+    part of the contract: iteration, indexing, and vectors all agree.
+
+    Args:
+        resources: Initial resources, kept in the given order.
+
+    Raises:
+        DataModelError: On duplicate resource ids.
+    """
+
+    def __init__(self, resources: Iterable[Resource] = ()) -> None:
+        self._resources: list[Resource] = []
+        self._index: dict[str, int] = {}
+        for resource in resources:
+            self.add(resource)
+
+    def add(self, resource: Resource) -> int:
+        """Append a resource; return its positional index.
+
+        Raises:
+            DataModelError: If the id is already present.
+        """
+        if resource.resource_id in self._index:
+            raise DataModelError(f"duplicate resource id: {resource.resource_id!r}")
+        self._index[resource.resource_id] = len(self._resources)
+        self._resources.append(resource)
+        return self._index[resource.resource_id]
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._resources)
+
+    def __iter__(self) -> Iterator[Resource]:
+        return iter(self._resources)
+
+    def __getitem__(self, index: int) -> Resource:
+        return self._resources[index]
+
+    def __contains__(self, resource_id: object) -> bool:
+        return resource_id in self._index
+
+    def by_id(self, resource_id: str) -> Resource:
+        """Look a resource up by id.
+
+        Raises:
+            KeyError: If absent.
+        """
+        return self._resources[self._index[resource_id]]
+
+    def index_of(self, resource_id: str) -> int:
+        """Positional index of ``resource_id``.
+
+        Raises:
+            KeyError: If absent.
+        """
+        return self._index[resource_id]
+
+    @property
+    def ids(self) -> tuple[str, ...]:
+        """All resource ids in positional order."""
+        return tuple(r.resource_id for r in self._resources)
+
+    # ------------------------------------------------------------------
+    # derived collections
+    # ------------------------------------------------------------------
+
+    def subset(self, indices: Sequence[int]) -> ResourceSet:
+        """A new set holding the resources at ``indices``, in that order.
+
+        Resources are shared, not copied — subsets are views for
+        experiments like Fig 6(e)'s "effect of number of resources".
+        """
+        return ResourceSet(self._resources[i] for i in indices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResourceSet(n={len(self._resources)})"

@@ -1,0 +1,290 @@
+"""Tagging stability: MA scores and practically-stable rfds (Definitions 7–8).
+
+Given a window ``omega >= 2``, the MA score of a resource after ``k >= omega``
+posts is the mean of the last ``omega - 1`` *adjacent similarities*
+
+    ``m_i(k, omega) = (1 / (omega-1)) Σ_{j=k-omega+2}^{k} s(F_i(j-1), F_i(j))``
+
+and the practically-stable rfd ``φ̂_i(omega, tau)`` is the rfd at the
+smallest ``k`` whose MA score exceeds ``tau`` (that ``k`` is the resource's
+*stable point*).
+
+Two implementations are provided:
+
+* :class:`StabilityTracker` — the production path.  It uses the Appendix C
+  recurrence: keep the last ``omega - 1`` adjacent similarities in a queue
+  and a running sum, so each post costs ``O(|post|)`` (for the incremental
+  adjacent similarity, see :mod:`repro.core.frequency`) plus ``O(1)`` for
+  the MA update.
+* :func:`ma_score_direct` — a deliberately naive recomputation from rfd
+  snapshots, kept as the correctness oracle for tests and for the
+  incremental-vs-direct ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Sequence
+
+from repro.core.errors import NotStableError, StabilityError
+from repro.core.frequency import TagFrequencyTable
+from repro.core.posts import Post, PostSequence
+from repro.core.similarity import cosine
+
+__all__ = [
+    "StabilityTracker",
+    "adjacent_similarity_series",
+    "ma_series",
+    "ma_score_direct",
+    "find_stable_point",
+    "practically_stable_rfd",
+]
+
+DEFAULT_OMEGA = 5
+"""Default MA window — the paper's default for MU / FP-MU (Section V-A)."""
+
+DEFAULT_TAU = 0.99
+"""Default stability threshold used in Figure 3's illustration."""
+
+PREPARATION_OMEGA = 20
+PREPARATION_TAU = 0.9999
+"""The stringent (ω_s, τ_s) the paper uses to *prepare* its dataset:
+resources qualify for the evaluation only if their full post sequence
+reaches an MA score above τ_s with window ω_s (Section V-A)."""
+
+
+def _validate_omega(omega: int) -> None:
+    if omega < 2:
+        raise StabilityError(f"omega must be >= 2 (Definition 7), got {omega}")
+
+
+def _validate_tau(tau: float) -> None:
+    if not 0.0 <= tau <= 1.0:
+        raise StabilityError(f"tau must lie in [0, 1] (cosine range), got {tau}")
+
+
+class StabilityTracker:
+    """Streaming MA-score tracker for one resource (Appendix C).
+
+    Feed posts one at a time with :meth:`add_post`; query
+    :attr:`ma_score` at any point.  The score is ``None`` until the
+    resource has received at least ``omega`` posts (Definition 7 leaves
+    it undefined there).
+
+    The tracker also records the first post index at which the MA score
+    exceeded a threshold ``tau`` (if one was given), so streaming
+    consumers learn the stable point the moment it happens.
+
+    Args:
+        omega: MA window, ``>= 2``.
+        tau: Optional stability threshold in ``[0, 1]``.  When set, the
+            tracker watches for Definition 8's condition
+            ``m(k, omega) > tau`` and snapshots the stable rfd.
+    """
+
+    __slots__ = ("omega", "tau", "_table", "_window", "_window_sum", "_stable_point", "_stable_rfd")
+
+    def __init__(self, omega: int = DEFAULT_OMEGA, tau: float | None = None) -> None:
+        _validate_omega(omega)
+        if tau is not None:
+            _validate_tau(tau)
+        self.omega = omega
+        self.tau = tau
+        self._table = TagFrequencyTable()
+        # Last (omega - 1) adjacent similarities; the j = 1 similarity is
+        # never part of any window (the earliest window, k = omega, spans
+        # j = 2 .. omega), so it is simply not enqueued.
+        self._window: deque[float] = deque()
+        self._window_sum = 0.0
+        self._stable_point: int | None = None
+        self._stable_rfd: dict[str, float] | None = None
+
+    # ------------------------------------------------------------------
+
+    def add_post(self, tags: Iterable[str]) -> float:
+        """Ingest one post; return the adjacent similarity it induced."""
+        similarity = self._table.add_post(tags)
+        k = self._table.num_posts
+        if k >= 2:
+            self._window.append(similarity)
+            self._window_sum += similarity
+            if len(self._window) > self.omega - 1:
+                self._window_sum -= self._window.popleft()
+        if (
+            self.tau is not None
+            and self._stable_point is None
+            and k >= self.omega
+            and self.ma_score is not None
+            and self.ma_score > self.tau
+        ):
+            self._stable_point = k
+            self._stable_rfd = self._table.rfd()
+        return similarity
+
+    def add_posts(self, posts: Iterable[Post]) -> None:
+        """Ingest a batch of posts."""
+        for post in posts:
+            self.add_post(post.tags)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_posts(self) -> int:
+        """Posts ingested so far (the paper's ``k``)."""
+        return self._table.num_posts
+
+    @property
+    def ma_score(self) -> float | None:
+        """``m(k, omega)``, or ``None`` while ``k < omega``."""
+        if self._table.num_posts < self.omega:
+            return None
+        # The window necessarily holds omega - 1 entries once k >= omega.
+        return self._window_sum / (self.omega - 1)
+
+    @property
+    def stable_point(self) -> int | None:
+        """Smallest ``k`` seen with ``m(k, omega) > tau`` (needs ``tau``)."""
+        return self._stable_point
+
+    @property
+    def stable_rfd(self) -> dict[str, float] | None:
+        """The rfd snapshot at :attr:`stable_point`, if reached."""
+        return None if self._stable_rfd is None else dict(self._stable_rfd)
+
+    @property
+    def is_stable(self) -> bool:
+        """Whether Definition 8's condition has been met."""
+        return self._stable_point is not None
+
+    def rfd(self) -> dict[str, float]:
+        """Current rfd ``F(k)``."""
+        return self._table.rfd()
+
+    def frequency_table(self) -> TagFrequencyTable:
+        """The underlying (live) frequency table."""
+        return self._table
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        score = self.ma_score
+        rendered = "undefined" if score is None else f"{score:.4f}"
+        return f"StabilityTracker(k={self.num_posts}, omega={self.omega}, ma={rendered})"
+
+
+# ----------------------------------------------------------------------
+# batch utilities
+# ----------------------------------------------------------------------
+
+
+def adjacent_similarity_series(posts: Sequence[Post] | PostSequence) -> list[float]:
+    """Adjacent similarity at every post: ``[s(F(j-1), F(j)) for j = 1..k]``.
+
+    The first entry is always 0 (Eq. 16, zero-vector branch).
+    """
+    table = TagFrequencyTable()
+    return [table.add_post(post.tags) for post in posts]
+
+
+def ma_series(
+    posts: Sequence[Post] | PostSequence, omega: int = DEFAULT_OMEGA
+) -> list[tuple[int, float]]:
+    """The MA score at every defined ``k``: pairs ``(k, m(k, omega))``.
+
+    Returns an empty list when the sequence is shorter than ``omega``.
+    """
+    _validate_omega(omega)
+    tracker = StabilityTracker(omega)
+    series: list[tuple[int, float]] = []
+    for post in posts:
+        tracker.add_post(post.tags)
+        score = tracker.ma_score
+        if score is not None:
+            series.append((tracker.num_posts, score))
+    return series
+
+
+def ma_score_direct(
+    posts: Sequence[Post] | PostSequence, k: int, omega: int = DEFAULT_OMEGA
+) -> float:
+    """Definition 7 computed the slow, obvious way (test/ablation oracle).
+
+    Materialises the rfds ``F(k-omega+1) .. F(k)`` and averages the
+    ``omega - 1`` pairwise cosine similarities.
+
+    Raises:
+        StabilityError: If ``k < omega`` (the score is undefined) or the
+            sequence has fewer than ``k`` posts.
+    """
+    _validate_omega(omega)
+    if k < omega:
+        raise StabilityError(f"MA score undefined for k={k} < omega={omega}")
+    if len(posts) < k:
+        raise StabilityError(f"sequence has {len(posts)} posts, need at least k={k}")
+
+    table = TagFrequencyTable()
+    snapshots: list[dict[str, float]] = []
+    for j, post in enumerate(posts[:k], start=1):
+        table.add_post(post.tags)
+        if j >= k - omega + 1:
+            snapshots.append(table.rfd())
+    total = sum(cosine(a, b) for a, b in zip(snapshots, snapshots[1:]))
+    return total / (omega - 1)
+
+
+def find_stable_point(
+    posts: Sequence[Post] | PostSequence,
+    omega: int = DEFAULT_OMEGA,
+    tau: float = DEFAULT_TAU,
+) -> int | None:
+    """The stable point: smallest ``k >= omega`` with ``m(k, omega) > tau``.
+
+    Returns ``None`` when no prefix of ``posts`` satisfies the condition.
+    """
+    _validate_omega(omega)
+    _validate_tau(tau)
+    tracker = StabilityTracker(omega, tau)
+    for post in posts:
+        tracker.add_post(post.tags)
+        if tracker.is_stable:
+            return tracker.stable_point
+    return None
+
+
+def practically_stable_rfd(
+    posts: Sequence[Post] | PostSequence,
+    omega: int = DEFAULT_OMEGA,
+    tau: float = DEFAULT_TAU,
+    *,
+    resource_id: str | None = None,
+) -> tuple[int, dict[str, float]]:
+    """The practically-stable rfd ``φ̂(omega, tau)`` (Definition 8).
+
+    Args:
+        posts: The resource's post sequence (or a long-enough prefix).
+        omega: MA window.
+        tau: Stability threshold.
+        resource_id: Optional id used to enrich the error message.
+
+    Returns:
+        ``(stable_point, rfd_at_stable_point)``.
+
+    Raises:
+        NotStableError: If the sequence never satisfies Definition 8's
+            condition — the practically-stable rfd is then undefined.
+    """
+    _validate_omega(omega)
+    _validate_tau(tau)
+    tracker = StabilityTracker(omega, tau)
+    best: float | None = None
+    for post in posts:
+        tracker.add_post(post.tags)
+        score = tracker.ma_score
+        if score is not None:
+            best = score if best is None else max(best, score)
+        if tracker.is_stable:
+            assert tracker.stable_point is not None and tracker.stable_rfd is not None
+            return tracker.stable_point, tracker.stable_rfd
+    raise NotStableError(
+        f"post sequence of length {len(posts)} never reaches MA > {tau} with omega={omega}",
+        resource_id=resource_id,
+        best_score=best,
+    )

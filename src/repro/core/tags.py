@@ -1,0 +1,149 @@
+"""Tag vocabulary utilities (the set ``T`` of Section III-A).
+
+The paper models tags as opaque strings drawn from a universe ``T``.  Most
+of the library treats tags as plain ``str`` values and represents sparse
+tag vectors as ``dict[str, float]``; this module adds a small
+:class:`TagVocabulary` helper used where a *dense, ordered* view of the
+universe is convenient (the DP experiments, NumPy round-trips, and the
+paper's running example whose tables enumerate ``T`` explicitly).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.core.errors import DataModelError
+
+__all__ = ["TagVocabulary", "normalize_tag"]
+
+
+def normalize_tag(tag: str) -> str:
+    """Normalise a raw tag string.
+
+    del.icio.us tags are case-insensitive single tokens; we lowercase and
+    strip surrounding whitespace.  Interior whitespace is rejected because
+    a post is a *set* of single tags (Definition 1) — a string with spaces
+    is almost always several tags that failed to be split upstream.
+
+    Args:
+        tag: Raw tag text.
+
+    Returns:
+        The normalised tag.
+
+    Raises:
+        DataModelError: If the tag is empty after stripping or contains
+            interior whitespace.
+    """
+    cleaned = tag.strip().lower()
+    if not cleaned:
+        raise DataModelError("tag must be a non-empty string")
+    if any(ch.isspace() for ch in cleaned):
+        raise DataModelError(f"tag may not contain whitespace: {tag!r}")
+    return cleaned
+
+
+class TagVocabulary:
+    """An ordered, indexable universe of tags.
+
+    The vocabulary assigns each tag a stable integer index, enabling
+    conversion between the library's sparse ``dict[str, float]`` vectors
+    and dense NumPy arrays.  Iteration order is insertion order, which
+    makes dense vectors reproducible.
+
+    Args:
+        tags: Initial tags, added in order.  Duplicates are rejected so a
+            vocabulary built from an explicit list (e.g. the paper's
+            ``T = {google, earth, geographic, pictures}``) is exactly what
+            the caller wrote down.
+    """
+
+    def __init__(self, tags: Iterable[str] = ()) -> None:
+        self._index: dict[str, int] = {}
+        for tag in tags:
+            self.add(tag)
+
+    def add(self, tag: str) -> int:
+        """Add ``tag`` to the vocabulary and return its index.
+
+        Raises:
+            DataModelError: If the tag is already present.
+        """
+        tag = normalize_tag(tag)
+        if tag in self._index:
+            raise DataModelError(f"duplicate tag in vocabulary: {tag!r}")
+        self._index[tag] = len(self._index)
+        return self._index[tag]
+
+    def add_all(self, tags: Iterable[str]) -> None:
+        """Add every tag from ``tags``, skipping ones already present."""
+        for tag in tags:
+            tag = normalize_tag(tag)
+            if tag not in self._index:
+                self._index[tag] = len(self._index)
+
+    def index_of(self, tag: str) -> int:
+        """Return the index of ``tag``.
+
+        Raises:
+            KeyError: If the tag is not in the vocabulary.
+        """
+        return self._index[normalize_tag(tag)]
+
+    def __contains__(self, tag: object) -> bool:
+        return isinstance(tag, str) and tag.strip().lower() in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TagVocabulary({list(self._index)!r})"
+
+    @property
+    def tags(self) -> tuple[str, ...]:
+        """All tags in index order."""
+        return tuple(self._index)
+
+    def to_dense(self, vector: Mapping[str, float]) -> np.ndarray:
+        """Convert a sparse tag vector to a dense array over this vocabulary.
+
+        Tags absent from the vocabulary are rejected rather than silently
+        dropped: losing mass would corrupt similarity scores downstream.
+
+        Args:
+            vector: Sparse mapping from tag to weight.
+
+        Returns:
+            A ``float64`` array of length ``len(self)``.
+
+        Raises:
+            DataModelError: If ``vector`` mentions an unknown tag.
+        """
+        dense = np.zeros(len(self._index), dtype=np.float64)
+        for tag, weight in vector.items():
+            index = self._index.get(normalize_tag(tag))
+            if index is None:
+                raise DataModelError(f"tag not in vocabulary: {tag!r}")
+            dense[index] = weight
+        return dense
+
+    def to_sparse(self, dense: np.ndarray) -> dict[str, float]:
+        """Convert a dense array over this vocabulary to a sparse dict.
+
+        Zero entries are omitted, matching the library's sparse-vector
+        convention (absent tag == zero weight).
+
+        Raises:
+            DataModelError: If the array length does not match the
+                vocabulary size.
+        """
+        if len(dense) != len(self._index):
+            raise DataModelError(
+                f"dense vector has length {len(dense)}, expected {len(self._index)}"
+            )
+        return {tag: float(dense[i]) for tag, i in self._index.items() if dense[i] != 0.0}

@@ -1,0 +1,100 @@
+"""Experiment harnesses: one module per figure/table of the paper.
+
+| Paper item       | Module / entry point                                   |
+|------------------|--------------------------------------------------------|
+| Fig 1(a), 1(b)   | :func:`repro.experiments.fig1.figure_1a` / ``figure_1b`` |
+| Fig 3            | :func:`repro.experiments.fig3.figure_3`                |
+| Fig 5            | :func:`repro.experiments.fig5.figure_5`                |
+| Fig 6(a)–(d)     | :func:`repro.experiments.fig6_budget.figure_6abcd`     |
+| §V-B stability budget | :func:`repro.experiments.fig6_budget.budget_to_stability` |
+| Fig 6(e)         | :func:`repro.experiments.fig6_resources.figure_6e`     |
+| Fig 6(f)         | :func:`repro.experiments.fig6_omega.figure_6f`         |
+| Fig 6(g), 6(h)   | :mod:`repro.experiments.fig6_runtime`                  |
+| Fig 7(a), 7(b)   | :func:`repro.experiments.fig7.figure_7a` / ``figure_7b`` |
+| Tables II/IV     | :func:`repro.experiments.running_example.running_example` |
+| Tables VI/VII    | :func:`repro.experiments.case_study.run_case_study`    |
+| §I statistics    | :func:`repro.experiments.intro_stats.intro_statistics` |
+"""
+
+from repro.experiments.case_study import CaseStudyResult, SubjectTopK, run_case_study
+from repro.experiments.config import DEFAULT_SCALE, PAPER_SCALE, TEST_SCALE, ExperimentScale
+from repro.experiments.evaluation import EvaluationSeries, GroundTruth, TraceEvaluator
+from repro.experiments.fig1 import Fig1aResult, Fig1bResult, figure_1a, figure_1b
+from repro.experiments.fig3 import Fig3Result, figure_3
+from repro.experiments.fig5 import Fig5Result, figure_5
+from repro.experiments.fig6_budget import (
+    StabilityBudgetResult,
+    budget_to_stability,
+    figure_6abcd,
+    render_figure_6a,
+    render_figure_6b,
+    render_figure_6c,
+    render_figure_6d,
+)
+from repro.experiments.fig6_omega import Fig6fResult, figure_6f
+from repro.experiments.fig6_resources import Fig6eResult, figure_6e
+from repro.experiments.fig6_runtime import (
+    RuntimeResult,
+    runtime_vs_budget,
+    runtime_vs_resources,
+)
+from repro.experiments.fig7 import (
+    Fig7aResult,
+    Fig7bResult,
+    SimilarityAccuracyEvaluator,
+    figure_7a,
+    figure_7b,
+)
+from repro.experiments.harness import ExperimentHarness, StrategyComparison, default_strategies
+from repro.experiments.intro_stats import IntroStats, intro_statistics
+from repro.experiments.report import render_comparison_metric, render_table
+from repro.experiments.running_example import RunningExampleResult, running_example
+
+__all__ = [
+    "CaseStudyResult",
+    "DEFAULT_SCALE",
+    "EvaluationSeries",
+    "ExperimentHarness",
+    "ExperimentScale",
+    "Fig1aResult",
+    "Fig1bResult",
+    "Fig3Result",
+    "Fig5Result",
+    "Fig6eResult",
+    "Fig6fResult",
+    "Fig7aResult",
+    "Fig7bResult",
+    "GroundTruth",
+    "IntroStats",
+    "PAPER_SCALE",
+    "RunningExampleResult",
+    "RuntimeResult",
+    "SimilarityAccuracyEvaluator",
+    "StabilityBudgetResult",
+    "StrategyComparison",
+    "SubjectTopK",
+    "TEST_SCALE",
+    "TraceEvaluator",
+    "budget_to_stability",
+    "default_strategies",
+    "figure_1a",
+    "figure_1b",
+    "figure_3",
+    "figure_5",
+    "figure_6abcd",
+    "figure_6e",
+    "figure_6f",
+    "figure_7a",
+    "figure_7b",
+    "intro_statistics",
+    "render_comparison_metric",
+    "render_figure_6a",
+    "render_figure_6b",
+    "render_figure_6c",
+    "render_figure_6d",
+    "render_table",
+    "run_case_study",
+    "running_example",
+    "runtime_vs_budget",
+    "runtime_vs_resources",
+]

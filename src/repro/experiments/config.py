@@ -1,0 +1,73 @@
+"""Experiment scales: one knob set shared by every figure harness.
+
+The paper's evaluation runs on 5,000 resources with budgets to 10,000.
+That scale is a single config away (:data:`PAPER_SCALE`), but the default
+benchmarks use a proportionally reduced corpus so the full suite runs on
+a laptop in minutes while preserving every qualitative relationship
+(strategy ordering, crossovers, waste shares).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "TEST_SCALE", "DEFAULT_SCALE", "PAPER_SCALE"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scale parameters for the Fig 6 / Fig 7 experiment harnesses.
+
+    Attributes:
+        n_resources: Corpus size (after stability filtering).
+        budgets: Checkpoint budgets for the sweeps; the largest is the
+            total budget given to the online strategies.
+        dp_budgets: Budgets at which DP is solved (a subset, since DP is
+            the expensive solver).
+        omega: MA window for MU / FP-MU (the paper's default is 5).
+        omega_sweep: The ω values of the Fig 6(f) sweep.
+        omega_sweep_budget: Budget used in the Fig 6(f) sweep (small
+            enough that the warm-up crossover falls inside the sweep).
+        resource_counts: Corpus sizes of the Fig 6(e) sweep.
+        seed: Corpus seed.
+    """
+
+    n_resources: int = 250
+    budgets: tuple[int, ...] = (0, 250, 500, 750, 1000, 1250, 1500, 1750, 2000, 2250, 2500)
+    dp_budgets: tuple[int, ...] = (0, 500, 1000, 1500, 2000, 2500)
+    omega: int = 5
+    omega_sweep: tuple[int, ...] = (2, 4, 6, 8, 10, 12, 14, 16)
+    omega_sweep_budget: int = 600
+    resource_counts: tuple[int, ...] = (50, 100, 150, 200, 250)
+    seed: int = 7
+
+    @property
+    def max_budget(self) -> int:
+        """The largest checkpoint budget."""
+        return max(self.budgets)
+
+
+TEST_SCALE = ExperimentScale(
+    n_resources=40,
+    budgets=(0, 50, 100, 150, 200),
+    dp_budgets=(0, 100, 200),
+    omega_sweep=(2, 4, 6, 8),
+    omega_sweep_budget=120,
+    resource_counts=(10, 20, 40),
+    seed=11,
+)
+"""A seconds-fast scale for the test suite."""
+
+DEFAULT_SCALE = ExperimentScale()
+"""The benchmark default (≈ 1/20 of the paper's resource count)."""
+
+PAPER_SCALE = ExperimentScale(
+    n_resources=5000,
+    budgets=tuple(range(0, 10001, 1000)),
+    dp_budgets=(0, 2500, 5000, 7500, 10000),
+    omega_sweep=(2, 4, 6, 8, 10, 12, 14, 16),
+    omega_sweep_budget=5000,
+    resource_counts=(1000, 2000, 3000, 4000, 5000),
+    seed=7,
+)
+"""The paper's full scale (minutes-to-hours; not used by default)."""

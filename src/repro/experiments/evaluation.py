@@ -1,0 +1,277 @@
+"""Ground truth and trace scoring for the Section V experiments.
+
+The experimental protocol separates two worlds:
+
+* **strategies** observe initial posts and the posts their own tasks
+  deliver — nothing else;
+* the **evaluator** owns ground truth: every resource's practically-
+  stable rfd (computed from the full post sequence under the stringent
+  preparation parameters), its stable point, and a precomputed
+  :class:`~repro.core.quality.QualityProfile`.
+
+:class:`TraceEvaluator` scores an allocation trace at many budget
+checkpoints in a single pass with O(1) delta updates per delivered task,
+producing every y-axis of Fig 6 at once: tagging quality (a), over-tagged
+resources (b), wasted tasks (c), and the under-tagged fraction (d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.dataset import DatasetSplit, TaggingDataset
+from repro.core.errors import DataModelError
+from repro.core.quality import QualityProfile
+from repro.core.stability import PREPARATION_OMEGA, PREPARATION_TAU, practically_stable_rfd
+from repro.allocation.budget import AllocationTrace
+from repro.analysis.stable_points import UNDER_TAGGED_THRESHOLD
+
+__all__ = ["GroundTruth", "EvaluationSeries", "TraceEvaluator"]
+
+
+@dataclass
+class GroundTruth:
+    """Per-resource stable rfds, stable points and quality profiles.
+
+    Attributes:
+        stable_points: Stable point per resource (under the parameters
+            the truth was built with).
+        stable_rfds: The practically-stable rfd per resource.
+        profiles: ``q_i(k)`` for every prefix length, per resource.
+        omega: Window the truth was built with.
+        tau: Threshold the truth was built with.
+    """
+
+    stable_points: np.ndarray
+    stable_rfds: list[dict[str, float]]
+    profiles: list[QualityProfile]
+    omega: int
+    tau: float
+
+    @classmethod
+    def build(
+        cls,
+        dataset: TaggingDataset,
+        omega: int = PREPARATION_OMEGA,
+        tau: float = PREPARATION_TAU,
+    ) -> GroundTruth:
+        """Compute ground truth for every resource of ``dataset``.
+
+        Raises:
+            NotStableError: If any resource never stabilises — experiment
+                corpora must be pre-filtered (see
+                :func:`repro.simulate.scenario.paper_scenario`), exactly
+                like the paper's 5,000-URL selection.
+        """
+        stable_points = np.zeros(len(dataset), dtype=np.int64)
+        stable_rfds: list[dict[str, float]] = []
+        profiles: list[QualityProfile] = []
+        for index, resource in enumerate(dataset.resources):
+            point, rfd = practically_stable_rfd(
+                resource.sequence, omega, tau, resource_id=resource.resource_id
+            )
+            stable_points[index] = point
+            stable_rfds.append(rfd)
+            profiles.append(QualityProfile(resource.sequence, rfd))
+        return cls(
+            stable_points=stable_points,
+            stable_rfds=stable_rfds,
+            profiles=profiles,
+            omega=omega,
+            tau=tau,
+        )
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def subset(self, indices: Sequence[int]) -> GroundTruth:
+        """Ground truth restricted to ``indices`` (Fig 6(e) subsets)."""
+        return GroundTruth(
+            stable_points=self.stable_points[list(indices)].copy(),
+            stable_rfds=[self.stable_rfds[i] for i in indices],
+            profiles=[self.profiles[i] for i in indices],
+            omega=self.omega,
+            tau=self.tau,
+        )
+
+
+@dataclass(frozen=True)
+class EvaluationSeries:
+    """One strategy's metrics over a budget sweep (a Fig 6 line).
+
+    Attributes:
+        strategy_name: Display name of the strategy.
+        budgets: Checkpoint budgets (ascending).
+        quality: ``q(R, c + x_b)`` at each checkpoint (Fig 6(a)).
+        over_tagged: Over-tagged resource count (Fig 6(b)).
+        wasted: Cumulative wasted tasks (Fig 6(c)).
+        under_fraction: Under-tagged resource fraction (Fig 6(d)).
+    """
+
+    strategy_name: str
+    budgets: np.ndarray
+    quality: np.ndarray
+    over_tagged: np.ndarray
+    wasted: np.ndarray
+    under_fraction: np.ndarray
+
+    def final_quality(self) -> float:
+        """Quality at the largest checkpoint."""
+        return float(self.quality[-1])
+
+
+class TraceEvaluator:
+    """Scores allocation traces against ground truth.
+
+    Args:
+        split: The dataset split the traces were produced on.
+        truth: Ground truth for the same resources (positional).
+        under_threshold: The unstable point used for "under-tagged".
+    """
+
+    def __init__(
+        self,
+        split: DatasetSplit,
+        truth: GroundTruth,
+        under_threshold: int = UNDER_TAGGED_THRESHOLD,
+    ) -> None:
+        if len(truth) != split.n:
+            raise DataModelError(
+                f"ground truth covers {len(truth)} resources, split has {split.n}"
+            )
+        self.split = split
+        self.truth = truth
+        self.under_threshold = under_threshold
+
+    # ------------------------------------------------------------------
+    # point evaluations
+    # ------------------------------------------------------------------
+
+    def quality_of_counts(self, counts: np.ndarray) -> float:
+        """``q(R, k)`` for an explicit count vector (Definition 10)."""
+        total = 0.0
+        for index, profile in enumerate(self.truth.profiles):
+            total += profile.quality(int(counts[index]))
+        return total / len(self.truth.profiles)
+
+    def quality_of_x(self, x: np.ndarray) -> float:
+        """``q(R, c + x)`` for an assignment vector (DP results)."""
+        return self.quality_of_counts(self.split.initial_counts + np.asarray(x))
+
+    def evaluate_x(self, strategy_name: str, budgets: Sequence[int], xs: Sequence[np.ndarray]) -> EvaluationSeries:
+        """Build a series from per-budget assignment vectors (DP sweeps).
+
+        Args:
+            strategy_name: Label for the series.
+            budgets: Budget per assignment.
+            xs: One assignment vector per budget.
+        """
+        from repro.analysis.waste import waste_report, wasted_tasks
+
+        quality = np.zeros(len(budgets))
+        over = np.zeros(len(budgets), dtype=np.int64)
+        wasted = np.zeros(len(budgets), dtype=np.int64)
+        under = np.zeros(len(budgets))
+        for position, (budget, x) in enumerate(zip(budgets, xs)):
+            counts = self.split.initial_counts + np.asarray(x)
+            report = waste_report(
+                counts, self.truth.stable_points, under_threshold=self.under_threshold
+            )
+            quality[position] = self.quality_of_counts(counts)
+            over[position] = report.over_tagged
+            wasted[position] = wasted_tasks(
+                self.split.initial_counts, counts, self.truth.stable_points
+            )
+            under[position] = report.under_tagged_fraction
+        return EvaluationSeries(
+            strategy_name=strategy_name,
+            budgets=np.asarray(budgets, dtype=np.int64),
+            quality=quality,
+            over_tagged=over,
+            wasted=wasted,
+            under_fraction=under,
+        )
+
+    # ------------------------------------------------------------------
+    # trace evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate_series(
+        self, trace: AllocationTrace, budgets: Sequence[int]
+    ) -> EvaluationSeries:
+        """Score ``trace`` at every checkpoint in one delta-update pass.
+
+        A checkpoint larger than the trace's spend reports the final
+        state (the strategy ran out of proposals there).
+
+        Args:
+            trace: The allocation trace.
+            budgets: Ascending checkpoint budgets.
+
+        Raises:
+            DataModelError: If budgets are not ascending.
+        """
+        budgets = list(budgets)
+        if any(b2 < b1 for b1, b2 in zip(budgets, budgets[1:])):
+            raise DataModelError("checkpoint budgets must be ascending")
+
+        counts = self.split.initial_counts.copy()
+        points = self.truth.stable_points
+        profiles = self.truth.profiles
+        n = self.split.n
+
+        quality_sum = sum(
+            profile.quality(int(counts[i])) for i, profile in enumerate(profiles)
+        )
+        over_count = int(((counts > points) & (points >= 0)).sum())
+        under_count = int((counts <= self.under_threshold).sum())
+        wasted_count = 0
+
+        quality = np.zeros(len(budgets))
+        over = np.zeros(len(budgets), dtype=np.int64)
+        wasted = np.zeros(len(budgets), dtype=np.int64)
+        under = np.zeros(len(budgets))
+
+        spent = 0
+        checkpoint = 0
+
+        def snapshot(position: int) -> None:
+            quality[position] = quality_sum / n
+            over[position] = over_count
+            wasted[position] = wasted_count
+            under[position] = under_count / n
+
+        for index, cost in zip(trace.order, trace.spend):
+            while checkpoint < len(budgets) and spent + cost > budgets[checkpoint]:
+                snapshot(checkpoint)
+                checkpoint += 1
+            if checkpoint >= len(budgets):
+                break
+            k = int(counts[index])
+            profile = profiles[index]
+            quality_sum += profile.quality(k + 1) - profile.quality(k)
+            point = int(points[index])
+            if point >= 0:
+                if k >= point:
+                    wasted_count += 1
+                if k + 1 > point and k <= point:
+                    over_count += 1
+            if k <= self.under_threshold < k + 1:
+                under_count -= 1
+            counts[index] = k + 1
+            spent += cost
+        while checkpoint < len(budgets):
+            snapshot(checkpoint)
+            checkpoint += 1
+
+        return EvaluationSeries(
+            strategy_name=trace.strategy_name,
+            budgets=np.asarray(budgets, dtype=np.int64),
+            quality=quality,
+            over_tagged=over,
+            wasted=wasted,
+            under_fraction=under,
+        )

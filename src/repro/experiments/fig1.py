@@ -1,0 +1,133 @@
+"""Figure 1: the motivating observations.
+
+* **Fig 1(a)** — relative frequencies of a popular resource's top tags
+  versus the number of posts: jumpy below the unstable point, converging
+  toward the stable point, flat afterwards.
+* **Fig 1(b)** — the posts-per-resource distribution over a whole
+  tagging system: a power law spanning orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.frequency import TagFrequencyTable
+from repro.experiments.report import render_table
+from repro.simulate.scenario import figure1a_scenario, universe_scenario
+
+__all__ = ["Fig1aResult", "figure_1a", "Fig1bResult", "figure_1b"]
+
+
+@dataclass(frozen=True)
+class Fig1aResult:
+    """Tag-frequency trajectories of one resource (Fig 1(a)).
+
+    Attributes:
+        tags: The tracked tags (the top tags of the final rfd).
+        checkpoints: Post counts at which frequencies were sampled.
+        trajectories: ``trajectories[t][j]`` = relative frequency of
+            ``tags[t]`` after ``checkpoints[j]`` posts.
+    """
+
+    tags: tuple[str, ...]
+    checkpoints: np.ndarray
+    trajectories: np.ndarray
+
+    def render(self) -> str:
+        """The trajectories as a posts-by-tag table."""
+        rows = []
+        for j, k in enumerate(self.checkpoints):
+            rows.append([int(k)] + [f"{self.trajectories[t][j]:.3f}" for t in range(len(self.tags))])
+        return render_table(["posts"] + list(self.tags), rows)
+
+
+def figure_1a(
+    num_posts: int = 500,
+    tracked_tags: int = 5,
+    step: int = 20,
+    seed: int = 0,
+) -> Fig1aResult:
+    """Reproduce Fig 1(a) on the Google-Earth-like synthetic resource.
+
+    Args:
+        num_posts: Length of the post sequence.
+        tracked_tags: How many top tags to track.
+        step: Sampling interval along the sequence.
+        seed: Corpus seed.
+    """
+    corpus = figure1a_scenario(seed=seed, num_posts=num_posts)
+    sequence = corpus.dataset.resources[0].sequence
+
+    final = TagFrequencyTable.from_posts(sequence).rfd()
+    tags = tuple(sorted(final, key=lambda t: -final[t])[:tracked_tags])
+
+    checkpoints = np.arange(step, len(sequence) + 1, step, dtype=np.int64)
+    trajectories = np.zeros((len(tags), len(checkpoints)))
+    table = TagFrequencyTable()
+    position = 0
+    for k, post in enumerate(sequence, start=1):
+        table.add_post(post.tags)
+        if position < len(checkpoints) and k == checkpoints[position]:
+            for t, tag in enumerate(tags):
+                trajectories[t][position] = table.relative_frequency(tag)
+            position += 1
+    return Fig1aResult(tags=tags, checkpoints=checkpoints, trajectories=trajectories)
+
+
+@dataclass(frozen=True)
+class Fig1bResult:
+    """The posts-per-resource histogram (Fig 1(b)) with a power-law check.
+
+    Attributes:
+        bucket_edges: Log-scale bucket lower edges (1, 2, 4, 8, ...).
+        bucket_counts: Resources per bucket.
+        slope: Fitted log-log slope (the paper's empirical line has
+            slope ≈ -1 to -2; heavier tail = shallower).
+    """
+
+    bucket_edges: np.ndarray
+    bucket_counts: np.ndarray
+    slope: float
+
+    def render(self) -> str:
+        rows = [
+            [f"[{int(lo)}, {int(lo * 2)})", int(count)]
+            for lo, count in zip(self.bucket_edges, self.bucket_counts)
+            if count > 0
+        ]
+        table = render_table(["posts-per-resource", "resources"], rows)
+        return f"{table}\nlog-log slope = {self.slope:.2f}"
+
+
+def figure_1b(n: int = 5000, seed: int = 0) -> Fig1bResult:
+    """Reproduce Fig 1(b) on a heavy-tailed synthetic universe.
+
+    Args:
+        n: Universe size (the paper plots tens of millions of URLs; the
+            shape — a straight descending log-log line — appears from a
+            few thousand).
+        seed: Corpus seed.
+    """
+    corpus = universe_scenario(seed=seed, n=n)
+    counts = corpus.dataset.posts_per_resource()
+
+    max_count = int(counts.max())
+    edges = [1]
+    while edges[-1] * 2 <= max_count:
+        edges.append(edges[-1] * 2)
+    edges_array = np.array(edges, dtype=np.float64)
+    bucket_counts = np.zeros(len(edges), dtype=np.int64)
+    for value in counts:
+        bucket = int(np.floor(np.log2(value)))
+        bucket_counts[min(bucket, len(edges) - 1)] += 1
+
+    # Fit the log-log slope over non-empty buckets, normalising counts
+    # by bucket width (the histogram buckets double in size).
+    mask = bucket_counts > 0
+    densities = bucket_counts[mask] / edges_array[mask]
+    slope = float(
+        np.polyfit(np.log10(edges_array[mask]), np.log10(densities), deg=1)[0]
+    )
+    return Fig1bResult(bucket_edges=edges_array, bucket_counts=bucket_counts, slope=slope)

@@ -1,0 +1,98 @@
+"""Figure 6(f): the effect of the window parameter ω on MU and FP-MU.
+
+The paper's findings, both reproduced here:
+
+* MU's quality *falls* as ω grows — a larger window disqualifies more
+  under-tagged resources (those with fewer than ω posts), which are
+  precisely the ones worth helping;
+* FP-MU approaches (and beyond a crossover ω, equals) plain FP — a
+  larger ω means a longer FP warm-up stage, and once the warm-up alone
+  exhausts the budget, FP-MU *is* FP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.allocation import FewestPostsFirst, HybridFPMU, MostUnstableFirst
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.harness import ExperimentHarness
+from repro.experiments.report import render_table
+
+__all__ = ["Fig6fResult", "figure_6f"]
+
+
+@dataclass(frozen=True)
+class Fig6fResult:
+    """Quality vs ω for MU and FP-MU, with FP as the flat reference.
+
+    Attributes:
+        omegas: The swept window sizes.
+        budget: The budget each run spent.
+        mu_quality: MU's final quality per ω.
+        fpmu_quality: FP-MU's final quality per ω.
+        fp_quality: FP's final quality (ω-independent).
+        fpmu_warmup: FP-MU's computed warm-up budget per ω (the
+            crossover is where this saturates at the full budget).
+    """
+
+    omegas: tuple[int, ...]
+    budget: int
+    mu_quality: np.ndarray
+    fpmu_quality: np.ndarray
+    fp_quality: float
+    fpmu_warmup: np.ndarray
+
+    def render(self) -> str:
+        rows = []
+        for i, omega in enumerate(self.omegas):
+            rows.append(
+                [
+                    omega,
+                    f"{self.mu_quality[i]:.4f}",
+                    f"{self.fpmu_quality[i]:.4f}",
+                    f"{self.fp_quality:.4f}",
+                    int(self.fpmu_warmup[i]),
+                ]
+            )
+        return render_table(["omega", "MU", "FP-MU", "FP (ref)", "warm-up"], rows)
+
+
+def figure_6f(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    harness: ExperimentHarness | None = None,
+) -> Fig6fResult:
+    """Run the Fig 6(f) ω sweep.
+
+    The sweep budget is deliberately smaller than the main budget so the
+    FP-MU warm-up crossover falls inside the swept ω range (with a huge
+    budget the warm-up always completes and the effect vanishes).
+    """
+    harness = harness if harness is not None else ExperimentHarness.from_scale(scale)
+    scale = harness.scale
+    budget = scale.omega_sweep_budget
+
+    fp_trace = harness.runner.run(FewestPostsFirst(), budget)
+    fp_quality = harness.evaluator.quality_of_x(fp_trace.x)
+
+    mu_quality = np.zeros(len(scale.omega_sweep))
+    fpmu_quality = np.zeros(len(scale.omega_sweep))
+    fpmu_warmup = np.zeros(len(scale.omega_sweep), dtype=np.int64)
+    for i, omega in enumerate(scale.omega_sweep):
+        mu_trace = harness.runner.run(MostUnstableFirst(omega=omega), budget)
+        mu_quality[i] = harness.evaluator.quality_of_x(mu_trace.x)
+        hybrid = HybridFPMU(omega=omega)
+        fpmu_trace = harness.runner.run(hybrid, budget)
+        fpmu_quality[i] = harness.evaluator.quality_of_x(fpmu_trace.x)
+        fpmu_warmup[i] = hybrid.warmup_budget
+
+    return Fig6fResult(
+        omegas=tuple(scale.omega_sweep),
+        budget=budget,
+        mu_quality=mu_quality,
+        fpmu_quality=fpmu_quality,
+        fp_quality=fp_quality,
+        fpmu_warmup=fpmu_warmup,
+    )

@@ -1,0 +1,95 @@
+"""Figure 6(e): effect of the number of resources at a fixed budget.
+
+Random subsets of increasing size are drawn from the corpus; every
+strategy (and DP) spends the same fixed budget on each subset.  Quality
+falls as ``n`` grows — the budget is spread thinner — while the strategy
+ordering (FP/FP-MU closest to DP) is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.allocation import gains_from_profiles, solve_dp
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.evaluation import TraceEvaluator
+from repro.experiments.harness import ExperimentHarness, default_strategies
+from repro.experiments.report import render_table
+from repro.allocation.runner import IncentiveRunner
+
+__all__ = ["Fig6eResult", "figure_6e"]
+
+
+@dataclass(frozen=True)
+class Fig6eResult:
+    """Quality at a fixed budget across corpus sizes.
+
+    Attributes:
+        resource_counts: The swept subset sizes.
+        budget: The fixed budget.
+        quality: ``quality[name][i]`` = quality on the ``i``-th subset.
+    """
+
+    resource_counts: tuple[int, ...]
+    budget: int
+    quality: dict[str, np.ndarray]
+
+    def render(self) -> str:
+        names = list(self.quality)
+        rows = []
+        for i, n in enumerate(self.resource_counts):
+            rows.append([n] + [f"{self.quality[name][i]:.4f}" for name in names])
+        return render_table(["n"] + names, rows)
+
+
+def figure_6e(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    harness: ExperimentHarness | None = None,
+    *,
+    budget: int | None = None,
+    include_dp: bool = True,
+) -> Fig6eResult:
+    """Run the Fig 6(e) sweep.
+
+    Args:
+        scale: Experiment scale (subset sizes come from
+            ``scale.resource_counts``; ignored when ``harness`` given).
+        harness: Reuse a prepared harness; subsets reuse its ground truth.
+        budget: Fixed budget (default: the scale's middle DP budget, a
+            stand-in for the paper's default 5,000).
+        include_dp: Include the optimal DP column.
+    """
+    harness = harness if harness is not None else ExperimentHarness.from_scale(scale)
+    scale = harness.scale
+    budget = budget if budget is not None else scale.dp_budgets[len(scale.dp_budgets) // 2]
+    rng = np.random.default_rng(scale.seed + 1)
+
+    strategies = default_strategies(scale.omega)
+    names = [s.name for s in strategies] + (["DP"] if include_dp else [])
+    quality: dict[str, list[float]] = {name: [] for name in names}
+
+    for n in scale.resource_counts:
+        indices = sorted(rng.choice(len(harness.corpus.dataset), size=n, replace=False))
+        indices = [int(i) for i in indices]
+        sub_corpus = harness.corpus.subset(indices)
+        sub_split = sub_corpus.dataset.split(sub_corpus.cutoff)
+        sub_truth = harness.truth.subset(indices)
+        evaluator = TraceEvaluator(sub_split, sub_truth)
+        runner = IncentiveRunner.replay(sub_split)
+        for strategy in strategies:
+            trace = runner.run(strategy, budget)
+            quality[strategy.name].append(
+                evaluator.quality_of_x(trace.x)
+            )
+        if include_dp:
+            gains = gains_from_profiles(sub_truth.profiles, sub_split.initial_counts, budget)
+            result = solve_dp(gains, budget)
+            quality["DP"].append(evaluator.quality_of_x(result.x))
+
+    return Fig6eResult(
+        resource_counts=tuple(scale.resource_counts),
+        budget=budget,
+        quality={name: np.array(values) for name, values in quality.items()},
+    )

@@ -1,0 +1,136 @@
+"""Figures 6(g) and 6(h): runtime scaling of the strategies and DP.
+
+The paper's qualitative result: DP's runtime explodes with the budget
+(its complexity is ``O(n|T|B²)``) while every online strategy scales
+near-linearly; across resource counts all strategies stay fast and DP
+dominates by orders of magnitude.  Absolute numbers differ from the
+paper's C++ prototype; the *ratios* are what these figures check.
+
+Wall-clock measurement lives here (for examples and reports); the
+pytest-benchmark variants in ``benchmarks/`` give statistically robust
+timings.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.allocation import gains_from_profiles, solve_dp
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.harness import ExperimentHarness, default_strategies
+from repro.experiments.report import render_table
+
+__all__ = ["RuntimeResult", "runtime_vs_budget", "runtime_vs_resources"]
+
+
+@dataclass(frozen=True)
+class RuntimeResult:
+    """Wall-clock seconds per strategy over a swept parameter.
+
+    Attributes:
+        parameter_name: "budget" or "n".
+        parameter_values: The sweep grid.
+        seconds: ``seconds[name][i]`` = runtime at the ``i``-th value.
+    """
+
+    parameter_name: str
+    parameter_values: tuple[int, ...]
+    seconds: dict[str, np.ndarray]
+
+    def render(self) -> str:
+        names = list(self.seconds)
+        rows = []
+        for i, value in enumerate(self.parameter_values):
+            rows.append([value] + [f"{self.seconds[name][i]:.4f}" for name in names])
+        return render_table([self.parameter_name] + names, rows)
+
+
+def _timed(function) -> float:
+    start = time.perf_counter()
+    function()
+    return time.perf_counter() - start
+
+
+def runtime_vs_budget(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    harness: ExperimentHarness | None = None,
+    *,
+    budgets: tuple[int, ...] | None = None,
+    include_dp: bool = True,
+) -> RuntimeResult:
+    """Fig 6(g): runtime vs budget for all strategies (+ DP).
+
+    Args:
+        scale: Experiment scale (ignored with ``harness``).
+        harness: Reuse a prepared harness.
+        budgets: Sweep grid (default: the scale's non-zero checkpoints).
+        include_dp: Time the DP solver as well (at the same budgets —
+            keep the grid modest, DP is the quadratic one).
+    """
+    harness = harness if harness is not None else ExperimentHarness.from_scale(scale)
+    scale = harness.scale
+    grid = tuple(b for b in (budgets or scale.budgets) if b > 0)
+    strategies = default_strategies(scale.omega)
+    seconds: dict[str, list[float]] = {s.name: [] for s in strategies}
+    if include_dp:
+        seconds["DP"] = []
+
+    for budget in grid:
+        for strategy in strategies:
+            seconds[strategy.name].append(
+                _timed(lambda s=strategy, b=budget: harness.runner.run(s, b))
+            )
+        if include_dp:
+            gains = gains_from_profiles(
+                harness.truth.profiles, harness.split.initial_counts, budget
+            )
+            seconds["DP"].append(_timed(lambda g=gains, b=budget: solve_dp(g, b)))
+
+    return RuntimeResult(
+        parameter_name="budget",
+        parameter_values=grid,
+        seconds={name: np.array(values) for name, values in seconds.items()},
+    )
+
+
+def runtime_vs_resources(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    harness: ExperimentHarness | None = None,
+    *,
+    budget: int | None = None,
+    include_dp: bool = True,
+) -> RuntimeResult:
+    """Fig 6(h): runtime vs number of resources at a fixed budget."""
+    harness = harness if harness is not None else ExperimentHarness.from_scale(scale)
+    scale = harness.scale
+    budget = budget if budget is not None else scale.omega_sweep_budget
+    rng = np.random.default_rng(scale.seed + 2)
+    strategies = default_strategies(scale.omega)
+    seconds: dict[str, list[float]] = {s.name: [] for s in strategies}
+    if include_dp:
+        seconds["DP"] = []
+
+    from repro.allocation.runner import IncentiveRunner
+
+    for n in scale.resource_counts:
+        indices = sorted(int(i) for i in rng.choice(len(harness.corpus.dataset), size=n, replace=False))
+        sub_corpus = harness.corpus.subset(indices)
+        sub_split = sub_corpus.dataset.split(sub_corpus.cutoff)
+        sub_truth = harness.truth.subset(indices)
+        runner = IncentiveRunner.replay(sub_split)
+        for strategy in strategies:
+            seconds[strategy.name].append(
+                _timed(lambda s=strategy, b=budget: runner.run(s, b))
+            )
+        if include_dp:
+            gains = gains_from_profiles(sub_truth.profiles, sub_split.initial_counts, budget)
+            seconds["DP"].append(_timed(lambda g=gains, b=budget: solve_dp(g, b)))
+
+    return RuntimeResult(
+        parameter_name="n",
+        parameter_values=tuple(scale.resource_counts),
+        seconds={name: np.array(values) for name, values in seconds.items()},
+    )

@@ -1,0 +1,141 @@
+"""The shared experiment harness: corpus → strategies → scored series.
+
+Every "… vs budget" figure (6(a)–(d)) and the Fig 7 accuracy sweep run
+through :class:`ExperimentHarness`: it builds the split, the ground
+truth, the runner and the evaluator once, executes each strategy at the
+maximum budget, scores the trace at every checkpoint, and solves DP at
+its (sparser) budget grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataset import DatasetSplit
+from repro.allocation import (
+    AllocationStrategy,
+    FewestPostsFirst,
+    FreeChoice,
+    HybridFPMU,
+    IncentiveRunner,
+    MostUnstableFirst,
+    RoundRobin,
+    gains_from_profiles,
+    solve_dp,
+)
+from repro.allocation.budget import AllocationTrace
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.evaluation import EvaluationSeries, GroundTruth, TraceEvaluator
+from repro.simulate.generator import GeneratedCorpus
+from repro.simulate.scenario import paper_scenario
+
+__all__ = ["ExperimentHarness", "StrategyComparison", "default_strategies"]
+
+
+def default_strategies(omega: int) -> list[AllocationStrategy]:
+    """The paper's five practical strategies, in its reporting order."""
+    return [
+        FreeChoice(),
+        RoundRobin(),
+        FewestPostsFirst(),
+        MostUnstableFirst(omega=omega),
+        HybridFPMU(omega=omega),
+    ]
+
+
+@dataclass
+class StrategyComparison:
+    """All series of one experiment run (everything Fig 6(a)–(d) plots).
+
+    Attributes:
+        series: Strategy name -> scored series, insertion-ordered the
+            way the harness ran them (DP last when included).
+    """
+
+    series: dict[str, EvaluationSeries] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> EvaluationSeries:
+        return self.series[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.series
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.series)
+
+
+class ExperimentHarness:
+    """Builds and runs the Section V experiment pipeline on a corpus.
+
+    Args:
+        corpus: A stability-filtered corpus (every resource must reach a
+            practically-stable rfd — use
+            :func:`~repro.simulate.scenario.paper_scenario`).
+        scale: Budget grids and strategy parameters.
+    """
+
+    def __init__(self, corpus: GeneratedCorpus, scale: ExperimentScale = DEFAULT_SCALE) -> None:
+        self.corpus = corpus
+        self.scale = scale
+        self.split: DatasetSplit = corpus.dataset.split(corpus.cutoff)
+        self.truth = GroundTruth.build(corpus.dataset)
+        self.evaluator = TraceEvaluator(self.split, self.truth)
+        self.runner = IncentiveRunner.replay(self.split)
+
+    @classmethod
+    def from_scale(cls, scale: ExperimentScale = DEFAULT_SCALE) -> ExperimentHarness:
+        """Generate a fresh corpus at ``scale`` and wrap it."""
+        corpus = paper_scenario(n=scale.n_resources, seed=scale.seed)
+        return cls(corpus, scale)
+
+    # ------------------------------------------------------------------
+
+    def run_strategy(self, strategy: AllocationStrategy, budget: int | None = None) -> AllocationTrace:
+        """Run one strategy at ``budget`` (default: the scale's maximum)."""
+        budget = self.scale.max_budget if budget is None else budget
+        return self.runner.run(strategy, budget)
+
+    def score(self, trace: AllocationTrace) -> EvaluationSeries:
+        """Score a trace at the scale's checkpoint budgets."""
+        return self.evaluator.evaluate_series(trace, list(self.scale.budgets))
+
+    def run_dp(self) -> EvaluationSeries:
+        """Solve DP at each of the scale's DP budgets and score the results."""
+        max_budget = max(self.scale.dp_budgets)
+        gains = gains_from_profiles(
+            self.truth.profiles, self.split.initial_counts, max_budget
+        )
+        xs: list[np.ndarray] = []
+        for budget in self.scale.dp_budgets:
+            truncated = [g[: budget + 1] for g in gains]
+            xs.append(solve_dp(truncated, budget).x)
+        return self.evaluator.evaluate_x("DP", list(self.scale.dp_budgets), xs)
+
+    def compare(
+        self,
+        strategies: list[AllocationStrategy] | None = None,
+        *,
+        include_dp: bool = True,
+    ) -> StrategyComparison:
+        """Run the full Fig 6(a)–(d) comparison.
+
+        Args:
+            strategies: Strategies to run (default: the paper's five).
+            include_dp: Whether to add the optimal DP series.
+
+        Returns:
+            A :class:`StrategyComparison` with one series per strategy.
+        """
+        strategies = (
+            default_strategies(self.scale.omega) if strategies is None else strategies
+        )
+        comparison = StrategyComparison()
+        for strategy in strategies:
+            trace = self.run_strategy(strategy)
+            comparison.series[strategy.name] = self.score(trace)
+        if include_dp:
+            comparison.series["DP"] = self.run_dp()
+        return comparison

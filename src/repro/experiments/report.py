@@ -1,0 +1,88 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks print the same rows/series the paper's figures plot;
+these helpers keep that output aligned and uniform.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.experiments.evaluation import EvaluationSeries
+
+__all__ = ["render_table", "render_comparison_metric", "format_float"]
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Format a float compactly (NaN-safe)."""
+    if isinstance(value, float) and np.isnan(value):
+        return "nan"
+    return f"{value:.{digits}f}"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A monospace table with one space-padded column per header.
+
+    Args:
+        headers: Column titles.
+        rows: Cell values (stringified with ``str``).
+
+    Returns:
+        The rendered multi-line table.
+    """
+    table = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in table:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in table:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_comparison_metric(
+    series: dict[str, EvaluationSeries],
+    metric: str,
+    *,
+    value_format: Callable[[float], str] | None = None,
+) -> str:
+    """Render one metric of a strategy comparison as budget-by-strategy rows.
+
+    Args:
+        series: Strategy name -> scored series (budget grids may differ,
+            e.g. DP's sparser grid; missing cells show "-").
+        metric: Attribute of :class:`EvaluationSeries` to tabulate
+            ("quality", "over_tagged", "wasted", "under_fraction").
+        value_format: Cell formatter (default 4-digit float for float
+            metrics, plain int otherwise).
+
+    Returns:
+        The rendered table.
+    """
+    budgets = sorted({int(b) for s in series.values() for b in s.budgets})
+    names = list(series)
+    lookup: dict[str, dict[int, float]] = {}
+    for name, data in series.items():
+        values = getattr(data, metric)
+        lookup[name] = {int(b): float(v) for b, v in zip(data.budgets, values)}
+
+    def default_format(value: float) -> str:
+        if metric in ("over_tagged", "wasted"):
+            return str(int(value))
+        return format_float(value)
+
+    formatter = value_format or default_format
+    rows = []
+    for budget in budgets:
+        row: list[object] = [budget]
+        for name in names:
+            value = lookup[name].get(budget)
+            row.append("-" if value is None else formatter(value))
+        rows.append(row)
+    return render_table(["budget"] + names, rows)

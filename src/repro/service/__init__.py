@@ -1,0 +1,27 @@
+"""The incentive-tagging service prototype (the paper's Fig 2 / Section VI).
+
+The paper closes by promising "a system prototype ... to support
+incentive-based tagging"; this package is that prototype in simulation:
+a job board (:mod:`repro.service.jobs`), a budgeted reward ledger
+(:mod:`repro.service.ledger`), a simulated crowd with topical preferences
+(:mod:`repro.service.workers`), and the epoch-driven campaign loop with
+online adaptive stopping (:mod:`repro.service.campaign`).
+"""
+
+from repro.service.campaign import CampaignResult, EpochReport, IncentiveCampaign
+from repro.service.jobs import JobBoard, PostTask, TaskState
+from repro.service.ledger import Payout, RewardLedger
+from repro.service.workers import SimulatedWorker, WorkerPool
+
+__all__ = [
+    "CampaignResult",
+    "EpochReport",
+    "IncentiveCampaign",
+    "JobBoard",
+    "Payout",
+    "PostTask",
+    "RewardLedger",
+    "SimulatedWorker",
+    "TaskState",
+    "WorkerPool",
+]

@@ -1,0 +1,141 @@
+"""Post-task jobs and the job board (the paper's Fig 2, steps 1–2).
+
+The paper's system sketch: an incentive allocation strategy decides which
+resources need posts, the system publishes *post tasks* (vacant jobs) to
+a crowd, taggers claim and complete them, and rewards are paid out.
+
+:class:`PostTask` is one such job with a small lifecycle
+(``OPEN -> CLAIMED -> COMPLETED`` or ``-> EXPIRED``); :class:`JobBoard`
+stores and indexes them.  The board is deliberately dumb — policy lives
+in the campaign and the strategies.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+from repro.core.errors import AllocationError
+from repro.core.posts import Post
+
+__all__ = ["TaskState", "PostTask", "JobBoard"]
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a post task."""
+
+    OPEN = "open"
+    CLAIMED = "claimed"
+    COMPLETED = "completed"
+    EXPIRED = "expired"
+
+
+@dataclass
+class PostTask:
+    """One vacant tagging job.
+
+    Attributes:
+        task_id: Board-unique identifier.
+        resource_index: The resource to be tagged.
+        reward: Reward units paid on completion (1 in the paper's model).
+        state: Current lifecycle state.
+        worker_id: The claiming worker, once claimed.
+        result: The submitted post, once completed.
+    """
+
+    task_id: int
+    resource_index: int
+    reward: int = 1
+    state: TaskState = TaskState.OPEN
+    worker_id: str | None = None
+    result: Post | None = None
+
+    def claim(self, worker_id: str) -> None:
+        """Move ``OPEN -> CLAIMED``.
+
+        Raises:
+            AllocationError: If the task is not open.
+        """
+        if self.state is not TaskState.OPEN:
+            raise AllocationError(f"task {self.task_id} is {self.state.value}, not open")
+        self.state = TaskState.CLAIMED
+        self.worker_id = worker_id
+
+    def complete(self, post: Post) -> None:
+        """Move ``CLAIMED -> COMPLETED`` with the submitted post.
+
+        Raises:
+            AllocationError: If the task was never claimed.
+        """
+        if self.state is not TaskState.CLAIMED:
+            raise AllocationError(
+                f"task {self.task_id} is {self.state.value}, not claimed"
+            )
+        self.state = TaskState.COMPLETED
+        self.result = post
+
+    def expire(self) -> None:
+        """Withdraw an open or claimed task (end of campaign epoch)."""
+        if self.state in (TaskState.COMPLETED, TaskState.EXPIRED):
+            raise AllocationError(f"task {self.task_id} already {self.state.value}")
+        self.state = TaskState.EXPIRED
+
+
+class JobBoard:
+    """Stores post tasks and serves open ones to workers.
+
+    The board preserves publication order — workers browsing it see the
+    oldest open jobs first, like a real task marketplace.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: dict[int, PostTask] = {}
+        self._ids = itertools.count()
+
+    def publish(self, resource_index: int, reward: int = 1) -> PostTask:
+        """Create and list a new open task.
+
+        Raises:
+            AllocationError: For non-positive rewards.
+        """
+        if reward < 1:
+            raise AllocationError(f"reward must be >= 1 unit, got {reward}")
+        task = PostTask(task_id=next(self._ids), resource_index=resource_index, reward=reward)
+        self._tasks[task.task_id] = task
+        return task
+
+    def get(self, task_id: int) -> PostTask:
+        """Look a task up by id.
+
+        Raises:
+            KeyError: If unknown.
+        """
+        return self._tasks[task_id]
+
+    def open_tasks(self) -> list[PostTask]:
+        """All open tasks in publication order."""
+        return [t for t in self._tasks.values() if t.state is TaskState.OPEN]
+
+    def expire_open(self) -> int:
+        """Expire every open task; return how many were withdrawn."""
+        count = 0
+        for task in self._tasks.values():
+            if task.state is TaskState.OPEN:
+                task.expire()
+                count += 1
+        return count
+
+    def completed_tasks(self) -> list[PostTask]:
+        """All completed tasks in publication order."""
+        return [t for t in self._tasks.values() if t.state is TaskState.COMPLETED]
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def counts_by_state(self) -> dict[TaskState, int]:
+        """Histogram of task states (for campaign reports)."""
+        histogram = {state: 0 for state in TaskState}
+        for task in self._tasks.values():
+            histogram[task.state] += 1
+        return histogram

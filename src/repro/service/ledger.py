@@ -1,0 +1,101 @@
+"""Reward accounting (the paper's Fig 2, step 4).
+
+The ledger tracks the campaign budget and per-worker earnings.  Every
+payout is recorded as an immutable transaction so a campaign's spending
+is fully auditable — the experiments' "budget spent" numbers reconcile
+against the ledger by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import BudgetError
+
+__all__ = ["Payout", "RewardLedger"]
+
+
+@dataclass(frozen=True)
+class Payout:
+    """One reward payment.
+
+    Attributes:
+        task_id: The completed task being paid.
+        worker_id: The paid worker.
+        amount: Reward units transferred.
+    """
+
+    task_id: int
+    worker_id: str
+    amount: int
+
+
+class RewardLedger:
+    """Budgeted reward accounting with an append-only transaction log.
+
+    Args:
+        budget: Total reward units available to the campaign.
+    """
+
+    def __init__(self, budget: int) -> None:
+        if budget < 0:
+            raise BudgetError(f"budget must be non-negative, got {budget}")
+        self._budget = budget
+        self._spent = 0
+        self._payouts: list[Payout] = []
+        self._balances: dict[str, int] = {}
+
+    @property
+    def budget(self) -> int:
+        """The campaign's total budget."""
+        return self._budget
+
+    @property
+    def spent(self) -> int:
+        """Reward units paid out so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> int:
+        """Unspent reward units."""
+        return self._budget - self._spent
+
+    def can_afford(self, amount: int) -> bool:
+        """Whether ``amount`` more units fit in the budget."""
+        return amount <= self.remaining
+
+    def pay(self, task_id: int, worker_id: str, amount: int) -> Payout:
+        """Record a payout.
+
+        Raises:
+            BudgetError: If the payout would overdraw the budget or the
+                amount is not positive.
+        """
+        if amount < 1:
+            raise BudgetError(f"payout must be >= 1 unit, got {amount}")
+        if not self.can_afford(amount):
+            raise BudgetError(
+                f"payout of {amount} exceeds remaining budget {self.remaining}"
+            )
+        payout = Payout(task_id=task_id, worker_id=worker_id, amount=amount)
+        self._payouts.append(payout)
+        self._spent += amount
+        self._balances[worker_id] = self._balances.get(worker_id, 0) + amount
+        return payout
+
+    def balance_of(self, worker_id: str) -> int:
+        """Total earnings of one worker."""
+        return self._balances.get(worker_id, 0)
+
+    @property
+    def payouts(self) -> tuple[Payout, ...]:
+        """The full transaction log, in payment order."""
+        return tuple(self._payouts)
+
+    def reconcile(self) -> bool:
+        """Check internal consistency (log vs aggregates)."""
+        return (
+            sum(p.amount for p in self._payouts) == self._spent
+            and sum(self._balances.values()) == self._spent
+            and self._spent <= self._budget
+        )

@@ -1,0 +1,146 @@
+"""Simulated crowd workers (the paper's Fig 2 taggers).
+
+A :class:`SimulatedWorker` browses the job board, picks jobs it likes
+(topic affinity drives acceptance — the "user preference" of Section VI)
+and completes them by generating posts from the resource's latent model
+through the usual tagger noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.posts import Post
+from repro.simulate.ontology import TopicHierarchy
+from repro.simulate.resource_models import ResourceModel
+from repro.simulate.taggers import TaggerBehavior, generate_post
+from repro.service.jobs import PostTask
+
+__all__ = ["SimulatedWorker", "WorkerPool"]
+
+
+@dataclass
+class SimulatedWorker:
+    """One crowd worker with topical preferences.
+
+    Attributes:
+        worker_id: Unique identifier.
+        favourite_domains: Top-level domains the worker likes; jobs on
+            resources from these domains are accepted with
+            ``base_acceptance``; others with ``off_topic_acceptance``.
+        base_acceptance: Acceptance probability on favourite topics.
+        off_topic_acceptance: Acceptance probability elsewhere.
+        behavior: The worker's tagging noise profile.
+    """
+
+    worker_id: str
+    favourite_domains: frozenset[str] = frozenset()
+    base_acceptance: float = 0.95
+    off_topic_acceptance: float = 0.35
+    behavior: TaggerBehavior = field(default_factory=TaggerBehavior)
+
+    def accepts(self, model: ResourceModel, rng: np.random.Generator) -> bool:
+        """Whether the worker takes a job on ``model``'s resource."""
+        domain = model.primary_category[0]
+        probability = (
+            self.base_acceptance
+            if not self.favourite_domains or domain in self.favourite_domains
+            else self.off_topic_acceptance
+        )
+        return bool(rng.random() < probability)
+
+    def complete(
+        self,
+        model: ResourceModel,
+        post_index: int,
+        timestamp: float,
+        rng: np.random.Generator,
+        observed_counts: dict[str, int] | None = None,
+    ) -> Post:
+        """Produce the post for a claimed task."""
+        return generate_post(
+            model,
+            post_index,
+            timestamp,
+            rng,
+            self.behavior,
+            observed_counts=observed_counts,
+        )
+
+
+class WorkerPool:
+    """A pool of simulated workers that services a job board.
+
+    Args:
+        workers: The crowd.
+        rng: Source of randomness (acceptance draws and post content).
+    """
+
+    def __init__(self, workers: list[SimulatedWorker], rng: np.random.Generator) -> None:
+        if not workers:
+            raise ValueError("worker pool must not be empty")
+        self.workers = list(workers)
+        self.rng = rng
+
+    @classmethod
+    def uniform(
+        cls,
+        size: int,
+        hierarchy: TopicHierarchy,
+        rng: np.random.Generator,
+        *,
+        favourites_per_worker: int = 2,
+    ) -> WorkerPool:
+        """A pool of ``size`` workers with random favourite domains."""
+        domains = hierarchy.domains
+        workers = []
+        for index in range(size):
+            picks = rng.choice(
+                len(domains), size=min(favourites_per_worker, len(domains)), replace=False
+            )
+            workers.append(
+                SimulatedWorker(
+                    worker_id=f"w{index:03d}",
+                    favourite_domains=frozenset(domains[int(i)] for i in picks),
+                )
+            )
+        return cls(workers, rng)
+
+    def try_fill(
+        self,
+        task: PostTask,
+        model: ResourceModel,
+        post_index: int,
+        timestamp: float,
+        observed_counts: dict[str, int] | None = None,
+        *,
+        max_offers: int = 10,
+    ) -> Post | None:
+        """Offer ``task`` to random workers until someone completes it.
+
+        Args:
+            task: The open task.
+            model: Latent model of the task's resource.
+            post_index: Position of the would-be post in the resource's
+                sequence.
+            timestamp: Campaign time for the post.
+            observed_counts: Current tag counts (imitation dynamics).
+            max_offers: Offers before the task is abandoned this epoch.
+
+        Returns:
+            The completed post, or ``None`` if every offered worker
+            declined (the task stays open).
+        """
+        for _ in range(max_offers):
+            worker = self.workers[int(self.rng.integers(0, len(self.workers)))]
+            if not worker.accepts(model, self.rng):
+                continue
+            task.claim(worker.worker_id)
+            post = worker.complete(
+                model, post_index, timestamp, self.rng, observed_counts
+            )
+            task.complete(post)
+            return post
+        return None

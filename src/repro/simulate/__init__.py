@@ -1,0 +1,86 @@
+"""Synthetic del.icio.us-style corpora (the paper's dataset substitute).
+
+The generator reproduces the statistical mechanisms the paper's
+evaluation relies on — per-resource rfd convergence (latent tag
+distributions + multinomial tagging), the skewed popularity of Fig 1(b)
+(bounded Pareto post counts), a large under-tagged population at the
+cutoff (Beta initial shares), crowd noise (typos, personal tags, spam),
+and an ODP-like topic hierarchy for ground-truth similarity.
+"""
+
+from repro.simulate.generator import (
+    CorpusConfig,
+    CorpusGenerator,
+    GeneratedCorpus,
+    generate_posts_for_model,
+)
+from repro.simulate.ontology import TopicHierarchy, aspect_similarity, pairwise_ground_truth
+from repro.simulate.popularity import (
+    PopularityConfig,
+    draw_initial_share,
+    draw_total_posts,
+    heavy_tail_counts,
+)
+from repro.simulate.resource_models import (
+    AspectConfig,
+    ResourceModel,
+    TagSampler,
+    build_resource_model,
+    mixture_distribution,
+    synthetic_site_name,
+)
+from repro.simulate.scenario import (
+    CaseStudyScenario,
+    CaseStudySubject,
+    case_study_scenario,
+    figure1a_scenario,
+    paper_scenario,
+    small_scenario,
+    tiny_scenario,
+    universe_scenario,
+)
+from repro.simulate.taggers import TaggerBehavior, generate_post
+from repro.simulate.vocab import (
+    GENERAL_TAGS,
+    PERSONAL_TAGS,
+    SEED_TAXONOMY,
+    domain_tag_pool,
+    leaf_tag_pool,
+    zipf_weights,
+)
+
+__all__ = [
+    "AspectConfig",
+    "CaseStudyScenario",
+    "CaseStudySubject",
+    "CorpusConfig",
+    "CorpusGenerator",
+    "GENERAL_TAGS",
+    "GeneratedCorpus",
+    "PERSONAL_TAGS",
+    "PopularityConfig",
+    "ResourceModel",
+    "SEED_TAXONOMY",
+    "TagSampler",
+    "TaggerBehavior",
+    "TopicHierarchy",
+    "aspect_similarity",
+    "build_resource_model",
+    "case_study_scenario",
+    "domain_tag_pool",
+    "draw_initial_share",
+    "draw_total_posts",
+    "figure1a_scenario",
+    "generate_post",
+    "generate_posts_for_model",
+    "heavy_tail_counts",
+    "leaf_tag_pool",
+    "mixture_distribution",
+    "paper_scenario",
+    "pairwise_ground_truth",
+    "small_scenario",
+    "synthetic_site_name",
+    "tiny_scenario",
+    "universe_scenario",
+    "zipf_weights",
+]

@@ -1,0 +1,294 @@
+"""Latent resource models: what a resource is "truly about".
+
+Each synthetic resource carries a latent tag distribution — the
+probability that a tagger who tags it uses each tag.  The empirical rfd
+of a long post sequence converges to (a noisy version of) this
+distribution, which is exactly the convergence phenomenon the paper's
+stability machinery measures.
+
+A model mixes three sources of tags:
+
+* **topical aspects** — one to three taxonomy leaves with Dirichlet
+  weights.  Multi-aspect resources have wider distributions and
+  therefore later stable points (the heterogeneity behind Fig 5);
+* **general tags** — cross-topic filler mass ("cool", "toread");
+* **resource-specific tags** — the resource's own name tokens, which
+  never collide across resources.
+
+Models can also carry an *early distribution*: a different mixture used
+for the first posts only.  The case studies use this to recreate the
+paper's myphysicslab.com story, where early posts described the Java
+implementation rather than the physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import DataModelError
+from repro.simulate.ontology import CategoryPath, TopicHierarchy
+from repro.simulate.vocab import (
+    GENERAL_TAGS,
+    domain_tag_pool,
+    leaf_tag_pool,
+    zipf_weights,
+)
+
+__all__ = ["TagSampler", "ResourceModel", "AspectConfig", "build_resource_model",
+           "synthetic_site_name"]
+
+_NAME_SYLLABLES = [
+    "zor", "bix", "lum", "tra", "ven", "kai", "pod", "nex", "ril", "sto",
+    "mar", "fen", "qua", "dex", "vio", "han", "pel", "cur", "nim", "tor",
+]
+
+
+def synthetic_site_name(rng: np.random.Generator, leaf: str) -> str:
+    """A plausible site name rooted in its topic, e.g. ``zorbixphysics.com``.
+
+    Args:
+        rng: Source of randomness.
+        leaf: The resource's primary subtopic.
+    """
+    syllables = "".join(rng.choice(_NAME_SYLLABLES) for _ in range(2))
+    stem = leaf.split("-")[0]
+    return f"{syllables}{stem}.com"
+
+
+class TagSampler:
+    """Weighted sampling of distinct tags from a sparse distribution.
+
+    Precomputes cumulative weights once so that per-post sampling is a
+    few ``searchsorted`` calls — the generator draws hundreds of
+    thousands of posts.
+
+    Args:
+        distribution: ``tag -> probability`` (normalised internally).
+    """
+
+    __slots__ = ("tags", "_cumulative")
+
+    def __init__(self, distribution: dict[str, float]) -> None:
+        if not distribution:
+            raise DataModelError("tag distribution must be non-empty")
+        items = sorted(distribution.items(), key=lambda kv: (-kv[1], kv[0]))
+        self.tags = tuple(tag for tag, _ in items)
+        weights = np.array([max(w, 0.0) for _, w in items], dtype=np.float64)
+        total = weights.sum()
+        if total <= 0:
+            raise DataModelError("tag distribution must have positive mass")
+        self._cumulative = np.cumsum(weights / total)
+
+    def sample_distinct(self, count: int, rng: np.random.Generator) -> list[str]:
+        """Draw up to ``count`` *distinct* tags (weighted, no replacement).
+
+        Uses rejection on repeated draws; with the concentrated
+        distributions we generate, a handful of rounds suffices.  May
+        return fewer than ``count`` tags if the support is smaller.
+        """
+        count = min(count, len(self.tags))
+        chosen: dict[str, None] = {}
+        # Each round draws a batch; 6 rounds bound the loop even under
+        # extreme concentration (then we fall back to the head tags).
+        for _ in range(6):
+            needed = count - len(chosen)
+            if needed <= 0:
+                break
+            draws = np.searchsorted(self._cumulative, rng.random(needed * 2 + 2))
+            for position in draws:
+                tag = self.tags[min(int(position), len(self.tags) - 1)]
+                chosen.setdefault(tag, None)
+                if len(chosen) == count:
+                    break
+        for tag in self.tags:  # deterministic fallback
+            if len(chosen) >= count:
+                break
+            chosen.setdefault(tag, None)
+        return list(chosen)
+
+
+@dataclass
+class ResourceModel:
+    """The latent description of one synthetic resource.
+
+    Attributes:
+        resource_id: Stable identifier (matches the generated
+            :class:`~repro.core.resources.Resource`).
+        title: Display name (a synthetic domain name).
+        aspects: ``(leaf path, weight)`` pairs, weights summing to 1;
+            ground truth for the Fig 7 / case-study evaluations.
+        distribution: The latent tag distribution taggers draw from.
+        early_distribution: Optional biased distribution for the first
+            ``early_count`` posts (case-study scenarios).
+        early_count: How many leading posts use the early distribution.
+    """
+
+    resource_id: str
+    title: str
+    aspects: tuple[tuple[CategoryPath, float], ...]
+    distribution: dict[str, float]
+    early_distribution: dict[str, float] | None = None
+    early_count: int = 0
+
+    _sampler: TagSampler | None = field(default=None, init=False, repr=False, compare=False)
+    _early_sampler: TagSampler | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def primary_category(self) -> CategoryPath:
+        """The heaviest aspect's leaf path."""
+        return max(self.aspects, key=lambda pair: pair[1])[0]
+
+    def sampler_for_post(self, post_index: int) -> TagSampler:
+        """The sampler for the ``post_index``-th post (0-based).
+
+        Early posts (below :attr:`early_count`) use the early
+        distribution when one is set.
+        """
+        if self.early_distribution is not None and post_index < self.early_count:
+            if self._early_sampler is None:
+                self._early_sampler = TagSampler(self.early_distribution)
+            return self._early_sampler
+        if self._sampler is None:
+            self._sampler = TagSampler(self.distribution)
+        return self._sampler
+
+
+@dataclass(frozen=True)
+class AspectConfig:
+    """Knobs controlling resource aspect mixtures.
+
+    Attributes:
+        aspect_count_probs: Probability of a resource having 1, 2, 3, ...
+            topical aspects.  Multi-aspect resources converge slower.
+        topic_mass: Latent probability mass on topical tags.
+        general_mass: Mass on cross-topic general tags.
+        specific_mass: Mass on the resource's own name tokens.
+        leaf_pool_size: Topical tags drawn from each leaf's pool.
+        leaf_zipf_exponent: Mean concentration of within-leaf tag
+            popularity.
+        leaf_zipf_spread: Per-resource exponent jitter: each resource's
+            exponent is drawn uniformly from ``mean ± spread``.  This is
+            the main source of stable-point heterogeneity (the paper's
+            50–200 range): concentrated resources stabilise after few
+            posts, flat ones need many.
+    """
+
+    aspect_count_probs: tuple[float, ...] = (0.55, 0.30, 0.15)
+    topic_mass: float = 0.76
+    general_mass: float = 0.10
+    specific_mass: float = 0.14
+    leaf_pool_size: int = 12
+    leaf_zipf_exponent: float = 2.1
+    leaf_zipf_spread: float = 0.9
+
+    def __post_init__(self) -> None:
+        total = self.topic_mass + self.general_mass + self.specific_mass
+        if abs(total - 1.0) > 1e-9:
+            raise DataModelError(f"mixture masses must sum to 1, got {total}")
+        if abs(sum(self.aspect_count_probs) - 1.0) > 1e-9:
+            raise DataModelError("aspect_count_probs must sum to 1")
+
+
+def _leaf_distribution(
+    path: CategoryPath, config: AspectConfig, zipf_exponent: float | None = None
+) -> dict[str, float]:
+    """Within-leaf tag distribution: leaf tags (80%) + domain tags (20%)."""
+    domain, leaf = path
+    pool = leaf_tag_pool(domain, leaf, config.leaf_pool_size)
+    weights = zipf_weights(len(pool), zipf_exponent or config.leaf_zipf_exponent)
+    distribution = {tag: 0.8 * float(w) for tag, w in zip(pool, weights)}
+    domain_pool = domain_tag_pool(domain)
+    domain_weights = zipf_weights(len(domain_pool), 1.0)
+    for tag, w in zip(domain_pool, domain_weights):
+        distribution[tag] = distribution.get(tag, 0.0) + 0.2 * float(w)
+    return distribution
+
+
+def mixture_distribution(
+    aspects: tuple[tuple[CategoryPath, float], ...],
+    specific_tags: list[str],
+    config: AspectConfig,
+    zipf_exponent: float | None = None,
+) -> dict[str, float]:
+    """Combine aspects, general filler, and resource-specific tags.
+
+    Args:
+        aspects: ``(leaf path, weight)`` pairs summing to 1.
+        specific_tags: The resource's own tags (name tokens).
+        config: Mixture masses and pool parameters.
+        zipf_exponent: Per-resource within-leaf concentration (defaults
+            to the config mean).
+
+    Returns:
+        A normalised latent tag distribution.
+    """
+    distribution: dict[str, float] = {}
+    for path, weight in aspects:
+        for tag, mass in _leaf_distribution(path, config, zipf_exponent).items():
+            distribution[tag] = distribution.get(tag, 0.0) + config.topic_mass * weight * mass
+    general_weights = zipf_weights(len(GENERAL_TAGS), 1.1)
+    for tag, w in zip(GENERAL_TAGS, general_weights):
+        distribution[tag] = distribution.get(tag, 0.0) + config.general_mass * float(w)
+    if specific_tags:
+        share = config.specific_mass / len(specific_tags)
+        for tag in specific_tags:
+            distribution[tag] = distribution.get(tag, 0.0) + share
+    total = sum(distribution.values())
+    return {tag: mass / total for tag, mass in distribution.items()}
+
+
+def build_resource_model(
+    resource_id: str,
+    hierarchy: TopicHierarchy,
+    rng: np.random.Generator,
+    config: AspectConfig | None = None,
+    *,
+    forced_aspects: tuple[tuple[CategoryPath, float], ...] | None = None,
+    title: str | None = None,
+) -> ResourceModel:
+    """Sample a resource model from the taxonomy.
+
+    Args:
+        resource_id: Identifier for the resource.
+        hierarchy: Leaf universe to draw aspects from.
+        rng: Source of randomness.
+        config: Mixture knobs (default :class:`AspectConfig`).
+        forced_aspects: Fix the aspect mixture instead of sampling
+            (case-study scenarios engineer specific resources).
+        title: Fix the title instead of synthesising one.
+
+    Returns:
+        A fully initialised :class:`ResourceModel` (no early bias; set
+        that separately for case-study subjects).
+    """
+    config = config or AspectConfig()
+    if forced_aspects is not None:
+        aspects = forced_aspects
+        for path, _ in aspects:
+            hierarchy.validate(path)
+    else:
+        count = int(rng.choice(len(config.aspect_count_probs), p=config.aspect_count_probs)) + 1
+        chosen = rng.choice(len(hierarchy.leaves), size=count, replace=False)
+        raw = rng.dirichlet(np.linspace(3.0, 1.0, count))
+        order = np.argsort(raw)[::-1]
+        aspects = tuple(
+            (hierarchy.leaves[int(chosen[i])], float(raw[i])) for i in order
+        )
+    primary_leaf = max(aspects, key=lambda pair: pair[1])[0][1]
+    resolved_title = title if title is not None else synthetic_site_name(rng, primary_leaf)
+    stem = resolved_title.split(".")[0]
+    specific = [stem, f"{stem}-site"]
+    exponent = config.leaf_zipf_exponent
+    if config.leaf_zipf_spread > 0:
+        exponent += float(rng.uniform(-config.leaf_zipf_spread, config.leaf_zipf_spread))
+    distribution = mixture_distribution(aspects, specific, config, exponent)
+    return ResourceModel(
+        resource_id=resource_id,
+        title=resolved_title,
+        aspects=aspects,
+        distribution=distribution,
+    )

@@ -1,0 +1,417 @@
+"""Scenario presets: ready-made corpora for tests, examples and benchmarks.
+
+Every preset is deterministic in its seed and returns a
+:class:`~repro.simulate.generator.GeneratedCorpus` (dataset + latent
+ground truth).  The main presets:
+
+* :func:`tiny_scenario` / :func:`small_scenario` — fast corpora for tests
+  and documentation examples;
+* :func:`paper_scenario` — the Section V-A analogue: resources are
+  *pre-filtered to those whose full sequences reach stability* under the
+  stringent ``(ω_s, τ_s) = (20, 0.9999)``, exactly like the paper's
+  5,000-URL selection;
+* :func:`universe_scenario` — the heavy-tailed population behind
+  Fig 1(b) and the Section I statistics;
+* :func:`figure1a_scenario` — a single Google-Earth-like resource whose
+  tag trajectories reproduce Fig 1(a);
+* :func:`case_study_scenario` — the engineered subjects and resource
+  pools behind Tables VI and VII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataset import TaggingDataset
+from repro.core.errors import DataModelError, NotStableError
+from repro.core.resources import Resource, ResourceSet
+from repro.core.stability import PREPARATION_OMEGA, PREPARATION_TAU, practically_stable_rfd
+from repro.simulate.generator import (
+    CorpusConfig,
+    CorpusGenerator,
+    GeneratedCorpus,
+    generate_posts_for_model,
+)
+from repro.simulate.ontology import CategoryPath, TopicHierarchy
+from repro.simulate.popularity import PopularityConfig
+from repro.simulate.resource_models import (
+    AspectConfig,
+    ResourceModel,
+    build_resource_model,
+    mixture_distribution,
+)
+from repro.simulate.taggers import TaggerBehavior
+
+__all__ = [
+    "tiny_scenario",
+    "small_scenario",
+    "paper_scenario",
+    "universe_scenario",
+    "figure1a_scenario",
+    "CaseStudySubject",
+    "CaseStudyScenario",
+    "case_study_scenario",
+]
+
+
+def _filter_stable(corpus: GeneratedCorpus, n: int) -> GeneratedCorpus:
+    """Keep the first ``n`` resources whose sequences reach stability.
+
+    This mirrors the paper's dataset preparation: only resources whose
+    full post sequence satisfies ``m(k, ω_s) > τ_s`` for some ``k``
+    qualify for the evaluation.
+
+    Raises:
+        DataModelError: If fewer than ``n`` resources qualify (the
+            caller should over-generate more).
+    """
+    kept: list[int] = []
+    for index, resource in enumerate(corpus.dataset.resources):
+        try:
+            practically_stable_rfd(
+                resource.sequence,
+                PREPARATION_OMEGA,
+                PREPARATION_TAU,
+                resource_id=resource.resource_id,
+            )
+        except NotStableError:
+            continue
+        kept.append(index)
+        if len(kept) == n:
+            break
+    if len(kept) < n:
+        raise DataModelError(
+            f"only {len(kept)} of {len(corpus.dataset)} generated resources reach "
+            f"stability; requested {n} — increase the over-generation factor"
+        )
+    return GeneratedCorpus(
+        dataset=corpus.dataset.subset(kept, name=corpus.dataset.name),
+        models=[corpus.models[i] for i in kept],
+        hierarchy=corpus.hierarchy,
+        config=corpus.config,
+    )
+
+
+def paper_scenario(
+    n: int = 600,
+    seed: int = 0,
+    *,
+    overgeneration: float = 1.8,
+    config: CorpusConfig | None = None,
+) -> GeneratedCorpus:
+    """The Section V-A experiment corpus (scaled).
+
+    Generates ``overgeneration * n`` resources and keeps the first ``n``
+    that reach stability under the stringent preparation parameters —
+    the same selection the paper applies to its del.icio.us dump.  The
+    paper runs on 5,000 resources; the default here is laptop-sized, and
+    any scale is one argument away.
+
+    Args:
+        n: Number of qualifying resources to keep.
+        seed: Corpus seed.
+        overgeneration: How many candidate resources to generate per
+            kept resource (the default stability pass rate is ~65%).
+        config: Optional base config; its ``n_resources`` is overridden.
+
+    Returns:
+        A stability-filtered :class:`GeneratedCorpus` of exactly ``n``
+        resources.
+    """
+    base = config or CorpusConfig()
+    raw_n = max(n + 5, int(np.ceil(n * overgeneration)))
+    generator = CorpusGenerator(
+        CorpusConfig(
+            n_resources=raw_n,
+            year_days=base.year_days,
+            cutoff_day=base.cutoff_day,
+            popularity=base.popularity,
+            aspects=base.aspects,
+            tagger=base.tagger,
+            name=f"paper-scale-{n}",
+        ),
+        seed=seed,
+    )
+    return _filter_stable(generator.generate(), n)
+
+
+def tiny_scenario(seed: int = 0) -> GeneratedCorpus:
+    """A ~25-resource corpus for unit tests and doc snippets (unfiltered)."""
+    generator = CorpusGenerator(
+        CorpusConfig(
+            n_resources=25,
+            popularity=PopularityConfig(min_posts=60, max_posts=200),
+            name="tiny",
+        ),
+        seed=seed,
+    )
+    return generator.generate()
+
+
+def small_scenario(seed: int = 0, n: int = 80) -> GeneratedCorpus:
+    """A stability-filtered small corpus for integration tests."""
+    return paper_scenario(n=n, seed=seed, overgeneration=2.0)
+
+
+def universe_scenario(seed: int = 0, n: int = 5000) -> GeneratedCorpus:
+    """The heavy-tailed population of Fig 1(b) and the Section I stats.
+
+    Most resources receive a single post; the head receives thousands.
+    Use :meth:`TaggingDataset.posts_distribution` for the log-log
+    histogram.
+    """
+    generator = CorpusGenerator(CorpusConfig(n_resources=n, name="universe"), seed=seed)
+    return generator.generate_universe()
+
+
+def figure1a_scenario(seed: int = 0, num_posts: int = 500) -> GeneratedCorpus:
+    """A single Google-Earth-like resource (Fig 1(a)'s subject).
+
+    The latent distribution is hand-set so the five tracked tags
+    (google, maps, earth, software, travel) dominate, with a long tail
+    of minor tags; 500 posts reproduce the convergence picture.
+    """
+    hierarchy = TopicHierarchy.from_taxonomy()
+    head = {"google": 0.20, "maps": 0.16, "earth": 0.12, "software": 0.08, "travel": 0.05}
+    tail_tags = [
+        "geography", "satellite", "imagery", "globe", "gis", "3d", "flight",
+        "cool", "reference", "tools", "free", "visualization", "world", "atlas",
+        "navigation", "weather", "scenery", "photos", "terrain", "routes",
+        "cities", "planet", "explore", "mapping", "aerial", "landmarks",
+        "geo", "virtual", "sightseeing", "panorama", "streets", "borders",
+        "countries", "elevation", "compass", "latitude", "longitude",
+    ]
+    # A long, fairly flat tail keeps the rfd jiggling for ~100 posts, so
+    # the MA-score picture matches the paper's illustration timescales.
+    tail_mass = 1.0 - sum(head.values())
+    weights = np.array([1.0 / (r + 2) ** 0.7 for r in range(len(tail_tags))])
+    weights = weights / weights.sum() * tail_mass
+    distribution = dict(head)
+    for tag, weight in zip(tail_tags, weights):
+        distribution[tag] = float(weight)
+    model = ResourceModel(
+        resource_id="google-earth",
+        title="earth.google.com",
+        aspects=((("travel", "destinations"), 1.0),),
+        distribution=distribution,
+    )
+    rng = np.random.default_rng(seed)
+    timestamps = np.sort(rng.uniform(0.0, 365.0, size=num_posts))
+    # Imitation (the Pólya-urn dynamic) gives the early rfd the slow
+    # drift visible in the paper's Fig 1(a)/Fig 3 traces.
+    behavior = TaggerBehavior(typo_rate=0.02, personal_rate=0.10, imitation_rate=0.35)
+    sequence = generate_posts_for_model(model, timestamps, rng, behavior)
+    resources = ResourceSet(
+        [
+            Resource(
+                resource_id=model.resource_id,
+                sequence=sequence,
+                title=model.title,
+                category=model.primary_category,
+            )
+        ]
+    )
+    config = CorpusConfig(n_resources=1, name="figure1a")
+    return GeneratedCorpus(
+        dataset=TaggingDataset(resources, name="figure1a"),
+        models=[model],
+        hierarchy=hierarchy,
+        config=config,
+    )
+
+
+# ----------------------------------------------------------------------
+# case studies (Tables VI and VII)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CaseStudySubject:
+    """One engineered case-study subject.
+
+    Attributes:
+        resource_id: Subject's id in the corpus.
+        story: Short label of the narrative ("physics-vs-java", ...).
+        true_leaf: The leaf the subject is really about.
+        bias_leaf: The leaf its early posts wrongly emphasise (``None``
+            for the over-popular control subject).
+    """
+
+    resource_id: str
+    story: str
+    true_leaf: CategoryPath
+    bias_leaf: CategoryPath | None
+
+
+@dataclass
+class CaseStudyScenario:
+    """The Tables VI/VII corpus: subjects, labelled pools, background.
+
+    Attributes:
+        corpus: The full corpus (subjects + pools + background).
+        subjects: The four engineered subjects, Table VI's first.
+        pool_labels: ``resource_id -> leaf path`` for every pool member
+            (used to label rows in the rendered tables).
+    """
+
+    corpus: GeneratedCorpus
+    subjects: list[CaseStudySubject]
+    pool_labels: dict[str, CategoryPath] = field(default_factory=dict)
+
+
+_SUBJECT_SPECS: list[tuple[str, CategoryPath, CategoryPath | None]] = [
+    ("physics-vs-java", ("science", "physics"), ("programming", "java")),
+    ("video-editing-vs-sharing", ("media", "video-editing"), ("media", "video-sharing")),
+    ("architecture-vs-news", ("news", "architecture"), ("news", "technews")),
+    ("espn-control", ("sports", "football"), None),
+]
+
+
+def _subject_model(
+    story: str,
+    true_leaf: CategoryPath,
+    bias_leaf: CategoryPath | None,
+    rng: np.random.Generator,
+    aspects_config: AspectConfig,
+    early_count: int,
+) -> ResourceModel:
+    """Build a subject: true mixture plus (optionally) a biased early one."""
+    if bias_leaf is None:
+        forced = ((true_leaf, 1.0),)
+    else:
+        forced = ((true_leaf, 0.7), (bias_leaf, 0.3))
+    stem = story.replace("-", "")[:10]
+    title = f"{stem}.com"
+    specific = [stem, f"{stem}-site"]
+    distribution = mixture_distribution(forced, specific, aspects_config, 2.2)
+    early = None
+    if bias_leaf is not None:
+        early = mixture_distribution(
+            ((bias_leaf, 0.85), (true_leaf, 0.15)), specific, aspects_config, 2.2
+        )
+    return ResourceModel(
+        resource_id=f"subject-{story}",
+        title=title,
+        aspects=forced,
+        distribution=distribution,
+        early_distribution=early,
+        early_count=early_count,
+    )
+
+
+def case_study_scenario(seed: int = 0) -> CaseStudyScenario:
+    """Build the Tables VI/VII corpus.
+
+    Per subject: ~10 same-leaf pool resources (the *right* answers for
+    its top-10 query, sparsely tagged in January so FP helps them), and
+    — for biased subjects — ~10 popular bias-leaf resources (the *wrong*
+    answers that dominate the January ranking).  A background population
+    from unrelated domains completes the corpus.
+
+    The subject's future posts arrive late in the year, so the FC
+    baseline (which replays arrival order) spends its budget on the
+    popular pools instead — recreating the paper's contrast between the
+    FC and FP columns.
+    """
+    rng = np.random.default_rng(seed)
+    hierarchy = TopicHierarchy.from_taxonomy()
+    aspects_config = AspectConfig()
+    behavior = TaggerBehavior()
+    resources = ResourceSet()
+    models: list[ResourceModel] = []
+    subjects: list[CaseStudySubject] = []
+    pool_labels: dict[str, CategoryPath] = {}
+
+    def add_resource(model: ResourceModel, timestamps: np.ndarray) -> None:
+        sequence = generate_posts_for_model(model, timestamps, rng, behavior)
+        resources.add(
+            Resource(
+                resource_id=model.resource_id,
+                sequence=sequence,
+                title=model.title,
+                category=model.primary_category,
+            )
+        )
+        models.append(model)
+
+    def pool_timestamps(jan: int, total: int, future_start: float) -> np.ndarray:
+        early = np.sort(rng.uniform(0.0, 31.0, size=jan))
+        late = np.sort(rng.uniform(future_start, 365.0, size=total - jan))
+        return np.concatenate([early, late])
+
+    def pool_member(
+        leaf: CategoryPath, tag: str, index: int, jan: int, total: int, future_start: float
+    ) -> None:
+        model = build_resource_model(
+            f"{tag}-{index:02d}",
+            hierarchy,
+            rng,
+            aspects_config,
+            forced_aspects=((leaf, 1.0),),
+        )
+        add_resource(model, pool_timestamps(jan, total, future_start))
+        pool_labels[model.resource_id] = leaf
+
+    for story, true_leaf, bias_leaf in _SUBJECT_SPECS:
+        control = bias_leaf is None
+        jan = 240 if control else int(rng.integers(6, 11))
+        total = 520 if control else int(rng.integers(380, 460))
+        model = _subject_model(story, true_leaf, bias_leaf, rng, aspects_config, jan)
+        # Subject's organic future posts arrive late: free-choosing
+        # taggers discover it only at year end.
+        add_resource(model, pool_timestamps(jan, total, future_start=200.0))
+        subjects.append(
+            CaseStudySubject(
+                resource_id=model.resource_id,
+                story=story,
+                true_leaf=true_leaf,
+                bias_leaf=bias_leaf,
+            )
+        )
+        # The "right answers": same-leaf resources, under-tagged in January.
+        for index in range(10):
+            pool_member(
+                true_leaf,
+                f"pool-{true_leaf[1]}",
+                index,
+                jan=int(rng.integers(150, 260)) if control else int(rng.integers(4, 14)),
+                total=int(rng.integers(320, 420)) if control else int(rng.integers(180, 320)),
+                future_start=31.0 if control else 120.0,
+            )
+        # The "wrong answers": popular, already well-tagged bias-leaf
+        # resources whose posts keep flowing all year.
+        if bias_leaf is not None:
+            for index in range(10):
+                pool_member(
+                    bias_leaf,
+                    f"pool-{bias_leaf[1]}",
+                    index,
+                    jan=int(rng.integers(120, 260)),
+                    total=int(rng.integers(500, 900)),
+                    future_start=31.0,
+                )
+
+    background_domains = ("music", "travel", "cooking")
+    index = 0
+    for domain in background_domains:
+        for leaf in hierarchy.leaves_of(domain):
+            for _ in range(3):
+                model = build_resource_model(
+                    f"bg-{index:03d}", hierarchy, rng, aspects_config,
+                    forced_aspects=((leaf, 1.0),),
+                )
+                jan = int(rng.integers(10, 60))
+                total = jan + int(rng.integers(100, 300))
+                add_resource(model, pool_timestamps(jan, total, future_start=31.0))
+                index += 1
+
+    config = CorpusConfig(n_resources=len(resources), name="case-study")
+    corpus = GeneratedCorpus(
+        dataset=TaggingDataset(resources, name="case-study"),
+        models=models,
+        hierarchy=hierarchy,
+        config=config,
+    )
+    return CaseStudyScenario(corpus=corpus, subjects=subjects, pool_labels=pool_labels)

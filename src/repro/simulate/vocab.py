@@ -1,0 +1,166 @@
+"""Synthetic tag vocabulary: a curated topic taxonomy plus filler tags.
+
+The del.icio.us corpus is unavailable, so the generator needs a believable
+tag universe.  This module provides one: eight top-level domains, each
+with three or four subtopics (the *leaves* resources attach to), where
+every leaf carries a pool of topical tags — a curated core (so case-study
+tables read like the paper's: "physics", "java", "video") padded with
+derived tags ("physics-tutorial", "java-blog") up to a configurable pool
+size.
+
+Two further pools model tagger noise:
+
+* :data:`GENERAL_TAGS` — cross-topic filler ("cool", "toread", ...) every
+  resource attracts some mass of;
+* :data:`PERSONAL_TAGS` — tagger-private vocabulary ("todo", "later"),
+  occasionally appended to posts regardless of the resource.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SEED_TAXONOMY",
+    "GENERAL_TAGS",
+    "PERSONAL_TAGS",
+    "TAG_SUFFIXES",
+    "leaf_tag_pool",
+    "domain_tag_pool",
+    "zipf_weights",
+]
+
+SEED_TAXONOMY: dict[str, dict[str, list[str]]] = {
+    "programming": {
+        "_domain": ["programming", "code", "development", "software"],
+        "java": ["java", "jvm", "eclipse", "servlets", "spring", "applets", "jdk", "swing"],
+        "python": ["python", "django", "scripting", "numpy", "pip", "flask", "jupyter"],
+        "webdev": ["webdesign", "css", "html", "javascript", "ajax", "dom", "frontend"],
+    },
+    "science": {
+        "_domain": ["science", "research", "education", "learning"],
+        "physics": ["physics", "mechanics", "quantum", "optics", "relativity", "energy",
+                    "experiments", "simulation"],
+        "astronomy": ["astronomy", "space", "telescope", "planets", "stars", "nasa", "cosmos"],
+        "biology": ["biology", "genetics", "evolution", "cells", "dna", "ecology", "species"],
+    },
+    "media": {
+        "_domain": ["media", "digital", "multimedia", "content"],
+        "video-editing": ["video", "editing", "encoder", "codecs", "effects", "render",
+                          "timeline", "convert"],
+        "video-sharing": ["video", "sharing", "streaming", "clips", "upload", "channels",
+                          "viral", "watch"],
+        "photo-editing": ["photo", "editing", "filters", "retouch", "layers", "crop",
+                          "exposure", "raw"],
+        "photo-sharing": ["photo", "sharing", "gallery", "albums", "pictures", "upload",
+                          "slideshow", "prints"],
+    },
+    "sports": {
+        "_domain": ["sports", "scores", "teams", "league"],
+        "football": ["football", "nfl", "quarterback", "touchdown", "playoffs", "draft"],
+        "basketball": ["basketball", "nba", "dunk", "court", "finals", "rookie"],
+        "tennis": ["tennis", "atp", "racket", "grandslam", "wimbledon", "serve"],
+    },
+    "news": {
+        "_domain": ["news", "daily", "press", "headlines"],
+        "politics": ["politics", "election", "policy", "government", "senate", "campaign"],
+        "technews": ["technology", "startups", "gadgets", "internet", "web2.0", "innovation"],
+        "architecture": ["architecture", "buildings", "design", "urban", "construction",
+                         "skyscraper"],
+    },
+    "music": {
+        "_domain": ["music", "audio", "listening", "songs"],
+        "rock": ["rock", "guitar", "bands", "concert", "indie", "vinyl"],
+        "jazz": ["jazz", "saxophone", "improvisation", "bebop", "swing-music", "quartet"],
+        "electronic": ["electronic", "synth", "techno", "dj", "remix", "ambient"],
+    },
+    "travel": {
+        "_domain": ["travel", "trips", "tourism", "vacation"],
+        "destinations": ["destinations", "cities", "beaches", "landmarks", "maps", "guides"],
+        "flights": ["flights", "airlines", "airports", "booking", "fares", "miles"],
+        "hotels": ["hotels", "hostels", "resorts", "reviews", "booking", "rooms"],
+    },
+    "cooking": {
+        "_domain": ["cooking", "food", "kitchen", "recipes"],
+        "baking": ["baking", "bread", "pastry", "oven", "dough", "cakes"],
+        "drinks": ["drinks", "coffee", "cocktails", "wine", "brewing", "tea"],
+        "vegetarian": ["vegetarian", "vegan", "salads", "greens", "tofu", "plantbased"],
+    },
+}
+"""Domain -> {subtopic -> curated tags}; the ``_domain`` key holds tags
+shared by every subtopic of the domain."""
+
+GENERAL_TAGS: list[str] = [
+    "cool", "interesting", "web", "toread", "reference", "useful", "fun",
+    "free", "online", "imported", "bookmarks", "tools", "blog", "resources",
+    "list", "archive", "search", "howto",
+]
+"""Cross-topic filler tags (ordered by intended popularity)."""
+
+PERSONAL_TAGS: list[str] = [
+    "todo", "later", "temp", "stuff", "misc", "saved", "check", "own",
+    "forwork", "forhome", "weekly", "someday",
+]
+"""Tagger-private vocabulary, attached to posts independently of topic."""
+
+TAG_SUFFIXES: list[str] = [
+    "guide", "tutorial", "wiki", "howto", "tools", "news", "blog",
+    "reference", "lab", "hub", "archive", "daily", "online", "forum",
+]
+"""Suffixes used to derive filler topical tags (e.g. ``physics-tutorial``)."""
+
+
+def zipf_weights(count: int, exponent: float = 0.85) -> np.ndarray:
+    """Normalised Zipf-like weights ``w_r ∝ 1 / (r + 1)^exponent``.
+
+    Tag popularity within a pool follows a power law (the paper's
+    Fig 1(a) shows the familiar steep head); ``exponent`` tunes how
+    concentrated the head is.
+
+    Args:
+        count: Number of ranks.
+        exponent: Power-law exponent (``> 0``).
+
+    Returns:
+        A ``float64`` array summing to 1.
+    """
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def leaf_tag_pool(domain: str, leaf: str, pool_size: int = 20) -> list[str]:
+    """The topical tag pool of a leaf, curated core first.
+
+    Curated tags come straight from :data:`SEED_TAXONOMY`; the pool is
+    padded to ``pool_size`` with derived tags ``{leaf}-{suffix}``.
+
+    Args:
+        domain: Top-level domain name.
+        leaf: Subtopic name within the domain.
+        pool_size: Desired pool size (padding stops at the suffix pool's
+            end, so very large requests return fewer tags).
+
+    Returns:
+        Distinct tags, most popular first.
+
+    Raises:
+        KeyError: If the domain or leaf is not in the taxonomy.
+    """
+    curated = list(SEED_TAXONOMY[domain][leaf])
+    seen = set(curated)
+    for suffix in TAG_SUFFIXES:
+        if len(curated) >= pool_size:
+            break
+        derived = f"{leaf}-{suffix}"
+        if derived not in seen:
+            curated.append(derived)
+            seen.add(derived)
+    return curated[:pool_size]
+
+
+def domain_tag_pool(domain: str) -> list[str]:
+    """Tags shared by every subtopic of ``domain``."""
+    return list(SEED_TAXONOMY[domain]["_domain"])

@@ -1,0 +1,108 @@
+"""Tests for the optimal DP (Algorithm 6) and its implementations."""
+
+import numpy as np
+import pytest
+
+from repro.core import BudgetError, QualityProfile
+from repro.allocation import (
+    brute_force_optimal,
+    gains_from_profiles,
+    solve_dp,
+    solve_dp_reference,
+)
+
+
+class TestPaperExample:
+    def test_example_3_optimum(self, paper_r1_posts, paper_r2_posts, paper_stable_rfds):
+        profiles = [
+            QualityProfile(paper_r1_posts, paper_stable_rfds[0]),
+            QualityProfile(paper_r2_posts, paper_stable_rfds[1]),
+        ]
+        gains = gains_from_profiles(profiles, np.array([3, 2]), budget=2)
+        result = solve_dp(gains, 2)
+        assert result.x.tolist() == [1, 1]
+        assert result.mean_quality == pytest.approx(0.990, abs=2e-3)
+
+    def test_reference_agrees(self, paper_r1_posts, paper_r2_posts, paper_stable_rfds):
+        profiles = [
+            QualityProfile(paper_r1_posts, paper_stable_rfds[0]),
+            QualityProfile(paper_r2_posts, paper_stable_rfds[1]),
+        ]
+        gains = gains_from_profiles(profiles, np.array([3, 2]), budget=2)
+        assert solve_dp_reference(gains, 2).x.tolist() == [1, 1]
+
+
+class TestCorrectness:
+    def test_single_resource_takes_whole_budget(self):
+        gains = [np.array([0.1, 0.5, 0.3, 0.9])]
+        result = solve_dp(gains, 2)
+        assert result.x.tolist() == [2]
+        assert result.value == pytest.approx(0.3)
+
+    def test_exact_spend_even_when_quality_decreases(self):
+        # Definition 11 demands Σx = B even if extra posts hurt.
+        gains = [np.array([0.9, 0.2]), np.array([0.8, 0.3])]
+        result = solve_dp(gains, 2)
+        assert result.x.sum() == 2
+        assert result.value == pytest.approx(0.5)
+
+    def test_budget_zero(self):
+        gains = [np.array([0.4, 0.9]), np.array([0.5, 0.1])]
+        result = solve_dp(gains, 0)
+        assert result.x.tolist() == [0, 0]
+        assert result.value == pytest.approx(0.9)
+
+    def test_caps_respected(self):
+        gains = [np.array([0.0, 1.0]), np.array([0.0, 0.1, 0.2, 0.3])]
+        result = solve_dp(gains, 4)
+        assert result.x.tolist() == [1, 3]
+
+    def test_infeasible_budget_raises(self):
+        gains = [np.array([0.1, 0.2])]
+        with pytest.raises(BudgetError):
+            solve_dp(gains, 5)
+        with pytest.raises(BudgetError):
+            solve_dp_reference(gains, 5)
+        with pytest.raises(BudgetError):
+            brute_force_optimal(gains, 5)
+
+    def test_negative_budget_raises(self):
+        with pytest.raises(BudgetError):
+            solve_dp([np.array([0.1])], -1)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances_match_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        gains = [rng.random(int(rng.integers(2, 6))) for _ in range(n)]
+        capacity = sum(len(g) - 1 for g in gains)
+        budget = int(rng.integers(0, capacity + 1))
+        expected = brute_force_optimal(gains, budget)
+        for solver in (solve_dp, solve_dp_reference):
+            result = solver(gains, budget)
+            assert result.value == pytest.approx(expected.value, abs=1e-12)
+            assert result.x.sum() == budget
+            realised = sum(float(g[x]) for g, x in zip(gains, result.x))
+            assert realised == pytest.approx(result.value, abs=1e-12)
+
+    def test_vectorised_and_reference_pick_same_assignment(self):
+        rng = np.random.default_rng(42)
+        gains = [rng.random(5) for _ in range(4)]
+        fast = solve_dp(gains, 7)
+        slow = solve_dp_reference(gains, 7)
+        # Same tie-breaking rule (smallest x), so identical assignments.
+        assert fast.x.tolist() == slow.x.tolist()
+
+
+class TestDPResult:
+    def test_mean_quality(self):
+        gains = [np.array([0.2, 0.8]), np.array([0.4, 0.6])]
+        result = solve_dp(gains, 1)
+        assert result.mean_quality == pytest.approx(result.value / 2)
+
+    def test_gains_from_profiles_caps_at_future_length(
+        self, paper_r1_posts, paper_stable_rfds
+    ):
+        profile = QualityProfile(paper_r1_posts, paper_stable_rfds[0])
+        gains = gains_from_profiles([profile], np.array([3]), budget=100)
+        assert len(gains[0]) == 3  # c=3, 2 future posts -> x in {0,1,2}

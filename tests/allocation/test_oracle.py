@@ -1,0 +1,113 @@
+"""Tests for tagger sources (replay and generative)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Post, PostSequence, Resource, ResourceSet, TaggingDataset
+from repro.allocation import GenerativeTaggerSource, ReplayTaggerSource
+from repro.allocation.oracle import popularity_chooser
+
+
+@pytest.fixture()
+def split():
+    resources = ResourceSet(
+        [
+            Resource(
+                "a",
+                PostSequence(
+                    [Post.of("a1", timestamp=t) for t in (1.0, 10.0, 20.0, 30.0)]
+                ),
+            ),
+            Resource(
+                "b",
+                PostSequence([Post.of("b1", timestamp=t) for t in (2.0, 15.0)]),
+            ),
+        ]
+    )
+    return TaggingDataset(resources).split(cutoff=5.0)
+
+
+class TestReplaySource:
+    def test_next_post_walks_future_in_order(self, split):
+        source = ReplayTaggerSource(split)
+        assert source.next_post(0).timestamp == 10.0
+        assert source.next_post(0).timestamp == 20.0
+        assert source.next_post(1).timestamp == 15.0
+
+    def test_exhaustion_returns_none(self, split):
+        source = ReplayTaggerSource(split)
+        assert source.next_post(1).timestamp == 15.0
+        assert source.next_post(1) is None
+        assert source.next_post(1) is None  # stays exhausted
+
+    def test_remaining_accounting(self, split):
+        source = ReplayTaggerSource(split)
+        assert source.total_remaining == 4
+        assert source.remaining(0) == 3
+        source.next_post(0)
+        assert source.remaining(0) == 2
+        assert source.total_remaining == 3
+
+    def test_free_choice_follows_arrival_order(self, split):
+        source = ReplayTaggerSource(split)
+        picks = []
+        for _ in range(4):
+            index = source.free_choice()
+            picks.append(index)
+            source.next_post(index)
+        # arrivals: a@10, b@15, a@20, a@30
+        assert picks == [0, 1, 0, 0]
+        assert source.free_choice() is None
+
+    def test_free_choice_skips_directed_consumption(self, split):
+        source = ReplayTaggerSource(split)
+        source.next_post(0)  # consumes a@10 via a directed task
+        assert source.free_choice() == 1  # next organic arrival is b@15
+
+    def test_sources_are_independent(self, split):
+        first = ReplayTaggerSource(split)
+        second = ReplayTaggerSource(split)
+        first.next_post(0)
+        assert second.remaining(0) == 3
+
+
+class TestGenerativeSource:
+    def test_factory_is_called_per_request(self):
+        calls = []
+
+        def factory(index: int) -> Post:
+            calls.append(index)
+            return Post.of(f"tag{index}", timestamp=float(len(calls)))
+
+        source = GenerativeTaggerSource(factory)
+        assert source.next_post(3).tags == frozenset({"tag3"})
+        assert source.next_post(1).tags == frozenset({"tag1"})
+        assert calls == [3, 1]
+        assert source.total_remaining is None
+
+    def test_free_choice_requires_model(self):
+        source = GenerativeTaggerSource(lambda i: Post.of("x"))
+        with pytest.raises(NotImplementedError):
+            source.free_choice()
+
+    def test_free_choice_delegates(self):
+        source = GenerativeTaggerSource(lambda i: Post.of("x"), free_chooser=lambda: 7)
+        assert source.free_choice() == 7
+
+
+class TestPopularityChooser:
+    def test_respects_weights(self, rng):
+        chooser = popularity_chooser([0.0, 1.0, 0.0], rng)
+        assert all(chooser() == 1 for _ in range(20))
+
+    def test_distribution_roughly_proportional(self, rng):
+        chooser = popularity_chooser([1.0, 3.0], rng)
+        picks = [chooser() for _ in range(2000)]
+        fraction = sum(picks) / len(picks)
+        assert 0.68 < fraction < 0.82
+
+    def test_rejects_bad_weights(self, rng):
+        with pytest.raises(ValueError):
+            popularity_chooser([-1.0, 2.0], rng)
+        with pytest.raises(ValueError):
+            popularity_chooser([0.0, 0.0], rng)

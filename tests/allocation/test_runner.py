@@ -1,0 +1,152 @@
+"""Tests for the Algorithm 1 budget loop (the runner)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AllocationError,
+    BudgetError,
+    Post,
+    PostSequence,
+    Resource,
+    ResourceSet,
+    TaggingDataset,
+)
+from repro.allocation import (
+    AllocationStrategy,
+    FewestPostsFirst,
+    FreeChoice,
+    IncentiveRunner,
+    RoundRobin,
+)
+
+
+def build_split(counts_future: list[int], cutoff: float = 5.0):
+    resources = ResourceSet()
+    for i, future in enumerate(counts_future):
+        timestamps = [1.0, 2.0] + [10.0 + j for j in range(future)]
+        resources.add(
+            Resource(
+                f"r{i}",
+                PostSequence([Post.of(f"t{i}", timestamp=t) for t in timestamps]),
+            )
+        )
+    return TaggingDataset(resources).split(cutoff)
+
+
+class TestBudgetLoop:
+    def test_budget_is_spent_exactly(self):
+        runner = IncentiveRunner.replay(build_split([10, 10]))
+        trace = runner.run(RoundRobin(), budget=7)
+        assert trace.budget_spent == 7
+        assert trace.x.sum() == 7
+
+    def test_zero_budget(self):
+        runner = IncentiveRunner.replay(build_split([5]))
+        trace = runner.run(RoundRobin(), budget=0)
+        assert trace.tasks_delivered == 0
+
+    def test_negative_budget_rejected(self):
+        runner = IncentiveRunner.replay(build_split([5]))
+        with pytest.raises(BudgetError):
+            runner.run(RoundRobin(), budget=-1)
+
+    def test_early_stop_on_total_exhaustion(self):
+        runner = IncentiveRunner.replay(build_split([2, 1]))
+        trace = runner.run(RoundRobin(), budget=100)
+        assert trace.budget_spent == 3  # only 3 future posts exist
+
+    def test_strict_mode_raises_on_infeasible_budget(self):
+        runner = IncentiveRunner.replay(build_split([2, 1]))
+        with pytest.raises(BudgetError):
+            runner.run(RoundRobin(), budget=100, strict=True)
+
+    def test_exhausted_resource_skipped_without_budget_loss(self):
+        runner = IncentiveRunner.replay(build_split([1, 10]))
+        trace = runner.run(RoundRobin(), budget=6)
+        assert trace.budget_spent == 6
+        x = trace.x
+        assert x[0] == 1  # resource 0 had a single future post
+        assert x[1] == 5
+
+    def test_trace_order_matches_x(self):
+        runner = IncentiveRunner.replay(build_split([4, 4]))
+        trace = runner.run(RoundRobin(), budget=6)
+        x = np.zeros(2, dtype=int)
+        for index in trace.order:
+            x[index] += 1
+        assert (trace.x == x).all()
+
+    def test_out_of_range_choice_rejected(self):
+        class Rogue(AllocationStrategy):
+            name = "rogue"
+
+            def choose(self):
+                return 99
+
+        runner = IncentiveRunner.replay(build_split([3]))
+        with pytest.raises(AllocationError):
+            runner.run(Rogue(), budget=1)
+
+    def test_strategy_reuse_across_runs(self):
+        runner = IncentiveRunner.replay(build_split([5, 5]))
+        strategy = FewestPostsFirst()
+        first = runner.run(strategy, budget=4)
+        second = runner.run(strategy, budget=4)
+        assert (first.x == second.x).all()  # fresh source + re-init each run
+
+
+class TestCosts:
+    def test_costs_consume_budget(self):
+        runner = IncentiveRunner.replay(build_split([10, 10]))
+        trace = runner.run(RoundRobin(), budget=10, costs=np.array([3, 2]))
+        assert trace.budget_spent <= 10
+        assert all(c in (2, 3) for c in trace.spend)
+
+    def test_unaffordable_resources_are_skipped(self):
+        runner = IncentiveRunner.replay(build_split([10, 10]))
+        trace = runner.run(RoundRobin(), budget=5, costs=np.array([100, 1]))
+        assert trace.x[0] == 0
+        assert trace.x[1] == 5
+
+    def test_cost_validation(self):
+        runner = IncentiveRunner.replay(build_split([5, 5]))
+        with pytest.raises(AllocationError):
+            runner.run(RoundRobin(), budget=3, costs=np.array([0, 1]))
+        with pytest.raises(AllocationError):
+            runner.run(RoundRobin(), budget=3, costs=np.array([1]))
+
+
+class TestAcceptance:
+    def test_acceptance_requires_rng(self):
+        runner = IncentiveRunner.replay(build_split([5]))
+        with pytest.raises(AllocationError):
+            runner.run(RoundRobin(), budget=2, acceptance=np.array([0.5]))
+
+    def test_refusals_do_not_consume_budget(self, rng):
+        runner = IncentiveRunner.replay(build_split([40, 40]))
+        trace = runner.run(
+            RoundRobin(), budget=20, acceptance=np.array([0.4, 0.4]), rng=rng
+        )
+        assert trace.budget_spent == 20
+        assert trace.refusals > 0
+
+    def test_full_acceptance_means_no_refusals(self, rng):
+        runner = IncentiveRunner.replay(build_split([20, 20]))
+        trace = runner.run(
+            RoundRobin(), budget=10, acceptance=np.array([1.0, 1.0]), rng=rng
+        )
+        assert trace.refusals == 0
+
+
+class TestFreeChoiceIntegration:
+    def test_fc_replays_arrival_order(self):
+        split = build_split([3, 2])
+        runner = IncentiveRunner.replay(split)
+        trace = runner.run(FreeChoice(), budget=5)
+        assert list(trace.order) == list(split.free_choice_order)
+
+    def test_fc_stops_when_stream_dries_up(self):
+        runner = IncentiveRunner.replay(build_split([1, 1]))
+        trace = runner.run(FreeChoice(), budget=10)
+        assert trace.budget_spent == 2

@@ -1,0 +1,154 @@
+"""Behavioural tests for the five practical strategies (Section IV)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Post, PostSequence, Resource, ResourceSet, TaggingDataset
+from repro.allocation import (
+    FewestPostsFirst,
+    FreeChoice,
+    HybridFPMU,
+    IncentiveRunner,
+    MostUnstableFirst,
+    RoundRobin,
+)
+
+
+def build_split(initial: list[int], future: int = 50, cutoff: float = 100.0):
+    """Resources with given initial counts and `future` future posts each."""
+    resources = ResourceSet()
+    for i, count in enumerate(initial):
+        timestamps = [float(j + 1) for j in range(count)]
+        timestamps += [cutoff + 1 + j for j in range(future)]
+        posts = [Post.of(f"t{i}", f"u{j % 3}", timestamp=t) for j, t in enumerate(timestamps)]
+        resources.add(Resource(f"r{i}", PostSequence(posts)))
+    return TaggingDataset(resources).split(cutoff)
+
+
+class TestRoundRobin:
+    def test_cycles_in_positional_order(self):
+        runner = IncentiveRunner.replay(build_split([5, 5, 5]))
+        trace = runner.run(RoundRobin(), budget=7)
+        assert list(trace.order) == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_even_spread(self):
+        runner = IncentiveRunner.replay(build_split([1, 9, 4, 7]))
+        trace = runner.run(RoundRobin(), budget=40)
+        assert (trace.x == 10).all()
+
+
+class TestFewestPostsFirst:
+    def test_always_feeds_the_minimum(self):
+        split = build_split([8, 2, 5])
+        runner = IncentiveRunner.replay(split)
+        trace = runner.run(FewestPostsFirst(), budget=9)
+        # Waterline: counts equalise at (8, 8, 8).
+        assert (split.initial_counts + trace.x).tolist() == [8, 8, 8]
+
+    def test_invariant_chosen_has_min_count(self):
+        split = build_split([4, 9, 6, 3])
+        runner = IncentiveRunner.replay(split)
+        trace = runner.run(FewestPostsFirst(), budget=25)
+        counts = split.initial_counts.astype(int).copy()
+        for index in trace.order:
+            assert counts[index] == counts.min()
+            counts[index] += 1
+
+    def test_moves_on_after_exhaustion(self):
+        split = build_split([0, 5], future=3)
+        runner = IncentiveRunner.replay(split)
+        trace = runner.run(FewestPostsFirst(), budget=6)
+        assert trace.x.tolist() == [3, 3]
+
+
+class TestMostUnstableFirst:
+    def test_ignores_resources_below_omega(self):
+        split = build_split([2, 20])
+        runner = IncentiveRunner.replay(split)
+        trace = runner.run(MostUnstableFirst(omega=5), budget=10)
+        assert trace.x[0] == 0  # 2 < omega: never eligible
+        assert trace.x[1] == 10
+
+    def test_stops_when_no_resource_is_eligible(self):
+        split = build_split([1, 2])
+        runner = IncentiveRunner.replay(split)
+        trace = runner.run(MostUnstableFirst(omega=5), budget=10)
+        assert trace.budget_spent == 0
+
+    def test_prefers_lower_ma_score(self):
+        # Resource 0: alternating disjoint tags -> unstable rfd.
+        # Resource 1: constant tags -> MA ~= 1.
+        resources = ResourceSet()
+        wobble = [
+            Post.of(f"w{j}", timestamp=float(j + 1)) for j in range(8)
+        ]
+        steady = [Post.of("s", timestamp=float(j + 1)) for j in range(8)]
+        for rid, initial in (("wobbly", wobble), ("steady", steady)):
+            future = [
+                Post.of("f", timestamp=100.0 + j) for j in range(20)
+            ]
+            resources.add(Resource(rid, PostSequence(initial + future)))
+        split = TaggingDataset(resources).split(50.0)
+        runner = IncentiveRunner.replay(split)
+        trace = runner.run(MostUnstableFirst(omega=5), budget=1)
+        assert trace.order[0] == split.resources.index_of("wobbly")
+
+    def test_exposes_ma_scores(self):
+        split = build_split([10, 10])
+        strategy = MostUnstableFirst(omega=5)
+        runner = IncentiveRunner.replay(split)
+        runner.run(strategy, budget=2)
+        assert strategy.ma_score_of(0) is not None
+        assert 0.0 <= strategy.ma_score_of(0) <= 1.0
+
+
+class TestHybridFPMU:
+    def test_warmup_budget_formula(self):
+        split = build_split([2, 7, 0])
+        runner = IncentiveRunner.replay(split)
+        strategy = HybridFPMU(omega=5)
+        runner.run(strategy, budget=100)
+        # deficits: (5-2) + 0 + (5-0) = 8
+        assert strategy.warmup_budget == 8
+
+    def test_warmup_capped_by_budget(self):
+        split = build_split([0, 0])
+        runner = IncentiveRunner.replay(split)
+        strategy = HybridFPMU(omega=8)
+        runner.run(strategy, budget=5)
+        assert strategy.warmup_budget == 5
+
+    def test_warmup_lifts_everyone_to_omega(self):
+        split = build_split([1, 3, 9])
+        runner = IncentiveRunner.replay(split)
+        strategy = HybridFPMU(omega=5)
+        trace = runner.run(strategy, budget=6)
+        final = split.initial_counts + trace.x
+        assert (final >= 5).all()
+
+    def test_behaves_like_fp_when_budget_below_warmup(self):
+        split = build_split([0, 2, 9])
+        runner = IncentiveRunner.replay(split)
+        fpmu_trace = runner.run(HybridFPMU(omega=6), budget=7)
+        fp_trace = runner.run(FewestPostsFirst(), budget=7)
+        assert (fpmu_trace.x == fp_trace.x).all()
+
+    def test_equals_mu_when_all_resources_warm(self):
+        split = build_split([10, 12, 15])
+        runner = IncentiveRunner.replay(split)
+        mu_trace = runner.run(MostUnstableFirst(omega=5), budget=12)
+        fpmu_trace = runner.run(HybridFPMU(omega=5), budget=12)
+        assert (mu_trace.x == fpmu_trace.x).all()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "strategy_factory",
+        [FreeChoice, RoundRobin, FewestPostsFirst, MostUnstableFirst, HybridFPMU],
+    )
+    def test_runs_are_reproducible(self, strategy_factory):
+        split = build_split([3, 8, 1, 12])
+        runner = IncentiveRunner.replay(split)
+        first = runner.run(strategy_factory(), budget=15)
+        second = runner.run(strategy_factory(), budget=15)
+        assert first.order == second.order

@@ -1,0 +1,158 @@
+"""Tests for the analysis package: stable points, waste, ranking, stats."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataModelError, Post
+from repro.analysis import (
+    RankedResource,
+    all_pairs_scores,
+    dataset_stable_points,
+    measured_unstable_point,
+    overlap_at_k,
+    pearson_correlation,
+    salvage_requirement,
+    stable_point_of,
+    summarize,
+    top_k_similar,
+    waste_report,
+    wasted_tasks,
+)
+
+
+class TestStablePoints:
+    def test_stable_point_of_constant_sequence(self):
+        posts = [Post.of("a", timestamp=float(i)) for i in range(30)]
+        assert stable_point_of(posts, omega=4, tau=0.99) == 4
+
+    def test_stable_point_of_unstable_sequence(self):
+        posts = [Post.of(f"u{i}", timestamp=float(i)) for i in range(30)]
+        assert stable_point_of(posts, omega=4, tau=0.999) == -1
+
+    def test_dataset_summary(self, tiny_corpus):
+        summary = dataset_stable_points(tiny_corpus.dataset, omega=5, tau=0.99)
+        assert len(summary.stable_points) == len(tiny_corpus.dataset)
+        defined = summary.stable_points[summary.stable_points >= 0]
+        assert summary.num_stable == len(defined)
+        if len(defined):
+            assert summary.minimum == defined.min()
+            assert summary.mean == pytest.approx(defined.mean())
+
+    def test_all_unstable_summary(self):
+        from repro.core import PostSequence, Resource, ResourceSet, TaggingDataset
+
+        posts = [Post.of(f"u{i}", timestamp=float(i)) for i in range(10)]
+        dataset = TaggingDataset(ResourceSet([Resource("r", PostSequence(posts))]))
+        summary = dataset_stable_points(dataset, omega=4, tau=0.9999)
+        assert summary.num_stable == 0
+        assert np.isnan(summary.mean)
+
+    def test_measured_unstable_point(self):
+        # Jumpy for the first posts, then constant.
+        posts = [Post.of(f"u{i}", timestamp=float(i)) for i in range(6)]
+        posts += [Post.of("u0", timestamp=float(10 + i)) for i in range(30)]
+        point = measured_unstable_point(posts, similarity_threshold=0.95)
+        assert 2 <= point <= 12
+
+
+class TestWaste:
+    def test_waste_report_basic(self):
+        counts = np.array([5, 20, 3])
+        stable_points = np.array([10, 12, -1])
+        report = waste_report(counts, stable_points, under_threshold=4)
+        assert report.over_tagged == 1  # only the 20 > 12 resource
+        assert report.under_tagged == 1  # the 3-post resource
+        assert report.wasted_posts == 8  # 20 - 12; sp=-1 contributes 0
+        assert report.total_posts == 28
+        assert report.wasted_fraction == pytest.approx(8 / 28)
+
+    def test_waste_report_validates_shapes(self):
+        with pytest.raises(DataModelError):
+            waste_report(np.array([1, 2]), np.array([1]))
+
+    def test_wasted_tasks_attribution(self):
+        initial = np.array([5, 15, 2])
+        final = np.array([12, 20, 4])
+        stable_points = np.array([10, 10, -1])
+        # r0: delivered 7, wasted those beyond sp=10 -> 2.
+        # r1: already past sp, all 5 wasted.  r2: no sp -> 0.
+        assert wasted_tasks(initial, final, stable_points) == 7
+
+    def test_wasted_tasks_rejects_shrinking_counts(self):
+        with pytest.raises(DataModelError):
+            wasted_tasks(np.array([5]), np.array([4]), np.array([10]))
+
+    def test_salvage_requirement(self):
+        counts = np.array([3, 11, 10])
+        # threshold 10: deficits to reach 11 posts: 8 + 0 + 1.
+        assert salvage_requirement(counts, under_threshold=10) == 9
+
+
+class TestRanking:
+    def test_top_k_orders_by_score(self):
+        subject = {"a": 1.0}
+        candidates = {
+            "same": {"a": 1.0},
+            "half": {"a": 1.0, "b": 1.0},
+            "other": {"b": 1.0},
+        }
+        result = top_k_similar(subject, candidates, k=2)
+        assert [r.resource_id for r in result] == ["same", "half"]
+        assert result[0].score == pytest.approx(1.0)
+
+    def test_top_k_tie_break_by_id(self):
+        subject = {"a": 1.0}
+        candidates = {"zeta": {"a": 1.0}, "alpha": {"a": 1.0}}
+        result = top_k_similar(subject, candidates, k=2)
+        assert [r.resource_id for r in result] == ["alpha", "zeta"]
+
+    def test_top_k_validates_k(self):
+        with pytest.raises(DataModelError):
+            top_k_similar({"a": 1.0}, {}, k=0)
+
+    def test_overlap_at_k(self):
+        a = [RankedResource("x", 1.0), RankedResource("y", 0.9)]
+        b = ["y", "z"]
+        assert overlap_at_k(a, b) == 1
+
+    def test_all_pairs_scores_order(self):
+        rfds = [{"a": 1.0}, {"a": 1.0}, {"b": 1.0}]
+        scores = all_pairs_scores(rfds)
+        assert len(scores) == 3
+        assert scores[0] == pytest.approx(1.0)  # (0,1)
+        assert scores[1] == 0.0  # (0,2)
+
+
+class TestStats:
+    def test_pearson_perfect_correlation(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_pearson_anticorrelation(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_pearson_constant_is_nan(self):
+        assert np.isnan(pearson_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]))
+
+    def test_pearson_validates(self):
+        with pytest.raises(DataModelError):
+            pearson_correlation([1.0], [1.0])
+        with pytest.raises(DataModelError):
+            pearson_correlation([1.0, 2.0], [1.0])
+
+    def test_pearson_matches_numpy(self, rng):
+        x = rng.random(50)
+        y = x * 0.5 + rng.random(50)
+        assert pearson_correlation(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert "mean=2.5" in summary.render()
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(DataModelError):
+            summarize([])

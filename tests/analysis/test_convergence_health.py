@@ -1,0 +1,94 @@
+"""Tests for convergence diagnostics and corpus health reports."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import DataModelError, Post
+from repro.analysis import (
+    convergence_half_life,
+    corpus_health,
+    distance_to_final_curve,
+    effective_support,
+    tag_entropy,
+)
+
+
+class TestEntropy:
+    def test_single_tag_entropy_zero(self):
+        assert tag_entropy({"a": 1.0}) == 0.0
+
+    def test_uniform_entropy(self):
+        rfd = {f"t{i}": 0.25 for i in range(4)}
+        assert tag_entropy(rfd) == pytest.approx(math.log(4))
+
+    def test_empty_entropy_zero(self):
+        assert tag_entropy({}) == 0.0
+
+    def test_unnormalised_input_allowed(self):
+        counts = {"a": 2.0, "b": 2.0}
+        rfd = {"a": 0.5, "b": 0.5}
+        assert tag_entropy(counts) == pytest.approx(tag_entropy(rfd))
+
+    def test_effective_support_of_uniform(self):
+        rfd = {f"t{i}": 1 / 6 for i in range(6)}
+        assert effective_support(rfd) == pytest.approx(6.0)
+
+    def test_effective_support_bounds(self):
+        skewed = {"a": 0.9, "b": 0.05, "c": 0.05}
+        assert 1.0 < effective_support(skewed) < 3.0
+
+
+class TestDistanceCurve:
+    def test_curve_ends_at_zero(self):
+        posts = [Post.of("a", "b", timestamp=float(i)) for i in range(10)]
+        curve = distance_to_final_curve(posts)
+        assert curve[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_curve_decreases_for_constant_posts(self):
+        posts = [Post.of("a", "b", timestamp=float(i)) for i in range(10)]
+        curve = distance_to_final_curve(posts)
+        assert (np.diff(curve) <= 1e-12).all()
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(DataModelError):
+            distance_to_final_curve([])
+
+    def test_half_life_on_real_sequence(self, tiny_corpus):
+        sequence = tiny_corpus.dataset.resources[0].sequence
+        half_life = convergence_half_life(sequence)
+        assert 1 <= half_life <= len(sequence)
+        curve = distance_to_final_curve(sequence)
+        threshold = curve[0] / 2.0
+        assert (curve[half_life - 1 :] <= threshold + 1e-12).all()
+
+    def test_half_life_of_instantly_converged(self):
+        posts = [Post.of("a", timestamp=float(i)) for i in range(5)]
+        # distance is 0 from the first post; half-life is 1.
+        assert convergence_half_life(posts) == 1
+
+
+class TestCorpusHealth:
+    def test_health_fields_consistent(self, tiny_corpus):
+        health = corpus_health(tiny_corpus.dataset)
+        assert health.n == len(tiny_corpus.dataset)
+        assert health.total_posts == tiny_corpus.dataset.total_posts
+        assert health.posts_summary.count == health.n
+        assert health.support.count == health.n
+        assert 0 <= health.waste.under_tagged <= health.n
+
+    def test_render_mentions_key_lines(self, tiny_corpus):
+        text = corpus_health(tiny_corpus.dataset).render()
+        assert "corpus health" in text
+        assert "stable points" in text
+        assert "wasted posts" in text
+
+    def test_salvage_share_no_waste(self):
+        from repro.core import PostSequence, Resource, ResourceSet, TaggingDataset
+
+        posts = [Post.of(f"u{i}", timestamp=float(i)) for i in range(4)]
+        dataset = TaggingDataset(ResourceSet([Resource("r", PostSequence(posts))]))
+        health = corpus_health(dataset)
+        assert health.waste.wasted_posts == 0
+        assert "no wasted posts" in health.render()

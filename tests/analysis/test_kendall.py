@@ -1,0 +1,66 @@
+"""Tests for Kendall's τ-b, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+from repro.core import DataModelError
+from repro.analysis import kendall_tau
+
+
+class TestBasics:
+    def test_identical_rankings(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        assert kendall_tau(x, x) == pytest.approx(1.0)
+
+    def test_reversed_rankings(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        assert kendall_tau(x, x[::-1]) == pytest.approx(-1.0)
+
+    def test_constant_input_is_nan(self):
+        assert np.isnan(kendall_tau([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]))
+
+    def test_validation(self):
+        with pytest.raises(DataModelError):
+            kendall_tau([1.0], [1.0])
+        with pytest.raises(DataModelError):
+            kendall_tau([1.0, 2.0], [1.0])
+
+    def test_known_small_example(self):
+        # scipy's doc example.
+        x = [12, 2, 1, 12, 2]
+        y = [1, 4, 7, 1, 0]
+        expected = scipy_stats.kendalltau(x, y).statistic
+        assert kendall_tau(x, y) == pytest.approx(expected, abs=1e-12)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_continuous(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 120))
+        x = rng.random(n)
+        y = rng.random(n)
+        expected = scipy_stats.kendalltau(x, y).statistic
+        assert kendall_tau(x, y) == pytest.approx(expected, abs=1e-10)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_with_heavy_ties(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(5, 150))
+        x = rng.integers(0, 4, size=n).astype(float)
+        y = rng.integers(0, 4, size=n).astype(float)
+        expected = scipy_stats.kendalltau(x, y).statistic
+        ours = kendall_tau(x, y)
+        if np.isnan(expected):
+            assert np.isnan(ours)
+        else:
+            assert ours == pytest.approx(expected, abs=1e-10)
+
+    def test_partial_correlation(self):
+        rng = np.random.default_rng(7)
+        x = rng.random(200)
+        y = x + rng.normal(0, 0.3, size=200)
+        tau = kendall_tau(x, y)
+        assert 0.4 < tau < 0.95

@@ -1,0 +1,91 @@
+"""Shared fixtures: the paper's running example and small corpora.
+
+Expensive corpora are session-scoped; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Post, PostSequence, Resource, ResourceSet, TaggingDataset
+from repro.experiments import TEST_SCALE, ExperimentHarness
+from repro.simulate import case_study_scenario, tiny_scenario
+
+
+# ----------------------------------------------------------------------
+# the paper's running example (Tables I, II, IV)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def paper_r1_posts() -> list[Post]:
+    """r1 = Google Earth: three initial posts + the two future posts."""
+    return [
+        Post.of("google", "earth", timestamp=1.0),
+        Post.of("google", "geographic", timestamp=2.0),
+        Post.of("earth", timestamp=3.0),
+        Post.of("geographic", "earth", timestamp=4.0),
+        Post.of("google", "geographic", timestamp=5.0),
+    ]
+
+
+@pytest.fixture(scope="session")
+def paper_r2_posts() -> list[Post]:
+    """r2 = Picasa: two initial posts + the two future posts."""
+    return [
+        Post.of("pictures", timestamp=1.0),
+        Post.of("pictures", timestamp=2.0),
+        Post.of("google", "pictures", timestamp=3.0),
+        Post.of("google", timestamp=4.0),
+    ]
+
+
+@pytest.fixture(scope="session")
+def paper_stable_rfds() -> tuple[dict[str, float], dict[str, float]]:
+    """Table II's stable rfds (the paper's rounded values)."""
+    return (
+        {"google": 0.25, "geographic": 0.25, "earth": 0.5},
+        {"google": 0.33, "pictures": 0.67},
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_dataset(paper_r1_posts, paper_r2_posts) -> TaggingDataset:
+    """The two running-example resources as a dataset (cutoff at t=3)."""
+    resources = ResourceSet(
+        [
+            Resource("r1", PostSequence(paper_r1_posts), title="Google Earth"),
+            Resource("r2", PostSequence(paper_r2_posts), title="Picasa"),
+        ]
+    )
+    return TaggingDataset(resources, name="running-example")
+
+
+# ----------------------------------------------------------------------
+# synthetic corpora
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus():
+    """A ~25-resource unfiltered corpus."""
+    return tiny_scenario(seed=5)
+
+
+@pytest.fixture(scope="session")
+def test_harness() -> ExperimentHarness:
+    """A stability-filtered corpus wrapped in the experiment harness."""
+    return ExperimentHarness.from_scale(TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def case_scenario():
+    """The Tables VI/VII engineered scenario."""
+    return case_study_scenario(seed=1)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,136 @@
+"""Tests for the incremental tag-frequency engine (Definitions 3–5)."""
+
+import math
+
+import pytest
+
+from repro.core import DataModelError, Post, TagFrequencyTable, cosine
+
+
+class TestCounting:
+    def test_empty_table_is_the_zero_rfd(self):
+        table = TagFrequencyTable()
+        assert table.rfd() == {}
+        assert table.relative_frequency("anything") == 0.0
+        assert table.num_posts == 0
+
+    def test_frequency_counts_posts_not_occurrences(self):
+        table = TagFrequencyTable()
+        table.add_post({"a", "b"})
+        table.add_post({"a"})
+        assert table.frequency("a") == 2
+        assert table.frequency("b") == 1
+        assert table.frequency("c") == 0
+
+    def test_relative_frequency_normalises_by_total_tags(self):
+        # Definition 4: divide by Σ_t h(t, k), not by the post count.
+        table = TagFrequencyTable()
+        table.add_post({"a", "b"})
+        table.add_post({"a"})
+        assert table.relative_frequency("a") == pytest.approx(2 / 3)
+        assert table.relative_frequency("b") == pytest.approx(1 / 3)
+
+    def test_paper_table_ii_rfd(self, paper_r1_posts):
+        table = TagFrequencyTable.from_posts(paper_r1_posts[:3])
+        assert table.rfd() == pytest.approx(
+            {"google": 0.4, "earth": 0.4, "geographic": 0.2}
+        )
+
+    def test_rfd_sums_to_one(self, paper_r1_posts):
+        table = TagFrequencyTable.from_posts(paper_r1_posts)
+        assert sum(table.rfd().values()) == pytest.approx(1.0)
+
+    def test_rejects_empty_post(self):
+        table = TagFrequencyTable()
+        with pytest.raises(DataModelError):
+            table.add_post(set())
+
+    def test_duplicate_tags_in_one_post_collapse(self):
+        table = TagFrequencyTable()
+        table.add_post(["a", "a", "b"])
+        assert table.frequency("a") == 1
+
+    def test_totals_and_norm(self):
+        table = TagFrequencyTable()
+        table.add_post({"a", "b"})
+        table.add_post({"a"})
+        assert table.total_tag_assignments == 3
+        assert table.norm == pytest.approx(math.sqrt(2**2 + 1))
+        assert table.distinct_tags() == 2
+
+
+class TestAdjacentSimilarity:
+    def test_first_post_similarity_is_zero(self):
+        # Eq. 16's "otherwise" branch: F(0) is the zero vector.
+        table = TagFrequencyTable()
+        assert table.add_post({"a"}) == 0.0
+
+    def test_incremental_matches_direct_cosine(self, rng):
+        table = TagFrequencyTable()
+        previous_rfd: dict[str, float] = {}
+        for _ in range(60):
+            size = int(rng.integers(1, 5))
+            tags = {f"t{int(rng.integers(0, 12))}" for _ in range(size)}
+            reported = table.add_post(tags)
+            current_rfd = table.rfd()
+            assert reported == pytest.approx(cosine(previous_rfd, current_rfd), abs=1e-12)
+            previous_rfd = current_rfd
+
+    def test_identical_posts_converge_to_similarity_one(self):
+        table = TagFrequencyTable()
+        table.add_post({"a", "b"})
+        similarity = table.add_post({"a", "b"})
+        assert 0.9 < similarity <= 1.0
+        for _ in range(50):
+            similarity = table.add_post({"a", "b"})
+        assert similarity == pytest.approx(1.0, abs=1e-4)
+
+    def test_disjoint_post_drops_similarity(self):
+        table = TagFrequencyTable()
+        for _ in range(5):
+            table.add_post({"a"})
+        overlapping = table.copy().add_post({"a"})
+        disjoint = table.add_post({"zzz"})
+        assert disjoint < overlapping
+
+
+class TestCosineTo:
+    def test_cosine_to_matches_rfd_cosine(self, paper_r1_posts, paper_stable_rfds):
+        table = TagFrequencyTable.from_posts(paper_r1_posts[:3])
+        expected = cosine(table.rfd(), paper_stable_rfds[0])
+        assert table.cosine_to(paper_stable_rfds[0]) == pytest.approx(expected)
+
+    def test_cosine_to_paper_value(self, paper_r1_posts, paper_stable_rfds):
+        table = TagFrequencyTable.from_posts(paper_r1_posts[:3])
+        assert table.cosine_to(paper_stable_rfds[0]) == pytest.approx(0.953, abs=5e-4)
+
+    def test_cosine_to_zero_vectors(self):
+        table = TagFrequencyTable()
+        assert table.cosine_to({"a": 1.0}) == 0.0
+        table.add_post({"a"})
+        assert table.cosine_to({}) == 0.0
+
+    def test_scale_invariance(self, paper_r1_posts):
+        table = TagFrequencyTable.from_posts(paper_r1_posts)
+        reference = {"google": 0.2, "earth": 0.5}
+        scaled = {tag: 7.3 * w for tag, w in reference.items()}
+        assert table.cosine_to(reference) == pytest.approx(table.cosine_to(scaled))
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        table = TagFrequencyTable()
+        table.add_post({"a"})
+        clone = table.copy()
+        clone.add_post({"b"})
+        assert table.num_posts == 1
+        assert clone.num_posts == 2
+        assert table.frequency("b") == 0
+
+    def test_from_posts_matches_incremental(self, paper_r2_posts):
+        table = TagFrequencyTable.from_posts(paper_r2_posts)
+        manual = TagFrequencyTable()
+        for post in paper_r2_posts:
+            manual.add_post(post.tags)
+        assert table.rfd() == manual.rfd()
+        assert table.num_posts == manual.num_posts

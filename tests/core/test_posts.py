@@ -1,0 +1,118 @@
+"""Tests for posts and post sequences (Definitions 1–2)."""
+
+import pytest
+
+from repro.core import DataModelError, Post, PostSequence
+
+
+class TestPost:
+    def test_post_holds_normalised_tags(self):
+        post = Post.of("Google", " EARTH ")
+        assert post.tags == frozenset({"google", "earth"})
+
+    def test_post_requires_at_least_one_tag(self):
+        with pytest.raises(DataModelError):
+            Post(frozenset())
+
+    def test_post_of_rejects_empty_tag(self):
+        with pytest.raises(DataModelError):
+            Post.of("")
+
+    def test_post_collapses_duplicate_tags(self):
+        post = Post.of("maps", "maps")
+        assert len(post) == 1
+
+    def test_post_accepts_plain_iterables(self):
+        post = Post({"a", "b"})
+        assert isinstance(post.tags, frozenset)
+
+    def test_post_is_hashable_and_comparable(self):
+        a = Post.of("x", timestamp=1.0)
+        b = Post.of("x", timestamp=1.0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_post_iteration_is_sorted(self):
+        post = Post.of("zebra", "apple", "mango")
+        assert list(post) == ["apple", "mango", "zebra"]
+
+    def test_post_contains(self):
+        post = Post.of("google")
+        assert "google" in post
+        assert "earth" not in post
+
+    def test_post_carries_tagger_identity(self):
+        post = Post.of("a", tagger="alice")
+        assert post.tagger == "alice"
+
+
+class TestPostSequence:
+    def test_sequence_preserves_order(self, paper_r1_posts):
+        sequence = PostSequence(paper_r1_posts)
+        assert list(sequence) == paper_r1_posts
+
+    def test_sequence_rejects_decreasing_timestamps(self):
+        sequence = PostSequence([Post.of("a", timestamp=2.0)])
+        with pytest.raises(DataModelError):
+            sequence.append(Post.of("b", timestamp=1.0))
+
+    def test_sequence_allows_equal_timestamps(self):
+        sequence = PostSequence([Post.of("a", timestamp=1.0)])
+        sequence.append(Post.of("b", timestamp=1.0))
+        assert len(sequence) == 2
+
+    def test_sequence_rejects_non_posts(self):
+        sequence = PostSequence()
+        with pytest.raises(DataModelError):
+            sequence.append({"not", "a", "post"})  # type: ignore[arg-type]
+
+    def test_one_based_post_accessor(self, paper_r1_posts):
+        sequence = PostSequence(paper_r1_posts)
+        assert sequence.post(1) == paper_r1_posts[0]
+        assert sequence.post(5) == paper_r1_posts[4]
+
+    def test_post_accessor_bounds(self, paper_r1_posts):
+        sequence = PostSequence(paper_r1_posts)
+        with pytest.raises(IndexError):
+            sequence.post(0)
+        with pytest.raises(IndexError):
+            sequence.post(6)
+
+    def test_prefix_and_suffix_partition(self, paper_r1_posts):
+        sequence = PostSequence(paper_r1_posts)
+        assert list(sequence.prefix(3)) + list(sequence.suffix(3)) == paper_r1_posts
+
+    def test_prefix_clamps_beyond_length(self, paper_r1_posts):
+        sequence = PostSequence(paper_r1_posts)
+        assert len(sequence.prefix(100)) == 5
+
+    def test_prefix_rejects_negative(self):
+        with pytest.raises(DataModelError):
+            PostSequence().prefix(-1)
+
+    def test_split_at_time(self, paper_r1_posts):
+        sequence = PostSequence(paper_r1_posts)
+        initial, future = sequence.split_at_time(3.0)
+        assert len(initial) == 3
+        assert len(future) == 2
+
+    def test_count_before(self, paper_r2_posts):
+        sequence = PostSequence(paper_r2_posts)
+        assert sequence.count_before(2.0) == 2
+        assert sequence.count_before(0.5) == 0
+
+    def test_distinct_tags(self, paper_r1_posts):
+        sequence = PostSequence(paper_r1_posts)
+        assert sequence.distinct_tags() == {"google", "earth", "geographic"}
+
+    def test_total_tag_assignments(self, paper_r1_posts):
+        sequence = PostSequence(paper_r1_posts)
+        assert sequence.total_tag_assignments() == 9
+
+    def test_slicing_returns_lists(self, paper_r1_posts):
+        sequence = PostSequence(paper_r1_posts)
+        assert sequence[1:3] == paper_r1_posts[1:3]
+
+    def test_equality(self, paper_r1_posts):
+        assert PostSequence(paper_r1_posts) == PostSequence(paper_r1_posts)
+        assert PostSequence(paper_r1_posts) != PostSequence(paper_r1_posts[:2])

@@ -1,0 +1,108 @@
+"""Tests for tagging quality and quality profiles (Definitions 9–10)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataModelError,
+    Post,
+    QualityProfile,
+    TagFrequencyTable,
+    cosine,
+    set_quality,
+    tagging_quality,
+)
+
+
+class TestTaggingQuality:
+    def test_quality_is_cosine_to_stable_rfd(self, paper_stable_rfds):
+        f1 = {"google": 0.4, "geographic": 0.2, "earth": 0.4}
+        assert tagging_quality(f1, paper_stable_rfds[0]) == pytest.approx(0.953, abs=5e-4)
+
+    def test_quality_of_empty_rfd_is_zero(self, paper_stable_rfds):
+        assert tagging_quality({}, paper_stable_rfds[0]) == 0.0
+
+    def test_set_quality_is_the_mean(self):
+        assert set_quality([0.953, 0.897]) == pytest.approx(0.925)
+
+    def test_set_quality_rejects_empty(self):
+        with pytest.raises(DataModelError):
+            set_quality([])
+
+
+class TestQualityProfile:
+    def test_profile_matches_scratch_computation(self, paper_r1_posts, paper_stable_rfds):
+        profile = QualityProfile(paper_r1_posts, paper_stable_rfds[0])
+        for k in range(len(paper_r1_posts) + 1):
+            table = TagFrequencyTable.from_posts(paper_r1_posts[:k])
+            expected = cosine(table.rfd(), paper_stable_rfds[0])
+            assert profile.quality(k) == pytest.approx(expected, abs=1e-12)
+
+    def test_paper_table_iv_column_r1(self, paper_r1_posts, paper_stable_rfds):
+        profile = QualityProfile(paper_r1_posts, paper_stable_rfds[0])
+        assert profile.quality(3) == pytest.approx(0.953, abs=5e-4)
+        assert profile.quality(4) == pytest.approx(0.990, abs=5e-4)
+        assert profile.quality(5) == pytest.approx(0.943, abs=5e-4)
+
+    def test_paper_table_iv_column_r2(self, paper_r2_posts, paper_stable_rfds):
+        profile = QualityProfile(paper_r2_posts, paper_stable_rfds[1])
+        assert profile.quality(2) == pytest.approx(0.897, abs=5e-4)
+        assert profile.quality(3) == pytest.approx(0.990, abs=2e-3)
+        assert profile.quality(4) == pytest.approx(0.992, abs=2e-3)
+
+    def test_quality_at_zero_posts_is_zero(self, paper_r1_posts, paper_stable_rfds):
+        profile = QualityProfile(paper_r1_posts, paper_stable_rfds[0])
+        assert profile.quality(0) == 0.0
+
+    def test_quality_bounds(self, paper_r1_posts, paper_stable_rfds):
+        profile = QualityProfile(paper_r1_posts, paper_stable_rfds[0])
+        assert np.all(profile.qualities >= 0.0)
+        assert np.all(profile.qualities <= 1.0)
+
+    def test_out_of_range_k(self, paper_r1_posts, paper_stable_rfds):
+        profile = QualityProfile(paper_r1_posts, paper_stable_rfds[0])
+        with pytest.raises(IndexError):
+            profile.quality(-1)
+        with pytest.raises(IndexError):
+            profile.quality(len(paper_r1_posts) + 1)
+
+    def test_rejects_empty_stable_rfd(self, paper_r1_posts):
+        with pytest.raises(DataModelError):
+            QualityProfile(paper_r1_posts, {})
+
+    def test_len_is_number_of_posts(self, paper_r1_posts, paper_stable_rfds):
+        profile = QualityProfile(paper_r1_posts, paper_stable_rfds[0])
+        assert len(profile) == len(paper_r1_posts)
+
+
+class TestGainArray:
+    def test_gain_array_slices_qualities(self, paper_r1_posts, paper_stable_rfds):
+        profile = QualityProfile(paper_r1_posts, paper_stable_rfds[0])
+        gains = profile.gain_array(c=3, max_tasks=10)
+        # Only 2 future posts exist beyond c = 3.
+        assert len(gains) == 3
+        assert gains[0] == pytest.approx(profile.quality(3))
+        assert gains[2] == pytest.approx(profile.quality(5))
+
+    def test_gain_array_respects_budget_cap(self, paper_r1_posts, paper_stable_rfds):
+        profile = QualityProfile(paper_r1_posts, paper_stable_rfds[0])
+        gains = profile.gain_array(c=0, max_tasks=2)
+        assert len(gains) == 3
+
+    def test_gain_array_is_read_only(self, paper_r1_posts, paper_stable_rfds):
+        profile = QualityProfile(paper_r1_posts, paper_stable_rfds[0])
+        gains = profile.gain_array(c=0, max_tasks=2)
+        with pytest.raises(ValueError):
+            gains[0] = 0.5
+
+    def test_gain_array_rejects_bad_c(self, paper_r1_posts, paper_stable_rfds):
+        profile = QualityProfile(paper_r1_posts, paper_stable_rfds[0])
+        with pytest.raises(DataModelError):
+            profile.gain_array(c=99, max_tasks=1)
+
+    def test_verify_against_oracle(self, paper_r1_posts, paper_stable_rfds):
+        profile = QualityProfile(paper_r1_posts, paper_stable_rfds[0])
+        for k in range(len(paper_r1_posts) + 1):
+            assert profile.quality(k) == pytest.approx(
+                profile.verify_against(paper_r1_posts, k), abs=1e-12
+            )

@@ -1,0 +1,144 @@
+"""Tests for resources, resource sets, datasets and splits."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataModelError,
+    Post,
+    PostSequence,
+    Resource,
+    ResourceSet,
+    TaggingDataset,
+)
+
+
+def make_resource(rid: str, timestamps: list[float]) -> Resource:
+    sequence = PostSequence(
+        [Post.of(f"tag-{rid}", "shared", timestamp=t) for t in timestamps]
+    )
+    return Resource(rid, sequence, title=f"{rid}.com", category=("science", "physics"))
+
+
+class TestResource:
+    def test_requires_id(self):
+        with pytest.raises(DataModelError):
+            Resource("")
+
+    def test_display_name_prefers_title(self):
+        assert make_resource("r1", [1.0]).display_name == "r1.com"
+        assert Resource("r2").display_name == "r2"
+
+    def test_category_coerced_to_tuple(self):
+        resource = Resource("r1", category=["a", "b"])  # type: ignore[arg-type]
+        assert resource.category == ("a", "b")
+
+    def test_num_posts(self):
+        assert make_resource("r1", [1.0, 2.0]).num_posts == 2
+
+
+class TestResourceSet:
+    def test_positional_and_id_access(self):
+        resources = ResourceSet([make_resource("a", [1.0]), make_resource("b", [1.0])])
+        assert resources[0].resource_id == "a"
+        assert resources.by_id("b").resource_id == "b"
+        assert resources.index_of("b") == 1
+        assert "a" in resources and "zzz" not in resources
+
+    def test_duplicate_ids_rejected(self):
+        resources = ResourceSet([make_resource("a", [1.0])])
+        with pytest.raises(DataModelError):
+            resources.add(make_resource("a", [1.0]))
+
+    def test_subset_preserves_order(self):
+        resources = ResourceSet([make_resource(r, [1.0]) for r in "abcd"])
+        subset = resources.subset([2, 0])
+        assert subset.ids == ("c", "a")
+
+
+class TestDatasetStats:
+    def test_total_posts_and_distribution(self):
+        dataset = TaggingDataset(
+            ResourceSet([make_resource("a", [1.0]), make_resource("b", [1.0, 2.0])])
+        )
+        assert dataset.total_posts == 3
+        assert dataset.posts_per_resource().tolist() == [1, 2]
+        assert dataset.posts_distribution() == {1: 1, 2: 1}
+
+    def test_distinct_tags(self):
+        dataset = TaggingDataset(
+            ResourceSet([make_resource("a", [1.0]), make_resource("b", [1.0])])
+        )
+        assert dataset.distinct_tags() == {"tag-a", "tag-b", "shared"}
+
+    def test_sample_bounds(self, rng):
+        dataset = TaggingDataset(ResourceSet([make_resource(r, [1.0]) for r in "abc"]))
+        assert len(dataset.sample(2, rng)) == 2
+        with pytest.raises(DataModelError):
+            dataset.sample(10, rng)
+
+
+class TestSplit:
+    def build(self) -> TaggingDataset:
+        return TaggingDataset(
+            ResourceSet(
+                [
+                    make_resource("a", [1.0, 2.0, 10.0, 20.0]),
+                    make_resource("b", [1.5, 12.0, 15.0]),
+                ]
+            )
+        )
+
+    def test_initial_counts(self):
+        split = self.build().split(cutoff=5.0)
+        assert split.initial_counts.tolist() == [2, 1]
+
+    def test_future_posts_in_order(self):
+        split = self.build().split(cutoff=5.0)
+        assert [p.timestamp for p in split.future[0]] == [10.0, 20.0]
+        assert [p.timestamp for p in split.future[1]] == [12.0, 15.0]
+        assert split.total_future_posts == 4
+
+    def test_free_choice_order_is_global_timestamp_order(self):
+        split = self.build().split(cutoff=5.0)
+        # future timestamps: a@10, b@12, b@15, a@20
+        assert list(split.free_choice_order) == [0, 1, 1, 0]
+
+    def test_initial_posts_view(self):
+        split = self.build().split(cutoff=5.0)
+        assert [p.timestamp for p in split.initial_posts(0)] == [1.0, 2.0]
+
+    def test_subset_reindexes_free_choice_order(self):
+        split = self.build().split(cutoff=5.0)
+        subset = split.subset([1])
+        assert subset.n == 1
+        assert list(subset.free_choice_order) == [0, 0]
+        assert subset.initial_counts.tolist() == [1]
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        dataset = TaggingDataset(
+            ResourceSet([make_resource("a", [1.0, 2.0]), make_resource("b", [3.0])]),
+            name="rt",
+        )
+        path = tmp_path / "corpus.jsonl"
+        dataset.to_jsonl(path)
+        loaded = TaggingDataset.from_jsonl(path)
+        assert len(loaded) == 2
+        assert loaded.resources.by_id("a").sequence == dataset.resources.by_id("a").sequence
+        assert loaded.resources.by_id("b").title == "b.com"
+        assert loaded.resources.by_id("b").category == ("science", "physics")
+
+    def test_malformed_record_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": "a"}\n')
+        with pytest.raises(DataModelError):
+            TaggingDataset.from_jsonl(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        dataset = TaggingDataset(ResourceSet([make_resource("a", [1.0])]))
+        path = tmp_path / "corpus.jsonl"
+        dataset.to_jsonl(path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(TaggingDataset.from_jsonl(path)) == 1

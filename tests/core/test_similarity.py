@@ -1,0 +1,104 @@
+"""Tests for the similarity metrics (Eq. 16 and the ablation extras)."""
+
+import pytest
+
+from repro.core import cosine, dice, jaccard, jensen_shannon
+from repro.core.similarity import SIMILARITY_METRICS
+
+
+class TestCosine:
+    def test_identical_vectors_score_one(self):
+        vector = {"a": 0.3, "b": 0.7}
+        assert cosine(vector, vector) == pytest.approx(1.0)
+
+    def test_disjoint_vectors_score_zero(self):
+        assert cosine({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_zero_vector_branch(self):
+        # Eq. 16: similarity with a k = 0 rfd is defined to be 0.
+        assert cosine({}, {"a": 1.0}) == 0.0
+        assert cosine({"a": 1.0}, {}) == 0.0
+        assert cosine({}, {}) == 0.0
+
+    def test_symmetry(self):
+        u = {"a": 0.2, "b": 0.8}
+        v = {"b": 0.5, "c": 0.5}
+        assert cosine(u, v) == pytest.approx(cosine(v, u))
+
+    def test_scale_invariance(self):
+        u = {"a": 0.2, "b": 0.8}
+        v = {"a": 2.0, "b": 8.0}
+        assert cosine(u, v) == pytest.approx(1.0)
+
+    def test_paper_example_2_values(self, paper_stable_rfds):
+        phi1, phi2 = paper_stable_rfds
+        f1 = {"google": 0.4, "geographic": 0.2, "earth": 0.4}
+        f2 = {"pictures": 1.0}
+        assert cosine(f1, phi1) == pytest.approx(0.953, abs=5e-4)
+        assert cosine(f2, phi2) == pytest.approx(0.897, abs=5e-4)
+
+    def test_never_exceeds_one(self):
+        # Floating-point drift must be clamped.
+        u = {f"t{i}": 1 / 17 for i in range(17)}
+        assert cosine(u, u) <= 1.0
+
+
+class TestJaccard:
+    def test_identical(self):
+        v = {"a": 0.5, "b": 0.5}
+        assert jaccard(v, v) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert jaccard({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_empty(self):
+        assert jaccard({}, {}) == 0.0
+
+    def test_weighted_example(self):
+        # Σmin / Σmax = (1 + 0) / (2 + 1) = 1/3
+        assert jaccard({"a": 1.0, "b": 1.0}, {"a": 2.0}) == pytest.approx(1 / 3)
+
+
+class TestDice:
+    def test_identical(self):
+        v = {"a": 0.5, "b": 0.5}
+        assert dice(v, v) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert dice({}, {}) == 0.0
+
+    def test_weighted_example(self):
+        # 2·Σmin / (Σu + Σv) = 2·1 / (2 + 2) = 0.5
+        assert dice({"a": 1.0, "b": 1.0}, {"a": 2.0}) == pytest.approx(0.5)
+
+
+class TestJensenShannon:
+    def test_identical(self):
+        v = {"a": 0.5, "b": 0.5}
+        assert jensen_shannon(v, v) == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        assert jensen_shannon({"a": 1.0}, {"b": 1.0}) == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_side(self):
+        assert jensen_shannon({}, {"a": 1.0}) == 0.0
+
+    def test_normalisation_makes_counts_and_rfds_agree(self):
+        counts = {"a": 4.0, "b": 2.0}
+        rfd = {"a": 2 / 3, "b": 1 / 3}
+        other = {"a": 0.5, "b": 0.5}
+        assert jensen_shannon(counts, other) == pytest.approx(jensen_shannon(rfd, other))
+
+
+class TestRegistry:
+    def test_all_metrics_registered(self):
+        assert set(SIMILARITY_METRICS) == {"cosine", "jaccard", "dice", "jensen-shannon"}
+
+    @pytest.mark.parametrize("name", sorted(SIMILARITY_METRICS))
+    def test_every_metric_is_bounded(self, name, rng):
+        metric = SIMILARITY_METRICS[name]
+        for _ in range(25):
+            u = {f"t{i}": float(rng.random()) for i in range(int(rng.integers(1, 6)))}
+            v = {f"t{i}": float(rng.random()) for i in range(int(rng.integers(1, 6)))}
+            score = metric(u, v)
+            assert 0.0 <= score <= 1.0

@@ -1,0 +1,137 @@
+"""Tests for MA scores and practically-stable rfds (Definitions 7–8)."""
+
+import pytest
+
+from repro.core import (
+    NotStableError,
+    Post,
+    StabilityError,
+    StabilityTracker,
+    adjacent_similarity_series,
+    find_stable_point,
+    ma_series,
+    practically_stable_rfd,
+)
+from repro.core.stability import ma_score_direct
+
+
+def repeated_posts(tags: set[str], count: int) -> list[Post]:
+    return [Post(frozenset(tags), timestamp=float(i)) for i in range(count)]
+
+
+class TestStabilityTracker:
+    def test_ma_undefined_below_window(self):
+        tracker = StabilityTracker(omega=5)
+        for post in repeated_posts({"a"}, 4):
+            tracker.add_post(post.tags)
+        assert tracker.ma_score is None
+
+    def test_ma_defined_at_window(self):
+        tracker = StabilityTracker(omega=5)
+        for post in repeated_posts({"a"}, 5):
+            tracker.add_post(post.tags)
+        assert tracker.ma_score is not None
+
+    def test_constant_posts_reach_ma_one(self):
+        tracker = StabilityTracker(omega=4)
+        for post in repeated_posts({"a", "b"}, 20):
+            tracker.add_post(post.tags)
+        assert tracker.ma_score == pytest.approx(1.0, abs=1e-9)
+
+    def test_ma_window_excludes_first_similarity(self):
+        # The j = 1 adjacent similarity (always 0) must never enter a
+        # window: for constant posts MA at k = omega is already high.
+        tracker = StabilityTracker(omega=3)
+        for post in repeated_posts({"x"}, 3):
+            tracker.add_post(post.tags)
+        assert tracker.ma_score == pytest.approx(1.0, abs=1e-9)
+
+    def test_invalid_omega(self):
+        with pytest.raises(StabilityError):
+            StabilityTracker(omega=1)
+
+    def test_invalid_tau(self):
+        with pytest.raises(StabilityError):
+            StabilityTracker(omega=3, tau=1.5)
+
+    def test_stable_point_detection(self):
+        tracker = StabilityTracker(omega=3, tau=0.99)
+        for post in repeated_posts({"a"}, 10):
+            tracker.add_post(post.tags)
+        assert tracker.is_stable
+        assert tracker.stable_point == 3
+        assert tracker.stable_rfd == {"a": 1.0}
+
+    def test_stable_rfd_snapshot_is_frozen(self):
+        tracker = StabilityTracker(omega=3, tau=0.9)
+        for post in repeated_posts({"a"}, 3):
+            tracker.add_post(post.tags)
+        snapshot = tracker.stable_rfd
+        tracker.add_post({"b"})
+        assert tracker.stable_rfd == snapshot
+
+    def test_incremental_matches_direct(self, tiny_corpus):
+        sequence = tiny_corpus.dataset.resources[0].sequence
+        omega = 6
+        series = dict(ma_series(sequence, omega))
+        for k in (omega, omega + 3, min(40, len(sequence))):
+            assert series[k] == pytest.approx(ma_score_direct(sequence, k, omega), abs=1e-9)
+
+
+class TestSeriesHelpers:
+    def test_adjacent_series_first_entry_zero(self, paper_r1_posts):
+        series = adjacent_similarity_series(paper_r1_posts)
+        assert series[0] == 0.0
+        assert len(series) == len(paper_r1_posts)
+
+    def test_ma_series_starts_at_omega(self, paper_r1_posts):
+        series = ma_series(paper_r1_posts, omega=3)
+        assert series[0][0] == 3
+        assert series[-1][0] == len(paper_r1_posts)
+
+    def test_ma_series_empty_for_short_sequences(self, paper_r2_posts):
+        assert ma_series(paper_r2_posts, omega=10) == []
+
+    def test_ma_score_direct_validates_k(self, paper_r1_posts):
+        with pytest.raises(StabilityError):
+            ma_score_direct(paper_r1_posts, k=2, omega=3)
+        with pytest.raises(StabilityError):
+            ma_score_direct(paper_r1_posts, k=9, omega=3)
+
+
+class TestStablePoints:
+    def test_find_stable_point_on_constant_sequence(self):
+        posts = repeated_posts({"a", "b"}, 12)
+        assert find_stable_point(posts, omega=4, tau=0.99) == 4
+
+    def test_find_stable_point_none_when_never_stable(self):
+        # Every post introduces a brand-new tag: the rfd never settles.
+        posts = [Post.of(f"unique-{i}", timestamp=float(i)) for i in range(30)]
+        assert find_stable_point(posts, omega=4, tau=0.99) is None
+
+    def test_practically_stable_rfd_returns_smallest_k(self):
+        posts = repeated_posts({"a"}, 20)
+        k, rfd = practically_stable_rfd(posts, omega=4, tau=0.9)
+        assert k == 4
+        assert rfd == {"a": 1.0}
+
+    def test_practically_stable_rfd_raises_not_stable(self):
+        posts = [Post.of(f"unique-{i}", timestamp=float(i)) for i in range(15)]
+        with pytest.raises(NotStableError) as excinfo:
+            practically_stable_rfd(posts, omega=4, tau=0.999, resource_id="r9")
+        assert excinfo.value.resource_id == "r9"
+        assert excinfo.value.best_score is not None
+        assert excinfo.value.best_score < 0.999
+
+    def test_not_stable_error_without_window(self):
+        posts = repeated_posts({"a"}, 2)
+        with pytest.raises(NotStableError) as excinfo:
+            practically_stable_rfd(posts, omega=5, tau=0.9)
+        assert excinfo.value.best_score is None
+
+    def test_stable_point_monotone_in_tau(self, tiny_corpus):
+        sequence = tiny_corpus.dataset.resources[0].sequence
+        lenient = find_stable_point(sequence, omega=5, tau=0.9)
+        strict = find_stable_point(sequence, omega=5, tau=0.999)
+        if lenient is not None and strict is not None:
+            assert lenient <= strict

@@ -1,0 +1,75 @@
+"""Tests for the tag vocabulary and tag normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataModelError, TagVocabulary, normalize_tag
+
+
+class TestNormalizeTag:
+    def test_lowercases_and_strips(self):
+        assert normalize_tag("  GooGle ") == "google"
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataModelError):
+            normalize_tag("   ")
+
+    def test_rejects_interior_whitespace(self):
+        with pytest.raises(DataModelError):
+            normalize_tag("two words")
+
+
+class TestTagVocabulary:
+    def test_insertion_order_indexing(self):
+        vocabulary = TagVocabulary(["google", "earth", "geographic"])
+        assert vocabulary.index_of("google") == 0
+        assert vocabulary.index_of("geographic") == 2
+        assert vocabulary.tags == ("google", "earth", "geographic")
+
+    def test_rejects_duplicates_on_add(self):
+        vocabulary = TagVocabulary(["a"])
+        with pytest.raises(DataModelError):
+            vocabulary.add("a")
+
+    def test_add_all_skips_existing(self):
+        vocabulary = TagVocabulary(["a"])
+        vocabulary.add_all(["a", "b", "b", "c"])
+        assert len(vocabulary) == 3
+
+    def test_contains_is_case_insensitive(self):
+        vocabulary = TagVocabulary(["google"])
+        assert "Google" in vocabulary
+        assert "other" not in vocabulary
+        assert 42 not in vocabulary
+
+    def test_unknown_lookup_raises(self):
+        vocabulary = TagVocabulary(["a"])
+        with pytest.raises(KeyError):
+            vocabulary.index_of("missing")
+
+
+class TestDenseRoundTrip:
+    def test_to_dense(self):
+        vocabulary = TagVocabulary(["a", "b", "c"])
+        dense = vocabulary.to_dense({"a": 0.5, "c": 0.5})
+        assert dense.tolist() == [0.5, 0.0, 0.5]
+
+    def test_to_dense_rejects_unknown_tag(self):
+        vocabulary = TagVocabulary(["a"])
+        with pytest.raises(DataModelError):
+            vocabulary.to_dense({"zzz": 1.0})
+
+    def test_to_sparse_drops_zeros(self):
+        vocabulary = TagVocabulary(["a", "b", "c"])
+        sparse = vocabulary.to_sparse(np.array([0.5, 0.0, 0.5]))
+        assert sparse == {"a": 0.5, "c": 0.5}
+
+    def test_to_sparse_validates_length(self):
+        vocabulary = TagVocabulary(["a", "b"])
+        with pytest.raises(DataModelError):
+            vocabulary.to_sparse(np.array([1.0]))
+
+    def test_round_trip(self):
+        vocabulary = TagVocabulary(["a", "b", "c", "d"])
+        original = {"b": 0.25, "d": 0.75}
+        assert vocabulary.to_sparse(vocabulary.to_dense(original)) == original

@@ -1,0 +1,103 @@
+"""Tests for ground truth construction and trace evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataModelError, NotStableError, Post, PostSequence, Resource, ResourceSet, TaggingDataset
+from repro.allocation import FewestPostsFirst, IncentiveRunner, RoundRobin
+from repro.allocation.budget import AllocationTrace
+from repro.experiments.evaluation import GroundTruth, TraceEvaluator
+
+
+class TestGroundTruth:
+    def test_build_on_filtered_corpus(self, test_harness):
+        truth = test_harness.truth
+        assert len(truth) == len(test_harness.corpus.dataset)
+        assert (truth.stable_points > 0).all()
+        for rfd in truth.stable_rfds:
+            assert sum(rfd.values()) == pytest.approx(1.0)
+
+    def test_build_raises_on_unstable_resource(self):
+        posts = [Post.of(f"u{i}", timestamp=float(i)) for i in range(20)]
+        dataset = TaggingDataset(ResourceSet([Resource("bad", PostSequence(posts))]))
+        with pytest.raises(NotStableError):
+            GroundTruth.build(dataset)
+
+    def test_subset(self, test_harness):
+        subset = test_harness.truth.subset([0, 3])
+        assert len(subset) == 2
+        assert subset.stable_points[1] == test_harness.truth.stable_points[3]
+
+
+class TestTraceEvaluator:
+    def test_length_mismatch_rejected(self, test_harness):
+        truth = test_harness.truth.subset([0, 1])
+        with pytest.raises(DataModelError):
+            TraceEvaluator(test_harness.split, truth)
+
+    def test_quality_of_initial_counts(self, test_harness):
+        evaluator = test_harness.evaluator
+        quality = evaluator.quality_of_counts(test_harness.split.initial_counts)
+        assert 0.0 < quality < 1.0
+
+    def test_series_checkpoints_match_point_evaluation(self, test_harness):
+        runner = test_harness.runner
+        trace = runner.run(FewestPostsFirst(), budget=120)
+        checkpoints = [0, 40, 80, 120]
+        series = test_harness.evaluator.evaluate_series(trace, checkpoints)
+        for position, budget in enumerate(checkpoints):
+            expected = test_harness.evaluator.quality_of_x(trace.prefix_x(budget))
+            assert series.quality[position] == pytest.approx(expected, abs=1e-9)
+
+    def test_series_rejects_unsorted_checkpoints(self, test_harness):
+        trace = test_harness.runner.run(RoundRobin(), budget=10)
+        with pytest.raises(DataModelError):
+            test_harness.evaluator.evaluate_series(trace, [10, 0])
+
+    def test_wasted_series_matches_waste_module(self, test_harness):
+        from repro.analysis import wasted_tasks
+
+        trace = test_harness.runner.run(RoundRobin(), budget=150)
+        series = test_harness.evaluator.evaluate_series(trace, [150])
+        final = test_harness.split.initial_counts + trace.x
+        expected = wasted_tasks(
+            test_harness.split.initial_counts, final, test_harness.truth.stable_points
+        )
+        assert series.wasted[-1] == expected
+
+    def test_under_fraction_series(self, test_harness):
+        trace = test_harness.runner.run(FewestPostsFirst(), budget=200)
+        series = test_harness.evaluator.evaluate_series(trace, [0, 200])
+        # FP floods the under-tagged resources first: the fraction falls.
+        assert series.under_fraction[-1] <= series.under_fraction[0]
+
+    def test_checkpoints_beyond_trace_repeat_final_state(self, test_harness):
+        trace = test_harness.runner.run(RoundRobin(), budget=50)
+        series = test_harness.evaluator.evaluate_series(trace, [50, 10_000])
+        assert series.quality[1] == pytest.approx(series.quality[0])
+
+    def test_evaluate_x_consistency(self, test_harness):
+        trace = test_harness.runner.run(RoundRobin(), budget=80)
+        by_trace = test_harness.evaluator.evaluate_series(trace, [80])
+        by_x = test_harness.evaluator.evaluate_x("RR", [80], [trace.x])
+        assert by_x.quality[0] == pytest.approx(by_trace.quality[0], abs=1e-9)
+        assert by_x.over_tagged[0] == by_trace.over_tagged[0]
+        assert by_x.wasted[0] == by_trace.wasted[0]
+        assert by_x.under_fraction[0] == pytest.approx(by_trace.under_fraction[0])
+
+
+class TestPrefixX:
+    def test_prefix_x_respects_spend(self):
+        trace = AllocationTrace(
+            strategy_name="t", n=3, budget=5, order=(0, 1, 2, 0), spend=(1, 2, 1, 1)
+        )
+        assert trace.prefix_x(0).tolist() == [0, 0, 0]
+        assert trace.prefix_x(3).tolist() == [1, 1, 0]
+        assert trace.prefix_x(99).tolist() == [2, 1, 1]
+
+    def test_budget_spent(self):
+        trace = AllocationTrace(
+            strategy_name="t", n=2, budget=9, order=(0, 1), spend=(2, 3)
+        )
+        assert trace.budget_spent == 5
+        assert trace.tasks_delivered == 2

@@ -1,0 +1,191 @@
+"""Tests for the Fig 6 experiment harnesses (qualitative paper claims)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    budget_to_stability,
+    figure_6abcd,
+    figure_6e,
+    figure_6f,
+    render_figure_6a,
+    render_figure_6b,
+    render_figure_6c,
+    render_figure_6d,
+    runtime_vs_budget,
+    runtime_vs_resources,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison(request):
+    harness = request.getfixturevalue("test_harness")
+    return figure_6abcd(harness=harness)
+
+
+class TestFig6aQuality:
+    def test_quality_series_monotone_strategies_improve(self, comparison):
+        for name in ("FP", "FP-MU", "DP"):
+            series = comparison[name]
+            assert series.quality[-1] > series.quality[0]
+
+    def test_dp_dominates_every_strategy(self, comparison):
+        dp = comparison["DP"]
+        dp_lookup = {int(b): q for b, q in zip(dp.budgets, dp.quality)}
+        for name in ("FC", "RR", "FP", "MU", "FP-MU"):
+            series = comparison[name]
+            for budget, quality in zip(series.budgets, series.quality):
+                if int(budget) in dp_lookup:
+                    assert quality <= dp_lookup[int(budget)] + 1e-9
+
+    def test_fp_and_fpmu_close_to_dp(self, comparison):
+        # The paper's headline: FP/FP-MU are near-optimal.
+        dp_final = comparison["DP"].quality[-1]
+        initial = comparison["DP"].quality[0]
+        dp_gain = dp_final - initial
+        for name in ("FP", "FP-MU"):
+            gain = comparison[name].final_quality() - initial
+            assert gain >= 0.75 * dp_gain
+
+    def test_fp_beats_fc_and_rr(self, comparison):
+        assert comparison["FP"].final_quality() > comparison["FC"].final_quality()
+        assert comparison["FP"].final_quality() > comparison["RR"].final_quality()
+
+    def test_mu_improves_least_among_directed(self, comparison):
+        # MU ignores the under-tagged resources; the paper observes it
+        # barely improves quality.
+        assert comparison["MU"].final_quality() < comparison["FP"].final_quality()
+
+
+class TestFig6bOverTagging:
+    def test_fp_mu_never_over_tag(self, comparison):
+        for name in ("FP", "MU", "FP-MU"):
+            series = comparison[name]
+            assert series.over_tagged[-1] == series.over_tagged[0]
+
+    def test_fc_increases_over_tagging(self, comparison):
+        series = comparison["FC"]
+        assert series.over_tagged[-1] >= series.over_tagged[0]
+
+
+class TestFig6cWaste:
+    def test_directed_strategies_waste_nothing(self, comparison):
+        for name in ("FP", "MU", "FP-MU"):
+            assert comparison[name].wasted[-1] == 0
+
+    def test_fc_wastes_substantially(self, comparison):
+        # At the reduced test scale the popularity head is thin, so the
+        # share is below the paper's 48%; the default-scale benchmark
+        # checks the headline number.  Here: clearly nonzero and growing.
+        series = comparison["FC"]
+        spent = int(series.budgets[-1])
+        assert series.wasted[-1] > 0.1 * spent
+        assert series.wasted[-1] > series.wasted[1]
+
+    def test_fc_wastes_more_than_rr(self, comparison):
+        assert comparison["FC"].wasted[-1] >= comparison["RR"].wasted[-1]
+
+
+class TestFig6dUnderTagging:
+    def test_fp_eliminates_under_tagging(self, comparison):
+        assert comparison["FP"].under_fraction[-1] == 0.0
+
+    def test_mu_cannot_reduce_below_ineligible_floor(self, comparison, test_harness):
+        # Resources with fewer than omega initial posts are invisible to
+        # MU and stay under-tagged forever: they are MU's floor.
+        omega = test_harness.scale.omega
+        floor = float(
+            (test_harness.split.initial_counts < omega).mean()
+        )
+        series = comparison["MU"]
+        assert series.under_fraction[-1] >= floor - 1e-9
+        assert series.under_fraction[-1] == pytest.approx(floor, abs=0.05)
+
+    def test_fc_remains_worst_or_near_worst(self, comparison):
+        fc_final = comparison["FC"].under_fraction[-1]
+        fp_final = comparison["FP"].under_fraction[-1]
+        assert fc_final >= fp_final
+
+
+class TestRenderers:
+    @pytest.mark.parametrize(
+        "renderer",
+        [render_figure_6a, render_figure_6b, render_figure_6c, render_figure_6d],
+    )
+    def test_tables_include_all_strategies(self, comparison, renderer):
+        text = renderer(comparison)
+        for name in ("FC", "RR", "FP", "MU", "FP-MU", "DP"):
+            assert name in text
+
+
+class TestFig6e:
+    def test_quality_decreases_with_corpus_size(self, test_harness):
+        result = figure_6e(harness=test_harness, budget=100)
+        for name in ("FP", "DP"):
+            values = result.quality[name]
+            assert values[0] >= values[-1]
+
+    def test_dp_on_top_for_each_size(self, test_harness):
+        result = figure_6e(harness=test_harness, budget=100)
+        for i in range(len(result.resource_counts)):
+            for name in ("FC", "RR", "FP", "MU", "FP-MU"):
+                assert result.quality[name][i] <= result.quality["DP"][i] + 1e-9
+
+    def test_render(self, test_harness):
+        result = figure_6e(harness=test_harness, budget=100)
+        assert "DP" in result.render()
+
+
+class TestFig6f:
+    def test_mu_quality_declines_with_omega(self, test_harness):
+        result = figure_6f(harness=test_harness)
+        assert result.mu_quality[0] > result.mu_quality[-1]
+
+    def test_warmup_grows_with_omega(self, test_harness):
+        result = figure_6f(harness=test_harness)
+        assert (np.diff(result.fpmu_warmup) >= 0).all()
+
+    def test_fpmu_at_least_fp_when_warmup_saturates(self, test_harness):
+        result = figure_6f(harness=test_harness)
+        saturated = result.fpmu_warmup >= result.budget
+        for i in np.flatnonzero(saturated):
+            assert result.fpmu_quality[i] == pytest.approx(result.fp_quality, abs=1e-9)
+
+
+class TestRuntime:
+    def test_runtime_rows_cover_all_strategies(self, test_harness):
+        result = runtime_vs_budget(
+            harness=test_harness, budgets=(50, 100), include_dp=True
+        )
+        assert set(result.seconds) == {"FC", "RR", "FP", "MU", "FP-MU", "DP"}
+        assert all(len(v) == 2 for v in result.seconds.values())
+        assert all((v >= 0).all() for v in result.seconds.values())
+
+    def test_runtime_vs_resources(self, test_harness):
+        result = runtime_vs_resources(harness=test_harness, budget=50, include_dp=False)
+        assert result.parameter_values == test_harness.scale.resource_counts
+        assert "DP" not in result.seconds
+
+    def test_render(self, test_harness):
+        result = runtime_vs_budget(harness=test_harness, budgets=(50,), include_dp=False)
+        assert "budget" in result.render()
+
+
+class TestBudgetToStability:
+    def test_fp_reaches_stability_cheaper_than_fc(self, test_harness):
+        result = budget_to_stability(test_harness)
+        fp = result.budgets["FP"]
+        fc = result.budgets["FC"]
+        assert fp is not None
+        if fc is not None:
+            assert fp < fc
+
+    def test_mu_never_stabilises_everyone(self, test_harness):
+        # MU ignores sub-omega resources, which therefore never reach
+        # their stable points.
+        result = budget_to_stability(test_harness)
+        assert result.budgets["MU"] is None
+
+    def test_render(self, test_harness):
+        text = budget_to_stability(test_harness).render()
+        assert "FP" in text and "FC" in text

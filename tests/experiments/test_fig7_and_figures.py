@@ -1,0 +1,135 @@
+"""Tests for Fig 7 (similarity accuracy) and Figs 1, 3, 5."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SimilarityAccuracyEvaluator,
+    figure_1a,
+    figure_1b,
+    figure_3,
+    figure_5,
+    figure_7a,
+    figure_7b,
+)
+
+
+class TestFig7a:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        harness = request.getfixturevalue("test_harness")
+        return figure_7a(harness=harness, subset_size=25)
+
+    def test_accuracy_bounded(self, result):
+        for values in result.accuracy.values():
+            assert (values >= -1).all() and (values <= 1).all()
+
+    def test_budget_improves_accuracy_for_fp(self, result):
+        fp = result.accuracy["FP"]
+        assert fp[-1] > fp[0]
+
+    def test_dp_accuracy_improves(self, result):
+        assert result.dp_accuracy[-1] > result.dp_accuracy[0]
+
+    def test_render(self, result):
+        text = result.render()
+        assert "FP" in text and "DP" in text
+
+
+class TestFig7b:
+    def test_quality_accuracy_strongly_correlated(self, test_harness):
+        fig7a = figure_7a(harness=test_harness, subset_size=25)
+        fig7b = figure_7b(fig7a)
+        # The paper reports > 0.98; the reduced scale keeps it high.
+        assert fig7b.correlation > 0.7
+        assert "correlation" in fig7b.render()
+
+    def test_point_counts(self, test_harness):
+        fig7a = figure_7a(harness=test_harness, subset_size=25)
+        fig7b = figure_7b(fig7a)
+        expected = len(fig7a.budgets) * len(fig7a.accuracy) + len(fig7a.dp_budgets)
+        assert len(fig7b.quality) == expected
+
+
+class TestSimilarityAccuracyEvaluator:
+    def test_series_matches_point_evaluation(self, test_harness):
+        from repro.allocation import FewestPostsFirst
+
+        rng = np.random.default_rng(0)
+        indices = sorted(int(i) for i in rng.choice(len(test_harness.corpus.dataset), 12, replace=False))
+        corpus = test_harness.corpus.subset(indices)
+        split = corpus.dataset.split(corpus.cutoff)
+        from repro.allocation.runner import IncentiveRunner
+
+        runner = IncentiveRunner.replay(split)
+        evaluator = SimilarityAccuracyEvaluator(split, corpus.models)
+        trace = runner.run(FewestPostsFirst(), budget=30)
+        series = evaluator.series(trace, [0, 15, 30])
+        assert series[0] == pytest.approx(
+            evaluator.accuracy_of_counts(split.initial_counts), abs=1e-12
+        )
+        assert series[2] == pytest.approx(
+            evaluator.accuracy_of_counts(split.initial_counts + trace.x), abs=1e-12
+        )
+
+
+class TestFig1:
+    def test_fig1a_trajectories_converge(self):
+        result = figure_1a(num_posts=400, step=20)
+        half = len(result.checkpoints) // 2
+        for t in range(len(result.tags)):
+            late = result.trajectories[t][half:]
+            early = result.trajectories[t][: half]
+            assert late.std() < early.std() + 0.05
+
+    def test_fig1a_tracked_tags_are_top_tags(self):
+        result = figure_1a(num_posts=300)
+        assert "google" in result.tags
+
+    def test_fig1b_power_law_shape(self):
+        result = figure_1b(n=1500, seed=3)
+        assert result.bucket_counts[0] > result.bucket_counts[2] > 0
+        assert result.slope < -1.0
+        assert "slope" in result.render()
+
+
+class TestFig3:
+    def test_stable_point_detected(self):
+        result = figure_3(num_posts=400, seed=0)
+        assert result.stable_point is not None
+        assert result.stable_point >= result.omega
+
+    def test_ma_is_windowed_mean_of_adjacent(self):
+        # Definitional invariant rendered by the figure: the MA at k is
+        # the mean of the adjacent similarities at posts k-ω+2 .. k, so
+        # it must lie inside that window's range.
+        result = figure_3(num_posts=400, seed=0)
+        omega = result.omega
+        for k, ma in zip(result.ma_ks, result.ma_scores):
+            window = result.adjacent[int(k) - omega + 1 : int(k)]
+            assert window.min() - 1e-12 <= ma <= window.max() + 1e-12
+            assert ma == pytest.approx(window.mean(), abs=1e-9)
+
+    def test_render_marks_stable_point(self):
+        result = figure_3(num_posts=400, seed=0)
+        assert "stable point" in result.render()
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure_5(num_posts=400, seed=0)
+
+    def test_low_start_gains_much_more(self, result):
+        assert result.low_gain > 5 * max(result.high_gain, 1e-6)
+
+    def test_complex_resource_converges_slower(self, result):
+        early = slice(20, 60)
+        assert result.complex_quality[early].mean() <= result.simple_quality[early].mean() + 0.02
+
+    def test_quality_curves_bounded(self, result):
+        for curve in (result.simple_quality, result.complex_quality):
+            assert (curve >= 0).all() and (curve <= 1).all()
+
+    def test_render(self, result):
+        assert "quality gain" in result.render()

@@ -1,0 +1,91 @@
+"""Tests for rendering helpers and the shared harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentHarness, TEST_SCALE, default_strategies
+from repro.experiments.evaluation import EvaluationSeries
+from repro.experiments.report import format_float, render_comparison_metric, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "long-header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_values_stringified(self):
+        text = render_table(["x"], [[3.5]])
+        assert "3.5" in text
+
+
+class TestFormatFloat:
+    def test_nan(self):
+        assert format_float(float("nan")) == "nan"
+
+    def test_digits(self):
+        assert format_float(0.123456, digits=2) == "0.12"
+
+
+class TestRenderComparison:
+    def build_series(self, name, budgets, quality):
+        n = len(budgets)
+        return EvaluationSeries(
+            strategy_name=name,
+            budgets=np.array(budgets),
+            quality=np.array(quality),
+            over_tagged=np.zeros(n, dtype=np.int64),
+            wasted=np.zeros(n, dtype=np.int64),
+            under_fraction=np.zeros(n),
+        )
+
+    def test_mismatched_grids_show_dashes(self):
+        series = {
+            "A": self.build_series("A", [0, 10, 20], [0.1, 0.2, 0.3]),
+            "B": self.build_series("B", [0, 20], [0.1, 0.4]),
+        }
+        text = render_comparison_metric(series, "quality")
+        row_10 = next(line for line in text.splitlines() if line.startswith("10"))
+        assert "-" in row_10
+
+    def test_integer_metrics_render_as_ints(self):
+        series = {"A": self.build_series("A", [0], [0.5])}
+        text = render_comparison_metric(series, "wasted")
+        assert "0.0000" not in text
+
+    def test_custom_formatter(self):
+        series = {"A": self.build_series("A", [0], [0.54321])}
+        text = render_comparison_metric(
+            series, "quality", value_format=lambda v: f"{v:.1f}"
+        )
+        assert "0.5" in text and "0.5432" not in text
+
+    def test_budget_order_in_merged_grid(self):
+        series = {
+            "A": self.build_series("A", [0, 30], [0.1, 0.2]),
+            "B": self.build_series("B", [10], [0.3]),
+        }
+        text = render_comparison_metric(series, "quality")
+        budgets = [line.split()[0] for line in text.splitlines()[2:]]
+        assert budgets == ["0", "10", "30"]
+
+
+class TestHarness:
+    def test_from_scale_builds_consistent_state(self, test_harness):
+        assert test_harness.split.n == len(test_harness.truth)
+        assert test_harness.scale is TEST_SCALE
+
+    def test_default_strategies_order(self):
+        names = [s.name for s in default_strategies(omega=5)]
+        assert names == ["FC", "RR", "FP", "MU", "FP-MU"]
+
+    def test_run_strategy_uses_scale_budget(self, test_harness):
+        from repro.allocation import RoundRobin
+
+        trace = test_harness.run_strategy(RoundRobin())
+        assert trace.budget == test_harness.scale.max_budget
+
+    def test_dp_series_budgets(self, test_harness):
+        series = test_harness.run_dp()
+        assert tuple(int(b) for b in series.budgets) == test_harness.scale.dp_budgets

@@ -1,0 +1,67 @@
+"""Golden tests: every number of the paper's running example.
+
+These are the strongest direct correctness checks the paper offers —
+Tables II and IV print exact values computed from the definitions.
+"""
+
+import pytest
+
+from repro.experiments import running_example
+
+
+@pytest.fixture(scope="module")
+def result():
+    return running_example()
+
+
+class TestTableII:
+    def test_rfd_r1(self, result):
+        assert result.rfd_r1 == pytest.approx(
+            {"google": 0.4, "earth": 0.4, "geographic": 0.2}
+        )
+
+    def test_rfd_r2(self, result):
+        assert result.rfd_r2 == pytest.approx({"pictures": 1.0})
+
+    def test_q1_initial(self, result):
+        assert result.q1_initial == pytest.approx(0.953, abs=5e-4)
+
+    def test_q2_initial(self, result):
+        assert result.q2_initial == pytest.approx(0.897, abs=5e-4)
+
+
+class TestTableIV:
+    def test_assignment_02(self, result):
+        q1, q2, mean = result.assignment_qualities[(0, 2)]
+        assert q1 == pytest.approx(0.953, abs=5e-4)
+        assert q2 == pytest.approx(0.992, abs=2e-3)
+        assert mean == pytest.approx(0.973, abs=2e-3)
+
+    def test_assignment_11(self, result):
+        q1, q2, mean = result.assignment_qualities[(1, 1)]
+        assert q1 == pytest.approx(0.990, abs=5e-4)
+        assert q2 == pytest.approx(0.990, abs=2e-3)
+        assert mean == pytest.approx(0.990, abs=2e-3)
+
+    def test_assignment_20(self, result):
+        q1, q2, mean = result.assignment_qualities[(2, 0)]
+        assert q1 == pytest.approx(0.943, abs=5e-4)
+        assert q2 == pytest.approx(0.897, abs=5e-4)
+        assert mean == pytest.approx(0.920, abs=5e-4)
+
+
+class TestExample3:
+    def test_optimal_assignment_is_1_1(self, result):
+        assert result.optimal_x == (1, 1)
+
+    def test_optimal_quality(self, result):
+        assert result.optimal_quality == pytest.approx(0.990, abs=2e-3)
+
+    def test_example_2_set_quality(self, result):
+        mean = (result.q1_initial + result.q2_initial) / 2
+        assert mean == pytest.approx(0.925, abs=5e-4)
+
+    def test_render_mentions_paper_values(self, result):
+        text = result.render()
+        assert "0.953" in text
+        assert "(1, 1)" in text

@@ -1,0 +1,125 @@
+"""End-to-end integration: generate → split → allocate → evaluate → report."""
+
+import numpy as np
+import pytest
+
+from repro.core import TaggingDataset
+from repro.allocation import (
+    FewestPostsFirst,
+    FreeChoice,
+    HybridFPMU,
+    IncentiveRunner,
+    MostUnstableFirst,
+    RoundRobin,
+    gains_from_profiles,
+    solve_dp,
+    solve_greedy,
+)
+from repro.experiments.evaluation import GroundTruth, TraceEvaluator
+from repro.simulate import paper_scenario
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    corpus = paper_scenario(n=30, seed=21)
+    split = corpus.dataset.split(corpus.cutoff)
+    truth = GroundTruth.build(corpus.dataset)
+    evaluator = TraceEvaluator(split, truth)
+    runner = IncentiveRunner.replay(split)
+    return corpus, split, truth, evaluator, runner
+
+
+class TestFullPipeline:
+    def test_every_strategy_improves_or_preserves_quality(self, pipeline):
+        corpus, split, truth, evaluator, runner = pipeline
+        before = evaluator.quality_of_counts(split.initial_counts)
+        for strategy in (
+            FreeChoice(),
+            RoundRobin(),
+            FewestPostsFirst(),
+            MostUnstableFirst(omega=5),
+            HybridFPMU(omega=5),
+        ):
+            trace = runner.run(strategy, budget=150)
+            after = evaluator.quality_of_x(trace.x)
+            assert after >= before - 0.02, strategy.name
+
+    def test_dp_upper_bounds_all_strategies_exactly(self, pipeline):
+        corpus, split, truth, evaluator, runner = pipeline
+        budget = 100
+        gains = gains_from_profiles(truth.profiles, split.initial_counts, budget)
+        optimal = solve_dp(gains, budget)
+        optimal_quality = evaluator.quality_of_x(optimal.x)
+        for strategy in (FreeChoice(), RoundRobin(), FewestPostsFirst()):
+            trace = runner.run(strategy, budget)
+            assert evaluator.quality_of_x(trace.x) <= optimal_quality + 1e-9
+
+    def test_dp_quality_equals_evaluator_quality(self, pipeline):
+        # DP's internal objective and the evaluator must agree exactly.
+        corpus, split, truth, evaluator, runner = pipeline
+        budget = 80
+        gains = gains_from_profiles(truth.profiles, split.initial_counts, budget)
+        optimal = solve_dp(gains, budget)
+        assert optimal.mean_quality == pytest.approx(
+            evaluator.quality_of_x(optimal.x), abs=1e-9
+        )
+
+    def test_greedy_close_to_dp_on_real_gain_tables(self, pipeline):
+        corpus, split, truth, evaluator, runner = pipeline
+        budget = 100
+        gains = gains_from_profiles(truth.profiles, split.initial_counts, budget)
+        greedy = solve_greedy(gains, budget)
+        optimal = solve_dp(gains, budget)
+        # Real gain tables are non-concave (quality can dip), so greedy
+        # is not optimal — but it should stay in DP's neighbourhood.
+        assert greedy.value >= 0.95 * optimal.value
+
+    def test_round_trip_through_jsonl_preserves_experiment(self, pipeline, tmp_path):
+        corpus, split, truth, evaluator, runner = pipeline
+        path = tmp_path / "corpus.jsonl"
+        corpus.dataset.to_jsonl(path)
+        reloaded = TaggingDataset.from_jsonl(path)
+        split2 = reloaded.split(corpus.cutoff)
+        assert (split2.initial_counts == split.initial_counts).all()
+        truth2 = GroundTruth.build(reloaded)
+        assert np.array_equal(truth2.stable_points, truth.stable_points)
+        runner2 = IncentiveRunner.replay(split2)
+        trace = runner.run(FewestPostsFirst(), budget=60)
+        trace2 = runner2.run(FewestPostsFirst(), budget=60)
+        assert trace.order == trace2.order
+
+    def test_generative_mode_runs_unbounded(self, pipeline, rng):
+        corpus, split, truth, evaluator, runner = pipeline
+        from repro.allocation import popularity_chooser
+        from repro.simulate import TaggerBehavior, generate_post
+
+        behavior = TaggerBehavior()
+        positions = split.initial_counts.astype(int).tolist()
+
+        def factory(index: int):
+            positions[index] += 1
+            return generate_post(
+                corpus.models[index], positions[index] - 1, 999.0, rng, behavior
+            )
+
+        weights = corpus.dataset.posts_per_resource().astype(float)
+        generative = IncentiveRunner.generative(
+            split.initial_counts,
+            [split.initial_posts(i) for i in range(split.n)],
+            factory,
+            popularity_chooser(weights, rng),
+        )
+        budget = int(split.total_future_posts + 500)  # beyond replay capacity
+        trace = generative.run(FreeChoice(), budget)
+        assert trace.budget_spent == budget
+
+    def test_cost_and_preference_extensions_compose(self, pipeline, rng):
+        corpus, split, truth, evaluator, runner = pipeline
+        costs = np.ones(split.n, dtype=np.int64)
+        costs[: split.n // 2] = 2
+        acceptance = np.full(split.n, 0.9)
+        trace = runner.run(
+            HybridFPMU(omega=5), budget=80, costs=costs, acceptance=acceptance, rng=rng
+        )
+        assert trace.budget_spent <= 80
+        assert (trace.x >= 0).all()

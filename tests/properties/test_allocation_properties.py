@@ -1,0 +1,146 @@
+"""Property-based tests for DP optimality and strategy invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Post, PostSequence, Resource, ResourceSet, TaggingDataset
+from repro.allocation import (
+    FewestPostsFirst,
+    HybridFPMU,
+    IncentiveRunner,
+    MostUnstableFirst,
+    RoundRobin,
+    brute_force_optimal,
+    solve_dp,
+    solve_dp_reference,
+    solve_greedy,
+    solve_weighted_dp,
+)
+
+gain_table = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=5
+).map(np.array)
+instances = st.lists(gain_table, min_size=1, max_size=4)
+
+
+@st.composite
+def dp_instance(draw):
+    gains = draw(instances)
+    capacity = sum(len(g) - 1 for g in gains)
+    budget = draw(st.integers(min_value=0, max_value=capacity))
+    return gains, budget
+
+
+class TestDPProperties:
+    @given(dp_instance())
+    @settings(max_examples=60)
+    def test_dp_matches_brute_force(self, instance):
+        gains, budget = instance
+        expected = brute_force_optimal(gains, budget).value
+        assert abs(solve_dp(gains, budget).value - expected) < 1e-9
+        assert abs(solve_dp_reference(gains, budget).value - expected) < 1e-9
+
+    @given(dp_instance())
+    @settings(max_examples=60)
+    def test_dp_assignment_realises_value(self, instance):
+        gains, budget = instance
+        result = solve_dp(gains, budget)
+        assert result.x.sum() == budget
+        assert all(0 <= x <= len(g) - 1 for x, g in zip(result.x, gains))
+        realised = sum(float(g[x]) for g, x in zip(gains, result.x))
+        assert abs(realised - result.value) < 1e-9
+
+    @given(dp_instance())
+    @settings(max_examples=40)
+    def test_greedy_never_beats_dp(self, instance):
+        gains, budget = instance
+        assert solve_greedy(gains, budget).value <= solve_dp(gains, budget).value + 1e-9
+
+    @given(dp_instance())
+    @settings(max_examples=40)
+    def test_weighted_dp_with_unit_costs_relaxes_exact_spend(self, instance):
+        gains, budget = instance
+        weighted = solve_weighted_dp(gains, [1] * len(gains), budget)
+        exact = solve_dp(gains, budget)
+        assert weighted.value >= exact.value - 1e-9
+        assert weighted.x.sum() <= budget
+
+    @given(dp_instance())
+    @settings(max_examples=40)
+    def test_dp_value_monotone_under_budget_when_padded(self, instance):
+        # With a slack resource of constant gains, a bigger budget can
+        # never hurt: the DP can park surplus tasks there.
+        gains, budget = instance
+        padded = list(gains) + [np.zeros(budget + 2)]
+        low = solve_dp(padded, budget)
+        high = solve_dp(padded, budget + 1)
+        assert high.value >= low.value - 1e-9
+
+
+# ----------------------------------------------------------------------
+# strategy invariants on randomly generated replay splits
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def replay_split(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    resources = ResourceSet()
+    for i in range(n):
+        initial = draw(st.integers(min_value=0, max_value=8))
+        future = draw(st.integers(min_value=0, max_value=10))
+        timestamps = [float(j + 1) for j in range(initial)]
+        timestamps += [100.0 + j for j in range(future)]
+        posts = [
+            Post.of(f"r{i}", f"x{j % 3}", timestamp=t) for j, t in enumerate(timestamps)
+        ]
+        if posts:
+            resources.add(Resource(f"r{i}", PostSequence(posts)))
+        else:
+            resources.add(Resource(f"r{i}", PostSequence([])))
+    return TaggingDataset(resources).split(50.0)
+
+
+strategy_factories = st.sampled_from(
+    [RoundRobin, FewestPostsFirst, lambda: MostUnstableFirst(omega=3), lambda: HybridFPMU(omega=3)]
+)
+
+
+class TestStrategyProperties:
+    @given(replay_split(), st.integers(min_value=0, max_value=30), strategy_factories)
+    @settings(max_examples=60, deadline=None)
+    def test_budget_conservation(self, split, budget, factory):
+        runner = IncentiveRunner.replay(split)
+        trace = runner.run(factory(), budget)
+        assert trace.budget_spent <= budget
+        assert trace.x.sum() == trace.tasks_delivered
+        # Never deliver more than a resource's future posts.
+        for i in range(split.n):
+            assert trace.x[i] <= len(split.future[i])
+
+    @given(replay_split(), st.integers(min_value=0, max_value=30), strategy_factories)
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, split, budget, factory):
+        runner = IncentiveRunner.replay(split)
+        assert runner.run(factory(), budget).order == runner.run(factory(), budget).order
+
+    @given(replay_split(), st.integers(min_value=0, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_fp_invariant_minimum_count(self, split, budget):
+        runner = IncentiveRunner.replay(split)
+        trace = runner.run(FewestPostsFirst(), budget)
+        counts = split.initial_counts.astype(int).copy()
+        exhausted = [len(split.future[i]) for i in range(split.n)]
+        delivered = [0] * split.n
+        for index in trace.order:
+            # The chosen resource has the minimum count among those with
+            # remaining future posts.
+            eligible = [
+                counts[i]
+                for i in range(split.n)
+                if delivered[i] < exhausted[i]
+            ]
+            assert counts[index] == min(eligible)
+            counts[index] += 1
+            delivered[index] += 1

@@ -1,0 +1,85 @@
+"""Property test: the delta-update evaluator equals brute-force rescoring."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Post, PostSequence, Resource, ResourceSet, TaggingDataset
+from repro.core.frequency import TagFrequencyTable
+from repro.core.similarity import cosine
+from repro.allocation.budget import AllocationTrace
+from repro.analysis.waste import waste_report, wasted_tasks
+from repro.experiments.evaluation import GroundTruth, TraceEvaluator
+
+
+@st.composite
+def replay_world(draw):
+    """A small corpus (stable by construction) plus a random valid trace."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    resources = ResourceSet()
+    for i in range(n):
+        # Concentrated repeating posts stabilise quickly and surely.
+        total = draw(st.integers(min_value=30, max_value=50))
+        initial = draw(st.integers(min_value=0, max_value=10))
+        posts = []
+        for j in range(total):
+            tags = {f"r{i}-a"} if j % 3 else {f"r{i}-a", f"r{i}-b"}
+            timestamp = float(j) if j < initial else 100.0 + j
+            posts.append(Post(frozenset(tags), timestamp=timestamp))
+        resources.add(Resource(f"r{i}", PostSequence(posts)))
+    dataset = TaggingDataset(resources)
+    split = dataset.split(50.0)
+
+    # Random delivery order respecting per-resource future capacity.
+    capacity = [len(split.future[i]) for i in range(n)]
+    length = draw(st.integers(min_value=0, max_value=sum(capacity)))
+    order = []
+    remaining = list(capacity)
+    for _ in range(length):
+        eligible = [i for i in range(n) if remaining[i] > 0]
+        if not eligible:
+            break
+        pick = draw(st.sampled_from(eligible))
+        remaining[pick] -= 1
+        order.append(pick)
+    trace = AllocationTrace(
+        strategy_name="random",
+        n=n,
+        budget=len(order),
+        order=tuple(order),
+        spend=tuple([1] * len(order)),
+    )
+    checkpoints = sorted(
+        set(draw(st.lists(st.integers(0, len(order)), min_size=1, max_size=4)))
+    )
+    return dataset, split, trace, checkpoints
+
+
+class TestEvaluatorEquivalence:
+    @given(replay_world())
+    @settings(max_examples=25, deadline=None)
+    def test_series_equals_bruteforce(self, world):
+        dataset, split, trace, checkpoints = world
+        truth = GroundTruth.build(dataset, omega=5, tau=0.99)
+        evaluator = TraceEvaluator(split, truth)
+        series = evaluator.evaluate_series(trace, checkpoints)
+
+        for position, budget in enumerate(checkpoints):
+            counts = split.initial_counts + trace.prefix_x(budget)
+            # quality, recomputed from scratch rfds
+            qualities = []
+            for i, resource in enumerate(dataset.resources):
+                table = TagFrequencyTable.from_posts(
+                    resource.sequence.prefix(int(counts[i]))
+                )
+                qualities.append(cosine(table.rfd(), truth.stable_rfds[i]))
+            assert abs(series.quality[position] - np.mean(qualities)) < 1e-9
+
+            report = waste_report(counts, truth.stable_points)
+            assert series.over_tagged[position] == report.over_tagged
+            assert abs(
+                series.under_fraction[position] - report.under_tagged_fraction
+            ) < 1e-12
+            assert series.wasted[position] == wasted_tasks(
+                split.initial_counts, counts, truth.stable_points
+            )

@@ -1,0 +1,107 @@
+"""Property-based tests for the frequency engine and similarity metrics."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TagFrequencyTable, cosine, dice, jaccard, jensen_shannon
+from repro.core.similarity import SIMILARITY_METRICS
+
+# Posts over a small tag alphabet: concentration creates interesting overlap.
+tag = st.sampled_from([f"t{i}" for i in range(8)])
+post = st.frozensets(tag, min_size=1, max_size=4)
+posts = st.lists(post, min_size=1, max_size=40)
+
+# Weights are either exactly zero or of practical magnitude: rfd entries
+# are bounded below by 1/total-tag-assignments, so denormal-underflow
+# regimes (w**2 == 0.0 for w ~ 1e-200) are out of scope.
+sparse_vector = st.dictionaries(
+    tag,
+    st.one_of(
+        st.just(0.0),
+        st.floats(min_value=1e-6, max_value=10.0, allow_nan=False),
+    ),
+    max_size=8,
+)
+
+
+class TestFrequencyInvariants:
+    @given(posts)
+    def test_rfd_is_a_distribution(self, post_list):
+        table = TagFrequencyTable()
+        for p in post_list:
+            table.add_post(p)
+        rfd = table.rfd()
+        assert all(v > 0 for v in rfd.values())
+        assert math.isclose(sum(rfd.values()), 1.0, rel_tol=1e-9)
+
+    @given(posts)
+    def test_frequencies_bounded_by_post_count(self, post_list):
+        table = TagFrequencyTable()
+        for p in post_list:
+            table.add_post(p)
+        k = table.num_posts
+        assert all(0 < table.frequency(t) <= k for t in table.counts())
+
+    @given(posts)
+    def test_adjacent_similarity_in_unit_interval(self, post_list):
+        table = TagFrequencyTable()
+        similarities = [table.add_post(p) for p in post_list]
+        assert all(0.0 <= s <= 1.0 for s in similarities)
+        assert similarities[0] == 0.0
+
+    @given(posts)
+    def test_incremental_similarity_matches_rfd_cosine(self, post_list):
+        table = TagFrequencyTable()
+        previous = {}
+        for p in post_list:
+            reported = table.add_post(p)
+            current = table.rfd()
+            assert math.isclose(reported, cosine(previous, current), abs_tol=1e-9)
+            previous = current
+
+    @given(posts, sparse_vector)
+    def test_cosine_to_agrees_with_cosine(self, post_list, vector):
+        table = TagFrequencyTable()
+        for p in post_list:
+            table.add_post(p)
+        assert math.isclose(
+            table.cosine_to(vector), cosine(table.rfd(), vector), abs_tol=1e-9
+        )
+
+    @given(posts)
+    def test_total_assignments_is_sum_of_post_sizes(self, post_list):
+        table = TagFrequencyTable()
+        for p in post_list:
+            table.add_post(p)
+        assert table.total_tag_assignments == sum(len(p) for p in post_list)
+
+
+class TestSimilarityInvariants:
+    @given(sparse_vector, sparse_vector)
+    def test_all_metrics_bounded_and_symmetric(self, u, v):
+        for metric in SIMILARITY_METRICS.values():
+            score = metric(u, v)
+            assert 0.0 <= score <= 1.0
+            assert math.isclose(score, metric(v, u), abs_tol=1e-12)
+
+    @given(sparse_vector)
+    def test_self_similarity_is_one_for_nonzero(self, u):
+        positive = {t: w for t, w in u.items() if w > 0}
+        if not positive:
+            return
+        assert math.isclose(cosine(positive, positive), 1.0, abs_tol=1e-9)
+        assert math.isclose(jaccard(positive, positive), 1.0, abs_tol=1e-9)
+        assert math.isclose(dice(positive, positive), 1.0, abs_tol=1e-9)
+        assert math.isclose(jensen_shannon(positive, positive), 1.0, abs_tol=1e-9)
+
+    @given(sparse_vector, sparse_vector, st.floats(min_value=0.01, max_value=50.0))
+    def test_cosine_scale_invariance(self, u, v, factor):
+        scaled = {t: w * factor for t, w in u.items()}
+        assert math.isclose(cosine(u, v), cosine(scaled, v), abs_tol=1e-9)
+
+    @given(sparse_vector)
+    def test_zero_vector_similarity_is_zero(self, u):
+        assert cosine(u, {}) == 0.0
+        assert cosine({}, u) == 0.0

@@ -1,0 +1,81 @@
+"""Property-based tests for Kendall's τ-b against scipy."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+from repro.analysis import kendall_tau
+
+paired = st.lists(
+    st.tuples(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=150,
+)
+
+tied_paired = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=2, max_size=150
+)
+
+
+class TestKendallProperties:
+    @given(paired)
+    @settings(max_examples=60)
+    def test_matches_scipy_continuous(self, pairs):
+        x = np.array([a for a, _ in pairs])
+        y = np.array([b for _, b in pairs])
+        expected = scipy_stats.kendalltau(x, y).statistic
+        ours = kendall_tau(x, y)
+        if math.isnan(expected):
+            assert math.isnan(ours)
+        else:
+            assert math.isclose(ours, expected, abs_tol=1e-9)
+
+    @given(tied_paired)
+    @settings(max_examples=60)
+    def test_matches_scipy_with_ties(self, pairs):
+        x = np.array([a for a, _ in pairs], dtype=float)
+        y = np.array([b for _, b in pairs], dtype=float)
+        expected = scipy_stats.kendalltau(x, y).statistic
+        ours = kendall_tau(x, y)
+        if math.isnan(expected):
+            assert math.isnan(ours)
+        else:
+            assert math.isclose(ours, expected, abs_tol=1e-9)
+
+    @given(paired)
+    @settings(max_examples=30)
+    def test_symmetry(self, pairs):
+        x = np.array([a for a, _ in pairs])
+        y = np.array([b for _, b in pairs])
+        forward = kendall_tau(x, y)
+        backward = kendall_tau(y, x)
+        if math.isnan(forward):
+            assert math.isnan(backward)
+        else:
+            assert math.isclose(forward, backward, abs_tol=1e-9)
+
+    @given(paired)
+    @settings(max_examples=30)
+    def test_self_correlation_is_one(self, pairs):
+        x = np.array([a for a, _ in pairs])
+        if len(set(x.tolist())) < 2:
+            return
+        assert math.isclose(kendall_tau(x, x), 1.0, abs_tol=1e-12)
+
+    @given(paired)
+    @settings(max_examples=30)
+    def test_negation_flips_sign(self, pairs):
+        x = np.array([a for a, _ in pairs])
+        y = np.array([b for _, b in pairs])
+        tau = kendall_tau(x, y)
+        if math.isnan(tau):
+            return
+        assert math.isclose(kendall_tau(x, -y), -tau, abs_tol=1e-9)

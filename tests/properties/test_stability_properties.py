@@ -1,0 +1,85 @@
+"""Property-based tests for MA scores and quality profiles."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Post, QualityProfile, StabilityTracker, TagFrequencyTable, cosine
+from repro.core.stability import ma_score_direct, ma_series
+
+tag = st.sampled_from([f"t{i}" for i in range(8)])
+post_tags = st.frozensets(tag, min_size=1, max_size=4)
+post_lists = st.lists(post_tags, min_size=1, max_size=35)
+omegas = st.integers(min_value=2, max_value=8)
+
+
+def to_posts(tag_sets) -> list[Post]:
+    return [Post(tags, timestamp=float(i)) for i, tags in enumerate(tag_sets)]
+
+
+class TestMAInvariants:
+    @given(post_lists, omegas)
+    def test_ma_bounded(self, tag_sets, omega):
+        tracker = StabilityTracker(omega)
+        for tags in tag_sets:
+            tracker.add_post(tags)
+            score = tracker.ma_score
+            if score is not None:
+                assert 0.0 <= score <= 1.0 + 1e-12
+
+    @given(post_lists, omegas)
+    def test_ma_defined_iff_window_filled(self, tag_sets, omega):
+        tracker = StabilityTracker(omega)
+        for count, tags in enumerate(tag_sets, start=1):
+            tracker.add_post(tags)
+            assert (tracker.ma_score is None) == (count < omega)
+
+    @given(post_lists, omegas)
+    @settings(max_examples=40)
+    def test_incremental_equals_direct_everywhere(self, tag_sets, omega):
+        posts = to_posts(tag_sets)
+        for k, score in ma_series(posts, omega):
+            assert math.isclose(score, ma_score_direct(posts, k, omega), abs_tol=1e-9)
+
+    @given(post_lists, omegas, st.floats(min_value=0.5, max_value=1.0, exclude_max=True))
+    def test_stable_point_is_first_crossing(self, tag_sets, omega, tau):
+        tracker = StabilityTracker(omega, tau)
+        posts = to_posts(tag_sets)
+        for post in posts:
+            tracker.add_post(post.tags)
+        if tracker.stable_point is not None:
+            series = dict(ma_series(posts, omega))
+            k = tracker.stable_point
+            assert series[k] > tau
+            for earlier in range(omega, k):
+                assert series[earlier] <= tau
+
+
+class TestQualityProfileInvariants:
+    @given(post_lists)
+    def test_profile_matches_definition_everywhere(self, tag_sets):
+        posts = to_posts(tag_sets)
+        # Use the final rfd as the reference distribution.
+        reference = TagFrequencyTable.from_posts(posts).rfd()
+        profile = QualityProfile(posts, reference)
+        table = TagFrequencyTable()
+        assert profile.quality(0) == 0.0
+        for k, post in enumerate(posts, start=1):
+            table.add_post(post.tags)
+            expected = cosine(table.rfd(), reference)
+            assert math.isclose(profile.quality(k), expected, abs_tol=1e-9)
+
+    @given(post_lists)
+    def test_quality_at_reference_point_is_one(self, tag_sets):
+        posts = to_posts(tag_sets)
+        reference = TagFrequencyTable.from_posts(posts).rfd()
+        profile = QualityProfile(posts, reference)
+        assert math.isclose(profile.quality(len(posts)), 1.0, abs_tol=1e-9)
+
+    @given(post_lists)
+    def test_qualities_bounded(self, tag_sets):
+        posts = to_posts(tag_sets)
+        reference = TagFrequencyTable.from_posts(posts).rfd()
+        profile = QualityProfile(posts, reference)
+        assert all(0.0 <= q <= 1.0 for q in profile.qualities)

@@ -1,0 +1,74 @@
+"""Property-based tests for waste accounting and the trace evaluator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.waste import salvage_requirement, waste_report, wasted_tasks
+
+
+@st.composite
+def count_state(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    initial = draw(
+        st.lists(st.integers(0, 40), min_size=n, max_size=n).map(np.array)
+    )
+    added = draw(st.lists(st.integers(0, 40), min_size=n, max_size=n).map(np.array))
+    stable_points = draw(
+        st.lists(st.integers(-1, 50), min_size=n, max_size=n).map(np.array)
+    )
+    return initial, initial + added, stable_points
+
+
+class TestWasteProperties:
+    @given(count_state())
+    def test_wasted_tasks_bounded_by_delivery(self, state):
+        initial, final, stable_points = state
+        wasted = wasted_tasks(initial, final, stable_points)
+        assert 0 <= wasted <= int((final - initial).sum())
+
+    @given(count_state())
+    def test_wasted_tasks_zero_when_delivery_stops_at_stable_points(self, state):
+        initial, final, stable_points = state
+        # Cap each resource's delivery at its stable point: waste-free.
+        below = np.where(stable_points >= 0, np.minimum(final, stable_points), final)
+        if (below >= initial).all():
+            assert wasted_tasks(initial, below, stable_points) == 0
+
+    @given(count_state())
+    def test_wasted_tasks_additive_in_steps(self, state):
+        initial, final, stable_points = state
+        # Splitting the delivery at any midpoint conserves total waste.
+        midpoint = (initial + final) // 2
+        midpoint = np.maximum(midpoint, initial)
+        total = wasted_tasks(initial, final, stable_points)
+        first = wasted_tasks(initial, midpoint, stable_points)
+        second = wasted_tasks(midpoint, final, stable_points)
+        assert total == first + second
+
+    @given(count_state())
+    def test_report_consistency(self, state):
+        initial, final, stable_points = state
+        report = waste_report(final, stable_points)
+        assert 0 <= report.over_tagged <= len(final)
+        assert 0 <= report.under_tagged <= len(final)
+        assert report.total_posts == int(final.sum())
+        assert 0.0 <= report.under_tagged_fraction <= 1.0
+        if report.total_posts:
+            assert 0.0 <= report.wasted_fraction <= 1.0
+
+    @given(count_state(), st.integers(min_value=0, max_value=30))
+    def test_salvage_monotone_in_threshold(self, state, threshold):
+        initial, final, stable_points = state
+        lower = salvage_requirement(final, under_threshold=threshold)
+        higher = salvage_requirement(final, under_threshold=threshold + 1)
+        assert higher >= lower
+
+    @given(count_state())
+    def test_salvage_clears_under_tagging(self, state):
+        initial, final, stable_points = state
+        needed = salvage_requirement(final)
+        # Distribute exactly the salvage posts: nothing stays under-tagged.
+        topped = np.maximum(final, 11)
+        assert int((topped - final).sum()) == needed
+        assert waste_report(topped, stable_points).under_tagged == 0

@@ -1,0 +1,257 @@
+"""Tests for the incentive-tagging service prototype."""
+
+import numpy as np
+import pytest
+
+from repro.core import AllocationError, BudgetError, Post
+from repro.allocation import FewestPostsFirst, FreeChoice, StabilityAwareFewestPosts
+from repro.service import (
+    IncentiveCampaign,
+    JobBoard,
+    RewardLedger,
+    SimulatedWorker,
+    TaskState,
+    WorkerPool,
+)
+from repro.simulate import TopicHierarchy, paper_scenario
+
+
+class TestJobBoard:
+    def test_lifecycle(self):
+        board = JobBoard()
+        task = board.publish(3)
+        assert task.state is TaskState.OPEN
+        task.claim("w1")
+        assert task.state is TaskState.CLAIMED
+        task.complete(Post.of("a"))
+        assert task.state is TaskState.COMPLETED
+        assert board.completed_tasks() == [task]
+
+    def test_invalid_transitions(self):
+        board = JobBoard()
+        task = board.publish(0)
+        with pytest.raises(AllocationError):
+            task.complete(Post.of("a"))  # never claimed
+        task.claim("w1")
+        with pytest.raises(AllocationError):
+            task.claim("w2")  # double claim
+        task.complete(Post.of("a"))
+        with pytest.raises(AllocationError):
+            task.expire()  # completed tasks cannot expire
+
+    def test_expire_open(self):
+        board = JobBoard()
+        board.publish(0)
+        board.publish(1)
+        claimed = board.publish(2)
+        claimed.claim("w1")
+        assert board.expire_open() == 2
+        assert board.open_tasks() == []
+        assert board.counts_by_state()[TaskState.EXPIRED] == 2
+
+    def test_reward_validation(self):
+        with pytest.raises(AllocationError):
+            JobBoard().publish(0, reward=0)
+
+    def test_unique_ids_and_lookup(self):
+        board = JobBoard()
+        a = board.publish(0)
+        b = board.publish(1)
+        assert a.task_id != b.task_id
+        assert board.get(b.task_id) is b
+        assert len(board) == 2
+
+
+class TestRewardLedger:
+    def test_budget_accounting(self):
+        ledger = RewardLedger(10)
+        ledger.pay(1, "alice", 3)
+        ledger.pay(2, "bob", 2)
+        assert ledger.spent == 5
+        assert ledger.remaining == 5
+        assert ledger.balance_of("alice") == 3
+        assert ledger.reconcile()
+
+    def test_overdraw_rejected(self):
+        ledger = RewardLedger(2)
+        ledger.pay(1, "alice", 2)
+        with pytest.raises(BudgetError):
+            ledger.pay(2, "bob", 1)
+
+    def test_validation(self):
+        with pytest.raises(BudgetError):
+            RewardLedger(-1)
+        with pytest.raises(BudgetError):
+            RewardLedger(5).pay(1, "w", 0)
+
+    def test_payout_log(self):
+        ledger = RewardLedger(5)
+        ledger.pay(7, "alice", 1)
+        assert ledger.payouts[0].task_id == 7
+        assert ledger.payouts[0].worker_id == "alice"
+
+
+class TestWorkers:
+    def test_topic_affinity_drives_acceptance(self, tiny_corpus, rng):
+        model = tiny_corpus.models[0]
+        domain = model.primary_category[0]
+        fan = SimulatedWorker(
+            "fan", favourite_domains=frozenset({domain}), off_topic_acceptance=0.0
+        )
+        hater = SimulatedWorker(
+            "hater",
+            favourite_domains=frozenset({"__nothing__"}),
+            off_topic_acceptance=0.0,
+            base_acceptance=1.0,
+        )
+        assert any(fan.accepts(model, rng) for _ in range(20))
+        assert not any(hater.accepts(model, rng) for _ in range(20))
+
+    def test_pool_fills_tasks(self, tiny_corpus, rng):
+        pool = WorkerPool.uniform(5, TopicHierarchy.from_taxonomy(), rng)
+        board = JobBoard()
+        task = board.publish(0)
+        post = pool.try_fill(task, tiny_corpus.models[0], post_index=0, timestamp=0.0)
+        assert post is not None
+        assert task.state is TaskState.COMPLETED
+        assert len(post.tags) >= 1
+
+    def test_pool_gives_up_when_everyone_declines(self, tiny_corpus, rng):
+        workers = [
+            SimulatedWorker(
+                "grump",
+                favourite_domains=frozenset({"__none__"}),
+                off_topic_acceptance=0.0,
+            )
+        ]
+        pool = WorkerPool(workers, rng)
+        board = JobBoard()
+        task = board.publish(0)
+        assert pool.try_fill(task, tiny_corpus.models[0], 0, 0.0) is None
+        assert task.state is TaskState.OPEN
+
+    def test_empty_pool_rejected(self, rng):
+        with pytest.raises(ValueError):
+            WorkerPool([], rng)
+
+
+@pytest.fixture(scope="module")
+def campaign_corpus():
+    return paper_scenario(n=20, seed=13)
+
+
+class TestCampaign:
+    def build(self, corpus, strategy, budget=120, stop_tau=0.999, seed=0):
+        rng = np.random.default_rng(seed)
+        split = corpus.dataset.split(corpus.cutoff)
+        pool = WorkerPool.uniform(8, corpus.hierarchy, rng)
+        return IncentiveCampaign(
+            corpus.models,
+            [split.initial_posts(i) for i in range(split.n)],
+            strategy,
+            pool,
+            budget=budget,
+            rng=rng,
+            stop_tau=stop_tau,
+            batch_size=20,
+        )
+
+    def test_budget_never_overspent(self, campaign_corpus):
+        campaign = self.build(campaign_corpus, FewestPostsFirst(), budget=100)
+        result = campaign.run(max_epochs=50)
+        assert result.ledger.spent <= 100
+        assert result.ledger.reconcile()
+        assert result.total_completed == result.ledger.spent  # 1 unit per task
+
+    def test_counts_grow_by_bought_posts(self, campaign_corpus):
+        campaign = self.build(campaign_corpus, FewestPostsFirst(), budget=80)
+        split = campaign_corpus.dataset.split(campaign_corpus.cutoff)
+        result = campaign.run(max_epochs=50)
+        for i in range(split.n):
+            assert result.final_counts[i] == split.initial_counts[i] + len(
+                result.bought_posts[i]
+            )
+
+    def test_adaptive_stopping_retires_resources(self, campaign_corpus):
+        campaign = self.build(
+            campaign_corpus, FewestPostsFirst(), budget=600, stop_tau=0.99
+        )
+        result = campaign.run(max_epochs=100)
+        assert len(result.stopped_resources) > 0
+        # A retired resource receives no tasks afterwards: its final MA
+        # is above the threshold.
+        for index in result.stopped_resources:
+            tracker = campaign._trackers[index]
+            assert tracker.is_stable
+
+    def test_no_adaptive_stopping_when_disabled(self, campaign_corpus):
+        campaign = self.build(
+            campaign_corpus, FewestPostsFirst(), budget=150, stop_tau=None
+        )
+        result = campaign.run(max_epochs=50)
+        assert result.stopped_resources == set()
+
+    def test_free_choice_strategy_works_in_campaign(self, campaign_corpus):
+        campaign = self.build(campaign_corpus, FreeChoice(), budget=60)
+        result = campaign.run(max_epochs=30)
+        assert result.total_completed > 0
+
+    def test_render(self, campaign_corpus):
+        campaign = self.build(campaign_corpus, FewestPostsFirst(), budget=40)
+        result = campaign.run(max_epochs=10)
+        text = result.render()
+        assert "campaign:" in text and "epoch" in text
+
+    def test_misaligned_inputs_rejected(self, campaign_corpus, rng):
+        pool = WorkerPool.uniform(3, campaign_corpus.hierarchy, rng)
+        with pytest.raises(AllocationError):
+            IncentiveCampaign(
+                campaign_corpus.models,
+                [[]],
+                FewestPostsFirst(),
+                pool,
+                budget=10,
+                rng=rng,
+            )
+
+
+class TestStabilityAwareFP:
+    def test_retires_stable_resources_online(self, campaign_corpus):
+        from repro.allocation import IncentiveRunner
+
+        split = campaign_corpus.dataset.split(campaign_corpus.cutoff)
+        runner = IncentiveRunner.replay(split)
+        strategy = StabilityAwareFewestPosts(omega=5, tau=0.99)
+        budget = min(500, split.total_future_posts)
+        trace = runner.run(strategy, budget)
+        assert strategy.retired_count() > 0
+
+    def test_no_posts_after_retirement(self, campaign_corpus):
+        # Once retired, a resource index never reappears in the order.
+        from repro.allocation import IncentiveRunner
+        from repro.core.stability import StabilityTracker
+
+        split = campaign_corpus.dataset.split(campaign_corpus.cutoff)
+        runner = IncentiveRunner.replay(split)
+        strategy = StabilityAwareFewestPosts(omega=5, tau=0.99)
+        trace = runner.run(strategy, min(400, split.total_future_posts))
+        trackers = [StabilityTracker(5, 0.99) for _ in range(split.n)]
+        for i in range(split.n):
+            trackers[i].add_posts(split.initial_posts(i))
+        positions = split.initial_counts.astype(int).copy()
+        for index in trace.order:
+            assert not trackers[index].is_stable, "delivered to a retired resource"
+            post = split.resources[index].sequence.post(int(positions[index]) + 1)
+            trackers[index].add_post(post.tags)
+            positions[index] += 1
+
+    def test_spends_less_than_plain_fp_for_same_stability(self, campaign_corpus):
+        from repro.allocation import FewestPostsFirst, IncentiveRunner
+
+        split = campaign_corpus.dataset.split(campaign_corpus.cutoff)
+        runner = IncentiveRunner.replay(split)
+        budget = min(600, split.total_future_posts)
+        plain = runner.run(FewestPostsFirst(), budget)
+        aware = runner.run(StabilityAwareFewestPosts(omega=5, tau=0.99), budget)
+        # The aware variant stops early once everything stabilised.
+        assert aware.budget_spent <= plain.budget_spent

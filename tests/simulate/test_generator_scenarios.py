@@ -1,0 +1,155 @@
+"""Tests for the corpus generator, popularity models and scenario presets."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataModelError
+from repro.core.stability import PREPARATION_OMEGA, PREPARATION_TAU, practically_stable_rfd
+from repro.simulate import (
+    CorpusConfig,
+    CorpusGenerator,
+    PopularityConfig,
+    case_study_scenario,
+    draw_initial_share,
+    draw_total_posts,
+    figure1a_scenario,
+    heavy_tail_counts,
+    paper_scenario,
+    tiny_scenario,
+    universe_scenario,
+)
+
+
+class TestPopularity:
+    def test_total_posts_bounds(self, rng):
+        config = PopularityConfig(min_posts=50, max_posts=400)
+        counts = draw_total_posts(500, rng, config)
+        assert counts.min() >= 50
+        assert counts.max() <= 400
+
+    def test_initial_share_in_unit_interval(self, rng):
+        shares = draw_initial_share(500, rng)
+        assert (shares > 0).all() and (shares < 1).all()
+
+    def test_heavy_tail_starts_at_one(self, rng):
+        counts = heavy_tail_counts(2000, rng)
+        assert counts.min() == 1
+        # Most resources get very few posts (the Fig 1(b) shape).
+        assert (counts == 1).mean() > 0.3
+
+    def test_config_validation(self):
+        with pytest.raises(DataModelError):
+            PopularityConfig(min_posts=10, max_posts=5)
+        with pytest.raises(DataModelError):
+            PopularityConfig(pareto_alpha=0)
+
+
+class TestCorpusGenerator:
+    def test_config_validation(self):
+        with pytest.raises(DataModelError):
+            CorpusConfig(n_resources=0)
+        with pytest.raises(DataModelError):
+            CorpusConfig(cutoff_day=400.0)
+
+    def test_generation_is_deterministic(self):
+        a = CorpusGenerator(CorpusConfig(n_resources=6), seed=3).generate()
+        b = CorpusGenerator(CorpusConfig(n_resources=6), seed=3).generate()
+        for ra, rb in zip(a.dataset.resources, b.dataset.resources):
+            assert ra.sequence == rb.sequence
+
+    def test_different_seeds_differ(self):
+        a = CorpusGenerator(CorpusConfig(n_resources=6), seed=3).generate()
+        b = CorpusGenerator(CorpusConfig(n_resources=6), seed=4).generate()
+        assert any(
+            ra.sequence != rb.sequence
+            for ra, rb in zip(a.dataset.resources, b.dataset.resources)
+        )
+
+    def test_models_align_with_resources(self, tiny_corpus):
+        for resource, model in zip(tiny_corpus.dataset.resources, tiny_corpus.models):
+            assert resource.resource_id == model.resource_id
+            assert resource.category == model.primary_category
+
+    def test_timestamps_ordered_and_cutoff_respected(self, tiny_corpus):
+        cutoff = tiny_corpus.cutoff
+        split = tiny_corpus.dataset.split(cutoff)
+        for i, resource in enumerate(tiny_corpus.dataset.resources):
+            times = [p.timestamp for p in resource.sequence]
+            assert times == sorted(times)
+            before = sum(1 for t in times if t <= cutoff)
+            assert before == split.initial_counts[i]
+
+    def test_subset(self, tiny_corpus):
+        subset = tiny_corpus.subset([0, 2])
+        assert len(subset.dataset) == 2
+        assert subset.models[1].resource_id == tiny_corpus.models[2].resource_id
+
+
+class TestScenarios:
+    def test_tiny_scenario_shape(self, tiny_corpus):
+        assert len(tiny_corpus.dataset) == 25
+
+    def test_paper_scenario_filters_to_stability(self):
+        corpus = paper_scenario(n=12, seed=2)
+        assert len(corpus.dataset) == 12
+        for resource in corpus.dataset.resources:
+            practically_stable_rfd(
+                resource.sequence, PREPARATION_OMEGA, PREPARATION_TAU
+            )  # must not raise
+
+    def test_paper_scenario_raises_when_overgeneration_too_small(self):
+        with pytest.raises(DataModelError):
+            paper_scenario(n=50, seed=2, overgeneration=0.2)
+
+    def test_universe_scenario_heavy_tail(self):
+        corpus = universe_scenario(seed=1, n=800)
+        distribution = corpus.dataset.posts_distribution()
+        assert distribution.get(1, 0) > 200
+
+    def test_figure1a_single_resource(self):
+        corpus = figure1a_scenario(seed=0, num_posts=120)
+        assert len(corpus.dataset) == 1
+        sequence = corpus.dataset.resources[0].sequence
+        assert len(sequence) == 120
+        top = sequence.distinct_tags()
+        assert "google" in top and "maps" in top
+
+
+class TestCaseStudyScenario:
+    def test_four_subjects(self, case_scenario):
+        stories = [s.story for s in case_scenario.subjects]
+        assert stories == [
+            "physics-vs-java",
+            "video-editing-vs-sharing",
+            "architecture-vs-news",
+            "espn-control",
+        ]
+
+    def test_control_subject_has_no_bias(self, case_scenario):
+        control = case_scenario.subjects[-1]
+        assert control.bias_leaf is None
+        resource = case_scenario.corpus.dataset.resources.by_id(control.resource_id)
+        split_count = resource.sequence.count_before(31.0)
+        assert split_count >= 200  # over-tagged in January by design
+
+    def test_biased_subjects_are_sparse_in_january(self, case_scenario):
+        for subject in case_scenario.subjects[:3]:
+            resource = case_scenario.corpus.dataset.resources.by_id(subject.resource_id)
+            assert resource.sequence.count_before(31.0) <= 12
+
+    def test_early_posts_lean_to_bias_leaf(self, case_scenario):
+        subject = case_scenario.subjects[0]
+        model = case_scenario.corpus.models[
+            case_scenario.corpus.dataset.resources.index_of(subject.resource_id)
+        ]
+        assert model.early_distribution is not None
+        assert model.early_distribution["java"] > model.early_distribution["physics"]
+        assert model.distribution["physics"] > model.distribution["java"]
+
+    def test_pool_labels_cover_pools(self, case_scenario):
+        physics_pool = [
+            rid
+            for rid, leaf in case_scenario.pool_labels.items()
+            if leaf == ("science", "physics")
+        ]
+        assert len(physics_pool) == 10

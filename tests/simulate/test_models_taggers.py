@@ -1,0 +1,163 @@
+"""Tests for resource models and the tagger noise model."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataModelError
+from repro.simulate import (
+    AspectConfig,
+    TaggerBehavior,
+    TagSampler,
+    TopicHierarchy,
+    build_resource_model,
+    generate_post,
+    mixture_distribution,
+)
+from repro.simulate.resource_models import synthetic_site_name
+
+
+@pytest.fixture(scope="module")
+def hierarchy() -> TopicHierarchy:
+    return TopicHierarchy.from_taxonomy()
+
+
+class TestTagSampler:
+    def test_distinct_samples(self, rng):
+        sampler = TagSampler({"a": 0.5, "b": 0.3, "c": 0.2})
+        for _ in range(20):
+            tags = sampler.sample_distinct(2, rng)
+            assert len(tags) == 2
+            assert len(set(tags)) == 2
+
+    def test_count_capped_at_support(self, rng):
+        sampler = TagSampler({"a": 0.6, "b": 0.4})
+        assert sorted(sampler.sample_distinct(5, rng)) == ["a", "b"]
+
+    def test_weighting_respected(self, rng):
+        sampler = TagSampler({"heavy": 0.95, "light": 0.05})
+        picks = [sampler.sample_distinct(1, rng)[0] for _ in range(300)]
+        assert picks.count("heavy") > 240
+
+    def test_rejects_empty_distribution(self):
+        with pytest.raises(DataModelError):
+            TagSampler({})
+        with pytest.raises(DataModelError):
+            TagSampler({"a": 0.0})
+
+
+class TestAspectConfig:
+    def test_masses_must_sum_to_one(self):
+        with pytest.raises(DataModelError):
+            AspectConfig(topic_mass=0.5, general_mass=0.1, specific_mass=0.1)
+
+    def test_aspect_probs_must_sum_to_one(self):
+        with pytest.raises(DataModelError):
+            AspectConfig(aspect_count_probs=(0.5, 0.1))
+
+
+class TestMixture:
+    def test_mixture_is_normalised(self):
+        config = AspectConfig()
+        distribution = mixture_distribution(
+            ((("science", "physics"), 1.0),), ["mysite"], config
+        )
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_topical_tags_dominate(self):
+        config = AspectConfig()
+        distribution = mixture_distribution(
+            ((("science", "physics"), 1.0),), ["mysite"], config
+        )
+        assert distribution["physics"] == max(distribution.values())
+
+    def test_specific_tags_present(self):
+        config = AspectConfig()
+        distribution = mixture_distribution(
+            ((("science", "physics"), 1.0),), ["mysite"], config
+        )
+        assert distribution["mysite"] > 0
+
+
+class TestBuildResourceModel:
+    def test_respects_forced_aspects(self, hierarchy, rng):
+        model = build_resource_model(
+            "r1",
+            hierarchy,
+            rng,
+            forced_aspects=((("science", "physics"), 0.7), (("programming", "java"), 0.3)),
+        )
+        assert model.primary_category == ("science", "physics")
+        assert model.distribution["physics"] > model.distribution["java"]
+
+    def test_forced_aspects_validated(self, hierarchy, rng):
+        with pytest.raises(DataModelError):
+            build_resource_model(
+                "r1", hierarchy, rng, forced_aspects=((("no", "leaf"), 1.0),)
+            )
+
+    def test_sampled_aspects_sum_to_one(self, hierarchy, rng):
+        model = build_resource_model("r2", hierarchy, rng)
+        assert sum(w for _, w in model.aspects) == pytest.approx(1.0)
+
+    def test_title_generation(self, hierarchy, rng):
+        model = build_resource_model("r3", hierarchy, rng)
+        assert model.title.endswith(".com")
+        assert synthetic_site_name(rng, "video-editing").endswith("video.com")
+
+    def test_deterministic_under_seed(self, hierarchy):
+        a = build_resource_model("r", hierarchy, np.random.default_rng(5))
+        b = build_resource_model("r", hierarchy, np.random.default_rng(5))
+        assert a.distribution == b.distribution
+        assert a.aspects == b.aspects
+
+    def test_early_sampler_switch(self, hierarchy, rng):
+        model = build_resource_model("r4", hierarchy, rng)
+        model.early_distribution = {"only-early": 1.0}
+        model.early_count = 2
+        early = model.sampler_for_post(0)
+        late = model.sampler_for_post(5)
+        assert early.tags == ("only-early",)
+        assert "only-early" not in late.tags
+
+
+class TestTaggerBehavior:
+    def test_validation(self):
+        with pytest.raises(DataModelError):
+            TaggerBehavior(typo_rate=1.5)
+        with pytest.raises(DataModelError):
+            TaggerBehavior(extra_tag_trials=-1)
+
+    def test_post_size_at_least_one(self, rng):
+        behavior = TaggerBehavior()
+        assert all(behavior.post_size(rng) >= 1 for _ in range(100))
+
+    def test_generated_posts_nonempty(self, hierarchy, rng):
+        model = build_resource_model("r5", hierarchy, rng)
+        for index in range(50):
+            post = generate_post(model, index, float(index), rng)
+            assert len(post.tags) >= 1
+            assert post.timestamp == float(index)
+
+    def test_zero_noise_stays_on_distribution(self, hierarchy, rng):
+        model = build_resource_model("r6", hierarchy, rng)
+        behavior = TaggerBehavior(typo_rate=0.0, personal_rate=0.0, spam_rate=0.0)
+        support = set(model.distribution)
+        for index in range(60):
+            post = generate_post(model, index, 0.0, rng, behavior)
+            assert post.tags <= support
+
+    def test_typos_produce_rare_new_tags(self, hierarchy, rng):
+        model = build_resource_model("r7", hierarchy, rng)
+        behavior = TaggerBehavior(typo_rate=1.0, personal_rate=0.0, spam_rate=0.0)
+        support = set(model.distribution)
+        post = generate_post(model, 0, 0.0, rng, behavior)
+        assert any(tag not in support for tag in post.tags)
+
+    def test_imitation_reuses_observed_tags(self, hierarchy, rng):
+        model = build_resource_model("r8", hierarchy, rng)
+        behavior = TaggerBehavior(
+            typo_rate=0.0, personal_rate=0.0, spam_rate=0.0, imitation_rate=1.0
+        )
+        observed = {"already-here": 50}
+        post = generate_post(model, 0, 0.0, rng, behavior, observed_counts=observed)
+        assert "already-here" in post.tags

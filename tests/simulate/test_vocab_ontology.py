@@ -1,0 +1,130 @@
+"""Tests for the tag vocabulary pools and the topic hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataModelError
+from repro.simulate import (
+    SEED_TAXONOMY,
+    TopicHierarchy,
+    aspect_similarity,
+    domain_tag_pool,
+    leaf_tag_pool,
+    zipf_weights,
+)
+from repro.simulate.ontology import pairwise_ground_truth
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        assert zipf_weights(10).sum() == pytest.approx(1.0)
+
+    def test_strictly_decreasing(self):
+        weights = zipf_weights(8, exponent=1.2)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_higher_exponent_concentrates(self):
+        flat = zipf_weights(10, exponent=0.5)
+        steep = zipf_weights(10, exponent=2.5)
+        assert steep[0] > flat[0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestTagPools:
+    def test_curated_tags_come_first(self):
+        pool = leaf_tag_pool("science", "physics", pool_size=30)
+        assert pool[0] == "physics"
+        assert "mechanics" in pool
+
+    def test_padding_with_suffix_tags(self):
+        pool = leaf_tag_pool("science", "physics", pool_size=15)
+        assert len(pool) == 15
+        assert any(tag.startswith("physics-") for tag in pool)
+
+    def test_no_duplicates(self):
+        pool = leaf_tag_pool("media", "video-editing", pool_size=20)
+        assert len(pool) == len(set(pool))
+
+    def test_unknown_leaf_raises(self):
+        with pytest.raises(KeyError):
+            leaf_tag_pool("science", "alchemy")
+
+    def test_domain_pool(self):
+        assert "science" in domain_tag_pool("science")
+
+
+class TestHierarchy:
+    def test_leaves_cover_taxonomy(self):
+        hierarchy = TopicHierarchy.from_taxonomy()
+        expected = sum(
+            1
+            for domain in SEED_TAXONOMY.values()
+            for leaf in domain
+            if not leaf.startswith("_")
+        )
+        assert len(hierarchy.leaves) == expected
+
+    def test_domains_and_leaves_of(self):
+        hierarchy = TopicHierarchy.from_taxonomy()
+        assert "science" in hierarchy.domains
+        physics_leaves = hierarchy.leaves_of("science")
+        assert ("science", "physics") in physics_leaves
+
+    def test_validate(self):
+        hierarchy = TopicHierarchy.from_taxonomy()
+        hierarchy.validate(("science", "physics"))
+        with pytest.raises(DataModelError):
+            hierarchy.validate(("science", "alchemy"))
+
+    def test_empty_taxonomy_rejected(self):
+        with pytest.raises(DataModelError):
+            TopicHierarchy.from_taxonomy({"d": {"_domain": ["x"]}})
+
+
+class TestWuPalmer:
+    def test_identical_leaves(self):
+        assert TopicHierarchy.wu_palmer(("a", "b"), ("a", "b")) == 1.0
+
+    def test_siblings(self):
+        assert TopicHierarchy.wu_palmer(("a", "b"), ("a", "c")) == pytest.approx(0.5)
+
+    def test_different_domains(self):
+        assert TopicHierarchy.wu_palmer(("a", "b"), ("x", "y")) == 0.0
+
+    def test_symmetry(self):
+        assert TopicHierarchy.wu_palmer(("a", "b"), ("a", "c")) == TopicHierarchy.wu_palmer(
+            ("a", "c"), ("a", "b")
+        )
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(DataModelError):
+            TopicHierarchy.wu_palmer((), ("a",))
+
+
+class TestAspectSimilarity:
+    def test_pure_aspects_reduce_to_wu_palmer(self):
+        a = ((("science", "physics"), 1.0),)
+        b = ((("science", "astronomy"), 1.0),)
+        assert aspect_similarity(a, b) == pytest.approx(0.5)
+
+    def test_mixture_weights(self):
+        mixed = ((("science", "physics"), 0.7), (("programming", "java"), 0.3))
+        pure = ((("science", "physics"), 1.0),)
+        assert aspect_similarity(mixed, pure) == pytest.approx(0.7)
+
+    def test_self_similarity_of_pure_aspect_is_one(self):
+        pure = ((("science", "physics"), 1.0),)
+        assert aspect_similarity(pure, pure) == 1.0
+
+    def test_empty_aspects_rejected(self):
+        with pytest.raises(DataModelError):
+            aspect_similarity((), ((("a", "b"), 1.0),))
+
+    def test_pairwise_ground_truth_covers_all_pairs(self):
+        aspects = [((("science", "physics"), 1.0),)] * 3
+        pairs = pairwise_ground_truth(aspects)
+        assert len(pairs) == 3
+        assert all(score == 1.0 for _, _, score in pairs)

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(["generate", "out.jsonl", "--resources", "9"])
+        assert args.command == "generate"
+        assert args.resources == 9
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_generate_and_analyze(self, tmp_path, capsys):
+        path = tmp_path / "corpus.jsonl"
+        assert main(["generate", str(path), "--resources", "8", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "wrote 8 resources" in output
+        assert main(["analyze", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "stable points" in output
+
+    def test_generate_universe(self, tmp_path, capsys):
+        path = tmp_path / "universe.jsonl"
+        assert main(["generate", str(path), "--resources", "40", "--universe"]) == 0
+        assert "40 resources" in capsys.readouterr().out
+
+    def test_analyze_without_dataset_prints_intro_stats(self, capsys):
+        assert main(["analyze", "--resources", "25", "--seed", "7"]) == 0
+        assert "Section I statistics" in capsys.readouterr().out
+
+    def test_allocate(self, capsys):
+        assert main(["allocate", "FP", "--budget", "60", "--resources", "15"]) == 0
+        output = capsys.readouterr().out
+        assert "FP:" in output and "quality" in output
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        output = capsys.readouterr().out
+        assert "0.953" in output
+
+    def test_experiment_fig3(self, capsys):
+        assert main(["experiment", "fig3"]) == 0
+        assert "stable point" in capsys.readouterr().out
+
+    def test_experiment_fig6a_small(self, capsys):
+        assert main(["experiment", "fig6a", "--resources", "15", "--seed", "11"]) == 0
+        output = capsys.readouterr().out
+        assert "FP-MU" in output and "DP" in output
+
+    def test_experiment_fig1b(self, capsys):
+        assert main(["experiment", "fig1b", "--resources", "500"]) == 0
+        assert "slope" in capsys.readouterr().out
+
+    def test_campaign(self, capsys):
+        assert main(
+            ["campaign", "FP", "--resources", "12", "--budget", "80", "--workers", "4"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "campaign:" in output
+
+    def test_campaign_without_adaptive_stop(self, capsys):
+        assert main(
+            [
+                "campaign",
+                "FP",
+                "--resources",
+                "10",
+                "--budget",
+                "50",
+                "--no-adaptive-stop",
+            ]
+        ) == 0
+        assert "0 resources adaptively stopped" in capsys.readouterr().out
+
+    def test_health_generated(self, capsys):
+        assert main(["health", "--resources", "12"]) == 0
+        assert "corpus health" in capsys.readouterr().out
+
+    def test_health_from_file(self, tmp_path, capsys):
+        path = tmp_path / "c.jsonl"
+        assert main(["generate", str(path), "--resources", "6"]) == 0
+        capsys.readouterr()
+        assert main(["health", str(path)]) == 0
+        assert "corpus health" in capsys.readouterr().out

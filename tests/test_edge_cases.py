@@ -1,0 +1,172 @@
+"""Edge cases across module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Post,
+    PostSequence,
+    QualityProfile,
+    Resource,
+    ResourceSet,
+    StabilityTracker,
+    TaggingDataset,
+)
+from repro.allocation import (
+    FewestPostsFirst,
+    HybridFPMU,
+    IncentiveRunner,
+    MostUnstableFirst,
+)
+from repro.experiments import DEFAULT_SCALE, PAPER_SCALE, TEST_SCALE
+
+
+def build_split(spec: list[tuple[int, int]], cutoff: float = 50.0):
+    """spec: (initial posts, future posts) per resource."""
+    resources = ResourceSet()
+    for i, (initial, future) in enumerate(spec):
+        timestamps = [float(j + 1) for j in range(initial)]
+        timestamps += [cutoff + 1 + j for j in range(future)]
+        posts = [Post.of(f"t{i}", f"s{j % 2}", timestamp=t) for j, t in enumerate(timestamps)]
+        resources.add(Resource(f"r{i}", PostSequence(posts)))
+    return TaggingDataset(resources).split(cutoff)
+
+
+class TestHybridUnderExhaustion:
+    def test_warmup_interrupted_by_exhaustion_switches_to_mu(self):
+        # Resource 0 needs warm-up but has NO future posts: the FP phase
+        # cannot finish, and FP-MU must fall through to MU instead of
+        # spinning.
+        split = build_split([(1, 0), (8, 20), (9, 20)])
+        runner = IncentiveRunner.replay(split)
+        strategy = HybridFPMU(omega=5)
+        trace = runner.run(strategy, budget=10)
+        assert trace.budget_spent == 10
+        assert trace.x[0] == 0
+        assert trace.x[1] + trace.x[2] == 10
+
+    def test_all_resources_exhausted_mid_run(self):
+        split = build_split([(6, 2), (6, 1)])
+        runner = IncentiveRunner.replay(split)
+        trace = runner.run(HybridFPMU(omega=5), budget=50)
+        assert trace.budget_spent == 3  # everything that exists
+
+    def test_zero_budget_warmup(self):
+        split = build_split([(0, 5), (0, 5)])
+        runner = IncentiveRunner.replay(split)
+        strategy = HybridFPMU(omega=5)
+        trace = runner.run(strategy, budget=0)
+        assert trace.tasks_delivered == 0
+        assert strategy.warmup_budget == 0  # min(B=0, deficits)
+
+
+class TestDegenerateSplits:
+    def test_cutoff_after_everything(self):
+        split = build_split([(4, 0), (3, 0)])
+        assert split.total_future_posts == 0
+        runner = IncentiveRunner.replay(split)
+        trace = runner.run(FewestPostsFirst(), budget=5)
+        assert trace.tasks_delivered == 0
+
+    def test_cutoff_before_everything(self):
+        resources = ResourceSet(
+            [Resource("r", PostSequence([Post.of("a", timestamp=5.0)]))]
+        )
+        split = TaggingDataset(resources).split(1.0)
+        assert split.initial_counts.tolist() == [0]
+        assert split.total_future_posts == 1
+
+    def test_posts_exactly_at_cutoff_are_initial(self):
+        resources = ResourceSet(
+            [Resource("r", PostSequence([Post.of("a", timestamp=31.0)]))]
+        )
+        split = TaggingDataset(resources).split(31.0)
+        assert split.initial_counts.tolist() == [1]
+
+
+class TestMUPendingSemantics:
+    def test_pending_resource_repeated_until_delivery(self):
+        # choose() twice without update must return the same index (the
+        # strategy keeps the offer open).
+        split = build_split([(8, 5), (8, 5)])
+        strategy = MostUnstableFirst(omega=5)
+        from repro.allocation.base import AllocationContext
+        from repro.allocation.oracle import ReplayTaggerSource
+
+        context = AllocationContext(
+            n=split.n,
+            initial_counts=split.initial_counts.copy(),
+            initial_posts=[split.initial_posts(i) for i in range(split.n)],
+            source=ReplayTaggerSource(split),
+            budget=5,
+        )
+        strategy.initialize(context)
+        first = strategy.choose()
+        second = strategy.choose()
+        assert first == second
+
+
+class TestQualityProfileEdges:
+    def test_stable_rfd_with_unposted_tags(self, paper_r1_posts):
+        # φ̂ mentions a tag the sequence never contains: the dot simply
+        # never picks it up, the reference norm still counts it.
+        reference = {"google": 0.5, "never-posted": 0.5}
+        profile = QualityProfile(paper_r1_posts, reference)
+        assert 0.0 < profile.quality(3) < 1.0
+
+    def test_single_post_sequence(self):
+        posts = [Post.of("only")]
+        profile = QualityProfile(posts, {"only": 1.0})
+        assert profile.quality(0) == 0.0
+        assert profile.quality(1) == pytest.approx(1.0)
+
+
+class TestTrackerEdges:
+    def test_tracker_without_tau_never_flags_stable(self):
+        tracker = StabilityTracker(omega=3)  # tau=None
+        for _ in range(20):
+            tracker.add_post({"a"})
+        assert not tracker.is_stable
+        assert tracker.stable_point is None
+
+    def test_tracker_omega_two_window(self):
+        # omega=2: the MA is just the latest adjacent similarity.
+        tracker = StabilityTracker(omega=2)
+        tracker.add_post({"a"})
+        tracker.add_post({"a"})
+        similarity = tracker.add_post({"b"})
+        assert tracker.ma_score == pytest.approx(similarity)
+
+
+class TestScaleConfigs:
+    @pytest.mark.parametrize("scale", [TEST_SCALE, DEFAULT_SCALE, PAPER_SCALE])
+    def test_grids_are_coherent(self, scale):
+        assert scale.max_budget == max(scale.budgets)
+        assert max(scale.dp_budgets) <= scale.max_budget
+        assert all(b1 <= b2 for b1, b2 in zip(scale.budgets, scale.budgets[1:]))
+        assert all(n <= scale.n_resources for n in scale.resource_counts)
+        assert scale.omega >= 2
+
+    def test_paper_scale_matches_paper_numbers(self):
+        assert PAPER_SCALE.n_resources == 5000
+        assert PAPER_SCALE.max_budget == 10000
+        assert PAPER_SCALE.omega == 5
+
+
+class TestDeterministicRebuilds:
+    def test_ground_truth_rebuild_is_identical(self, tiny_corpus):
+        from repro.experiments.evaluation import GroundTruth
+
+        first = GroundTruth.build(tiny_corpus.dataset, omega=5, tau=0.99)
+        second = GroundTruth.build(tiny_corpus.dataset, omega=5, tau=0.99)
+        assert np.array_equal(first.stable_points, second.stable_points)
+        for a, b in zip(first.stable_rfds, second.stable_rfds):
+            assert a == b
+
+    def test_case_study_scenario_deterministic(self):
+        from repro.simulate import case_study_scenario
+
+        a = case_study_scenario(seed=4)
+        b = case_study_scenario(seed=4)
+        for ra, rb in zip(a.corpus.dataset.resources, b.corpus.dataset.resources):
+            assert ra.sequence == rb.sequence

@@ -1,0 +1,56 @@
+"""Every example script must run clean at a reduced scale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py", "--resources", "25", "--budget", "150")
+        assert "FP" in output and "quality" in output
+
+    def test_delicious_replay(self):
+        output = run_example("delicious_replay.py", "--resources", "30")
+        assert "Fig 6(a)" in output
+        assert "budget to full stability" in output
+
+    def test_similarity_case_study(self):
+        output = run_example("similarity_case_study.py", "--budget", "1500")
+        assert "subject-physics-vs-java" in output
+        assert "correlation" in output
+
+    def test_crowdsourcing_campaign(self):
+        output = run_example(
+            "crowdsourcing_campaign.py", "--resources", "25", "--budget", "150"
+        )
+        assert "refusals" in output
+
+    def test_dataset_analysis(self):
+        output = run_example(
+            "dataset_analysis.py", "--resources", "30", "--universe", "600"
+        )
+        assert "Fig 1(a)" in output
+        assert "Section I statistics" in output
+
+    def test_incentive_service(self):
+        output = run_example(
+            "incentive_service.py", "--resources", "15", "--budget", "250"
+        )
+        assert "campaign:" in output
+        assert "observably stable" in output

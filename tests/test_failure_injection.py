@@ -1,0 +1,169 @@
+"""Failure injection: broken collaborators must fail loudly and cleanly."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AllocationError,
+    BudgetError,
+    DataModelError,
+    Post,
+    PostSequence,
+    Resource,
+    ResourceSet,
+    TaggingDataset,
+)
+from repro.allocation import (
+    AllocationStrategy,
+    FewestPostsFirst,
+    GenerativeTaggerSource,
+    IncentiveRunner,
+    RoundRobin,
+)
+
+
+def build_split(n: int = 2, initial: int = 3, future: int = 5, cutoff: float = 50.0):
+    resources = ResourceSet()
+    for i in range(n):
+        timestamps = [float(j + 1) for j in range(initial)]
+        timestamps += [cutoff + 1 + j for j in range(future)]
+        posts = [Post.of(f"t{i}", timestamp=t) for t in timestamps]
+        resources.add(Resource(f"r{i}", PostSequence(posts)))
+    return TaggingDataset(resources).split(cutoff)
+
+
+class TestBrokenStrategies:
+    def test_strategy_raising_in_update_propagates(self):
+        class Exploding(FewestPostsFirst):
+            def update(self, index, post):
+                raise RuntimeError("boom")
+
+        runner = IncentiveRunner.replay(build_split())
+        with pytest.raises(RuntimeError, match="boom"):
+            runner.run(Exploding(), budget=3)
+
+    def test_strategy_spamming_dead_resource_terminates(self):
+        # A strategy that ignores mark_exhausted must not hang the loop.
+        class Stubborn(AllocationStrategy):
+            name = "stubborn"
+
+            def choose(self):
+                return 0
+
+        split = build_split(n=2, future=0)  # nothing to deliver
+        runner = IncentiveRunner.replay(split)
+        trace = runner.run(Stubborn(), budget=10)
+        assert trace.tasks_delivered == 0
+
+    def test_strategy_returning_negative_index_rejected(self):
+        class Negative(AllocationStrategy):
+            name = "negative"
+
+            def choose(self):
+                return -1
+
+        runner = IncentiveRunner.replay(build_split())
+        with pytest.raises(AllocationError):
+            runner.run(Negative(), budget=1)
+
+    def test_uninitialised_strategy_context_access(self):
+        strategy = FewestPostsFirst()
+        with pytest.raises(RuntimeError):
+            _ = strategy.context
+
+
+class TestBrokenSources:
+    def test_generative_factory_exception_propagates(self):
+        def broken(index: int) -> Post:
+            raise ConnectionError("tagger service down")
+
+        runner = IncentiveRunner.generative(
+            np.array([0, 0]), [[], []], broken
+        )
+        with pytest.raises(ConnectionError):
+            runner.run(RoundRobin(), budget=1)
+
+    def test_generative_factory_returning_empty_post_fails_fast(self):
+        # A post with no tags violates Definition 1 at construction.
+        with pytest.raises(DataModelError):
+            Post(frozenset())
+
+    def test_free_choice_without_model_raises(self):
+        source = GenerativeTaggerSource(lambda i: Post.of("x"))
+        runner = IncentiveRunner(
+            2, np.array([0, 0]), [[], []], lambda: source
+        )
+        from repro.allocation import FreeChoice
+
+        with pytest.raises(NotImplementedError):
+            runner.run(FreeChoice(), budget=1)
+
+
+class TestServiceFailures:
+    def test_campaign_with_always_declining_crowd_preserves_budget(self, rng):
+        from repro.service import IncentiveCampaign, SimulatedWorker, WorkerPool
+        from repro.simulate import tiny_scenario
+
+        corpus = tiny_scenario(seed=3)
+        split = corpus.dataset.split(corpus.cutoff)
+        grumps = WorkerPool(
+            [
+                SimulatedWorker(
+                    "grump",
+                    favourite_domains=frozenset({"__none__"}),
+                    off_topic_acceptance=0.0,
+                )
+            ],
+            rng,
+        )
+        campaign = IncentiveCampaign(
+            corpus.models,
+            [split.initial_posts(i) for i in range(split.n)],
+            FewestPostsFirst(),
+            grumps,
+            budget=50,
+            rng=rng,
+            batch_size=10,
+        )
+        result = campaign.run(max_epochs=5)
+        assert result.ledger.spent == 0
+        assert result.total_completed == 0
+        assert all(report.unfilled == report.published for report in result.reports)
+
+    def test_double_payment_of_budget_rejected(self):
+        from repro.service import RewardLedger
+
+        ledger = RewardLedger(1)
+        ledger.pay(1, "w", 1)
+        with pytest.raises(BudgetError):
+            ledger.pay(2, "w", 1)
+        assert ledger.reconcile()
+
+
+class TestCorruptData:
+    def test_jsonl_with_invalid_json_line(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('{"id": "a", "posts": []}\nNOT-JSON\n')
+        with pytest.raises(DataModelError):
+            TaggingDataset.from_jsonl(path)
+
+    def test_jsonl_with_empty_tag_list_in_post(self, tmp_path):
+        path = tmp_path / "empty_post.jsonl"
+        path.write_text('{"id": "a", "posts": [{"t": 1.0, "tags": []}]}\n')
+        with pytest.raises(DataModelError):
+            TaggingDataset.from_jsonl(path)
+
+    def test_jsonl_with_unsorted_timestamps(self, tmp_path):
+        path = tmp_path / "unsorted.jsonl"
+        path.write_text(
+            '{"id": "a", "posts": [{"t": 5.0, "tags": ["x"]}, {"t": 1.0, "tags": ["y"]}]}\n'
+        )
+        with pytest.raises(DataModelError):
+            TaggingDataset.from_jsonl(path)
+
+    def test_duplicate_resource_ids_in_jsonl(self, tmp_path):
+        path = tmp_path / "dupes.jsonl"
+        record = '{"id": "a", "posts": [{"t": 1.0, "tags": ["x"]}]}\n'
+        path.write_text(record + record)
+        with pytest.raises(DataModelError):
+            TaggingDataset.from_jsonl(path)
