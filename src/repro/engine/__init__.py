@@ -1,0 +1,46 @@
+"""repro.engine — vectorized, sharded streaming ingestion of tagging events.
+
+The scalar path (:class:`repro.core.stability.StabilityTracker`) maintains
+one resource's MA score in ``O(|post|)`` per post, but pays full Python
+interpreter overhead for every post of every resource.  This subsystem is
+the batch/columnar counterpart built for the ROADMAP's scale goals:
+
+* :mod:`repro.engine.events` — the :class:`TagEvent` record and CSR-style
+  batch encoding of interleaved multi-resource event streams;
+* :mod:`repro.engine.columnar` — :class:`StabilityBank`, which holds the
+  per-resource tag counts and MA windows of *thousands* of resources in
+  NumPy arrays and applies one batched update per
+  :class:`~repro.engine.events.EventBatch` (the same Appendix C
+  recurrence as the scalar tracker, vectorized across resources);
+* :mod:`repro.engine.shard` — a hash router and an N-shard bank whose
+  shards share no state (parallel-ready);
+* :mod:`repro.engine.checkpoint` — npz/JSONL snapshots with deterministic
+  resume;
+* :mod:`repro.engine.stream` — :class:`IngestEngine`, the batching driver
+  with throughput stats and stable-point callbacks.
+
+Equivalence with the scalar tracker (MA scores, stable points and stable
+rfds to within float noise) is enforced by the property tests in
+``tests/properties/test_engine_properties.py``.
+"""
+
+from repro.engine.checkpoint import load_checkpoint, save_checkpoint
+from repro.engine.columnar import IngestReport, StabilityBank
+from repro.engine.events import EventBatch, Interner, TagEvent, encode_events
+from repro.engine.shard import ShardedStabilityBank, shard_of
+from repro.engine.stream import EngineStats, IngestEngine
+
+__all__ = [
+    "EngineStats",
+    "EventBatch",
+    "IngestEngine",
+    "IngestReport",
+    "Interner",
+    "ShardedStabilityBank",
+    "StabilityBank",
+    "TagEvent",
+    "encode_events",
+    "load_checkpoint",
+    "save_checkpoint",
+    "shard_of",
+]

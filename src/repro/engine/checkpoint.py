@@ -1,0 +1,180 @@
+"""Engine checkpoints: npz array snapshots + JSONL stable records.
+
+A checkpoint is a directory:
+
+* ``manifest.json`` — format version, bank kind (single/sharded), omega,
+  tau and shard count;
+* ``shard_NNNN.npz`` — one compressed archive per shard holding the CSR
+  count arrays, the running totals / squared norms / post counts, the MA
+  window state and the interned tag & resource vocabularies;
+* ``stable.jsonl`` — one line per stable resource with its shard, stable
+  point and the *raw count* snapshot (integers survive JSON exactly, so
+  resume is bit-deterministic: a bank loaded from a checkpoint and fed
+  the remaining events finishes in the same state as one that ingested
+  the whole stream — see ``tests/engine/test_checkpoint.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.errors import DataModelError
+from repro.engine.columnar import StabilityBank, StableSnapshot
+from repro.engine.shard import ShardedStabilityBank
+
+__all__ = ["save_checkpoint", "load_checkpoint", "CHECKPOINT_FORMAT"]
+
+CHECKPOINT_FORMAT = 1
+"""On-disk format version (bump on incompatible layout changes)."""
+
+_MANIFEST = "manifest.json"
+_STABLE = "stable.jsonl"
+
+
+def _shard_file(index: int) -> str:
+    return f"shard_{index:04d}.npz"
+
+
+def _save_bank_arrays(bank: StabilityBank, path: Path) -> None:
+    arrays = bank.state_arrays()
+    arrays["tags"] = np.asarray(bank.tags.items(), dtype=str)
+    arrays["resources"] = np.asarray(bank.resources.items(), dtype=str)
+    np.savez_compressed(path, **arrays)
+
+
+def _stable_records(bank: StabilityBank, shard_index: int) -> list[dict]:
+    records = []
+    for row, snapshot in sorted(bank._snapshots.items()):
+        records.append(
+            {
+                "shard": shard_index,
+                "resource": bank.resources.value(row),
+                "stable_point": snapshot.stable_point,
+                "tags": [bank.tags.value(int(t)) for t in snapshot.tag_ids],
+                "counts": [int(c) for c in snapshot.counts],
+                "total": snapshot.total,
+            }
+        )
+    return records
+
+
+def save_checkpoint(
+    bank: StabilityBank | ShardedStabilityBank, directory: str | Path
+) -> Path:
+    """Write ``bank``'s full state under ``directory`` (created if needed).
+
+    Returns:
+        The checkpoint directory path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    sharded = isinstance(bank, ShardedStabilityBank)
+    shards = bank.shards if sharded else [bank]
+    manifest = {
+        "format": CHECKPOINT_FORMAT,
+        "kind": "sharded" if sharded else "single",
+        "omega": bank.omega,
+        "tau": bank.tau,
+        "n_shards": len(shards),
+    }
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2) + "\n")
+    records: list[dict] = []
+    for index, shard in enumerate(shards):
+        _save_bank_arrays(shard, directory / _shard_file(index))
+        records.extend(_stable_records(shard, index))
+    with (directory / _STABLE).open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return directory
+
+
+def _load_bank(
+    path: Path,
+    *,
+    omega: int,
+    tau: float | None,
+    stable_records: list[dict],
+) -> StabilityBank:
+    with np.load(path, allow_pickle=False) as archive:
+        tags = [str(t) for t in archive["tags"]]
+        resources = [str(r) for r in archive["resources"]]
+        arrays = {
+            key: archive[key]
+            for key in archive.files
+            if key not in ("tags", "resources")
+        }
+    resource_rows = {resource_id: row for row, resource_id in enumerate(resources)}
+    tag_ids = {tag: index for index, tag in enumerate(tags)}
+    snapshots: dict[int, StableSnapshot] = {}
+    for record in stable_records:
+        row = resource_rows[record["resource"]]
+        snapshots[row] = StableSnapshot(
+            stable_point=int(record["stable_point"]),
+            tag_ids=np.array([tag_ids[t] for t in record["tags"]], dtype=np.int64),
+            counts=np.array(record["counts"], dtype=np.int64),
+            total=int(record["total"]),
+        )
+    return StabilityBank.from_state(
+        omega=omega,
+        tau=tau,
+        tags=tags,
+        resources=resources,
+        arrays=arrays,
+        snapshots=snapshots,
+    )
+
+
+def load_checkpoint(directory: str | Path) -> StabilityBank | ShardedStabilityBank:
+    """Rebuild the bank saved by :func:`save_checkpoint`.
+
+    Returns:
+        A :class:`StabilityBank` for single-bank checkpoints, a
+        :class:`ShardedStabilityBank` otherwise.
+
+    Raises:
+        DataModelError: If the directory is not a readable checkpoint of
+            a supported format version.
+    """
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.is_file():
+        raise DataModelError(f"no checkpoint manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format") != CHECKPOINT_FORMAT:
+        raise DataModelError(
+            f"unsupported checkpoint format {manifest.get('format')!r} "
+            f"(expected {CHECKPOINT_FORMAT})"
+        )
+    omega = int(manifest["omega"])
+    tau = manifest["tau"]
+    tau = None if tau is None else float(tau)
+    n_shards = int(manifest["n_shards"])
+
+    per_shard: list[list[dict]] = [[] for _ in range(n_shards)]
+    stable_path = directory / _STABLE
+    if stable_path.is_file():
+        with stable_path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                per_shard[int(record["shard"])].append(record)
+
+    banks = [
+        _load_bank(
+            directory / _shard_file(index),
+            omega=omega,
+            tau=tau,
+            stable_records=per_shard[index],
+        )
+        for index in range(n_shards)
+    ]
+    if manifest["kind"] == "single":
+        return banks[0]
+    sharded = ShardedStabilityBank(n_shards, omega, tau)
+    sharded.shards = banks
+    return sharded

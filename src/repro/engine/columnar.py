@@ -1,0 +1,740 @@
+"""The columnar stability bank: Appendix C, vectorized across resources.
+
+:class:`StabilityBank` is the multi-resource counterpart of
+:class:`repro.core.stability.StabilityTracker`.  Where the scalar tracker
+keeps one resource's tag counts in a Python dict and its MA window in a
+deque, the bank keeps *all* resources' state in NumPy arrays:
+
+* a count block ``C[r, t] = h_r(t, k_r)`` (rows = resources, columns =
+  interned tags, both growing geometrically);
+* running totals ``Σ_t h(t)``, squared norms ``Σ_t h(t)²`` and post
+  counts ``k`` per resource;
+* an MA window block ``(R, omega-1)`` (each row the resource's last
+  adjacent similarities in chronological order) with per-resource sums;
+* stable points and frozen rfd snapshots for resources that crossed
+  ``tau``.
+
+One call to :meth:`ingest` applies a whole :class:`EventBatch`: events
+are grouped into *rounds* (the j-th round holds the j-th event of every
+resource appearing in the batch, preserving per-resource order), and each
+round updates every touched resource with a handful of whole-array NumPy
+operations — the identical ``O(|post|)`` recurrence of
+:mod:`repro.core.frequency`, amortized to well under a microsecond per
+event.  Because resources are independent in the model, round-splitting
+reproduces the scalar semantics exactly; the property tests pin the MA
+scores and stable points to the scalar tracker within 1e-9.
+
+The count block is dense in memory (fast fancy-indexed updates; ~8 bytes
+per (resource, tag) cell) and is exported/imported CSR-style — see
+:meth:`counts_csr` and :meth:`from_state` — which is what the checkpoint
+format stores.  Memory scales as ``rows × vocabulary``; the shard router
+(:mod:`repro.engine.shard`) keeps both factors per-shard small.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import StabilityError
+from repro.core.stability import DEFAULT_OMEGA
+from repro.engine.events import EventBatch, Interner, TagEvent, encode_events
+
+__all__ = ["StabilityBank", "IngestReport", "StableSnapshot"]
+
+
+def _validate_omega(omega: int) -> None:
+    if omega < 2:
+        raise StabilityError(f"omega must be >= 2 (Definition 7), got {omega}")
+
+
+def _validate_tau(tau: float) -> None:
+    if not 0.0 <= tau <= 1.0:
+        raise StabilityError(f"tau must lie in [0, 1] (cosine range), got {tau}")
+
+
+@dataclass(frozen=True, slots=True)
+class StableSnapshot:
+    """The frozen count vector of a resource at its stable point.
+
+    Counts (not the normalized rfd) are stored so snapshots round-trip
+    losslessly through JSON checkpoints; the rfd is ``counts / total``.
+    """
+
+    stable_point: int
+    tag_ids: np.ndarray
+    counts: np.ndarray
+    total: int
+
+    def rfd(self, tags: Interner) -> dict[str, float]:
+        """The practically-stable rfd as a sparse tag → frequency dict."""
+        total = float(self.total)
+        return {
+            tags.value(int(t)): int(c) / total
+            for t, c in zip(self.tag_ids, self.counts)
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class IngestReport:
+    """What one :meth:`StabilityBank.ingest` call did.
+
+    Attributes:
+        n_events: Events applied.
+        n_tag_assignments: Total (event, tag) pairs applied.
+        similarities: Adjacent similarity induced by each event, in batch
+            order (0.0 for a resource's first post, as in Eq. 16).
+        newly_stable: Resource ids that crossed ``tau`` during this batch,
+            in detection order.
+    """
+
+    n_events: int
+    n_tag_assignments: int
+    similarities: np.ndarray
+    newly_stable: list[str] = field(default_factory=list)
+
+
+class StabilityBank:
+    """Vectorized MA-score tracking for a population of resources.
+
+    Args:
+        omega: MA window, ``>= 2`` (Definition 7).
+        tau: Optional stability threshold; when set the bank watches for
+            Definition 8's condition per resource and freezes the rfd at
+            the stable point, exactly like the scalar tracker.
+        initial_rows: Starting row capacity (grows geometrically).
+        initial_tags: Starting column capacity (grows geometrically).
+    """
+
+    def __init__(
+        self,
+        omega: int = DEFAULT_OMEGA,
+        tau: float | None = None,
+        *,
+        initial_rows: int = 64,
+        initial_tags: int = 256,
+    ) -> None:
+        _validate_omega(omega)
+        if tau is not None:
+            _validate_tau(tau)
+        self.omega = omega
+        self.tau = tau
+        self.tags = Interner()
+        self.resources = Interner()
+        rows = max(1, initial_rows)
+        cols = max(1, initial_tags)
+        # int32 cells: counts are per-resource post counts, far below 2**31;
+        # the smaller block halves the cache traffic of the batched gathers.
+        self._counts = np.zeros((rows, cols), dtype=np.int32)
+        # Per-row registry of the distinct tags seen (append order): the
+        # sparse view of each count row, so snapshots and per-resource
+        # queries cost O(distinct tags) instead of O(vocabulary).
+        self._row_tags = np.zeros((rows, 8), dtype=np.int32)
+        self._n_distinct = np.zeros(rows, dtype=np.int64)
+        self._total = np.zeros(rows, dtype=np.int64)
+        self._sumsq = np.zeros(rows, dtype=np.int64)
+        self._num_posts = np.zeros(rows, dtype=np.int64)
+        self._window = np.zeros((rows, omega - 1), dtype=np.float64)
+        self._window_sum = np.zeros(rows, dtype=np.float64)
+        self._win_len = np.zeros(rows, dtype=np.int64)
+        self._stable_point = np.full(rows, -1, dtype=np.int64)
+        self._snapshots: dict[int, StableSnapshot] = {}
+
+    # ------------------------------------------------------------------
+    # capacity
+    # ------------------------------------------------------------------
+
+    def _grow(self, rows: int, cols: int) -> None:
+        """Ensure capacity for ``rows`` resources and ``cols`` tags."""
+        old_rows, old_cols = self._counts.shape
+        new_rows = old_rows
+        while new_rows < rows:
+            new_rows *= 2
+        new_cols = old_cols
+        while new_cols < cols:
+            new_cols *= 2
+        if new_rows != old_rows or new_cols != old_cols:
+            counts = np.zeros((new_rows, new_cols), dtype=np.int32)
+            counts[:old_rows, :old_cols] = self._counts
+            self._counts = counts
+        if new_rows != old_rows:
+            def grown(array: np.ndarray, fill: float | int = 0) -> np.ndarray:
+                shape = (new_rows,) + array.shape[1:]
+                out = np.full(shape, fill, dtype=array.dtype)
+                out[:old_rows] = array
+                return out
+
+            self._row_tags = grown(self._row_tags)
+            self._n_distinct = grown(self._n_distinct)
+            self._total = grown(self._total)
+            self._sumsq = grown(self._sumsq)
+            self._num_posts = grown(self._num_posts)
+            self._window = grown(self._window)
+            self._window_sum = grown(self._window_sum)
+            self._win_len = grown(self._win_len)
+            self._stable_point = grown(self._stable_point, fill=-1)
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+
+    def ensure(self, resource_ids: Iterable[str]) -> None:
+        """Pre-register resources (at zero posts) without ingesting.
+
+        Useful when a caller wants every resource queryable (e.g. a
+        campaign over a fixed population) before any event arrives.
+        """
+        for resource_id in resource_ids:
+            self.resources.intern(resource_id)
+        self._grow(max(len(self.resources), 1), max(len(self.tags), 1))
+
+    def ingest_events(self, events: Iterable[TagEvent]) -> IngestReport:
+        """Encode ``events`` with the bank's interners and ingest them."""
+        batch = encode_events(events, tags=self.tags, resources=self.resources)
+        return self.ingest(batch)
+
+    def ingest(self, batch: EventBatch) -> IngestReport:
+        """Apply one batch; return per-event similarities and new stables.
+
+        Events for distinct resources commute; events for the same
+        resource are applied in batch order, so ingesting any split of a
+        stream into batches yields the same final state as the scalar
+        tracker fed post by post.
+
+        The whole batch is applied in one vectorized pass: events are
+        sorted by resource (stable, so per-resource order survives), the
+        in-batch evolution of every resource's ``sumsq`` is a segmented
+        cumulative sum, in-batch repeats of a (resource, tag) pair are
+        handled by duplicate-rank counting, and the per-event MA scores
+        come from a rolling-window sum over each resource's concatenated
+        (carried window ‖ new similarities) sequence.
+        """
+        n_events = batch.n_events
+        newly_stable: list[str] = []
+        if n_events == 0:
+            return IngestReport(0, 0, np.zeros(0), newly_stable)
+
+        self._grow(len(self.resources), max(len(self.tags), 1))
+        width = self.omega - 1
+        counts_flat = self._counts.reshape(-1)
+        n_columns = self._counts.shape[1]
+
+        # Index arithmetic runs in int32 while everything fits (it always
+        # does for realistic batch sizes and shard-local count blocks);
+        # only the sumsq recurrence needs int64.
+        compact = self._counts.size <= np.iinfo(np.int32).max
+
+        # --- sort events by resource; build per-resource segments -------
+        rows = batch.resources
+        order = np.argsort(rows, kind="stable")
+        sorted_rows = rows[order]
+        sorted_lengths = np.diff(batch.indptr)[order]
+        segment_first = np.empty(n_events, dtype=bool)
+        segment_first[0] = True
+        np.not_equal(sorted_rows[1:], sorted_rows[:-1], out=segment_first[1:])
+        segment_start = np.flatnonzero(segment_first)
+        segment_of = np.cumsum(segment_first) - 1
+        segment_rows = sorted_rows[segment_start]
+        n_segments = segment_start.size
+        segment_sizes = np.diff(np.append(segment_start, n_events))
+
+        # --- flatten (event, tag) pairs in sorted-event order -----------
+        total_tags = int(sorted_lengths.sum())
+        flat_offsets = np.zeros(n_events, dtype=np.int64)
+        np.cumsum(sorted_lengths[:-1], out=flat_offsets[1:])
+        flat_positions = np.repeat(
+            batch.indptr[:-1][order] - flat_offsets, sorted_lengths
+        ) + np.arange(total_tags, dtype=np.int64)
+        flat_tags = batch.tag_ids[flat_positions]
+        key_dtype = np.int32 if compact else np.int64
+        flat_keys = np.repeat(
+            (sorted_rows * n_columns).astype(key_dtype), sorted_lengths
+        ) + flat_tags.astype(key_dtype)
+
+        # --- duplicate rank: how many earlier in-batch events of the same
+        # resource already contained this tag (the scalar recurrence sees
+        # counts that grow *during* the batch) ----------------------------
+        # Sorting value-packed keys (key in the high bits, flat position
+        # in the low bits) is several times faster than a stable argsort
+        # and yields the same ordering: the position bits break ties in
+        # event order.
+        index_bits = max(1, (total_tags - 1).bit_length())
+        if compact and index_bits <= 32:
+            packed = (flat_keys.astype(np.int64) << index_bits) | np.arange(
+                total_tags, dtype=np.int64
+            )
+            packed.sort()
+            key_order = packed & ((1 << index_bits) - 1)
+            sorted_keys = packed >> index_bits
+        else:
+            key_order = np.argsort(flat_keys, kind="stable")
+            sorted_keys = flat_keys[key_order]
+        key_first = np.empty(total_tags, dtype=bool)
+        key_first[0] = True
+        np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=key_first[1:])
+        key_start = np.flatnonzero(key_first)
+        key_group = np.cumsum(key_first, dtype=np.int32 if compact else np.int64) - 1
+        duplicate_rank_sorted = (
+            np.arange(total_tags, dtype=key_group.dtype) - key_start.astype(key_group.dtype)[key_group]
+        )
+        unique_keys = sorted_keys[key_start]
+        key_increments = np.diff(np.append(key_start, total_tags))
+
+        # --- Appendix C recurrence, segmented across the batch -----------
+        # count seen by each (event, tag): stored count + in-batch repeats.
+        # The count-block gather runs in ascending key order (cache- and
+        # TLB-friendly on a block of many MB) and is scattered back to
+        # event order in one pass.
+        effective_counts = np.empty(total_tags, dtype=np.int64)
+        effective_counts[key_order] = counts_flat[sorted_keys] + duplicate_rank_sorted
+        overlap = np.add.reduceat(effective_counts, flat_offsets)
+        sumsq_delta = 2 * overlap + sorted_lengths
+        sumsq_cumulative = np.cumsum(sumsq_delta)
+        sumsq_prior = sumsq_cumulative - sumsq_delta
+        sumsq_before = (
+            self._sumsq[sorted_rows] + sumsq_prior - sumsq_prior[segment_start][segment_of]
+        )
+        sumsq_after = sumsq_before + sumsq_delta
+        dot = sumsq_before + overlap
+        denominator = np.sqrt(
+            sumsq_before.astype(np.float64) * sumsq_after.astype(np.float64)
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sorted_similarities = np.where(sumsq_before > 0, dot / denominator, 0.0)
+        np.minimum(sorted_similarities, 1.0, out=sorted_similarities)
+
+        # --- apply count/total/sumsq/num_posts updates -------------------
+        previous_counts = counts_flat[unique_keys]
+        counts_flat[unique_keys] = previous_counts + key_increments.astype(np.int32)
+        fresh_keys = unique_keys[previous_counts == 0]
+        if fresh_keys.size:
+            self._register_fresh(fresh_keys, n_columns)
+        # per-segment tag totals are the widths of the segments' flat extents
+        self._total[segment_rows] += np.diff(
+            np.append(flat_offsets[segment_start], total_tags)
+        )
+        segment_end = np.append(segment_start[1:], n_events) - 1
+        self._sumsq[segment_rows] = sumsq_after[segment_end]
+        posts_before = self._num_posts[segment_rows]
+        self._num_posts[segment_rows] = posts_before + segment_sizes
+        position_in_segment = (
+            np.arange(n_events, dtype=np.int64) - segment_start[segment_of]
+        )
+        k_after = posts_before[segment_of] + position_in_segment + 1
+
+        # --- MA windows: roll over (carried window ‖ new sims) -----------
+        # Only the j = 1 similarity (a resource's very first post) stays
+        # outside every window, so the per-segment window-event count is
+        # the segment size minus one for brand-new resources, and a
+        # window event's rank is its segment position shifted by one for
+        # those same segments.
+        enters_window = k_after >= 2
+        window_sims = sorted_similarities[enters_window]
+        window_segment = segment_of[enters_window]
+        brand_new = posts_before == 0
+        new_per_segment = segment_sizes - brand_new
+        carried = self._win_len[segment_rows]
+        concat_lengths = carried + new_per_segment
+        concat_start = np.zeros(n_segments, dtype=np.int64)
+        np.cumsum(concat_lengths[:-1], out=concat_start[1:])
+        concatenated = np.empty(int(concat_lengths.sum()), dtype=np.float64)
+
+        # carried window entries (stored chronologically from column 0)
+        carried_total = int(carried.sum())
+        if carried_total:
+            carried_segment = np.repeat(np.arange(n_segments, dtype=np.int64), carried)
+            carried_offset = np.zeros(n_segments, dtype=np.int64)
+            np.cumsum(carried[:-1], out=carried_offset[1:])
+            index_in_carried = (
+                np.arange(carried_total, dtype=np.int64) - carried_offset[carried_segment]
+            )
+            concatenated[concat_start[carried_segment] + index_in_carried] = (
+                self._window.reshape(-1)[
+                    segment_rows[carried_segment] * width + index_in_carried
+                ]
+            )
+
+        # new similarities, chronological per segment
+        n_window_events = window_sims.size
+        if n_window_events:
+            window_rank = (
+                position_in_segment[enters_window] - brand_new[window_segment]
+            )
+            window_positions = (
+                concat_start[window_segment] + carried[window_segment] + window_rank
+            )
+            concatenated[window_positions] = window_sims
+
+        padded_cumulative = np.concatenate(([0.0], np.cumsum(concatenated)))
+
+        # --- Definition 8: first k >= omega with m(k, omega) > tau -------
+        # Once every touched resource is stable the whole check collapses
+        # to one O(segments) test, so detection cost concentrates in the
+        # early life of the stream.
+        unstable_segment = (
+            self._stable_point[segment_rows] < 0 if self.tau is not None else None
+        )
+        if unstable_segment is not None and n_window_events and unstable_segment.any():
+            k_after_window = k_after[enters_window]
+            candidate = (k_after_window >= self.omega) & unstable_segment[window_segment]
+            if np.any(candidate):
+                candidate_positions = window_positions[candidate]
+                window_sums = (
+                    padded_cumulative[candidate_positions + 1]
+                    - padded_cumulative[candidate_positions + 1 - width]
+                )
+                hit = window_sums / width > self.tau
+                if np.any(hit):
+                    hit_segments = window_segment[candidate][hit]
+                    _, first_hit = np.unique(hit_segments, return_index=True)
+                    self._freeze_batch(
+                        hit_segments[first_hit],
+                        k_after_window[candidate][hit][first_hit],
+                        segment_rows,
+                        segment_start,
+                        segment_end,
+                        flat_offsets,
+                        flat_tags,
+                        sorted_lengths,
+                        k_after,
+                        newly_stable,
+                    )
+
+        # --- final window state per touched resource ---------------------
+        final_lengths = np.minimum(concat_lengths, width)
+        final_total = int(final_lengths.sum())
+        if final_total:
+            final_segment = np.repeat(np.arange(n_segments, dtype=np.int64), final_lengths)
+            final_offset = np.zeros(n_segments, dtype=np.int64)
+            np.cumsum(final_lengths[:-1], out=final_offset[1:])
+            index_in_final = (
+                np.arange(final_total, dtype=np.int64) - final_offset[final_segment]
+            )
+            source = (
+                concat_start[final_segment]
+                + concat_lengths[final_segment]
+                - final_lengths[final_segment]
+                + index_in_final
+            )
+            self._window.reshape(-1)[
+                segment_rows[final_segment] * width + index_in_final
+            ] = concatenated[source]
+        tail = concat_start + concat_lengths
+        self._window_sum[segment_rows] = (
+            padded_cumulative[tail] - padded_cumulative[tail - final_lengths]
+        )
+        self._win_len[segment_rows] = final_lengths
+
+        similarities = np.empty(n_events, dtype=np.float64)
+        similarities[order] = sorted_similarities
+        return IngestReport(
+            n_events, batch.n_tag_assignments, similarities, newly_stable
+        )
+
+    def _register_fresh(self, fresh_keys: np.ndarray, n_columns: int) -> None:
+        """Append first-seen (row, tag) pairs to the per-row tag registry.
+
+        ``fresh_keys`` is ascending, so pairs arrive grouped by row; each
+        row's new tags land in its next free registry slots.
+        """
+        fresh_rows = fresh_keys // n_columns
+        fresh_tags = (fresh_keys - fresh_rows * n_columns).astype(np.int32)
+        count = fresh_keys.size
+        row_first = np.empty(count, dtype=bool)
+        row_first[0] = True
+        np.not_equal(fresh_rows[1:], fresh_rows[:-1], out=row_first[1:])
+        group_start = np.flatnonzero(row_first)
+        rank = (
+            np.arange(count, dtype=np.int64)
+            - group_start[np.cumsum(row_first) - 1]
+        )
+        slots = self._n_distinct[fresh_rows] + rank
+        capacity = self._row_tags.shape[1]
+        needed = int(slots.max()) + 1
+        if needed > capacity:
+            new_capacity = capacity
+            while new_capacity < needed:
+                new_capacity *= 2
+            registry = np.zeros(
+                (self._row_tags.shape[0], new_capacity), dtype=np.int32
+            )
+            registry[:, :capacity] = self._row_tags
+            self._row_tags = registry
+            capacity = new_capacity
+        self._row_tags.reshape(-1)[fresh_rows * capacity + slots] = fresh_tags
+        grouped_rows = fresh_rows[group_start]
+        self._n_distinct[grouped_rows] += np.diff(np.append(group_start, count))
+
+    def _row_tag_ids(self, row: int) -> np.ndarray:
+        """The distinct tag ids of ``row``, ascending."""
+        return np.sort(self._row_tags[row, : int(self._n_distinct[row])]).astype(
+            np.int64
+        )
+
+    def _freeze_batch(
+        self,
+        stable_segments: np.ndarray,
+        stable_k: np.ndarray,
+        segment_rows: np.ndarray,
+        segment_start: np.ndarray,
+        segment_end: np.ndarray,
+        flat_offsets: np.ndarray,
+        flat_tags: np.ndarray,
+        sorted_lengths: np.ndarray,
+        k_after: np.ndarray,
+        newly_stable: list[str],
+    ) -> None:
+        """Snapshot every resource that crossed ``tau`` in this batch.
+
+        The batch's count updates were already applied in full, so each
+        snapshot rolls back the tags of the resource's events *after* its
+        crossing (a contiguous slice of the flat arrays, which are grouped
+        by sorted event).  All crossings of the batch are materialised
+        together from the per-row tag registry, so the work is
+        proportional to the resources' *distinct-tag* counts (like the
+        scalar tracker's sparse rfd snapshot), not to the vocabulary.
+        """
+        n_stable = stable_segments.size
+        n_columns = self._counts.shape[1]
+        counts_flat = self._counts.reshape(-1)
+        stable_rows = segment_rows[stable_segments]
+        self._stable_point[stable_rows] = stable_k
+
+        first_event = segment_start[stable_segments]
+        crossing = first_event + (stable_k - k_after[first_event])
+        last_event = segment_end[stable_segments]
+        rollback_start = flat_offsets[crossing] + sorted_lengths[crossing]
+        rollback_end = flat_offsets[last_event] + sorted_lengths[last_event]
+        rollback_lengths = rollback_end - rollback_start
+        totals = self._total[stable_rows] - rollback_lengths
+
+        # Gather every stable row's distinct tags from the registry.
+        # ``stable_rows`` is ascending, so the composite count-block keys
+        # sort globally while staying grouped per row.
+        distinct = self._n_distinct[stable_rows]
+        gathered_total = int(distinct.sum())
+        which = np.repeat(np.arange(n_stable, dtype=np.int64), distinct)
+        offsets = np.zeros(n_stable, dtype=np.int64)
+        np.cumsum(distinct[:-1], out=offsets[1:])
+        index_in_row = np.arange(gathered_total, dtype=np.int64) - offsets[which]
+        registry_capacity = self._row_tags.shape[1]
+        gathered_tags = self._row_tags.reshape(-1)[
+            stable_rows[which] * registry_capacity + index_in_row
+        ]
+        sorted_count_keys = np.sort(stable_rows[which] * n_columns + gathered_tags)
+        values = counts_flat[sorted_count_keys].astype(np.int64)
+
+        total_rollback = int(rollback_lengths.sum())
+        if total_rollback:
+            rollback_which = np.repeat(
+                np.arange(n_stable, dtype=np.int64), rollback_lengths
+            )
+            rollback_offset = np.zeros(n_stable, dtype=np.int64)
+            np.cumsum(rollback_lengths[:-1], out=rollback_offset[1:])
+            positions = (
+                np.arange(total_rollback, dtype=np.int64)
+                - rollback_offset[rollback_which]
+                + rollback_start[rollback_which]
+            )
+            rollback_keys = (
+                stable_rows[rollback_which] * n_columns
+                + flat_tags[positions].astype(np.int64)
+            )
+            np.subtract.at(
+                values, np.searchsorted(sorted_count_keys, rollback_keys), 1
+            )
+
+        row_bases = stable_rows * n_columns
+        ends = np.append(offsets[1:], gathered_total)
+        for i in range(n_stable):
+            row = int(stable_rows[i])
+            tag_ids = sorted_count_keys[offsets[i] : ends[i]] - row_bases[i]
+            row_values = values[offsets[i] : ends[i]]
+            keep = row_values > 0
+            self._snapshots[row] = StableSnapshot(
+                stable_point=int(stable_k[i]),
+                tag_ids=tag_ids[keep],
+                counts=row_values[keep],
+                total=int(totals[i]),
+            )
+            newly_stable.append(self.resources.value(row))
+
+    # ------------------------------------------------------------------
+    # per-resource queries (scalar-tracker-compatible)
+    # ------------------------------------------------------------------
+
+    def _row(self, resource_id: str) -> int:
+        row = self.resources.lookup(resource_id)
+        if row is None:
+            raise KeyError(f"unknown resource {resource_id!r}")
+        return row
+
+    def __contains__(self, resource_id: object) -> bool:
+        return resource_id in self.resources
+
+    @property
+    def n_resources(self) -> int:
+        """Resources seen so far."""
+        return len(self.resources)
+
+    @property
+    def n_tags(self) -> int:
+        """Distinct tags seen so far (across all resources)."""
+        return len(self.tags)
+
+    @property
+    def total_posts(self) -> int:
+        """Posts ingested across all resources."""
+        return int(self._num_posts[: len(self.resources)].sum())
+
+    def num_posts(self, resource_id: str) -> int:
+        """The resource's ``k``."""
+        return int(self._num_posts[self._row(resource_id)])
+
+    def ma_score(self, resource_id: str) -> float | None:
+        """``m(k, omega)``, or ``None`` while ``k < omega``."""
+        row = self._row(resource_id)
+        if self._num_posts[row] < self.omega:
+            return None
+        return float(self._window_sum[row] / (self.omega - 1))
+
+    def ma_scores(self) -> tuple[list[str], np.ndarray]:
+        """All resources and their MA scores (``nan`` where undefined)."""
+        count = len(self.resources)
+        scores = np.full(count, np.nan)
+        defined = self._num_posts[:count] >= self.omega
+        scores[defined] = self._window_sum[:count][defined] / (self.omega - 1)
+        return self.resources.items(), scores
+
+    def is_stable(self, resource_id: str) -> bool:
+        """Whether the resource has crossed ``tau`` (needs ``tau``)."""
+        return self._stable_point[self._row(resource_id)] >= 0
+
+    def stable_point(self, resource_id: str) -> int | None:
+        """Smallest ``k`` seen with ``m(k, omega) > tau``, if any."""
+        point = int(self._stable_point[self._row(resource_id)])
+        return None if point < 0 else point
+
+    def stable_points(self) -> dict[str, int]:
+        """All stable resources and their stable points."""
+        return {
+            self.resources.value(row): snapshot.stable_point
+            for row, snapshot in sorted(self._snapshots.items())
+        }
+
+    def stable_rfd(self, resource_id: str) -> dict[str, float] | None:
+        """The rfd frozen at the stable point, if reached."""
+        snapshot = self._snapshots.get(self._row(resource_id))
+        return None if snapshot is None else snapshot.rfd(self.tags)
+
+    def counts_of(self, resource_id: str) -> dict[str, int]:
+        """The resource's sparse count vector ``h(·, k)`` as a dict."""
+        row = self._row(resource_id)
+        tag_ids = self._row_tag_ids(row)
+        counts = self._counts[row, tag_ids]
+        return {
+            self.tags.value(int(t)): int(c) for t, c in zip(tag_ids, counts)
+        }
+
+    def rfd(self, resource_id: str) -> dict[str, float]:
+        """The resource's current rfd ``F(k)`` (empty at ``k = 0``)."""
+        row = self._row(resource_id)
+        total = int(self._total[row])
+        if total == 0:
+            return {}
+        return {tag: count / total for tag, count in self.counts_of(resource_id).items()}
+
+    # ------------------------------------------------------------------
+    # state export / import (checkpointing)
+    # ------------------------------------------------------------------
+
+    def counts_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The count block in CSR form ``(indptr, tag_indices, counts)``.
+
+        Rows are the interned resources in id order; only nonzero cells
+        are kept, which is what the checkpoint stores.
+        """
+        active = self._counts[: len(self.resources), : max(len(self.tags), 1)]
+        row_idx, col_idx = np.nonzero(active)
+        indptr = np.zeros(len(self.resources) + 1, dtype=np.int64)
+        np.cumsum(np.bincount(row_idx, minlength=len(self.resources)), out=indptr[1:])
+        return indptr, col_idx.astype(np.int64), active[row_idx, col_idx]
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """All per-resource state arrays, trimmed to the active rows."""
+        count = len(self.resources)
+        indptr, indices, data = self.counts_csr()
+        return {
+            "counts_indptr": indptr,
+            "counts_indices": indices,
+            "counts_data": data,
+            "total": self._total[:count].copy(),
+            "sumsq": self._sumsq[:count].copy(),
+            "num_posts": self._num_posts[:count].copy(),
+            "window": self._window[:count].copy(),
+            "window_sum": self._window_sum[:count].copy(),
+            "win_len": self._win_len[:count].copy(),
+            "stable_point": self._stable_point[:count].copy(),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        *,
+        omega: int,
+        tau: float | None,
+        tags: list[str],
+        resources: list[str],
+        arrays: dict[str, np.ndarray],
+        snapshots: dict[int, StableSnapshot],
+    ) -> StabilityBank:
+        """Rebuild a bank from checkpointed state (exact resume)."""
+        bank = cls(
+            omega,
+            tau,
+            initial_rows=max(1, len(resources)),
+            initial_tags=max(1, len(tags)),
+        )
+        bank.tags = Interner(tags)
+        bank.resources = Interner(resources)
+        count = len(resources)
+        bank._grow(max(count, 1), max(len(tags), 1))
+        indptr = arrays["counts_indptr"]
+        indices = arrays["counts_indices"]
+        data = arrays["counts_data"]
+        per_row = np.diff(indptr)
+        row_idx = np.repeat(np.arange(count, dtype=np.int64), per_row)
+        bank._counts[row_idx, indices] = data
+        # rebuild the per-row distinct-tag registry from the CSR rows
+        if indices.size:
+            bank._n_distinct[:count] = per_row
+            capacity = bank._row_tags.shape[1]
+            widest = int(per_row.max())
+            if widest > capacity:
+                while capacity < widest:
+                    capacity *= 2
+                bank._row_tags = np.zeros(
+                    (bank._row_tags.shape[0], capacity), dtype=np.int32
+                )
+            slot = np.arange(indices.size, dtype=np.int64) - np.repeat(
+                indptr[:-1], per_row
+            )
+            bank._row_tags.reshape(-1)[row_idx * capacity + slot] = indices
+        bank._total[:count] = arrays["total"]
+        bank._sumsq[:count] = arrays["sumsq"]
+        bank._num_posts[:count] = arrays["num_posts"]
+        bank._window[:count] = arrays["window"]
+        bank._window_sum[:count] = arrays["window_sum"]
+        bank._win_len[:count] = arrays["win_len"]
+        bank._stable_point[:count] = arrays["stable_point"]
+        bank._snapshots = dict(snapshots)
+        return bank
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StabilityBank(resources={self.n_resources}, tags={self.n_tags}, "
+            f"posts={self.total_posts}, omega={self.omega}, "
+            f"stable={len(self._snapshots)})"
+        )

@@ -1,0 +1,222 @@
+"""Tagging events and their columnar batch encoding.
+
+A :class:`TagEvent` is one tagging operation addressed to a resource — the
+streaming-world equivalent of appending a :class:`repro.core.posts.Post`
+to one resource's sequence.  An interleaved stream of events touching many
+resources is the natural wire format of a live tagging system (and of the
+paper's del.icio.us dump, which is one giant time-ordered event log).
+
+The vectorized bank does not consume events one by one; it consumes an
+:class:`EventBatch` — a CSR-style columnar encoding where every string has
+already been interned to a small integer:
+
+* ``resources[e]`` — the interned resource row of event ``e``;
+* ``tag_ids[indptr[e]:indptr[e+1]]`` — the event's interned tags
+  (deduplicated: Definition 1 models a post as a *set*);
+* ``timestamps[e]`` — the posting time (carried for provenance; the model
+  only uses arrival order).
+
+Encoding is the only per-event Python work left in the ingest path, so
+:func:`encode_events` is written for throughput: interner misses are
+resolved in one pre-pass, after which the id lookup runs as a C-level
+``map(dict.__getitem__, ...)`` feeding ``np.fromiter``.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from itertools import chain
+
+import numpy as np
+
+from repro.core.errors import DataModelError
+from repro.core.posts import Post
+
+__all__ = ["TagEvent", "Interner", "EventBatch", "encode_events", "events_from_posts"]
+
+
+@dataclass(frozen=True, slots=True)
+class TagEvent:
+    """One tagging operation in an interleaved multi-resource stream.
+
+    Attributes:
+        resource_id: The resource the post targets.
+        tags: The post's tags.  Must be nonempty; should not contain
+            duplicates (events built from :class:`Post` never do —
+            :func:`encode_events` deduplicates defensively regardless).
+            Normalisation is the producer's job, as with raw posts.
+        timestamp: Posting time (ordering within the stream is what the
+            model consumes; the value is kept for provenance).
+        tagger: Optional tagger identifier.
+    """
+
+    resource_id: str
+    tags: tuple[str, ...]
+    timestamp: float = 0.0
+    tagger: str | None = None
+
+    @classmethod
+    def from_post(cls, resource_id: str, post: Post) -> TagEvent:
+        """The event corresponding to ``post`` arriving at ``resource_id``."""
+        return cls(
+            resource_id=resource_id,
+            tags=tuple(sorted(post.tags)),
+            timestamp=post.timestamp,
+            tagger=post.tagger,
+        )
+
+
+class Interner:
+    """A string → dense-int dictionary with stable insertion-order ids.
+
+    Ids are assigned ``0, 1, 2, ...`` in first-seen order, so an interner
+    can be checkpointed as a plain list and rebuilt exactly.
+    """
+
+    __slots__ = ("_index", "_items")
+
+    def __init__(self, items: Iterable[str] = ()) -> None:
+        self._items: list[str] = list(items)
+        self._index: dict[str, int] = {item: i for i, item in enumerate(self._items)}
+        if len(self._index) != len(self._items):
+            raise DataModelError("interner seed contains duplicates")
+
+    def intern(self, item: str) -> int:
+        """Return the id of ``item``, assigning the next id on first sight."""
+        index = self._index.get(item)
+        if index is None:
+            index = len(self._items)
+            self._index[item] = index
+            self._items.append(item)
+        return index
+
+    def intern_all(self, items: Sequence[str]) -> np.ndarray:
+        """Vectorised :meth:`intern` over a flat sequence of strings.
+
+        The bulk lookup runs as a C-level ``map(dict.__getitem__, ...)``;
+        only batches containing first-seen strings fall back to a Python
+        pass that assigns the new ids (rare once the vocabulary warms up).
+        """
+        index = self._index
+        count = len(items)
+        try:
+            return np.fromiter(map(index.__getitem__, items), dtype=np.int64, count=count)
+        except KeyError:
+            for item in items:
+                if item not in index:
+                    self.intern(item)
+            return np.fromiter(map(index.__getitem__, items), dtype=np.int64, count=count)
+
+    def lookup(self, item: str) -> int | None:
+        """The id of ``item``, or ``None`` if never interned."""
+        return self._index.get(item)
+
+    def value(self, index: int) -> str:
+        """The string with id ``index``."""
+        return self._items[index]
+
+    def items(self) -> list[str]:
+        """All interned strings, in id order (a copy)."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._index
+
+
+@dataclass(frozen=True, slots=True)
+class EventBatch:
+    """A CSR-encoded batch of events, ready for one vectorized update.
+
+    Attributes:
+        resources: ``int64 (E,)`` interned resource row per event.
+        indptr: ``int64 (E+1,)`` CSR offsets into :attr:`tag_ids`.
+        tag_ids: ``int64 (total,)`` interned, per-event-deduplicated tags.
+        timestamps: ``float64 (E,)`` posting times.
+    """
+
+    resources: np.ndarray
+    indptr: np.ndarray
+    tag_ids: np.ndarray
+    timestamps: np.ndarray
+
+    @property
+    def n_events(self) -> int:
+        """Number of events in the batch."""
+        return int(self.resources.size)
+
+    @property
+    def n_tag_assignments(self) -> int:
+        """Total (event, tag) pairs in the batch."""
+        return int(self.tag_ids.size)
+
+    def lengths(self) -> np.ndarray:
+        """Per-event post sizes ``|p|``."""
+        return np.diff(self.indptr)
+
+    def __len__(self) -> int:
+        return self.n_events
+
+
+def encode_events(
+    events: Sequence[TagEvent] | Iterable[TagEvent],
+    *,
+    tags: Interner,
+    resources: Interner,
+) -> EventBatch:
+    """Encode an event sequence into one :class:`EventBatch`.
+
+    Interns every resource id and tag through the given interners (growing
+    them in first-seen order), deduplicates tags within each event, and
+    lays the result out CSR-style.
+
+    Raises:
+        DataModelError: If any event has no tags (Definition 1).
+    """
+    if not isinstance(events, Sequence):
+        events = list(events)
+    n = len(events)
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return EventBatch(empty, np.zeros(1, dtype=np.int64), empty.copy(), np.empty(0))
+
+    tag_lists = [event.tags for event in events]
+    lengths = np.fromiter(map(len, tag_lists), dtype=np.int64, count=n)
+    if not lengths.all():
+        raise DataModelError("a post must contain at least one tag (Definition 1)")
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+
+    flat_tags = list(chain.from_iterable(tag_lists))
+    tag_ids = tags.intern_all(flat_tags)
+    resource_rows = resources.intern_all([event.resource_id for event in events])
+    timestamps = np.fromiter(
+        map(operator.attrgetter("timestamp"), events), dtype=np.float64, count=n
+    )
+
+    # Defensive within-event deduplication (Definition 1 models a post as
+    # a set).  Detection is one C-level sort of composite keys; the
+    # rebuild only runs when a duplicate actually exists.
+    keys = np.repeat(np.arange(n, dtype=np.int64), lengths) * (len(tags) + 1) + tag_ids
+    sorted_keys = np.sort(keys)
+    if sorted_keys.size and np.any(sorted_keys[1:] == sorted_keys[:-1]):
+        unique_keys = np.unique(keys)
+        vocabulary = len(tags) + 1
+        event_of = unique_keys // vocabulary
+        tag_ids = unique_keys % vocabulary
+        lengths = np.bincount(event_of, minlength=n).astype(np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+    return EventBatch(resource_rows, indptr, tag_ids, timestamps)
+
+
+def events_from_posts(
+    resource_id: str, posts: Iterable[Post]
+) -> Iterator[TagEvent]:
+    """Turn one resource's post sequence into its event stream."""
+    for post in posts:
+        yield TagEvent.from_post(resource_id, post)

@@ -1,0 +1,180 @@
+"""Hash-based sharding of the stability bank.
+
+A single :class:`~repro.engine.columnar.StabilityBank` holds a dense
+``rows × vocabulary`` count block, so both memory and batch cost grow
+with the number of resources it owns.  :class:`ShardedStabilityBank`
+splits the resource space across N independent banks with a stable hash
+router (:func:`shard_of` — CRC32, not Python's salted ``hash``, so the
+placement is identical across processes and restarts).
+
+Shards share no state: each has its own interners, count block and MA
+windows, and :meth:`ShardedStabilityBank.ingest_shard` only touches one
+shard.  That makes the API parallel-ready — a thread or process pool can
+ingest the per-shard slices of a batch concurrently without locks — while
+the default :meth:`ingest_events` dispatches serially.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.errors import DataModelError
+from repro.core.stability import DEFAULT_OMEGA
+from repro.engine.columnar import IngestReport, StabilityBank
+from repro.engine.events import TagEvent
+
+__all__ = ["shard_of", "ShardedStabilityBank"]
+
+
+def shard_of(resource_id: str, n_shards: int) -> int:
+    """The shard owning ``resource_id`` — stable across runs and hosts."""
+    if n_shards < 1:
+        raise DataModelError(f"n_shards must be positive, got {n_shards}")
+    if n_shards == 1:
+        return 0
+    return zlib.crc32(resource_id.encode("utf-8")) % n_shards
+
+
+class ShardedStabilityBank:
+    """N independent stability banks behind one hash router.
+
+    Args:
+        n_shards: Number of shards.
+        omega: MA window (shared by all shards).
+        tau: Optional stability threshold (shared by all shards).
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        omega: int = DEFAULT_OMEGA,
+        tau: float | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise DataModelError(f"n_shards must be positive, got {n_shards}")
+        self.n_shards = n_shards
+        self.omega = omega
+        self.tau = tau
+        self.shards: list[StabilityBank] = [
+            StabilityBank(omega, tau) for _ in range(n_shards)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def shard_for(self, resource_id: str) -> StabilityBank:
+        """The bank owning ``resource_id``."""
+        return self.shards[shard_of(resource_id, self.n_shards)]
+
+    def ensure(self, resource_ids: Iterable[str]) -> None:
+        """Pre-register resources on their owning shards."""
+        slices: list[list[str]] = [[] for _ in range(self.n_shards)]
+        for resource_id in resource_ids:
+            slices[shard_of(resource_id, self.n_shards)].append(resource_id)
+        for shard, owned in zip(self.shards, slices):
+            if owned:
+                shard.ensure(owned)
+
+    def partition(
+        self, events: Sequence[TagEvent] | Iterable[TagEvent]
+    ) -> list[list[TagEvent]]:
+        """Split an event sequence into per-shard slices, order-preserving."""
+        slices: list[list[TagEvent]] = [[] for _ in range(self.n_shards)]
+        if self.n_shards == 1:
+            slices[0] = list(events)
+            return slices
+        for event in events:
+            slices[shard_of(event.resource_id, self.n_shards)].append(event)
+        return slices
+
+    def ingest_shard(
+        self, shard_index: int, events: Sequence[TagEvent]
+    ) -> IngestReport:
+        """Ingest a pre-partitioned slice into one shard.
+
+        Every event must belong to ``shard_index``; this is the unit of
+        work a parallel executor would submit per shard.
+        """
+        return self.shards[shard_index].ingest_events(events)
+
+    def ingest_events(self, events: Iterable[TagEvent]) -> IngestReport:
+        """Partition and ingest a batch; reassemble a combined report.
+
+        The combined similarities are in the original batch order.
+        """
+        if not isinstance(events, Sequence):
+            events = list(events)
+        if self.n_shards == 1:
+            return self.shards[0].ingest_events(events)
+        positions: list[list[int]] = [[] for _ in range(self.n_shards)]
+        slices: list[list[TagEvent]] = [[] for _ in range(self.n_shards)]
+        for index, event in enumerate(events):
+            shard = shard_of(event.resource_id, self.n_shards)
+            positions[shard].append(index)
+            slices[shard].append(event)
+        similarities = np.zeros(len(events), dtype=np.float64)
+        newly_stable: list[str] = []
+        n_tag_assignments = 0
+        for shard_index in range(self.n_shards):
+            if not slices[shard_index]:
+                continue
+            report = self.ingest_shard(shard_index, slices[shard_index])
+            similarities[positions[shard_index]] = report.similarities
+            newly_stable.extend(report.newly_stable)
+            n_tag_assignments += report.n_tag_assignments
+        return IngestReport(len(events), n_tag_assignments, similarities, newly_stable)
+
+    # ------------------------------------------------------------------
+    # aggregate queries (delegate through the router)
+    # ------------------------------------------------------------------
+
+    def __contains__(self, resource_id: object) -> bool:
+        if not isinstance(resource_id, str):
+            return False
+        return resource_id in self.shard_for(resource_id)
+
+    @property
+    def n_resources(self) -> int:
+        """Resources seen across all shards."""
+        return sum(shard.n_resources for shard in self.shards)
+
+    @property
+    def total_posts(self) -> int:
+        """Posts ingested across all shards."""
+        return sum(shard.total_posts for shard in self.shards)
+
+    def num_posts(self, resource_id: str) -> int:
+        return self.shard_for(resource_id).num_posts(resource_id)
+
+    def ma_score(self, resource_id: str) -> float | None:
+        return self.shard_for(resource_id).ma_score(resource_id)
+
+    def is_stable(self, resource_id: str) -> bool:
+        return self.shard_for(resource_id).is_stable(resource_id)
+
+    def stable_point(self, resource_id: str) -> int | None:
+        return self.shard_for(resource_id).stable_point(resource_id)
+
+    def stable_points(self) -> dict[str, int]:
+        """All stable resources across shards."""
+        merged: dict[str, int] = {}
+        for shard in self.shards:
+            merged.update(shard.stable_points())
+        return merged
+
+    def stable_rfd(self, resource_id: str) -> dict[str, float] | None:
+        return self.shard_for(resource_id).stable_rfd(resource_id)
+
+    def counts_of(self, resource_id: str) -> dict[str, int]:
+        return self.shard_for(resource_id).counts_of(resource_id)
+
+    def rfd(self, resource_id: str) -> dict[str, float]:
+        return self.shard_for(resource_id).rfd(resource_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedStabilityBank(shards={self.n_shards}, "
+            f"resources={self.n_resources}, posts={self.total_posts})"
+        )

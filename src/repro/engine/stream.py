@@ -1,0 +1,167 @@
+"""The streaming ingest engine: batching, stats, callbacks, checkpoints.
+
+:class:`IngestEngine` is the operational front door of the subsystem: it
+pulls an interleaved :class:`~repro.engine.events.TagEvent` stream,
+chunks it into batches, feeds each batch to a (possibly sharded)
+stability bank, fires a callback the moment any resource crosses its
+stable point, and keeps running throughput statistics.  Optionally it
+writes a checkpoint every N batches, so a crashed ingestion resumes from
+the last checkpoint with identical results (see
+:mod:`repro.engine.checkpoint`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+from itertools import islice
+from pathlib import Path
+
+from repro.core.errors import DataModelError
+from repro.core.stability import DEFAULT_OMEGA
+from repro.engine.checkpoint import save_checkpoint
+from repro.engine.columnar import StabilityBank
+from repro.engine.events import TagEvent
+from repro.engine.shard import ShardedStabilityBank
+
+__all__ = ["EngineStats", "IngestEngine"]
+
+StableCallback = Callable[[str, int], None]
+"""Called as ``callback(resource_id, stable_point)`` on each crossing."""
+
+
+@dataclass
+class EngineStats:
+    """Running ingestion statistics.
+
+    Attributes:
+        events: Events ingested.
+        batches: Batches applied.
+        tag_assignments: Total (event, tag) pairs ingested.
+        stable_resources: Resources that crossed ``tau`` so far.
+        elapsed: Seconds spent inside ingestion (encode + bank update).
+        checkpoints: Checkpoints written by the engine.
+    """
+
+    events: int = 0
+    batches: int = 0
+    tag_assignments: int = 0
+    stable_resources: int = 0
+    elapsed: float = 0.0
+    checkpoints: int = 0
+
+    @property
+    def events_per_second(self) -> float:
+        """Ingestion throughput (0 before any work)."""
+        return self.events / self.elapsed if self.elapsed > 0 else 0.0
+
+    def render(self) -> str:
+        return (
+            f"ingested {self.events:,} events / {self.tag_assignments:,} tag "
+            f"assignments in {self.batches} batches "
+            f"({self.events_per_second:,.0f} events/s); "
+            f"{self.stable_resources} resources stable"
+        )
+
+
+@dataclass
+class IngestEngine:
+    """Batched streaming ingestion into a stability bank.
+
+    Args:
+        bank: The bank to feed.  Defaults to a fresh single
+            :class:`StabilityBank`; pass a
+            :class:`ShardedStabilityBank` for sharded ingestion.
+        batch_size: Events per batch (the vectorization grain).
+        on_stable: Optional callback fired once per resource, at the
+            batch in which it crossed the bank's ``tau``.
+        checkpoint_dir: Where to write periodic checkpoints.
+        checkpoint_every: Write a checkpoint after every N batches
+            (requires ``checkpoint_dir``).
+    """
+
+    bank: StabilityBank | ShardedStabilityBank = field(default_factory=StabilityBank)
+    batch_size: int = 1024
+    on_stable: StableCallback | None = None
+    checkpoint_dir: str | Path | None = None
+    checkpoint_every: int | None = None
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise DataModelError(f"batch_size must be positive, got {self.batch_size}")
+        if self.checkpoint_every is not None:
+            if self.checkpoint_every < 1:
+                raise DataModelError("checkpoint_every must be positive")
+            if self.checkpoint_dir is None:
+                raise DataModelError("checkpoint_every requires checkpoint_dir")
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        n_shards: int = 1,
+        omega: int = DEFAULT_OMEGA,
+        tau: float | None = None,
+        batch_size: int = 1024,
+        **kwargs,
+    ) -> IngestEngine:
+        """Build an engine with a fresh bank (sharded when asked)."""
+        bank: StabilityBank | ShardedStabilityBank
+        if n_shards == 1:
+            bank = StabilityBank(omega, tau)
+        else:
+            bank = ShardedStabilityBank(n_shards, omega, tau)
+        return cls(bank=bank, batch_size=batch_size, **kwargs)
+
+    # ------------------------------------------------------------------
+
+    def feed(self, events: Iterable[TagEvent]) -> EngineStats:
+        """Consume an event stream to exhaustion; return the stats."""
+        for batch in self.batches_of(events):
+            self.submit(batch)
+        return self.stats
+
+    def submit(self, events: list[TagEvent]) -> list[str]:
+        """Ingest one pre-chunked batch; return newly-stable resource ids."""
+        if not events:
+            return []
+        started = time.perf_counter()
+        report = self.bank.ingest_events(events)
+        self.stats.elapsed += time.perf_counter() - started
+        self.stats.events += report.n_events
+        self.stats.tag_assignments += report.n_tag_assignments
+        self.stats.batches += 1
+        self.stats.stable_resources += len(report.newly_stable)
+        if self.on_stable is not None:
+            for resource_id in report.newly_stable:
+                stable_point = self.bank.stable_point(resource_id)
+                assert stable_point is not None
+                self.on_stable(resource_id, stable_point)
+        if (
+            self.checkpoint_every is not None
+            and self.stats.batches % self.checkpoint_every == 0
+        ):
+            self.checkpoint()
+        return report.newly_stable
+
+    def checkpoint(self) -> Path:
+        """Write a checkpoint now (requires ``checkpoint_dir``)."""
+        if self.checkpoint_dir is None:
+            raise DataModelError("engine has no checkpoint_dir configured")
+        path = save_checkpoint(self.bank, self.checkpoint_dir)
+        self.stats.checkpoints += 1
+        return path
+
+    # ------------------------------------------------------------------
+
+    def batches_of(self, events: Iterable[TagEvent]) -> Iterator[list[TagEvent]]:
+        """Chunk a stream at the engine's batch size (utility for callers
+        that want to interleave ingestion with their own logic)."""
+        iterator = iter(events)
+        while True:
+            chunk = list(islice(iterator, self.batch_size))
+            if not chunk:
+                return
+            yield chunk

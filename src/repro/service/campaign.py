@@ -13,6 +13,19 @@ Beyond the paper's sketch, the campaign performs **adaptive stopping**
 MA score is tracked online, and once a resource crosses the stability
 threshold the campaign stops buying posts for it — no ground truth
 needed, so this is deployable on a real system.
+
+Two stability backends are available for step 3:
+
+* ``"tracker"`` (default) — one scalar
+  :class:`~repro.core.stability.StabilityTracker` per resource, updated
+  post by post; stable resources are retired the moment they cross.
+* ``"engine"`` — the vectorized
+  :class:`~repro.engine.columnar.StabilityBank`: completed posts are
+  buffered during the epoch and applied as one batched update at epoch
+  end, so large campaigns pay the engine's amortized per-event cost.
+  Retirement consequently happens at epoch granularity (a resource may
+  receive a few extra posts within its crossing epoch), which matches
+  how a real system would batch its bookkeeping.
 """
 
 from __future__ import annotations
@@ -25,6 +38,8 @@ import numpy as np
 from repro.core.errors import AllocationError
 from repro.core.posts import Post
 from repro.core.stability import DEFAULT_OMEGA, StabilityTracker
+from repro.engine.columnar import StabilityBank
+from repro.engine.events import TagEvent
 from repro.allocation.base import AllocationContext, AllocationStrategy
 from repro.allocation.oracle import GenerativeTaggerSource, popularity_chooser
 from repro.simulate.resource_models import ResourceModel
@@ -115,6 +130,9 @@ class IncentiveCampaign:
             retired (``None`` disables adaptive stopping).
         batch_size: Task offers attempted per epoch.
         reward_per_task: Units paid per completed task.
+        stability_backend: ``"tracker"`` for per-resource scalar trackers
+            (per-post stopping), ``"engine"`` for the vectorized
+            :class:`StabilityBank` fast path (epoch-batched stopping).
     """
 
     def __init__(
@@ -130,11 +148,17 @@ class IncentiveCampaign:
         stop_tau: float | None = 0.999,
         batch_size: int = 25,
         reward_per_task: int = 1,
+        stability_backend: str = "tracker",
     ) -> None:
         if len(models) != len(initial_posts):
             raise AllocationError("models and initial_posts must align")
         if batch_size < 1:
             raise AllocationError("batch_size must be positive")
+        if stability_backend not in ("tracker", "engine"):
+            raise AllocationError(
+                f"unknown stability backend {stability_backend!r} "
+                "(expected 'tracker' or 'engine')"
+            )
         self.models = list(models)
         self.initial_posts = [list(posts) for posts in initial_posts]
         self.strategy = strategy
@@ -144,17 +168,46 @@ class IncentiveCampaign:
         self.stop_tau = stop_tau
         self.batch_size = batch_size
         self.reward_per_task = reward_per_task
+        self.stability_backend = stability_backend
 
         self.board = JobBoard()
         self.ledger = RewardLedger(budget)
-        self._trackers = [StabilityTracker(omega, stop_tau) for _ in self.models]
-        for tracker, posts in zip(self._trackers, self.initial_posts):
-            tracker.add_posts(posts)
         self._counts = np.array([len(p) for p in self.initial_posts], dtype=np.int64)
         self._bought: list[list[Post]] = [[] for _ in self.models]
         self._stopped: set[int] = set()
 
+        self._trackers: list[StabilityTracker] = []
+        self._bank: StabilityBank | None = None
+        if stability_backend == "tracker":
+            self._trackers = [StabilityTracker(omega, stop_tau) for _ in self.models]
+            for tracker, posts in zip(self._trackers, self.initial_posts):
+                tracker.add_posts(posts)
+        else:
+            self._resource_ids = [f"r{i}" for i in range(len(self.models))]
+            self._bank = StabilityBank(omega, stop_tau, initial_rows=len(self.models))
+            self._bank.ensure(self._resource_ids)
+            self._bank.ingest_events(
+                event
+                for rid, posts in zip(self._resource_ids, self.initial_posts)
+                for event in (TagEvent.from_post(rid, post) for post in posts)
+            )
+            # live observed counts, kept per post so workers' imitation
+            # dynamics see intra-epoch updates while the bank batches
+            self._observed: list[dict[str, int]] = []
+            for posts in self.initial_posts:
+                counts: dict[str, int] = {}
+                for post in posts:
+                    for tag in post.tags:
+                        counts[tag] = counts.get(tag, 0) + 1
+                self._observed.append(counts)
+
     # ------------------------------------------------------------------
+
+    def _observed_counts(self, index: int) -> dict[str, int]:
+        """A copy of the resource's observed tag counts (for workers)."""
+        if self._bank is not None:
+            return dict(self._observed[index])
+        return self._trackers[index].frequency_table().counts()
 
     def _make_context(self) -> AllocationContext:
         """Strategy context; free choice follows current popularity."""
@@ -181,10 +234,18 @@ class IncentiveCampaign:
         """Adaptive stopping: retire resources whose observed MA crossed."""
         if self.stop_tau is None:
             return
+        if self._bank is not None:
+            for index, rid in enumerate(self._resource_ids):
+                if index not in self._stopped and self._bank.is_stable(rid):
+                    self._retire(index)
+            return
         for index, tracker in enumerate(self._trackers):
             if index not in self._stopped and tracker.is_stable:
-                self._stopped.add(index)
-                self.strategy.mark_exhausted(index)
+                self._retire(index)
+
+    def _retire(self, index: int) -> None:
+        self._stopped.add(index)
+        self.strategy.mark_exhausted(index)
 
     # ------------------------------------------------------------------
 
@@ -205,6 +266,7 @@ class IncentiveCampaign:
             if self.ledger.remaining < self.reward_per_task:
                 break
             published = completed = unfilled = spent = 0
+            epoch_events: list[TagEvent] = []
             for _ in range(self.batch_size):
                 if self.ledger.remaining < self.reward_per_task:
                     break
@@ -213,13 +275,12 @@ class IncentiveCampaign:
                     break
                 task = self.board.publish(index, reward=self.reward_per_task)
                 published += 1
-                tracker = self._trackers[index]
                 post = self.workers.try_fill(
                     task,
                     self.models[index],
                     post_index=int(self._counts[index]),
                     timestamp=float(epoch),
-                    observed_counts=tracker.frequency_table().counts(),
+                    observed_counts=self._observed_counts(index),
                 )
                 if post is None:
                     task.expire()
@@ -231,15 +292,31 @@ class IncentiveCampaign:
                 completed += 1
                 self._counts[index] += 1
                 self._bought[index].append(post)
-                tracker.add_post(post.tags)
                 self.strategy.update(index, post)
-                if (
-                    self.stop_tau is not None
-                    and index not in self._stopped
-                    and tracker.is_stable
-                ):
-                    self._stopped.add(index)
-                    self.strategy.mark_exhausted(index)
+                if self._bank is not None:
+                    counts = self._observed[index]
+                    for tag in post.tags:
+                        counts[tag] = counts.get(tag, 0) + 1
+                    epoch_events.append(
+                        TagEvent.from_post(self._resource_ids[index], post)
+                    )
+                else:
+                    tracker = self._trackers[index]
+                    tracker.add_post(post.tags)
+                    if (
+                        self.stop_tau is not None
+                        and index not in self._stopped
+                        and tracker.is_stable
+                    ):
+                        self._retire(index)
+            if self._bank is not None and epoch_events:
+                # engine fast path: one vectorized stability update per epoch
+                report = self._bank.ingest_events(epoch_events)
+                if self.stop_tau is not None:
+                    for rid in report.newly_stable:
+                        index = int(rid[1:])
+                        if index not in self._stopped:
+                            self._retire(index)
             reports.append(
                 EpochReport(
                     epoch=epoch,

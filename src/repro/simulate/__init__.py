@@ -39,6 +39,7 @@ from repro.simulate.scenario import (
     tiny_scenario,
     universe_scenario,
 )
+from repro.simulate.stream import dataset_event_stream, interleaved_event_stream
 from repro.simulate.taggers import TaggerBehavior, generate_post
 from repro.simulate.vocab import (
     GENERAL_TAGS,
@@ -67,6 +68,7 @@ __all__ = [
     "aspect_similarity",
     "build_resource_model",
     "case_study_scenario",
+    "dataset_event_stream",
     "domain_tag_pool",
     "draw_initial_share",
     "draw_total_posts",
@@ -74,6 +76,7 @@ __all__ = [
     "generate_post",
     "generate_posts_for_model",
     "heavy_tail_counts",
+    "interleaved_event_stream",
     "leaf_tag_pool",
     "mixture_distribution",
     "paper_scenario",

@@ -1,0 +1,133 @@
+"""Interleaved tagging-event streams (the engine's input format).
+
+A real tagging system does not see one resource's posts at a time — it
+sees a single time-ordered log where posts for thousands of resources
+interleave.  This module produces such streams two ways:
+
+* :func:`dataset_event_stream` replays an existing
+  :class:`~repro.core.dataset.TaggingDataset` as one merged event log
+  (a k-way merge on timestamps, per-resource order preserved on ties);
+* :func:`interleaved_event_stream` synthesises a stream directly from
+  latent resource models *in global time order*, without materialising a
+  dataset first — the generator for engine benchmarks and soak tests.
+  The Pólya-urn imitation dynamic (when enabled on the tagger behaviour)
+  is honoured: each resource's observed counts grow as its events are
+  emitted, exactly as in :mod:`repro.simulate.generator`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.core.dataset import TaggingDataset
+from repro.engine.events import TagEvent
+from repro.simulate.ontology import TopicHierarchy
+from repro.simulate.popularity import PopularityConfig, draw_total_posts
+from repro.simulate.resource_models import AspectConfig, build_resource_model
+from repro.simulate.taggers import TaggerBehavior, generate_post
+
+__all__ = ["dataset_event_stream", "interleaved_event_stream"]
+
+
+def dataset_event_stream(dataset: TaggingDataset) -> Iterator[TagEvent]:
+    """Replay a dataset as one interleaved, time-ordered event stream.
+
+    Events are merged across resources by timestamp; ties are broken by
+    resource order and per-resource post order, so every resource's own
+    sequence arrives in its original order (which is all the stability
+    model depends on).
+    """
+
+    def resource_events(resource_index: int):
+        resource = dataset.resources[resource_index]
+        for post_index, post in enumerate(resource.sequence):
+            yield (
+                post.timestamp,
+                resource_index,
+                post_index,
+                TagEvent.from_post(resource.resource_id, post),
+            )
+
+    streams = (resource_events(i) for i in range(len(dataset)))
+    for _, _, _, event in heapq.merge(*streams):
+        yield event
+
+
+def interleaved_event_stream(
+    n_resources: int = 100,
+    seed: int = 0,
+    *,
+    popularity: PopularityConfig | None = None,
+    aspects: AspectConfig | None = None,
+    tagger: TaggerBehavior | None = None,
+    year_days: float = 365.0,
+    max_events: int | None = None,
+) -> Iterator[TagEvent]:
+    """Synthesise an interleaved multi-resource event stream.
+
+    Per-resource post counts follow the corpus popularity model (bounded
+    Pareto); posting times are uniform over the year, so the emitted
+    stream hops between resources the way a live log does.
+
+    Args:
+        n_resources: Number of latent resources.
+        seed: RNG seed (identical seeds give identical streams).
+        popularity: Post-count distribution (corpus default when None).
+        aspects: Resource aspect mixture knobs.
+        tagger: Crowd noise model.
+        year_days: Length of the simulated period.
+        max_events: Optional cap on the number of events emitted.
+
+    Yields:
+        :class:`TagEvent` records in global time order.
+    """
+    rng = np.random.default_rng(seed)
+    hierarchy = TopicHierarchy.from_taxonomy()
+    aspects = aspects or AspectConfig()
+    behavior = tagger or TaggerBehavior()
+    totals = draw_total_posts(n_resources, rng, popularity)
+
+    models = [
+        build_resource_model(f"s{index:06d}", hierarchy, rng, aspects)
+        for index in range(n_resources)
+    ]
+    resource_of_event = np.repeat(np.arange(n_resources), totals)
+    timestamps = rng.uniform(0.0, year_days, size=resource_of_event.size)
+    order = np.argsort(timestamps, kind="stable")
+
+    observed: list[dict[str, int] | None]
+    if behavior.imitation_rate > 0:
+        observed = [{} for _ in range(n_resources)]
+    else:
+        observed = [None] * n_resources
+    post_index = np.zeros(n_resources, dtype=np.int64)
+
+    emitted = 0
+    for position in order:
+        resource = int(resource_of_event[position])
+        timestamp = float(timestamps[position])
+        post = generate_post(
+            models[resource],
+            int(post_index[resource]),
+            timestamp,
+            rng,
+            behavior,
+            observed_counts=observed[resource],
+        )
+        post_index[resource] += 1
+        counts = observed[resource]
+        if counts is not None:
+            for tag in post.tags:
+                counts[tag] = counts.get(tag, 0) + 1
+        yield TagEvent(
+            resource_id=models[resource].resource_id,
+            tags=tuple(sorted(post.tags)),
+            timestamp=timestamp,
+            tagger=post.tagger,
+        )
+        emitted += 1
+        if max_events is not None and emitted >= max_events:
+            return

@@ -1,0 +1,123 @@
+"""Checkpoint round-trip and deterministic-resume tests."""
+
+import json
+
+import pytest
+
+from repro.core import DataModelError
+from repro.engine import (
+    ShardedStabilityBank,
+    StabilityBank,
+    TagEvent,
+    load_checkpoint,
+    save_checkpoint,
+)
+from tests.engine.test_shard import random_events
+
+
+def states_equal(a, b, resource_ids, *, exact: bool = True):
+    assert a.stable_points() == b.stable_points()
+    for rid in resource_ids:
+        assert a.num_posts(rid) == b.num_posts(rid)
+        assert a.counts_of(rid) == b.counts_of(rid)
+        ma_a, ma_b = a.ma_score(rid), b.ma_score(rid)
+        assert (ma_a is None) == (ma_b is None)
+        if ma_a is not None:
+            if exact:
+                assert ma_b == ma_a  # bit-identical
+            else:
+                assert ma_b == pytest.approx(ma_a, abs=1e-9)
+        assert a.stable_rfd(rid) == b.stable_rfd(rid)
+
+
+class TestSingleBank:
+    def test_round_trip_identity(self, tmp_path):
+        events = random_events(15, 500, seed=1)
+        bank = StabilityBank(5, 0.9)
+        bank.ingest_events(events)
+        save_checkpoint(bank, tmp_path / "ckpt")
+        loaded = load_checkpoint(tmp_path / "ckpt")
+        assert isinstance(loaded, StabilityBank)
+        assert loaded.omega == bank.omega
+        assert loaded.tau == bank.tau
+        states_equal(bank, loaded, bank.resources.items())
+
+    def test_resume_is_deterministic(self, tmp_path):
+        """checkpoint mid-stream + resume == never having left RAM."""
+        events = random_events(12, 600, seed=4)
+        half = len(events) // 2
+
+        uninterrupted = StabilityBank(5, 0.95)
+        uninterrupted.ingest_events(events[:half])
+
+        partial = StabilityBank(5, 0.95)
+        partial.ingest_events(events[:half])
+        save_checkpoint(partial, tmp_path / "mid")
+        resumed = load_checkpoint(tmp_path / "mid")
+
+        # same batch schedule on both sides from here on
+        uninterrupted.ingest_events(events[half:])
+        resumed.ingest_events(events[half:])
+        states_equal(uninterrupted, resumed, uninterrupted.resources.items())
+
+        # and both agree with a straight one-batch ingestion to 1e-9
+        straight = StabilityBank(5, 0.95)
+        straight.ingest_events(events)
+        states_equal(straight, resumed, straight.resources.items(), exact=False)
+
+    def test_manifest_contents(self, tmp_path):
+        bank = StabilityBank(7, None)
+        bank.ingest_events([TagEvent("r", ("a",))])
+        save_checkpoint(bank, tmp_path / "c")
+        manifest = json.loads((tmp_path / "c" / "manifest.json").read_text())
+        assert manifest["kind"] == "single"
+        assert manifest["omega"] == 7
+        assert manifest["tau"] is None
+        assert manifest["n_shards"] == 1
+
+    def test_stable_snapshots_survive(self, tmp_path):
+        events = [TagEvent("r", ("a",)) for _ in range(8)]
+        bank = StabilityBank(3, 0.5)
+        bank.ingest_events(events)
+        assert bank.stable_rfd("r") == {"a": 1.0}
+        save_checkpoint(bank, tmp_path / "c")
+        loaded = load_checkpoint(tmp_path / "c")
+        assert loaded.stable_points() == {"r": 3}
+        assert loaded.stable_rfd("r") == {"a": 1.0}
+        # stable.jsonl stores raw integer counts (lossless through JSON)
+        lines = (tmp_path / "c" / "stable.jsonl").read_text().splitlines()
+        record = json.loads(lines[0])
+        assert record["resource"] == "r"
+        assert record["counts"] == [3]
+        assert record["total"] == 3
+
+
+class TestShardedBank:
+    def test_round_trip_and_resume(self, tmp_path):
+        events = random_events(20, 700, seed=8)
+        half = len(events) // 2
+        uninterrupted = ShardedStabilityBank(3, 5, 0.9)
+        uninterrupted.ingest_events(events[:half])
+
+        partial = ShardedStabilityBank(3, 5, 0.9)
+        partial.ingest_events(events[:half])
+        save_checkpoint(partial, tmp_path / "s")
+        resumed = load_checkpoint(tmp_path / "s")
+        assert isinstance(resumed, ShardedStabilityBank)
+        assert resumed.n_shards == 3
+
+        uninterrupted.ingest_events(events[half:])
+        resumed.ingest_events(events[half:])
+        resource_ids = {e.resource_id for e in events}
+        states_equal(uninterrupted, resumed, resource_ids)
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(DataModelError):
+            load_checkpoint(tmp_path)
+
+    def test_unsupported_format(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(json.dumps({"format": 99}))
+        with pytest.raises(DataModelError):
+            load_checkpoint(tmp_path)

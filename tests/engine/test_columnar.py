@@ -1,0 +1,215 @@
+"""Tests for the vectorized StabilityBank against the scalar tracker."""
+
+import numpy as np
+import pytest
+
+from repro.core import StabilityError, StabilityTracker
+from repro.engine import StabilityBank, TagEvent
+
+
+def make_events(sequences: dict[str, list[tuple[str, ...]]]) -> list[TagEvent]:
+    """Interleave the given per-resource post sequences round-robin."""
+    events = []
+    position = 0
+    remaining = {rid: list(posts) for rid, posts in sequences.items()}
+    while any(remaining.values()):
+        for rid in sequences:
+            if remaining[rid]:
+                events.append(
+                    TagEvent(rid, remaining[rid].pop(0), timestamp=float(position))
+                )
+                position += 1
+    return events
+
+
+def scalar_reference(
+    events: list[TagEvent], omega: int, tau: float | None
+) -> dict[str, StabilityTracker]:
+    trackers: dict[str, StabilityTracker] = {}
+    for event in events:
+        tracker = trackers.setdefault(event.resource_id, StabilityTracker(omega, tau))
+        tracker.add_post(event.tags)
+    return trackers
+
+
+def assert_equivalent(bank: StabilityBank, trackers: dict[str, StabilityTracker]):
+    assert bank.n_resources == len(trackers)
+    for rid, tracker in trackers.items():
+        assert bank.num_posts(rid) == tracker.num_posts
+        scalar_ma, bank_ma = tracker.ma_score, bank.ma_score(rid)
+        assert (scalar_ma is None) == (bank_ma is None)
+        if scalar_ma is not None:
+            assert bank_ma == pytest.approx(scalar_ma, abs=1e-9)
+        assert bank.stable_point(rid) == tracker.stable_point
+        assert bank.is_stable(rid) == tracker.is_stable
+        assert bank.counts_of(rid) == tracker.frequency_table().counts()
+        scalar_rfd = tracker.rfd()
+        bank_rfd = bank.rfd(rid)
+        assert set(scalar_rfd) == set(bank_rfd)
+        for tag, value in scalar_rfd.items():
+            assert bank_rfd[tag] == pytest.approx(value, abs=1e-12)
+        if tracker.is_stable:
+            stable_scalar = tracker.stable_rfd
+            stable_bank = bank.stable_rfd(rid)
+            assert set(stable_scalar) == set(stable_bank)
+            for tag, value in stable_scalar.items():
+                assert stable_bank[tag] == pytest.approx(value, abs=1e-12)
+
+
+class TestValidation:
+    def test_omega_validated(self):
+        with pytest.raises(StabilityError):
+            StabilityBank(omega=1)
+
+    def test_tau_validated(self):
+        with pytest.raises(StabilityError):
+            StabilityBank(tau=1.5)
+
+    def test_unknown_resource(self):
+        bank = StabilityBank()
+        with pytest.raises(KeyError):
+            bank.ma_score("nope")
+        assert "nope" not in bank
+
+
+class TestSingleResource:
+    def test_matches_tracker_on_paper_example(self):
+        posts = [
+            ("google", "earth"),
+            ("google", "geographic"),
+            ("earth",),
+            ("geographic", "earth"),
+            ("google", "geographic"),
+        ]
+        events = [TagEvent("r1", p, timestamp=float(i)) for i, p in enumerate(posts)]
+        bank = StabilityBank(omega=3, tau=0.9)
+        report = bank.ingest_events(events)
+        trackers = scalar_reference(events, 3, 0.9)
+        assert_equivalent(bank, trackers)
+        # per-event similarities match the scalar recurrence
+        tracker = StabilityTracker(3)
+        expected = [tracker.add_post(p) for p in posts]
+        assert np.allclose(report.similarities, expected, atol=1e-12)
+
+    def test_first_post_similarity_zero(self):
+        bank = StabilityBank()
+        report = bank.ingest_events([TagEvent("r", ("a",))])
+        assert report.similarities.tolist() == [0.0]
+
+    def test_empty_ingest(self):
+        bank = StabilityBank()
+        report = bank.ingest_events([])
+        assert report.n_events == 0
+        assert bank.n_resources == 0
+
+
+class TestMultiResource:
+    def test_interleaved_stream_matches_trackers(self):
+        rng = np.random.default_rng(7)
+        vocab = [f"t{i}" for i in range(12)]
+        sequences = {}
+        for r in range(9):
+            posts = []
+            for _ in range(int(rng.integers(1, 40))):
+                size = int(rng.integers(1, 4))
+                posts.append(tuple(rng.choice(vocab, size=size, replace=False)))
+            sequences[f"res{r}"] = posts
+        events = make_events(sequences)
+        omega, tau = 4, 0.8
+        trackers = scalar_reference(events, omega, tau)
+        bank = StabilityBank(omega, tau)
+        bank.ingest_events(events)
+        assert_equivalent(bank, trackers)
+
+    def test_batch_split_invariance(self):
+        rng = np.random.default_rng(3)
+        vocab = [f"t{i}" for i in range(6)]
+        events = [
+            TagEvent(
+                f"r{int(rng.integers(0, 5))}",
+                tuple(rng.choice(vocab, size=int(rng.integers(1, 4)), replace=False)),
+            )
+            for _ in range(400)
+        ]
+        reference = StabilityBank(5, 0.9)
+        reference.ingest_events(events)
+        for batch_size in (1, 3, 64, 400):
+            bank = StabilityBank(5, 0.9)
+            for i in range(0, len(events), batch_size):
+                bank.ingest_events(events[i : i + batch_size])
+            assert bank.stable_points() == reference.stable_points()
+            for rid in reference.resources.items():
+                assert bank.counts_of(rid) == reference.counts_of(rid)
+                a, b = reference.ma_score(rid), bank.ma_score(rid)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert b == pytest.approx(a, abs=1e-9)
+
+    def test_duplicate_resource_tag_within_batch(self):
+        # same resource posts the same tag repeatedly inside one batch:
+        # exercises the in-batch duplicate-rank path
+        events = [TagEvent("r", ("a",)) for _ in range(10)]
+        bank = StabilityBank(3, 0.99)
+        bank.ingest_events(events)
+        trackers = scalar_reference(events, 3, 0.99)
+        assert_equivalent(bank, trackers)
+
+    def test_capacity_growth(self):
+        # force repeated row/column growth from tiny initial capacities
+        events = [
+            TagEvent(f"r{i}", (f"tag{i}", f"tag{i + 1}")) for i in range(300)
+        ]
+        bank = StabilityBank(initial_rows=1, initial_tags=1)
+        bank.ingest_events(events)
+        assert bank.n_resources == 300
+        assert bank.n_tags == 301
+        assert bank.total_posts == 300
+
+    def test_ensure_preregisters(self):
+        bank = StabilityBank(5, 0.9)
+        bank.ensure(["a", "b"])
+        assert bank.num_posts("a") == 0
+        assert bank.ma_score("b") is None
+        assert not bank.is_stable("a")
+        bank.ingest_events([TagEvent("a", ("x",))])
+        assert bank.num_posts("a") == 1
+
+
+class TestStablePoints:
+    def test_newly_stable_reported_once(self):
+        events = [TagEvent("r", ("a",)) for _ in range(12)]
+        bank = StabilityBank(3, 0.5)
+        first = bank.ingest_events(events[:6])
+        second = bank.ingest_events(events[6:])
+        assert first.newly_stable == ["r"]
+        assert second.newly_stable == []
+        assert bank.stable_points() == {"r": 3}
+
+    def test_stable_rfd_frozen_mid_batch(self):
+        # the resource stabilises at k=3 but keeps receiving different
+        # tags afterwards inside the same batch; the snapshot must be the
+        # rfd at the crossing, not at batch end
+        events = [
+            TagEvent("r", ("a",)),
+            TagEvent("r", ("a",)),
+            TagEvent("r", ("a",)),
+            TagEvent("r", ("b", "c")),
+            TagEvent("r", ("d",)),
+        ]
+        omega, tau = 3, 0.9
+        bank = StabilityBank(omega, tau)
+        bank.ingest_events(events)
+        trackers = scalar_reference(events, omega, tau)
+        assert_equivalent(bank, trackers)
+        assert bank.stable_rfd("r") == {"a": 1.0}
+
+    def test_ma_scores_bulk_view(self):
+        events = [TagEvent("r0", ("a",)) for _ in range(6)] + [
+            TagEvent("r1", ("b",))
+        ]
+        bank = StabilityBank(3)
+        bank.ingest_events(events)
+        ids, scores = bank.ma_scores()
+        assert ids == ["r0", "r1"]
+        assert scores[0] == pytest.approx(1.0)
+        assert np.isnan(scores[1])

@@ -1,0 +1,100 @@
+"""Tests for tagging events, interning and CSR batch encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataModelError, Post
+from repro.engine import EventBatch, Interner, TagEvent, encode_events
+from repro.engine.events import events_from_posts
+
+
+class TestInterner:
+    def test_ids_are_dense_and_stable(self):
+        interner = Interner()
+        assert interner.intern("a") == 0
+        assert interner.intern("b") == 1
+        assert interner.intern("a") == 0
+        assert len(interner) == 2
+        assert interner.items() == ["a", "b"]
+        assert interner.value(1) == "b"
+
+    def test_seeded_rebuild(self):
+        interner = Interner(["x", "y", "z"])
+        assert interner.intern("y") == 1
+        assert interner.intern("w") == 3
+
+    def test_duplicate_seed_rejected(self):
+        with pytest.raises(DataModelError):
+            Interner(["a", "a"])
+
+    def test_intern_all_mixes_hits_and_misses(self):
+        interner = Interner(["a"])
+        ids = interner.intern_all(["b", "a", "b", "c"])
+        assert ids.tolist() == [1, 0, 1, 2]
+        assert interner.items() == ["a", "b", "c"]
+
+    def test_lookup_and_contains(self):
+        interner = Interner(["a"])
+        assert "a" in interner and "b" not in interner
+        assert interner.lookup("b") is None
+
+
+class TestTagEvent:
+    def test_from_post_sorts_tags(self):
+        post = Post.of("zebra", "apple", timestamp=3.0, tagger="w1")
+        event = TagEvent.from_post("r1", post)
+        assert event.tags == ("apple", "zebra")
+        assert event.timestamp == 3.0
+        assert event.tagger == "w1"
+
+    def test_events_from_posts(self):
+        posts = [Post.of("a", timestamp=1.0), Post.of("b", timestamp=2.0)]
+        events = list(events_from_posts("r", posts))
+        assert [e.tags for e in events] == [("a",), ("b",)]
+        assert all(e.resource_id == "r" for e in events)
+
+
+class TestEncodeEvents:
+    def test_csr_layout(self):
+        events = [
+            TagEvent("r1", ("a", "b")),
+            TagEvent("r2", ("b",)),
+            TagEvent("r1", ("c", "a", "b")),
+        ]
+        tags, resources = Interner(), Interner()
+        batch = encode_events(events, tags=tags, resources=resources)
+        assert isinstance(batch, EventBatch)
+        assert batch.n_events == 3
+        assert len(batch) == 3
+        assert batch.n_tag_assignments == 6
+        assert batch.indptr.tolist() == [0, 2, 3, 6]
+        assert batch.lengths().tolist() == [2, 1, 3]
+        assert batch.resources.tolist() == [0, 1, 0]
+        # per-event tag slices decode back to the original tag sets
+        for i, event in enumerate(events):
+            ids = batch.tag_ids[batch.indptr[i] : batch.indptr[i + 1]]
+            assert {tags.value(int(t)) for t in ids} == set(event.tags)
+
+    def test_empty_batch(self):
+        batch = encode_events([], tags=Interner(), resources=Interner())
+        assert batch.n_events == 0
+        assert batch.indptr.tolist() == [0]
+
+    def test_empty_post_rejected(self):
+        with pytest.raises(DataModelError):
+            encode_events([TagEvent("r", ())], tags=Interner(), resources=Interner())
+
+    def test_duplicate_tags_collapsed(self):
+        batch = encode_events(
+            [TagEvent("r", ("a", "a", "b")), TagEvent("r", ("b", "b"))],
+            tags=Interner(),
+            resources=Interner(),
+        )
+        assert batch.lengths().tolist() == [2, 1]
+        assert batch.n_tag_assignments == 3
+
+    def test_timestamps_carried(self):
+        batch = encode_events(
+            [TagEvent("r", ("a",), timestamp=5.5)], tags=Interner(), resources=Interner()
+        )
+        assert np.allclose(batch.timestamps, [5.5])

@@ -1,0 +1,106 @@
+"""Tests for the hash router and the sharded bank."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataModelError
+from repro.engine import ShardedStabilityBank, StabilityBank, TagEvent, shard_of
+
+
+def random_events(n_resources: int, n_events: int, seed: int) -> list[TagEvent]:
+    rng = np.random.default_rng(seed)
+    vocab = [f"t{i}" for i in range(10)]
+    return [
+        TagEvent(
+            f"r{int(rng.integers(0, n_resources))}",
+            tuple(rng.choice(vocab, size=int(rng.integers(1, 4)), replace=False)),
+            timestamp=float(i),
+        )
+        for i in range(n_events)
+    ]
+
+
+class TestRouter:
+    def test_deterministic_and_in_range(self):
+        for n_shards in (1, 2, 7):
+            for rid in ("a", "b", "resource-123"):
+                shard = shard_of(rid, n_shards)
+                assert 0 <= shard < n_shards
+                assert shard == shard_of(rid, n_shards)
+
+    def test_single_shard_short_circuit(self):
+        assert shard_of("anything", 1) == 0
+
+    def test_spreads_resources(self):
+        shards = {shard_of(f"r{i}", 8) for i in range(200)}
+        assert shards == set(range(8))
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(DataModelError):
+            shard_of("r", 0)
+        with pytest.raises(DataModelError):
+            ShardedStabilityBank(0)
+
+
+class TestShardedBank:
+    def test_matches_single_bank(self):
+        events = random_events(20, 600, seed=5)
+        single = StabilityBank(5, 0.9)
+        single.ingest_events(events)
+        sharded = ShardedStabilityBank(4, 5, 0.9)
+        for i in range(0, len(events), 128):
+            sharded.ingest_events(events[i : i + 128])
+        assert sharded.n_resources == single.n_resources
+        assert sharded.total_posts == single.total_posts
+        assert sharded.stable_points() == single.stable_points()
+        for rid in single.resources.items():
+            assert sharded.num_posts(rid) == single.num_posts(rid)
+            assert sharded.counts_of(rid) == single.counts_of(rid)
+            assert sharded.rfd(rid) == single.rfd(rid)
+            a, b = single.ma_score(rid), sharded.ma_score(rid)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert b == pytest.approx(a, abs=1e-9)
+            assert sharded.stable_point(rid) == single.stable_point(rid)
+            assert sharded.stable_rfd(rid) == single.stable_rfd(rid)
+
+    def test_similarities_reassembled_in_batch_order(self):
+        events = random_events(10, 200, seed=9)
+        single = StabilityBank(5)
+        sharded = ShardedStabilityBank(3, 5)
+        report_single = single.ingest_events(events)
+        report_sharded = sharded.ingest_events(events)
+        assert np.allclose(
+            report_single.similarities, report_sharded.similarities, atol=1e-12
+        )
+
+    def test_partition_preserves_order(self):
+        events = random_events(12, 100, seed=2)
+        sharded = ShardedStabilityBank(4)
+        slices = sharded.partition(events)
+        assert sum(len(s) for s in slices) == len(events)
+        for shard_index, events_slice in enumerate(slices):
+            assert all(
+                shard_of(e.resource_id, 4) == shard_index for e in events_slice
+            )
+            # order within a shard slice is the original stream order
+            positions = [events.index(e) for e in events_slice]
+            assert positions == sorted(positions)
+
+    def test_ingest_shard_is_independent(self):
+        events = random_events(12, 100, seed=2)
+        sharded = ShardedStabilityBank(4, 5, 0.9)
+        slices = sharded.partition(events)
+        # shards can be driven in any order (parallel-ready API)
+        for shard_index in reversed(range(4)):
+            sharded.ingest_shard(shard_index, slices[shard_index])
+        single = StabilityBank(5, 0.9)
+        single.ingest_events(events)
+        assert sharded.stable_points() == single.stable_points()
+
+    def test_contains_and_ensure(self):
+        sharded = ShardedStabilityBank(3)
+        sharded.ensure(["a", "b", "c"])
+        assert "a" in sharded and "zzz" not in sharded
+        assert 42 not in sharded
+        assert sharded.num_posts("b") == 0

@@ -1,0 +1,119 @@
+"""Tests for the IngestEngine and the simulate-layer event streams."""
+
+import pytest
+
+from repro.core import DataModelError, StabilityTracker
+from repro.engine import IngestEngine, ShardedStabilityBank, StabilityBank, TagEvent
+from repro.simulate import (
+    dataset_event_stream,
+    interleaved_event_stream,
+    tiny_scenario,
+)
+from tests.engine.test_shard import random_events
+
+
+class TestIngestEngine:
+    def test_feed_batches_everything(self):
+        events = random_events(10, 333, seed=6)
+        engine = IngestEngine(bank=StabilityBank(5, 0.9), batch_size=50)
+        stats = engine.feed(iter(events))
+        assert stats.events == 333
+        assert stats.batches == 7
+        assert stats.tag_assignments == sum(len(set(e.tags)) for e in events)
+        assert engine.bank.total_posts == 333
+        assert stats.events_per_second > 0
+        assert "333" in stats.render()
+
+    def test_on_stable_callback_fires_once_per_resource(self):
+        events = [TagEvent("r", ("a",), timestamp=float(i)) for i in range(10)]
+        hits = []
+        engine = IngestEngine(
+            bank=StabilityBank(3, 0.5),
+            batch_size=2,
+            on_stable=lambda rid, k: hits.append((rid, k)),
+        )
+        engine.feed(events)
+        assert hits == [("r", 3)]
+
+    def test_submit_returns_newly_stable(self):
+        engine = IngestEngine(bank=StabilityBank(3, 0.5))
+        newly = engine.submit([TagEvent("r", ("a",)) for _ in range(5)])
+        assert newly == ["r"]
+        assert engine.submit([]) == []
+
+    def test_periodic_checkpoints(self, tmp_path):
+        events = random_events(8, 200, seed=3)
+        engine = IngestEngine(
+            bank=StabilityBank(5, 0.9),
+            batch_size=40,
+            checkpoint_dir=tmp_path / "ck",
+            checkpoint_every=2,
+        )
+        stats = engine.feed(events)
+        assert stats.checkpoints == 2
+        assert (tmp_path / "ck" / "manifest.json").exists()
+
+    def test_create_sharded(self):
+        engine = IngestEngine.create(n_shards=3, omega=4, tau=0.9)
+        assert isinstance(engine.bank, ShardedStabilityBank)
+        assert engine.bank.n_shards == 3
+        engine = IngestEngine.create(n_shards=1)
+        assert isinstance(engine.bank, StabilityBank)
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(DataModelError):
+            IngestEngine(batch_size=0)
+        with pytest.raises(DataModelError):
+            IngestEngine(checkpoint_every=2)
+        with pytest.raises(DataModelError):
+            IngestEngine().checkpoint()
+
+    def test_batches_of(self):
+        engine = IngestEngine(batch_size=3)
+        chunks = list(
+            engine.batches_of(
+                [TagEvent("r", ("a",), timestamp=float(i)) for i in range(7)]
+            )
+        )
+        assert [len(c) for c in chunks] == [3, 3, 1]
+
+
+class TestDatasetEventStream:
+    def test_replay_matches_per_resource_trackers(self):
+        corpus = tiny_scenario(seed=5)
+        events = list(dataset_event_stream(corpus.dataset))
+        assert len(events) == corpus.dataset.total_posts
+        # global timestamp order
+        times = [e.timestamp for e in events]
+        assert times == sorted(times)
+        bank = StabilityBank(5, 0.99)
+        bank.ingest_events(events)
+        for resource in corpus.dataset.resources:
+            tracker = StabilityTracker(5, 0.99)
+            tracker.add_posts(resource.sequence)
+            rid = resource.resource_id
+            assert bank.num_posts(rid) == tracker.num_posts
+            assert bank.stable_point(rid) == tracker.stable_point
+            a, b = tracker.ma_score, bank.ma_score(rid)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert b == pytest.approx(a, abs=1e-9)
+
+
+class TestInterleavedEventStream:
+    def test_deterministic(self):
+        first = list(interleaved_event_stream(n_resources=10, seed=9, max_events=200))
+        second = list(interleaved_event_stream(n_resources=10, seed=9, max_events=200))
+        assert first == second
+
+    def test_interleaves_resources_in_time_order(self):
+        events = list(interleaved_event_stream(n_resources=15, seed=2, max_events=400))
+        assert len(events) == 400
+        times = [e.timestamp for e in events]
+        assert times == sorted(times)
+        assert len({e.resource_id for e in events}) > 1
+        assert all(e.tags for e in events)
+
+    def test_max_events_caps_stream(self):
+        events = list(interleaved_event_stream(n_resources=5, seed=0, max_events=17))
+        assert len(events) == 17

@@ -1,0 +1,94 @@
+"""Property-based equivalence: StabilityBank == StabilityTracker.
+
+The vectorized engine promises *identical* semantics to the scalar
+Appendix C tracker on any interleaved event stream, however the stream
+is chopped into batches.  Hypothesis drives random multi-resource
+streams, random MA windows and thresholds, and random batch splits, and
+pins MA scores to 1e-9 plus exact stable points, counts and stable rfds.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import StabilityTracker
+from repro.engine import StabilityBank, TagEvent, load_checkpoint, save_checkpoint
+
+tag = st.sampled_from([f"t{i}" for i in range(6)])
+resource = st.sampled_from([f"r{i}" for i in range(5)])
+event = st.builds(
+    lambda rid, tags: TagEvent(rid, tuple(sorted(tags))),
+    resource,
+    st.frozensets(tag, min_size=1, max_size=4),
+)
+event_streams = st.lists(event, min_size=1, max_size=120)
+omegas = st.integers(min_value=2, max_value=6)
+taus = st.floats(min_value=0.5, max_value=1.0, exclude_max=True)
+
+
+def scalar_reference(events, omega, tau):
+    trackers = {}
+    for item in events:
+        tracker = trackers.setdefault(item.resource_id, StabilityTracker(omega, tau))
+        tracker.add_post(item.tags)
+    return trackers
+
+
+class TestBankMatchesTracker:
+    @given(event_streams, omegas, taus, st.integers(min_value=1, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_ma_scores_and_stable_points_match(self, events, omega, tau, batch_size):
+        trackers = scalar_reference(events, omega, tau)
+        bank = StabilityBank(omega, tau)
+        for i in range(0, len(events), batch_size):
+            bank.ingest_events(events[i : i + batch_size])
+
+        for rid, tracker in trackers.items():
+            scalar_ma, bank_ma = tracker.ma_score, bank.ma_score(rid)
+            assert (scalar_ma is None) == (bank_ma is None)
+            if scalar_ma is not None:
+                assert math.isclose(bank_ma, scalar_ma, abs_tol=1e-9)
+            assert bank.stable_point(rid) == tracker.stable_point
+            assert bank.counts_of(rid) == tracker.frequency_table().counts()
+            if tracker.is_stable:
+                scalar_rfd = tracker.stable_rfd
+                bank_rfd = bank.stable_rfd(rid)
+                assert set(bank_rfd) == set(scalar_rfd)
+                for key, value in scalar_rfd.items():
+                    assert math.isclose(bank_rfd[key], value, abs_tol=1e-9)
+
+    @given(event_streams, omegas)
+    @settings(max_examples=40, deadline=None)
+    def test_similarities_match_scalar_recurrence(self, events, omega):
+        bank = StabilityBank(omega)
+        report = bank.ingest_events(events)
+        trackers = {}
+        for item, similarity in zip(events, report.similarities):
+            tracker = trackers.setdefault(item.resource_id, StabilityTracker(omega))
+            assert math.isclose(tracker.add_post(item.tags), similarity, abs_tol=1e-9)
+
+    @given(events=event_streams, omega=omegas, tau=taus)
+    @settings(max_examples=25, deadline=None)
+    def test_checkpoint_resume_determinism(self, tmp_path_factory, events, omega, tau):
+        """save → load → ingest(rest) is bit-identical to never leaving RAM."""
+        half = len(events) // 2
+        uninterrupted = StabilityBank(omega, tau)
+        uninterrupted.ingest_events(events[:half])
+
+        partial = StabilityBank(omega, tau)
+        partial.ingest_events(events[:half])
+        directory = tmp_path_factory.mktemp("engine-ckpt")
+        save_checkpoint(partial, directory)
+        resumed = load_checkpoint(directory)
+
+        # same batch schedule after the checkpoint on both sides
+        uninterrupted.ingest_events(events[half:])
+        resumed.ingest_events(events[half:])
+
+        assert resumed.stable_points() == uninterrupted.stable_points()
+        for rid in uninterrupted.resources.items():
+            assert resumed.counts_of(rid) == uninterrupted.counts_of(rid)
+            # bit-deterministic, not merely close
+            assert resumed.ma_score(rid) == uninterrupted.ma_score(rid)
+            assert resumed.stable_rfd(rid) == uninterrupted.stable_rfd(rid)

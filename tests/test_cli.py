@@ -10,6 +10,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_ingest_args(self):
+        args = build_parser().parse_args(
+            ["ingest", "--resources", "40", "--shards", "3", "--batch-size", "256"]
+        )
+        assert args.command == "ingest"
+        assert args.shards == 3
+        assert args.batch_size == 256
+
     def test_generate_args(self):
         args = build_parser().parse_args(["generate", "out.jsonl", "--resources", "9"])
         assert args.command == "generate"
@@ -82,6 +98,56 @@ class TestCommands:
             ]
         ) == 0
         assert "0 resources adaptively stopped" in capsys.readouterr().out
+
+    def test_campaign_engine_backend(self, capsys):
+        assert main(
+            ["campaign", "FP", "--resources", "10", "--budget", "60", "--engine"]
+        ) == 0
+        assert "campaign:" in capsys.readouterr().out
+
+    def test_ingest_synthetic(self, capsys):
+        assert main(
+            ["ingest", "--resources", "20", "--max-events", "800", "--shards", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "ingested 800 events" in output
+        assert "resources: 20" in output
+
+    def test_ingest_dataset_with_checkpoint_and_resume(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.jsonl"
+        assert main(["generate", str(corpus), "--resources", "6", "--seed", "2"]) == 0
+        checkpoint = tmp_path / "ckpt"
+        assert main(
+            ["ingest", str(corpus), "--checkpoint", str(checkpoint)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "checkpoint written" in output
+        assert (checkpoint / "manifest.json").exists()
+        posts_line = next(l for l in output.splitlines() if l.startswith("resources:"))
+        # resuming over the same corpus skips the already-ingested prefix
+        # instead of double-counting it
+        assert main(["ingest", str(corpus), "--resume", str(checkpoint)]) == 0
+        output = capsys.readouterr().out
+        assert "resuming checkpoint" in output
+        assert "ingested 0 events" in output
+        assert posts_line in output  # post totals unchanged
+
+    def test_ingest_resume_continues_longer_stream(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ck"
+        assert main(
+            ["ingest", "--resources", "10", "--max-events", "300",
+             "--checkpoint", str(checkpoint)]
+        ) == 0
+        capsys.readouterr()
+        # same seed, longer stream: resume ingests only the new suffix
+        assert main(
+            ["ingest", "--resume", str(checkpoint), "--resources", "10",
+             "--max-events", "450"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "after 300 events" in output
+        assert "ingested 150 events" in output
+        assert "posts: 450" in output
 
     def test_health_generated(self, capsys):
         assert main(["health", "--resources", "12"]) == 0
