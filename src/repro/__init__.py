@@ -5,7 +5,18 @@ incentive allocation strategies (FC, RR, FP, MU, FP-MU and the optimal
 DP), a del.icio.us-style synthetic corpus generator, and harnesses that
 regenerate every figure and table of the paper's evaluation.
 
-Quickstart::
+Quickstart — the declarative API (:mod:`repro.api`) is the front door::
+
+    from repro.api import AllocateSpec, CorpusSpec, run
+
+    result = run(AllocateSpec(
+        corpus=CorpusSpec(kind="paper", resources=80, seed=7),
+        strategy="FP",
+        budget=200,
+    ))
+    print(result.summary)
+
+or hands-on with the building blocks::
 
     from repro.simulate import scenarios
     from repro.allocation import FewestPostsFirst, IncentiveRunner
@@ -16,7 +27,8 @@ Quickstart::
     trace = runner.run(FewestPostsFirst(), budget=200)
     print(trace.x)
 
-See ``examples/quickstart.py`` for a narrated tour.
+See ``examples/quickstart.py`` and ``examples/spec_driven_run.py`` for
+narrated tours.
 """
 
 from repro.core import (
@@ -36,6 +48,7 @@ from repro.core import (
     ReproError,
     Resource,
     ResourceSet,
+    SpecError,
     StabilityError,
     StabilityTracker,
     TagFrequencyTable,
@@ -69,6 +82,7 @@ __all__ = [
     "ReproError",
     "Resource",
     "ResourceSet",
+    "SpecError",
     "StabilityError",
     "StabilityTracker",
     "TagFrequencyTable",

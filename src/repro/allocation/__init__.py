@@ -9,8 +9,15 @@
   preference, offline greedy).
 """
 
+from repro.api.registry import STRATEGIES as _STRATEGIES
 from repro.allocation.base import AllocationContext, AllocationStrategy
 from repro.allocation.budget import AllocationTrace, assignment_from_order
+from repro.allocation.monitor import (
+    BankStabilityMonitor,
+    StabilityMonitor,
+    TrackerStabilityMonitor,
+    make_monitor,
+)
 from repro.allocation.dp import (
     DPResult,
     brute_force_optimal,
@@ -42,6 +49,7 @@ __all__ = [
     "AllocationContext",
     "AllocationStrategy",
     "AllocationTrace",
+    "BankStabilityMonitor",
     "CostAwareFewestPosts",
     "DPResult",
     "FewestPostsFirst",
@@ -54,10 +62,13 @@ __all__ = [
     "ReplayTaggerSource",
     "RoundRobin",
     "StabilityAwareFewestPosts",
+    "StabilityMonitor",
     "TaggerSource",
+    "TrackerStabilityMonitor",
     "assignment_from_order",
     "brute_force_optimal",
     "gains_from_profiles",
+    "make_monitor",
     "popularity_chooser",
     "solve_dp",
     "solve_dp_reference",
@@ -65,14 +76,13 @@ __all__ = [
     "solve_weighted_dp",
 ]
 
-STRATEGY_REGISTRY = {
-    "FC": FreeChoice,
-    "RR": RoundRobin,
-    "FP": FewestPostsFirst,
-    "MU": MostUnstableFirst,
-    "FP-MU": HybridFPMU,
-    "FP-cost": CostAwareFewestPosts,
-    "FP-stop": StabilityAwareFewestPosts,
-    "MU-pref": PreferenceAwareMostUnstable,
-}
-"""Name -> class map used by the CLI and the experiment configs."""
+STRATEGY_REGISTRY = _STRATEGIES.classes()
+"""Legacy name -> class snapshot.
+
+Strategies now register themselves with
+:data:`repro.api.registry.STRATEGIES` (declared parameter schemas
+included); this dict is kept for backward compatibility and is complete
+because every strategy module above has been imported by this point.
+New code should use the registry:
+``repro.api.STRATEGIES.create(name, **params)``.
+"""

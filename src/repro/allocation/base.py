@@ -102,6 +102,42 @@ class AllocationStrategy(ABC):
             unspent — e.g. MU once every eligible resource is exhausted).
         """
 
+    def choose_batch(self, k: int) -> list[int]:
+        """Batched CHOOSE(): plan up to ``k`` consecutive choices at once.
+
+        The contract between strategy and runner:
+
+        * the returned indices must be exactly what ``k`` iterations of
+          the scalar ``choose()``/``update()`` interleaving would have
+          produced, assuming every choice is fulfilled by one delivered
+          post — so a batched run's trace is byte-identical to the
+          scalar run's;
+        * the runner attempts deliveries for a *prefix* of the list, in
+          order, calling :meth:`update` after each success;
+        * on the first failure (source exhausted, offer refused, task
+          unaffordable) the runner fires the usual hook
+          (:meth:`mark_exhausted` / :meth:`notify_refusal`), then calls
+          :meth:`cancel_plan` to discard the undelivered suffix, and
+          re-plans.
+
+        The base implementation returns at most one choice, which makes
+        the batched loop degenerate to Algorithm 1's scalar loop — always
+        correct.  Strategies whose CHOOSE depends only on delivery counts
+        (FP, RR) override it with a vectorized planner; MU overrides it
+        with a bounded lookahead that stays exact (see each strategy).
+        """
+        index = self.choose()
+        return [] if index is None else [index]
+
+    def cancel_plan(self) -> None:
+        """Discard any not-yet-delivered choices from :meth:`choose_batch`.
+
+        Called by the runner after a mid-batch failure.  Afterwards the
+        strategy's state must be exactly what the scalar loop would have
+        left behind given the deliveries (and the failure) that actually
+        happened.  The base class plans no lookahead, so this is a no-op.
+        """
+
     def update(self, index: int, post: Post) -> None:
         """UPDATE() — called after a task on ``index`` completed with ``post``."""
 

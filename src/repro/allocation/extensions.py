@@ -30,6 +30,7 @@ from repro.core.posts import Post
 from repro.core.stability import DEFAULT_OMEGA, StabilityTracker
 from repro.allocation.base import AllocationContext, AllocationStrategy
 from repro.allocation.dp import DPResult
+from repro.api.registry import Param, register_strategy
 
 __all__ = [
     "solve_weighted_dp",
@@ -102,6 +103,7 @@ def solve_weighted_dp(
     return DPResult(value=float(q[budget]), x=x, budget=budget)
 
 
+@register_strategy("FP-cost")
 @dataclass
 class CostAwareFewestPosts(AllocationStrategy):
     """FP under heterogeneous task costs.
@@ -148,6 +150,13 @@ class CostAwareFewestPosts(AllocationStrategy):
             self._pending = None
 
 
+@register_strategy(
+    "MU-pref",
+    params={
+        "omega": Param(int, DEFAULT_OMEGA, "MA window"),
+        "prior_weight": Param(float, 2.0, "pseudo-count weight of the acceptance prior"),
+    },
+)
 @dataclass
 class PreferenceAwareMostUnstable(AllocationStrategy):
     """MU weighted by estimated tagger acceptance (user preference).
@@ -250,6 +259,13 @@ class PreferenceAwareMostUnstable(AllocationStrategy):
         return self._acceptance_estimate(index)
 
 
+@register_strategy(
+    "FP-stop",
+    params={
+        "omega": Param(int, DEFAULT_OMEGA, "MA window of the online detector"),
+        "tau": Param(float, 0.999, "observed-MA retirement threshold"),
+    },
+)
 @dataclass
 class StabilityAwareFewestPosts(AllocationStrategy):
     """FP with *online* stable-point detection.

@@ -9,27 +9,93 @@ trivially implementable, and runnable offline.
 A binary heap keyed by ``(count, index)`` gives the paper's
 ``O((n + B) log n)`` time; the index component makes tie-breaking
 deterministic.
+
+FP's CHOOSE depends only on delivery *counts*, never on post content, so
+a whole batch of future choices is computable up front:
+:meth:`FewestPostsFirst.choose_batch` water-fills the count vector with
+one vectorized pass (sort + ragged level expansion) and reproduces the
+scalar pop/push sequence exactly — byte-identical traces at any batch
+size.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import ClassVar
 
+import numpy as np
+
 from repro.core.posts import Post
 from repro.allocation.base import AllocationContext, AllocationStrategy
+from repro.api.registry import register_strategy
 
-__all__ = ["FewestPostsFirst"]
+__all__ = ["FewestPostsFirst", "waterfill_plan"]
 
 
+def _ragged_arange(reps: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(r) for r in reps])`` without the Python loop."""
+    total = int(reps.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = np.cumsum(reps) - reps
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, reps)
+
+
+def waterfill_plan(counts: np.ndarray, ids: np.ndarray, k: int) -> np.ndarray:
+    """The first ``k`` choices of greedy fewest-first allocation.
+
+    Reproduces exactly the sequence "repeatedly pick the id with the
+    lexicographically smallest ``(count, id)``, then increment its
+    count" — i.e. FP's scalar heap loop — in one vectorized pass:
+    resource ``i`` emits choices at levels ``counts[i], counts[i]+1, …``
+    and the choice order is all ``(level, id)`` pairs sorted
+    lexicographically.
+
+    Args:
+        counts: Current post counts, one per candidate.
+        ids: Resource index per candidate (the tie-breaker).
+        k: Number of choices to plan, ``>= 1``.
+
+    Returns:
+        ``int64`` array of ``k`` resource ids, in choice order.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    ids = np.asarray(ids, dtype=np.int64)
+    cs = np.sort(counts)
+    prefix = np.cumsum(cs)
+
+    def emitted_through(level: int) -> int:
+        m = int(np.searchsorted(cs, level, side="right"))
+        return (level + 1) * m - (int(prefix[m - 1]) if m else 0)
+
+    # Smallest level whose cumulative emissions cover k (binary search;
+    # by level cs[0] + k the minimum resource alone has emitted k+1).
+    lo, hi = int(cs[0]), int(cs[0]) + k
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if emitted_through(mid) >= k:
+            hi = mid
+        else:
+            lo = mid + 1
+    reps = np.maximum(0, lo + 1 - counts)
+    id_rep = np.repeat(ids, reps)
+    level_rep = np.repeat(counts, reps) + _ragged_arange(reps)
+    order = np.lexsort((id_rep, level_rep))[:k]
+    return id_rep[order]
+
+
+@register_strategy("FP")
 @dataclass
 class FewestPostsFirst(AllocationStrategy):
     """CHOOSE() pops the resource with the minimum ``c_i + x_i``.
 
     The heap holds exactly one live entry per non-exhausted resource:
     CHOOSE() pops it and UPDATE() (or ``mark_exhausted``) decides whether
-    a successor entry is pushed.
+    a successor entry is pushed.  The batched path plans whole chunks
+    with :func:`waterfill_plan` and advances the heap optimistically;
+    ``cancel_plan`` rolls the undelivered suffix back.
     """
 
     name: ClassVar[str] = "FP"
@@ -37,6 +103,8 @@ class FewestPostsFirst(AllocationStrategy):
     _heap: list[tuple[int, int]] = field(default_factory=list, init=False, repr=False)
     _pending: int | None = field(default=None, init=False, repr=False)
     _pending_count: int = field(default=0, init=False, repr=False)
+    _planned: deque[int] = field(default_factory=deque, init=False, repr=False)
+    _staged: list[tuple[int, int]] = field(default_factory=list, init=False, repr=False)
 
     def initialize(self, context: AllocationContext) -> None:
         super().initialize(context)
@@ -44,6 +112,8 @@ class FewestPostsFirst(AllocationStrategy):
         heapq.heapify(self._heap)
         self._pending = None
         self._pending_count = 0
+        self._planned = deque()
+        self._staged = []
 
     def choose(self) -> int | None:
         if self._pending is not None:
@@ -57,10 +127,66 @@ class FewestPostsFirst(AllocationStrategy):
         self._pending_count = count
         return index
 
+    def choose_batch(self, k: int) -> list[int]:
+        if k == 1:
+            # Tail of a batched run (or batch_size=1): the scalar
+            # pop/pending path is cheaper than a vectorized plan of one.
+            return super().choose_batch(k)
+        if self._pending is not None:
+            return [self._pending]
+        if not self._heap:
+            return []
+        # Pop only the candidate prefix.  The k-task plan touches at most
+        # k distinct resources, and (because greedy always serves the
+        # lexicographic minimum) the touched set is a prefix of the heap's
+        # (count, index) order; a further entry can participate only if
+        # raising every current candidate to its count still leaves tasks
+        # to hand out.  This keeps planning at O(k log n) instead of
+        # rebuilding the whole heap per batch.
+        candidates: list[tuple[int, int]] = []
+        count_sum = 0
+        while self._heap and len(candidates) < k:
+            next_count, _ = self._heap[0]
+            if candidates and len(candidates) * next_count - count_sum >= k:
+                break  # the water level can never reach this entry
+            candidates.append(heapq.heappop(self._heap))
+            count_sum += next_count
+        counts = np.fromiter((c for c, _ in candidates), dtype=np.int64, count=len(candidates))
+        ids = np.fromiter((i for _, i in candidates), dtype=np.int64, count=len(candidates))
+        plan = waterfill_plan(counts, ids, k).tolist()
+        # Stage the candidates' post-plan entries instead of pushing them:
+        # they re-enter the heap when the plan completes (update) or is
+        # rolled back (cancel_plan) — O(k log n) either way, never O(n).
+        occurrences = Counter(plan)
+        self._staged = [
+            (count + occurrences.get(index, 0), index) for count, index in candidates
+        ]
+        self._planned = deque(plan)
+        return plan
+
     def update(self, index: int, post: Post) -> None:
+        if self._planned and self._planned[0] == index:
+            self._planned.popleft()  # counts were already advanced at plan time
+            if not self._planned:
+                for entry in self._staged:
+                    heapq.heappush(self._heap, entry)
+                self._staged = []
+            return
         if index == self._pending:
             heapq.heappush(self._heap, (self._pending_count + 1, index))
             self._pending = None
+
+    def cancel_plan(self) -> None:
+        if not self._planned:
+            return
+        undelivered = Counter(self._planned)
+        self._planned = deque()
+        for count, index in self._staged:
+            if not self.is_exhausted(index):
+                heapq.heappush(
+                    self._heap, (count - undelivered.get(index, 0), index)
+                )
+        self._staged = []
 
     def mark_exhausted(self, index: int) -> None:
         super().mark_exhausted(index)

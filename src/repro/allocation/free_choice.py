@@ -13,10 +13,12 @@ from dataclasses import dataclass
 from typing import ClassVar
 
 from repro.allocation.base import AllocationContext, AllocationStrategy
+from repro.api.registry import register_strategy
 
 __all__ = ["FreeChoice"]
 
 
+@register_strategy("FC")
 @dataclass
 class FreeChoice(AllocationStrategy):
     """CHOOSE() returns whichever resource the next tagger wants to tag.

@@ -23,10 +23,15 @@ from repro.core.stability import DEFAULT_OMEGA
 from repro.allocation.base import AllocationContext, AllocationStrategy
 from repro.allocation.fewest_posts import FewestPostsFirst
 from repro.allocation.most_unstable import MostUnstableFirst
+from repro.api.registry import Param, register_strategy
 
 __all__ = ["HybridFPMU"]
 
 
+@register_strategy(
+    "FP-MU",
+    params={"omega": Param(int, DEFAULT_OMEGA, "MA window shared by warm-up and MU phase")},
+)
 @dataclass
 class HybridFPMU(AllocationStrategy):
     """FP warm-up, then MU (Algorithm 5).
@@ -98,6 +103,24 @@ class HybridFPMU(AllocationStrategy):
             self._start_mu()
         assert self._mu is not None
         return self._mu.choose()
+
+    def choose_batch(self, k: int) -> list[int]:
+        if self.in_warmup:
+            # Never plan past the warm-up budget: the phase switch must
+            # happen at exactly the same delivery as in the scalar loop.
+            plan = self._fp.choose_batch(min(k, self._warmup_budget - self._delivered))
+            if plan:
+                return plan
+        if self._mu is None:
+            self._start_mu()
+        assert self._mu is not None
+        return self._mu.choose_batch(k)
+
+    def cancel_plan(self) -> None:
+        if self._mu is None:
+            self._fp.cancel_plan()
+        else:
+            self._mu.cancel_plan()
 
     def update(self, index: int, post: Post) -> None:
         if self._mu is None:

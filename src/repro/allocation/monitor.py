@@ -1,0 +1,200 @@
+"""Online stability monitoring for allocation runs.
+
+A :class:`StabilityMonitor` watches the posts a run delivers and tracks
+each resource's *observed* MA score — the deployable signal behind
+adaptive stopping (no ground truth involved).  Monitors never feed back
+into allocation, so attaching one cannot change a trace; they exist so
+:func:`repro.api.run` can report "how many resources went stable during
+this run" and so the batched runner has a stability hot path worth
+batching:
+
+* :class:`TrackerStabilityMonitor` — one scalar
+  :class:`~repro.core.stability.StabilityTracker` per resource, updated
+  post by post.  This is the per-post Python-interpreter price the
+  engine was built to avoid.
+* :class:`BankStabilityMonitor` — the vectorized
+  :class:`~repro.engine.columnar.StabilityBank`; a whole delivery chunk
+  becomes one batched ingest, which is where
+  ``IncentiveRunner.run(..., batch_size=k)`` gets its wall-clock win.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from repro.core.errors import AllocationError
+from repro.core.posts import Post
+from repro.core.stability import DEFAULT_OMEGA, DEFAULT_TAU, StabilityTracker
+
+__all__ = [
+    "StabilityMonitor",
+    "TrackerStabilityMonitor",
+    "BankStabilityMonitor",
+    "make_monitor",
+]
+
+
+class StabilityMonitor(ABC):
+    """Observes delivered posts; answers "which resources look stable?"."""
+
+    @abstractmethod
+    def begin(self, n: int, initial_posts: Sequence[Sequence[Post]]) -> None:
+        """Reset for a run over ``n`` resources seeded with their initial posts."""
+
+    @abstractmethod
+    def observe_batch(self, deliveries: Sequence[tuple[int, Post]]) -> None:
+        """Ingest one chunk of completed ``(resource index, post)`` tasks."""
+
+    @abstractmethod
+    def stable_indices(self) -> list[int]:
+        """Resources whose observed MA has crossed ``tau``, ascending."""
+
+    @property
+    def stable_count(self) -> int:
+        """Number of observed-stable resources so far."""
+        return len(self.stable_indices())
+
+
+class TrackerStabilityMonitor(StabilityMonitor):
+    """Scalar baseline: one per-resource tracker, updated per post."""
+
+    def __init__(self, omega: int = DEFAULT_OMEGA, tau: float = DEFAULT_TAU) -> None:
+        self.omega = omega
+        self.tau = tau
+        self._trackers: list[StabilityTracker] = []
+
+    def begin(self, n: int, initial_posts: Sequence[Sequence[Post]]) -> None:
+        if len(initial_posts) != n:
+            raise AllocationError("initial_posts must have length n")
+        self._trackers = [StabilityTracker(self.omega, self.tau) for _ in range(n)]
+        for tracker, posts in zip(self._trackers, initial_posts):
+            tracker.add_posts(posts)
+
+    def observe_batch(self, deliveries: Sequence[tuple[int, Post]]) -> None:
+        trackers = self._trackers
+        for index, post in deliveries:
+            trackers[index].add_post(post.tags)
+
+    def stable_indices(self) -> list[int]:
+        return [i for i, tracker in enumerate(self._trackers) if tracker.is_stable]
+
+
+class BankStabilityMonitor(StabilityMonitor):
+    """Engine-backed monitor: delivery chunks coalesce into bank ingests.
+
+    Chunks accumulate in a buffer and are applied as one vectorized CSR
+    batch once ``flush_events`` of them have piled up — the bank's fixed
+    per-ingest cost amortizes over thousands of events regardless of the
+    runner's chunk size.  Queries (:meth:`stable_indices`) flush first,
+    so observed results are always exact; only the *moment* of detection
+    is batched, the same trade the epoch-batched campaign backend makes.
+
+    The hot path skips :class:`~repro.engine.events.TagEvent` entirely:
+    resource rows are interned once at :meth:`begin`, post tag sets are
+    duplicate-free by construction, and each flush builds the
+    :class:`~repro.engine.events.EventBatch` directly — leaving tag
+    interning as the only per-event Python work.
+
+    Args:
+        omega: MA window.
+        tau: Stability threshold.
+        flush_events: Buffered events per bank ingest.
+    """
+
+    def __init__(
+        self,
+        omega: int = DEFAULT_OMEGA,
+        tau: float = DEFAULT_TAU,
+        *,
+        flush_events: int = 4096,
+    ) -> None:
+        if flush_events < 1:
+            raise AllocationError(f"flush_events must be positive, got {flush_events}")
+        self.omega = omega
+        self.tau = tau
+        self.flush_events = flush_events
+        self._bank = None
+        self._ids: list[str] = []
+        self._rows: list[int] = []
+        self._buf_rows: list[int] = []
+        self._buf_tags: list[tuple] = []
+        self._buf_times: list[float] = []
+
+    def begin(self, n: int, initial_posts: Sequence[Sequence[Post]]) -> None:
+        from repro.engine.columnar import StabilityBank
+
+        if len(initial_posts) != n:
+            raise AllocationError("initial_posts must have length n")
+        self._ids = [f"r{i}" for i in range(n)]
+        self._bank = StabilityBank(self.omega, self.tau, initial_rows=max(n, 1))
+        self._bank.ensure(self._ids)
+        rows = [self._bank.resources.lookup(rid) for rid in self._ids]
+        assert all(row is not None for row in rows)
+        self._rows = rows  # type: ignore[assignment]
+        self._buf_rows, self._buf_tags, self._buf_times = [], [], []
+        for index, posts in enumerate(initial_posts):
+            row = self._rows[index]
+            for post in posts:
+                self._buf_rows.append(row)
+                self._buf_tags.append(tuple(post.tags))
+                self._buf_times.append(post.timestamp)
+        self._flush()
+
+    def observe_batch(self, deliveries: Sequence[tuple[int, Post]]) -> None:
+        if self._bank is None:
+            raise AllocationError("monitor used before begin()")
+        rows = self._rows
+        buf_rows, buf_tags, buf_times = self._buf_rows, self._buf_tags, self._buf_times
+        for index, post in deliveries:
+            buf_rows.append(rows[index])
+            buf_tags.append(tuple(post.tags))
+            buf_times.append(post.timestamp)
+        if len(buf_rows) >= self.flush_events:
+            self._flush()
+
+    def _flush(self) -> None:
+        from itertools import chain
+
+        import numpy as np
+
+        from repro.engine.events import EventBatch
+
+        n = len(self._buf_rows)
+        if n == 0:
+            return
+        lengths = np.fromiter(map(len, self._buf_tags), dtype=np.int64, count=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        tag_ids = self._bank.tags.intern_all(list(chain.from_iterable(self._buf_tags)))
+        batch = EventBatch(
+            resources=np.fromiter(self._buf_rows, dtype=np.int64, count=n),
+            indptr=indptr,
+            tag_ids=tag_ids,
+            timestamps=np.fromiter(self._buf_times, dtype=np.float64, count=n),
+        )
+        self._buf_rows, self._buf_tags, self._buf_times = [], [], []
+        self._bank.ingest(batch)
+
+    def stable_indices(self) -> list[int]:
+        if self._bank is None:
+            return []
+        self._flush()
+        return sorted(int(rid[1:]) for rid in self._bank.stable_points())
+
+
+def make_monitor(
+    backend: str | None,
+    omega: int = DEFAULT_OMEGA,
+    tau: float = DEFAULT_TAU,
+) -> StabilityMonitor | None:
+    """Monitor factory keyed by backend name (``None`` -> no monitoring)."""
+    if backend is None:
+        return None
+    if backend == "tracker":
+        return TrackerStabilityMonitor(omega, tau)
+    if backend == "engine":
+        return BankStabilityMonitor(omega, tau)
+    raise AllocationError(
+        f"unknown stability monitor backend {backend!r} (expected 'tracker' or 'engine')"
+    )

@@ -8,6 +8,17 @@ properties from the paper carry over exactly:
   fewer initial posts are **ignored** (the weakness FP-MU repairs);
 * the incremental MA maintenance of Appendix C makes each update
   ``O(|post|)`` instead of ``O(omega * |T|)``.
+
+Unlike FP and RR, MU's CHOOSE depends on post *content* (each delivered
+post moves the chosen resource's MA score), so a batch of future choices
+cannot be precomputed blindly.  :meth:`MostUnstableFirst.choose_batch`
+instead exploits the window structure of Definition 7: adding one post
+shifts the MA by ``(s_new - s_oldest) / (omega - 1)`` with
+``s_new <= 1``, so the score after ``j`` more posts is bounded above by
+a cumulative-slack sum over the *known* window entries.  As long as that
+upper bound stays below the runner-up's score, the scalar loop would
+provably re-choose the same resource no matter what the taggers write —
+those choices are committed as a batch, keeping traces byte-identical.
 """
 
 from __future__ import annotations
@@ -16,13 +27,17 @@ import heapq
 from dataclasses import dataclass, field
 from typing import ClassVar
 
+import numpy as np
+
 from repro.core.posts import Post
 from repro.core.stability import DEFAULT_OMEGA, StabilityTracker
 from repro.allocation.base import AllocationContext, AllocationStrategy
+from repro.api.registry import Param, register_strategy
 
 __all__ = ["MostUnstableFirst"]
 
 
+@register_strategy("MU", params={"omega": Param(int, DEFAULT_OMEGA, "MA window")})
 @dataclass
 class MostUnstableFirst(AllocationStrategy):
     """CHOOSE() pops the resource with the minimum MA score.
@@ -39,12 +54,16 @@ class MostUnstableFirst(AllocationStrategy):
     _heap: list[tuple[float, int]] = field(default_factory=list, init=False, repr=False)
     _trackers: dict[int, StabilityTracker] = field(default_factory=dict, init=False, repr=False)
     _pending: int | None = field(default=None, init=False, repr=False)
+    _planned_index: int | None = field(default=None, init=False, repr=False)
+    _planned_left: int = field(default=0, init=False, repr=False)
 
     def initialize(self, context: AllocationContext) -> None:
         super().initialize(context)
         self._heap = []
         self._trackers = {}
         self._pending = None
+        self._planned_index = None
+        self._planned_left = 0
         for index in range(context.n):
             posts = context.initial_posts[index]
             if len(posts) < self.omega:
@@ -66,14 +85,68 @@ class MostUnstableFirst(AllocationStrategy):
         self._pending = index
         return index
 
+    def choose_batch(self, k: int) -> list[int]:
+        if k == 1:
+            return super().choose_batch(k)
+        if self._pending is not None:
+            return [self._pending]
+        if not self._heap:
+            return []
+        score, index = heapq.heappop(self._heap)
+        if not self._heap:
+            # No competitor: the scalar loop re-chooses this resource
+            # forever, regardless of what its posts do to the score.
+            run = k
+        else:
+            runner_up_score, runner_up = self._heap[0]
+            # Upper bound on the score after j more posts: each post
+            # drops one known window entry w and gains at most 1, moving
+            # the MA by at most (1 - w) / (omega - 1); once the original
+            # window has fully rotated out the dropped entries are
+            # unknown (>= 0), so the slack degrades to 1 / (omega - 1).
+            window = np.array(self._trackers[index].similarity_window, dtype=np.float64)
+            slack = np.full(k - 1, 1.0, dtype=np.float64)
+            known = min(k - 1, len(window))
+            slack[:known] = 1.0 - window[:known]
+            bounds = score + np.cumsum(slack) / (self.omega - 1)
+            # The scalar heap breaks score ties by index.
+            if index < runner_up:
+                certain = bounds <= runner_up_score
+            else:
+                certain = bounds < runner_up_score
+            run = 1 + int(np.argmin(certain)) if not certain.all() else k
+        self._planned_index = index
+        self._planned_left = run
+        return [index] * run
+
     def update(self, index: int, post: Post) -> None:
         tracker = self._trackers[index]
         tracker.add_post(post.tags)
+        if self._planned_left and index == self._planned_index:
+            self._planned_left -= 1
+            if self._planned_left == 0:
+                self._planned_index = None
+                score = tracker.ma_score
+                assert score is not None
+                heapq.heappush(self._heap, (score, index))
+            return
         if index == self._pending:
             score = tracker.ma_score
             assert score is not None
             heapq.heappush(self._heap, (score, index))
             self._pending = None
+
+    def cancel_plan(self) -> None:
+        if not self._planned_left:
+            return
+        index = self._planned_index
+        assert index is not None
+        self._planned_index = None
+        self._planned_left = 0
+        if not self.is_exhausted(index):
+            score = self._trackers[index].ma_score
+            assert score is not None
+            heapq.heappush(self._heap, (score, index))
 
     def mark_exhausted(self, index: int) -> None:
         super().mark_exhausted(index)

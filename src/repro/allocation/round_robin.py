@@ -8,18 +8,28 @@ popularity) but blind to which resources actually need help.
 The paper's pseudo-code starts its cycle at resource 2 due to a
 ``(l mod n) + 1`` quirk; we start at resource 0.  The cycle origin has no
 effect on any reported metric once ``B >= n``.
+
+RR's CHOOSE is post-content-free, so :meth:`RoundRobin.choose_batch`
+plans a whole chunk by tiling the active-resource ring — byte-identical
+to the scalar walk at any batch size.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import ClassVar
 
+import numpy as np
+
+from repro.core.posts import Post
 from repro.allocation.base import AllocationContext, AllocationStrategy
+from repro.api.registry import register_strategy
 
 __all__ = ["RoundRobin"]
 
 
+@register_strategy("RR")
 @dataclass
 class RoundRobin(AllocationStrategy):
     """CHOOSE() walks resources cyclically, skipping exhausted ones."""
@@ -27,10 +37,12 @@ class RoundRobin(AllocationStrategy):
     name: ClassVar[str] = "RR"
 
     _next: int = field(default=0, init=False, repr=False)
+    _planned: deque[int] = field(default_factory=deque, init=False, repr=False)
 
     def initialize(self, context: AllocationContext) -> None:
         super().initialize(context)
         self._next = 0
+        self._planned = deque()
 
     def choose(self) -> int | None:
         n = self.context.n
@@ -42,3 +54,32 @@ class RoundRobin(AllocationStrategy):
             if not self.is_exhausted(index):
                 return index
         return None
+
+    def choose_batch(self, k: int) -> list[int]:
+        if k == 1:
+            return super().choose_batch(k)
+        n = self.context.n
+        active = np.array(
+            [i for i in range(n) if not self.is_exhausted(i)], dtype=np.int64
+        )
+        if len(active) == 0:
+            return []
+        # The ring, rotated so the walk resumes at the cursor, tiled to k.
+        start = int(np.searchsorted(active, self._next))
+        ring = np.concatenate([active[start:], active[:start]])
+        plan = np.tile(ring, -(-k // len(ring)))[:k].tolist()
+        self._next = (plan[-1] + 1) % n
+        self._planned = deque(plan)
+        return plan
+
+    def update(self, index: int, post: Post) -> None:
+        if self._planned and self._planned[0] == index:
+            self._planned.popleft()
+
+    def cancel_plan(self) -> None:
+        if not self._planned:
+            return
+        # The scalar walk would have consumed the failed item's cycle
+        # slot before learning of the failure: resume just past it.
+        self._next = (self._planned[0] + 1) % self.context.n
+        self._planned = deque()

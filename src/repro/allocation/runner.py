@@ -18,6 +18,15 @@ dataset and all documented in DESIGN.md:
   stops early with the budget partially spent;
 * optional per-resource task *costs* and tagger *acceptance
   probabilities* implement the paper's Section VI future-work items.
+
+``run(..., batch_size=k)`` switches the loop to the batched CHOOSE
+protocol: the strategy plans up to ``k`` choices at once
+(:meth:`~repro.allocation.base.AllocationStrategy.choose_batch`),
+deliveries proceed per post, and an optional
+:class:`~repro.allocation.monitor.StabilityMonitor` receives completed
+posts one *chunk* at a time — which lets the engine-backed monitor
+amortize its vectorized bank update across the whole chunk.  The batched
+protocol is exact, so traces are byte-identical at every batch size.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ from repro.core.errors import AllocationError, BudgetError
 from repro.core.posts import Post
 from repro.allocation.base import AllocationContext, AllocationStrategy
 from repro.allocation.budget import AllocationTrace
+from repro.allocation.monitor import StabilityMonitor
 from repro.allocation.oracle import GenerativeTaggerSource, ReplayTaggerSource, TaggerSource
 
 __all__ = ["IncentiveRunner"]
@@ -110,6 +120,8 @@ class IncentiveRunner:
         acceptance: np.ndarray | None = None,
         rng: np.random.Generator | None = None,
         strict: bool = False,
+        batch_size: int = 1,
+        monitor: StabilityMonitor | None = None,
     ) -> AllocationTrace:
         """Spend ``budget`` reward units through ``strategy``.
 
@@ -125,6 +137,15 @@ class IncentiveRunner:
             rng: Required when ``acceptance`` is given.
             strict: If True, raise :class:`BudgetError` when the source
                 cannot possibly serve the full budget (replay only).
+            batch_size: CHOOSE() chunk size.  ``1`` is the paper's scalar
+                Algorithm 1 loop; larger values plan through
+                :meth:`~repro.allocation.base.AllocationStrategy.choose_batch`
+                and feed the monitor one chunk at a time.  Traces are
+                byte-identical for every value (the batched protocol is
+                exact), so this is purely a throughput knob.
+            monitor: Optional :class:`StabilityMonitor` fed every
+                delivered post.  Monitors only observe — attaching one
+                never changes the trace.
 
         Returns:
             The completed :class:`AllocationTrace`.
@@ -133,12 +154,15 @@ class IncentiveRunner:
             BudgetError: On negative budget, or under ``strict`` when the
                 replayable posts cannot cover it.
             AllocationError: If ``acceptance`` is supplied without a rng,
-                or a strategy proposes an out-of-range resource.
+                ``batch_size`` is not positive, or a strategy proposes an
+                out-of-range resource.
         """
         if budget < 0:
             raise BudgetError(f"budget must be non-negative, got {budget}")
         if acceptance is not None and rng is None:
             raise AllocationError("acceptance simulation requires an rng")
+        if batch_size < 1:
+            raise AllocationError(f"batch_size must be positive, got {batch_size}")
         if costs is not None:
             costs = np.asarray(costs, dtype=np.int64)
             if len(costs) != self.n:
@@ -161,6 +185,8 @@ class IncentiveRunner:
             costs=costs,
         )
         strategy.initialize(context)
+        if monitor is not None:
+            monitor.begin(self.n, self.initial_posts)
 
         order: list[int] = []
         spend: list[int] = []
@@ -172,45 +198,55 @@ class IncentiveRunner:
         # strategy that keeps proposing dead resources.
         fruitless = 0
         while remaining > 0:
-            index = strategy.choose()
-            if index is None:
+            plan = strategy.choose_batch(min(batch_size, remaining))
+            if not plan:
                 break
-            if not 0 <= index < self.n:
-                raise AllocationError(
-                    f"{strategy.name} proposed resource {index}, valid range is [0, {self.n})"
-                )
-            cost = int(costs[index]) if costs is not None else 1
-            if cost > remaining:
-                strategy.mark_exhausted(index)  # unaffordable ≙ unavailable this run
-                fruitless += 1
+            chunk: list[tuple[int, Post]] = []
+            aborted = False
+            for index in plan:
+                if not 0 <= index < self.n:
+                    raise AllocationError(
+                        f"{strategy.name} proposed resource {index}, "
+                        f"valid range is [0, {self.n})"
+                    )
+                cost = int(costs[index]) if costs is not None else 1
+                if cost > remaining:
+                    strategy.mark_exhausted(index)  # unaffordable ≙ unavailable this run
+                    fruitless += 1
+                    aborted = True
+                    break
+                if acceptance is not None:
+                    assert rng is not None
+                    if rng.random() >= acceptance[index]:
+                        # A refusal is not evidence of exhaustion — do not
+                        # count it as fruitless, only against the refusal cap.
+                        refusals += 1
+                        strategy.notify_refusal(index)
+                        if refusals > 100 * budget + 100:
+                            raise AllocationError(
+                                "taggers refused far more offers than the budget; "
+                                "acceptance probabilities are likely degenerate"
+                            )
+                        aborted = True
+                        break
+                post = source.next_post(index)
+                if post is None:
+                    strategy.mark_exhausted(index)
+                    fruitless += 1
+                    aborted = True
+                    break
+                fruitless = 0
+                strategy.update(index, post)
+                chunk.append((index, post))
+                order.append(index)
+                spend.append(cost)
+                remaining -= cost
+            if monitor is not None and chunk:
+                monitor.observe_batch(chunk)
+            if aborted:
+                strategy.cancel_plan()
                 if fruitless > 2 * self.n + 1:
                     break
-                continue
-            if acceptance is not None:
-                assert rng is not None
-                if rng.random() >= acceptance[index]:
-                    # A refusal is not evidence of exhaustion — do not count
-                    # it as fruitless, only against the refusal cap.
-                    refusals += 1
-                    strategy.notify_refusal(index)
-                    if refusals > 100 * budget + 100:
-                        raise AllocationError(
-                            "taggers refused far more offers than the budget; "
-                            "acceptance probabilities are likely degenerate"
-                        )
-                    continue
-            post = source.next_post(index)
-            if post is None:
-                strategy.mark_exhausted(index)
-                fruitless += 1
-                if fruitless > 2 * self.n + 1:
-                    break
-                continue
-            fruitless = 0
-            strategy.update(index, post)
-            order.append(index)
-            spend.append(cost)
-            remaining -= cost
 
         return AllocationTrace(
             strategy_name=strategy.name,

@@ -1,0 +1,105 @@
+"""repro.api — the declarative front door of the reproduction.
+
+One way in, for everything::
+
+    from repro.api import AllocateSpec, CorpusSpec, run
+
+    result = run(AllocateSpec(
+        corpus=CorpusSpec(kind="paper", resources=150, seed=7),
+        strategy="FP",
+        budget=500,
+        batch_size=64,
+        stability="engine",
+    ))
+    print(result.summary)          # what the CLI would print
+    result.to_json()               # store / queue / replay it
+
+The pieces:
+
+* **Specs** (:mod:`repro.api.specs`) — frozen, validated descriptions of
+  a run (:class:`CorpusSpec`, :class:`AllocateSpec`,
+  :class:`CampaignSpec`, :class:`IngestSpec`) with lossless JSON
+  round-tripping.
+* **Registry** (:mod:`repro.api.registry`) — strategies register
+  themselves with declared parameter schemas; nothing guesses
+  constructor signatures anymore.
+* **Dispatch** (:func:`run`) — turns any runnable spec into a
+  :class:`RunResult`, the single JSON-serializable result type.
+
+The CLI is a thin argv→spec translator over this module, and the
+experiment harness builds its strategy lineups from the same registry.
+
+Implementation note: :func:`run` and the corpus materializer are loaded
+lazily (PEP 562) because they import the allocation/service layers,
+which themselves import :mod:`repro.api.registry` to register strategies
+— eager imports here would be circular.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.api.registry import (
+    STRATEGIES,
+    Param,
+    RegisteredStrategy,
+    StrategyRegistry,
+    register_strategy,
+)
+from repro.api.results import RunResult
+from repro.api.specs import (
+    ALLOCATION_MODES,
+    CORPUS_KINDS,
+    STABILITY_BACKENDS,
+    AllocateSpec,
+    CampaignSpec,
+    CorpusSpec,
+    IngestSpec,
+    Spec,
+    spec_from_dict,
+    spec_from_json,
+)
+
+__all__ = [
+    "ALLOCATION_MODES",
+    "AllocateSpec",
+    "CORPUS_KINDS",
+    "CampaignSpec",
+    "CorpusSpec",
+    "IngestSpec",
+    "MaterializedCorpus",
+    "Param",
+    "RegisteredStrategy",
+    "RunResult",
+    "STABILITY_BACKENDS",
+    "STRATEGIES",
+    "Spec",
+    "StrategyRegistry",
+    "materialize",
+    "register_strategy",
+    "run",
+    "spec_from_dict",
+    "spec_from_json",
+]
+
+_LAZY = {
+    "run": ("repro.api.dispatch", "run"),
+    "materialize": ("repro.api.corpus", "materialize"),
+    "MaterializedCorpus": ("repro.api.corpus", "MaterializedCorpus"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

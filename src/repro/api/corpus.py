@@ -1,0 +1,108 @@
+"""Materializing a :class:`~repro.api.specs.CorpusSpec` into data.
+
+One function, :func:`materialize`, turns the declarative corpus
+description into a :class:`MaterializedCorpus` — the dataset plus
+whatever ground truth the source provides (generated scenarios carry
+latent models and a taxonomy; JSONL corpora carry only posts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.dataset import TaggingDataset
+from repro.core.errors import SpecError
+from repro.api.specs import CorpusSpec
+
+__all__ = ["MaterializedCorpus", "materialize"]
+
+
+@dataclass(frozen=True)
+class MaterializedCorpus:
+    """A corpus plus as much ground truth as its source provides.
+
+    Attributes:
+        spec: The spec this corpus came from.
+        dataset: The posts.
+        cutoff: Split cutoff (spec override, else the generated corpus'
+            own; ``None`` when a ``jsonl`` spec omitted it).
+        models: Latent resource models (generated kinds only).
+        hierarchy: Topic taxonomy (generated kinds only).
+    """
+
+    spec: CorpusSpec
+    dataset: TaggingDataset
+    cutoff: float | None
+    models: list | None = None
+    hierarchy: object | None = None
+    generated: object | None = None
+    """The underlying :class:`~repro.simulate.generator.GeneratedCorpus`
+    for generated kinds (``None`` for ``jsonl``); consumers that need the
+    full generation provenance (e.g. the experiment harness) use this."""
+
+    @property
+    def n(self) -> int:
+        """Number of resources."""
+        return len(self.dataset)
+
+    def require_cutoff(self) -> float:
+        """The cutoff, or a :class:`SpecError` explaining how to set one."""
+        if self.cutoff is None:
+            raise SpecError(
+                f"corpus kind {self.spec.kind!r} needs an explicit cutoff to split "
+                "initial from future posts; set CorpusSpec.cutoff"
+            )
+        return float(self.cutoff)
+
+    def require_models(self) -> list:
+        """The latent models, or a :class:`SpecError` for model-less corpora."""
+        if self.models is None:
+            raise SpecError(
+                f"corpus kind {self.spec.kind!r} has no latent models; generative "
+                "and campaign runs need a generated corpus (paper/universe/tiny/small)"
+            )
+        return self.models
+
+
+def materialize(spec: CorpusSpec) -> MaterializedCorpus:
+    """Build the corpus a spec describes.
+
+    Generated kinds call the :mod:`repro.simulate` scenario constructors;
+    ``jsonl`` loads a dataset from disk.
+
+    Raises:
+        SpecError: For a missing JSONL file.
+    """
+    if spec.kind == "jsonl":
+        assert spec.path is not None  # guaranteed by CorpusSpec validation
+        path = Path(spec.path)
+        if not path.exists():
+            raise SpecError(f"corpus file does not exist: {path}")
+        dataset = TaggingDataset.from_jsonl(path)
+        return MaterializedCorpus(spec=spec, dataset=dataset, cutoff=spec.cutoff)
+
+    from repro.simulate import (
+        paper_scenario,
+        small_scenario,
+        tiny_scenario,
+        universe_scenario,
+    )
+
+    if spec.kind == "paper":
+        corpus = paper_scenario(n=spec.resources, seed=spec.seed)
+    elif spec.kind == "universe":
+        corpus = universe_scenario(seed=spec.seed, n=spec.resources)
+    elif spec.kind == "small":
+        corpus = small_scenario(seed=spec.seed, n=spec.resources)
+    else:  # "tiny" — fixed-size by construction
+        corpus = tiny_scenario(seed=spec.seed)
+    cutoff = spec.cutoff if spec.cutoff is not None else corpus.cutoff
+    return MaterializedCorpus(
+        spec=spec,
+        dataset=corpus.dataset,
+        cutoff=float(cutoff),
+        models=corpus.models,
+        hierarchy=corpus.hierarchy,
+        generated=corpus,
+    )

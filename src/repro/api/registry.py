@@ -1,0 +1,209 @@
+"""The strategy registry: declared constructors instead of guessed ones.
+
+Before this module existed the CLI (and anything else that wanted to
+build a strategy from its name) had to guess constructor signatures::
+
+    try:
+        strategy = strategy_class(omega=args.omega)   # maybe?
+    except TypeError:
+        strategy = strategy_class()                   # shrug
+
+That pattern broke the moment a constructor raised ``TypeError`` for any
+other reason, and in one code path it silently assigned the *class*
+instead of an instance.  Here every strategy instead **declares** its
+constructor parameters when it registers::
+
+    @register_strategy("MU", params={"omega": Param(int, DEFAULT_OMEGA, "MA window")})
+    @dataclass
+    class MostUnstableFirst(AllocationStrategy):
+        ...
+
+so :meth:`StrategyRegistry.create` can validate names, parameter names
+and parameter types up front and raise one precise
+:class:`~repro.core.errors.SpecError` instead of failing downstream.
+
+The process-global default registry is :data:`STRATEGIES`; it is fully
+populated as a side effect of importing :mod:`repro.allocation` (each
+strategy module registers itself at class-definition time).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import SpecError
+
+__all__ = ["Param", "RegisteredStrategy", "StrategyRegistry", "STRATEGIES", "register_strategy"]
+
+
+@dataclass(frozen=True)
+class Param:
+    """One declared constructor parameter of a registered strategy.
+
+    Attributes:
+        type: Expected Python type.  ``float`` parameters accept ints;
+            ``bool`` is *not* accepted where ``int`` is declared.
+        default: Value used when the caller does not supply the
+            parameter.  ``None`` marks the parameter as optional-nullable
+            (the caller may also pass ``None`` explicitly).
+        doc: One-line description, surfaced in error messages and docs.
+    """
+
+    type: type
+    default: Any = None
+    doc: str = ""
+
+    def validate(self, name: str, value: Any, strategy: str) -> Any:
+        """Type-check ``value`` for this parameter; return it (coerced)."""
+        if value is None:
+            if self.default is None:
+                return None
+            raise SpecError(f"strategy {strategy!r}: parameter {name!r} must not be None")
+        if self.type is float and isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        if not isinstance(value, self.type) or (
+            self.type in (int, float) and isinstance(value, bool)
+        ):
+            raise SpecError(
+                f"strategy {strategy!r}: parameter {name!r} expects "
+                f"{self.type.__name__}, got {type(value).__name__} ({value!r})"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class RegisteredStrategy:
+    """A registry entry: the class plus its declared parameter schema."""
+
+    name: str
+    cls: type
+    params: Mapping[str, Param] = field(default_factory=dict)
+
+    def build(self, **overrides: Any) -> Any:
+        """Instantiate with validated parameters (defaults filled in)."""
+        unknown = sorted(set(overrides) - set(self.params))
+        if unknown:
+            declared = ", ".join(sorted(self.params)) or "(none)"
+            raise SpecError(
+                f"strategy {self.name!r} does not declare parameter(s) "
+                f"{', '.join(repr(u) for u in unknown)}; declared: {declared}"
+            )
+        kwargs: dict[str, Any] = {}
+        for pname, spec in self.params.items():
+            value = overrides.get(pname, spec.default)
+            kwargs[pname] = spec.validate(pname, value, self.name)
+        return self.cls(**kwargs)
+
+
+class StrategyRegistry:
+    """Name -> strategy mapping with declared parameter schemas.
+
+    The registry is the single source of truth for "which strategies
+    exist and how are they constructed": the CLI derives its ``choices``
+    from :meth:`names`, specs are validated against :meth:`get`, and the
+    experiment harness builds its default lineup through :meth:`create`.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, RegisteredStrategy] = {}
+
+    # -- registration ---------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        cls: type,
+        params: Mapping[str, Param] | None = None,
+    ) -> None:
+        """Register ``cls`` under ``name``.
+
+        Raises:
+            SpecError: On a duplicate name (two strategies competing for
+                one name is always a programming error) or a blank name.
+        """
+        if not name or not isinstance(name, str):
+            raise SpecError(f"strategy name must be a non-empty string, got {name!r}")
+        existing = self._entries.get(name)
+        if existing is not None:
+            raise SpecError(
+                f"strategy name {name!r} already registered by "
+                f"{existing.cls.__module__}.{existing.cls.__qualname__}"
+            )
+        self._entries[name] = RegisteredStrategy(name=name, cls=cls, params=dict(params or {}))
+
+    # -- lookup ---------------------------------------------------------
+
+    def get(self, name: str) -> RegisteredStrategy:
+        """The entry for ``name``.
+
+        Raises:
+            SpecError: On an unknown name, listing the known ones.
+        """
+        entry = self._entries.get(name)
+        if entry is None:
+            raise SpecError(
+                f"unknown strategy {name!r}; registered strategies: "
+                f"{', '.join(sorted(self._entries)) or '(none)'}"
+            )
+        return entry
+
+    def create(self, name: str, **params: Any) -> Any:
+        """Build a validated instance of the strategy named ``name``."""
+        return self.get(name).build(**params)
+
+    def filter_params(self, name: str, **candidates: Any) -> dict[str, Any]:
+        """The subset of ``candidates`` that ``name`` declares.
+
+        This is how a generic front end (the CLI's single ``--omega``
+        flag, for instance) passes a parameter only to the strategies
+        that actually take it — schema-driven, no ``TypeError`` probing.
+        """
+        declared = self.get(name).params
+        return {k: v for k, v in candidates.items() if k in declared}
+
+    def names(self) -> list[str]:
+        """Registered names, sorted."""
+        return sorted(self._entries)
+
+    def classes(self) -> dict[str, type]:
+        """A name -> class snapshot (legacy ``STRATEGY_REGISTRY`` shape)."""
+        return {name: entry.cls for name, entry in self._entries.items()}
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+STRATEGIES = StrategyRegistry()
+"""The process-global registry; populated by importing :mod:`repro.allocation`."""
+
+
+def register_strategy(
+    name: str,
+    *,
+    params: Mapping[str, Param] | None = None,
+    registry: StrategyRegistry | None = None,
+):
+    """Class decorator: register a strategy under ``name`` with its schema.
+
+    Args:
+        name: Public strategy name ("FP", "MU", ...).
+        params: Declared constructor parameters (name -> :class:`Param`).
+            Parameters *not* declared here cannot be set through the
+            registry / spec path (they remain available to direct Python
+            construction).
+        registry: Target registry (default: the global :data:`STRATEGIES`).
+    """
+
+    def decorate(cls: type) -> type:
+        (registry if registry is not None else STRATEGIES).register(name, cls, params)
+        return cls
+
+    return decorate

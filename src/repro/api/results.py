@@ -1,0 +1,98 @@
+"""The one result type every :func:`repro.api.run` call returns.
+
+A :class:`RunResult` is deliberately boring: a kind tag, the spec that
+produced it, scalar metrics, a human-readable summary (exactly what the
+CLI prints), and a JSON-serializable details payload.  Boring is the
+point — results can be stored, diffed, queued and aggregated without
+knowing which subsystem produced them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import SpecError
+
+__all__ = ["RunResult"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one :func:`repro.api.run` call.
+
+    Attributes:
+        kind: Which runner produced it (``allocate``/``campaign``/``ingest``).
+        spec: The originating spec as its ``to_dict`` payload, so every
+            result carries its own full reproduction recipe.
+        metrics: Flat name -> scalar map (JSON numbers only).
+        summary: Human-readable report; the CLI prints this verbatim.
+        details: Structured, JSON-serializable extras (assignment
+            vectors, per-epoch reports, stable points, ...).
+    """
+
+    kind: str
+    spec: dict[str, Any]
+    metrics: dict[str, Any] = field(default_factory=dict)
+    summary: str = ""
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, str) or not self.kind:
+            raise SpecError(f"RunResult kind must be a non-empty string, got {self.kind!r}")
+        for label, payload in (("spec", self.spec), ("metrics", self.metrics),
+                               ("details", self.details)):
+            if not isinstance(payload, dict):
+                raise SpecError(f"RunResult {label} must be a dict, got {type(payload).__name__}")
+        for name, value in self.metrics.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SpecError(
+                    f"RunResult metric {name!r} must be an int or float, got {value!r}"
+                )
+        try:
+            json.dumps(self.details)
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"RunResult details are not JSON-serializable: {exc}") from exc
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable dict; :meth:`from_dict` inverts it."""
+        return {
+            "kind": self.kind,
+            "spec": dict(self.spec),
+            "metrics": dict(self.metrics),
+            "summary": self.summary,
+            "details": dict(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> RunResult:
+        """Rebuild a result, rejecting unknown keys."""
+        if not isinstance(payload, dict):
+            raise SpecError(f"RunResult.from_dict expects a dict, got {type(payload).__name__}")
+        known = {"kind", "spec", "metrics", "summary", "details"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise SpecError(
+                f"RunResult does not define field(s) {', '.join(repr(u) for u in unknown)}"
+            )
+        return cls(
+            kind=payload.get("kind", ""),
+            spec=payload.get("spec", {}),
+            metrics=payload.get("metrics", {}),
+            summary=payload.get("summary", ""),
+            details=payload.get("details", {}),
+        )
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """The result as a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True, **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> RunResult:
+        """Inverse of :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"RunResult.from_json: invalid JSON: {exc}") from exc
+        return cls.from_dict(payload)

@@ -1,0 +1,370 @@
+"""Frozen, validated run specs — the declarative surface of :mod:`repro.api`.
+
+A spec is a frozen dataclass that fully describes one run: which corpus,
+which strategy with which parameters, how much budget, which backends.
+Specs are **plain data**: they round-trip losslessly through
+``to_dict``/``from_dict`` (and ``to_json``/``from_json``), so a campaign
+can be submitted over a queue, stored next to its results, sharded
+across workers, and replayed later — none of which the old trio of
+ad-hoc entry points (`IncentiveRunner`, `IncentiveCampaign`,
+`IngestEngine`) could express.
+
+Validation happens at construction (``__post_init__``), so a spec that
+exists is a spec that can run; ``from_dict`` additionally rejects
+unknown keys and mismatched ``type`` tags with a
+:class:`~repro.core.errors.SpecError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+from repro.core.errors import SpecError
+
+__all__ = [
+    "Spec",
+    "CorpusSpec",
+    "AllocateSpec",
+    "CampaignSpec",
+    "IngestSpec",
+    "spec_from_dict",
+    "spec_from_json",
+]
+
+CORPUS_KINDS = ("paper", "universe", "tiny", "small", "jsonl")
+"""Recognised corpus sources (generated scenarios plus JSONL files)."""
+
+STABILITY_BACKENDS = ("tracker", "engine")
+"""Per-post scalar trackers vs the batched columnar ``StabilityBank``."""
+
+ALLOCATION_MODES = ("replay", "generative")
+"""Replay the corpus' future posts, or synthesise posts from its models."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SpecError(message)
+
+
+def _is_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_number(value: Any) -> bool:
+    return (isinstance(value, (int, float)) and not isinstance(value, bool))
+
+
+@dataclass(frozen=True)
+class Spec:
+    """Base class: dict/JSON round-tripping shared by every spec type.
+
+    Class attributes:
+        TYPE: The tag written into ``to_dict()['type']`` and dispatched
+            on by :func:`spec_from_dict`.
+        _NESTED: Field name -> spec class, for fields holding sub-specs.
+    """
+
+    TYPE: ClassVar[str] = ""
+    _NESTED: ClassVar[dict[str, type[Spec]]] = {}
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable dict; ``from_dict`` inverts it losslessly."""
+        payload: dict[str, Any] = {"type": self.TYPE}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Spec):
+                value = value.to_dict()
+            elif isinstance(value, dict):
+                value = dict(value)
+            payload[f.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> Spec:
+        """Rebuild a spec, rejecting unknown keys and bad values.
+
+        Raises:
+            SpecError: On a non-dict payload, a mismatched ``type`` tag,
+                unknown keys, or any value the constructor rejects.
+        """
+        if not isinstance(payload, dict):
+            raise SpecError(f"{cls.__name__}.from_dict expects a dict, got {type(payload).__name__}")
+        data = dict(payload)
+        tag = data.pop("type", cls.TYPE)
+        if tag != cls.TYPE:
+            raise SpecError(f"{cls.__name__}.from_dict got type tag {tag!r}, expected {cls.TYPE!r}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(
+                f"{cls.__name__} does not define field(s) "
+                f"{', '.join(repr(u) for u in unknown)}; known: {', '.join(sorted(known))}"
+            )
+        for name, nested_cls in cls._NESTED.items():
+            if name in data and isinstance(data[name], dict):
+                data[name] = nested_cls.from_dict(data[name])
+        return cls(**data)
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """The spec as a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True, **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> Spec:
+        """Inverse of :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"{cls.__name__}.from_json: invalid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def replace(self, **changes: Any) -> Spec:
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class CorpusSpec(Spec):
+    """Where the resources come from.
+
+    Attributes:
+        kind: One of :data:`CORPUS_KINDS` — a generated scenario
+            (``paper``/``universe``/``tiny``/``small``) or a ``jsonl``
+            corpus on disk.
+        resources: Resource count for generated kinds (ignored for
+            ``jsonl``; ``tiny`` is fixed-size by definition).
+        seed: Generation seed (generated kinds only).
+        path: JSONL file path (required iff ``kind == 'jsonl'``).
+        cutoff: Optional split cutoff override.  Generated corpora carry
+            their own cutoff; a ``jsonl`` corpus needs one whenever the
+            run splits initial from future posts.
+    """
+
+    TYPE: ClassVar[str] = "corpus"
+
+    kind: str = "paper"
+    resources: int = 150
+    seed: int = 7
+    path: str | None = None
+    cutoff: float | None = None
+
+    def __post_init__(self) -> None:
+        _check(self.kind in CORPUS_KINDS, f"corpus kind must be one of {CORPUS_KINDS}, got {self.kind!r}")
+        _check(_is_int(self.resources) and self.resources >= 1,
+               f"corpus resources must be a positive int, got {self.resources!r}")
+        _check(_is_int(self.seed), f"corpus seed must be an int, got {self.seed!r}")
+        _check(self.path is None or isinstance(self.path, str),
+               f"corpus path must be a string or None, got {self.path!r}")
+        if self.kind == "jsonl":
+            _check(self.path is not None, "corpus kind 'jsonl' requires a path")
+        else:
+            _check(self.path is None, f"corpus kind {self.kind!r} does not take a path")
+        _check(self.cutoff is None or _is_number(self.cutoff),
+               f"corpus cutoff must be a number or None, got {self.cutoff!r}")
+
+
+@dataclass(frozen=True)
+class AllocateSpec(Spec):
+    """One allocation run: a strategy spending a budget on a corpus.
+
+    Attributes:
+        corpus: The corpus to allocate over.
+        strategy: Registered strategy name (validated at run time against
+            :data:`repro.api.registry.STRATEGIES`).
+        params: Strategy parameters; must match the declared schema.
+        budget: Reward units to spend.
+        batch_size: CHOOSE() chunk size — 1 reproduces the scalar
+            Algorithm 1 loop; larger values use the batched protocol
+            (byte-identical traces, amortized bookkeeping).
+        mode: ``replay`` (the paper's evaluation setup) or
+            ``generative`` (posts synthesised from the corpus models).
+        stability: Optional online stability monitoring backend
+            (:data:`STABILITY_BACKENDS`); ``None`` disables monitoring.
+        stability_tau: Observed-MA threshold the monitor watches for.
+            (The monitor's window is ``params['omega']`` when the
+            strategy declares one, so strategy and monitor never
+            silently disagree.)
+        seed: Run-time randomness seed (generative post synthesis).
+    """
+
+    TYPE: ClassVar[str] = "allocate"
+    _NESTED: ClassVar[dict[str, type[Spec]]] = {"corpus": CorpusSpec}
+
+    corpus: CorpusSpec = field(default_factory=CorpusSpec)
+    strategy: str = "FP"
+    params: dict[str, Any] = field(default_factory=dict)
+    budget: int = 500
+    batch_size: int = 1
+    mode: str = "replay"
+    stability: str | None = None
+    stability_tau: float = 0.99
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _check(isinstance(self.corpus, CorpusSpec),
+               f"allocate corpus must be a CorpusSpec, got {type(self.corpus).__name__}")
+        _check(isinstance(self.strategy, str) and bool(self.strategy),
+               f"allocate strategy must be a non-empty string, got {self.strategy!r}")
+        _check(isinstance(self.params, dict), f"allocate params must be a dict, got {self.params!r}")
+        _check(all(isinstance(k, str) for k in self.params), "allocate params keys must be strings")
+        _check(_is_int(self.budget) and self.budget >= 0,
+               f"allocate budget must be a non-negative int, got {self.budget!r}")
+        _check(_is_int(self.batch_size) and self.batch_size >= 1,
+               f"allocate batch_size must be a positive int, got {self.batch_size!r}")
+        _check(self.mode in ALLOCATION_MODES,
+               f"allocate mode must be one of {ALLOCATION_MODES}, got {self.mode!r}")
+        _check(self.stability is None or self.stability in STABILITY_BACKENDS,
+               f"allocate stability must be None or one of {STABILITY_BACKENDS}, got {self.stability!r}")
+        _check(_is_number(self.stability_tau) and 0.0 <= self.stability_tau <= 1.0,
+               f"allocate stability_tau must lie in [0, 1], got {self.stability_tau!r}")
+        _check(_is_int(self.seed), f"allocate seed must be an int, got {self.seed!r}")
+
+
+@dataclass(frozen=True)
+class CampaignSpec(Spec):
+    """One service campaign: the Fig 2 loop with a worker pool.
+
+    Attributes:
+        corpus: Corpus to run the campaign on (must be a generated kind —
+            the worker pool tags from the corpus' latent models).
+        strategy: Registered strategy name.
+        params: Strategy parameters (declared schema).
+        budget: Total reward units.
+        workers: Simulated crowd size.
+        seed: Worker-pool / free-choice randomness seed.
+        omega: MA window of the adaptive stopper.
+        stop_tau: Observed-MA retirement threshold (``None`` disables
+            adaptive stopping).
+        stability_backend: ``tracker`` (per-post) or ``engine``
+            (epoch-batched ``StabilityBank``).
+        batch_size: Task offers attempted per epoch.
+        max_epochs: Hard stop on campaign length.
+        reward_per_task: Units paid per completed task.
+    """
+
+    TYPE: ClassVar[str] = "campaign"
+    _NESTED: ClassVar[dict[str, type[Spec]]] = {"corpus": CorpusSpec}
+
+    corpus: CorpusSpec = field(default_factory=lambda: CorpusSpec(resources=40))
+    strategy: str = "FP"
+    params: dict[str, Any] = field(default_factory=dict)
+    budget: int = 600
+    workers: int = 10
+    seed: int = 7
+    omega: int = 5
+    stop_tau: float | None = 0.995
+    stability_backend: str = "tracker"
+    batch_size: int = 25
+    max_epochs: int = 100
+    reward_per_task: int = 1
+
+    def __post_init__(self) -> None:
+        _check(isinstance(self.corpus, CorpusSpec),
+               f"campaign corpus must be a CorpusSpec, got {type(self.corpus).__name__}")
+        _check(self.corpus.kind != "jsonl",
+               "campaign corpus must be a generated kind (workers tag from latent models)")
+        _check(isinstance(self.strategy, str) and bool(self.strategy),
+               f"campaign strategy must be a non-empty string, got {self.strategy!r}")
+        _check(isinstance(self.params, dict), f"campaign params must be a dict, got {self.params!r}")
+        _check(_is_int(self.budget) and self.budget >= 0,
+               f"campaign budget must be a non-negative int, got {self.budget!r}")
+        _check(_is_int(self.workers) and self.workers >= 1,
+               f"campaign workers must be a positive int, got {self.workers!r}")
+        _check(_is_int(self.seed), f"campaign seed must be an int, got {self.seed!r}")
+        _check(_is_int(self.omega) and self.omega >= 2,
+               f"campaign omega must be an int >= 2, got {self.omega!r}")
+        _check(self.stop_tau is None or (_is_number(self.stop_tau) and 0.0 <= self.stop_tau <= 1.0),
+               f"campaign stop_tau must be None or in [0, 1], got {self.stop_tau!r}")
+        _check(self.stability_backend in STABILITY_BACKENDS,
+               f"campaign stability_backend must be one of {STABILITY_BACKENDS}, "
+               f"got {self.stability_backend!r}")
+        _check(_is_int(self.batch_size) and self.batch_size >= 1,
+               f"campaign batch_size must be a positive int, got {self.batch_size!r}")
+        _check(_is_int(self.max_epochs) and self.max_epochs >= 1,
+               f"campaign max_epochs must be a positive int, got {self.max_epochs!r}")
+        _check(_is_int(self.reward_per_task) and self.reward_per_task >= 1,
+               f"campaign reward_per_task must be a positive int, got {self.reward_per_task!r}")
+
+
+@dataclass(frozen=True)
+class IngestSpec(Spec):
+    """One streaming-ingestion run through the vectorized engine.
+
+    Attributes:
+        dataset: JSONL corpus to replay as an event stream, or ``None``
+            for the deterministic synthetic interleaved stream.
+        resources: Synthetic-stream resource count.
+        seed: Synthetic-stream seed.
+        shards: Bank shard count (1 = single columnar bank).
+        batch_size: Events per engine batch (the vectorization grain).
+        omega: MA window.
+        tau: Stability threshold.
+        max_events: Optional cap on the synthetic stream length.
+        checkpoint: Directory to write a final checkpoint to.
+        resume: Checkpoint directory to resume from (its bank parameters
+            override ``omega``/``tau``/``shards``).
+    """
+
+    TYPE: ClassVar[str] = "ingest"
+
+    dataset: str | None = None
+    resources: int = 500
+    seed: int = 7
+    shards: int = 1
+    batch_size: int = 4096
+    omega: int = 5
+    tau: float = 0.99
+    max_events: int | None = None
+    checkpoint: str | None = None
+    resume: str | None = None
+
+    def __post_init__(self) -> None:
+        _check(self.dataset is None or isinstance(self.dataset, str),
+               f"ingest dataset must be a path string or None, got {self.dataset!r}")
+        _check(_is_int(self.resources) and self.resources >= 1,
+               f"ingest resources must be a positive int, got {self.resources!r}")
+        _check(_is_int(self.seed), f"ingest seed must be an int, got {self.seed!r}")
+        _check(_is_int(self.shards) and self.shards >= 1,
+               f"ingest shards must be a positive int, got {self.shards!r}")
+        _check(_is_int(self.batch_size) and self.batch_size >= 1,
+               f"ingest batch_size must be a positive int, got {self.batch_size!r}")
+        _check(_is_int(self.omega) and self.omega >= 2,
+               f"ingest omega must be an int >= 2, got {self.omega!r}")
+        _check(_is_number(self.tau) and 0.0 <= self.tau <= 1.0,
+               f"ingest tau must lie in [0, 1], got {self.tau!r}")
+        _check(self.max_events is None or (_is_int(self.max_events) and self.max_events >= 0),
+               f"ingest max_events must be a non-negative int or None, got {self.max_events!r}")
+        _check(self.checkpoint is None or isinstance(self.checkpoint, str),
+               f"ingest checkpoint must be a path string or None, got {self.checkpoint!r}")
+        _check(self.resume is None or isinstance(self.resume, str),
+               f"ingest resume must be a path string or None, got {self.resume!r}")
+
+
+_SPEC_TYPES: dict[str, type[Spec]] = {
+    cls.TYPE: cls for cls in (CorpusSpec, AllocateSpec, CampaignSpec, IngestSpec)
+}
+
+
+def spec_from_dict(payload: dict[str, Any]) -> Spec:
+    """Rebuild any spec from its ``to_dict`` payload (dispatch on ``type``)."""
+    if not isinstance(payload, dict):
+        raise SpecError(f"spec_from_dict expects a dict, got {type(payload).__name__}")
+    tag = payload.get("type")
+    cls = _SPEC_TYPES.get(tag)  # type: ignore[arg-type]
+    if cls is None:
+        raise SpecError(
+            f"unknown spec type tag {tag!r}; known: {', '.join(sorted(_SPEC_TYPES))}"
+        )
+    return cls.from_dict(payload)
+
+
+def spec_from_json(text: str) -> Spec:
+    """Rebuild any spec from its ``to_json`` string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"spec_from_json: invalid JSON: {exc}") from exc
+    return spec_from_dict(payload)

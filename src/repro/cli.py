@@ -10,8 +10,12 @@ Commands:
 * ``ingest`` — stream an interleaved event log through the vectorized
   engine (optionally sharded / checkpointed).
 
-The CLI is a thin shell over the library; every command maps onto one or
-two public calls, so the printed output is reproducible from Python.
+The run-style commands (``allocate``, ``campaign``, ``ingest``) are pure
+argv→spec translators: each builds the matching :mod:`repro.api` spec
+and prints ``repro.api.run(spec).summary``, so anything the CLI does is
+one serializable spec away from being queued, stored, or replayed from
+Python.  Strategy names (and which strategies accept ``--omega``) come
+from the strategy registry's declared schemas — no signature guessing.
 """
 
 from __future__ import annotations
@@ -20,10 +24,9 @@ import argparse
 import sys
 from pathlib import Path
 
-import numpy as np
-
 import repro
-from repro.allocation import STRATEGY_REGISTRY, IncentiveRunner
+import repro.api as api
+from repro.api import AllocateSpec, CampaignSpec, CorpusSpec, IngestSpec, STRATEGIES
 from repro.core.dataset import TaggingDataset
 from repro.experiments import (
     DEFAULT_SCALE,
@@ -49,8 +52,7 @@ from repro.experiments import (
     runtime_vs_budget,
     runtime_vs_resources,
 )
-from repro.experiments.evaluation import GroundTruth, TraceEvaluator
-from repro.simulate import case_study_scenario, paper_scenario, universe_scenario
+from repro.simulate import case_study_scenario, paper_scenario
 
 __all__ = ["main", "build_parser"]
 
@@ -82,11 +84,23 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--seed", type=int, default=7)
 
     allocate = sub.add_parser("allocate", help="run an allocation strategy")
-    allocate.add_argument("strategy", choices=sorted(STRATEGY_REGISTRY))
+    allocate.add_argument("strategy", choices=STRATEGIES.names())
     allocate.add_argument("--budget", type=int, default=500)
     allocate.add_argument("--resources", type=int, default=150)
     allocate.add_argument("--seed", type=int, default=7)
     allocate.add_argument("--omega", type=int, default=5)
+    allocate.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="batched CHOOSE chunk size (traces are identical at any value)",
+    )
+    allocate.add_argument(
+        "--stability",
+        choices=["tracker", "engine"],
+        default=None,
+        help="monitor observed stability during the run",
+    )
 
     experiment = sub.add_parser("experiment", help="regenerate a paper figure/table")
     experiment.add_argument(
@@ -107,7 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign = sub.add_parser(
         "campaign", help="run the incentive-tagging service prototype"
     )
-    campaign.add_argument("strategy", choices=sorted(STRATEGY_REGISTRY), nargs="?", default="FP")
+    campaign.add_argument("strategy", choices=STRATEGIES.names(), nargs="?", default="FP")
     campaign.add_argument("--budget", type=int, default=600)
     campaign.add_argument("--resources", type=int, default=40)
     campaign.add_argument("--workers", type=int, default=10)
@@ -179,10 +193,12 @@ def _scale_for(args: argparse.Namespace) -> ExperimentScale:
 
 
 def _command_generate(args: argparse.Namespace) -> int:
-    if args.universe:
-        corpus = universe_scenario(seed=args.seed, n=args.resources)
-    else:
-        corpus = paper_scenario(n=args.resources, seed=args.seed)
+    spec = CorpusSpec(
+        kind="universe" if args.universe else "paper",
+        resources=args.resources,
+        seed=args.seed,
+    )
+    corpus = api.materialize(spec)
     corpus.dataset.to_jsonl(args.output)
     print(
         f"wrote {len(corpus.dataset)} resources / {corpus.dataset.total_posts} posts "
@@ -209,23 +225,15 @@ def _command_analyze(args: argparse.Namespace) -> int:
 
 
 def _command_allocate(args: argparse.Namespace) -> int:
-    corpus = paper_scenario(n=args.resources, seed=args.seed)
-    split = corpus.dataset.split(corpus.cutoff)
-    truth = GroundTruth.build(corpus.dataset)
-    evaluator = TraceEvaluator(split, truth)
-    runner = IncentiveRunner.replay(split)
-    strategy_class = STRATEGY_REGISTRY[args.strategy]
-    try:
-        strategy = strategy_class(omega=args.omega)  # type: ignore[call-arg]
-    except TypeError:
-        strategy = strategy_class()
-    before = evaluator.quality_of_counts(split.initial_counts)
-    trace = runner.run(strategy, args.budget)
-    after = evaluator.quality_of_x(trace.x)
-    print(
-        f"{strategy.name}: delivered {trace.tasks_delivered}/{args.budget} tasks, "
-        f"quality {before:.4f} -> {after:.4f} (+{after - before:.4f})"
+    spec = AllocateSpec(
+        corpus=CorpusSpec(kind="paper", resources=args.resources, seed=args.seed),
+        strategy=args.strategy,
+        params=STRATEGIES.filter_params(args.strategy, omega=args.omega),
+        budget=args.budget,
+        batch_size=args.batch_size,
+        stability=args.stability,
     )
+    print(api.run(spec).summary)
     return 0
 
 
@@ -286,78 +294,33 @@ def _command_case_study(args: argparse.Namespace) -> int:
 
 
 def _command_campaign(args: argparse.Namespace) -> int:
-    from repro.service import IncentiveCampaign, WorkerPool
-
-    corpus = paper_scenario(n=args.resources, seed=args.seed)
-    split = corpus.dataset.split(corpus.cutoff)
-    rng = np.random.default_rng(args.seed)
-    pool = WorkerPool.uniform(args.workers, corpus.hierarchy, rng)
-    strategy_class = STRATEGY_REGISTRY[args.strategy]
-    try:
-        strategy = strategy_class()
-    except TypeError:  # pragma: no cover - registry entries are no-arg
-        strategy = strategy_class
-    campaign = IncentiveCampaign(
-        corpus.models,
-        [split.initial_posts(i) for i in range(split.n)],
-        strategy,
-        pool,
+    spec = CampaignSpec(
+        corpus=CorpusSpec(kind="paper", resources=args.resources, seed=args.seed),
+        strategy=args.strategy,
         budget=args.budget,
-        rng=rng,
+        workers=args.workers,
+        seed=args.seed,
         stop_tau=None if args.no_adaptive_stop else 0.995,
         stability_backend="engine" if args.engine else "tracker",
     )
-    result = campaign.run()
-    print(result.render())
+    print(api.run(spec).summary)
     return 0
 
 
 def _command_ingest(args: argparse.Namespace) -> int:
-    from itertools import islice
-
-    from repro.engine import IngestEngine, load_checkpoint, save_checkpoint
-    from repro.simulate import dataset_event_stream, interleaved_event_stream
-
-    already_ingested = 0
-    if args.resume is not None:
-        bank = load_checkpoint(args.resume)
-        engine = IngestEngine(bank=bank, batch_size=args.batch_size)
-        already_ingested = bank.total_posts
-        n_shards = bank.n_shards if hasattr(bank, "n_shards") else 1
-        print(
-            f"resuming checkpoint: omega={bank.omega} tau={bank.tau} "
-            f"shards={n_shards} after {already_ingested:,} events "
-            "(--omega/--tau/--shards flags do not apply to a resumed bank)"
-        )
-    else:
-        engine = IngestEngine.create(
-            n_shards=args.shards,
-            omega=args.omega,
-            tau=args.tau,
-            batch_size=args.batch_size,
-        )
-    if args.dataset is not None:
-        dataset = TaggingDataset.from_jsonl(args.dataset)
-        events = dataset_event_stream(dataset)
-    else:
-        events = interleaved_event_stream(
-            n_resources=args.resources, seed=args.seed, max_events=args.max_events
-        )
-    if already_ingested:
-        # the stream replays deterministically from the start; skip the
-        # prefix the checkpointed bank has already consumed so resuming
-        # never double-counts posts
-        events = islice(events, already_ingested, None)
-    stats = engine.feed(events)
-    print(stats.render())
-    print(
-        f"resources: {engine.bank.n_resources}, "
-        f"posts: {engine.bank.total_posts}, "
-        f"stable: {len(engine.bank.stable_points())}"
+    spec = IngestSpec(
+        dataset=None if args.dataset is None else str(args.dataset),
+        resources=args.resources,
+        seed=args.seed,
+        shards=args.shards,
+        batch_size=args.batch_size,
+        omega=args.omega,
+        tau=args.tau,
+        max_events=args.max_events,
+        checkpoint=None if args.checkpoint is None else str(args.checkpoint),
+        resume=None if args.resume is None else str(args.resume),
     )
-    if args.checkpoint is not None:
-        path = save_checkpoint(engine.bank, args.checkpoint)
-        print(f"checkpoint written to {path}")
+    print(api.run(spec).summary)
     return 0
 
 

@@ -22,6 +22,7 @@ from repro.core.errors import (
     ExhaustedError,
     NotStableError,
     ReproError,
+    SpecError,
     StabilityError,
 )
 from repro.core.frequency import TagFrequencyTable
@@ -58,6 +59,7 @@ __all__ = [
     "PREPARATION_TAU",
     "QualityProfile",
     "ReproError",
+    "SpecError",
     "Resource",
     "ResourceSet",
     "SIMILARITY_METRICS",

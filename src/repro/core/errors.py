@@ -8,7 +8,8 @@ broad failure modes of the paper's machinery:
 * stability computations that cannot succeed on the given post sequence
   (:class:`StabilityError` and its child :class:`NotStableError`),
 * ill-posed allocation problems (:class:`AllocationError`,
-  :class:`BudgetError`, :class:`ExhaustedError`).
+  :class:`BudgetError`, :class:`ExhaustedError`),
+* invalid or unserializable run specifications (:class:`SpecError`).
 """
 
 from __future__ import annotations
@@ -21,6 +22,7 @@ __all__ = [
     "AllocationError",
     "BudgetError",
     "ExhaustedError",
+    "SpecError",
 ]
 
 
@@ -86,3 +88,13 @@ class BudgetError(AllocationError):
 
 class ExhaustedError(AllocationError):
     """Every resource ran out of future posts before the budget was spent."""
+
+
+class SpecError(ReproError):
+    """A declarative run spec (:mod:`repro.api`) is invalid.
+
+    Raised for unknown spec fields, out-of-range values, unknown strategy
+    or corpus names, and undeclared strategy parameters — anywhere the
+    old ad-hoc entry points would have guessed, crashed later, or
+    silently misbehaved.
+    """

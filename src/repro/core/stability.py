@@ -142,6 +142,17 @@ class StabilityTracker:
         return self._window_sum / (self.omega - 1)
 
     @property
+    def similarity_window(self) -> tuple[float, ...]:
+        """The adjacent similarities currently in the MA window.
+
+        Oldest first; holds exactly ``omega - 1`` entries once
+        ``k >= omega``.  The batched MU strategy uses this to bound how
+        far the score can move over the next few posts (each new post
+        shifts the MA by ``(s_new - s_oldest) / (omega - 1)``).
+        """
+        return tuple(self._window)
+
+    @property
     def stable_point(self) -> int | None:
         """Smallest ``k`` seen with ``m(k, omega) > tau`` (needs ``tau``)."""
         return self._stable_point

@@ -16,16 +16,12 @@ import numpy as np
 from repro.core.dataset import DatasetSplit
 from repro.allocation import (
     AllocationStrategy,
-    FewestPostsFirst,
-    FreeChoice,
-    HybridFPMU,
     IncentiveRunner,
-    MostUnstableFirst,
-    RoundRobin,
     gains_from_profiles,
     solve_dp,
 )
 from repro.allocation.budget import AllocationTrace
+from repro.api.registry import STRATEGIES
 from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
 from repro.experiments.evaluation import EvaluationSeries, GroundTruth, TraceEvaluator
 from repro.simulate.generator import GeneratedCorpus
@@ -33,15 +29,20 @@ from repro.simulate.scenario import paper_scenario
 
 __all__ = ["ExperimentHarness", "StrategyComparison", "default_strategies"]
 
+DEFAULT_LINEUP = ("FC", "RR", "FP", "MU", "FP-MU")
+"""The paper's five practical strategies, in its reporting order."""
+
 
 def default_strategies(omega: int) -> list[AllocationStrategy]:
-    """The paper's five practical strategies, in its reporting order."""
+    """Build the paper's five practical strategies from the registry.
+
+    Each strategy receives ``omega`` iff its declared parameter schema
+    takes one (FC/RR/FP are parameter-free) — the registry replaces the
+    old hard-coded constructor calls.
+    """
     return [
-        FreeChoice(),
-        RoundRobin(),
-        FewestPostsFirst(),
-        MostUnstableFirst(omega=omega),
-        HybridFPMU(omega=omega),
+        STRATEGIES.create(name, **STRATEGIES.filter_params(name, omega=omega))
+        for name in DEFAULT_LINEUP
     ]
 
 
@@ -90,6 +91,31 @@ class ExperimentHarness:
         """Generate a fresh corpus at ``scale`` and wrap it."""
         corpus = paper_scenario(n=scale.n_resources, seed=scale.seed)
         return cls(corpus, scale)
+
+    @classmethod
+    def from_spec(cls, spec, scale: ExperimentScale = DEFAULT_SCALE) -> ExperimentHarness:
+        """Build the harness from a :class:`~repro.api.specs.CorpusSpec`.
+
+        Only generated corpus kinds qualify (the harness scores against
+        latent-model ground truth), and the corpus keeps its native
+        cutoff — the harness' budget grids are calibrated to it.
+
+        Raises:
+            SpecError: For a model-less (``jsonl``) corpus spec or a
+                spec that overrides the cutoff.
+        """
+        from repro.core.errors import SpecError
+        from repro.api.corpus import materialize
+
+        if spec.cutoff is not None:
+            raise SpecError("the experiment harness uses the corpus' native cutoff")
+        corpus = materialize(spec)
+        if corpus.generated is None:
+            raise SpecError(
+                f"corpus kind {spec.kind!r} has no latent models; the harness "
+                "needs a generated corpus (paper/universe/tiny/small)"
+            )
+        return cls(corpus.generated, scale)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------
 

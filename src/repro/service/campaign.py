@@ -203,6 +203,53 @@ class IncentiveCampaign:
 
     # ------------------------------------------------------------------
 
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        corpus,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> IncentiveCampaign:
+        """Build a campaign from a :class:`~repro.api.specs.CampaignSpec`.
+
+        The single declarative entry point used by :func:`repro.api.run`
+        and the CLI: the strategy comes from the registry (validated
+        against its declared parameter schema), the worker pool is drawn
+        from the corpus' taxonomy, and every knob maps 1:1 onto a spec
+        field.
+
+        Args:
+            spec: The campaign description.
+            corpus: A materialized corpus
+                (:class:`~repro.api.corpus.MaterializedCorpus`); must
+                carry latent models, i.e. be a generated kind.
+            rng: Optional randomness override (default: seeded from
+                ``spec.seed``, shared by worker pool and free choice —
+                the same wiring the old CLI hand-rolled).
+        """
+        from repro.api.registry import STRATEGIES
+
+        models = corpus.require_models()
+        if rng is None:
+            rng = np.random.default_rng(spec.seed)
+        pool = WorkerPool.uniform(spec.workers, corpus.hierarchy, rng)
+        strategy = STRATEGIES.create(spec.strategy, **spec.params)
+        split = corpus.dataset.split(corpus.require_cutoff())
+        return cls(
+            models,
+            [split.initial_posts(i) for i in range(split.n)],
+            strategy,
+            pool,
+            budget=spec.budget,
+            rng=rng,
+            omega=spec.omega,
+            stop_tau=spec.stop_tau,
+            batch_size=spec.batch_size,
+            reward_per_task=spec.reward_per_task,
+            stability_backend=spec.stability_backend,
+        )
+
     def _observed_counts(self, index: int) -> dict[str, int]:
         """A copy of the resource's observed tag counts (for workers)."""
         if self._bank is not None:

@@ -1,0 +1,192 @@
+"""The batched CHOOSE protocol: byte-identical traces at every batch size.
+
+The acceptance bar for ``choose_batch`` is exactness, not approximation:
+for FP, MU and RR (and the strategies that default to single-choice
+plans) a batched run must reproduce the scalar Algorithm 1 loop's trace
+byte for byte — including runs with exhaustion, heterogeneous costs and
+refusals, where mid-batch failures force plan rollbacks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Post, PostSequence, Resource, ResourceSet, TaggingDataset
+from repro.allocation import (
+    BankStabilityMonitor,
+    FewestPostsFirst,
+    FreeChoice,
+    HybridFPMU,
+    IncentiveRunner,
+    MostUnstableFirst,
+    RoundRobin,
+    TrackerStabilityMonitor,
+)
+from repro.allocation.fewest_posts import waterfill_plan
+from repro.simulate import paper_scenario
+
+BATCH_SIZES = (2, 3, 7, 64, 1000)
+
+STRATEGY_FACTORIES = {
+    "FP": FewestPostsFirst,
+    "RR": RoundRobin,
+    "MU": lambda: MostUnstableFirst(omega=5),
+    "FP-MU": lambda: HybridFPMU(omega=5),
+    "FC": FreeChoice,
+}
+
+
+@pytest.fixture(scope="module")
+def replay_runner():
+    corpus = paper_scenario(n=25, seed=7)
+    split = corpus.dataset.split(corpus.cutoff)
+    return IncentiveRunner.replay(split)
+
+
+def build_split(counts_future, cutoff=5.0):
+    resources = ResourceSet()
+    for i, future in enumerate(counts_future):
+        timestamps = [1.0, 2.0] + [10.0 + j for j in range(future)]
+        resources.add(
+            Resource(
+                f"r{i}",
+                PostSequence([Post.of(f"t{i}", timestamp=t) for t in timestamps]),
+            )
+        )
+    return TaggingDataset(resources).split(cutoff)
+
+
+def varied_split(n=8, initial=10, future=40, seed=0, cutoff=None):
+    """Posts with real tag variation, so MU scores genuinely move."""
+    rng = np.random.default_rng(seed)
+    resources = ResourceSet()
+    for i in range(n):
+        pool = [f"a{i}", f"b{i}", f"c{i}", "common"]
+        posts = []
+        for j in range(initial + future):
+            size = int(rng.integers(1, 4))
+            tags = rng.choice(pool, size=size, replace=False)
+            posts.append(Post(frozenset(str(t) for t in tags), timestamp=float(j)))
+        resources.add(Resource(f"r{i}", PostSequence(posts)))
+    return TaggingDataset(resources).split(initial - 0.5 if cutoff is None else cutoff)
+
+
+class TestByteIdenticalTraces:
+    @pytest.mark.parametrize("name", sorted(STRATEGY_FACTORIES))
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_replay_with_exhaustion(self, replay_runner, name, batch_size):
+        make = STRATEGY_FACTORIES[name]
+        scalar = replay_runner.run(make(), 450)
+        batched = replay_runner.run(make(), 450, batch_size=batch_size)
+        assert batched.order == scalar.order
+        assert batched.spend == scalar.spend
+
+    @pytest.mark.parametrize("name", ["FP", "RR", "MU", "FP-MU"])
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_tag_variation_corpus(self, name, batch_size):
+        runner = IncentiveRunner.replay(varied_split())
+        make = STRATEGY_FACTORIES[name]
+        scalar = runner.run(make(), 200)
+        batched = runner.run(make(), 200, batch_size=batch_size)
+        assert batched.order == scalar.order
+
+    @pytest.mark.parametrize("omega", [2, 3, 8])
+    @pytest.mark.parametrize("batch_size", [2, 16, 64])
+    def test_mu_lookahead_across_windows(self, omega, batch_size):
+        runner = IncentiveRunner.replay(varied_split(seed=omega))
+        scalar = runner.run(MostUnstableFirst(omega=omega), 150)
+        batched = runner.run(MostUnstableFirst(omega=omega), 150, batch_size=batch_size)
+        assert batched.order == scalar.order
+
+    @pytest.mark.parametrize("name", ["FP", "RR"])
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_heavy_exhaustion_mid_batch(self, name, batch_size):
+        runner = IncentiveRunner.replay(build_split([1, 3, 0, 7, 2, 5]))
+        make = STRATEGY_FACTORIES[name]
+        scalar = runner.run(make(), 30)
+        batched = runner.run(make(), 30, batch_size=batch_size)
+        assert batched.order == scalar.order
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_costs_abort_batches_exactly(self, batch_size):
+        runner = IncentiveRunner.replay(build_split([10, 10, 10]))
+        costs = np.array([3, 1, 2])
+        scalar = runner.run(FewestPostsFirst(), 17, costs=costs)
+        batched = runner.run(FewestPostsFirst(), 17, costs=costs, batch_size=batch_size)
+        assert batched.order == scalar.order
+        assert batched.spend == scalar.spend
+
+    @pytest.mark.parametrize("name", ["FP", "RR", "MU"])
+    @pytest.mark.parametrize("batch_size", [2, 7, 64])
+    def test_refusals_keep_rng_streams_aligned(self, name, batch_size):
+        runner = IncentiveRunner.replay(varied_split(seed=4))
+        acceptance = np.linspace(0.3, 0.95, 8)
+        make = STRATEGY_FACTORIES[name]
+        scalar = runner.run(
+            make(), 60, acceptance=acceptance, rng=np.random.default_rng(9)
+        )
+        batched = runner.run(
+            make(), 60, acceptance=acceptance, rng=np.random.default_rng(9),
+            batch_size=batch_size,
+        )
+        assert batched.order == scalar.order
+        assert batched.refusals == scalar.refusals
+
+    def test_generative_unbounded(self):
+        counts = np.array([0, 3, 6, 1, 9])
+
+        def factory(index):
+            return Post.of(f"t{index}", timestamp=0.0)
+
+        def runner():
+            return IncentiveRunner.generative(
+                counts, [[] for _ in counts], factory
+            )
+
+        scalar = runner().run(FewestPostsFirst(), 40)
+        for batch_size in BATCH_SIZES:
+            batched = runner().run(FewestPostsFirst(), 40, batch_size=batch_size)
+            assert batched.order == scalar.order
+
+
+class TestWaterfillPlan:
+    def _reference(self, counts, ids, k):
+        counts = list(counts)
+        order = []
+        for _ in range(k):
+            best = min(range(len(ids)), key=lambda p: (counts[p], ids[p]))
+            order.append(ids[best])
+            counts[best] += 1
+        return order
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_scalar_greedy(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 12))
+        counts = rng.integers(0, 6, size=n)
+        ids = rng.permutation(n * 3)[:n]
+        k = int(rng.integers(1, 40))
+        plan = waterfill_plan(counts, ids, k)
+        assert plan.tolist() == self._reference(counts, ids, k)
+
+    def test_ties_break_by_id(self):
+        plan = waterfill_plan(np.array([2, 2, 2]), np.array([5, 1, 3]), 6)
+        assert plan.tolist() == [1, 3, 5, 1, 3, 5]
+
+
+class TestMonitorsObserveOnly:
+    @pytest.mark.parametrize("batch_size", [1, 16])
+    def test_monitor_never_changes_the_trace(self, replay_runner, batch_size):
+        bare = replay_runner.run(FewestPostsFirst(), 200, batch_size=batch_size)
+        monitored = replay_runner.run(
+            FewestPostsFirst(), 200, batch_size=batch_size,
+            monitor=TrackerStabilityMonitor(omega=5, tau=0.98),
+        )
+        assert monitored.order == bare.order
+
+    def test_tracker_and_bank_monitors_agree(self, replay_runner):
+        tracker = TrackerStabilityMonitor(omega=5, tau=0.97)
+        bank = BankStabilityMonitor(omega=5, tau=0.97)
+        replay_runner.run(FewestPostsFirst(), 300, monitor=tracker)
+        replay_runner.run(FewestPostsFirst(), 300, batch_size=64, monitor=bank)
+        assert tracker.stable_indices() == bank.stable_indices()
+        assert tracker.stable_count == bank.stable_count

@@ -1,6 +1,5 @@
 """Tests for tagger sources (replay and generative)."""
 
-import numpy as np
 import pytest
 
 from repro.core import Post, PostSequence, Resource, ResourceSet, TaggingDataset

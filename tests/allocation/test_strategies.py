@@ -1,6 +1,5 @@
 """Behavioural tests for the five practical strategies (Section IV)."""
 
-import numpy as np
 import pytest
 
 from repro.core import Post, PostSequence, Resource, ResourceSet, TaggingDataset

@@ -5,8 +5,8 @@ import pytest
 
 scipy_stats = pytest.importorskip("scipy.stats")
 
-from repro.core import DataModelError
-from repro.analysis import kendall_tau
+from repro.core import DataModelError  # noqa: E402
+from repro.analysis import kendall_tau  # noqa: E402
 
 
 class TestBasics:

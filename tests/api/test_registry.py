@@ -1,0 +1,105 @@
+"""Strategy registry behaviour (`repro.api.registry`)."""
+
+import pytest
+
+from repro.core.errors import SpecError
+from repro.allocation import (
+    FewestPostsFirst,
+    HybridFPMU,
+    MostUnstableFirst,
+    STRATEGY_REGISTRY,
+)
+from repro.api import Param, STRATEGIES, StrategyRegistry, register_strategy
+
+
+class TestGlobalRegistry:
+    def test_all_paper_strategies_registered(self):
+        assert {"FC", "RR", "FP", "MU", "FP-MU"} <= set(STRATEGIES.names())
+
+    def test_extension_strategies_registered(self):
+        assert {"FP-cost", "FP-stop", "MU-pref"} <= set(STRATEGIES.names())
+
+    def test_legacy_class_map_matches_registry(self):
+        assert STRATEGY_REGISTRY == STRATEGIES.classes()
+
+    def test_create_with_default_params(self):
+        strategy = STRATEGIES.create("MU")
+        assert isinstance(strategy, MostUnstableFirst)
+        assert strategy.omega == 5
+
+    def test_create_with_override(self):
+        assert STRATEGIES.create("FP-MU", omega=9).omega == 9
+
+    def test_create_parameter_free_strategy(self):
+        assert isinstance(STRATEGIES.create("FP"), FewestPostsFirst)
+
+    def test_unknown_strategy_lists_known_names(self):
+        with pytest.raises(SpecError, match="FP-MU"):
+            STRATEGIES.create("FPP")
+
+    def test_undeclared_parameter_rejected(self):
+        with pytest.raises(SpecError, match="does not declare"):
+            STRATEGIES.create("FP", omega=5)
+
+    def test_wrong_parameter_type_rejected(self):
+        with pytest.raises(SpecError, match="expects int"):
+            STRATEGIES.create("MU", omega="five")
+        with pytest.raises(SpecError, match="expects int"):
+            STRATEGIES.create("MU", omega=True)
+
+    def test_float_parameter_accepts_int(self):
+        strategy = STRATEGIES.create("FP-stop", tau=1)
+        assert strategy.tau == 1.0 and isinstance(strategy.tau, float)
+
+    def test_filter_params_keeps_only_declared(self):
+        assert STRATEGIES.filter_params("MU", omega=7, tau=0.5) == {"omega": 7}
+        assert STRATEGIES.filter_params("FP", omega=7) == {}
+
+    def test_contains_and_len(self):
+        assert "FP" in STRATEGIES
+        assert "nope" not in STRATEGIES
+        assert len(STRATEGIES) >= 8
+
+    def test_entry_exposes_schema(self):
+        entry = STRATEGIES.get("MU")
+        assert entry.cls is MostUnstableFirst
+        assert entry.params["omega"].type is int
+        assert entry.params["omega"].default == 5
+
+    def test_hybrid_registered_with_omega(self):
+        assert STRATEGIES.get("FP-MU").cls is HybridFPMU
+        assert "omega" in STRATEGIES.get("FP-MU").params
+
+
+class TestIsolatedRegistry:
+    def test_duplicate_name_rejected(self):
+        registry = StrategyRegistry()
+
+        @register_strategy("X", registry=registry)
+        class One:
+            pass
+
+        with pytest.raises(SpecError, match="already registered"):
+
+            @register_strategy("X", registry=registry)
+            class Two:
+                pass
+
+        assert registry.get("X").cls is One
+
+    def test_blank_name_rejected(self):
+        registry = StrategyRegistry()
+        with pytest.raises(SpecError):
+            registry.register("", object)
+
+    def test_explicit_none_rejected_for_required_param(self):
+        registry = StrategyRegistry()
+
+        @register_strategy("Y", params={"weight": Param(float, 1.0)}, registry=registry)
+        class Weighted:
+            def __init__(self, weight):
+                self.weight = weight
+
+        with pytest.raises(SpecError, match="must not be None"):
+            registry.create("Y", weight=None)
+        assert registry.create("Y").weight == 1.0

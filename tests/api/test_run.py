@@ -1,0 +1,182 @@
+"""The `repro.api.run` dispatcher and `RunResult` (end-to-end, small corpora)."""
+
+import json
+
+import pytest
+
+from repro.core.errors import SpecError
+from repro.api import (
+    AllocateSpec,
+    CampaignSpec,
+    CorpusSpec,
+    IngestSpec,
+    RunResult,
+    materialize,
+    run,
+)
+
+
+SMALL = CorpusSpec(kind="paper", resources=15, seed=11)
+
+
+class TestMaterialize:
+    def test_paper_corpus_has_models_and_cutoff(self):
+        corpus = materialize(SMALL)
+        assert corpus.n == 15
+        assert corpus.models is not None and len(corpus.models) == 15
+        assert corpus.cutoff is not None
+
+    def test_jsonl_round_trips_through_disk(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        materialize(CorpusSpec(kind="tiny", seed=2)).dataset.to_jsonl(path)
+        corpus = materialize(CorpusSpec(kind="jsonl", path=str(path), cutoff=31.0))
+        assert corpus.n == 25
+        assert corpus.models is None
+        with pytest.raises(SpecError):
+            corpus.require_models()
+
+    def test_missing_jsonl_rejected(self):
+        with pytest.raises(SpecError, match="does not exist"):
+            materialize(CorpusSpec(kind="jsonl", path="/nonexistent/x.jsonl"))
+
+    def test_jsonl_without_cutoff_cannot_split(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        materialize(CorpusSpec(kind="tiny", seed=2)).dataset.to_jsonl(path)
+        corpus = materialize(CorpusSpec(kind="jsonl", path=str(path)))
+        with pytest.raises(SpecError, match="cutoff"):
+            corpus.require_cutoff()
+
+
+class TestRunAllocate:
+    def test_replay_allocation(self):
+        result = run(AllocateSpec(corpus=SMALL, strategy="FP", budget=60))
+        assert result.kind == "allocate"
+        assert result.metrics["delivered"] <= 60
+        assert result.metrics["quality_after"] >= result.metrics["quality_before"]
+        assert result.summary.startswith("FP: delivered")
+        assert sum(result.details["x"]) == result.metrics["delivered"]
+        assert result.spec["strategy"] == "FP"
+
+    def test_batched_matches_scalar_through_api(self):
+        scalar = run(AllocateSpec(corpus=SMALL, strategy="FP", budget=80, batch_size=1))
+        batched = run(AllocateSpec(corpus=SMALL, strategy="FP", budget=80, batch_size=64))
+        assert scalar.details["order"] == batched.details["order"]
+
+    def test_generative_mode_with_stability_monitor(self):
+        result = run(
+            AllocateSpec(
+                corpus=SMALL,
+                strategy="MU",
+                params={"omega": 5},
+                budget=120,
+                mode="generative",
+                stability="engine",
+                batch_size=32,
+                seed=3,
+            )
+        )
+        assert result.metrics["delivered"] == 120
+        assert "observed_stable" in result.metrics
+        assert "resources observed stable" in result.summary
+
+    def test_stability_backends_agree_on_trace(self):
+        spec = AllocateSpec(corpus=SMALL, strategy="FP", budget=60)
+        tracker = run(spec.replace(stability="tracker"))
+        engine = run(spec.replace(stability="engine", batch_size=16))
+        assert tracker.details["order"] == engine.details["order"]
+        assert tracker.metrics["observed_stable"] == engine.metrics["observed_stable"]
+
+    def test_monitor_follows_strategy_omega_and_spec_tau(self):
+        spec = AllocateSpec(
+            corpus=SMALL, strategy="MU", params={"omega": 9},
+            budget=60, stability="tracker",
+        )
+        strict = run(spec.replace(stability_tau=0.9999))
+        lax = run(spec.replace(stability_tau=0.5))
+        assert lax.metrics["observed_stable"] >= strict.metrics["observed_stable"]
+        assert lax.metrics["observed_stable"] > 0
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SpecError, match="unknown strategy"):
+            run(AllocateSpec(corpus=SMALL, strategy="ZZ"))
+
+    def test_undeclared_param_rejected(self):
+        with pytest.raises(SpecError, match="does not declare"):
+            run(AllocateSpec(corpus=SMALL, strategy="FP", params={"omega": 3}))
+
+
+class TestRunCampaign:
+    def test_campaign_runs_and_reports(self):
+        result = run(
+            CampaignSpec(
+                corpus=CorpusSpec(kind="paper", resources=10, seed=7),
+                strategy="FP",
+                budget=50,
+                workers=4,
+            )
+        )
+        assert result.kind == "campaign"
+        assert result.summary.startswith("campaign:")
+        assert result.metrics["spent"] <= 50
+        assert len(result.details["final_counts"]) == 10
+        assert result.metrics["epochs"] == len(result.details["epochs"])
+
+    def test_campaign_engine_backend(self):
+        result = run(
+            CampaignSpec(
+                corpus=CorpusSpec(kind="paper", resources=8, seed=7),
+                budget=40,
+                workers=4,
+                stability_backend="engine",
+            )
+        )
+        assert result.metrics["completed"] >= 0
+
+
+class TestRunIngest:
+    def test_synthetic_ingest(self):
+        result = run(IngestSpec(resources=12, max_events=400, shards=2))
+        assert result.kind == "ingest"
+        assert result.metrics["events"] == 400
+        assert result.metrics["resources"] == 12
+        assert "ingested 400 events" in result.summary
+
+    def test_ingest_checkpoint_and_resume(self, tmp_path):
+        checkpoint = tmp_path / "ck"
+        first = run(
+            IngestSpec(resources=8, max_events=200, checkpoint=str(checkpoint))
+        )
+        assert first.details["checkpoint"] is not None
+        resumed = run(
+            IngestSpec(resources=8, max_events=300, resume=str(checkpoint))
+        )
+        assert resumed.metrics["resumed_after"] == 200
+        assert resumed.metrics["events"] == 100
+        assert resumed.metrics["posts"] == 300
+
+
+class TestRunResult:
+    def test_results_json_round_trip(self):
+        result = run(AllocateSpec(corpus=SMALL, strategy="RR", budget=30))
+        rebuilt = RunResult.from_json(result.to_json())
+        assert rebuilt == result
+        json.loads(result.to_json())  # genuinely serializable
+
+    def test_result_embeds_reproducible_spec(self):
+        from repro.api import spec_from_dict
+
+        result = run(AllocateSpec(corpus=SMALL, strategy="RR", budget=30))
+        again = run(spec_from_dict(result.spec))
+        assert again.details["order"] == result.details["order"]
+
+    def test_corpus_spec_is_not_runnable(self):
+        with pytest.raises(SpecError, match="not runnable"):
+            run(SMALL)
+
+    def test_non_scalar_metric_rejected(self):
+        with pytest.raises(SpecError, match="metric"):
+            RunResult(kind="x", spec={}, metrics={"bad": [1]})
+
+    def test_unknown_result_key_rejected(self):
+        with pytest.raises(SpecError):
+            RunResult.from_dict({"kind": "x", "spec": {}, "shenanigans": 1})

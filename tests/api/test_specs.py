@@ -1,0 +1,168 @@
+"""Spec round-tripping and validation (`repro.api.specs`)."""
+
+import pytest
+
+from repro.core.errors import SpecError
+from repro.api import (
+    AllocateSpec,
+    CampaignSpec,
+    CorpusSpec,
+    IngestSpec,
+    spec_from_dict,
+    spec_from_json,
+)
+
+
+ALL_SPECS = [
+    CorpusSpec(),
+    CorpusSpec(kind="universe", resources=2000, seed=11),
+    CorpusSpec(kind="jsonl", path="corpus.jsonl", cutoff=31.0),
+    AllocateSpec(),
+    AllocateSpec(
+        corpus=CorpusSpec(kind="small", resources=60, seed=3),
+        strategy="MU",
+        params={"omega": 7},
+        budget=900,
+        batch_size=64,
+        mode="generative",
+        stability="engine",
+        seed=42,
+    ),
+    CampaignSpec(),
+    CampaignSpec(
+        corpus=CorpusSpec(resources=30, seed=5),
+        strategy="FP",
+        budget=300,
+        workers=6,
+        stop_tau=None,
+        stability_backend="engine",
+        batch_size=10,
+        max_epochs=40,
+    ),
+    IngestSpec(),
+    IngestSpec(dataset="in.jsonl", shards=4, checkpoint="/tmp/ck", max_events=10_000),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: type(s).__name__ + "/" + str(id(s)))
+    def test_dict_round_trip_is_lossless(self, spec):
+        assert type(spec).from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: type(s).__name__ + "/" + str(id(s)))
+    def test_json_round_trip_is_lossless(self, spec):
+        assert type(spec).from_json(spec.to_json()) == spec
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: type(s).__name__ + "/" + str(id(s)))
+    def test_tagged_dispatch_round_trip(self, spec):
+        assert spec_from_dict(spec.to_dict()) == spec
+        assert spec_from_json(spec.to_json()) == spec
+
+    def test_nested_corpus_rebuilds_as_spec(self):
+        payload = AllocateSpec(corpus=CorpusSpec(kind="tiny")).to_dict()
+        rebuilt = AllocateSpec.from_dict(payload)
+        assert isinstance(rebuilt.corpus, CorpusSpec)
+        assert rebuilt.corpus.kind == "tiny"
+
+    def test_replace_revalidates(self):
+        spec = AllocateSpec()
+        assert spec.replace(budget=7).budget == 7
+        with pytest.raises(SpecError):
+            spec.replace(budget=-1)
+
+
+class TestRejection:
+    def test_unknown_key_rejected(self):
+        payload = AllocateSpec().to_dict()
+        payload["budgett"] = 5
+        with pytest.raises(SpecError, match="budgett"):
+            AllocateSpec.from_dict(payload)
+
+    def test_unknown_nested_key_rejected(self):
+        payload = AllocateSpec().to_dict()
+        payload["corpus"]["flavour"] = "mint"
+        with pytest.raises(SpecError, match="flavour"):
+            AllocateSpec.from_dict(payload)
+
+    def test_wrong_type_tag_rejected(self):
+        payload = AllocateSpec().to_dict()
+        payload["type"] = "campaign"
+        with pytest.raises(SpecError, match="type tag"):
+            AllocateSpec.from_dict(payload)
+
+    def test_unknown_type_tag_rejected_by_dispatcher(self):
+        with pytest.raises(SpecError, match="unknown spec type"):
+            spec_from_dict({"type": "nonsense"})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SpecError, match="invalid JSON"):
+            spec_from_json("{not json")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "delicious"},
+            {"resources": 0},
+            {"resources": 2.5},
+            {"seed": "seven"},
+            {"kind": "jsonl"},                       # missing path
+            {"path": "x.jsonl"},                     # path without jsonl kind
+            {"cutoff": "later"},
+        ],
+    )
+    def test_bad_corpus_values_rejected(self, kwargs):
+        with pytest.raises(SpecError):
+            CorpusSpec(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"budget": -1},
+            {"budget": True},
+            {"batch_size": 0},
+            {"strategy": ""},
+            {"params": [("omega", 5)]},
+            {"mode": "telepathic"},
+            {"stability": "abacus"},
+            {"corpus": "paper"},
+        ],
+    )
+    def test_bad_allocate_values_rejected(self, kwargs):
+        with pytest.raises(SpecError):
+            AllocateSpec(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"omega": 1},
+            {"stop_tau": 1.5},
+            {"stability_backend": "quantum"},
+            {"max_epochs": 0},
+            {"reward_per_task": 0},
+            {"corpus": CorpusSpec(kind="jsonl", path="x.jsonl")},  # model-less
+        ],
+    )
+    def test_bad_campaign_values_rejected(self, kwargs):
+        with pytest.raises(SpecError):
+            CampaignSpec(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shards": 0},
+            {"batch_size": 0},
+            {"omega": 1},
+            {"tau": -0.1},
+            {"tau": 1.1},
+            {"max_events": -5},
+            {"dataset": 42},
+        ],
+    )
+    def test_bad_ingest_values_rejected(self, kwargs):
+        with pytest.raises(SpecError):
+            IngestSpec(**kwargs)
+
+    def test_from_dict_requires_a_dict(self):
+        with pytest.raises(SpecError):
+            AllocateSpec.from_dict(["type", "allocate"])

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core import DataModelError, Post, TagFrequencyTable, cosine
+from repro.core import DataModelError, TagFrequencyTable, cosine
 
 
 class TestCounting:

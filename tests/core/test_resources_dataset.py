@@ -1,6 +1,5 @@
 """Tests for resources, resource sets, datasets and splits."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -1,10 +1,9 @@
 """Tests for ground truth construction and trace evaluation."""
 
-import numpy as np
 import pytest
 
 from repro.core import DataModelError, NotStableError, Post, PostSequence, Resource, ResourceSet, TaggingDataset
-from repro.allocation import FewestPostsFirst, IncentiveRunner, RoundRobin
+from repro.allocation import FewestPostsFirst, RoundRobin
 from repro.allocation.budget import AllocationTrace
 from repro.experiments.evaluation import GroundTruth, TraceEvaluator
 

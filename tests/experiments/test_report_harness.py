@@ -1,9 +1,7 @@
 """Tests for rendering helpers and the shared harness."""
 
 import numpy as np
-import pytest
-
-from repro.experiments import ExperimentHarness, TEST_SCALE, default_strategies
+from repro.experiments import TEST_SCALE, default_strategies
 from repro.experiments.evaluation import EvaluationSeries
 from repro.experiments.report import format_float, render_comparison_metric, render_table
 

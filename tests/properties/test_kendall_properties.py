@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 scipy_stats = pytest.importorskip("scipy.stats")
 
-from repro.analysis import kendall_tau
+from repro.analysis import kendall_tau  # noqa: E402
 
 paired = st.lists(
     st.tuples(

@@ -1,7 +1,7 @@
 """Property-based tests for waste accounting and the trace evaluator."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.analysis.waste import salvage_requirement, waste_report, wasted_tasks

@@ -1,6 +1,5 @@
 """Tests for the corpus generator, popularity models and scenario presets."""
 
-import numpy as np
 import pytest
 
 from repro.core import DataModelError

@@ -1,6 +1,5 @@
 """Tests for the tag vocabulary pools and the topic hierarchy."""
 
-import numpy as np
 import pytest
 
 from repro.core import DataModelError

@@ -4,8 +4,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
-
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 
@@ -54,3 +52,12 @@ class TestExamples:
         )
         assert "campaign:" in output
         assert "observably stable" in output
+
+    def test_spec_driven_run(self):
+        output = run_example(
+            "spec_driven_run.py", "--resources", "20", "--budget", "150"
+        )
+        assert "batched trace identical" in output
+        assert "replayed from" in output
+        assert "campaign:" in output
+        assert "ingested 2,000 events" in output
