@@ -1,0 +1,70 @@
+"""Bench-metric registry: the bridge between benchmarks and the CI gate.
+
+Benchmarks call :func:`record` with the numbers they already compute;
+when the ``BENCH_JSON`` environment variable names a path, the session
+hook in ``conftest.py`` dumps every recorded metric there at exit.  CI's
+``bench-smoke`` job runs the hot-path benches with ``BENCH_SMOKE=1``,
+writes ``BENCH_PR.json`` and feeds it to
+``scripts/check_bench_regression.py`` against the committed
+``BENCH_BASELINE.json``.
+
+Gated metrics should be **machine-independent ratios** (vectorized vs
+scalar, batched vs per-post): absolute events/sec differ wildly between
+a laptop and a CI runner, but "the bank is Nx the scalar loop" is a
+property of the code.  Absolute rates are recorded too — ``gate=False``
+keeps them informational.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+_METRICS: dict[str, dict] = {}
+
+
+def smoke_mode() -> bool:
+    """Whether the quick CI smoke profile is active (``BENCH_SMOKE=1``)."""
+    return os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+
+def record(
+    name: str,
+    value: float,
+    *,
+    unit: str = "",
+    higher_is_better: bool = True,
+    gate: bool = True,
+) -> None:
+    """Register one metric for the session's ``BENCH_JSON`` dump.
+
+    Args:
+        name: Dotted metric name, e.g. ``"engine.bank_vs_scalar_ratio"``.
+        value: The measurement.
+        unit: Display unit (informational).
+        higher_is_better: Direction of goodness for the regression gate.
+        gate: Whether ``check_bench_regression.py`` enforces the
+            threshold on this metric (leave False for machine-dependent
+            absolutes).
+    """
+    _METRICS[name] = {
+        "value": float(value),
+        "unit": unit,
+        "higher_is_better": bool(higher_is_better),
+        "gate": bool(gate),
+    }
+
+
+def dump_if_requested() -> Path | None:
+    """Write recorded metrics to ``$BENCH_JSON`` (no-op when unset/empty)."""
+    target = os.environ.get("BENCH_JSON")
+    if not target or not _METRICS:
+        return None
+    path = Path(target)
+    payload = {
+        "smoke": smoke_mode(),
+        "metrics": {name: dict(m) for name, m in sorted(_METRICS.items())},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -23,6 +23,7 @@ import time
 
 import pytest
 
+import _metrics
 from repro.core import Post
 from repro.allocation import (
     BankStabilityMonitor,
@@ -31,12 +32,18 @@ from repro.allocation import (
     TrackerStabilityMonitor,
 )
 
-N_RESOURCES = 1000
-BUDGET = 30_000
+SMOKE = _metrics.smoke_mode()
+
+N_RESOURCES = 300 if SMOKE else 1000
+BUDGET = 9_000 if SMOKE else 30_000
 BATCH = 64
 OMEGA = 5
 TAU = 0.99
-ROUNDS = 3
+ROUNDS = 2 if SMOKE else 3
+
+# In smoke mode the hard wall-clock bar is relaxed (noisy shared CI
+# runners); the recorded ratio is gated against BENCH_BASELINE.json.
+MIN_SPEEDUP = 0.9 if SMOKE else 1.0
 
 _POOLS = [tuple(f"t{i}_{j}" for j in range(40)) for i in range(N_RESOURCES)]
 
@@ -101,13 +108,19 @@ def test_batched_engine_beats_scalar_campaign_path(generative_setup):
         f"  ({ratio:.2f}x)"
     )
 
+    _metrics.record("runner.batched_vs_scalar_ratio", ratio, unit="x")
+    _metrics.record(
+        "runner.batched_tasks_per_s", BUDGET / batched_best, unit="tasks/s", gate=False
+    )
+
     # --- exactness: the batched path replays the scalar decisions ---------
     assert batched_trace.order == scalar_trace.order, "delivered-task traces diverge"
     assert batched_trace.spend == scalar_trace.spend
     assert batched_monitor.stable_indices() == scalar_monitor.stable_indices()
+    assert batched_monitor.drain_newly_stable() == scalar_monitor.drain_newly_stable()
 
     # --- the acceptance bar ------------------------------------------------
-    assert batched_best < scalar_best, (
+    assert ratio >= MIN_SPEEDUP, (
         f"batched path is not faster: {batched_best:.3f}s vs scalar {scalar_best:.3f}s"
     )
 
@@ -116,9 +129,10 @@ def test_api_run_batched_matches_scalar():
     """The same comparison through declarative specs, corpus build included."""
     from repro.api import AllocateSpec, CorpusSpec, run
 
-    corpus = CorpusSpec(kind="paper", resources=60, seed=7)
+    corpus = CorpusSpec(kind="paper", resources=40 if SMOKE else 60, seed=7)
     base = AllocateSpec(
-        corpus=corpus, strategy="FP", budget=4_000, mode="generative", seed=3
+        corpus=corpus, strategy="FP", budget=1_500 if SMOKE else 4_000,
+        mode="generative", seed=3,
     )
     timings = {}
     results = {}

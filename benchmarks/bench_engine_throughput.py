@@ -24,19 +24,32 @@ import time
 
 import pytest
 
+import _metrics
 from repro.core.stability import StabilityTracker
 from repro.engine import IngestEngine, StabilityBank
 from repro.engine.events import encode_events
 from repro.simulate import interleaved_event_stream
 from repro.simulate.popularity import PopularityConfig
 
-N_RESOURCES = 1000
+SMOKE = _metrics.smoke_mode()
+
+N_RESOURCES = 300 if SMOKE else 1000
 OMEGA = 5
 TAU = 0.99
-BATCH_SIZE = 32768
-ROUNDS = 3
+BATCH_SIZE = 8192 if SMOKE else 32768
+ROUNDS = 2 if SMOKE else 3
 
-POPULARITY = PopularityConfig(min_posts=90, max_posts=600)
+# Smoke mode trims the stream (~4x fewer events) and relaxes the hard
+# bars — shared CI runners are noisy; the regression gate compares the
+# recorded ratios against BENCH_BASELINE.json instead.
+MIN_BANK_RATIO = 3.0 if SMOKE else 5.0
+MIN_FEED_RATIO = 1.1 if SMOKE else 1.5
+
+POPULARITY = (
+    PopularityConfig(min_posts=40, max_posts=250)
+    if SMOKE
+    else PopularityConfig(min_posts=90, max_posts=600)
+)
 """The corpus default head/tail proportions at a bench-friendly cap."""
 
 
@@ -92,6 +105,13 @@ def test_bank_beats_scalar_by_5x(event_stream):
     bank_rate = n / engine_best
     end_to_end_rate = n / (engine_best + encode_best)
     ratio = scalar_rate and bank_rate / scalar_rate
+    _metrics.record("engine.bank_vs_scalar_ratio", ratio, unit="x")
+    _metrics.record(
+        "engine.bank_events_per_s", bank_rate, unit="events/s", gate=False
+    )
+    _metrics.record(
+        "engine.scalar_events_per_s", scalar_rate, unit="events/s", gate=False
+    )
     print(
         f"\n{n:,} events over {N_RESOURCES} resources "
         f"(omega={OMEGA}, tau={TAU}, batch={BATCH_SIZE})\n"
@@ -118,7 +138,7 @@ def test_bank_beats_scalar_by_5x(event_stream):
     )
 
     # --- the acceptance bar ----------------------------------------------
-    assert ratio >= 5.0, (
+    assert ratio >= MIN_BANK_RATIO, (
         f"vectorized bank only reached {ratio:.2f}x the scalar tracker "
         f"({bank_rate:,.0f} vs {scalar_rate:,.0f} events/s)"
     )
@@ -143,7 +163,8 @@ def test_end_to_end_feed_beats_scalar(event_stream):
         f"\nend-to-end engine feed: {n / feed_best:,.0f} events/s "
         f"vs scalar {n / scalar_best:,.0f} events/s ({ratio:.1f}x)"
     )
-    assert ratio >= 1.5
+    _metrics.record("engine.feed_vs_scalar_ratio", ratio, unit="x")
+    assert ratio >= MIN_FEED_RATIO
 
 
 def test_sharded_ingest_scales_out(event_stream):

@@ -16,7 +16,15 @@ from __future__ import annotations
 
 import pytest
 
+import _metrics
 from repro.experiments import ExperimentHarness, ExperimentScale, figure_6abcd
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump recorded bench metrics to ``$BENCH_JSON`` for the CI gate."""
+    path = _metrics.dump_if_requested()
+    if path is not None:
+        print(f"\nbench metrics written to {path}")
 
 BENCH_SCALE = ExperimentScale(
     n_resources=150,

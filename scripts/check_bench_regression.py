@@ -1,0 +1,123 @@
+"""Fail CI when a hot-path bench metric regresses against the baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py BENCH_BASELINE.json BENCH_PR.json \
+        [--threshold 0.25]
+
+Both files are produced by the benchmark suite's ``BENCH_JSON`` hook
+(see ``benchmarks/_metrics.py``).  Every metric the *baseline* marks
+``gate: true`` is enforced:
+
+* ``higher_is_better`` metrics fail below ``baseline * (1 - threshold)``;
+* lower-is-better metrics fail above ``baseline * (1 + threshold)``;
+* a gated metric missing from the PR run fails outright (a silently
+  skipped bench must not pass the gate).
+
+Metrics only present in the PR run (new benches) and metrics marked
+``gate: false`` (machine-dependent absolutes) are reported but never
+fail the check.  Exit code 1 on any regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def load_metrics(path: Path) -> dict[str, dict]:
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"error: metrics file not found: {path}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        raise SystemExit(f"error: {path} has no 'metrics' object")
+    return metrics
+
+
+def compare(
+    baseline: dict[str, dict],
+    current: dict[str, dict],
+    threshold: float,
+) -> tuple[list[str], list[str]]:
+    """Compare runs; return ``(report_lines, failures)``."""
+    lines: list[str] = []
+    failures: list[str] = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        gated = bool(base.get("gate", True))
+        base_value = float(base["value"])
+        if name not in current:
+            line = f"  {name:40s} baseline={base_value:10.3f}  MISSING from PR run"
+            if gated:
+                failures.append(f"{name}: gated metric missing from PR run")
+                line += "  ** FAIL"
+            lines.append(line)
+            continue
+        value = float(current[name]["value"])
+        higher = bool(base.get("higher_is_better", True))
+        if higher:
+            floor = base_value * (1.0 - threshold)
+            regressed = value < floor
+            bound = f">= {floor:.3f}"
+        else:
+            ceiling = base_value * (1.0 + threshold)
+            regressed = value > ceiling
+            bound = f"<= {ceiling:.3f}"
+        change = (value - base_value) / base_value if base_value else 0.0
+        status = "ungated" if not gated else ("FAIL" if regressed else "ok")
+        lines.append(
+            f"  {name:40s} baseline={base_value:10.3f}  pr={value:10.3f}  "
+            f"({change:+.1%}, need {bound})  {status}"
+        )
+        if gated and regressed:
+            failures.append(
+                f"{name}: {value:.3f} vs baseline {base_value:.3f} "
+                f"({change:+.1%}, threshold {threshold:.0%})"
+            )
+    for name in sorted(set(current) - set(baseline)):
+        lines.append(
+            f"  {name:40s} new metric (pr={float(current[name]['value']):10.3f}); "
+            "add it to BENCH_BASELINE.json to gate it"
+        )
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_BASELINE.json")
+    parser.add_argument("current", type=Path, help="this run's BENCH_PR.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional regression on gated metrics (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.threshold < 1.0:
+        parser.error(f"--threshold must lie in [0, 1), got {args.threshold}")
+
+    baseline = load_metrics(args.baseline)
+    current = load_metrics(args.current)
+    lines, failures = compare(baseline, current, args.threshold)
+    print(f"bench regression check ({args.current} vs {args.baseline}):")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\n{len(failures)} hot-path regression(s) beyond {args.threshold:.0%}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nno hot-path regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

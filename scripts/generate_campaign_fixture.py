@@ -1,0 +1,130 @@
+"""Regenerate the pinned campaign traces in ``tests/fixtures/``.
+
+The fixture freezes the exact per-epoch behaviour of
+:class:`~repro.service.campaign.IncentiveCampaign` for every stability
+backend on a handful of small specs.  The monitor-unification refactor
+(and any future change to the campaign hot path) must keep these traces
+byte-identical: the test ``tests/service/test_campaign_pinned.py``
+replays the specs and compares against this file.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/generate_campaign_fixture.py
+
+Only regenerate the fixture when a trace change is *intended* (e.g. a
+deliberate semantic change to adaptive stopping), and say so in the
+commit message.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+FIXTURE_PATH = Path(__file__).resolve().parent.parent / "tests" / "fixtures" / "campaign_traces.json"
+
+PINNED_SPECS: list[dict] = [
+    {
+        "type": "campaign",
+        "corpus": {"type": "corpus", "kind": "paper", "resources": 20, "seed": 13},
+        "strategy": "FP",
+        "budget": 250,
+        "workers": 8,
+        "seed": 5,
+        "omega": 5,
+        "stop_tau": 0.99,
+        "stability_backend": "tracker",
+        "batch_size": 20,
+        "max_epochs": 60,
+    },
+    {
+        "type": "campaign",
+        "corpus": {"type": "corpus", "kind": "paper", "resources": 20, "seed": 13},
+        "strategy": "FP",
+        "budget": 250,
+        "workers": 8,
+        "seed": 5,
+        "omega": 5,
+        "stop_tau": 0.99,
+        "stability_backend": "engine",
+        "batch_size": 20,
+        "max_epochs": 60,
+    },
+    {
+        "type": "campaign",
+        "corpus": {"type": "corpus", "kind": "paper", "resources": 15, "seed": 7},
+        "strategy": "MU",
+        "params": {"omega": 5},
+        "budget": 180,
+        "workers": 6,
+        "seed": 11,
+        "omega": 5,
+        "stop_tau": 0.995,
+        "stability_backend": "tracker",
+        "batch_size": 15,
+        "max_epochs": 50,
+    },
+    {
+        "type": "campaign",
+        "corpus": {"type": "corpus", "kind": "paper", "resources": 15, "seed": 7},
+        "strategy": "MU",
+        "params": {"omega": 5},
+        "budget": 180,
+        "workers": 6,
+        "seed": 11,
+        "omega": 5,
+        "stop_tau": 0.995,
+        "stability_backend": "engine",
+        "batch_size": 15,
+        "max_epochs": 50,
+    },
+]
+
+
+def campaign_trace(spec_payload: dict) -> dict:
+    """Run one campaign spec and canonicalize everything trace-visible.
+
+    Epoch reports, final counts and the stopped set capture the decision
+    sequence; the bought-posts digest pins the exact post content (tags
+    and timestamps) the worker pool produced, so any divergence in rng
+    consumption shows up even when the aggregate numbers happen to agree.
+    """
+    import repro.api as api
+    from repro.api.specs import CampaignSpec
+    from repro.service import IncentiveCampaign
+
+    spec = CampaignSpec.from_dict(spec_payload)
+    corpus = api.materialize(spec.corpus)
+    campaign = IncentiveCampaign.from_spec(spec, corpus)
+    result = campaign.run(max_epochs=spec.max_epochs)
+    bought = [
+        [[round(post.timestamp, 9), sorted(post.tags)] for post in posts]
+        for posts in result.bought_posts
+    ]
+    return {
+        "epochs": [
+            [r.epoch, r.published, r.completed, r.unfilled, r.spent, r.observed_stable]
+            for r in result.reports
+        ],
+        "final_counts": result.final_counts.tolist(),
+        "stopped": sorted(result.stopped_resources),
+        "spent": result.ledger.spent,
+        "bought_sha256": hashlib.sha256(
+            json.dumps(bought, sort_keys=True).encode()
+        ).hexdigest(),
+    }
+
+
+def main() -> int:
+    entries = [
+        {"spec": payload, "trace": campaign_trace(payload)} for payload in PINNED_SPECS
+    ]
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(json.dumps({"traces": entries}, indent=2, sort_keys=True) + "\n")
+    print(f"pinned {len(entries)} campaign traces to {FIXTURE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,9 @@ from repro.api.registry import STRATEGIES as _STRATEGIES
 from repro.allocation.base import AllocationContext, AllocationStrategy
 from repro.allocation.budget import AllocationTrace, assignment_from_order
 from repro.allocation.monitor import (
+    MONITOR_BACKENDS,
     BankStabilityMonitor,
+    ShardedBankStabilityMonitor,
     StabilityMonitor,
     TrackerStabilityMonitor,
     make_monitor,
@@ -57,10 +59,12 @@ __all__ = [
     "GenerativeTaggerSource",
     "HybridFPMU",
     "IncentiveRunner",
+    "MONITOR_BACKENDS",
     "MostUnstableFirst",
     "PreferenceAwareMostUnstable",
     "ReplayTaggerSource",
     "RoundRobin",
+    "ShardedBankStabilityMonitor",
     "StabilityAwareFewestPosts",
     "StabilityMonitor",
     "TaggerSource",

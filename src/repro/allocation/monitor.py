@@ -1,27 +1,43 @@
-"""Online stability monitoring for allocation runs.
+"""Online stability monitoring for allocation runs and campaigns.
 
 A :class:`StabilityMonitor` watches the posts a run delivers and tracks
 each resource's *observed* MA score — the deployable signal behind
 adaptive stopping (no ground truth involved).  Monitors never feed back
-into allocation, so attaching one cannot change a trace; they exist so
-:func:`repro.api.run` can report "how many resources went stable during
-this run" and so the batched runner has a stability hot path worth
-batching:
+into allocation by themselves; consumers (the runner, the campaign, the
+CLI) query them and act.  The interface answers every question the
+adaptive-stop loop asks each epoch:
+
+* :meth:`~StabilityMonitor.stable_indices` — who looks stable right now;
+* :meth:`~StabilityMonitor.drain_newly_stable` — who crossed ``tau``
+  since the *previous* drain (exactly-once, the retirement feed);
+* :meth:`~StabilityMonitor.observed_counts` — a resource's live tag
+  frequency table (drives worker imitation / quality-model dynamics);
+* :meth:`~StabilityMonitor.ma_scores` — every resource's observed MA.
+
+Three backends implement it:
 
 * :class:`TrackerStabilityMonitor` — one scalar
   :class:`~repro.core.stability.StabilityTracker` per resource, updated
-  post by post.  This is the per-post Python-interpreter price the
-  engine was built to avoid.
+  post by post; crossings surface immediately (``batched = False``).
 * :class:`BankStabilityMonitor` — the vectorized
-  :class:`~repro.engine.columnar.StabilityBank`; a whole delivery chunk
-  becomes one batched ingest, which is where
-  ``IncentiveRunner.run(..., batch_size=k)`` gets its wall-clock win.
+  :class:`~repro.engine.columnar.StabilityBank`; delivery chunks
+  coalesce into batched ingests, crossings surface at flush granularity
+  (``batched = True``).
+* :class:`ShardedBankStabilityMonitor` — N independent banks behind the
+  :class:`~repro.engine.shard.ShardedStabilityBank` hash router, for
+  campaigns whose resource population outgrows one dense count block.
+
+Pick one through :func:`make_monitor`; every consumer shares the same
+factory, so ``"tracker"``/``"engine"``/``"sharded"`` mean the same thing
+everywhere.
 """
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
+from typing import ClassVar
 
 from repro.core.errors import AllocationError
 from repro.core.posts import Post
@@ -31,12 +47,27 @@ __all__ = [
     "StabilityMonitor",
     "TrackerStabilityMonitor",
     "BankStabilityMonitor",
+    "ShardedBankStabilityMonitor",
+    "MONITOR_BACKENDS",
     "make_monitor",
 ]
 
+MONITOR_BACKENDS = ("tracker", "engine", "sharded")
+"""The backend names :func:`make_monitor` accepts."""
+
 
 class StabilityMonitor(ABC):
-    """Observes delivered posts; answers "which resources look stable?"."""
+    """Observes delivered posts; answers "which resources look stable?".
+
+    Class attributes:
+        batched: Whether crossings are detected at batch granularity
+            (engine-backed monitors) instead of per post.  Consumers that
+            retire stable resources use this to pick their drain cadence:
+            per-post for exact scalar semantics, per-epoch for the
+            amortized fast path.
+    """
+
+    batched: ClassVar[bool] = False
 
     @abstractmethod
     def begin(self, n: int, initial_posts: Sequence[Sequence[Post]]) -> None:
@@ -50,6 +81,28 @@ class StabilityMonitor(ABC):
     def stable_indices(self) -> list[int]:
         """Resources whose observed MA has crossed ``tau``, ascending."""
 
+    @abstractmethod
+    def drain_newly_stable(self) -> list[int]:
+        """Indices that crossed ``tau`` since the previous drain, ascending.
+
+        Exactly-once semantics: an index appears in precisely one drain
+        over the monitor's lifetime (resources seeded stable by
+        :meth:`begin` appear in the first).  The union of all drains
+        always equals :meth:`stable_indices`.
+        """
+
+    @abstractmethod
+    def observed_counts(self, index: int) -> dict[str, int]:
+        """A copy of the resource's observed tag counts ``h(·, k)``.
+
+        Includes the initial posts and every delivery observed so far —
+        the live frequency table that drives worker imitation dynamics.
+        """
+
+    @abstractmethod
+    def ma_scores(self) -> list[float]:
+        """Every resource's observed MA score, ``nan`` while ``k < omega``."""
+
     @property
     def stable_count(self) -> int:
         """Number of observed-stable resources so far."""
@@ -59,122 +112,155 @@ class StabilityMonitor(ABC):
 class TrackerStabilityMonitor(StabilityMonitor):
     """Scalar baseline: one per-resource tracker, updated per post."""
 
-    def __init__(self, omega: int = DEFAULT_OMEGA, tau: float = DEFAULT_TAU) -> None:
+    def __init__(
+        self, omega: int = DEFAULT_OMEGA, tau: float | None = DEFAULT_TAU
+    ) -> None:
         self.omega = omega
         self.tau = tau
         self._trackers: list[StabilityTracker] = []
+        self._pending: list[int] = []
+        self._announced: set[int] = set()
 
     def begin(self, n: int, initial_posts: Sequence[Sequence[Post]]) -> None:
         if len(initial_posts) != n:
             raise AllocationError("initial_posts must have length n")
         self._trackers = [StabilityTracker(self.omega, self.tau) for _ in range(n)]
-        for tracker, posts in zip(self._trackers, initial_posts):
+        self._pending = []
+        self._announced = set()
+        for index, (tracker, posts) in enumerate(zip(self._trackers, initial_posts)):
             tracker.add_posts(posts)
+            if tracker.is_stable:
+                self._announced.add(index)
+                self._pending.append(index)
 
     def observe_batch(self, deliveries: Sequence[tuple[int, Post]]) -> None:
         trackers = self._trackers
+        announced = self._announced
         for index, post in deliveries:
-            trackers[index].add_post(post.tags)
+            tracker = trackers[index]
+            tracker.add_post(post.tags)
+            if tracker.is_stable and index not in announced:
+                announced.add(index)
+                self._pending.append(index)
 
     def stable_indices(self) -> list[int]:
         return [i for i, tracker in enumerate(self._trackers) if tracker.is_stable]
 
+    def drain_newly_stable(self) -> list[int]:
+        drained = sorted(self._pending)
+        self._pending = []
+        return drained
 
-class BankStabilityMonitor(StabilityMonitor):
-    """Engine-backed monitor: delivery chunks coalesce into bank ingests.
+    def observed_counts(self, index: int) -> dict[str, int]:
+        return self._trackers[index].frequency_table().counts()
 
-    Chunks accumulate in a buffer and are applied as one vectorized CSR
-    batch once ``flush_events`` of them have piled up — the bank's fixed
-    per-ingest cost amortizes over thousands of events regardless of the
-    runner's chunk size.  Queries (:meth:`stable_indices`) flush first,
-    so observed results are always exact; only the *moment* of detection
-    is batched, the same trade the epoch-batched campaign backend makes.
+    def ma_scores(self) -> list[float]:
+        return [
+            math.nan if (score := tracker.ma_score) is None else score
+            for tracker in self._trackers
+        ]
+
+
+def _ingest_buffer(bank, buf_rows: list, buf_tags: list, buf_times: list):
+    """Build one CSR :class:`EventBatch` from a buffer and ingest it.
 
     The hot path skips :class:`~repro.engine.events.TagEvent` entirely:
-    resource rows are interned once at :meth:`begin`, post tag sets are
-    duplicate-free by construction, and each flush builds the
-    :class:`~repro.engine.events.EventBatch` directly — leaving tag
-    interning as the only per-event Python work.
+    rows were interned up front, post tag sets are duplicate-free by
+    construction, and the batch is built directly against ``bank``'s
+    interners — leaving tag interning as the only per-event Python work.
 
-    Args:
-        omega: MA window.
-        tau: Stability threshold.
-        flush_events: Buffered events per bank ingest.
+    Returns the bank's :class:`~repro.engine.columnar.IngestReport`, or
+    ``None`` for an empty buffer.
     """
+    from itertools import chain
+
+    import numpy as np
+
+    from repro.engine.events import EventBatch
+
+    n = len(buf_rows)
+    if n == 0:
+        return None
+    lengths = np.fromiter(map(len, buf_tags), dtype=np.int64, count=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    tag_ids = bank.tags.intern_all(list(chain.from_iterable(buf_tags)))
+    batch = EventBatch(
+        resources=np.fromiter(buf_rows, dtype=np.int64, count=n),
+        indptr=indptr,
+        tag_ids=tag_ids,
+        timestamps=np.fromiter(buf_times, dtype=np.float64, count=n),
+    )
+    return bank.ingest(batch)
+
+
+class _EngineStabilityMonitor(StabilityMonitor):
+    """Shared plumbing of the bank-backed monitors.
+
+    Owns the pieces both engine backends need verbatim — the
+    ``"r{i}"`` id scheme, the pending newly-stable feed, the optional
+    live observed-count dicts, and every query — so the subclasses only
+    provide bank construction, event buffering and :meth:`_flush`.
+    (``observe_batch`` stays subclass-inlined: it is the per-event hot
+    path the engine exists to keep cheap.)
+
+    Subclass contract: :meth:`_setup` creates ``self._bank`` and its
+    routing state plus empty buffers; :meth:`_buffer_posts` enqueues a
+    resource's posts; :meth:`_flush` ingests all buffers and routes each
+    :class:`~repro.engine.columnar.IngestReport` through
+    :meth:`_note_report`.
+    """
+
+    batched: ClassVar[bool] = True
 
     def __init__(
         self,
-        omega: int = DEFAULT_OMEGA,
-        tau: float = DEFAULT_TAU,
-        *,
-        flush_events: int = 4096,
+        omega: int,
+        tau: float | None,
+        flush_events: int,
+        track_observed: bool,
     ) -> None:
         if flush_events < 1:
             raise AllocationError(f"flush_events must be positive, got {flush_events}")
         self.omega = omega
         self.tau = tau
         self.flush_events = flush_events
+        self.track_observed = track_observed
         self._bank = None
         self._ids: list[str] = []
-        self._rows: list[int] = []
-        self._buf_rows: list[int] = []
-        self._buf_tags: list[tuple] = []
-        self._buf_times: list[float] = []
+        self._pending: list[int] = []
+        self._observed: list[dict[str, int]] | None = None
+
+    def _setup(self, n: int) -> None:
+        """Create ``self._bank``, its routing state and empty buffers."""
+        raise NotImplementedError
+
+    def _buffer_posts(self, index: int, posts: Sequence[Post]) -> None:
+        """Enqueue a resource's posts for the next flush."""
+        raise NotImplementedError
+
+    def _flush(self) -> None:
+        """Ingest all buffers; feed every report to :meth:`_note_report`."""
+        raise NotImplementedError
+
+    def _note_report(self, report) -> None:
+        self._pending.extend(int(rid[1:]) for rid in report.newly_stable)
 
     def begin(self, n: int, initial_posts: Sequence[Sequence[Post]]) -> None:
-        from repro.engine.columnar import StabilityBank
-
         if len(initial_posts) != n:
             raise AllocationError("initial_posts must have length n")
         self._ids = [f"r{i}" for i in range(n)]
-        self._bank = StabilityBank(self.omega, self.tau, initial_rows=max(n, 1))
-        self._bank.ensure(self._ids)
-        rows = [self._bank.resources.lookup(rid) for rid in self._ids]
-        assert all(row is not None for row in rows)
-        self._rows = rows  # type: ignore[assignment]
-        self._buf_rows, self._buf_tags, self._buf_times = [], [], []
+        self._pending = []
+        self._observed = [dict() for _ in range(n)] if self.track_observed else None
+        self._setup(n)
         for index, posts in enumerate(initial_posts):
-            row = self._rows[index]
-            for post in posts:
-                self._buf_rows.append(row)
-                self._buf_tags.append(tuple(post.tags))
-                self._buf_times.append(post.timestamp)
+            counts = None if self._observed is None else self._observed[index]
+            if counts is not None:
+                for post in posts:
+                    for tag in post.tags:
+                        counts[tag] = counts.get(tag, 0) + 1
+            self._buffer_posts(index, posts)
         self._flush()
-
-    def observe_batch(self, deliveries: Sequence[tuple[int, Post]]) -> None:
-        if self._bank is None:
-            raise AllocationError("monitor used before begin()")
-        rows = self._rows
-        buf_rows, buf_tags, buf_times = self._buf_rows, self._buf_tags, self._buf_times
-        for index, post in deliveries:
-            buf_rows.append(rows[index])
-            buf_tags.append(tuple(post.tags))
-            buf_times.append(post.timestamp)
-        if len(buf_rows) >= self.flush_events:
-            self._flush()
-
-    def _flush(self) -> None:
-        from itertools import chain
-
-        import numpy as np
-
-        from repro.engine.events import EventBatch
-
-        n = len(self._buf_rows)
-        if n == 0:
-            return
-        lengths = np.fromiter(map(len, self._buf_tags), dtype=np.int64, count=n)
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(lengths, out=indptr[1:])
-        tag_ids = self._bank.tags.intern_all(list(chain.from_iterable(self._buf_tags)))
-        batch = EventBatch(
-            resources=np.fromiter(self._buf_rows, dtype=np.int64, count=n),
-            indptr=indptr,
-            tag_ids=tag_ids,
-            timestamps=np.fromiter(self._buf_times, dtype=np.float64, count=n),
-        )
-        self._buf_rows, self._buf_tags, self._buf_times = [], [], []
-        self._bank.ingest(batch)
 
     def stable_indices(self) -> list[int]:
         if self._bank is None:
@@ -182,19 +268,246 @@ class BankStabilityMonitor(StabilityMonitor):
         self._flush()
         return sorted(int(rid[1:]) for rid in self._bank.stable_points())
 
+    def drain_newly_stable(self) -> list[int]:
+        if self._bank is not None:
+            self._flush()
+        drained = sorted(self._pending)
+        self._pending = []
+        return drained
+
+    def observed_counts(self, index: int) -> dict[str, int]:
+        if self._observed is not None:
+            return dict(self._observed[index])
+        if self._bank is None:
+            raise AllocationError("monitor used before begin()")
+        self._flush()
+        return self._bank.counts_of(self._ids[index])
+
+    def ma_scores(self) -> list[float]:
+        if self._bank is None:
+            return []
+        self._flush()
+        scores = []
+        for rid in self._ids:
+            score = self._bank.ma_score(rid)
+            scores.append(math.nan if score is None else float(score))
+        return scores
+
+
+class BankStabilityMonitor(_EngineStabilityMonitor):
+    """Engine-backed monitor: delivery chunks coalesce into bank ingests.
+
+    Chunks accumulate in a buffer and are applied as one vectorized CSR
+    batch once ``flush_events`` of them have piled up — the bank's fixed
+    per-ingest cost amortizes over thousands of events regardless of the
+    caller's chunk size.  Queries flush first, so observed results are
+    always exact; only the *moment* of detection is batched, the same
+    trade the epoch-batched campaign backend makes.
+
+    Args:
+        omega: MA window.
+        tau: Stability threshold (``None`` disables crossing detection).
+        flush_events: Buffered events per bank ingest.
+        track_observed: Maintain live per-resource tag-count dicts so
+            :meth:`observed_counts` answers without flushing.  Campaigns
+            need this (workers read counts between flushes); plain
+            allocation runs leave it off and pay zero per-event cost.
+    """
+
+    def __init__(
+        self,
+        omega: int = DEFAULT_OMEGA,
+        tau: float | None = DEFAULT_TAU,
+        *,
+        flush_events: int = 4096,
+        track_observed: bool = False,
+    ) -> None:
+        super().__init__(omega, tau, flush_events, track_observed)
+        self._rows: list[int] = []
+        self._buf_rows: list[int] = []
+        self._buf_tags: list[tuple] = []
+        self._buf_times: list[float] = []
+
+    def _setup(self, n: int) -> None:
+        from repro.engine.columnar import StabilityBank
+
+        self._bank = StabilityBank(self.omega, self.tau, initial_rows=max(n, 1))
+        self._bank.ensure(self._ids)
+        rows = [self._bank.resources.lookup(rid) for rid in self._ids]
+        assert all(row is not None for row in rows)
+        self._rows = rows  # type: ignore[assignment]
+        self._buf_rows, self._buf_tags, self._buf_times = [], [], []
+
+    def _buffer_posts(self, index: int, posts: Sequence[Post]) -> None:
+        row = self._rows[index]
+        for post in posts:
+            self._buf_rows.append(row)
+            self._buf_tags.append(tuple(post.tags))
+            self._buf_times.append(post.timestamp)
+
+    def observe_batch(self, deliveries: Sequence[tuple[int, Post]]) -> None:
+        if self._bank is None:
+            raise AllocationError("monitor used before begin()")
+        rows = self._rows
+        observed = self._observed
+        buf_rows, buf_tags, buf_times = self._buf_rows, self._buf_tags, self._buf_times
+        for index, post in deliveries:
+            buf_rows.append(rows[index])
+            buf_tags.append(tuple(post.tags))
+            buf_times.append(post.timestamp)
+            if observed is not None:
+                counts = observed[index]
+                for tag in post.tags:
+                    counts[tag] = counts.get(tag, 0) + 1
+        if len(buf_rows) >= self.flush_events:
+            self._flush()
+
+    def _flush(self) -> None:
+        report = _ingest_buffer(self._bank, self._buf_rows, self._buf_tags, self._buf_times)
+        if report is None:
+            return
+        self._buf_rows, self._buf_tags, self._buf_times = [], [], []
+        self._note_report(report)
+
+    def ma_scores(self) -> list[float]:
+        # vectorized override: one query for the whole population
+        if self._bank is None:
+            return []
+        self._flush()
+        _, scores = self._bank.ma_scores()
+        return [float(scores[row]) for row in self._rows]
+
+
+class ShardedBankStabilityMonitor(_EngineStabilityMonitor):
+    """Sharded engine monitor for large-``n`` campaigns.
+
+    Fronts a :class:`~repro.engine.shard.ShardedStabilityBank`: resources
+    are routed to ``n_shards`` independent banks by the engine's stable
+    CRC32 hash, so each shard's dense count block stays small while the
+    monitor's answers are identical to a single bank's (the shard tests
+    pin this).  Buffered deliveries are flushed shard by shard, each as
+    one direct CSR batch against that shard's interners.
+
+    Args:
+        omega: MA window (shared by all shards).
+        tau: Stability threshold (``None`` disables crossing detection).
+        n_shards: Number of independent banks.
+        flush_events: Total buffered events per flush of all shards.
+        track_observed: As for :class:`BankStabilityMonitor`.
+    """
+
+    def __init__(
+        self,
+        omega: int = DEFAULT_OMEGA,
+        tau: float | None = DEFAULT_TAU,
+        *,
+        n_shards: int = 4,
+        flush_events: int = 4096,
+        track_observed: bool = False,
+    ) -> None:
+        if n_shards < 1:
+            raise AllocationError(f"n_shards must be positive, got {n_shards}")
+        super().__init__(omega, tau, flush_events, track_observed)
+        self.n_shards = n_shards
+        self._shard_of: list[int] = []
+        self._rows: list[int] = []
+        self._buffers: list[tuple[list, list, list]] = []
+        self._buffered = 0
+
+    def _setup(self, n: int) -> None:
+        from repro.engine.shard import ShardedStabilityBank, shard_of
+
+        self._bank = ShardedStabilityBank(self.n_shards, self.omega, self.tau)
+        self._bank.ensure(self._ids)
+        self._shard_of = [shard_of(rid, self.n_shards) for rid in self._ids]
+        rows = [
+            self._bank.shards[shard].resources.lookup(rid)
+            for shard, rid in zip(self._shard_of, self._ids)
+        ]
+        assert all(row is not None for row in rows)
+        self._rows = rows  # type: ignore[assignment]
+        self._buffers = [([], [], []) for _ in range(self.n_shards)]
+        self._buffered = 0
+
+    def _buffer_posts(self, index: int, posts: Sequence[Post]) -> None:
+        buf_rows, buf_tags, buf_times = self._buffers[self._shard_of[index]]
+        row = self._rows[index]
+        for post in posts:
+            buf_rows.append(row)
+            buf_tags.append(tuple(post.tags))
+            buf_times.append(post.timestamp)
+        self._buffered += len(posts)
+
+    def observe_batch(self, deliveries: Sequence[tuple[int, Post]]) -> None:
+        if self._bank is None:
+            raise AllocationError("monitor used before begin()")
+        shard_of, rows, buffers = self._shard_of, self._rows, self._buffers
+        observed = self._observed
+        for index, post in deliveries:
+            buf_rows, buf_tags, buf_times = buffers[shard_of[index]]
+            buf_rows.append(rows[index])
+            buf_tags.append(tuple(post.tags))
+            buf_times.append(post.timestamp)
+            if observed is not None:
+                counts = observed[index]
+                for tag in post.tags:
+                    counts[tag] = counts.get(tag, 0) + 1
+        self._buffered += len(deliveries)
+        if self._buffered >= self.flush_events:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._buffered == 0:
+            return
+        for shard_index, (buf_rows, buf_tags, buf_times) in enumerate(self._buffers):
+            report = _ingest_buffer(
+                self._bank.shards[shard_index], buf_rows, buf_tags, buf_times
+            )
+            if report is not None:
+                self._buffers[shard_index] = ([], [], [])
+                self._note_report(report)
+        self._buffered = 0
+
 
 def make_monitor(
     backend: str | None,
     omega: int = DEFAULT_OMEGA,
-    tau: float = DEFAULT_TAU,
+    tau: float | None = DEFAULT_TAU,
+    *,
+    flush_events: int = 4096,
+    track_observed: bool = False,
+    n_shards: int = 4,
 ) -> StabilityMonitor | None:
-    """Monitor factory keyed by backend name (``None`` -> no monitoring)."""
+    """Monitor factory keyed by backend name (``None`` -> no monitoring).
+
+    Args:
+        backend: One of :data:`MONITOR_BACKENDS`, or ``None``.
+        omega: MA window.
+        tau: Stability threshold (``None`` disables crossing detection).
+        flush_events: Engine-backed buffering grain (ignored by
+            ``"tracker"``).
+        track_observed: Maintain live observed-count dicts (see
+            :class:`BankStabilityMonitor`; ignored by ``"tracker"``,
+            whose frequency tables are always live).
+        n_shards: Shard count (``"sharded"`` only).
+    """
     if backend is None:
         return None
     if backend == "tracker":
         return TrackerStabilityMonitor(omega, tau)
     if backend == "engine":
-        return BankStabilityMonitor(omega, tau)
+        return BankStabilityMonitor(
+            omega, tau, flush_events=flush_events, track_observed=track_observed
+        )
+    if backend == "sharded":
+        return ShardedBankStabilityMonitor(
+            omega,
+            tau,
+            n_shards=n_shards,
+            flush_events=flush_events,
+            track_observed=track_observed,
+        )
     raise AllocationError(
-        f"unknown stability monitor backend {backend!r} (expected 'tracker' or 'engine')"
+        f"unknown stability monitor backend {backend!r} "
+        f"(expected one of {MONITOR_BACKENDS})"
     )

@@ -37,8 +37,9 @@ __all__ = [
 CORPUS_KINDS = ("paper", "universe", "tiny", "small", "jsonl")
 """Recognised corpus sources (generated scenarios plus JSONL files)."""
 
-STABILITY_BACKENDS = ("tracker", "engine")
-"""Per-post scalar trackers vs the batched columnar ``StabilityBank``."""
+STABILITY_BACKENDS = ("tracker", "engine", "sharded")
+"""Per-post scalar trackers, the batched columnar ``StabilityBank``, or
+the sharded bank behind the CRC32 hash router (large populations)."""
 
 ALLOCATION_MODES = ("replay", "generative")
 """Replay the corpus' future posts, or synthesise posts from its models."""
@@ -238,8 +239,9 @@ class CampaignSpec(Spec):
         omega: MA window of the adaptive stopper.
         stop_tau: Observed-MA retirement threshold (``None`` disables
             adaptive stopping).
-        stability_backend: ``tracker`` (per-post) or ``engine``
-            (epoch-batched ``StabilityBank``).
+        stability_backend: ``tracker`` (per-post stopping), ``engine``
+            (epoch-batched ``StabilityBank``) or ``sharded`` (the bank
+            behind the hash router, for large resource populations).
         batch_size: Task offers attempted per epoch.
         max_epochs: Hard stop on campaign length.
         reward_per_task: Units paid per completed task.

@@ -27,6 +27,7 @@ from pathlib import Path
 import repro
 import repro.api as api
 from repro.api import AllocateSpec, CampaignSpec, CorpusSpec, IngestSpec, STRATEGIES
+from repro.allocation.monitor import MONITOR_BACKENDS
 from repro.core.dataset import TaggingDataset
 from repro.experiments import (
     DEFAULT_SCALE,
@@ -97,7 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     allocate.add_argument(
         "--stability",
-        choices=["tracker", "engine"],
+        choices=list(MONITOR_BACKENDS),
         default=None,
         help="monitor observed stability during the run",
     )
@@ -130,9 +131,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-adaptive-stop", action="store_true", help="disable online stopping"
     )
     campaign.add_argument(
+        "--stability",
+        choices=list(MONITOR_BACKENDS),
+        default=None,
+        help="stability backend for adaptive stopping (default: tracker)",
+    )
+    campaign.add_argument(
         "--engine",
         action="store_true",
-        help="use the vectorized StabilityBank for stability updates",
+        help="shorthand for --stability engine (kept for compatibility)",
     )
 
     ingest = sub.add_parser(
@@ -294,6 +301,7 @@ def _command_case_study(args: argparse.Namespace) -> int:
 
 
 def _command_campaign(args: argparse.Namespace) -> int:
+    backend = args.stability or ("engine" if args.engine else "tracker")
     spec = CampaignSpec(
         corpus=CorpusSpec(kind="paper", resources=args.resources, seed=args.seed),
         strategy=args.strategy,
@@ -301,7 +309,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
         workers=args.workers,
         seed=args.seed,
         stop_tau=None if args.no_adaptive_stop else 0.995,
-        stability_backend="engine" if args.engine else "tracker",
+        stability_backend=backend,
     )
     print(api.run(spec).summary)
     return 0

@@ -5,7 +5,7 @@ An :class:`IncentiveCampaign` wires everything together:
 1. an allocation strategy proposes resources (Fig 2 step 1),
 2. the job board publishes post tasks and a simulated worker pool claims
    and completes them (step 2),
-3. completed posts update the per-resource stability trackers (step 3),
+3. completed posts update the campaign's stability monitor (step 3),
 4. the reward ledger pays the workers (step 4).
 
 Beyond the paper's sketch, the campaign performs **adaptive stopping**
@@ -14,18 +14,27 @@ MA score is tracked online, and once a resource crosses the stability
 threshold the campaign stops buying posts for it — no ground truth
 needed, so this is deployable on a real system.
 
-Two stability backends are available for step 3:
+All stability state lives behind one
+:class:`~repro.allocation.monitor.StabilityMonitor`, built through
+:func:`~repro.allocation.monitor.make_monitor` from the
+``stability_backend`` name — the same factory (and the same three
+backends) the allocation runner and the CLI use:
 
-* ``"tracker"`` (default) — one scalar
-  :class:`~repro.core.stability.StabilityTracker` per resource, updated
-  post by post; stable resources are retired the moment they cross.
-* ``"engine"`` — the vectorized
-  :class:`~repro.engine.columnar.StabilityBank`: completed posts are
-  buffered during the epoch and applied as one batched update at epoch
-  end, so large campaigns pay the engine's amortized per-event cost.
-  Retirement consequently happens at epoch granularity (a resource may
-  receive a few extra posts within its crossing epoch), which matches
-  how a real system would batch its bookkeeping.
+* ``"tracker"`` (default) — per-resource scalar trackers, updated post
+  by post; stable resources are retired the moment they cross.
+* ``"engine"`` — the vectorized columnar bank: completed posts are
+  buffered during the epoch and applied as one batched update, so large
+  campaigns pay the engine's amortized per-event cost.  Retirement
+  consequently happens at epoch granularity (a resource may receive a
+  few extra posts within its crossing epoch), which matches how a real
+  system would batch its bookkeeping.
+* ``"sharded"`` — the engine bank behind the CRC32 shard router, for
+  campaigns whose resource population outgrows one dense count block;
+  same epoch-granular retirement as ``"engine"``.
+
+The monitor's ``batched`` flag decides the drain cadence: per-post for
+the tracker backend (exact scalar semantics), per-epoch for the engine
+backends.
 """
 
 from __future__ import annotations
@@ -37,10 +46,9 @@ import numpy as np
 
 from repro.core.errors import AllocationError
 from repro.core.posts import Post
-from repro.core.stability import DEFAULT_OMEGA, StabilityTracker
-from repro.engine.columnar import StabilityBank
-from repro.engine.events import TagEvent
+from repro.core.stability import DEFAULT_OMEGA
 from repro.allocation.base import AllocationContext, AllocationStrategy
+from repro.allocation.monitor import StabilityMonitor, make_monitor
 from repro.allocation.oracle import GenerativeTaggerSource, popularity_chooser
 from repro.simulate.resource_models import ResourceModel
 from repro.service.jobs import JobBoard
@@ -130,9 +138,11 @@ class IncentiveCampaign:
             retired (``None`` disables adaptive stopping).
         batch_size: Task offers attempted per epoch.
         reward_per_task: Units paid per completed task.
-        stability_backend: ``"tracker"`` for per-resource scalar trackers
-            (per-post stopping), ``"engine"`` for the vectorized
-            :class:`StabilityBank` fast path (epoch-batched stopping).
+        stability_backend: Monitor backend name, passed straight to
+            :func:`~repro.allocation.monitor.make_monitor` —
+            ``"tracker"`` (per-post stopping), ``"engine"`` (vectorized,
+            epoch-batched stopping) or ``"sharded"`` (engine banks behind
+            a hash router, for large resource populations).
     """
 
     def __init__(
@@ -154,11 +164,6 @@ class IncentiveCampaign:
             raise AllocationError("models and initial_posts must align")
         if batch_size < 1:
             raise AllocationError("batch_size must be positive")
-        if stability_backend not in ("tracker", "engine"):
-            raise AllocationError(
-                f"unknown stability backend {stability_backend!r} "
-                "(expected 'tracker' or 'engine')"
-            )
         self.models = list(models)
         self.initial_posts = [list(posts) for posts in initial_posts]
         self.strategy = strategy
@@ -176,30 +181,18 @@ class IncentiveCampaign:
         self._bought: list[list[Post]] = [[] for _ in self.models]
         self._stopped: set[int] = set()
 
-        self._trackers: list[StabilityTracker] = []
-        self._bank: StabilityBank | None = None
-        if stability_backend == "tracker":
-            self._trackers = [StabilityTracker(omega, stop_tau) for _ in self.models]
-            for tracker, posts in zip(self._trackers, self.initial_posts):
-                tracker.add_posts(posts)
-        else:
-            self._resource_ids = [f"r{i}" for i in range(len(self.models))]
-            self._bank = StabilityBank(omega, stop_tau, initial_rows=len(self.models))
-            self._bank.ensure(self._resource_ids)
-            self._bank.ingest_events(
-                event
-                for rid, posts in zip(self._resource_ids, self.initial_posts)
-                for event in (TagEvent.from_post(rid, post) for post in posts)
+        # Workers read observed counts between engine flushes, so the
+        # monitor keeps live frequency dicts (track_observed).
+        monitor = make_monitor(
+            stability_backend, omega, stop_tau, track_observed=True
+        )
+        if monitor is None:  # make_monitor(None) means "no monitoring"
+            raise AllocationError(
+                "campaign requires a stability backend; "
+                f"stability_backend must not be {stability_backend!r}"
             )
-            # live observed counts, kept per post so workers' imitation
-            # dynamics see intra-epoch updates while the bank batches
-            self._observed: list[dict[str, int]] = []
-            for posts in self.initial_posts:
-                counts: dict[str, int] = {}
-                for post in posts:
-                    for tag in post.tags:
-                        counts[tag] = counts.get(tag, 0) + 1
-                self._observed.append(counts)
+        self._monitor: StabilityMonitor = monitor
+        self._monitor.begin(len(self.models), self.initial_posts)
 
     # ------------------------------------------------------------------
 
@@ -250,11 +243,10 @@ class IncentiveCampaign:
             stability_backend=spec.stability_backend,
         )
 
-    def _observed_counts(self, index: int) -> dict[str, int]:
-        """A copy of the resource's observed tag counts (for workers)."""
-        if self._bank is not None:
-            return dict(self._observed[index])
-        return self._trackers[index].frequency_table().counts()
+    @property
+    def monitor(self) -> StabilityMonitor:
+        """The campaign's stability monitor (read-only observability)."""
+        return self._monitor
 
     def _make_context(self) -> AllocationContext:
         """Strategy context; free choice follows current popularity."""
@@ -277,22 +269,14 @@ class IncentiveCampaign:
             budget=self.ledger.budget,
         )
 
-    def _retire_stable(self) -> None:
-        """Adaptive stopping: retire resources whose observed MA crossed."""
+    def _drain_and_retire(self) -> None:
+        """Retire every resource the monitor reports as newly stable."""
         if self.stop_tau is None:
             return
-        if self._bank is not None:
-            for index, rid in enumerate(self._resource_ids):
-                if index not in self._stopped and self._bank.is_stable(rid):
-                    self._retire(index)
-            return
-        for index, tracker in enumerate(self._trackers):
-            if index not in self._stopped and tracker.is_stable:
-                self._retire(index)
-
-    def _retire(self, index: int) -> None:
-        self._stopped.add(index)
-        self.strategy.mark_exhausted(index)
+        for index in self._monitor.drain_newly_stable():
+            if index not in self._stopped:
+                self._stopped.add(index)
+                self.strategy.mark_exhausted(index)
 
     # ------------------------------------------------------------------
 
@@ -306,14 +290,15 @@ class IncentiveCampaign:
             The final :class:`CampaignResult`.
         """
         self.strategy.initialize(self._make_context())
-        self._retire_stable()
+        self._drain_and_retire()  # resources already stable at kickoff
 
+        monitor = self._monitor
+        per_post_stopping = not monitor.batched
         reports: list[EpochReport] = []
         for epoch in range(max_epochs):
             if self.ledger.remaining < self.reward_per_task:
                 break
             published = completed = unfilled = spent = 0
-            epoch_events: list[TagEvent] = []
             for _ in range(self.batch_size):
                 if self.ledger.remaining < self.reward_per_task:
                     break
@@ -327,7 +312,7 @@ class IncentiveCampaign:
                     self.models[index],
                     post_index=int(self._counts[index]),
                     timestamp=float(epoch),
-                    observed_counts=self._observed_counts(index),
+                    observed_counts=monitor.observed_counts(index),
                 )
                 if post is None:
                     task.expire()
@@ -340,30 +325,12 @@ class IncentiveCampaign:
                 self._counts[index] += 1
                 self._bought[index].append(post)
                 self.strategy.update(index, post)
-                if self._bank is not None:
-                    counts = self._observed[index]
-                    for tag in post.tags:
-                        counts[tag] = counts.get(tag, 0) + 1
-                    epoch_events.append(
-                        TagEvent.from_post(self._resource_ids[index], post)
-                    )
-                else:
-                    tracker = self._trackers[index]
-                    tracker.add_post(post.tags)
-                    if (
-                        self.stop_tau is not None
-                        and index not in self._stopped
-                        and tracker.is_stable
-                    ):
-                        self._retire(index)
-            if self._bank is not None and epoch_events:
+                monitor.observe_batch(((index, post),))
+                if per_post_stopping:
+                    self._drain_and_retire()
+            if not per_post_stopping:
                 # engine fast path: one vectorized stability update per epoch
-                report = self._bank.ingest_events(epoch_events)
-                if self.stop_tau is not None:
-                    for rid in report.newly_stable:
-                        index = int(rid[1:])
-                        if index not in self._stopped:
-                            self._retire(index)
+                self._drain_and_retire()
             reports.append(
                 EpochReport(
                     epoch=epoch,

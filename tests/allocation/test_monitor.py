@@ -1,0 +1,149 @@
+"""Unit tests for the StabilityMonitor interface and its three backends."""
+
+import math
+
+import pytest
+
+from repro.core import AllocationError, Post
+from repro.allocation.monitor import (
+    MONITOR_BACKENDS,
+    BankStabilityMonitor,
+    ShardedBankStabilityMonitor,
+    TrackerStabilityMonitor,
+    make_monitor,
+)
+
+
+def stable_run_posts(k: int) -> list[Post]:
+    """``k`` identical posts — MA hits 1.0 as soon as it is defined."""
+    return [Post.of("a", "b", timestamp=float(i)) for i in range(k)]
+
+
+def drifting_posts(k: int) -> list[Post]:
+    """Posts whose tag sets keep changing — unstable for small ``k``.
+
+    With all-distinct tags the adjacent similarity is
+    ``sqrt((j-1)/j)``, so short sequences stay comfortably below a 0.9
+    threshold (keep ``k <= 5`` at ``omega = 3``).
+    """
+    return [Post.of(f"x{i}", f"y{i}", timestamp=float(i)) for i in range(k)]
+
+
+class TestFactory:
+    def test_none_disables_monitoring(self):
+        assert make_monitor(None) is None
+
+    def test_spec_backends_match_factory_backends(self):
+        # specs can't import the factory tuple (allocation -> api import
+        # cycle), so the two hand-maintained tuples are pinned here
+        from repro.api.specs import STABILITY_BACKENDS
+
+        assert STABILITY_BACKENDS == MONITOR_BACKENDS
+
+    @pytest.mark.parametrize("backend,cls", [
+        ("tracker", TrackerStabilityMonitor),
+        ("engine", BankStabilityMonitor),
+        ("sharded", ShardedBankStabilityMonitor),
+    ])
+    def test_backend_classes(self, backend, cls):
+        assert backend in MONITOR_BACKENDS
+        assert isinstance(make_monitor(backend, 5, 0.99), cls)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(AllocationError, match="unknown stability monitor backend"):
+            make_monitor("turbo")
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(AllocationError):
+            make_monitor("engine", flush_events=0)
+        with pytest.raises(AllocationError):
+            make_monitor("sharded", n_shards=0)
+
+
+@pytest.mark.parametrize("backend", MONITOR_BACKENDS)
+class TestDrainSemantics:
+    def test_initially_stable_arrive_in_first_drain(self, backend):
+        monitor = make_monitor(backend, 3, 0.9)
+        monitor.begin(3, [stable_run_posts(6), [], drifting_posts(4)])
+        assert monitor.drain_newly_stable() == [0]
+        assert monitor.drain_newly_stable() == []
+
+    def test_exactly_once_across_lifetime(self, backend):
+        monitor = make_monitor(backend, 3, 0.9, flush_events=2)
+        monitor.begin(2, [[], []])
+        seen: list[int] = []
+        for post in stable_run_posts(8):
+            monitor.observe_batch([(0, post), (1, post)])
+            seen.extend(monitor.drain_newly_stable())
+        assert sorted(seen) == [0, 1]
+        assert len(seen) == len(set(seen))
+        assert monitor.stable_indices() == [0, 1]
+        assert monitor.drain_newly_stable() == []
+
+    def test_union_of_drains_equals_stable_indices(self, backend):
+        monitor = make_monitor(backend, 3, 0.9)
+        monitor.begin(3, [stable_run_posts(5), [], []])
+        drained = set(monitor.drain_newly_stable())
+        for post in stable_run_posts(7):
+            monitor.observe_batch([(2, post)])
+        drained.update(monitor.drain_newly_stable())
+        assert drained == set(monitor.stable_indices()) == {0, 2}
+
+    def test_no_tau_never_drains(self, backend):
+        monitor = make_monitor(backend, 3, None)
+        monitor.begin(1, [stable_run_posts(10)])
+        assert monitor.drain_newly_stable() == []
+        assert monitor.stable_indices() == []
+
+
+@pytest.mark.parametrize("backend", MONITOR_BACKENDS)
+class TestQueries:
+    def test_observed_counts_cover_initial_and_delivered(self, backend):
+        monitor = make_monitor(backend, 5, 0.99, track_observed=True)
+        monitor.begin(2, [[Post.of("a", "b"), Post.of("a")], []])
+        monitor.observe_batch([(0, Post.of("a", "c")), (1, Post.of("z"))])
+        assert monitor.observed_counts(0) == {"a": 3, "b": 1, "c": 1}
+        assert monitor.observed_counts(1) == {"z": 1}
+        # returned dicts are copies — mutating them must not leak back
+        monitor.observed_counts(0)["a"] = 99
+        assert monitor.observed_counts(0)["a"] == 3
+
+    def test_ma_scores_nan_below_omega_then_defined(self, backend):
+        monitor = make_monitor(backend, 4, 0.99)
+        monitor.begin(2, [stable_run_posts(2), stable_run_posts(6)])
+        scores = monitor.ma_scores()
+        assert len(scores) == 2
+        assert math.isnan(scores[0])
+        assert scores[1] == pytest.approx(1.0)
+
+    def test_stable_count_property(self, backend):
+        monitor = make_monitor(backend, 3, 0.9)
+        monitor.begin(2, [stable_run_posts(5), []])
+        assert monitor.stable_count == 1
+
+
+class TestEngineSpecifics:
+    @pytest.mark.parametrize("backend", ["engine", "sharded"])
+    def test_observe_before_begin_rejected(self, backend):
+        monitor = make_monitor(backend, 5, 0.99)
+        with pytest.raises(AllocationError, match="before begin"):
+            monitor.observe_batch([(0, Post.of("a"))])
+
+    @pytest.mark.parametrize("backend", ["engine", "sharded"])
+    def test_observed_counts_without_tracking_flushes(self, backend):
+        monitor = make_monitor(backend, 5, 0.99)  # track_observed=False
+        monitor.begin(1, [[Post.of("a", "b")]])
+        monitor.observe_batch([(0, Post.of("a"))])
+        assert monitor.observed_counts(0) == {"a": 2, "b": 1}
+
+    def test_batched_flags(self):
+        assert TrackerStabilityMonitor.batched is False
+        assert BankStabilityMonitor.batched is True
+        assert ShardedBankStabilityMonitor.batched is True
+
+    def test_sharded_spreads_resources_across_shards(self):
+        monitor = make_monitor("sharded", 3, 0.9, n_shards=3)
+        monitor.begin(12, [stable_run_posts(5) for _ in range(12)])
+        populated = [shard for shard in monitor._bank.shards if shard.n_resources]
+        assert len(populated) > 1
+        assert monitor.stable_indices() == list(range(12))

@@ -132,6 +132,20 @@ class TestRunCampaign:
         )
         assert result.metrics["completed"] >= 0
 
+    def test_campaign_sharded_matches_engine(self):
+        spec = CampaignSpec(
+            corpus=CorpusSpec(kind="paper", resources=12, seed=7),
+            budget=80,
+            workers=4,
+            stability_backend="engine",
+        )
+        engine = run(spec)
+        sharded = run(spec.replace(stability_backend="sharded"))
+        # sharding is a memory-layout choice: identical campaign traces
+        assert sharded.details["epochs"] == engine.details["epochs"]
+        assert sharded.details["final_counts"] == engine.details["final_counts"]
+        assert sharded.details["stopped_resources"] == engine.details["stopped_resources"]
+
 
 class TestRunIngest:
     def test_synthetic_ingest(self):

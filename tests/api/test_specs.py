@@ -39,6 +39,7 @@ ALL_SPECS = [
         batch_size=10,
         max_epochs=40,
     ),
+    CampaignSpec(stability_backend="sharded"),
     IngestSpec(),
     IngestSpec(dataset="in.jsonl", shards=4, checkpoint="/tmp/ck", max_events=10_000),
 ]

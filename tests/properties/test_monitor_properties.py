@@ -1,0 +1,117 @@
+"""Property-based tests for the StabilityMonitor backends.
+
+The three backends (scalar trackers, the columnar bank, the sharded
+bank) must agree on stability under *any* delivery chunking, and
+``drain_newly_stable`` must hand out each index exactly once no matter
+when it is called.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Post
+from repro.allocation.monitor import make_monitor
+
+BACKENDS = ("tracker", "engine", "sharded")
+
+tag = st.sampled_from([f"t{i}" for i in range(6)])
+post_tags = st.frozensets(tag, min_size=1, max_size=3)
+
+# Thresholds deliberately far from any MA value small integer-count
+# vectors can produce: the scalar tracker and the vectorized bank agree
+# to ~1 ulp, so a tau landing exactly on an achievable MA (e.g. 0.5 with
+# omega=2) would legitimately split the backends at the last bit.
+taus = st.sampled_from([0.31415927, 0.54321099, 0.68792341, 0.83791264, 0.96234178])
+
+
+@st.composite
+def delivery_runs(draw):
+    """Initial posts plus a chunked delivery schedule over n resources."""
+    n = draw(st.integers(min_value=1, max_value=5))
+    initial = [
+        [
+            Post(tags, timestamp=float(t))
+            for t, tags in enumerate(draw(st.lists(post_tags, max_size=6)))
+        ]
+        for _ in range(n)
+    ]
+    deliveries = draw(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=n - 1), post_tags),
+            max_size=40,
+        )
+    )
+    posts = [
+        (index, Post(tags, timestamp=float(t)))
+        for t, (index, tags) in enumerate(deliveries)
+    ]
+    # random chunk boundaries, including empty chunks
+    boundaries = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(posts)), max_size=6
+            )
+        )
+    )
+    chunks, start = [], 0
+    for boundary in boundaries + [len(posts)]:
+        chunks.append(posts[start:boundary])
+        start = boundary
+    return n, initial, chunks
+
+
+def build_monitors(omega, tau, n, initial):
+    monitors = {
+        backend: make_monitor(backend, omega, tau, n_shards=3, flush_events=7)
+        for backend in BACKENDS
+    }
+    for monitor in monitors.values():
+        monitor.begin(n, initial)
+    return monitors
+
+
+class TestBackendAgreement:
+    @given(delivery_runs(), st.integers(min_value=2, max_value=5), taus)
+    @settings(max_examples=60, deadline=None)
+    def test_drains_accumulate_identically_under_chunking(self, run, omega, tau):
+        """Cumulative drained sets agree across backends at every chunk
+        boundary, each index is drained exactly once, and the final
+        cumulative set equals every backend's stable_indices()."""
+        n, initial, chunks = run
+        monitors = build_monitors(omega, tau, n, initial)
+        drained = {backend: [] for backend in BACKENDS}
+        for backend, monitor in monitors.items():
+            drained[backend].extend(monitor.drain_newly_stable())
+        for chunk in chunks:
+            for backend, monitor in monitors.items():
+                monitor.observe_batch(chunk)
+                drained[backend].extend(monitor.drain_newly_stable())
+            sets = {backend: set(ids) for backend, ids in drained.items()}
+            assert sets["tracker"] == sets["engine"] == sets["sharded"]
+        for backend, monitor in monitors.items():
+            assert len(drained[backend]) == len(set(drained[backend])), (
+                f"{backend} drained an index twice"
+            )
+            assert set(drained[backend]) == set(monitor.stable_indices())
+
+    @given(delivery_runs(), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_observed_counts_and_ma_scores_agree(self, run, omega):
+        n, initial, chunks = run
+        monitors = build_monitors(omega, 0.9, n, initial)
+        for chunk in chunks:
+            for monitor in monitors.values():
+                monitor.observe_batch(chunk)
+        tracker = monitors["tracker"]
+        for index in range(n):
+            expected = tracker.observed_counts(index)
+            for backend in ("engine", "sharded"):
+                assert monitors[backend].observed_counts(index) == expected
+        scores = {backend: monitor.ma_scores() for backend, monitor in monitors.items()}
+        for backend in ("engine", "sharded"):
+            assert len(scores[backend]) == len(scores["tracker"])
+            for got, want in zip(scores[backend], scores["tracker"]):
+                if want != want:  # nan: undefined while k < omega
+                    assert got != got
+                else:
+                    assert abs(got - want) < 1e-9

@@ -1,0 +1,63 @@
+"""Pinned campaign traces: the monitor refactor must not move a byte.
+
+``tests/fixtures/campaign_traces.json`` was generated from the campaign
+*before* stability state moved behind ``StabilityMonitor`` (see
+``scripts/generate_campaign_fixture.py``).  These tests replay the same
+specs and require byte-identical traces — epoch reports, final counts,
+the stopped set and a digest of every bought post — for the ``tracker``
+and ``engine`` backends, and require the new ``sharded`` backend to
+reproduce the ``engine`` trace exactly (sharding is a layout choice, not
+a semantic one).
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURE = REPO_ROOT / "tests" / "fixtures" / "campaign_traces.json"
+
+
+def _load_fixture_module():
+    spec = importlib.util.spec_from_file_location(
+        "generate_campaign_fixture",
+        REPO_ROOT / "scripts" / "generate_campaign_fixture.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def fixture_module():
+    return _load_fixture_module()
+
+
+@pytest.fixture(scope="module")
+def pinned():
+    return json.loads(FIXTURE.read_text())["traces"]
+
+
+class TestPinnedTraces:
+    def test_fixture_covers_both_seed_backends(self, pinned):
+        backends = {entry["spec"]["stability_backend"] for entry in pinned}
+        assert backends == {"tracker", "engine"}
+
+    def test_traces_are_byte_identical_to_pre_refactor(self, fixture_module, pinned):
+        for entry in pinned:
+            got = fixture_module.campaign_trace(entry["spec"])
+            assert json.dumps(got, sort_keys=True) == json.dumps(
+                entry["trace"], sort_keys=True
+            ), f"trace diverged for {entry['spec']}"
+
+    def test_sharded_backend_matches_engine_trace(self, fixture_module, pinned):
+        for entry in pinned:
+            if entry["spec"]["stability_backend"] != "engine":
+                continue
+            sharded_spec = dict(entry["spec"], stability_backend="sharded")
+            got = fixture_module.campaign_trace(sharded_spec)
+            assert json.dumps(got, sort_keys=True) == json.dumps(
+                entry["trace"], sort_keys=True
+            ), f"sharded trace diverged from engine for {entry['spec']}"

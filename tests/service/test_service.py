@@ -180,9 +180,7 @@ class TestCampaign:
         assert len(result.stopped_resources) > 0
         # A retired resource receives no tasks afterwards: its final MA
         # is above the threshold.
-        for index in result.stopped_resources:
-            tracker = campaign._trackers[index]
-            assert tracker.is_stable
+        assert result.stopped_resources <= set(campaign.monitor.stable_indices())
 
     def test_no_adaptive_stopping_when_disabled(self, campaign_corpus):
         campaign = self.build(

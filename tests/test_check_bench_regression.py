@@ -1,0 +1,102 @@
+"""Unit tests for scripts/check_bench_regression.py (the CI bench gate)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / "check_bench_regression.py"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def metric(value, *, higher=True, gate_it=True):
+    return {"value": value, "unit": "x", "higher_is_better": higher, "gate": gate_it}
+
+
+def write(tmp_path, name, metrics):
+    path = tmp_path / name
+    path.write_text(json.dumps({"smoke": True, "metrics": metrics}))
+    return path
+
+
+class TestCompare:
+    def test_within_threshold_passes(self, gate):
+        _, failures = gate.compare(
+            {"m": metric(10.0)}, {"m": metric(8.0)}, threshold=0.25
+        )
+        assert failures == []
+
+    def test_regression_beyond_threshold_fails(self, gate):
+        _, failures = gate.compare(
+            {"m": metric(10.0)}, {"m": metric(7.0)}, threshold=0.25
+        )
+        assert len(failures) == 1 and "m:" in failures[0]
+
+    def test_improvement_always_passes(self, gate):
+        _, failures = gate.compare(
+            {"m": metric(10.0)}, {"m": metric(50.0)}, threshold=0.25
+        )
+        assert failures == []
+
+    def test_lower_is_better_direction(self, gate):
+        base = {"lat": metric(100.0, higher=False)}
+        _, ok = gate.compare(base, {"lat": metric(120.0, higher=False)}, 0.25)
+        assert ok == []
+        _, bad = gate.compare(base, {"lat": metric(130.0, higher=False)}, 0.25)
+        assert len(bad) == 1
+
+    def test_missing_gated_metric_fails(self, gate):
+        _, failures = gate.compare({"m": metric(10.0)}, {}, threshold=0.25)
+        assert len(failures) == 1 and "missing" in failures[0].lower()
+
+    def test_ungated_metric_never_fails(self, gate):
+        base = {"abs": metric(1e6, gate_it=False)}
+        _, failures = gate.compare(base, {"abs": metric(1.0, gate_it=False)}, 0.25)
+        assert failures == []
+        _, failures = gate.compare(base, {}, threshold=0.25)
+        assert failures == []
+
+    def test_new_pr_metric_is_reported_not_gated(self, gate):
+        lines, failures = gate.compare({}, {"fresh": metric(3.0)}, threshold=0.25)
+        assert failures == []
+        assert any("fresh" in line and "new metric" in line for line in lines)
+
+
+class TestMain:
+    def test_exit_zero_on_pass(self, gate, tmp_path, capsys):
+        baseline = write(tmp_path, "base.json", {"m": metric(10.0)})
+        current = write(tmp_path, "pr.json", {"m": metric(9.5)})
+        assert gate.main([str(baseline), str(current)]) == 0
+        assert "no hot-path regressions" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, gate, tmp_path, capsys):
+        baseline = write(tmp_path, "base.json", {"m": metric(10.0)})
+        current = write(tmp_path, "pr.json", {"m": metric(1.0)})
+        assert gate.main([str(baseline), str(current)]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_custom_threshold(self, gate, tmp_path):
+        baseline = write(tmp_path, "base.json", {"m": metric(10.0)})
+        current = write(tmp_path, "pr.json", {"m": metric(6.0)})
+        assert gate.main([str(baseline), str(current), "--threshold", "0.5"]) == 0
+        assert gate.main([str(baseline), str(current), "--threshold", "0.1"]) == 1
+
+    def test_missing_file_errors(self, gate, tmp_path):
+        current = write(tmp_path, "pr.json", {"m": metric(1.0)})
+        with pytest.raises(SystemExit):
+            gate.main([str(tmp_path / "nope.json"), str(current)])
+
+    def test_malformed_json_errors(self, gate, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        current = write(tmp_path, "pr.json", {"m": metric(1.0)})
+        with pytest.raises(SystemExit):
+            gate.main([str(bad), str(current)])

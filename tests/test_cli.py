@@ -105,6 +105,13 @@ class TestCommands:
         ) == 0
         assert "campaign:" in capsys.readouterr().out
 
+    def test_campaign_stability_flag(self, capsys):
+        assert main(
+            ["campaign", "FP", "--resources", "10", "--budget", "60",
+             "--stability", "sharded"]
+        ) == 0
+        assert "campaign:" in capsys.readouterr().out
+
     def test_ingest_synthetic(self, capsys):
         assert main(
             ["ingest", "--resources", "20", "--max-events", "800", "--shards", "2"]
