@@ -1,24 +1,46 @@
-"""Campaign stability backends: tracker vs engine vs sharded.
+"""Campaign stability backends: tracker vs engine vs sharded (serial + pooled).
 
 The campaign's step-3 bookkeeping (Fig 2) is its stability hot path;
-after the monitor unification all three backends run behind one
+after the monitor unification all backends run behind one
 :class:`~repro.allocation.monitor.StabilityMonitor` interface, so this
 bench measures exactly what a deployment chooses between:
 
-* ``tracker`` — per-post scalar updates, per-post retirement;
-* ``engine``  — one vectorized bank ingest per epoch;
-* ``sharded`` — the same, split across hash-routed shard banks.
+* ``tracker``  — per-post scalar updates, per-post retirement;
+* ``engine``   — one vectorized bank ingest per epoch;
+* ``sharded``  — the same, split across hash-routed shard banks
+  (vectorized CRC routing + the small-batch scalar kernel keep the
+  per-epoch shard flushes cheap);
+* ``sharded+pool`` — the sharded backend with its per-shard kernels
+  forced through a thread pool (the inline small-flush cutoff zeroed,
+  so the pool genuinely engages every epoch).
 
 Asserted invariants:
 
-* ``engine`` and ``sharded`` produce **byte-identical campaigns**
-  (sharding is a memory-layout choice, not a semantic one);
+* ``engine``, ``sharded`` and ``sharded+pool`` produce **byte-identical
+  campaigns** (sharding is a memory-layout choice and the executor a
+  scheduling choice — neither is semantic);
 * every backend reconciles its ledger and completes the same spend.
 
-The recorded engine-vs-tracker ratio is gated by CI against
-``BENCH_BASELINE.json``.  (At campaign scale the worker simulation
-dominates wall-clock, so the ratio hovers near 1 — the gate watches for
-the monitor path *regressing*, e.g. an accidental per-post flush.)
+Recorded metrics (see ``BENCH_BASELINE.json``):
+
+* ``campaign.engine_vs_tracker_ratio`` — ungated trend metric;
+* ``campaign.sharded_vs_tracker_ratio`` — **gated**: the best sharded
+  configuration must stay competitive with the scalar tracker;
+* ``campaign.sharded_parallel_vs_serial_ratio`` — pooled over serial
+  sharded (>1 means the pool wins).  Ungated, and read it for what it
+  is: campaign epochs flush ~100 events (~25/shard), a regime where the
+  per-shard kernels are GIL-bound at *any* core count (the scalar
+  small-batch path is pure Python, and even the vectorized pass at that
+  size is mostly NumPy dispatch), so this config measures forced pool
+  round-trip overhead, not parallel speedup — which is exactly why the
+  production default keeps such tiny flushes inline
+  (``PARALLEL_MIN_EVENTS``).  A regression here means dispatch got more
+  expensive.  Genuine overlap needs bulk-ingest batch sizes on
+  multi-core hosts.
+
+(At campaign scale the worker simulation dominates wall-clock, so the
+tracker ratios hover near 1 — the gates watch for the monitor path
+*regressing*, e.g. an accidental per-post flush.)
 
 Timings take the best of interleaved rounds to damp scheduler noise.
 """
@@ -36,14 +58,18 @@ SMOKE = _metrics.smoke_mode()
 N_RESOURCES = 100 if SMOKE else 250
 BUDGET = 6_000 if SMOKE else 25_000
 WORKERS = 10
-ROUNDS = 2 if SMOKE else 3
-BACKENDS = ("tracker", "engine", "sharded")
+SHARDS = 4
+POOL_WORKERS = 4
+ROUNDS = 2 if SMOKE else 5
+CONFIGS = ("tracker", "engine", "sharded", "sharded+pool")
 
 # Worker simulation dominates; the monitor must stay within the noise.
 MAX_SLOWDOWN = 1.6 if SMOKE else 1.35
 
 
-def make_spec(backend: str) -> CampaignSpec:
+def make_spec(config: str) -> CampaignSpec:
+    backend = config.split("+")[0]
+    pooled = config.endswith("+pool")
     return CampaignSpec(
         corpus=CorpusSpec(kind="paper", resources=N_RESOURCES, seed=13),
         strategy="FP",
@@ -53,6 +79,9 @@ def make_spec(backend: str) -> CampaignSpec:
         omega=5,
         stop_tau=0.99,
         stability_backend=backend,
+        stability_shards=SHARDS,
+        stability_executor="thread" if pooled else "serial",
+        stability_workers=POOL_WORKERS if pooled else 0,
         batch_size=100,
         max_epochs=500,
     )
@@ -82,40 +111,53 @@ def campaign_corpus():
 def test_campaign_backends(campaign_corpus):
     from repro.service import IncentiveCampaign
 
-    best = {backend: float("inf") for backend in BACKENDS}
+    best = {config: float("inf") for config in CONFIGS}
     results = {}
     for _ in range(ROUNDS):
-        for backend in BACKENDS:
-            spec = make_spec(backend)
+        for config in CONFIGS:
+            spec = make_spec(config)
             campaign = IncentiveCampaign.from_spec(spec, campaign_corpus)
+            if config.endswith("+pool"):
+                # zero the inline cutoff: measure true pool dispatch
+                campaign.monitor.parallel_min_events = 0
             started = time.perf_counter()
-            results[backend] = campaign.run(max_epochs=spec.max_epochs)
-            best[backend] = min(best[backend], time.perf_counter() - started)
+            results[config] = campaign.run(max_epochs=spec.max_epochs)
+            best[config] = min(best[config], time.perf_counter() - started)
+            campaign.monitor.close()
 
-    completed = {b: results[b].total_completed for b in BACKENDS}
+    completed = {c: results[c].total_completed for c in CONFIGS}
     print(
         f"\ncampaign: {N_RESOURCES} resources, budget {BUDGET:,}, "
-        f"{WORKERS} workers (FP, omega=5, tau=0.99)"
+        f"{WORKERS} workers (FP, omega=5, tau=0.99, "
+        f"{SHARDS} shards, pool={POOL_WORKERS})"
     )
-    for backend in BACKENDS:
-        rate = completed[backend] / best[backend]
+    for config in CONFIGS:
+        rate = completed[config] / best[config]
         print(
-            f"  {backend:8s}: {best[backend]:6.2f}s  {rate:10,.0f} tasks/s  "
-            f"({completed[backend]} completed, "
-            f"{len(results[backend].stopped_resources)} stopped)"
+            f"  {config:12s}: {best[config]:6.2f}s  {rate:10,.0f} tasks/s  "
+            f"({completed[config]} completed, "
+            f"{len(results[config].stopped_resources)} stopped)"
         )
 
     engine_ratio = best["tracker"] / best["engine"]
-    sharded_ratio = best["tracker"] / best["sharded"]
-    # Worker simulation dominates campaign wall-clock, so these ratios
-    # hover near 1 with real scheduler noise: recorded for trend-watching
-    # but ungated — the in-bench MAX_SLOWDOWN asserts catch a genuinely
-    # regressed monitor path (e.g. an accidental per-post flush).
+    best_sharded = min(best["sharded"], best["sharded+pool"])
+    sharded_ratio = best["tracker"] / best_sharded
+    parallel_ratio = best["sharded"] / best["sharded+pool"]
+    # engine_vs_tracker stays an ungated trend metric (worker simulation
+    # noise); sharded_vs_tracker is gated now that routing is vectorized
+    # and tiny shard flushes take the scalar fast path — a regression
+    # here means the parallel-ingestion machinery itself got slower.
     _metrics.record(
         "campaign.engine_vs_tracker_ratio", engine_ratio, unit="x", gate=False
     )
     _metrics.record(
-        "campaign.sharded_vs_tracker_ratio", sharded_ratio, unit="x", gate=False
+        "campaign.sharded_vs_tracker_ratio", sharded_ratio, unit="x", gate=True
+    )
+    _metrics.record(
+        "campaign.sharded_parallel_vs_serial_ratio",
+        parallel_ratio,
+        unit="x",
+        gate=False,
     )
     _metrics.record(
         "campaign.tracker_tasks_per_s",
@@ -125,12 +167,16 @@ def test_campaign_backends(campaign_corpus):
     )
 
     # --- semantics ---------------------------------------------------------
-    assert trace_of(results["engine"]) == trace_of(results["sharded"]), (
+    engine_trace = trace_of(results["engine"])
+    assert engine_trace == trace_of(results["sharded"]), (
         "sharded campaign diverged from the single-bank engine campaign"
     )
-    for backend in BACKENDS:
-        assert results[backend].ledger.reconcile()
-        assert results[backend].ledger.spent == completed[backend]
+    assert engine_trace == trace_of(results["sharded+pool"]), (
+        "pooled sharded campaign diverged from the serial sharded campaign"
+    )
+    for config in CONFIGS:
+        assert results[config].ledger.reconcile()
+        assert results[config].ledger.spent == completed[config]
 
     # --- the acceptance bar ------------------------------------------------
     assert engine_ratio >= 1.0 / MAX_SLOWDOWN, (

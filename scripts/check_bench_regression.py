@@ -17,6 +17,14 @@ Both files are produced by the benchmark suite's ``BENCH_JSON`` hook
 Metrics only present in the PR run (new benches) and metrics marked
 ``gate: false`` (machine-dependent absolutes) are reported but never
 fail the check.  Exit code 1 on any regression.
+
+The committed baseline comes from a **full** profile run
+(``scripts/update_bench_baseline.py``) while CI measures the quick
+smoke profile, which systematically under-measures the vectorized hot
+paths (smaller populations, fewer rounds).  When the PR run is smoke
+and the baseline is not, the threshold is widened by
+``PROFILE_MISMATCH_MARGIN`` — explicitly, and reported in the output —
+so the gate watches for real regressions instead of the profile gap.
 """
 
 from __future__ import annotations
@@ -28,18 +36,22 @@ from pathlib import Path
 
 DEFAULT_THRESHOLD = 0.25
 
+#: Extra allowed regression when a smoke-profile run is compared against
+#: a full-profile baseline (the smoke profile under-measures the
+#: vectorized paths by roughly this much).
+PROFILE_MISMATCH_MARGIN = 0.15
 
-def load_metrics(path: Path) -> dict[str, dict]:
+
+def load_payload(path: Path) -> dict:
     try:
         payload = json.loads(path.read_text())
     except FileNotFoundError:
         raise SystemExit(f"error: metrics file not found: {path}")
     except json.JSONDecodeError as exc:
         raise SystemExit(f"error: {path} is not valid JSON: {exc}")
-    metrics = payload.get("metrics")
-    if not isinstance(metrics, dict):
+    if not isinstance(payload.get("metrics"), dict):
         raise SystemExit(f"error: {path} has no 'metrics' object")
-    return metrics
+    return payload
 
 
 def compare(
@@ -104,14 +116,24 @@ def main(argv: list[str] | None = None) -> int:
     if not 0.0 <= args.threshold < 1.0:
         parser.error(f"--threshold must lie in [0, 1), got {args.threshold}")
 
-    baseline = load_metrics(args.baseline)
-    current = load_metrics(args.current)
-    lines, failures = compare(baseline, current, args.threshold)
+    baseline_payload = load_payload(args.baseline)
+    current_payload = load_payload(args.current)
+    threshold = args.threshold
+    if current_payload.get("smoke") and not baseline_payload.get("smoke"):
+        threshold = min(0.95, threshold + PROFILE_MISMATCH_MARGIN)
+        print(
+            f"profile mismatch: PR run is smoke, baseline is full — "
+            f"threshold widened to {threshold:.0%} "
+            f"(+{PROFILE_MISMATCH_MARGIN:.0%})"
+        )
+    lines, failures = compare(
+        baseline_payload["metrics"], current_payload["metrics"], threshold
+    )
     print(f"bench regression check ({args.current} vs {args.baseline}):")
     for line in lines:
         print(line)
     if failures:
-        print(f"\n{len(failures)} hot-path regression(s) beyond {args.threshold:.0%}:")
+        print(f"\n{len(failures)} hot-path regression(s) beyond {threshold:.0%}:")
         for failure in failures:
             print(f"  - {failure}")
         return 1

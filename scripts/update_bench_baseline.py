@@ -1,0 +1,128 @@
+"""Regenerate ``BENCH_BASELINE.json`` from a full (non-smoke) bench run.
+
+Usage::
+
+    python scripts/update_bench_baseline.py            # full profile
+    python scripts/update_bench_baseline.py --smoke    # quick CI profile
+    python scripts/update_bench_baseline.py --dry-run  # measure, don't write
+
+Runs the hot-path benchmark files (the same set CI's ``bench-smoke`` job
+gates on) with the ``BENCH_JSON`` hook, compares the fresh numbers
+against the committed baseline for review, and rewrites the baseline
+file.  Refresh the baseline only after an *intended* perf change, on a
+quiet machine, and commit the result together with the change that
+motivated it; the full profile is the honest one — a ``"smoke": true``
+baseline under-measures the hot paths (smaller populations, fewer
+rounds) and makes the 25% CI gate looser than it looks.
+
+Gate flags travel with the metrics themselves (each bench declares
+``gate=`` when recording), so regenerating never silently un-gates a
+metric.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The hot-path benches CI gates on (keep in sync with ci.yml bench-smoke).
+HOT_PATH_BENCHES = (
+    "benchmarks/bench_engine_throughput.py",
+    "benchmarks/bench_batched_runner.py",
+    "benchmarks/bench_campaign_backends.py",
+)
+
+
+def run_benches(bench_files: list[str], smoke: bool) -> dict:
+    """Run the benches with ``BENCH_JSON`` set; return the metrics payload."""
+    with tempfile.TemporaryDirectory() as tmp:
+        metrics_path = Path(tmp) / "bench.json"
+        env = dict(os.environ)
+        env["BENCH_JSON"] = str(metrics_path)
+        env["BENCH_SMOKE"] = "1" if smoke else "0"
+        env["PYTHONHASHSEED"] = "0"
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        command = [sys.executable, "-m", "pytest", "-q", "-s", *bench_files]
+        print(f"running: {' '.join(command)}  (smoke={smoke})")
+        completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+        if completed.returncode != 0:
+            raise SystemExit(
+                f"error: benchmark run failed (exit {completed.returncode}); "
+                "baseline left untouched"
+            )
+        if not metrics_path.exists():
+            raise SystemExit(
+                "error: benchmark run recorded no metrics "
+                "(did every bench file import benchmarks/_metrics.py?)"
+            )
+        return json.loads(metrics_path.read_text())
+
+
+def summarize(old_path: Path, payload: dict) -> None:
+    """Print old-vs-new per metric so the refresh is reviewable."""
+    old_metrics = {}
+    if old_path.exists():
+        old_metrics = json.loads(old_path.read_text()).get("metrics", {})
+    print(f"\n{'metric':42s} {'old':>12s} {'new':>12s}")
+    for name, metric in sorted(payload["metrics"].items()):
+        value = metric["value"]
+        gated = " [gated]" if metric.get("gate") else ""
+        if name in old_metrics:
+            old_value = float(old_metrics[name]["value"])
+            change = (value - old_value) / old_value if old_value else 0.0
+            print(f"{name:42s} {old_value:12.3f} {value:12.3f}  ({change:+.1%}){gated}")
+        else:
+            print(f"{name:42s} {'—':>12s} {value:12.3f}  (new){gated}")
+    dropped = sorted(set(old_metrics) - set(payload["metrics"]))
+    for name in dropped:
+        print(f"{name:42s}  DROPPED (bench no longer records it)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "bench_files",
+        nargs="*",
+        default=list(HOT_PATH_BENCHES),
+        help="bench files to run (default: the CI-gated hot-path set)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="use the quick smoke profile (the committed baseline should "
+        "normally come from a full run)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_BASELINE.json",
+        help="baseline file to rewrite (default: BENCH_BASELINE.json)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="run and report, but do not rewrite the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_benches(list(args.bench_files), smoke=args.smoke)
+    summarize(args.output, payload)
+    if args.dry_run:
+        print("\ndry run: baseline left untouched")
+        return 0
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.output} (smoke={payload.get('smoke', False)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -108,6 +108,9 @@ class StabilityMonitor(ABC):
         """Number of observed-stable resources so far."""
         return len(self.stable_indices())
 
+    def close(self) -> None:
+        """Release any pooled resources (no-op for most backends)."""
+
 
 class TrackerStabilityMonitor(StabilityMonitor):
     """Scalar baseline: one per-resource tracker, updated per post."""
@@ -161,15 +164,18 @@ class TrackerStabilityMonitor(StabilityMonitor):
         ]
 
 
-def _ingest_buffer(bank, buf_rows: list, buf_tags: list, buf_times: list):
-    """Build one CSR :class:`EventBatch` from a buffer and ingest it.
+def _encode_buffer(bank, buf_rows: list, buf_tags: list, buf_times: list):
+    """Build one CSR :class:`EventBatch` from a buffer, pre-interned.
 
     The hot path skips :class:`~repro.engine.events.TagEvent` entirely:
     rows were interned up front, post tag sets are duplicate-free by
     construction, and the batch is built directly against ``bank``'s
     interners — leaving tag interning as the only per-event Python work.
+    All interning happens here, on the caller's thread, so the returned
+    batch can be handed to a worker that runs the pure-NumPy ingest
+    kernel without touching the interners.
 
-    Returns the bank's :class:`~repro.engine.columnar.IngestReport`, or
+    Returns the encoded :class:`~repro.engine.events.EventBatch`, or
     ``None`` for an empty buffer.
     """
     from itertools import chain
@@ -185,13 +191,18 @@ def _ingest_buffer(bank, buf_rows: list, buf_tags: list, buf_times: list):
     indptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(lengths, out=indptr[1:])
     tag_ids = bank.tags.intern_all(list(chain.from_iterable(buf_tags)))
-    batch = EventBatch(
+    return EventBatch(
         resources=np.fromiter(buf_rows, dtype=np.int64, count=n),
         indptr=indptr,
         tag_ids=tag_ids,
         timestamps=np.fromiter(buf_times, dtype=np.float64, count=n),
     )
-    return bank.ingest(batch)
+
+
+def _ingest_buffer(bank, buf_rows: list, buf_tags: list, buf_times: list):
+    """Encode a buffer and ingest it; ``None`` for an empty buffer."""
+    batch = _encode_buffer(bank, buf_rows, buf_tags, buf_times)
+    return None if batch is None else bank.ingest(batch)
 
 
 class _EngineStabilityMonitor(StabilityMonitor):
@@ -388,12 +399,23 @@ class ShardedBankStabilityMonitor(_EngineStabilityMonitor):
     pin this).  Buffered deliveries are flushed shard by shard, each as
     one direct CSR batch against that shard's interners.
 
+    Flushes run through a :class:`~repro.engine.executor.ShardExecutor`:
+    every shard's buffer is encoded on the calling thread (interning is
+    Python-side work) and the pure-NumPy ingest kernels are handed to
+    the executor — inline for ``"serial"``, overlapped for ``"thread"``.
+    Reports are consumed in shard-index order whatever the executor, so
+    the monitor's answers are byte-identical at any worker count.
+
     Args:
         omega: MA window (shared by all shards).
         tau: Stability threshold (``None`` disables crossing detection).
         n_shards: Number of independent banks.
         flush_events: Total buffered events per flush of all shards.
         track_observed: As for :class:`BankStabilityMonitor`.
+        executor: Shard-kernel executor kind
+            (:data:`~repro.engine.executor.EXECUTOR_BACKENDS`).
+        workers: Thread-pool size for ``executor="thread"`` (``0`` = one
+            per core, capped).
     """
 
     def __init__(
@@ -404,22 +426,59 @@ class ShardedBankStabilityMonitor(_EngineStabilityMonitor):
         n_shards: int = 4,
         flush_events: int = 4096,
         track_observed: bool = False,
+        executor: str = "serial",
+        workers: int = 0,
     ) -> None:
         if n_shards < 1:
             raise AllocationError(f"n_shards must be positive, got {n_shards}")
         super().__init__(omega, tau, flush_events, track_observed)
+        from repro.engine.executor import make_executor
+
         self.n_shards = n_shards
+        self._pending_parallel_min: int | None = None
+        try:
+            self._executor = make_executor(executor, workers)
+        except Exception as exc:  # normalize to the allocation error type
+            raise AllocationError(str(exc)) from exc
         self._shard_of: list[int] = []
         self._rows: list[int] = []
         self._buffers: list[tuple[list, list, list]] = []
         self._buffered = 0
 
-    def _setup(self, n: int) -> None:
-        from repro.engine.shard import ShardedStabilityBank, shard_of
+    def close(self) -> None:
+        """Release the executor's pooled threads (idempotent)."""
+        self._executor.close()
 
-        self._bank = ShardedStabilityBank(self.n_shards, self.omega, self.tau)
+    @property
+    def parallel_min_events(self) -> int:
+        """The bank's inline-flush cutoff (see
+        :data:`~repro.engine.executor.PARALLEL_MIN_EVENTS`); settable
+        before ``begin`` and forwarded to the bank once it exists."""
+        if self._bank is not None:
+            return self._bank.parallel_min_events
+        if self._pending_parallel_min is not None:
+            return self._pending_parallel_min
+        from repro.engine.executor import PARALLEL_MIN_EVENTS
+
+        return PARALLEL_MIN_EVENTS
+
+    @parallel_min_events.setter
+    def parallel_min_events(self, value: int) -> None:
+        if self._bank is not None:
+            self._bank.parallel_min_events = value
+        else:
+            self._pending_parallel_min = value
+
+    def _setup(self, n: int) -> None:
+        from repro.engine.shard import ShardedStabilityBank
+
+        self._bank = ShardedStabilityBank(
+            self.n_shards, self.omega, self.tau, executor=self._executor
+        )
+        if self._pending_parallel_min is not None:
+            self._bank.parallel_min_events = self._pending_parallel_min
         self._bank.ensure(self._ids)
-        self._shard_of = [shard_of(rid, self.n_shards) for rid in self._ids]
+        self._shard_of = self._bank.shard_ids(self._ids).tolist()
         rows = [
             self._bank.shards[shard].resources.lookup(rid)
             for shard, rid in zip(self._shard_of, self._ids)
@@ -459,12 +518,20 @@ class ShardedBankStabilityMonitor(_EngineStabilityMonitor):
     def _flush(self) -> None:
         if self._buffered == 0:
             return
+        shards = self._bank.shards
+        busy: list[int] = []
+        batches: list = []
+        # Encode every non-empty buffer on this thread (interning), then
+        # hand the pure-NumPy kernels to the executor in shard order.
         for shard_index, (buf_rows, buf_tags, buf_times) in enumerate(self._buffers):
-            report = _ingest_buffer(
-                self._bank.shards[shard_index], buf_rows, buf_tags, buf_times
-            )
-            if report is not None:
+            batch = _encode_buffer(shards[shard_index], buf_rows, buf_tags, buf_times)
+            if batch is not None:
+                busy.append(shard_index)
+                batches.append(batch)
                 self._buffers[shard_index] = ([], [], [])
+        if busy:
+            # the bank owns the executor and the inline-flush cutoff
+            for report in self._bank.ingest_encoded(busy, batches, self._buffered):
                 self._note_report(report)
         self._buffered = 0
 
@@ -477,6 +544,8 @@ def make_monitor(
     flush_events: int = 4096,
     track_observed: bool = False,
     n_shards: int = 4,
+    executor: str = "serial",
+    workers: int = 0,
 ) -> StabilityMonitor | None:
     """Monitor factory keyed by backend name (``None`` -> no monitoring).
 
@@ -490,6 +559,10 @@ def make_monitor(
             :class:`BankStabilityMonitor`; ignored by ``"tracker"``,
             whose frequency tables are always live).
         n_shards: Shard count (``"sharded"`` only).
+        executor: Shard-kernel executor kind (``"sharded"`` only; one of
+            :data:`~repro.engine.executor.EXECUTOR_BACKENDS`).
+        workers: Thread-pool size for ``executor="thread"`` (``0`` = one
+            per core, capped; ``"sharded"`` only).
     """
     if backend is None:
         return None
@@ -506,6 +579,8 @@ def make_monitor(
             n_shards=n_shards,
             flush_events=flush_events,
             track_observed=track_observed,
+            executor=executor,
+            workers=workers,
         )
     raise AllocationError(
         f"unknown stability monitor backend {backend!r} "

@@ -50,6 +50,7 @@ from repro.api.results import RunResult
 from repro.api.specs import (
     ALLOCATION_MODES,
     CORPUS_KINDS,
+    EXECUTOR_BACKENDS,
     STABILITY_BACKENDS,
     AllocateSpec,
     CampaignSpec,
@@ -66,6 +67,7 @@ __all__ = [
     "CORPUS_KINDS",
     "CampaignSpec",
     "CorpusSpec",
+    "EXECUTOR_BACKENDS",
     "IngestSpec",
     "MaterializedCorpus",
     "Param",

@@ -93,12 +93,25 @@ def _run_allocate(spec: AllocateSpec) -> RunResult:
     # The monitor shares the strategy's declared MA window (when it has
     # one) so "observed stable" is judged on the window the user chose.
     monitor_omega = spec.params.get("omega", DEFAULT_OMEGA)
-    monitor = make_monitor(spec.stability, omega=monitor_omega, tau=spec.stability_tau)
+    monitor = make_monitor(
+        spec.stability,
+        omega=monitor_omega,
+        tau=spec.stability_tau,
+        n_shards=spec.stability_shards,
+        executor=spec.stability_executor,
+        workers=spec.stability_workers,
+    )
 
     before = evaluator.quality_of_counts(split.initial_counts)
-    trace = runner.run(
-        strategy, spec.budget, batch_size=spec.batch_size, monitor=monitor
-    )
+    try:
+        trace = runner.run(
+            strategy, spec.budget, batch_size=spec.batch_size, monitor=monitor
+        )
+        if monitor is not None:
+            stable = monitor.stable_indices()
+    finally:
+        if monitor is not None:
+            monitor.close()  # release pooled shard-executor threads
 
     metrics = {
         "budget": spec.budget,
@@ -129,7 +142,6 @@ def _run_allocate(spec: AllocateSpec) -> RunResult:
         "x": trace.x.tolist(),
     }
     if monitor is not None:
-        stable = monitor.stable_indices()
         metrics["observed_stable"] = len(stable)
         details["observed_stable_indices"] = stable
         summary += f", {len(stable)} resources observed stable"
@@ -150,7 +162,10 @@ def _run_campaign(spec: CampaignSpec) -> RunResult:
 
     corpus = materialize(spec.corpus)
     campaign = IncentiveCampaign.from_spec(spec, corpus)
-    result = campaign.run(max_epochs=spec.max_epochs)
+    try:
+        result = campaign.run(max_epochs=spec.max_epochs)
+    finally:
+        campaign.monitor.close()  # release pooled shard-executor threads
 
     metrics = {
         "budget": spec.budget,
@@ -194,7 +209,12 @@ def _run_ingest(spec: IngestSpec) -> RunResult:
     lines: list[str] = []
     already_ingested = 0
     if spec.resume is not None:
+        from repro.engine import make_executor
+
         bank = load_checkpoint(Path(spec.resume))
+        if hasattr(bank, "executor"):
+            # checkpoints carry no executor; the spec's knobs still apply
+            bank.executor = make_executor(spec.executor, spec.workers)
         engine = IngestEngine(bank=bank, batch_size=spec.batch_size)
         already_ingested = bank.total_posts
         n_shards = bank.n_shards if hasattr(bank, "n_shards") else 1
@@ -209,6 +229,8 @@ def _run_ingest(spec: IngestSpec) -> RunResult:
             omega=spec.omega,
             tau=spec.tau,
             batch_size=spec.batch_size,
+            executor=spec.executor,
+            workers=spec.workers,
         )
     if spec.dataset is not None:
         dataset = TaggingDataset.from_jsonl(Path(spec.dataset))
@@ -222,7 +244,12 @@ def _run_ingest(spec: IngestSpec) -> RunResult:
         # prefix the checkpointed bank has already consumed so resuming
         # never double-counts posts
         events = islice(events, already_ingested, None)
-    stats = engine.feed(events)
+    try:
+        stats = engine.feed(events)
+    finally:
+        pool = getattr(engine.bank, "executor", None)
+        if pool is not None:
+            pool.close()  # release pooled shard-executor threads
     stable_points = engine.bank.stable_points()
     lines.append(stats.render())
     lines.append(

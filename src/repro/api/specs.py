@@ -23,8 +23,10 @@ from dataclasses import dataclass, field
 from typing import Any, ClassVar
 
 from repro.core.errors import SpecError
+from repro.engine.executor import EXECUTOR_BACKENDS
 
 __all__ = [
+    "EXECUTOR_BACKENDS",
     "Spec",
     "CorpusSpec",
     "AllocateSpec",
@@ -43,6 +45,15 @@ the sharded bank behind the CRC32 hash router (large populations)."""
 
 ALLOCATION_MODES = ("replay", "generative")
 """Replay the corpus' future posts, or synthesise posts from its models."""
+
+
+def _check_executor(
+    executor_field: str, executor: Any, workers_field: str, workers: Any
+) -> None:
+    _check(executor in EXECUTOR_BACKENDS,
+           f"{executor_field} must be one of {EXECUTOR_BACKENDS}, got {executor!r}")
+    _check(_is_int(workers) and workers >= 0,
+           f"{workers_field} must be a non-negative int, got {workers!r}")
 
 
 def _check(condition: bool, message: str) -> None:
@@ -188,6 +199,11 @@ class AllocateSpec(Spec):
             (The monitor's window is ``params['omega']`` when the
             strategy declares one, so strategy and monitor never
             silently disagree.)
+        stability_shards: Shard count of the ``sharded`` monitor.
+        stability_executor: How the ``sharded`` monitor runs its
+            per-shard kernels (:data:`EXECUTOR_BACKENDS`).
+        stability_workers: Thread-pool size for
+            ``stability_executor="thread"`` (``0`` = one per core).
         seed: Run-time randomness seed (generative post synthesis).
     """
 
@@ -202,6 +218,9 @@ class AllocateSpec(Spec):
     mode: str = "replay"
     stability: str | None = None
     stability_tau: float = 0.99
+    stability_shards: int = 4
+    stability_executor: str = "serial"
+    stability_workers: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -221,6 +240,12 @@ class AllocateSpec(Spec):
                f"allocate stability must be None or one of {STABILITY_BACKENDS}, got {self.stability!r}")
         _check(_is_number(self.stability_tau) and 0.0 <= self.stability_tau <= 1.0,
                f"allocate stability_tau must lie in [0, 1], got {self.stability_tau!r}")
+        _check(_is_int(self.stability_shards) and self.stability_shards >= 1,
+               f"allocate stability_shards must be a positive int, got {self.stability_shards!r}")
+        _check_executor(
+            "allocate stability_executor", self.stability_executor,
+            "allocate stability_workers", self.stability_workers,
+        )
         _check(_is_int(self.seed), f"allocate seed must be an int, got {self.seed!r}")
 
 
@@ -242,6 +267,12 @@ class CampaignSpec(Spec):
         stability_backend: ``tracker`` (per-post stopping), ``engine``
             (epoch-batched ``StabilityBank``) or ``sharded`` (the bank
             behind the hash router, for large resource populations).
+        stability_shards: Shard count of the ``sharded`` backend.
+        stability_executor: How the ``sharded`` backend runs its
+            per-shard kernels (:data:`EXECUTOR_BACKENDS`) — traces are
+            byte-identical for every choice.
+        stability_workers: Thread-pool size for
+            ``stability_executor="thread"`` (``0`` = one per core).
         batch_size: Task offers attempted per epoch.
         max_epochs: Hard stop on campaign length.
         reward_per_task: Units paid per completed task.
@@ -259,6 +290,9 @@ class CampaignSpec(Spec):
     omega: int = 5
     stop_tau: float | None = 0.995
     stability_backend: str = "tracker"
+    stability_shards: int = 4
+    stability_executor: str = "serial"
+    stability_workers: int = 0
     batch_size: int = 25
     max_epochs: int = 100
     reward_per_task: int = 1
@@ -283,6 +317,12 @@ class CampaignSpec(Spec):
         _check(self.stability_backend in STABILITY_BACKENDS,
                f"campaign stability_backend must be one of {STABILITY_BACKENDS}, "
                f"got {self.stability_backend!r}")
+        _check(_is_int(self.stability_shards) and self.stability_shards >= 1,
+               f"campaign stability_shards must be a positive int, got {self.stability_shards!r}")
+        _check_executor(
+            "campaign stability_executor", self.stability_executor,
+            "campaign stability_workers", self.stability_workers,
+        )
         _check(_is_int(self.batch_size) and self.batch_size >= 1,
                f"campaign batch_size must be a positive int, got {self.batch_size!r}")
         _check(_is_int(self.max_epochs) and self.max_epochs >= 1,
@@ -301,13 +341,19 @@ class IngestSpec(Spec):
         resources: Synthetic-stream resource count.
         seed: Synthetic-stream seed.
         shards: Bank shard count (1 = single columnar bank).
+        executor: How per-shard ingest kernels run
+            (:data:`EXECUTOR_BACKENDS`); only meaningful with
+            ``shards > 1``.  Results are identical for every choice.
+        workers: Thread-pool size for ``executor="thread"``
+            (``0`` = one per core, capped).
         batch_size: Events per engine batch (the vectorization grain).
         omega: MA window.
         tau: Stability threshold.
         max_events: Optional cap on the synthetic stream length.
         checkpoint: Directory to write a final checkpoint to.
         resume: Checkpoint directory to resume from (its bank parameters
-            override ``omega``/``tau``/``shards``).
+            override ``omega``/``tau``/``shards``; the executor knobs
+            still apply).
     """
 
     TYPE: ClassVar[str] = "ingest"
@@ -316,6 +362,8 @@ class IngestSpec(Spec):
     resources: int = 500
     seed: int = 7
     shards: int = 1
+    executor: str = "serial"
+    workers: int = 0
     batch_size: int = 4096
     omega: int = 5
     tau: float = 0.99
@@ -331,6 +379,9 @@ class IngestSpec(Spec):
         _check(_is_int(self.seed), f"ingest seed must be an int, got {self.seed!r}")
         _check(_is_int(self.shards) and self.shards >= 1,
                f"ingest shards must be a positive int, got {self.shards!r}")
+        _check_executor(
+            "ingest executor", self.executor, "ingest workers", self.workers
+        )
         _check(_is_int(self.batch_size) and self.batch_size >= 1,
                f"ingest batch_size must be a positive int, got {self.batch_size!r}")
         _check(_is_int(self.omega) and self.omega >= 2,

@@ -141,6 +141,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="shorthand for --stability engine (kept for compatibility)",
     )
+    campaign.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard count of the sharded stability backend",
+    )
+    campaign.add_argument(
+        "--shard-workers",
+        type=int,
+        default=0,
+        help="ingest shard buffers on a thread pool of this size "
+        "(0 = serial; traces are identical either way)",
+    )
 
     ingest = sub.add_parser(
         "ingest", help="stream tagging events through the vectorized engine"
@@ -151,6 +164,13 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--resources", type=int, default=500)
     ingest.add_argument("--seed", type=int, default=7)
     ingest.add_argument("--shards", type=int, default=1)
+    ingest.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="ingest shard slices on a thread pool of this size "
+        "(0 = serial; needs --shards > 1; results are identical)",
+    )
     ingest.add_argument("--batch-size", type=int, default=4096)
     ingest.add_argument("--omega", type=int, default=5)
     ingest.add_argument("--tau", type=float, default=0.99)
@@ -310,6 +330,9 @@ def _command_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         stop_tau=None if args.no_adaptive_stop else 0.995,
         stability_backend=backend,
+        stability_shards=args.shards,
+        stability_executor="thread" if args.shard_workers > 0 else "serial",
+        stability_workers=args.shard_workers,
     )
     print(api.run(spec).summary)
     return 0
@@ -321,6 +344,8 @@ def _command_ingest(args: argparse.Namespace) -> int:
         resources=args.resources,
         seed=args.seed,
         shards=args.shards,
+        executor="thread" if args.workers > 0 else "serial",
+        workers=args.workers,
         batch_size=args.batch_size,
         omega=args.omega,
         tau=args.tau,

@@ -12,8 +12,12 @@ the batch/columnar counterpart built for the ROADMAP's scale goals:
   NumPy arrays and applies one batched update per
   :class:`~repro.engine.events.EventBatch` (the same Appendix C
   recurrence as the scalar tracker, vectorized across resources);
-* :mod:`repro.engine.shard` — a hash router and an N-shard bank whose
-  shards share no state (parallel-ready);
+* :mod:`repro.engine.shard` — a vectorized hash router (shard ids cached
+  at intern time) and an N-shard bank whose shards share no state;
+* :mod:`repro.engine.executor` — the :class:`ShardExecutor` seam that
+  runs the independent per-shard kernels (inline, or overlapped on a
+  pooled thread executor — the kernels are NumPy-dominated and release
+  the GIL);
 * :mod:`repro.engine.checkpoint` — npz/JSONL snapshots with deterministic
   resume;
 * :mod:`repro.engine.stream` — :class:`IngestEngine`, the batching driver
@@ -27,20 +31,32 @@ rfds to within float noise) is enforced by the property tests in
 from repro.engine.checkpoint import load_checkpoint, save_checkpoint
 from repro.engine.columnar import IngestReport, StabilityBank
 from repro.engine.events import EventBatch, Interner, TagEvent, encode_events
+from repro.engine.executor import (
+    EXECUTOR_BACKENDS,
+    SerialExecutor,
+    ShardExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from repro.engine.shard import ShardedStabilityBank, shard_of
 from repro.engine.stream import EngineStats, IngestEngine
 
 __all__ = [
+    "EXECUTOR_BACKENDS",
     "EngineStats",
     "EventBatch",
     "IngestEngine",
     "IngestReport",
     "Interner",
+    "SerialExecutor",
+    "ShardExecutor",
     "ShardedStabilityBank",
     "StabilityBank",
     "TagEvent",
+    "ThreadExecutor",
     "encode_events",
     "load_checkpoint",
+    "make_executor",
     "save_checkpoint",
     "shard_of",
 ]

@@ -33,6 +33,7 @@ format stores.  Memory scales as ``rows × vocabulary``; the shard router
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
@@ -43,6 +44,21 @@ from repro.core.stability import DEFAULT_OMEGA
 from repro.engine.events import EventBatch, Interner, TagEvent, encode_events
 
 __all__ = ["StabilityBank", "IngestReport", "StableSnapshot"]
+
+_INT32_MAX = np.iinfo(np.int32).max
+
+
+def _sizes_from_starts(starts: np.ndarray, end: int) -> np.ndarray:
+    """Adjacent differences of ``append(starts, end)`` without the append.
+
+    Equivalent to ``np.diff(np.append(starts, end))`` for an ascending
+    ``starts``; hand-rolled because this runs several times per ingest
+    and the wrapper overhead dominates on small batches.
+    """
+    sizes = np.empty(starts.size, dtype=np.int64)
+    np.subtract(starts[1:], starts[:-1], out=sizes[:-1])
+    sizes[-1] = end - starts[-1]
+    return sizes
 
 
 def _validate_omega(omega: int) -> None:
@@ -141,6 +157,11 @@ class StabilityBank:
         self._win_len = np.zeros(rows, dtype=np.int64)
         self._stable_point = np.full(rows, -1, dtype=np.int64)
         self._snapshots: dict[int, StableSnapshot] = {}
+        #: Batches at or below this many events use the scalar fast path
+        #: (same results to the bit; see :meth:`_ingest_small`).  The
+        #: crossover sits where the vectorized pass's fixed dispatch
+        #: overhead stops dominating; 0 forces the vectorized pass.
+        self.small_batch_max = 48
 
     # ------------------------------------------------------------------
     # capacity
@@ -203,7 +224,12 @@ class StabilityBank:
         stream into batches yields the same final state as the scalar
         tracker fed post by post.
 
-        The whole batch is applied in one vectorized pass: events are
+        Batches at or below :attr:`small_batch_max` events take a scalar
+        fast path (:meth:`_ingest_small`) that produces **bit-identical**
+        results: the vectorized pass costs ~90 NumPy dispatches of fixed
+        overhead, which dominates tiny batches — exactly the regime of a
+        sharded campaign monitor flushing a few dozen events per shard
+        per epoch.  Larger batches run the vectorized pass: events are
         sorted by resource (stable, so per-resource order survives), the
         in-batch evolution of every resource's ``sumsq`` is a segmented
         cumulative sum, in-batch repeats of a (resource, tag) pair are
@@ -215,6 +241,8 @@ class StabilityBank:
         newly_stable: list[str] = []
         if n_events == 0:
             return IngestReport(0, 0, np.zeros(0), newly_stable)
+        if n_events <= self.small_batch_max:
+            return self._ingest_small(batch)
 
         self._grow(len(self.resources), max(len(self.tags), 1))
         width = self.omega - 1
@@ -224,28 +252,29 @@ class StabilityBank:
         # Index arithmetic runs in int32 while everything fits (it always
         # does for realistic batch sizes and shard-local count blocks);
         # only the sumsq recurrence needs int64.
-        compact = self._counts.size <= np.iinfo(np.int32).max
+        compact = self._counts.size <= _INT32_MAX
 
         # --- sort events by resource; build per-resource segments -------
         rows = batch.resources
-        order = np.argsort(rows, kind="stable")
+        order = rows.argsort(kind="stable")
         sorted_rows = rows[order]
-        sorted_lengths = np.diff(batch.indptr)[order]
+        indptr = batch.indptr
+        sorted_lengths = (indptr[1:] - indptr[:-1])[order]
         segment_first = np.empty(n_events, dtype=bool)
         segment_first[0] = True
         np.not_equal(sorted_rows[1:], sorted_rows[:-1], out=segment_first[1:])
-        segment_start = np.flatnonzero(segment_first)
+        segment_start = np.nonzero(segment_first)[0]
         segment_of = np.cumsum(segment_first) - 1
         segment_rows = sorted_rows[segment_start]
         n_segments = segment_start.size
-        segment_sizes = np.diff(np.append(segment_start, n_events))
+        segment_sizes = _sizes_from_starts(segment_start, n_events)
 
         # --- flatten (event, tag) pairs in sorted-event order -----------
         total_tags = int(sorted_lengths.sum())
         flat_offsets = np.zeros(n_events, dtype=np.int64)
         np.cumsum(sorted_lengths[:-1], out=flat_offsets[1:])
         flat_positions = np.repeat(
-            batch.indptr[:-1][order] - flat_offsets, sorted_lengths
+            indptr[:-1][order] - flat_offsets, sorted_lengths
         ) + np.arange(total_tags, dtype=np.int64)
         flat_tags = batch.tag_ids[flat_positions]
         key_dtype = np.int32 if compact else np.int64
@@ -274,13 +303,14 @@ class StabilityBank:
         key_first = np.empty(total_tags, dtype=bool)
         key_first[0] = True
         np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=key_first[1:])
-        key_start = np.flatnonzero(key_first)
+        key_start = np.nonzero(key_first)[0]
         key_group = np.cumsum(key_first, dtype=np.int32 if compact else np.int64) - 1
         duplicate_rank_sorted = (
-            np.arange(total_tags, dtype=key_group.dtype) - key_start.astype(key_group.dtype)[key_group]
+            np.arange(total_tags, dtype=key_group.dtype)
+            - key_start.astype(key_group.dtype)[key_group]
         )
         unique_keys = sorted_keys[key_start]
-        key_increments = np.diff(np.append(key_start, total_tags))
+        key_increments = _sizes_from_starts(key_start, total_tags)
 
         # --- Appendix C recurrence, segmented across the batch -----------
         # count seen by each (event, tag): stored count + in-batch repeats.
@@ -312,10 +342,12 @@ class StabilityBank:
         if fresh_keys.size:
             self._register_fresh(fresh_keys, n_columns)
         # per-segment tag totals are the widths of the segments' flat extents
-        self._total[segment_rows] += np.diff(
-            np.append(flat_offsets[segment_start], total_tags)
+        self._total[segment_rows] += _sizes_from_starts(
+            flat_offsets[segment_start], total_tags
         )
-        segment_end = np.append(segment_start[1:], n_events) - 1
+        segment_end = np.empty(n_segments, dtype=np.int64)
+        np.subtract(segment_start[1:], 1, out=segment_end[:-1])
+        segment_end[-1] = n_events - 1
         self._sumsq[segment_rows] = sumsq_after[segment_end]
         posts_before = self._num_posts[segment_rows]
         self._num_posts[segment_rows] = posts_before + segment_sizes
@@ -367,7 +399,9 @@ class StabilityBank:
             )
             concatenated[window_positions] = window_sims
 
-        padded_cumulative = np.concatenate(([0.0], np.cumsum(concatenated)))
+        padded_cumulative = np.empty(concatenated.size + 1, dtype=np.float64)
+        padded_cumulative[0] = 0.0
+        np.cumsum(concatenated, out=padded_cumulative[1:])
 
         # --- Definition 8: first k >= omega with m(k, omega) > tau -------
         # Once every touched resource is stable the whole check collapses
@@ -431,6 +465,211 @@ class StabilityBank:
         similarities[order] = sorted_similarities
         return IngestReport(
             n_events, batch.n_tag_assignments, similarities, newly_stable
+        )
+
+    def _ingest_small(self, batch: EventBatch) -> IngestReport:
+        """Scalar fast path for tiny batches — bit-identical to :meth:`ingest`.
+
+        Replays the vectorized pass's exact arithmetic with plain Python
+        loops (the integer bookkeeping is exact either way; every float
+        operation — the ``float(a) * float(b)`` similarity denominator,
+        the sequential cumulative sum over the concatenated
+        (carried window ‖ new sims) array spanning all touched segments
+        in ascending-row order, and the window sums taken as cumulative
+        differences — is performed in the same order on the same values,
+        so results match the vectorized pass to the last bit; the
+        property tests pin this).  Worth it because a tiny batch spends
+        nearly all its time in fixed per-call NumPy dispatch overhead.
+        """
+        n_events = batch.n_events
+        newly_stable: list[str] = []
+        self._grow(len(self.resources), max(len(self.tags), 1))
+        width = self.omega - 1
+        n_columns = self._counts.shape[1]
+        counts_flat = self._counts.reshape(-1)
+        check_tau = self.tau is not None
+        tau = self.tau
+
+        rows = batch.resources.tolist()
+        indptr = batch.indptr.tolist()
+
+        # stable sort by row; group into per-resource segments
+        order = sorted(range(n_events), key=rows.__getitem__)
+
+        # --- batched state gathers ---------------------------------------
+        # A tiny batch's cost is dominated by per-element NumPy indexing,
+        # so every per-row scalar the loop needs is gathered in one fancy
+        # index up front (and scattered back once at the end): the loop
+        # itself runs on plain Python ints and floats.  ``touched`` lists
+        # the distinct rows in ascending order (the segment order).
+        touched: list[int] = []
+        previous = -1
+        for event in order:
+            row = rows[event]
+            if row != previous:
+                touched.append(row)
+                previous = row
+        touched_arr = np.asarray(touched, dtype=np.int64)
+        num_posts = self._num_posts[touched_arr].tolist()
+        win_lens = self._win_len[touched_arr].tolist()
+        sumsqs = self._sumsq[touched_arr].tolist()
+        totals = self._total[touched_arr].tolist()
+        stable_points = self._stable_point[touched_arr].tolist()
+        windows = self._window[touched_arr].tolist()
+
+        # every (event, tag) pair's flat count key and pre-batch count,
+        # as two vectorized gathers instead of per-occurrence indexing
+        event_lengths = batch.indptr[1:] - batch.indptr[:-1]
+        flat_keys_arr = (
+            batch.resources.repeat(event_lengths) * n_columns + batch.tag_ids
+        )
+        flat_keys = flat_keys_arr.tolist()
+        flat_bases = counts_flat[flat_keys_arr].tolist()
+
+        similarities = [0.0] * n_events
+        # flat key -> count *including* in-batch occurrences so far: the
+        # overlap contributed by an occurrence is exactly this running
+        # count, so one dict replaces separate base/repeat bookkeeping
+        current_counts: dict[int, int] = {}
+        current_get = current_counts.get
+        fresh: list[int] = []  # first-seen flat keys, discovery order
+        crossings: list[tuple[int, int, int, list[int]]] = []
+        window_indices: list[int] = []  # flat scatter into self._window
+        window_values: list[float] = []
+        window_sums: list[float] = []
+        running = 0.0  # the concatenated cumulative sum, across segments
+
+        position = 0
+        for t, row in enumerate(touched):
+            segment_end = position
+            while segment_end < n_events and rows[order[segment_end]] == row:
+                segment_end += 1
+            segment = order[position:segment_end]
+            position = segment_end
+
+            posts_before = num_posts[t]
+            carried = win_lens[t]
+            sumsq = sumsqs[t]
+            unstable = check_tau and stable_points[t] < 0
+
+            # carried window entries join the concatenated sequence first;
+            # cumulative entries mirror the vectorized pass's single global
+            # cumsum, so the segment's base is the running total so far
+            segment_values = windows[t][:carried]
+            cumulative = [running] * (carried + 1)
+            for i, value in enumerate(segment_values):
+                running += value
+                cumulative[i + 1] = running
+            segment_tags = 0
+            crossed_at = -1
+
+            for j, event in enumerate(segment):
+                start, end = indptr[event], indptr[event + 1]
+                length = end - start
+                segment_tags += length
+                overlap = 0
+                for flat in range(start, end):
+                    key = flat_keys[flat]
+                    count = current_get(key)
+                    if count is None:
+                        count = flat_bases[flat]
+                        if count == 0:
+                            fresh.append(key)
+                    overlap += count
+                    current_counts[key] = count + 1
+                sumsq_before = sumsq
+                sumsq = sumsq_before + 2 * overlap + length
+                if sumsq_before > 0:
+                    similarity = float(sumsq_before + overlap) / math.sqrt(
+                        float(sumsq_before) * float(sumsq)
+                    )
+                    if similarity > 1.0:
+                        similarity = 1.0
+                else:
+                    similarity = 0.0
+                similarities[event] = similarity
+
+                k_after = posts_before + j + 1
+                if k_after >= 2:  # a resource's first post stays windowless
+                    running += similarity
+                    cumulative.append(running)
+                    segment_values.append(similarity)
+                    if (
+                        unstable
+                        and crossed_at < 0
+                        and k_after >= self.omega
+                        and (cumulative[-1] - cumulative[-1 - width]) / width > tau
+                    ):
+                        crossed_at = j
+                        crossings.append((row, k_after, j, segment))
+
+            # final window state: the last <= width concatenated entries.
+            # Only the first ``final_length`` columns are written (exactly
+            # the vectorized pass's discipline — bytes beyond win_len stay
+            # whatever they were).
+            final_length = min(len(segment_values), width)
+            if final_length:
+                row_base = row * width
+                window_indices.extend(range(row_base, row_base + final_length))
+                window_values.extend(segment_values[-final_length:])
+            window_sums.append(cumulative[-1] - cumulative[-1 - final_length])
+            win_lens[t] = final_length
+            num_posts[t] = posts_before + len(segment)
+            totals[t] += segment_tags
+            sumsqs[t] = sumsq
+
+        # --- batched state scatters --------------------------------------
+        self._num_posts[touched_arr] = num_posts
+        self._win_len[touched_arr] = win_lens
+        self._sumsq[touched_arr] = sumsqs
+        self._total[touched_arr] = totals
+        self._window_sum[touched_arr] = window_sums
+        if window_indices:
+            self._window.reshape(-1)[window_indices] = window_values
+
+        # apply count updates; register first-seen (row, tag) pairs
+        if current_counts:
+            n_keys = len(current_counts)
+            keys_arr = np.fromiter(current_counts, dtype=np.int64, count=n_keys)
+            values_arr = np.fromiter(
+                current_counts.values(), dtype=np.int32, count=n_keys
+            )
+            counts_flat[keys_arr] = values_arr
+        if fresh:
+            fresh.sort()
+            self._register_fresh(np.asarray(fresh, dtype=np.int64), n_columns)
+
+        # snapshots roll back the tags of events after each crossing
+        for row, stable_k, crossed_at, segment in crossings:
+            self._stable_point[row] = stable_k
+            row_base = row * n_columns
+            rollback: dict[int, int] = {}
+            rollback_total = 0
+            for event in segment[crossed_at + 1 :]:
+                for flat in range(indptr[event], indptr[event + 1]):
+                    tag = flat_keys[flat] - row_base
+                    rollback[tag] = rollback.get(tag, 0) + 1
+                    rollback_total += 1
+            row_tags = self._row_tag_ids(row)
+            values = self._counts[row, row_tags].astype(np.int64)
+            if rollback:
+                for i, tag in enumerate(row_tags.tolist()):
+                    if tag in rollback:
+                        values[i] -= rollback[tag]
+            keep = values > 0
+            self._snapshots[row] = StableSnapshot(
+                stable_point=stable_k,
+                tag_ids=row_tags[keep],
+                counts=values[keep],
+                total=int(self._total[row]) - rollback_total,
+            )
+            newly_stable.append(self.resources.value(row))
+
+        return IngestReport(
+            n_events,
+            batch.n_tag_assignments,
+            np.asarray(similarities, dtype=np.float64),
+            newly_stable,
         )
 
     def _register_fresh(self, fresh_keys: np.ndarray, n_columns: int) -> None:

@@ -1,0 +1,176 @@
+"""Pooled execution of independent per-shard kernels.
+
+The sharded bank's design invariant is *shared-nothing*: every shard owns
+its interners, count block and MA windows, so the per-shard slices of a
+batch can be ingested concurrently without locks.  A
+:class:`ShardExecutor` is the small seam that decides *how* those
+independent kernels run:
+
+* :class:`SerialExecutor` — inline, in submission order (the default;
+  zero dispatch overhead, and what single-core hosts should use);
+* :class:`ThreadExecutor` — a pooled :class:`concurrent.futures.\
+ThreadPoolExecutor`.  At bulk-ingest batch sizes the per-shard kernels
+  are NumPy-dominated and release the GIL for their sorts/cumsums/
+  gathers, so shard ingests genuinely overlap on multi-core hosts.
+  (Tiny slices are a different regime — the scalar small-batch kernel
+  and NumPy dispatch both hold the GIL — which is what the
+  :data:`PARALLEL_MIN_EVENTS` inline cutoff is for.)
+
+Determinism is the executor's contract, not an accident: :meth:`run`
+always returns results **in submission order**, whatever order the
+workers finish in.  Callers (the sharded bank, the sharded monitor, the
+ingest engine) submit shard tasks in shard-index order and reassemble
+state in that same order, so every trace is byte-identical at any worker
+count — the concurrency tests pin this.
+
+Pools are *pooled*: a :class:`ThreadExecutor` keeps its workers alive
+across calls (campaigns flush every epoch; paying thread startup per
+flush would drown the win).  Executors are context managers;
+:meth:`close` is idempotent and an unclosed pool is reclaimed when the
+executor is garbage collected.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from typing import Any, TypeVar
+
+from repro.core.errors import DataModelError
+
+__all__ = [
+    "EXECUTOR_BACKENDS",
+    "ShardExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "default_workers",
+    "make_executor",
+]
+
+T = TypeVar("T")
+
+EXECUTOR_BACKENDS = ("serial", "thread")
+"""The executor kinds :func:`make_executor` accepts."""
+
+PARALLEL_MIN_EVENTS = 512
+"""Below this many events in a batch, pooled callers run shard kernels
+inline: a tiny flush finishes faster than the pool's submit/collect
+round-trip, and results are byte-identical either way.  Callers holding
+a pooled executor (the sharded bank, the sharded monitor) consult this
+before dispatching."""
+
+
+def default_workers() -> int:
+    """Worker count used when a thread executor is asked for ``workers=0``.
+
+    One worker per available core, capped at 8 — shard counts are small,
+    and past the shard count extra workers only add dispatch overhead.
+    """
+    return min(8, os.cpu_count() or 1)
+
+
+class ShardExecutor(ABC):
+    """Runs a list of independent no-argument tasks; order-preserving.
+
+    Attributes:
+        kind: The backend name (``"serial"`` or ``"thread"``).
+        workers: Concurrency the executor was built with (1 for serial).
+    """
+
+    kind: str = ""
+    workers: int = 1
+
+    @abstractmethod
+    def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        """Execute every task; return their results in submission order.
+
+        An exception raised by any task propagates to the caller (after
+        all submitted tasks have settled, for pooled backends).
+        """
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent; serial is a no-op)."""
+
+    def __enter__(self) -> ShardExecutor:
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(ShardExecutor):
+    """Inline execution — the degenerate, dispatch-free pool."""
+
+    kind = "serial"
+    workers = 1
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        return [task() for task in tasks]
+
+
+class ThreadExecutor(ShardExecutor):
+    """A persistent thread pool over GIL-releasing shard kernels.
+
+    Args:
+        workers: Pool size; ``0`` picks :func:`default_workers`.
+    """
+
+    kind = "thread"
+
+    def __init__(self, workers: int = 0) -> None:
+        if workers < 0:
+            raise DataModelError(f"workers must be >= 0, got {workers}")
+        self.workers = workers if workers > 0 else default_workers()
+        self._pool = None  # created lazily, so unused executors cost nothing
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-shard"
+            )
+        return self._pool
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        if len(tasks) <= 1:
+            # nothing to overlap; skip the dispatch round-trip
+            return [task() for task in tasks]
+        from concurrent.futures import wait
+
+        pool = self._ensure_pool()
+        futures = [pool.submit(task) for task in tasks]
+        # Let every task settle before raising: a caller that catches a
+        # shard failure must not observe sibling workers still mutating
+        # shard state mid-unwind.
+        wait(futures)
+        # Collect in submission order: determinism over completion order.
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_executor(executor: str = "serial", workers: int = 0) -> ShardExecutor:
+    """Executor factory keyed by backend name.
+
+    Args:
+        executor: One of :data:`EXECUTOR_BACKENDS`.
+        workers: Thread-pool size for ``"thread"`` (``0`` = one per core,
+            capped); ignored by ``"serial"``.
+    """
+    if workers < 0:
+        raise DataModelError(f"workers must be >= 0, got {workers}")
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "thread":
+        return ThreadExecutor(workers)
+    raise DataModelError(
+        f"unknown shard executor {executor!r} (expected one of {EXECUTOR_BACKENDS})"
+    )

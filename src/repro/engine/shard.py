@@ -7,24 +7,39 @@ splits the resource space across N independent banks with a stable hash
 router (:func:`shard_of` — CRC32, not Python's salted ``hash``, so the
 placement is identical across processes and restarts).
 
+Routing is vectorized: each resource's shard id is computed **once** (at
+first sight) and cached, so partitioning a batch is a C-level dict gather
+into an int array plus one stable argsort — not a per-event UTF-8 encode
++ CRC32.  :meth:`ShardedStabilityBank.shard_ids` exposes the batched
+router; the string-path aggregate queries (:meth:`~ShardedStabilityBank.\
+num_posts`, :meth:`~ShardedStabilityBank.ma_score`, ...) go through the
+same cache, so repeated per-resource lookups stop re-hashing.
+
 Shards share no state: each has its own interners, count block and MA
 windows, and :meth:`ShardedStabilityBank.ingest_shard` only touches one
-shard.  That makes the API parallel-ready — a thread or process pool can
-ingest the per-shard slices of a batch concurrently without locks — while
-the default :meth:`ingest_events` dispatches serially.
+shard.  :meth:`ingest_events` exploits that: it pre-encodes each shard's
+slice as a columnar :class:`~repro.engine.events.EventBatch` (so a worker
+never re-interns or re-routes) and hands the per-shard kernels to a
+:class:`~repro.engine.executor.ShardExecutor` — serial by default, a
+thread pool when the bank was built with one.  Results reassemble in
+original batch order and newly-stable ids surface in shard-index order
+regardless of executor, so traces are byte-identical at any worker
+count.
 """
 
 from __future__ import annotations
 
 import zlib
 from collections.abc import Iterable, Sequence
+from functools import partial
 
 import numpy as np
 
 from repro.core.errors import DataModelError
 from repro.core.stability import DEFAULT_OMEGA
 from repro.engine.columnar import IngestReport, StabilityBank
-from repro.engine.events import TagEvent
+from repro.engine.events import EventBatch, TagEvent, encode_events
+from repro.engine.executor import PARALLEL_MIN_EVENTS, ShardExecutor
 
 __all__ = ["shard_of", "ShardedStabilityBank"]
 
@@ -45,6 +60,11 @@ class ShardedStabilityBank:
         n_shards: Number of shards.
         omega: MA window (shared by all shards).
         tau: Optional stability threshold (shared by all shards).
+        executor: Optional :class:`~repro.engine.executor.ShardExecutor`
+            running the per-shard ingest kernels (``None`` = inline
+            serial).  Because shards share no state, any executor yields
+            byte-identical results; a thread pool overlaps the
+            GIL-releasing NumPy kernels on multi-core hosts.
     """
 
     def __init__(
@@ -52,42 +72,132 @@ class ShardedStabilityBank:
         n_shards: int = 4,
         omega: int = DEFAULT_OMEGA,
         tau: float | None = None,
+        *,
+        executor: ShardExecutor | None = None,
     ) -> None:
         if n_shards < 1:
             raise DataModelError(f"n_shards must be positive, got {n_shards}")
         self.n_shards = n_shards
         self.omega = omega
         self.tau = tau
+        self.executor = executor
+        #: Batches below this many events ingest inline even with a pooled
+        #: executor (pool round-trips dwarf tiny kernels; results are
+        #: identical either way).  Tests zero it to force the pool.
+        self.parallel_min_events = PARALLEL_MIN_EVENTS
         self.shards: list[StabilityBank] = [
             StabilityBank(omega, tau) for _ in range(n_shards)
         ]
+        # resource id -> shard id, filled at first sight (vectorized
+        # routing gathers from this dict instead of re-running CRC32)
+        self._shard_cache: dict[str, int] = {}
 
     # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def shard_id(self, resource_id: str) -> int:
+        """The shard index owning ``resource_id`` (memoized)."""
+        shard = self._shard_cache.get(resource_id)
+        if shard is None:
+            shard = shard_of(resource_id, self.n_shards)
+            self._shard_cache[resource_id] = shard
+        return shard
+
+    def shard_ids(self, resource_ids: Sequence[str]) -> np.ndarray:
+        """Batched router: the shard index of every id, as ``int64``.
+
+        Cache hits resolve as one C-level ``map(dict.__getitem__, ...)``
+        feeding ``np.fromiter``; only first-seen ids fall back to a
+        Python pass that runs CRC32 once each.
+        """
+        cache = self._shard_cache
+        count = len(resource_ids)
+        if self.n_shards == 1:
+            return np.zeros(count, dtype=np.int64)
+        try:
+            return np.fromiter(
+                map(cache.__getitem__, resource_ids), dtype=np.int64, count=count
+            )
+        except KeyError:
+            n_shards = self.n_shards
+            for resource_id in resource_ids:
+                if resource_id not in cache:
+                    cache[resource_id] = shard_of(resource_id, n_shards)
+            return np.fromiter(
+                map(cache.__getitem__, resource_ids), dtype=np.int64, count=count
+            )
 
     def shard_for(self, resource_id: str) -> StabilityBank:
         """The bank owning ``resource_id``."""
-        return self.shards[shard_of(resource_id, self.n_shards)]
+        return self.shards[self.shard_id(resource_id)]
 
     def ensure(self, resource_ids: Iterable[str]) -> None:
         """Pre-register resources on their owning shards."""
         slices: list[list[str]] = [[] for _ in range(self.n_shards)]
-        for resource_id in resource_ids:
-            slices[shard_of(resource_id, self.n_shards)].append(resource_id)
-        for shard, owned in zip(self.shards, slices):
+        if not isinstance(resource_ids, Sequence):
+            resource_ids = list(resource_ids)
+        for resource_id, shard in zip(
+            resource_ids, self.shard_ids(resource_ids).tolist()
+        ):
+            slices[shard].append(resource_id)
+        for shard_bank, owned in zip(self.shards, slices):
             if owned:
-                shard.ensure(owned)
+                shard_bank.ensure(owned)
 
     def partition(
         self, events: Sequence[TagEvent] | Iterable[TagEvent]
     ) -> list[list[TagEvent]]:
         """Split an event sequence into per-shard slices, order-preserving."""
+        if not isinstance(events, Sequence):
+            events = list(events)
         slices: list[list[TagEvent]] = [[] for _ in range(self.n_shards)]
         if self.n_shards == 1:
             slices[0] = list(events)
             return slices
-        for event in events:
-            slices[shard_of(event.resource_id, self.n_shards)].append(event)
+        ids = self.shard_ids([event.resource_id for event in events])
+        for event, shard in zip(events, ids.tolist()):
+            slices[shard].append(event)
         return slices
+
+    def encode_partition(
+        self, events: Sequence[TagEvent]
+    ) -> list[tuple[np.ndarray, EventBatch] | None]:
+        """Route and pre-encode a batch into per-shard CSR slices.
+
+        Returns one ``(positions, batch)`` pair per shard (``None`` for
+        shards the batch never touches): ``positions`` are the events'
+        indices in the original batch (ascending — routing is stable) and
+        ``batch`` is the slice encoded against **that shard's**
+        interners, ready for :meth:`StabilityBank.ingest`.  This is the
+        handoff a parallel executor consumes: all interning happens here,
+        on the caller's thread; workers run pure NumPy kernels.
+        """
+        n_events = len(events)
+        encoded: list[tuple[np.ndarray, EventBatch] | None] = [None] * self.n_shards
+        if n_events == 0:
+            return encoded
+        ids = self.shard_ids([event.resource_id for event in events])
+        order = np.argsort(ids, kind="stable")
+        sizes = np.bincount(ids, minlength=self.n_shards)
+        boundaries = np.zeros(self.n_shards + 1, dtype=np.int64)
+        np.cumsum(sizes, out=boundaries[1:])
+        for shard in range(self.n_shards):
+            start, end = int(boundaries[shard]), int(boundaries[shard + 1])
+            if start == end:
+                continue
+            positions = order[start:end]
+            shard_bank = self.shards[shard]
+            shard_events = [events[i] for i in positions.tolist()]
+            batch = encode_events(
+                shard_events, tags=shard_bank.tags, resources=shard_bank.resources
+            )
+            encoded[shard] = (positions, batch)
+        return encoded
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
 
     def ingest_shard(
         self, shard_index: int, events: Sequence[TagEvent]
@@ -95,33 +205,61 @@ class ShardedStabilityBank:
         """Ingest a pre-partitioned slice into one shard.
 
         Every event must belong to ``shard_index``; this is the unit of
-        work a parallel executor would submit per shard.
+        work a parallel executor submits per shard.
         """
         return self.shards[shard_index].ingest_events(events)
 
-    def ingest_events(self, events: Iterable[TagEvent]) -> IngestReport:
-        """Partition and ingest a batch; reassemble a combined report.
+    def ingest_encoded(
+        self,
+        shard_indices: Sequence[int],
+        batches: Sequence[EventBatch],
+        total_events: int,
+    ) -> list[IngestReport]:
+        """Run pre-encoded per-shard batches through the executor.
 
-        The combined similarities are in the original batch order.
+        The single dispatch point for parallel ingestion: batches below
+        :attr:`parallel_min_events` total events run inline (a pool
+        round-trip dwarfs tiny kernels), larger ones go to the bank's
+        executor.  Reports come back in ``shard_indices`` order either
+        way, so callers reassemble deterministically.
+        """
+        tasks = [
+            partial(self.shards[shard].ingest, batch)
+            for shard, batch in zip(shard_indices, batches)
+        ]
+        if self.executor is None or total_events < self.parallel_min_events:
+            # tiny flushes finish faster than a pool round-trip
+            return [task() for task in tasks]
+        return self.executor.run(tasks)
+
+    def ingest_events(self, events: Iterable[TagEvent]) -> IngestReport:
+        """Partition, pre-encode and ingest a batch; reassemble one report.
+
+        The per-shard kernels run through the bank's executor (inline
+        when ``None``); the combined similarities are in the original
+        batch order and ``newly_stable`` lists crossings in shard-index
+        order — both independent of the executor, so parallel ingestion
+        is trace-identical to serial.
         """
         if not isinstance(events, Sequence):
             events = list(events)
         if self.n_shards == 1:
             return self.shards[0].ingest_events(events)
-        positions: list[list[int]] = [[] for _ in range(self.n_shards)]
-        slices: list[list[TagEvent]] = [[] for _ in range(self.n_shards)]
-        for index, event in enumerate(events):
-            shard = shard_of(event.resource_id, self.n_shards)
-            positions[shard].append(index)
-            slices[shard].append(event)
+        encoded = self.encode_partition(events)
+        touched = [shard for shard, slot in enumerate(encoded) if slot is not None]
+        if not touched:
+            return IngestReport(0, 0, np.zeros(0), [])
+        reports = self.ingest_encoded(
+            touched,
+            [encoded[shard][1] for shard in touched],  # type: ignore[index]
+            len(events),
+        )
         similarities = np.zeros(len(events), dtype=np.float64)
         newly_stable: list[str] = []
         n_tag_assignments = 0
-        for shard_index in range(self.n_shards):
-            if not slices[shard_index]:
-                continue
-            report = self.ingest_shard(shard_index, slices[shard_index])
-            similarities[positions[shard_index]] = report.similarities
+        for shard, report in zip(touched, reports):
+            positions, _ = encoded[shard]  # type: ignore[misc]
+            similarities[positions] = report.similarities
             newly_stable.extend(report.newly_stable)
             n_tag_assignments += report.n_tag_assignments
         return IngestReport(len(events), n_tag_assignments, similarities, newly_stable)

@@ -23,6 +23,7 @@ from repro.core.stability import DEFAULT_OMEGA
 from repro.engine.checkpoint import save_checkpoint
 from repro.engine.columnar import StabilityBank
 from repro.engine.events import TagEvent
+from repro.engine.executor import make_executor
 from repro.engine.shard import ShardedStabilityBank
 
 __all__ = ["EngineStats", "IngestEngine"]
@@ -105,14 +106,31 @@ class IngestEngine:
         omega: int = DEFAULT_OMEGA,
         tau: float | None = None,
         batch_size: int = 1024,
+        executor: str = "serial",
+        workers: int = 0,
         **kwargs,
     ) -> IngestEngine:
-        """Build an engine with a fresh bank (sharded when asked)."""
+        """Build an engine with a fresh bank (sharded when asked).
+
+        Args:
+            n_shards: Bank shard count (1 = single columnar bank).
+            omega: MA window.
+            tau: Optional stability threshold.
+            batch_size: Events per batch (the vectorization grain).
+            executor: Shard-kernel executor kind
+                (:data:`~repro.engine.executor.EXECUTOR_BACKENDS`);
+                only meaningful with ``n_shards > 1``.
+            workers: Thread-pool size for ``executor="thread"``
+                (``0`` = one per core, capped).
+        """
         bank: StabilityBank | ShardedStabilityBank
         if n_shards == 1:
+            # a single bank has nothing to parallelize; don't build a pool
             bank = StabilityBank(omega, tau)
         else:
-            bank = ShardedStabilityBank(n_shards, omega, tau)
+            bank = ShardedStabilityBank(
+                n_shards, omega, tau, executor=make_executor(executor, workers)
+            )
         return cls(bank=bank, batch_size=batch_size, **kwargs)
 
     # ------------------------------------------------------------------

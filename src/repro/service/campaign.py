@@ -143,6 +143,12 @@ class IncentiveCampaign:
             ``"tracker"`` (per-post stopping), ``"engine"`` (vectorized,
             epoch-batched stopping) or ``"sharded"`` (engine banks behind
             a hash router, for large resource populations).
+        stability_shards: Shard count of the ``"sharded"`` backend.
+        stability_executor: How the ``"sharded"`` backend runs its
+            per-shard ingest kernels (``"serial"`` or ``"thread"``);
+            campaign traces are byte-identical for every choice.
+        stability_workers: Thread-pool size for
+            ``stability_executor="thread"`` (``0`` = one per core).
     """
 
     def __init__(
@@ -159,6 +165,9 @@ class IncentiveCampaign:
         batch_size: int = 25,
         reward_per_task: int = 1,
         stability_backend: str = "tracker",
+        stability_shards: int = 4,
+        stability_executor: str = "serial",
+        stability_workers: int = 0,
     ) -> None:
         if len(models) != len(initial_posts):
             raise AllocationError("models and initial_posts must align")
@@ -184,7 +193,13 @@ class IncentiveCampaign:
         # Workers read observed counts between engine flushes, so the
         # monitor keeps live frequency dicts (track_observed).
         monitor = make_monitor(
-            stability_backend, omega, stop_tau, track_observed=True
+            stability_backend,
+            omega,
+            stop_tau,
+            track_observed=True,
+            n_shards=stability_shards,
+            executor=stability_executor,
+            workers=stability_workers,
         )
         if monitor is None:  # make_monitor(None) means "no monitoring"
             raise AllocationError(
@@ -241,6 +256,9 @@ class IncentiveCampaign:
             batch_size=spec.batch_size,
             reward_per_task=spec.reward_per_task,
             stability_backend=spec.stability_backend,
+            stability_shards=spec.stability_shards,
+            stability_executor=spec.stability_executor,
+            stability_workers=spec.stability_workers,
         )
 
     @property

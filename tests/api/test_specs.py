@@ -126,6 +126,10 @@ class TestRejection:
             {"mode": "telepathic"},
             {"stability": "abacus"},
             {"corpus": "paper"},
+            {"stability_shards": 0},
+            {"stability_executor": "fork"},
+            {"stability_workers": -1},
+            {"stability_workers": 2.5},
         ],
     )
     def test_bad_allocate_values_rejected(self, kwargs):
@@ -139,6 +143,9 @@ class TestRejection:
             {"omega": 1},
             {"stop_tau": 1.5},
             {"stability_backend": "quantum"},
+            {"stability_shards": 0},
+            {"stability_executor": "fork"},
+            {"stability_workers": -1},
             {"max_epochs": 0},
             {"reward_per_task": 0},
             {"corpus": CorpusSpec(kind="jsonl", path="x.jsonl")},  # model-less
@@ -152,6 +159,8 @@ class TestRejection:
         "kwargs",
         [
             {"shards": 0},
+            {"executor": "fork"},
+            {"workers": -1},
             {"batch_size": 0},
             {"omega": 1},
             {"tau": -0.1},

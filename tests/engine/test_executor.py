@@ -1,0 +1,100 @@
+"""Tests for the shard-executor seam (serial and thread backends)."""
+
+import threading
+
+import pytest
+
+from repro.core import DataModelError
+from repro.engine import (
+    EXECUTOR_BACKENDS,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.engine.executor import default_workers
+
+
+class TestFactory:
+    def test_backends_constant(self):
+        assert EXECUTOR_BACKENDS == ("serial", "thread")
+
+    def test_serial(self):
+        executor = make_executor("serial")
+        assert isinstance(executor, SerialExecutor)
+        assert executor.kind == "serial"
+        assert executor.workers == 1
+
+    def test_thread_explicit_workers(self):
+        with make_executor("thread", workers=3) as executor:
+            assert isinstance(executor, ThreadExecutor)
+            assert executor.kind == "thread"
+            assert executor.workers == 3
+
+    def test_thread_auto_workers(self):
+        with make_executor("thread") as executor:
+            assert executor.workers == default_workers()
+            assert executor.workers >= 1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(DataModelError):
+            make_executor("fork")
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(DataModelError):
+            make_executor("thread", workers=-1)
+        with pytest.raises(DataModelError):
+            ThreadExecutor(-2)
+
+
+@pytest.mark.parametrize("executor_kind,workers", [
+    ("serial", 0), ("thread", 1), ("thread", 4),
+])
+class TestRun:
+    def test_results_in_submission_order(self, executor_kind, workers):
+        with make_executor(executor_kind, workers) as executor:
+            tasks = [(lambda i=i: i * i) for i in range(20)]
+            assert executor.run(tasks) == [i * i for i in range(20)]
+
+    def test_empty_and_singleton(self, executor_kind, workers):
+        with make_executor(executor_kind, workers) as executor:
+            assert executor.run([]) == []
+            assert executor.run([lambda: "only"]) == ["only"]
+
+    def test_exception_propagates(self, executor_kind, workers):
+        with make_executor(executor_kind, workers) as executor:
+            def boom():
+                raise ValueError("shard kernel failed")
+
+            with pytest.raises(ValueError, match="shard kernel failed"):
+                executor.run([lambda: 1, boom, lambda: 3])
+
+
+class TestThreadPooling:
+    def test_pool_is_reused_across_runs(self):
+        with ThreadExecutor(2) as executor:
+            seen: set[int] = set()
+
+            def task():
+                seen.add(threading.get_ident())
+                return True
+
+            for _ in range(5):
+                assert executor.run([task, task, task]) == [True] * 3
+            # the pool's threads serviced every round (no per-run spawn)
+            assert len(seen) <= 2
+            assert executor._pool is not None
+
+    def test_close_is_idempotent(self):
+        executor = ThreadExecutor(2)
+        executor.run([lambda: 1, lambda: 2])
+        executor.close()
+        executor.close()
+        assert executor._pool is None
+
+    def test_runs_genuinely_concurrent(self):
+        # two tasks that each wait for the other: only a pool with >= 2
+        # live workers can finish (a serial executor would deadlock)
+        with ThreadExecutor(2) as executor:
+            barrier = threading.Barrier(2, timeout=5)
+            results = executor.run([barrier.wait, barrier.wait])
+            assert sorted(results) == [0, 1]

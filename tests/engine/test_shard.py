@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.core import DataModelError
-from repro.engine import ShardedStabilityBank, StabilityBank, TagEvent, shard_of
+from repro.engine import (
+    SerialExecutor,
+    ShardedStabilityBank,
+    StabilityBank,
+    TagEvent,
+    make_executor,
+    shard_of,
+)
 
 
 def random_events(n_resources: int, n_events: int, seed: int) -> list[TagEvent]:
@@ -104,3 +111,86 @@ class TestShardedBank:
         assert "a" in sharded and "zzz" not in sharded
         assert 42 not in sharded
         assert sharded.num_posts("b") == 0
+
+
+class TestVectorizedRouting:
+    def test_shard_ids_match_scalar_router(self):
+        sharded = ShardedStabilityBank(5)
+        ids = [f"resource-{i}" for i in range(100)]
+        batched = sharded.shard_ids(ids)
+        assert batched.dtype == np.int64
+        assert batched.tolist() == [shard_of(rid, 5) for rid in ids]
+        # cache hits take the fast path and agree with the cold pass
+        assert sharded.shard_ids(ids).tolist() == batched.tolist()
+
+    def test_shard_id_is_memoized(self):
+        sharded = ShardedStabilityBank(7)
+        assert sharded.shard_id("xyz") == shard_of("xyz", 7)
+        assert "xyz" in sharded._shard_cache
+        # a poisoned cache entry proves later lookups never re-hash
+        sharded._shard_cache["xyz"] = (sharded._shard_cache["xyz"] + 1) % 7
+        assert sharded.shard_id("xyz") == sharded._shard_cache["xyz"]
+
+    def test_single_shard_skips_hashing(self):
+        sharded = ShardedStabilityBank(1)
+        assert sharded.shard_ids(["a", "b"]).tolist() == [0, 0]
+
+    def test_encode_partition_covers_batch_in_order(self):
+        events = random_events(12, 120, seed=4)
+        sharded = ShardedStabilityBank(4)
+        encoded = sharded.encode_partition(events)
+        seen = []
+        for shard_index, slot in enumerate(encoded):
+            if slot is None:
+                continue
+            positions, batch = slot
+            assert positions.tolist() == sorted(positions.tolist())
+            assert batch.n_events == positions.size
+            for position, row in zip(positions.tolist(), batch.resources):
+                event = events[position]
+                assert shard_of(event.resource_id, 4) == shard_index
+                bank = sharded.shards[shard_index]
+                assert bank.resources.value(int(row)) == event.resource_id
+            seen.extend(positions.tolist())
+        assert sorted(seen) == list(range(len(events)))
+
+
+class TestInlineCutoff:
+    def test_small_batches_skip_the_pool(self):
+        calls: list[int] = []
+
+        class SpyExecutor(SerialExecutor):
+            def run(self, tasks):
+                calls.append(len(tasks))
+                return super().run(tasks)
+
+        bank = ShardedStabilityBank(4, 5, executor=SpyExecutor())
+        bank.ingest_events(random_events(8, 40, seed=1))
+        assert calls == [], "a 40-event batch should ingest inline"
+        bank.parallel_min_events = 0
+        bank.ingest_events(random_events(8, 40, seed=2))
+        assert len(calls) == 1, "zeroing the cutoff must engage the executor"
+
+
+@pytest.mark.parametrize("executor_kind,workers", [
+    ("serial", 0), ("thread", 1), ("thread", 2), ("thread", 8),
+])
+class TestParallelIngest:
+    def test_identical_to_inline_serial(self, executor_kind, workers):
+        events = random_events(20, 800, seed=11)
+        reference = ShardedStabilityBank(4, 5, 0.9)
+        with make_executor(executor_kind, workers) as pool:
+            parallel = ShardedStabilityBank(4, 5, 0.9, executor=pool)
+            parallel.parallel_min_events = 0  # force pool dispatch
+            for start in range(0, len(events), 96):
+                chunk = events[start : start + 96]
+                expected = reference.ingest_events(chunk)
+                got = parallel.ingest_events(chunk)
+                # byte-identical, not approximately equal
+                assert np.array_equal(expected.similarities, got.similarities)
+                assert expected.newly_stable == got.newly_stable
+                assert expected.n_tag_assignments == got.n_tag_assignments
+        assert parallel.stable_points() == reference.stable_points()
+        for rid in {e.resource_id for e in events}:
+            assert parallel.counts_of(rid) == reference.counts_of(rid)
+            assert parallel.ma_score(rid) == reference.ma_score(rid)

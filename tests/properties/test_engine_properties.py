@@ -9,11 +9,19 @@ pins MA scores to 1e-9 plus exact stable points, counts and stable rfds.
 
 import math
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import StabilityTracker
-from repro.engine import StabilityBank, TagEvent, load_checkpoint, save_checkpoint
+from repro.engine import (
+    ShardedStabilityBank,
+    StabilityBank,
+    TagEvent,
+    load_checkpoint,
+    make_executor,
+    save_checkpoint,
+)
 
 tag = st.sampled_from([f"t{i}" for i in range(6)])
 resource = st.sampled_from([f"r{i}" for i in range(5)])
@@ -92,3 +100,73 @@ class TestBankMatchesTracker:
             # bit-deterministic, not merely close
             assert resumed.ma_score(rid) == uninterrupted.ma_score(rid)
             assert resumed.stable_rfd(rid) == uninterrupted.stable_rfd(rid)
+
+
+class TestSmallBatchKernel:
+    """The scalar fast path is bit-identical to the vectorized pass."""
+
+    @given(
+        events=event_streams,
+        omega=omegas,
+        tau=st.one_of(st.none(), taus),
+        batch_size=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_paths_agree_to_the_bit(self, events, omega, tau, batch_size):
+        small = StabilityBank(omega, tau)
+        small.small_batch_max = 10**9  # force the scalar fast path
+        vector = StabilityBank(omega, tau)
+        vector.small_batch_max = 0  # force the vectorized pass
+        for start in range(0, len(events), batch_size):
+            chunk = events[start : start + batch_size]
+            report_small = small.ingest_events(chunk)
+            report_vector = vector.ingest_events(chunk)
+            assert np.array_equal(
+                report_small.similarities, report_vector.similarities
+            )
+            assert report_small.newly_stable == report_vector.newly_stable
+            assert report_small.n_tag_assignments == report_vector.n_tag_assignments
+        assert small.stable_points() == vector.stable_points()
+        for rid in vector.resources.items():
+            assert small.counts_of(rid) == vector.counts_of(rid)
+            # bit-deterministic, not merely close
+            assert small.ma_score(rid) == vector.ma_score(rid)
+            assert small.stable_rfd(rid) == vector.stable_rfd(rid)
+            assert small.stable_point(rid) == vector.stable_point(rid)
+        # internal window state matches too (it seeds future batches)
+        count = len(vector.resources)
+        assert np.array_equal(small._window_sum[:count], vector._window_sum[:count])
+        assert np.array_equal(small._win_len[:count], vector._win_len[:count])
+        assert np.array_equal(small._sumsq[:count], vector._sumsq[:count])
+
+
+class TestExecutorInvariance:
+    """Parallel sharded ingestion is invisible: any executor, same bytes."""
+
+    @given(
+        events=event_streams,
+        omega=omegas,
+        tau=taus,
+        n_shards=st.integers(min_value=1, max_value=5),
+        workers=st.sampled_from([1, 2, 4]),
+        batch_size=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ingest_events_invariant_to_executor(
+        self, events, omega, tau, n_shards, workers, batch_size
+    ):
+        serial = ShardedStabilityBank(n_shards, omega, tau)
+        with make_executor("thread", workers) as pool:
+            threaded = ShardedStabilityBank(n_shards, omega, tau, executor=pool)
+            threaded.parallel_min_events = 0  # force pool dispatch
+            for start in range(0, len(events), batch_size):
+                chunk = events[start : start + batch_size]
+                expected = serial.ingest_events(chunk)
+                got = threaded.ingest_events(chunk)
+                # similarity vectors are byte-identical, not merely close
+                assert np.array_equal(expected.similarities, got.similarities)
+                assert got.newly_stable == expected.newly_stable
+        assert threaded.stable_points() == serial.stable_points()
+        for rid in {e.resource_id for e in events}:
+            assert threaded.counts_of(rid) == serial.counts_of(rid)
+            assert threaded.ma_score(rid) == serial.ma_score(rid)

@@ -1,0 +1,99 @@
+"""Concurrency determinism: parallel sharded campaigns must not move a byte.
+
+The sharded stability backend routes per-shard ingest kernels through a
+:class:`~repro.engine.executor.ShardExecutor`.  Shards share no state and
+results are reassembled in shard-index order, so the executor choice (and
+its worker count) must be invisible in every trace.  These tests replay
+the pinned campaign specs of ``tests/fixtures/campaign_traces.json`` with
+the ``sharded`` backend across worker counts and shard counts and require
+byte-identical traces — the same bar the monitor-unification refactor was
+held to.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURE = REPO_ROOT / "tests" / "fixtures" / "campaign_traces.json"
+
+
+@pytest.fixture(autouse=True)
+def _force_pool_dispatch(monkeypatch):
+    """Campaign epochs buffer ~100 events — below the inline cutoff, so
+    zero it here or these tests would never reach the thread pool."""
+    monkeypatch.setattr("repro.engine.executor.PARALLEL_MIN_EVENTS", 0)
+    monkeypatch.setattr("repro.engine.shard.PARALLEL_MIN_EVENTS", 0)
+
+
+@pytest.fixture(scope="module")
+def fixture_module():
+    spec = importlib.util.spec_from_file_location(
+        "generate_campaign_fixture",
+        REPO_ROOT / "scripts" / "generate_campaign_fixture.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def engine_entries():
+    pinned = json.loads(FIXTURE.read_text())["traces"]
+    entries = [e for e in pinned if e["spec"]["stability_backend"] == "engine"]
+    assert entries, "fixture lost its engine traces"
+    return entries
+
+
+class TestParallelShardedCampaign:
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    @pytest.mark.parametrize("n_shards", [1, 3, 8])
+    def test_matches_engine_trace_at_any_worker_and_shard_count(
+        self, fixture_module, engine_entries, n_shards, workers
+    ):
+        entry = engine_entries[0]
+        spec = dict(
+            entry["spec"],
+            stability_backend="sharded",
+            stability_shards=n_shards,
+            stability_executor="thread",
+            stability_workers=workers,
+        )
+        got = fixture_module.campaign_trace(spec)
+        assert json.dumps(got, sort_keys=True) == json.dumps(
+            entry["trace"], sort_keys=True
+        ), f"parallel sharded trace diverged (shards={n_shards}, workers={workers})"
+
+    def test_serial_executor_matches_engine_trace(
+        self, fixture_module, engine_entries
+    ):
+        for entry in engine_entries:
+            spec = dict(
+                entry["spec"],
+                stability_backend="sharded",
+                stability_shards=4,
+                stability_executor="serial",
+            )
+            got = fixture_module.campaign_trace(spec)
+            assert json.dumps(got, sort_keys=True) == json.dumps(
+                entry["trace"], sort_keys=True
+            ), f"serial sharded trace diverged for {entry['spec']}"
+
+    def test_thread_pool_matches_every_pinned_engine_spec(
+        self, fixture_module, engine_entries
+    ):
+        # the full pinned set (FP and MU) through a 2-worker pool
+        for entry in engine_entries:
+            spec = dict(
+                entry["spec"],
+                stability_backend="sharded",
+                stability_shards=4,
+                stability_executor="thread",
+                stability_workers=2,
+            )
+            got = fixture_module.campaign_trace(spec)
+            assert json.dumps(got, sort_keys=True) == json.dumps(
+                entry["trace"], sort_keys=True
+            ), f"threaded sharded trace diverged for {entry['spec']}"

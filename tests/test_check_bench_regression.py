@@ -21,9 +21,9 @@ def metric(value, *, higher=True, gate_it=True):
     return {"value": value, "unit": "x", "higher_is_better": higher, "gate": gate_it}
 
 
-def write(tmp_path, name, metrics):
+def write(tmp_path, name, metrics, smoke=True):
     path = tmp_path / name
-    path.write_text(json.dumps({"smoke": True, "metrics": metrics}))
+    path.write_text(json.dumps({"smoke": smoke, "metrics": metrics}))
     return path
 
 
@@ -88,6 +88,21 @@ class TestMain:
         current = write(tmp_path, "pr.json", {"m": metric(6.0)})
         assert gate.main([str(baseline), str(current), "--threshold", "0.5"]) == 0
         assert gate.main([str(baseline), str(current), "--threshold", "0.1"]) == 1
+
+    def test_smoke_vs_full_baseline_widens_threshold(self, gate, tmp_path, capsys):
+        # -30% would fail the plain 25% gate, but a smoke PR run against
+        # a full-profile baseline gets the explicit mismatch margin
+        baseline = write(tmp_path, "base.json", {"m": metric(10.0)}, smoke=False)
+        current = write(tmp_path, "pr.json", {"m": metric(7.0)}, smoke=True)
+        assert gate.main([str(baseline), str(current)]) == 0
+        out = capsys.readouterr().out
+        assert "profile mismatch" in out and "40%" in out
+
+    def test_full_vs_full_keeps_plain_threshold(self, gate, tmp_path, capsys):
+        baseline = write(tmp_path, "base.json", {"m": metric(10.0)}, smoke=False)
+        current = write(tmp_path, "pr.json", {"m": metric(7.0)}, smoke=False)
+        assert gate.main([str(baseline), str(current)]) == 1
+        assert "profile mismatch" not in capsys.readouterr().out
 
     def test_missing_file_errors(self, gate, tmp_path):
         current = write(tmp_path, "pr.json", {"m": metric(1.0)})
