@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 
 _METRICS: dict[str, dict] = {}
@@ -47,13 +48,33 @@ def record(
         gate: Whether ``check_bench_regression.py`` enforces the
             threshold on this metric (leave False for machine-dependent
             absolutes).
+
+    Re-recording the same name overwrites the value (benches re-run under
+    different profiles), but changing the metric's *meaning* — its unit,
+    direction, or gating — warns: two benchmarks silently fighting over
+    one name would make the regression gate compare apples to oranges.
     """
-    _METRICS[name] = {
+    entry = {
         "value": float(value),
         "unit": unit,
         "higher_is_better": bool(higher_is_better),
         "gate": bool(gate),
     }
+    previous = _METRICS.get(name)
+    if previous is not None:
+        conflicts = [
+            f"{key}: {previous[key]!r} -> {entry[key]!r}"
+            for key in ("unit", "higher_is_better", "gate")
+            if previous[key] != entry[key]
+        ]
+        if conflicts:
+            warnings.warn(
+                f"bench metric {name!r} re-recorded with a different meaning "
+                f"({', '.join(conflicts)}); keeping the new definition",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    _METRICS[name] = entry
 
 
 def dump_if_requested() -> Path | None:

@@ -1,0 +1,191 @@
+"""Load replay: per-batch ingest latency under an interleaved live feed.
+
+The throughput benches answer "how fast can the engine chew a backlog";
+this one answers the operational question: when an interleaved
+multi-user stream (:func:`repro.simulate.interleaved_event_stream`)
+arrives in bursts, what latency does each arrival batch see at the
+engine, and how deep does the arrival queue get?
+
+The replay models a live feed deterministically: arrival ticks push
+fixed-size event chunks onto a queue (with a repeating burst pattern, so
+the queue depth actually oscillates), and the engine drains the queue
+every tick, one chunk per :meth:`~repro.engine.IngestEngine.submit`.
+Each drain is timed through an enabled :class:`repro.obs.Telemetry` —
+the same histogram machinery a production run would use — and the
+``replay.ingest`` p50/p95/p99 land in the bench-metric registry
+(informational; absolute latencies are machine-dependent).
+
+Set ``REPLAY_TRACE_JSONL=<path>`` to also stream the per-chunk spans as
+a Chrome-trace JSONL (CI uploads this as an artifact; render it with
+``repro-tagging stats <path>``).
+
+The second test gates the tentpole's zero-overhead contract:
+``obs.enabled_overhead_ratio`` is the bank's ingest rate with telemetry
+*enabled* over the rate with telemetry *disabled*, measured
+back-to-back in the same process.  Telemetry off must be free (the hot
+path pays one attribute check), and on it must stay cheap — the ratio
+is a machine-independent property of the instrumentation and is
+regression-gated against ``BENCH_BASELINE.json``.
+"""
+
+import os
+import time
+from collections import deque
+
+import pytest
+
+import _metrics
+from repro import obs
+from repro.engine import IngestEngine, StabilityBank
+from repro.engine.events import encode_events
+from repro.simulate import interleaved_event_stream
+from repro.simulate.popularity import PopularityConfig
+
+SMOKE = _metrics.smoke_mode()
+
+N_RESOURCES = 120 if SMOKE else 400
+OMEGA = 5
+TAU = 0.99
+ARRIVAL_CHUNK = 256 if SMOKE else 512
+"""Events per arrival tick (one queued chunk)."""
+
+BURST_PATTERN = (1, 1, 2, 1, 3)
+"""Chunks arriving per tick, cycled — bursts make the queue oscillate."""
+
+OVERHEAD_ROUNDS = 3 if SMOKE else 5
+MIN_OVERHEAD_RATIO = 0.80 if SMOKE else 0.90
+"""Hard floor for enabled/disabled throughput (the gate is tighter)."""
+
+POPULARITY = (
+    PopularityConfig(min_posts=30, max_posts=160)
+    if SMOKE
+    else PopularityConfig(min_posts=60, max_posts=400)
+)
+
+
+@pytest.fixture(scope="module")
+def replay_events():
+    """An interleaved multi-user stream, materialised once."""
+    return list(
+        interleaved_event_stream(
+            n_resources=N_RESOURCES, seed=23, popularity=POPULARITY
+        )
+    )
+
+
+def test_load_replay_latency(replay_events):
+    events = replay_events
+    chunks = [
+        events[start : start + ARRIVAL_CHUNK]
+        for start in range(0, len(events), ARRIVAL_CHUNK)
+    ]
+
+    trace_path = os.environ.get("REPLAY_TRACE_JSONL") or None
+    telemetry = obs.Telemetry(trace_path=trace_path)
+    previous = obs.set_active(telemetry)
+    try:
+        # constructed under the active telemetry (capture-at-construction)
+        engine = IngestEngine.create(
+            omega=OMEGA, tau=TAU, batch_size=ARRIVAL_CHUNK
+        )
+        queue: deque = deque()
+        max_depth = 0
+        arrivals = iter(chunks)
+        tick = 0
+        exhausted = False
+        while not exhausted or queue:
+            if not exhausted:
+                for _ in range(BURST_PATTERN[tick % len(BURST_PATTERN)]):
+                    chunk = next(arrivals, None)
+                    if chunk is None:
+                        exhausted = True
+                        break
+                    queue.append(chunk)
+            tick += 1
+            max_depth = max(max_depth, len(queue))
+            if queue:  # drain one chunk per tick: bursts build a backlog
+                chunk = queue.popleft()
+                with telemetry.span(
+                    "replay.ingest", events=len(chunk), depth=len(queue)
+                ):
+                    engine.submit(chunk)
+        telemetry.gauge("replay.max_queue_depth", max_depth)
+        snapshot = telemetry.snapshot()
+    finally:
+        obs.set_active(previous)
+        telemetry.close()
+
+    ingest = snapshot["histograms"]["replay.ingest"]
+    assert ingest["count"] == len(chunks)
+    assert engine.stats.events == len(events)
+    assert max_depth > 1, "burst pattern never built a backlog"
+
+    for quantile in ("p50", "p95", "p99"):
+        _metrics.record(
+            f"replay.ingest_{quantile}_ms",
+            ingest[quantile],
+            unit="ms",
+            higher_is_better=False,
+            gate=False,  # absolute latency is machine-dependent
+        )
+    _metrics.record(
+        "replay.max_queue_depth", max_depth, unit="chunks",
+        higher_is_better=False, gate=False,
+    )
+    print(
+        f"\nreplayed {len(events):,} events in {len(chunks)} chunks of "
+        f"{ARRIVAL_CHUNK} (max queue depth {max_depth})\n"
+        f"  ingest latency: p50 {ingest['p50']:.3f} ms, "
+        f"p95 {ingest['p95']:.3f} ms, p99 {ingest['p99']:.3f} ms"
+        + (f"\n  trace written to {trace_path}" if trace_path else "")
+    )
+
+
+def test_telemetry_overhead_ratio(replay_events):
+    """Telemetry off must be free; the gate watches enabled/disabled."""
+    events = replay_events
+    n = len(events)
+    batch_size = 8192 if SMOKE else 32768
+    batches = [events[i : i + batch_size] for i in range(0, n, batch_size)]
+
+    def timed_ingest() -> float:
+        """One full pass: fresh bank under the *current* telemetry."""
+        bank = StabilityBank(OMEGA, TAU, initial_rows=N_RESOURCES + 24)
+        encoded = [
+            encode_events(batch, tags=bank.tags, resources=bank.resources)
+            for batch in batches
+        ]
+        started = time.perf_counter()
+        for batch in encoded:
+            bank.ingest(batch)
+        return time.perf_counter() - started
+
+    disabled_best = enabled_best = float("inf")
+    telemetry = obs.Telemetry()
+    try:
+        # interleave the passes so both see the same machine state
+        for _ in range(OVERHEAD_ROUNDS):
+            disabled_best = min(disabled_best, timed_ingest())
+            previous = obs.set_active(telemetry)
+            try:
+                enabled_best = min(enabled_best, timed_ingest())
+            finally:
+                obs.set_active(previous)
+    finally:
+        telemetry.close()
+
+    disabled_rate = n / disabled_best
+    enabled_rate = n / enabled_best
+    ratio = enabled_rate / disabled_rate
+    _metrics.record("obs.enabled_overhead_ratio", ratio, unit="x")
+    _metrics.record(
+        "obs.enabled_events_per_s", enabled_rate, unit="events/s", gate=False
+    )
+    print(
+        f"\nbank ingest, telemetry off: {disabled_rate:12,.0f} events/s\n"
+        f"bank ingest, telemetry on : {enabled_rate:12,.0f} events/s "
+        f"({ratio:.3f}x)"
+    )
+    assert ratio >= MIN_OVERHEAD_RATIO, (
+        f"enabled telemetry costs too much: {ratio:.3f}x of the disabled rate"
+    )

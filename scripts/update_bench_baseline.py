@@ -37,6 +37,7 @@ HOT_PATH_BENCHES = (
     "benchmarks/bench_engine_throughput.py",
     "benchmarks/bench_batched_runner.py",
     "benchmarks/bench_campaign_backends.py",
+    "benchmarks/bench_load_replay.py",
 )
 
 

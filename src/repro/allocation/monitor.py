@@ -35,10 +35,12 @@ everywhere.
 from __future__ import annotations
 
 import math
+import time
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 from typing import ClassVar
 
+from repro import obs
 from repro.core.errors import AllocationError
 from repro.core.posts import Post
 from repro.core.stability import DEFAULT_OMEGA, DEFAULT_TAU, StabilityTracker
@@ -120,6 +122,7 @@ class TrackerStabilityMonitor(StabilityMonitor):
     ) -> None:
         self.omega = omega
         self.tau = tau
+        self._obs = obs.get()
         self._trackers: list[StabilityTracker] = []
         self._pending: list[int] = []
         self._announced: set[int] = set()
@@ -152,6 +155,11 @@ class TrackerStabilityMonitor(StabilityMonitor):
     def drain_newly_stable(self) -> list[int]:
         drained = sorted(self._pending)
         self._pending = []
+        telemetry = self._obs
+        if telemetry.enabled:
+            telemetry.count("monitor.drains")
+            if drained:
+                telemetry.count("monitor.newly_stable", len(drained))
         return drained
 
     def observed_counts(self, index: int) -> dict[str, int]:
@@ -217,9 +225,13 @@ class _EngineStabilityMonitor(StabilityMonitor):
 
     Subclass contract: :meth:`_setup` creates ``self._bank`` and its
     routing state plus empty buffers; :meth:`_buffer_posts` enqueues a
-    resource's posts; :meth:`_flush` ingests all buffers and routes each
-    :class:`~repro.engine.columnar.IngestReport` through
-    :meth:`_note_report`.
+    resource's posts; :meth:`_flush_impl` ingests all buffers and routes
+    each :class:`~repro.engine.columnar.IngestReport` through
+    :meth:`_note_report`; :meth:`_has_buffered` reports whether a flush
+    would do work (so telemetry skips the no-op flushes every query
+    issues).  Consumers call :meth:`_flush`, which adds the
+    ``monitor.flush`` latency histogram around the implementation when
+    telemetry is enabled.
     """
 
     batched: ClassVar[bool] = True
@@ -237,6 +249,7 @@ class _EngineStabilityMonitor(StabilityMonitor):
         self.tau = tau
         self.flush_events = flush_events
         self.track_observed = track_observed
+        self._obs = obs.get()
         self._bank = None
         self._ids: list[str] = []
         self._pending: list[int] = []
@@ -250,9 +263,28 @@ class _EngineStabilityMonitor(StabilityMonitor):
         """Enqueue a resource's posts for the next flush."""
         raise NotImplementedError
 
-    def _flush(self) -> None:
+    def _flush_impl(self) -> None:
         """Ingest all buffers; feed every report to :meth:`_note_report`."""
         raise NotImplementedError
+
+    def _has_buffered(self) -> bool:
+        """Whether a flush would ingest anything right now."""
+        raise NotImplementedError
+
+    def _flush(self) -> None:
+        """Flush buffers, recording latency/drain telemetry when enabled."""
+        telemetry = self._obs
+        if not telemetry.enabled or not self._has_buffered():
+            self._flush_impl()
+            return
+        before = len(self._pending)
+        started = time.perf_counter()
+        self._flush_impl()
+        telemetry.observe("monitor.flush", (time.perf_counter() - started) * 1000.0)
+        telemetry.count("monitor.flushes")
+        newly = len(self._pending) - before
+        if newly:
+            telemetry.count("monitor.flush_crossings", newly)
 
     def _note_report(self, report) -> None:
         self._pending.extend(int(rid[1:]) for rid in report.newly_stable)
@@ -284,6 +316,11 @@ class _EngineStabilityMonitor(StabilityMonitor):
             self._flush()
         drained = sorted(self._pending)
         self._pending = []
+        telemetry = self._obs
+        if telemetry.enabled:
+            telemetry.count("monitor.drains")
+            if drained:
+                telemetry.count("monitor.newly_stable", len(drained))
         return drained
 
     def observed_counts(self, index: int) -> dict[str, int]:
@@ -373,7 +410,10 @@ class BankStabilityMonitor(_EngineStabilityMonitor):
         if len(buf_rows) >= self.flush_events:
             self._flush()
 
-    def _flush(self) -> None:
+    def _has_buffered(self) -> bool:
+        return bool(self._buf_rows)
+
+    def _flush_impl(self) -> None:
         report = _ingest_buffer(self._bank, self._buf_rows, self._buf_tags, self._buf_times)
         if report is None:
             return
@@ -515,7 +555,10 @@ class ShardedBankStabilityMonitor(_EngineStabilityMonitor):
         if self._buffered >= self.flush_events:
             self._flush()
 
-    def _flush(self) -> None:
+    def _has_buffered(self) -> bool:
+        return self._buffered > 0
+
+    def _flush_impl(self) -> None:
         if self._buffered == 0:
             return
         shards = self._bank.shards

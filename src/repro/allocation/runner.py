@@ -31,10 +31,12 @@ protocol is exact, so traces are byte-identical at every batch size.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.dataset import DatasetSplit
 from repro.core.errors import AllocationError, BudgetError
 from repro.core.posts import Post
@@ -197,8 +199,18 @@ class IncentiveRunner:
         # consecutive non-delivering iterations therefore indicates a
         # strategy that keeps proposing dead resources.
         fruitless = 0
+        telemetry = obs.get()
         while remaining > 0:
-            plan = strategy.choose_batch(min(batch_size, remaining))
+            if telemetry.enabled:
+                started = time.perf_counter()
+                plan = strategy.choose_batch(min(batch_size, remaining))
+                telemetry.observe(
+                    "alloc.choose_batch", (time.perf_counter() - started) * 1000.0
+                )
+                telemetry.count("alloc.choose_calls")
+                telemetry.count("alloc.chosen", len(plan))
+            else:
+                plan = strategy.choose_batch(min(batch_size, remaining))
             if not plan:
                 break
             chunk: list[tuple[int, Post]] = []
@@ -248,6 +260,10 @@ class IncentiveRunner:
                 if fruitless > 2 * self.n + 1:
                     break
 
+        if telemetry.enabled:
+            telemetry.count("alloc.delivered", len(order))
+            if refusals:
+                telemetry.count("alloc.refusals", refusals)
         return AllocationTrace(
             strategy_name=strategy.name,
             n=self.n,

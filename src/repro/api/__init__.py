@@ -57,6 +57,7 @@ from repro.api.specs import (
     CorpusSpec,
     IngestSpec,
     Spec,
+    TelemetrySpec,
     spec_from_dict,
     spec_from_json,
 )
@@ -77,6 +78,7 @@ __all__ = [
     "STRATEGIES",
     "Spec",
     "StrategyRegistry",
+    "TelemetrySpec",
     "materialize",
     "register_strategy",
     "run",

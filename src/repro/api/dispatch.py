@@ -4,16 +4,27 @@ Each runnable spec type has a private executor; :func:`run` dispatches on
 the spec's class.  Executors build everything from the spec alone — no
 hidden state — so the same spec always reproduces the same run, and the
 returned result embeds the spec for provenance.
+
+Telemetry rides on top, not inside: :func:`run` activates the spec's
+:class:`~repro.api.specs.TelemetrySpec` (if any) *before* the executor
+builds its components — the capture-at-construction pattern in
+:mod:`repro.obs` depends on that ordering — wraps the execution in one
+``api.run`` span, and embeds the final snapshot in
+``RunResult.telemetry``.  With no spec telemetry, an ambient enabled
+telemetry (``REPRO_TELEMETRY=1`` or :func:`repro.obs.set_active`) is
+still embedded, so environment-driven runs get their numbers for free.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from functools import singledispatch
 from itertools import islice
 from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.core.dataset import TaggingDataset
 from repro.core.errors import SpecError
 from repro.core.stability import DEFAULT_OMEGA
@@ -27,7 +38,6 @@ from repro.api.specs import AllocateSpec, CampaignSpec, IngestSpec, Spec
 __all__ = ["run"]
 
 
-@singledispatch
 def run(spec: Spec) -> RunResult:
     """Execute any runnable spec and return its :class:`RunResult`.
 
@@ -36,11 +46,41 @@ def run(spec: Spec) -> RunResult:
     :class:`CorpusSpec` is a component (materialize it with
     :func:`repro.api.materialize`).
 
+    When the spec carries an enabled
+    :class:`~repro.api.specs.TelemetrySpec`, a fresh
+    :class:`~repro.obs.Telemetry` is active for the run's duration and
+    its snapshot lands in ``RunResult.telemetry`` (plus the spec's
+    ``trace_path``/``snapshot_path`` sinks).  Telemetry only observes:
+    results are identical with it on or off.
+
     Raises:
         SpecError: For non-runnable spec types and any invalid spec
             content discovered at run time (unknown strategy, undeclared
             parameter, model-less corpus for a generative run, ...).
     """
+    telemetry_spec = getattr(spec, "telemetry", None)
+    if telemetry_spec is not None and telemetry_spec.enabled:
+        telemetry = obs.Telemetry(trace_path=telemetry_spec.trace_path)
+        try:
+            with obs.activated(telemetry):
+                with telemetry.span("api.run", kind=type(spec).TYPE):
+                    result = _execute(spec)
+            snapshot = telemetry.snapshot()
+            if telemetry_spec.snapshot_path is not None:
+                telemetry.write_snapshot(telemetry_spec.snapshot_path)
+        finally:
+            telemetry.close()
+        return dataclasses.replace(result, telemetry=snapshot)
+    ambient = obs.get()
+    if ambient.enabled:
+        with ambient.span("api.run", kind=type(spec).TYPE):
+            result = _execute(spec)
+        return dataclasses.replace(result, telemetry=ambient.snapshot())
+    return _execute(spec)
+
+
+@singledispatch
+def _execute(spec: Spec) -> RunResult:
     raise SpecError(
         f"{type(spec).__name__} is not runnable; "
         "pass an AllocateSpec, CampaignSpec or IngestSpec"
@@ -77,7 +117,7 @@ def _generative_runner(
     )
 
 
-@run.register
+@_execute.register
 def _run_allocate(spec: AllocateSpec) -> RunResult:
     from repro.experiments.evaluation import GroundTruth, TraceEvaluator
 
@@ -156,7 +196,7 @@ def _run_allocate(spec: AllocateSpec) -> RunResult:
 # ----------------------------------------------------------------------
 
 
-@run.register
+@_execute.register
 def _run_campaign(spec: CampaignSpec) -> RunResult:
     from repro.service import IncentiveCampaign
 
@@ -201,7 +241,7 @@ def _run_campaign(spec: CampaignSpec) -> RunResult:
 # ----------------------------------------------------------------------
 
 
-@run.register
+@_execute.register
 def _run_ingest(spec: IngestSpec) -> RunResult:
     from repro.engine import IngestEngine, load_checkpoint, save_checkpoint
     from repro.simulate import dataset_event_stream, interleaved_event_stream

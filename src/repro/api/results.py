@@ -30,6 +30,10 @@ class RunResult:
         summary: Human-readable report; the CLI prints this verbatim.
         details: Structured, JSON-serializable extras (assignment
             vectors, per-epoch reports, stable points, ...).
+        telemetry: The run's telemetry snapshot (see
+            :meth:`repro.obs.Telemetry.snapshot`) when the spec carried
+            an enabled :class:`~repro.api.specs.TelemetrySpec` or
+            ambient telemetry was active; ``{}`` otherwise.
     """
 
     kind: str
@@ -37,12 +41,13 @@ class RunResult:
     metrics: dict[str, Any] = field(default_factory=dict)
     summary: str = ""
     details: dict[str, Any] = field(default_factory=dict)
+    telemetry: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not isinstance(self.kind, str) or not self.kind:
             raise SpecError(f"RunResult kind must be a non-empty string, got {self.kind!r}")
         for label, payload in (("spec", self.spec), ("metrics", self.metrics),
-                               ("details", self.details)):
+                               ("details", self.details), ("telemetry", self.telemetry)):
             if not isinstance(payload, dict):
                 raise SpecError(f"RunResult {label} must be a dict, got {type(payload).__name__}")
         for name, value in self.metrics.items():
@@ -50,10 +55,13 @@ class RunResult:
                 raise SpecError(
                     f"RunResult metric {name!r} must be an int or float, got {value!r}"
                 )
-        try:
-            json.dumps(self.details)
-        except (TypeError, ValueError) as exc:
-            raise SpecError(f"RunResult details are not JSON-serializable: {exc}") from exc
+        for label, payload in (("details", self.details), ("telemetry", self.telemetry)):
+            try:
+                json.dumps(payload)
+            except (TypeError, ValueError) as exc:
+                raise SpecError(
+                    f"RunResult {label} are not JSON-serializable: {exc}"
+                ) from exc
 
     def to_dict(self) -> dict[str, Any]:
         """A JSON-serializable dict; :meth:`from_dict` inverts it."""
@@ -63,6 +71,7 @@ class RunResult:
             "metrics": dict(self.metrics),
             "summary": self.summary,
             "details": dict(self.details),
+            "telemetry": dict(self.telemetry),
         }
 
     @classmethod
@@ -70,7 +79,7 @@ class RunResult:
         """Rebuild a result, rejecting unknown keys."""
         if not isinstance(payload, dict):
             raise SpecError(f"RunResult.from_dict expects a dict, got {type(payload).__name__}")
-        known = {"kind", "spec", "metrics", "summary", "details"}
+        known = {"kind", "spec", "metrics", "summary", "details", "telemetry"}
         unknown = sorted(set(payload) - known)
         if unknown:
             raise SpecError(
@@ -82,6 +91,7 @@ class RunResult:
             metrics=payload.get("metrics", {}),
             summary=payload.get("summary", ""),
             details=payload.get("details", {}),
+            telemetry=payload.get("telemetry", {}),
         )
 
     def to_json(self, **dumps_kwargs: Any) -> str:

@@ -29,6 +29,7 @@ __all__ = [
     "EXECUTOR_BACKENDS",
     "Spec",
     "CorpusSpec",
+    "TelemetrySpec",
     "AllocateSpec",
     "CampaignSpec",
     "IngestSpec",
@@ -179,6 +180,39 @@ class CorpusSpec(Spec):
 
 
 @dataclass(frozen=True)
+class TelemetrySpec(Spec):
+    """Telemetry configuration for one run (see :mod:`repro.obs`).
+
+    Attach one to a runnable spec and :func:`repro.api.run` activates a
+    fresh :class:`~repro.obs.Telemetry` for the run's duration, embeds
+    its snapshot in ``RunResult.telemetry``, and (optionally) streams
+    span/instant events to a JSONL trace file.
+
+    Attributes:
+        enabled: Whether to record at all (``False`` keeps the shared
+            no-op singleton active — useful for toggling a stored spec
+            without deleting its telemetry block).
+        trace_path: Optional JSONL trace sink (Chrome trace-event lines).
+        snapshot_path: Optional path the final snapshot is written to as
+            pretty JSON (it is embedded in the result either way).
+    """
+
+    TYPE: ClassVar[str] = "telemetry"
+
+    enabled: bool = True
+    trace_path: str | None = None
+    snapshot_path: str | None = None
+
+    def __post_init__(self) -> None:
+        _check(isinstance(self.enabled, bool),
+               f"telemetry enabled must be a bool, got {self.enabled!r}")
+        _check(self.trace_path is None or isinstance(self.trace_path, str),
+               f"telemetry trace_path must be a path string or None, got {self.trace_path!r}")
+        _check(self.snapshot_path is None or isinstance(self.snapshot_path, str),
+               f"telemetry snapshot_path must be a path string or None, got {self.snapshot_path!r}")
+
+
+@dataclass(frozen=True)
 class AllocateSpec(Spec):
     """One allocation run: a strategy spending a budget on a corpus.
 
@@ -205,10 +239,16 @@ class AllocateSpec(Spec):
         stability_workers: Thread-pool size for
             ``stability_executor="thread"`` (``0`` = one per core).
         seed: Run-time randomness seed (generative post synthesis).
+        telemetry: Optional :class:`TelemetrySpec`; when present and
+            enabled, :func:`repro.api.run` records counters/latency
+            histograms for the run and embeds the snapshot in
+            ``RunResult.telemetry``.
     """
 
     TYPE: ClassVar[str] = "allocate"
-    _NESTED: ClassVar[dict[str, type[Spec]]] = {"corpus": CorpusSpec}
+    _NESTED: ClassVar[dict[str, type[Spec]]] = {
+        "corpus": CorpusSpec, "telemetry": TelemetrySpec
+    }
 
     corpus: CorpusSpec = field(default_factory=CorpusSpec)
     strategy: str = "FP"
@@ -222,6 +262,7 @@ class AllocateSpec(Spec):
     stability_executor: str = "serial"
     stability_workers: int = 0
     seed: int = 0
+    telemetry: TelemetrySpec | None = None
 
     def __post_init__(self) -> None:
         _check(isinstance(self.corpus, CorpusSpec),
@@ -247,6 +288,8 @@ class AllocateSpec(Spec):
             "allocate stability_workers", self.stability_workers,
         )
         _check(_is_int(self.seed), f"allocate seed must be an int, got {self.seed!r}")
+        _check(self.telemetry is None or isinstance(self.telemetry, TelemetrySpec),
+               f"allocate telemetry must be a TelemetrySpec or None, got {self.telemetry!r}")
 
 
 @dataclass(frozen=True)
@@ -276,10 +319,15 @@ class CampaignSpec(Spec):
         batch_size: Task offers attempted per epoch.
         max_epochs: Hard stop on campaign length.
         reward_per_task: Units paid per completed task.
+        telemetry: Optional :class:`TelemetrySpec` (see
+            :class:`AllocateSpec`); telemetry only observes, so campaign
+            traces are byte-identical with it on or off.
     """
 
     TYPE: ClassVar[str] = "campaign"
-    _NESTED: ClassVar[dict[str, type[Spec]]] = {"corpus": CorpusSpec}
+    _NESTED: ClassVar[dict[str, type[Spec]]] = {
+        "corpus": CorpusSpec, "telemetry": TelemetrySpec
+    }
 
     corpus: CorpusSpec = field(default_factory=lambda: CorpusSpec(resources=40))
     strategy: str = "FP"
@@ -296,6 +344,7 @@ class CampaignSpec(Spec):
     batch_size: int = 25
     max_epochs: int = 100
     reward_per_task: int = 1
+    telemetry: TelemetrySpec | None = None
 
     def __post_init__(self) -> None:
         _check(isinstance(self.corpus, CorpusSpec),
@@ -329,6 +378,8 @@ class CampaignSpec(Spec):
                f"campaign max_epochs must be a positive int, got {self.max_epochs!r}")
         _check(_is_int(self.reward_per_task) and self.reward_per_task >= 1,
                f"campaign reward_per_task must be a positive int, got {self.reward_per_task!r}")
+        _check(self.telemetry is None or isinstance(self.telemetry, TelemetrySpec),
+               f"campaign telemetry must be a TelemetrySpec or None, got {self.telemetry!r}")
 
 
 @dataclass(frozen=True)
@@ -354,9 +405,12 @@ class IngestSpec(Spec):
         resume: Checkpoint directory to resume from (its bank parameters
             override ``omega``/``tau``/``shards``; the executor knobs
             still apply).
+        telemetry: Optional :class:`TelemetrySpec` (see
+            :class:`AllocateSpec`).
     """
 
     TYPE: ClassVar[str] = "ingest"
+    _NESTED: ClassVar[dict[str, type[Spec]]] = {"telemetry": TelemetrySpec}
 
     dataset: str | None = None
     resources: int = 500
@@ -370,6 +424,7 @@ class IngestSpec(Spec):
     max_events: int | None = None
     checkpoint: str | None = None
     resume: str | None = None
+    telemetry: TelemetrySpec | None = None
 
     def __post_init__(self) -> None:
         _check(self.dataset is None or isinstance(self.dataset, str),
@@ -394,10 +449,13 @@ class IngestSpec(Spec):
                f"ingest checkpoint must be a path string or None, got {self.checkpoint!r}")
         _check(self.resume is None or isinstance(self.resume, str),
                f"ingest resume must be a path string or None, got {self.resume!r}")
+        _check(self.telemetry is None or isinstance(self.telemetry, TelemetrySpec),
+               f"ingest telemetry must be a TelemetrySpec or None, got {self.telemetry!r}")
 
 
 _SPEC_TYPES: dict[str, type[Spec]] = {
-    cls.TYPE: cls for cls in (CorpusSpec, AllocateSpec, CampaignSpec, IngestSpec)
+    cls.TYPE: cls
+    for cls in (CorpusSpec, TelemetrySpec, AllocateSpec, CampaignSpec, IngestSpec)
 }
 
 

@@ -8,7 +8,9 @@ Commands:
 * ``experiment`` — regenerate a figure/table of the paper;
 * ``case-study`` — print the Tables VI/VII top-10 comparisons;
 * ``ingest`` — stream an interleaved event log through the vectorized
-  engine (optionally sharded / checkpointed).
+  engine (optionally sharded / checkpointed);
+* ``stats`` — render a telemetry snapshot, ``RunResult`` JSON, or
+  Chrome-trace JSONL as latency/counter tables.
 
 The run-style commands (``allocate``, ``campaign``, ``ingest``) are pure
 argv→spec translators: each builds the matching :mod:`repro.api` spec
@@ -16,6 +18,11 @@ and prints ``repro.api.run(spec).summary``, so anything the CLI does is
 one serializable spec away from being queued, stored, or replayed from
 Python.  Strategy names (and which strategies accept ``--omega``) come
 from the strategy registry's declared schemas — no signature guessing.
+
+All three run-style commands accept ``--telemetry`` (print a latency /
+counter report after the summary) and ``--telemetry-out PATH`` (stream
+a Chrome-trace JSONL while running); both simply populate the spec's
+:class:`~repro.api.TelemetrySpec`.
 """
 
 from __future__ import annotations
@@ -26,7 +33,14 @@ from pathlib import Path
 
 import repro
 import repro.api as api
-from repro.api import AllocateSpec, CampaignSpec, CorpusSpec, IngestSpec, STRATEGIES
+from repro.api import (
+    AllocateSpec,
+    CampaignSpec,
+    CorpusSpec,
+    IngestSpec,
+    STRATEGIES,
+    TelemetrySpec,
+)
 from repro.allocation.monitor import MONITOR_BACKENDS
 from repro.core.dataset import TaggingDataset
 from repro.experiments import (
@@ -56,6 +70,21 @@ from repro.experiments import (
 from repro.simulate import case_study_scenario, paper_scenario
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record run telemetry and print a latency/counter report",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="stream a Chrome-trace JSONL here (implies --telemetry)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="monitor observed stability during the run",
     )
+    _add_telemetry_args(allocate)
 
     experiment = sub.add_parser("experiment", help="regenerate a paper figure/table")
     experiment.add_argument(
@@ -154,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="ingest shard buffers on a thread pool of this size "
         "(0 = serial; traces are identical either way)",
     )
+    _add_telemetry_args(campaign)
 
     ingest = sub.add_parser(
         "ingest", help="stream tagging events through the vectorized engine"
@@ -183,11 +214,17 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument(
         "--resume", type=Path, default=None, help="resume from a checkpoint directory"
     )
+    _add_telemetry_args(ingest)
 
     health = sub.add_parser("health", help="full corpus health report")
     health.add_argument("dataset", type=Path, nargs="?", help="JSONL corpus (default: generated)")
     health.add_argument("--resources", type=int, default=100)
     health.add_argument("--seed", type=int, default=7)
+
+    stats = sub.add_parser(
+        "stats", help="render telemetry (snapshot JSON, RunResult JSON, or trace JSONL)"
+    )
+    stats.add_argument("path", type=Path, help="telemetry file to render")
 
     return parser
 
@@ -251,6 +288,26 @@ def _command_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry_spec(args: argparse.Namespace) -> TelemetrySpec | None:
+    """The ``--telemetry[-out]`` flags as a spec component (or ``None``)."""
+    if not (args.telemetry or args.telemetry_out is not None):
+        return None
+    return TelemetrySpec(
+        enabled=True,
+        trace_path=None if args.telemetry_out is None else str(args.telemetry_out),
+    )
+
+
+def _print_result(result: api.RunResult, args: argparse.Namespace) -> None:
+    """Print a run's summary, plus its telemetry report when requested."""
+    print(result.summary)
+    if (args.telemetry or args.telemetry_out is not None) and result.telemetry:
+        from repro.obs import render_snapshot
+
+        print()
+        print(render_snapshot(result.telemetry))
+
+
 def _command_allocate(args: argparse.Namespace) -> int:
     spec = AllocateSpec(
         corpus=CorpusSpec(kind="paper", resources=args.resources, seed=args.seed),
@@ -259,8 +316,9 @@ def _command_allocate(args: argparse.Namespace) -> int:
         budget=args.budget,
         batch_size=args.batch_size,
         stability=args.stability,
+        telemetry=_telemetry_spec(args),
     )
-    print(api.run(spec).summary)
+    _print_result(api.run(spec), args)
     return 0
 
 
@@ -333,8 +391,9 @@ def _command_campaign(args: argparse.Namespace) -> int:
         stability_shards=args.shards,
         stability_executor="thread" if args.shard_workers > 0 else "serial",
         stability_workers=args.shard_workers,
+        telemetry=_telemetry_spec(args),
     )
-    print(api.run(spec).summary)
+    _print_result(api.run(spec), args)
     return 0
 
 
@@ -352,8 +411,24 @@ def _command_ingest(args: argparse.Namespace) -> int:
         max_events=args.max_events,
         checkpoint=None if args.checkpoint is None else str(args.checkpoint),
         resume=None if args.resume is None else str(args.resume),
+        telemetry=_telemetry_spec(args),
     )
-    print(api.run(spec).summary)
+    _print_result(api.run(spec), args)
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    from repro.obs import load_stats, render_snapshot
+
+    try:
+        snapshot = load_stats(args.path)
+    except OSError as exc:
+        print(f"stats: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"stats: {args.path} is not telemetry data: {exc}", file=sys.stderr)
+        return 1
+    print(render_snapshot(snapshot))
     return 0
 
 
@@ -388,6 +463,7 @@ def main(argv: list[str] | None = None) -> int:
         "campaign": _command_campaign,
         "ingest": _command_ingest,
         "health": _command_health,
+        "stats": _command_stats,
     }
     return handlers[args.command](args)
 

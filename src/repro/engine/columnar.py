@@ -34,11 +34,13 @@ format stores.  Memory scales as ``rows × vocabulary``; the shard router
 from __future__ import annotations
 
 import math
+import time
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.errors import StabilityError
 from repro.core.stability import DEFAULT_OMEGA
 from repro.engine.events import EventBatch, Interner, TagEvent, encode_events
@@ -162,6 +164,9 @@ class StabilityBank:
         #: crossover sits where the vectorized pass's fixed dispatch
         #: overhead stops dominating; 0 forces the vectorized pass.
         self.small_batch_max = 48
+        # telemetry is captured at construction: one attribute check per
+        # ingest when disabled (the shared null singleton)
+        self._obs = obs.get()
 
     # ------------------------------------------------------------------
     # capacity
@@ -217,6 +222,34 @@ class StabilityBank:
         return self.ingest(batch)
 
     def ingest(self, batch: EventBatch) -> IngestReport:
+        """Apply one batch; return per-event similarities and new stables.
+
+        See :meth:`_ingest` for the kernel semantics; this wrapper only
+        adds telemetry (batch latency into the ``engine.ingest``
+        histogram, event/assignment counters, small-vs-vectorized kernel
+        split) when the active telemetry is enabled.
+        """
+        telemetry = self._obs
+        if not telemetry.enabled:
+            return self._ingest(batch)
+        started = time.perf_counter()
+        report = self._ingest(batch)
+        telemetry.observe(
+            "engine.ingest", (time.perf_counter() - started) * 1000.0
+        )
+        if report.n_events:
+            telemetry.count("engine.events", report.n_events)
+            telemetry.count("engine.tag_assignments", report.n_tag_assignments)
+            telemetry.count(
+                "engine.small_batches"
+                if report.n_events <= self.small_batch_max
+                else "engine.vector_batches"
+            )
+            if report.newly_stable:
+                telemetry.count("engine.newly_stable", len(report.newly_stable))
+        return report
+
+    def _ingest(self, batch: EventBatch) -> IngestReport:
         """Apply one batch; return per-event similarities and new stables.
 
         Events for distinct resources commute; events for the same

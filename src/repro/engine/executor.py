@@ -33,10 +33,12 @@ executor is garbage collected.
 from __future__ import annotations
 
 import os
+import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Sequence
 from typing import Any, TypeVar
 
+from repro import obs
 from repro.core.errors import DataModelError
 
 __all__ = [
@@ -76,10 +78,17 @@ class ShardExecutor(ABC):
     Attributes:
         kind: The backend name (``"serial"`` or ``"thread"``).
         workers: Concurrency the executor was built with (1 for serial).
+        run_calls: Number of :meth:`run` invocations so far.
+        tasks_run: Total tasks executed across all :meth:`run` calls.
+            Together with the sharded bank's ``inline_cutoff_hits`` this
+            makes pool usage observable: a caller short-circuiting below
+            :data:`PARALLEL_MIN_EVENTS` never touches these.
     """
 
     kind: str = ""
     workers: int = 1
+    run_calls: int = 0
+    tasks_run: int = 0
 
     @abstractmethod
     def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
@@ -109,6 +118,8 @@ class SerialExecutor(ShardExecutor):
     workers = 1
 
     def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        self.run_calls += 1
+        self.tasks_run += len(tasks)
         return [task() for task in tasks]
 
 
@@ -126,6 +137,7 @@ class ThreadExecutor(ShardExecutor):
             raise DataModelError(f"workers must be >= 0, got {workers}")
         self.workers = workers if workers > 0 else default_workers()
         self._pool = None  # created lazily, so unused executors cost nothing
+        self._obs = obs.get()
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -137,11 +149,28 @@ class ThreadExecutor(ShardExecutor):
         return self._pool
 
     def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        self.run_calls += 1
+        self.tasks_run += len(tasks)
         if len(tasks) <= 1:
             # nothing to overlap; skip the dispatch round-trip
             return [task() for task in tasks]
         from concurrent.futures import wait
 
+        telemetry = self._obs
+        if telemetry.enabled:
+            # measure submit -> start queue wait per task; the wrapper
+            # preserves results and submission order exactly
+            def timed(task: Callable[[], T], submitted: float) -> Callable[[], T]:
+                def call() -> T:
+                    telemetry.observe(
+                        "engine.executor.queue_wait",
+                        (time.perf_counter() - submitted) * 1000.0,
+                    )
+                    return task()
+
+                return call
+
+            tasks = [timed(task, time.perf_counter()) for task in tasks]
         pool = self._ensure_pool()
         futures = [pool.submit(task) for task in tasks]
         # Let every task settle before raising: a caller that catches a

@@ -29,12 +29,14 @@ count.
 
 from __future__ import annotations
 
+import time
 import zlib
 from collections.abc import Iterable, Sequence
 from functools import partial
 
 import numpy as np
 
+from repro import obs
 from repro.core.errors import DataModelError
 from repro.core.stability import DEFAULT_OMEGA
 from repro.engine.columnar import IngestReport, StabilityBank
@@ -85,6 +87,11 @@ class ShardedStabilityBank:
         #: executor (pool round-trips dwarf tiny kernels; results are
         #: identical either way).  Tests zero it to force the pool.
         self.parallel_min_events = PARALLEL_MIN_EVENTS
+        #: Times an executor was present but the batch fell below the
+        #: inline cutoff — genuine pool short-circuits (always 0 without
+        #: an executor, where inline is the only path).
+        self.inline_cutoff_hits = 0
+        self._obs = obs.get()
         self.shards: list[StabilityBank] = [
             StabilityBank(omega, tau) for _ in range(n_shards)
         ]
@@ -177,6 +184,8 @@ class ShardedStabilityBank:
         encoded: list[tuple[np.ndarray, EventBatch] | None] = [None] * self.n_shards
         if n_events == 0:
             return encoded
+        telemetry = self._obs
+        started = time.perf_counter() if telemetry.enabled else 0.0
         ids = self.shard_ids([event.resource_id for event in events])
         order = np.argsort(ids, kind="stable")
         sizes = np.bincount(ids, minlength=self.n_shards)
@@ -193,6 +202,10 @@ class ShardedStabilityBank:
                 shard_events, tags=shard_bank.tags, resources=shard_bank.resources
             )
             encoded[shard] = (positions, batch)
+        if telemetry.enabled:
+            telemetry.observe(
+                "engine.shard.encode", (time.perf_counter() - started) * 1000.0
+            )
         return encoded
 
     # ------------------------------------------------------------------
@@ -223,13 +236,41 @@ class ShardedStabilityBank:
         executor.  Reports come back in ``shard_indices`` order either
         way, so callers reassemble deterministically.
         """
-        tasks = [
-            partial(self.shards[shard].ingest, batch)
-            for shard, batch in zip(shard_indices, batches)
-        ]
+        telemetry = self._obs
+        if telemetry.enabled:
+            # per-shard flush spans aggregate into one histogram (and the
+            # trace stream, labelled by shard); safe from worker threads
+            def flush_task(shard: int, batch: EventBatch):
+                bank = self.shards[shard]
+
+                def call() -> IngestReport:
+                    with telemetry.span(
+                        "engine.shard.flush", shard=shard, events=batch.n_events
+                    ):
+                        return bank.ingest(batch)
+
+                return call
+
+            tasks = [
+                flush_task(shard, batch)
+                for shard, batch in zip(shard_indices, batches)
+            ]
+        else:
+            tasks = [
+                partial(self.shards[shard].ingest, batch)
+                for shard, batch in zip(shard_indices, batches)
+            ]
         if self.executor is None or total_events < self.parallel_min_events:
             # tiny flushes finish faster than a pool round-trip
+            if self.executor is not None:
+                self.inline_cutoff_hits += 1
+                if telemetry.enabled:
+                    telemetry.count("engine.shard.inline_cutoff_hits")
+            if telemetry.enabled:
+                telemetry.count("engine.shard.inline_flushes")
             return [task() for task in tasks]
+        if telemetry.enabled:
+            telemetry.count("engine.shard.pooled_flushes")
         return self.executor.run(tasks)
 
     def ingest_events(self, events: Iterable[TagEvent]) -> IngestReport:

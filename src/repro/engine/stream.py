@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from itertools import islice
 from pathlib import Path
 
+from repro import obs
 from repro.core.errors import DataModelError
 from repro.core.stability import DEFAULT_OMEGA
 from repro.engine.checkpoint import save_checkpoint
@@ -88,6 +89,7 @@ class IngestEngine:
     checkpoint_dir: str | Path | None = None
     checkpoint_every: int | None = None
     stats: EngineStats = field(default_factory=EngineStats)
+    _obs: object = field(default_factory=obs.get, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -147,7 +149,12 @@ class IngestEngine:
             return []
         started = time.perf_counter()
         report = self.bank.ingest_events(events)
-        self.stats.elapsed += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self.stats.elapsed += elapsed
+        telemetry = self._obs
+        if telemetry.enabled:
+            telemetry.observe("engine.batch", elapsed * 1000.0)
+            telemetry.count("engine.batches")
         self.stats.events += report.n_events
         self.stats.tag_assignments += report.n_tag_assignments
         self.stats.batches += 1

@@ -1,0 +1,40 @@
+"""repro.obs — process-local telemetry: counters, histograms, spans.
+
+The hot-path contract: capture the active telemetry once at component
+construction (``self._obs = obs.get()``) and guard each instrumentation
+point with ``if self._obs.enabled:``.  When telemetry is off (the
+default), the active instance is the shared :data:`NULL` singleton and
+each point costs one attribute check.
+
+See :mod:`repro.obs.telemetry` for the full design notes and
+:mod:`repro.obs.render` for the ``repro-tagging stats`` table renderer.
+"""
+
+from repro.obs.telemetry import (
+    BUCKETS_PER_DECADE,
+    GROWTH,
+    NULL,
+    LatencyHistogram,
+    NullTelemetry,
+    Telemetry,
+    activated,
+    get,
+    set_active,
+    telemetry_from_env,
+)
+from repro.obs.render import load_stats, render_snapshot
+
+__all__ = [
+    "BUCKETS_PER_DECADE",
+    "GROWTH",
+    "NULL",
+    "LatencyHistogram",
+    "NullTelemetry",
+    "Telemetry",
+    "activated",
+    "get",
+    "load_stats",
+    "render_snapshot",
+    "set_active",
+    "telemetry_from_env",
+]

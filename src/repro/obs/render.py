@@ -1,0 +1,155 @@
+"""Render telemetry snapshots / trace files as human-readable tables.
+
+Backs the ``repro-tagging stats`` CLI command.  :func:`load_stats`
+accepts any of the three on-disk shapes telemetry produces and
+normalises them to the snapshot dict:
+
+* a snapshot JSON file (``{"counters": ..., "gauges": ...,
+  "histograms": ...}``) — written by ``TelemetrySpec.snapshot_path`` or
+  :meth:`~repro.obs.telemetry.Telemetry.write_snapshot`;
+* a ``RunResult`` JSON file — the embedded ``telemetry`` payload is
+  extracted;
+* a JSONL Chrome-trace stream — span events (``ph: "X"``) are
+  aggregated back into per-name latency summaries (exact percentiles,
+  since the trace holds every duration) and instant events (``ph:
+  "i"``) into counters.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+__all__ = ["load_stats", "render_snapshot"]
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Exact inverted-CDF percentile of an already-sorted sample."""
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _snapshot_from_trace(lines: list[str]) -> dict[str, Any]:
+    durations: dict[str, list[float]] = {}
+    counters: dict[str, int] = {}
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        event = json.loads(line)
+        phase = event.get("ph")
+        name = str(event.get("name", "?"))
+        if phase == "X":
+            durations.setdefault(name, []).append(float(event.get("dur", 0.0)) / 1000.0)
+        elif phase == "i":
+            counters[name] = counters.get(name, 0) + 1
+    histograms: dict[str, dict[str, float]] = {}
+    for name, values in sorted(durations.items()):
+        values.sort()
+        histograms[name] = {
+            "count": len(values),
+            "mean": sum(values) / len(values),
+            "p50": _percentile(values, 0.50),
+            "p95": _percentile(values, 0.95),
+            "p99": _percentile(values, 0.99),
+            "min": values[0],
+            "max": values[-1],
+        }
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": {},
+        "histograms": histograms,
+    }
+
+
+def load_stats(path: str | Path) -> dict[str, Any]:
+    """Load ``path`` (snapshot / RunResult / JSONL trace) as a snapshot dict."""
+    text = Path(path).read_text(encoding="utf-8")
+    stripped = text.strip()
+    if not stripped:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+    try:
+        payload = json.loads(stripped)
+    except json.JSONDecodeError:
+        # not a single JSON document: treat as a JSONL trace stream
+        return _snapshot_from_trace(stripped.splitlines())
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a JSON object or JSONL trace")
+    if "ph" in payload and "name" in payload:  # a one-event trace stream
+        return _snapshot_from_trace(stripped.splitlines())
+    if "telemetry" in payload and "kind" in payload:  # a RunResult dump
+        payload = payload["telemetry"] or {}
+    return {
+        "counters": dict(payload.get("counters", {})),
+        "gauges": dict(payload.get("gauges", {})),
+        "histograms": dict(payload.get("histograms", {})),
+    }
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value != 0 and (abs(value) >= 1e6 or abs(value) < 1e-3):
+            return f"{value:.3g}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    return f"{value:,}"
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: list[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts += [cell.rjust(widths[i + 1]) for i, cell in enumerate(cells[1:])]
+        return "  " + "  ".join(parts).rstrip()
+    lines = [fmt(headers), "  " + "  ".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in rows)
+    return lines
+
+
+def render_snapshot(snapshot: dict[str, Any]) -> str:
+    """A multi-section plain-text table for one telemetry snapshot."""
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    histograms = snapshot.get("histograms") or {}
+    if not (counters or gauges or histograms):
+        return "telemetry: no data recorded"
+
+    sections: list[str] = []
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            h = histograms[name]
+            rows.append(
+                [
+                    name,
+                    _format_value(int(h.get("count", 0))),
+                    _format_value(h.get("p50", math.nan)),
+                    _format_value(h.get("p95", math.nan)),
+                    _format_value(h.get("p99", math.nan)),
+                    _format_value(h.get("mean", math.nan)),
+                    _format_value(h.get("max", math.nan)),
+                ]
+            )
+        sections.append("latency (ms)")
+        sections.extend(
+            _table(["histogram", "count", "p50", "p95", "p99", "mean", "max"], rows)
+        )
+    if counters:
+        rows = [[name, _format_value(counters[name])] for name in sorted(counters)]
+        if sections:
+            sections.append("")
+        sections.append("counters")
+        sections.extend(_table(["counter", "value"], rows))
+    if gauges:
+        rows = [[name, _format_value(gauges[name])] for name in sorted(gauges)]
+        if sections:
+            sections.append("")
+        sections.append("gauges")
+        sections.extend(_table(["gauge", "value"], rows))
+    return "\n".join(sections)

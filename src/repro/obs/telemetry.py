@@ -1,0 +1,449 @@
+"""The telemetry registry: counters, gauges, latency histograms, spans.
+
+Design constraints, in order:
+
+1. **Zero overhead when off.**  Every instrumented hot path holds a
+   reference to the *active* telemetry (captured at construction via
+   :func:`get`) and pays exactly one attribute check —
+   ``if telemetry.enabled:`` — per instrumentation point when telemetry
+   is disabled.  The disabled implementation is the shared
+   :data:`NULL` singleton; nothing is allocated, locked, or formatted.
+2. **No samples stored.**  Latency distributions go into streaming
+   :class:`LatencyHistogram`\\ s with a fixed logarithmic bucket layout,
+   so p50/p95/p99 are answerable at any moment from ``O(buckets)``
+   memory regardless of how many observations were recorded.
+3. **Deterministic workloads stay deterministic.**  Telemetry only ever
+   observes — it never feeds back into allocation, routing, or worker
+   behaviour, so traces are byte-identical with telemetry on or off
+   (the pinned campaign-trace tests enforce this).
+
+Enable telemetry one of three ways:
+
+* ``REPRO_TELEMETRY=1`` in the environment (optionally
+  ``REPRO_TELEMETRY_OUT=trace.jsonl`` for the trace stream) — picked up
+  at import time;
+* a :class:`~repro.api.specs.TelemetrySpec` on a runnable spec —
+  :func:`repro.api.run` activates it for the duration of the run and
+  embeds the snapshot in ``RunResult.telemetry``;
+* programmatically: ``with obs.activated(Telemetry()): ...``.
+
+Spans aggregate into the same histograms as direct :meth:`Telemetry.\
+observe` calls, and — when the telemetry was built with a
+``trace_path`` — additionally emit one JSON line per span in the Chrome
+trace-event format (``ph: "X"``, microsecond ``ts``/``dur``), so a
+recorded run can be opened in any trace viewer for flamegraph-style
+analysis.  ``repro-tagging stats`` renders either a snapshot or a trace
+file as a table.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+import time
+from bisect import bisect_left
+from typing import Any, TextIO
+
+__all__ = [
+    "BUCKETS_PER_DECADE",
+    "GROWTH",
+    "LatencyHistogram",
+    "NullTelemetry",
+    "Telemetry",
+    "NULL",
+    "activated",
+    "get",
+    "set_active",
+    "telemetry_from_env",
+]
+
+# ----------------------------------------------------------------------
+# histogram layout
+# ----------------------------------------------------------------------
+
+BUCKETS_PER_DECADE = 16
+"""Log-bucket resolution: quantile estimates carry at most one bucket's
+relative error, i.e. a factor of ``10 ** (1/16) ~= 1.155``."""
+
+GROWTH = 10.0 ** (1.0 / BUCKETS_PER_DECADE)
+"""Upper/lower bound ratio of one bucket."""
+
+_LOW = 1e-3  # 1 microsecond, in milliseconds
+_DECADES = 8  # up to 1e5 ms (~100 s) before the overflow bucket
+_N_BUCKETS = BUCKETS_PER_DECADE * _DECADES
+
+_BOUNDS: list[float] = [
+    _LOW * 10.0 ** (i / BUCKETS_PER_DECADE) for i in range(_N_BUCKETS + 1)
+]
+"""Shared bucket boundaries (ms).  Bucket ``k`` (1-based) covers
+``(_BOUNDS[k-1], _BOUNDS[k]]``; bucket 0 is the underflow
+``(-inf, _BOUNDS[0]]`` and bucket ``len(_BOUNDS)`` the overflow."""
+
+
+class LatencyHistogram:
+    """A streaming histogram over the fixed logarithmic bucket layout.
+
+    Values are whatever unit the caller feeds (milliseconds for spans);
+    only positive magnitudes land in the regular buckets.  Quantiles
+    come from the cumulative bucket counts and are reported as the
+    geometric midpoint of the owning bucket, so the estimate is within
+    one bucket's relative error (:data:`GROWTH`) of the exact empirical
+    quantile — without storing a single sample.
+    """
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (_N_BUCKETS + 2)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        self.counts[bisect_left(_BOUNDS, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: LatencyHistogram) -> None:
+        """Fold ``other`` in; equivalent to recording the union of samples."""
+        counts = self.counts
+        for i, c in enumerate(other.counts):
+            counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]).
+
+        Matches the rank convention of ``numpy.percentile(...,
+        method="inverted_cdf")``: the returned estimate lies in the
+        bucket holding the sample of rank ``ceil(q * count)``, reported
+        as that bucket's geometric midpoint (clamped to the observed
+        min/max for the open-ended under/overflow buckets).
+        """
+        if self.count == 0:
+            return math.nan
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for k, c in enumerate(self.counts):
+            cumulative += c
+            if cumulative >= rank:
+                if k == 0:
+                    return self.min
+                if k == _N_BUCKETS + 1:
+                    return self.max
+                return math.sqrt(_BOUNDS[k - 1] * _BOUNDS[k])
+        return self.max  # pragma: no cover - unreachable (counts sum = count)
+
+    @property
+    def mean(self) -> float:
+        """Exact arithmetic mean of the observations (``nan`` when empty)."""
+        return self.total / self.count if self.count else math.nan
+
+    def to_dict(self) -> dict[str, float]:
+        """Summary stats for snapshots (p50/p95/p99 + exact count/mean)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "min": self.min if self.count else math.nan,
+            "max": self.max if self.count else math.nan,
+        }
+
+
+# ----------------------------------------------------------------------
+# spans
+# ----------------------------------------------------------------------
+
+
+class _Span:
+    """A lightweight timing context; aggregates into a histogram on exit."""
+
+    __slots__ = ("_telemetry", "name", "labels", "_started")
+
+    def __init__(self, telemetry: Telemetry, name: str, labels: dict[str, Any]) -> None:
+        self._telemetry = telemetry
+        self.name = name
+        self.labels = labels
+
+    def __enter__(self) -> _Span:
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._telemetry._end_span(
+            self.name, self.labels, self._started, time.perf_counter()
+        )
+
+
+class _NullSpan:
+    """The shared do-nothing span (telemetry off)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+# ----------------------------------------------------------------------
+# telemetry registries
+# ----------------------------------------------------------------------
+
+
+class Telemetry:
+    """A process-local registry of counters, gauges and histograms.
+
+    Thread-safe: the shard executor's workers record spans concurrently
+    with the caller thread, so all mutation happens under one lock (the
+    lock only exists on *enabled* telemetry — the disabled path never
+    reaches it).
+
+    Args:
+        trace_path: Optional JSONL file receiving one Chrome
+            trace-event line per span (``ph: "X"``) and instant event
+            (``ph: "i"``).  ``None`` keeps spans aggregate-only.
+    """
+
+    enabled = True
+
+    def __init__(self, *, trace_path: str | os.PathLike | None = None) -> None:
+        self._lock = threading.Lock()
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, LatencyHistogram] = {}
+        self._trace_path = None if trace_path is None else str(trace_path)
+        self._trace_file: TextIO | None = None
+        if self._trace_path is not None:
+            self._trace_file = open(self._trace_path, "w", encoding="utf-8")
+        self._epoch = time.perf_counter()
+
+    # -- recording -----------------------------------------------------
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Increment counter ``name`` by ``value``."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest ``value``."""
+        with self._lock:
+            self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = LatencyHistogram()
+            histogram.record(value)
+
+    def span(self, name: str, **labels: Any) -> _Span:
+        """A timing context: duration lands in histogram ``name`` (ms).
+
+        With a trace sink configured, every span additionally emits one
+        complete trace event carrying ``labels`` as its ``args``.
+        """
+        return _Span(self, name, labels)
+
+    def event(self, name: str, **args: Any) -> None:
+        """Emit an instant trace event (no-op without a trace sink)."""
+        if self._trace_file is not None:
+            self._write_trace(
+                {
+                    "name": name,
+                    "ph": "i",
+                    "ts": round((time.perf_counter() - self._epoch) * 1e6, 1),
+                    "pid": 0,
+                    "tid": threading.get_ident(),
+                    "s": "p",
+                    "args": args,
+                }
+            )
+
+    def _end_span(
+        self, name: str, labels: dict[str, Any], started: float, ended: float
+    ) -> None:
+        self.observe(name, (ended - started) * 1000.0)
+        if self._trace_file is not None:
+            self._write_trace(
+                {
+                    "name": name,
+                    "ph": "X",
+                    "ts": round((started - self._epoch) * 1e6, 1),
+                    "dur": round((ended - started) * 1e6, 1),
+                    "pid": 0,
+                    "tid": threading.get_ident(),
+                    "args": labels,
+                }
+            )
+
+    def _write_trace(self, event: dict[str, Any]) -> None:
+        line = json.dumps(event, sort_keys=True, default=str)
+        with self._lock:
+            if self._trace_file is not None:
+                self._trace_file.write(line + "\n")
+
+    # -- reading / lifecycle -------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """All registries as one JSON-serializable dict.
+
+        Shape: ``{"counters": {...}, "gauges": {...}, "histograms":
+        {name: {count, mean, p50, p95, p99, min, max}}}`` — histogram
+        values are milliseconds for span-fed entries.  ``nan`` summary
+        fields are dropped so the payload is strict-JSON safe.
+        """
+        with self._lock:
+            histograms = {
+                name: {
+                    key: value
+                    for key, value in histogram.to_dict().items()
+                    if not (isinstance(value, float) and math.isnan(value))
+                }
+                for name, histogram in sorted(self.histograms.items())
+            }
+            return {
+                "counters": dict(sorted(self.counters.items())),
+                "gauges": dict(sorted(self.gauges.items())),
+                "histograms": histograms,
+            }
+
+    def write_snapshot(self, path: str | os.PathLike) -> None:
+        """Write :meth:`snapshot` as pretty JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def close(self) -> None:
+        """Flush and close the trace sink (idempotent)."""
+        with self._lock:
+            if self._trace_file is not None:
+                self._trace_file.close()
+                self._trace_file = None
+
+    def __enter__(self) -> Telemetry:
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Telemetry(counters={len(self.counters)}, "
+            f"histograms={len(self.histograms)}, trace={self._trace_path!r})"
+        )
+
+
+class NullTelemetry:
+    """The shared disabled telemetry: every operation is a no-op.
+
+    Instrumented code checks ``telemetry.enabled`` before doing any
+    timing work, so with this active the per-point cost is one
+    attribute load and branch.
+    """
+
+    enabled = False
+    __slots__ = ()
+
+    def count(self, name: str, value: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def span(self, name: str, **labels: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **args: Any) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}
+
+    def close(self) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NullTelemetry()"
+
+
+NULL = NullTelemetry()
+"""The process-wide disabled singleton (the default active telemetry)."""
+
+
+# ----------------------------------------------------------------------
+# the active instance
+# ----------------------------------------------------------------------
+
+
+def telemetry_from_env() -> Telemetry | None:
+    """Build a :class:`Telemetry` from ``REPRO_TELEMETRY`` (else ``None``).
+
+    ``REPRO_TELEMETRY`` set to anything but ``""``/``"0"`` enables it;
+    ``REPRO_TELEMETRY_OUT`` optionally names the JSONL trace sink.
+    """
+    if os.environ.get("REPRO_TELEMETRY", "") in ("", "0"):
+        return None
+    return Telemetry(trace_path=os.environ.get("REPRO_TELEMETRY_OUT") or None)
+
+
+_active: Telemetry | NullTelemetry = telemetry_from_env() or NULL
+
+
+def get() -> Telemetry | NullTelemetry:
+    """The active telemetry.  Instrumented components capture this at
+    construction time, so activate telemetry *before* building the
+    objects you want instrumented."""
+    return _active
+
+
+def set_active(telemetry: Telemetry | NullTelemetry) -> Telemetry | NullTelemetry:
+    """Swap the active telemetry; returns the previous one."""
+    global _active
+    previous = _active
+    _active = telemetry
+    return previous
+
+
+class activated:
+    """Context manager: activate ``telemetry`` for the enclosed block.
+
+    Restores the previously active instance on exit (it does **not**
+    close the activated telemetry — callers that want the snapshot
+    afterwards read it, then :meth:`Telemetry.close` it themselves).
+    """
+
+    def __init__(self, telemetry: Telemetry | NullTelemetry) -> None:
+        self._telemetry = telemetry
+        self._previous: Telemetry | NullTelemetry | None = None
+
+    def __enter__(self) -> Telemetry | NullTelemetry:
+        self._previous = set_active(self._telemetry)
+        return self._telemetry
+
+    def __exit__(self, *exc_info: Any) -> None:
+        assert self._previous is not None
+        set_active(self._previous)

@@ -39,11 +39,13 @@ backends.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from collections.abc import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.errors import AllocationError
 from repro.core.posts import Post
 from repro.core.stability import DEFAULT_OMEGA
@@ -184,6 +186,7 @@ class IncentiveCampaign:
         self.reward_per_task = reward_per_task
         self.stability_backend = stability_backend
 
+        self._obs = obs.get()
         self.board = JobBoard()
         self.ledger = RewardLedger(budget)
         self._counts = np.array([len(p) for p in self.initial_posts], dtype=np.int64)
@@ -291,10 +294,21 @@ class IncentiveCampaign:
         """Retire every resource the monitor reports as newly stable."""
         if self.stop_tau is None:
             return
+        telemetry = self._obs
         for index in self._monitor.drain_newly_stable():
             if index not in self._stopped:
                 self._stopped.add(index)
                 self.strategy.mark_exhausted(index)
+                if telemetry.enabled:
+                    # the stable-point arrival curve: one instant trace
+                    # event per retirement plus a running gauge
+                    telemetry.count("campaign.retired")
+                    telemetry.gauge("campaign.stable_total", len(self._stopped))
+                    telemetry.event(
+                        "campaign.stable",
+                        resource=index,
+                        stable_total=len(self._stopped),
+                    )
 
     # ------------------------------------------------------------------
 
@@ -312,10 +326,12 @@ class IncentiveCampaign:
 
         monitor = self._monitor
         per_post_stopping = not monitor.batched
+        telemetry = self._obs
         reports: list[EpochReport] = []
         for epoch in range(max_epochs):
             if self.ledger.remaining < self.reward_per_task:
                 break
+            epoch_started = time.perf_counter() if telemetry.enabled else 0.0
             published = completed = unfilled = spent = 0
             for _ in range(self.batch_size):
                 if self.ledger.remaining < self.reward_per_task:
@@ -349,6 +365,17 @@ class IncentiveCampaign:
             if not per_post_stopping:
                 # engine fast path: one vectorized stability update per epoch
                 self._drain_and_retire()
+            if telemetry.enabled:
+                telemetry.observe(
+                    "campaign.epoch", (time.perf_counter() - epoch_started) * 1000.0
+                )
+                telemetry.count("campaign.epochs")
+                telemetry.count("campaign.published", published)
+                telemetry.count("campaign.completed", completed)
+                if unfilled:
+                    telemetry.count("campaign.unfilled", unfilled)
+                telemetry.count("campaign.spent", spent)
+                telemetry.gauge("campaign.budget_remaining", self.ledger.remaining)
             reports.append(
                 EpochReport(
                     epoch=epoch,

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.errors import BudgetError
 
 __all__ = ["Payout", "RewardLedger"]
@@ -44,6 +45,7 @@ class RewardLedger:
         self._spent = 0
         self._payouts: list[Payout] = []
         self._balances: dict[str, int] = {}
+        self._obs = obs.get()
 
     @property
     def budget(self) -> int:
@@ -81,6 +83,10 @@ class RewardLedger:
         self._payouts.append(payout)
         self._spent += amount
         self._balances[worker_id] = self._balances.get(worker_id, 0) + amount
+        telemetry = self._obs
+        if telemetry.enabled:
+            telemetry.count("ledger.payouts")
+            telemetry.count("ledger.units_paid", amount)
         return payout
 
     def balance_of(self, worker_id: str) -> int:

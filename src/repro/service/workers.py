@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.posts import Post
 from repro.simulate.ontology import TopicHierarchy
 from repro.simulate.resource_models import ResourceModel
@@ -83,6 +84,7 @@ class WorkerPool:
             raise ValueError("worker pool must not be empty")
         self.workers = list(workers)
         self.rng = rng
+        self._obs = obs.get()
 
     @classmethod
     def uniform(
@@ -133,14 +135,26 @@ class WorkerPool:
             The completed post, or ``None`` if every offered worker
             declined (the task stays open).
         """
+        telemetry = self._obs
+        declined = 0
         for _ in range(max_offers):
             worker = self.workers[int(self.rng.integers(0, len(self.workers)))]
             if not worker.accepts(model, self.rng):
+                declined += 1
                 continue
             task.claim(worker.worker_id)
             post = worker.complete(
                 model, post_index, timestamp, self.rng, observed_counts
             )
             task.complete(post)
+            if telemetry.enabled:
+                telemetry.count("workers.offers", declined + 1)
+                telemetry.count("workers.accepted")
+                if declined:
+                    telemetry.count("workers.declined", declined)
             return post
+        if telemetry.enabled:
+            telemetry.count("workers.offers", declined)
+            telemetry.count("workers.declined", declined)
+            telemetry.count("workers.abandoned")
         return None

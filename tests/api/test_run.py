@@ -11,6 +11,7 @@ from repro.api import (
     CorpusSpec,
     IngestSpec,
     RunResult,
+    TelemetrySpec,
     materialize,
     run,
 )
@@ -194,3 +195,77 @@ class TestRunResult:
     def test_unknown_result_key_rejected(self):
         with pytest.raises(SpecError):
             RunResult.from_dict({"kind": "x", "spec": {}, "shenanigans": 1})
+
+    def test_non_serializable_telemetry_rejected(self):
+        with pytest.raises(SpecError, match="telemetry"):
+            RunResult(kind="x", spec={}, telemetry={"bad": object()})
+
+
+class TestRunTelemetry:
+    def test_result_telemetry_empty_by_default(self):
+        result = run(IngestSpec(resources=8, max_events=100))
+        assert result.telemetry == {}
+
+    def test_spec_telemetry_embeds_snapshot(self):
+        result = run(
+            IngestSpec(resources=8, max_events=200, telemetry=TelemetrySpec())
+        )
+        assert result.telemetry["counters"]["engine.events"] == 200
+        assert "api.run" in result.telemetry["histograms"]
+        json.loads(result.to_json())  # snapshot survives serialization
+        rebuilt = RunResult.from_json(result.to_json())
+        assert rebuilt.telemetry == result.telemetry
+
+    def test_disabled_telemetry_spec_records_nothing(self):
+        result = run(
+            IngestSpec(
+                resources=8, max_events=100, telemetry=TelemetrySpec(enabled=False)
+            )
+        )
+        assert result.telemetry == {}
+
+    def test_trace_and_snapshot_sinks(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        snapshot = tmp_path / "snapshot.json"
+        result = run(
+            IngestSpec(
+                resources=8,
+                max_events=200,
+                telemetry=TelemetrySpec(
+                    trace_path=str(trace), snapshot_path=str(snapshot)
+                ),
+            )
+        )
+        lines = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert any(event["name"] == "api.run" for event in lines)
+        assert json.loads(snapshot.read_text()) == result.telemetry
+
+    def test_telemetry_does_not_change_results(self):
+        spec = AllocateSpec(corpus=SMALL, strategy="RR", budget=30)
+        plain = run(spec)
+        observed = run(spec.replace(telemetry=TelemetrySpec()))
+        assert observed.details["order"] == plain.details["order"]
+        assert observed.metrics == plain.metrics
+        assert observed.telemetry["counters"]["alloc.choose_calls"] > 0
+
+    def test_ambient_telemetry_is_embedded(self):
+        import repro.obs as obs
+
+        telemetry = obs.Telemetry()
+        try:
+            with obs.activated(telemetry):
+                result = run(IngestSpec(resources=8, max_events=100))
+            assert result.telemetry["counters"]["engine.events"] == 100
+        finally:
+            telemetry.close()
+
+    def test_campaign_telemetry_counters(self):
+        result = run(
+            CampaignSpec(
+                corpus=SMALL, budget=60, workers=5, telemetry=TelemetrySpec()
+            )
+        )
+        counters = result.telemetry["counters"]
+        assert counters["campaign.epochs"] == result.metrics["epochs"]
+        assert counters["campaign.completed"] == result.metrics["completed"]
+        assert counters["ledger.units_paid"] == result.metrics["spent"]

@@ -8,6 +8,7 @@ from repro.api import (
     CampaignSpec,
     CorpusSpec,
     IngestSpec,
+    TelemetrySpec,
     spec_from_dict,
     spec_from_json,
 )
@@ -42,6 +43,12 @@ ALL_SPECS = [
     CampaignSpec(stability_backend="sharded"),
     IngestSpec(),
     IngestSpec(dataset="in.jsonl", shards=4, checkpoint="/tmp/ck", max_events=10_000),
+    TelemetrySpec(),
+    TelemetrySpec(enabled=False),
+    TelemetrySpec(trace_path="trace.jsonl", snapshot_path="snapshot.json"),
+    AllocateSpec(telemetry=TelemetrySpec(trace_path="t.jsonl")),
+    CampaignSpec(telemetry=TelemetrySpec(enabled=False)),
+    IngestSpec(telemetry=TelemetrySpec(snapshot_path="s.json")),
 ]
 
 
@@ -64,6 +71,12 @@ class TestRoundTrip:
         rebuilt = AllocateSpec.from_dict(payload)
         assert isinstance(rebuilt.corpus, CorpusSpec)
         assert rebuilt.corpus.kind == "tiny"
+
+    def test_nested_telemetry_rebuilds_as_spec(self):
+        payload = IngestSpec(telemetry=TelemetrySpec(trace_path="t.jsonl")).to_dict()
+        rebuilt = IngestSpec.from_dict(payload)
+        assert isinstance(rebuilt.telemetry, TelemetrySpec)
+        assert rebuilt.telemetry.trace_path == "t.jsonl"
 
     def test_replace_revalidates(self):
         spec = AllocateSpec()
@@ -172,6 +185,24 @@ class TestRejection:
     def test_bad_ingest_values_rejected(self, kwargs):
         with pytest.raises(SpecError):
             IngestSpec(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"enabled": "yes"},
+            {"enabled": 1},
+            {"trace_path": 42},
+            {"snapshot_path": False},
+        ],
+    )
+    def test_bad_telemetry_values_rejected(self, kwargs):
+        with pytest.raises(SpecError):
+            TelemetrySpec(**kwargs)
+
+    @pytest.mark.parametrize("spec_cls", [AllocateSpec, CampaignSpec, IngestSpec])
+    def test_telemetry_must_be_a_spec(self, spec_cls):
+        with pytest.raises(SpecError):
+            spec_cls(telemetry={"enabled": True})
 
     def test_from_dict_requires_a_dict(self):
         with pytest.raises(SpecError):

@@ -98,3 +98,69 @@ class TestThreadPooling:
             barrier = threading.Barrier(2, timeout=5)
             results = executor.run([barrier.wait, barrier.wait])
             assert sorted(results) == [0, 1]
+
+
+class TestPoolStats:
+    """The executor's run/task counters make pool usage observable."""
+
+    @pytest.mark.parametrize("executor_kind,workers", [("serial", 0), ("thread", 2)])
+    def test_counters_accumulate(self, executor_kind, workers):
+        with make_executor(executor_kind, workers) as executor:
+            assert executor.run_calls == 0
+            assert executor.tasks_run == 0
+            executor.run([lambda: 1, lambda: 2, lambda: 3])
+            executor.run([lambda: 4])
+            assert executor.run_calls == 2
+            assert executor.tasks_run == 4
+
+    def test_counters_are_per_instance(self):
+        with make_executor("serial") as a, make_executor("serial") as b:
+            a.run([lambda: 1])
+            assert a.run_calls == 1
+            assert b.run_calls == 0
+
+    def test_small_batches_short_circuit_the_pool(self):
+        """Batches under PARALLEL_MIN_EVENTS never touch the executor."""
+        from repro.engine import ShardedStabilityBank
+        from repro.engine.events import TagEvent
+        from repro.engine.executor import PARALLEL_MIN_EVENTS
+
+        events = [
+            TagEvent(resource_id=f"r{i}", tags=("a", "b"), timestamp=float(i))
+            for i in range(32)
+        ]
+        assert len(events) < PARALLEL_MIN_EVENTS
+        with ThreadExecutor(2) as executor:
+            bank = ShardedStabilityBank(4, 3, 0.9, executor=executor)
+            bank.ingest_events(events)
+            assert executor.run_calls == 0, "tiny batch reached the pool"
+            assert executor.tasks_run == 0
+            assert bank.inline_cutoff_hits == 1
+            bank.ingest_events(events)
+            assert bank.inline_cutoff_hits == 2
+
+    def test_pool_engages_above_the_cutoff(self):
+        from repro.engine import ShardedStabilityBank
+        from repro.engine.events import TagEvent
+
+        events = [
+            TagEvent(resource_id=f"r{i % 40}", tags=("a", "b"), timestamp=float(i))
+            for i in range(64)
+        ]
+        with ThreadExecutor(2) as executor:
+            bank = ShardedStabilityBank(4, 3, 0.9, executor=executor)
+            bank.parallel_min_events = 0  # force pooled dispatch
+            bank.ingest_events(events)
+            assert executor.run_calls == 1
+            assert executor.tasks_run == 4  # one kernel per touched shard
+            assert bank.inline_cutoff_hits == 0
+
+    def test_inline_cutoff_not_counted_without_executor(self):
+        from repro.engine import ShardedStabilityBank
+        from repro.engine.events import TagEvent
+
+        bank = ShardedStabilityBank(4, 3, 0.9)  # no executor: inline only
+        bank.ingest_events(
+            [TagEvent(resource_id="r1", tags=("a",), timestamp=0.0)]
+        )
+        assert bank.inline_cutoff_hits == 0

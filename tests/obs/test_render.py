@@ -1,0 +1,95 @@
+"""Tests for telemetry rendering and the three load_stats file shapes."""
+
+import json
+
+import pytest
+
+from repro.obs import Telemetry, load_stats, render_snapshot
+
+
+@pytest.fixture()
+def snapshot():
+    with Telemetry() as telemetry:
+        telemetry.count("engine.events", 500)
+        telemetry.gauge("campaign.budget_remaining", 12.0)
+        for value in (0.5, 1.0, 2.0, 40.0):
+            telemetry.observe("engine.batch", value)
+        return telemetry.snapshot()
+
+
+class TestRenderSnapshot:
+    def test_empty(self):
+        assert render_snapshot({}) == "telemetry: no data recorded"
+
+    def test_sections_present(self, snapshot):
+        rendered = render_snapshot(snapshot)
+        assert "latency (ms)" in rendered
+        assert "counters" in rendered
+        assert "gauges" in rendered
+        assert "engine.batch" in rendered
+        assert "engine.events" in rendered
+        assert "500" in rendered
+
+    def test_histogram_columns(self, snapshot):
+        header = next(
+            line for line in render_snapshot(snapshot).splitlines() if "p50" in line
+        )
+        for column in ("histogram", "count", "p50", "p95", "p99", "mean", "max"):
+            assert column in header
+
+
+class TestLoadStats:
+    def test_snapshot_file(self, tmp_path, snapshot):
+        path = tmp_path / "snapshot.json"
+        path.write_text(json.dumps(snapshot))
+        loaded = load_stats(path)
+        assert loaded["counters"] == snapshot["counters"]
+        assert loaded["histograms"].keys() == snapshot["histograms"].keys()
+
+    def test_run_result_file(self, tmp_path, snapshot):
+        from repro.api import RunResult
+
+        result = RunResult(kind="ingest", spec={"type": "ingest"}, telemetry=snapshot)
+        path = tmp_path / "result.json"
+        path.write_text(result.to_json())
+        loaded = load_stats(path)
+        assert loaded["counters"] == snapshot["counters"]
+
+    def test_trace_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry = Telemetry(trace_path=path)
+        for _ in range(3):
+            with telemetry.span("op"):
+                pass
+        telemetry.event("crossed")
+        telemetry.close()
+        loaded = load_stats(path)
+        assert loaded["histograms"]["op"]["count"] == 3
+        assert loaded["counters"] == {"crossed": 1}
+        # trace percentiles are exact (every duration is in the file)
+        assert loaded["histograms"]["op"]["p50"] <= loaded["histograms"]["op"]["max"]
+
+    def test_single_line_trace_is_not_mistaken_for_snapshot(self, tmp_path):
+        path = tmp_path / "one.jsonl"
+        telemetry = Telemetry(trace_path=path)
+        with telemetry.span("solo"):
+            pass
+        telemetry.close()
+        loaded = load_stats(path)
+        assert loaded["histograms"]["solo"]["count"] == 1
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        assert load_stats(path) == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_non_object_json_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            load_stats(path)
+
+    def test_renders_after_load(self, tmp_path, snapshot):
+        path = tmp_path / "snapshot.json"
+        path.write_text(json.dumps(snapshot))
+        assert "engine.batch" in render_snapshot(load_stats(path))

@@ -1,0 +1,205 @@
+"""Tests for the telemetry registry: histograms, spans, activation."""
+
+import json
+import math
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import GROWTH, LatencyHistogram, NullTelemetry, Telemetry
+from repro.obs.telemetry import _BOUNDS, _N_BUCKETS
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert math.isnan(histogram.quantile(0.5))
+        assert math.isnan(histogram.mean)
+
+    def test_single_value_all_quantiles(self):
+        histogram = LatencyHistogram()
+        histogram.record(3.0)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            estimate = histogram.quantile(q)
+            assert 3.0 / GROWTH <= estimate <= 3.0 * GROWTH
+
+    def test_quantiles_within_one_bucket(self):
+        histogram = LatencyHistogram()
+        values = [0.1 * (i + 1) for i in range(100)]
+        for value in values:
+            histogram.record(value)
+        values.sort()
+        for q in (0.50, 0.95, 0.99):
+            exact = values[max(1, math.ceil(q * len(values))) - 1]
+            estimate = histogram.quantile(q)
+            assert max(estimate / exact, exact / estimate) <= GROWTH * (1 + 1e-9)
+
+    def test_mean_min_max_are_exact(self):
+        histogram = LatencyHistogram()
+        for value in (1.0, 2.0, 9.0):
+            histogram.record(value)
+        assert histogram.mean == pytest.approx(4.0)
+        assert histogram.min == 1.0
+        assert histogram.max == 9.0
+
+    def test_underflow_and_overflow_clamp_to_observed(self):
+        histogram = LatencyHistogram()
+        tiny = _BOUNDS[0] / 10.0
+        huge = _BOUNDS[_N_BUCKETS] * 10.0
+        histogram.record(tiny)
+        histogram.record(huge)
+        assert histogram.quantile(0.0) == tiny
+        assert histogram.quantile(1.0) == huge
+
+    def test_merge_equals_union(self):
+        left, right, union = (
+            LatencyHistogram(),
+            LatencyHistogram(),
+            LatencyHistogram(),
+        )
+        a = [0.5, 1.5, 40.0]
+        b = [0.002, 7.0, 7.0, 900.0]
+        for value in a:
+            left.record(value)
+            union.record(value)
+        for value in b:
+            right.record(value)
+            union.record(value)
+        left.merge(right)
+        assert left.counts == union.counts
+        assert left.count == union.count
+        assert left.total == pytest.approx(union.total)
+        assert left.min == union.min and left.max == union.max
+
+    def test_to_dict_shape(self):
+        histogram = LatencyHistogram()
+        histogram.record(2.0)
+        payload = histogram.to_dict()
+        assert set(payload) == {"count", "mean", "p50", "p95", "p99", "min", "max"}
+
+
+class TestTelemetry:
+    def test_counters_and_gauges(self):
+        with Telemetry() as telemetry:
+            telemetry.count("a")
+            telemetry.count("a", 4)
+            telemetry.gauge("g", 2.5)
+            snapshot = telemetry.snapshot()
+        assert snapshot["counters"] == {"a": 5}
+        assert snapshot["gauges"] == {"g": 2.5}
+
+    def test_span_feeds_histogram(self):
+        with Telemetry() as telemetry:
+            with telemetry.span("op", detail="x"):
+                pass
+            snapshot = telemetry.snapshot()
+        assert snapshot["histograms"]["op"]["count"] == 1
+
+    def test_snapshot_is_json_safe(self):
+        with Telemetry() as telemetry:
+            telemetry.observe("h", 1.0)
+            telemetry.count("c")
+            json.dumps(telemetry.snapshot())  # must not raise
+
+    def test_trace_stream_spans_and_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry = Telemetry(trace_path=path)
+        with telemetry.span("work", shard=3):
+            pass
+        telemetry.event("crossed", resource=7)
+        telemetry.close()
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [e["ph"] for e in events] == ["X", "i"]
+        assert events[0]["name"] == "work"
+        assert events[0]["args"] == {"shard": 3}
+        assert events[0]["dur"] >= 0
+        assert events[1]["args"] == {"resource": 7}
+
+    def test_close_is_idempotent(self, tmp_path):
+        telemetry = Telemetry(trace_path=tmp_path / "t.jsonl")
+        telemetry.close()
+        telemetry.close()
+
+    def test_thread_safe_counting(self):
+        with Telemetry() as telemetry:
+            def work():
+                for _ in range(1000):
+                    telemetry.count("n")
+                    telemetry.observe("h", 1.0)
+
+            threads = [threading.Thread(target=work) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            snapshot = telemetry.snapshot()
+        assert snapshot["counters"]["n"] == 4000
+        assert snapshot["histograms"]["h"]["count"] == 4000
+
+
+class TestNullTelemetry:
+    def test_disabled_and_inert(self):
+        null = NullTelemetry()
+        assert null.enabled is False
+        null.count("x")
+        null.gauge("g", 1.0)
+        null.observe("h", 1.0)
+        null.event("e")
+        with null.span("s", a=1):
+            pass
+        assert null.snapshot() == {}
+
+    def test_shared_singleton_is_default_active(self):
+        assert obs.get() is obs.NULL
+
+
+class TestActivation:
+    def test_activated_restores_previous(self):
+        before = obs.get()
+        telemetry = Telemetry()
+        with obs.activated(telemetry) as active:
+            assert active is telemetry
+            assert obs.get() is telemetry
+        assert obs.get() is before
+        telemetry.close()
+
+    def test_activated_restores_on_exception(self):
+        before = obs.get()
+        with pytest.raises(RuntimeError):
+            with obs.activated(Telemetry()):
+                raise RuntimeError("boom")
+        assert obs.get() is before
+
+    def test_set_active_returns_previous(self):
+        telemetry = Telemetry()
+        previous = obs.set_active(telemetry)
+        try:
+            assert obs.get() is telemetry
+        finally:
+            assert obs.set_active(previous) is telemetry
+        assert obs.get() is previous
+
+
+class TestEnvConfig:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        assert obs.telemetry_from_env() is None
+        monkeypatch.setenv("REPRO_TELEMETRY", "0")
+        assert obs.telemetry_from_env() is None
+        monkeypatch.setenv("REPRO_TELEMETRY", "")
+        assert obs.telemetry_from_env() is None
+
+    def test_enabled_via_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.delenv("REPRO_TELEMETRY_OUT", raising=False)
+        telemetry = obs.telemetry_from_env()
+        assert isinstance(telemetry, Telemetry)
+        telemetry.close()
+
+        trace = tmp_path / "env_trace.jsonl"
+        monkeypatch.setenv("REPRO_TELEMETRY_OUT", str(trace))
+        telemetry = obs.telemetry_from_env()
+        assert telemetry._trace_path == str(trace)
+        telemetry.close()

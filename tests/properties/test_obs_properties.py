@@ -1,0 +1,89 @@
+"""Property-based tests for the streaming latency histogram.
+
+The histogram's contract is sharp: every quantile estimate must lie
+within one log-bucket's relative error (a factor of :data:`GROWTH`) of
+the *exact* empirical quantile under numpy's ``inverted_cdf`` rank
+convention, and merging two histograms must be exactly the same as
+recording the union of their samples.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import GROWTH, LatencyHistogram
+
+# Durations spanning the regular bucket range (1 µs .. 100 s, in ms);
+# under/overflow clamping is covered separately with explicit extremes.
+durations = st.floats(min_value=1e-3, max_value=1e5)
+samples = st.lists(durations, min_size=1, max_size=300)
+quantiles = st.sampled_from([0.0, 0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0])
+
+#: One bucket's relative error, with float-boundary slack.
+TOLERANCE = GROWTH * (1.0 + 1e-9)
+
+
+def filled(values) -> LatencyHistogram:
+    histogram = LatencyHistogram()
+    for value in values:
+        histogram.record(value)
+    return histogram
+
+
+class TestQuantileAccuracy:
+    @given(samples, quantiles)
+    @settings(max_examples=200)
+    def test_within_one_bucket_of_exact(self, values, q):
+        histogram = filled(values)
+        exact = float(np.percentile(values, q * 100.0, method="inverted_cdf"))
+        estimate = histogram.quantile(q)
+        assert max(estimate / exact, exact / estimate) <= TOLERANCE
+
+    @given(samples)
+    def test_quantiles_monotone(self, values):
+        histogram = filled(values)
+        grid = [histogram.quantile(q / 20.0) for q in range(21)]
+        assert all(a <= b + 1e-12 for a, b in zip(grid, grid[1:]))
+
+    @given(samples)
+    def test_count_and_mean_exact(self, values):
+        histogram = filled(values)
+        assert histogram.count == len(values)
+        assert math.isclose(
+            histogram.mean, sum(values) / len(values), rel_tol=1e-9, abs_tol=1e-12
+        )
+        assert histogram.min == min(values)
+        assert histogram.max == max(values)
+
+
+class TestMergeIsUnion:
+    @given(samples, samples)
+    @settings(max_examples=100)
+    def test_merge_equals_recording_union(self, a, b):
+        merged = filled(a)
+        merged.merge(filled(b))
+        union = filled(a + b)
+        assert merged.counts == union.counts
+        assert merged.count == union.count
+        assert math.isclose(merged.total, union.total, rel_tol=1e-9)
+        assert merged.min == union.min
+        assert merged.max == union.max
+
+    @given(samples, samples, quantiles)
+    @settings(max_examples=100)
+    def test_merged_quantiles_still_within_tolerance(self, a, b, q):
+        merged = filled(a)
+        merged.merge(filled(b))
+        values = a + b
+        exact = float(np.percentile(values, q * 100.0, method="inverted_cdf"))
+        estimate = merged.quantile(q)
+        assert max(estimate / exact, exact / estimate) <= TOLERANCE
+
+    @given(samples)
+    def test_merge_with_empty_is_identity(self, values):
+        histogram = filled(values)
+        before = (list(histogram.counts), histogram.count, histogram.total)
+        histogram.merge(LatencyHistogram())
+        assert (list(histogram.counts), histogram.count, histogram.total) == before

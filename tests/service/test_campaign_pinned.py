@@ -61,3 +61,20 @@ class TestPinnedTraces:
             assert json.dumps(got, sort_keys=True) == json.dumps(
                 entry["trace"], sort_keys=True
             ), f"sharded trace diverged from engine for {entry['spec']}"
+
+    def test_traces_identical_with_telemetry_enabled(self, fixture_module, pinned):
+        """Telemetry observes, never steers: byte-identical traces on/off."""
+        import repro.obs as obs
+
+        telemetry = obs.Telemetry()
+        try:
+            with obs.activated(telemetry):
+                for entry in pinned:
+                    got = fixture_module.campaign_trace(entry["spec"])
+                    assert json.dumps(got, sort_keys=True) == json.dumps(
+                        entry["trace"], sort_keys=True
+                    ), f"telemetry changed the trace for {entry['spec']}"
+            # and the run did actually record through the ambient telemetry
+            assert telemetry.snapshot()["counters"].get("campaign.epochs", 0) > 0
+        finally:
+            telemetry.close()

@@ -1,0 +1,150 @@
+"""Worker drive loop and ledger accounting, with their telemetry counters.
+
+The basic lifecycle lives in ``test_service.py``; this module pins the
+behaviours the telemetry layer rides on: the offer loop's decline/accept
+arithmetic, abandonment after ``max_offers``, the ledger's budget
+invariants, and — under an activated :class:`repro.obs.Telemetry` — the
+``workers.*`` / ``ledger.*`` counters those paths record.
+"""
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.core import BudgetError
+from repro.service import JobBoard, RewardLedger, SimulatedWorker, TaskState, WorkerPool
+from repro.simulate import TopicHierarchy
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture()
+def telemetry():
+    """An activated telemetry, restored and closed after the test."""
+    with obs.Telemetry() as active:
+        with obs.activated(active):
+            yield active
+
+
+def eager_pool(rng, size=3) -> WorkerPool:
+    workers = [
+        SimulatedWorker(f"w{i}", base_acceptance=1.0, off_topic_acceptance=1.0)
+        for i in range(size)
+    ]
+    return WorkerPool(workers, rng)
+
+
+def grumpy_pool(rng, size=3) -> WorkerPool:
+    workers = [
+        SimulatedWorker(
+            f"g{i}",
+            favourite_domains=frozenset({"__none__"}),
+            off_topic_acceptance=0.0,
+        )
+        for i in range(size)
+    ]
+    return WorkerPool(workers, rng)
+
+
+class TestWorkerDriveLoop:
+    def test_completed_task_carries_the_post(self, tiny_corpus, rng):
+        pool = eager_pool(rng)
+        task = JobBoard().publish(0)
+        post = pool.try_fill(task, tiny_corpus.models[0], post_index=0, timestamp=1.0)
+        assert post is not None
+        assert task.state is TaskState.COMPLETED
+        assert task.result is post
+
+    def test_abandoned_after_max_offers(self, tiny_corpus, rng):
+        pool = grumpy_pool(rng)
+        task = JobBoard().publish(0)
+        post = pool.try_fill(
+            task, tiny_corpus.models[0], 0, 0.0, max_offers=4
+        )
+        assert post is None
+        assert task.state is TaskState.OPEN
+
+    def test_uniform_pool_has_distinct_ids(self, rng):
+        pool = WorkerPool.uniform(6, TopicHierarchy.from_taxonomy(), rng)
+        ids = [worker.worker_id for worker in pool.workers]
+        assert len(set(ids)) == 6
+
+    def test_acceptance_counters(self, tiny_corpus, rng, telemetry):
+        pool = eager_pool(rng)  # built under the active telemetry
+        board = JobBoard()
+        for index in range(5):
+            task = board.publish(0)
+            assert pool.try_fill(task, tiny_corpus.models[0], index, 0.0)
+        counters = telemetry.snapshot()["counters"]
+        assert counters["workers.accepted"] == 5
+        # every worker accepts on the first offer: no declines recorded
+        assert counters["workers.offers"] == 5
+        assert "workers.declined" not in counters
+        assert "workers.abandoned" not in counters
+
+    def test_abandonment_counters(self, tiny_corpus, rng, telemetry):
+        pool = grumpy_pool(rng)
+        task = JobBoard().publish(0)
+        assert pool.try_fill(task, tiny_corpus.models[0], 0, 0.0, max_offers=7) is None
+        counters = telemetry.snapshot()["counters"]
+        assert counters["workers.abandoned"] == 1
+        assert counters["workers.declined"] == 7
+        assert counters["workers.offers"] == 7
+        assert "workers.accepted" not in counters
+
+    def test_no_counters_without_telemetry(self, tiny_corpus, rng):
+        assert obs.get() is obs.NULL  # the suite's ambient state
+        pool = eager_pool(rng)
+        task = JobBoard().publish(0)
+        assert pool.try_fill(task, tiny_corpus.models[0], 0, 0.0) is not None
+
+
+class TestLedgerAccounting:
+    def test_budget_arithmetic_and_reconcile(self):
+        ledger = RewardLedger(10)
+        ledger.pay(1, "alice", 3)
+        ledger.pay(2, "bob", 2)
+        ledger.pay(3, "alice", 1)
+        assert ledger.spent == 6
+        assert ledger.remaining == 4
+        assert ledger.balance_of("alice") == 4
+        assert ledger.balance_of("bob") == 2
+        assert ledger.balance_of("carol") == 0
+        assert [p.task_id for p in ledger.payouts] == [1, 2, 3]
+        assert ledger.reconcile()
+
+    def test_exact_budget_exhaustion(self):
+        ledger = RewardLedger(2)
+        ledger.pay(1, "w", 1)
+        assert ledger.can_afford(1)
+        ledger.pay(2, "w", 1)
+        assert not ledger.can_afford(1)
+        with pytest.raises(BudgetError):
+            ledger.pay(3, "w", 1)
+        assert ledger.reconcile()
+
+    def test_failed_payout_leaves_no_trace(self):
+        ledger = RewardLedger(5)
+        ledger.pay(1, "w", 4)
+        with pytest.raises(BudgetError):
+            ledger.pay(2, "w", 2)
+        assert ledger.spent == 4
+        assert len(ledger.payouts) == 1
+        assert ledger.reconcile()
+
+    def test_payout_counters(self, telemetry):
+        ledger = RewardLedger(20)  # built under the active telemetry
+        ledger.pay(1, "alice", 3)
+        ledger.pay(2, "bob", 5)
+        counters = telemetry.snapshot()["counters"]
+        assert counters["ledger.payouts"] == 2
+        assert counters["ledger.units_paid"] == 8
+
+    def test_rejected_payout_not_counted(self, telemetry):
+        ledger = RewardLedger(2)
+        with pytest.raises(BudgetError):
+            ledger.pay(1, "w", 5)
+        assert "ledger.payouts" not in telemetry.snapshot()["counters"]

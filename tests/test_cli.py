@@ -166,3 +166,82 @@ class TestCommands:
         capsys.readouterr()
         assert main(["health", str(path)]) == 0
         assert "corpus health" in capsys.readouterr().out
+
+
+class TestTelemetryFlags:
+    def test_ingest_telemetry_prints_report(self, capsys):
+        assert main(
+            ["ingest", "--resources", "10", "--max-events", "400", "--telemetry"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "ingested 400 events" in output  # the summary still leads
+        assert "latency (ms)" in output
+        assert "engine.events" in output
+
+    def test_no_report_without_flag(self, capsys):
+        assert main(["ingest", "--resources", "10", "--max-events", "400"]) == 0
+        output = capsys.readouterr().out
+        assert "latency (ms)" not in output
+
+    def test_allocate_telemetry(self, capsys):
+        assert main(
+            ["allocate", "FP", "--budget", "40", "--resources", "10", "--telemetry"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "alloc.choose_calls" in output
+
+    def test_campaign_telemetry(self, capsys):
+        assert main(
+            ["campaign", "FP", "--resources", "10", "--budget", "50", "--telemetry"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "campaign.epochs" in output
+        assert "workers.offers" in output
+
+    def test_telemetry_out_writes_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["ingest", "--resources", "10", "--max-events", "400",
+             "--telemetry-out", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        import json
+
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert any(event["name"] == "api.run" for event in events)
+
+
+class TestStatsCommand:
+    def test_renders_run_result_json(self, tmp_path, capsys):
+        import repro.api as api
+        from repro.api import IngestSpec, TelemetrySpec
+
+        result = api.run(
+            IngestSpec(resources=8, max_events=200, telemetry=TelemetrySpec())
+        )
+        path = tmp_path / "result.json"
+        path.write_text(result.to_json())
+        assert main(["stats", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "engine.events" in output
+        assert "latency (ms)" in output
+
+    def test_renders_trace_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["ingest", "--resources", "10", "--max-events", "400",
+             "--telemetry-out", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace)]) == 0
+        assert "api.run" in capsys.readouterr().out
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_non_telemetry_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        assert main(["stats", str(path)]) == 1
+        assert "not telemetry data" in capsys.readouterr().err

@@ -1,0 +1,69 @@
+"""Tests for the bench-metric registry (``benchmarks/_metrics.py``).
+
+Loaded via ``importlib`` (the benchmarks directory is not a package),
+with a fresh module per test so the registry dict starts empty.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture()
+def metrics():
+    spec = importlib.util.spec_from_file_location(
+        "bench_metrics_under_test", REPO_ROOT / "benchmarks" / "_metrics.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRecord:
+    def test_record_and_dump(self, metrics, monkeypatch, tmp_path):
+        target = tmp_path / "bench.json"
+        monkeypatch.setenv("BENCH_JSON", str(target))
+        monkeypatch.setenv("BENCH_SMOKE", "1")
+        metrics.record("a.ratio", 2.5, unit="x")
+        metrics.record("a.rate", 100.0, unit="events/s", gate=False)
+        assert metrics.dump_if_requested() == target
+        payload = json.loads(target.read_text())
+        assert payload["smoke"] is True
+        assert payload["metrics"]["a.ratio"] == {
+            "value": 2.5, "unit": "x", "higher_is_better": True, "gate": True,
+        }
+        assert payload["metrics"]["a.rate"]["gate"] is False
+
+    def test_dump_noop_without_env(self, metrics, monkeypatch):
+        monkeypatch.delenv("BENCH_JSON", raising=False)
+        metrics.record("a", 1.0)
+        assert metrics.dump_if_requested() is None
+
+    def test_same_meaning_re_record_is_silent(self, metrics, recwarn):
+        metrics.record("a.ratio", 1.0, unit="x")
+        metrics.record("a.ratio", 2.0, unit="x")  # smoke + full profiles re-run
+        assert not recwarn.list
+        assert metrics._METRICS["a.ratio"]["value"] == 2.0
+
+    @pytest.mark.parametrize(
+        "kwargs,fragment",
+        [
+            ({"unit": "ms"}, "unit"),
+            ({"higher_is_better": False}, "higher_is_better"),
+            ({"gate": False}, "gate"),
+        ],
+    )
+    def test_conflicting_re_record_warns(self, metrics, kwargs, fragment):
+        metrics.record("a.ratio", 1.0, unit="x")
+        with pytest.warns(RuntimeWarning, match="different meaning") as captured:
+            metrics.record("a.ratio", 2.0, **{"unit": "x", **kwargs})
+        assert fragment in str(captured[0].message)
+        # the new definition wins (last writer is the authoritative bench)
+        entry = metrics._METRICS["a.ratio"]
+        assert entry["value"] == 2.0
+        for key, expected in kwargs.items():
+            assert entry[key] == expected
