@@ -1,0 +1,173 @@
+"""Service-level load replay: the campaign scheduler under wall-clock arrivals.
+
+``bench_load_replay`` measures the *engine* under an interleaved event
+stream; this bench measures the *service* layer above it — the
+:class:`repro.server.Scheduler` fed by a Poisson-ish arrival process of
+campaign submissions from multiple users:
+
+* ``server.submit_to_first_epoch_ms`` — admission-to-first-epoch
+  latency, the user-visible "my campaign started" SLO, measured with
+  real wall-clock arrival gaps while earlier campaigns are still
+  running (informational: absolute latency is machine-dependent);
+* ``server.epoch_p95_ms`` — the per-epoch latency SLO under concurrent
+  load, from the server's own ``server.epoch`` telemetry histogram
+  (informational);
+* ``server.jobs_interleave_overhead_ratio`` — wall-clock of N campaigns
+  interleaved one-epoch-per-slice through the scheduler over the same
+  specs run back-to-back via ``IncentiveCampaign.run``.  The scheduling
+  machinery (queues, journaling hooks, job bookkeeping) should cost a
+  few percent, not tens — a machine-independent property of the code,
+  regression-gated.
+
+Everything runs on an in-memory :class:`~repro.server.JobStore`, so the
+numbers measure scheduling, not disk.
+"""
+
+import asyncio
+import time
+
+import _metrics
+from repro import obs
+from repro.api import CampaignSpec, JobSpec, ServerSpec
+import repro.api as api
+from repro.server import JobStore, Scheduler
+from repro.service import IncentiveCampaign
+
+SMOKE = _metrics.smoke_mode()
+
+_BUDGET_A = 120 if SMOKE else 250
+_BUDGET_B = 90 if SMOKE else 180
+
+
+def _job_specs() -> list[JobSpec]:
+    corpus_a = {"type": "corpus", "kind": "paper", "resources": 20, "seed": 13}
+    corpus_b = {"type": "corpus", "kind": "paper", "resources": 15, "seed": 7}
+    payloads = [
+        {"corpus": corpus_a, "strategy": "FP", "budget": _BUDGET_A, "workers": 8,
+         "seed": 5, "stop_tau": 0.99, "batch_size": 20, "max_epochs": 60},
+        {"corpus": corpus_a, "strategy": "FP", "budget": _BUDGET_A, "workers": 8,
+         "seed": 5, "stop_tau": 0.99, "batch_size": 20, "max_epochs": 60,
+         "stability_backend": "engine"},
+        {"corpus": corpus_b, "strategy": "MU", "params": {"omega": 5}, "budget": _BUDGET_B,
+         "workers": 6, "seed": 11, "stop_tau": 0.995, "batch_size": 15, "max_epochs": 50},
+        {"corpus": corpus_b, "strategy": "MU", "params": {"omega": 5}, "budget": _BUDGET_B,
+         "workers": 6, "seed": 11, "stop_tau": 0.995, "batch_size": 15, "max_epochs": 50,
+         "stability_backend": "engine"},
+    ]
+    users = ("alice", "bob")
+    return [
+        JobSpec(campaign=CampaignSpec.from_dict({"type": "campaign", **payload}),
+                user=users[i % len(users)])
+        for i, payload in enumerate(payloads)
+    ]
+
+
+def _run_serial(jobs: list[JobSpec]) -> float:
+    """Back-to-back `IncentiveCampaign.run` wall-clock for the same specs."""
+    started = time.perf_counter()
+    for job in jobs:
+        spec = job.campaign
+        campaign = IncentiveCampaign.from_spec(spec, api.materialize(spec.corpus))
+        campaign.run(max_epochs=spec.max_epochs)
+    return time.perf_counter() - started
+
+
+async def _run_interleaved(jobs: list[JobSpec], *, arrival_gap_s: float) -> dict:
+    """Scheduler wall-clock + first-epoch latencies under timed arrivals."""
+    scheduler = Scheduler(ServerSpec(slots=4, max_queued=32), store=JobStore(None))
+    submitted_at: dict[str, float] = {}
+    first_epoch_ms: dict[str, float] = {}
+    shutdown = asyncio.Event()
+
+    async def producer() -> None:
+        for index, job in enumerate(jobs):
+            if index and arrival_gap_s:
+                await asyncio.sleep(arrival_gap_s)
+            job_id = scheduler.submit(job)
+            submitted_at[job_id] = time.perf_counter()
+
+    async def watcher() -> None:
+        pending: set[str] = set()
+        while True:
+            pending |= set(submitted_at) - set(first_epoch_ms)
+            for job_id in sorted(pending):
+                if scheduler.store.get(job_id).epochs >= 1:
+                    first_epoch_ms[job_id] = (
+                        time.perf_counter() - submitted_at[job_id]
+                    ) * 1000.0
+                    pending.discard(job_id)
+            if (
+                len(submitted_at) == len(jobs)
+                and all(scheduler.store.get(j).terminal for j in submitted_at)
+            ):
+                shutdown.set()
+                return
+            await asyncio.sleep(0)
+
+    started = time.perf_counter()
+    await asyncio.gather(
+        scheduler.serve(poll_interval=0.001, shutdown=shutdown),
+        producer(),
+        watcher(),
+    )
+    elapsed = time.perf_counter() - started
+    assert all(
+        scheduler.store.get(job_id).state.value == "done" for job_id in submitted_at
+    ), "every submitted campaign must complete"
+    return {"elapsed": elapsed, "first_epoch_ms": first_epoch_ms}
+
+
+def test_server_interleave_overhead():
+    """All jobs submitted upfront: scheduler wall-clock vs serial wall-clock."""
+    jobs = _job_specs()
+    serial_s = _run_serial(jobs)
+    outcome = asyncio.run(_run_interleaved(jobs, arrival_gap_s=0.0))
+    overhead_ratio = outcome["elapsed"] / serial_s
+    _metrics.record(
+        "server.jobs_interleave_overhead_ratio",
+        overhead_ratio,
+        unit="x",
+        higher_is_better=False,
+    )
+    print(
+        f"\nserver interleave: serial={serial_s * 1000:.0f}ms "
+        f"interleaved={outcome['elapsed'] * 1000:.0f}ms "
+        f"overhead={overhead_ratio:.3f}x"
+    )
+    assert overhead_ratio < 3.0, "scheduler interleaving should not triple runtime"
+
+
+def test_server_arrival_latency_slo():
+    """Wall-clock arrival gaps: admission-to-first-epoch and epoch p95 SLOs."""
+    jobs = _job_specs()
+    telemetry = obs.Telemetry()
+    with obs.activated(telemetry):
+        # later campaigns arrive while earlier ones still hold slots
+        outcome = asyncio.run(_run_interleaved(jobs, arrival_gap_s=0.05))
+    snapshot = telemetry.snapshot()
+    telemetry.close()
+
+    worst_first_epoch = max(outcome["first_epoch_ms"].values())
+    epoch_p95 = 0.0
+    histogram = snapshot.get("histograms", {}).get("server.epoch")
+    if histogram:
+        epoch_p95 = float(histogram.get("p95", 0.0))
+
+    _metrics.record(
+        "server.submit_to_first_epoch_ms",
+        worst_first_epoch,
+        unit="ms",
+        higher_is_better=False,
+        gate=False,
+    )
+    _metrics.record(
+        "server.epoch_p95_ms",
+        epoch_p95,
+        unit="ms",
+        higher_is_better=False,
+        gate=False,
+    )
+    print(
+        f"\nserver arrivals: first-epoch worst={worst_first_epoch:.1f}ms "
+        f"epoch-p95={epoch_p95:.2f}ms over {len(jobs)} jobs"
+    )

@@ -18,7 +18,6 @@ commit message.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from pathlib import Path
 
@@ -85,10 +84,10 @@ PINNED_SPECS: list[dict] = [
 def campaign_trace(spec_payload: dict) -> dict:
     """Run one campaign spec and canonicalize everything trace-visible.
 
-    Epoch reports, final counts and the stopped set capture the decision
-    sequence; the bought-posts digest pins the exact post content (tags
-    and timestamps) the worker pool produced, so any divergence in rng
-    consumption shows up even when the aggregate numbers happen to agree.
+    Canonicalization lives in
+    :meth:`~repro.service.campaign.CampaignResult.trace_payload` so the
+    fixture, the pinned tests and the campaign server all compare the
+    same bytes.
     """
     import repro.api as api
     from repro.api.specs import CampaignSpec
@@ -98,22 +97,7 @@ def campaign_trace(spec_payload: dict) -> dict:
     corpus = api.materialize(spec.corpus)
     campaign = IncentiveCampaign.from_spec(spec, corpus)
     result = campaign.run(max_epochs=spec.max_epochs)
-    bought = [
-        [[round(post.timestamp, 9), sorted(post.tags)] for post in posts]
-        for posts in result.bought_posts
-    ]
-    return {
-        "epochs": [
-            [r.epoch, r.published, r.completed, r.unfilled, r.spent, r.observed_stable]
-            for r in result.reports
-        ],
-        "final_counts": result.final_counts.tolist(),
-        "stopped": sorted(result.stopped_resources),
-        "spent": result.ledger.spent,
-        "bought_sha256": hashlib.sha256(
-            json.dumps(bought, sort_keys=True).encode()
-        ).hexdigest(),
-    }
+    return result.trace_payload()
 
 
 def main() -> int:

@@ -46,7 +46,7 @@ from repro.api.registry import (
     StrategyRegistry,
     register_strategy,
 )
-from repro.api.results import RunResult
+from repro.api.results import JobRecord, RunResult
 from repro.api.specs import (
     ALLOCATION_MODES,
     CORPUS_KINDS,
@@ -56,6 +56,8 @@ from repro.api.specs import (
     CampaignSpec,
     CorpusSpec,
     IngestSpec,
+    JobSpec,
+    ServerSpec,
     Spec,
     TelemetrySpec,
     spec_from_dict,
@@ -70,12 +72,15 @@ __all__ = [
     "CorpusSpec",
     "EXECUTOR_BACKENDS",
     "IngestSpec",
+    "JobRecord",
+    "JobSpec",
     "MaterializedCorpus",
     "Param",
     "RegisteredStrategy",
     "RunResult",
     "STABILITY_BACKENDS",
     "STRATEGIES",
+    "ServerSpec",
     "Spec",
     "StrategyRegistry",
     "TelemetrySpec",

@@ -226,6 +226,8 @@ def _run_campaign(spec: CampaignSpec) -> RunResult:
                 "unfilled": r.unfilled,
                 "spent": r.spent,
                 "observed_stable": r.observed_stable,
+                "withdrawn": r.withdrawn,
+                "task_counts": dict(r.task_counts),
             }
             for r in result.reports
         ],

@@ -15,7 +15,7 @@ from typing import Any
 
 from repro.core.errors import SpecError
 
-__all__ = ["RunResult"]
+__all__ = ["RunResult", "JobRecord"]
 
 
 @dataclass(frozen=True)
@@ -105,4 +105,122 @@ class RunResult:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
             raise SpecError(f"RunResult.from_json: invalid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Externally visible snapshot of one campaign-server job.
+
+    The server's answer to "what is job X doing?" — returned by
+    ``Scheduler.status`` and printed by ``repro-tagging jobs``.  Like
+    :class:`RunResult` it is deliberately plain data: every field is
+    JSON-safe, and :meth:`to_dict`/:meth:`from_dict` round-trip it
+    losslessly (rejecting unknown keys), so job state can be shipped
+    over a queue or stored next to its checkpoints.
+
+    Attributes:
+        job_id: Store-unique identifier.
+        user: Owning tenant.
+        state: Lifecycle state value (see :class:`repro.server.JobState`).
+        spec: The submitted :class:`~repro.api.specs.JobSpec` payload —
+            every record carries its full reproduction recipe.
+        epochs: Campaign epochs completed so far.
+        spent: Reward units the job's campaign has paid out so far.
+        checkpoint_epoch: Epoch of the latest durable checkpoint
+            (``-1`` = never checkpointed).
+        metrics: Flat name -> scalar map (JSON numbers only).
+        trace: The final canonical trace payload once the job is done
+            (see ``CampaignResult.trace_payload``); ``{}`` while running.
+        error: Failure description for ``FAILED`` jobs, else ``""``.
+    """
+
+    job_id: str
+    user: str
+    state: str
+    spec: dict[str, Any] = field(default_factory=dict)
+    epochs: int = 0
+    spent: int = 0
+    checkpoint_epoch: int = -1
+    metrics: dict[str, Any] = field(default_factory=dict)
+    trace: dict[str, Any] = field(default_factory=dict)
+    error: str = ""
+
+    def __post_init__(self) -> None:
+        for label, value in (("job_id", self.job_id), ("user", self.user),
+                             ("state", self.state)):
+            if not isinstance(value, str) or not value:
+                raise SpecError(f"JobRecord {label} must be a non-empty string, got {value!r}")
+        for label, payload in (("spec", self.spec), ("metrics", self.metrics),
+                               ("trace", self.trace)):
+            if not isinstance(payload, dict):
+                raise SpecError(f"JobRecord {label} must be a dict, got {type(payload).__name__}")
+        for label, value in (("epochs", self.epochs), ("spent", self.spent),
+                             ("checkpoint_epoch", self.checkpoint_epoch)):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SpecError(f"JobRecord {label} must be an int, got {value!r}")
+        for name, value in self.metrics.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SpecError(
+                    f"JobRecord metric {name!r} must be an int or float, got {value!r}"
+                )
+        if not isinstance(self.error, str):
+            raise SpecError(f"JobRecord error must be a string, got {self.error!r}")
+        try:
+            json.dumps(self.trace)
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"JobRecord trace is not JSON-serializable: {exc}") from exc
+
+    _FIELDS = ("job_id", "user", "state", "spec", "epochs", "spent",
+               "checkpoint_epoch", "metrics", "trace", "error")
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable dict; :meth:`from_dict` inverts it."""
+        return {
+            "job_id": self.job_id,
+            "user": self.user,
+            "state": self.state,
+            "spec": dict(self.spec),
+            "epochs": self.epochs,
+            "spent": self.spent,
+            "checkpoint_epoch": self.checkpoint_epoch,
+            "metrics": dict(self.metrics),
+            "trace": dict(self.trace),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> JobRecord:
+        """Rebuild a record, rejecting unknown keys."""
+        if not isinstance(payload, dict):
+            raise SpecError(f"JobRecord.from_dict expects a dict, got {type(payload).__name__}")
+        unknown = sorted(set(payload) - set(cls._FIELDS))
+        if unknown:
+            raise SpecError(
+                f"JobRecord does not define field(s) {', '.join(repr(u) for u in unknown)}"
+            )
+        return cls(
+            job_id=payload.get("job_id", ""),
+            user=payload.get("user", ""),
+            state=payload.get("state", ""),
+            spec=payload.get("spec", {}),
+            epochs=payload.get("epochs", 0),
+            spent=payload.get("spent", 0),
+            checkpoint_epoch=payload.get("checkpoint_epoch", -1),
+            metrics=payload.get("metrics", {}),
+            trace=payload.get("trace", {}),
+            error=payload.get("error", ""),
+        )
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """The record as a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True, **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> JobRecord:
+        """Inverse of :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"JobRecord.from_json: invalid JSON: {exc}") from exc
         return cls.from_dict(payload)

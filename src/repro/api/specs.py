@@ -33,6 +33,8 @@ __all__ = [
     "AllocateSpec",
     "CampaignSpec",
     "IngestSpec",
+    "JobSpec",
+    "ServerSpec",
     "spec_from_dict",
     "spec_from_json",
 ]
@@ -318,6 +320,8 @@ class CampaignSpec(Spec):
             ``stability_executor="thread"`` (``0`` = one per core).
         batch_size: Task offers attempted per epoch.
         max_epochs: Hard stop on campaign length.
+        max_offers: Worker draws attempted per published task before the
+            task is abandoned as unfilled.
         reward_per_task: Units paid per completed task.
         telemetry: Optional :class:`TelemetrySpec` (see
             :class:`AllocateSpec`); telemetry only observes, so campaign
@@ -343,6 +347,7 @@ class CampaignSpec(Spec):
     stability_workers: int = 0
     batch_size: int = 25
     max_epochs: int = 100
+    max_offers: int = 10
     reward_per_task: int = 1
     telemetry: TelemetrySpec | None = None
 
@@ -376,6 +381,8 @@ class CampaignSpec(Spec):
                f"campaign batch_size must be a positive int, got {self.batch_size!r}")
         _check(_is_int(self.max_epochs) and self.max_epochs >= 1,
                f"campaign max_epochs must be a positive int, got {self.max_epochs!r}")
+        _check(_is_int(self.max_offers) and self.max_offers >= 1,
+               f"campaign max_offers must be a positive int, got {self.max_offers!r}")
         _check(_is_int(self.reward_per_task) and self.reward_per_task >= 1,
                f"campaign reward_per_task must be a positive int, got {self.reward_per_task!r}")
         _check(self.telemetry is None or isinstance(self.telemetry, TelemetrySpec),
@@ -453,9 +460,102 @@ class IngestSpec(Spec):
                f"ingest telemetry must be a TelemetrySpec or None, got {self.telemetry!r}")
 
 
+@dataclass(frozen=True)
+class JobSpec(Spec):
+    """One campaign submission to the :mod:`repro.server` scheduler.
+
+    A job is a :class:`CampaignSpec` plus the service envelope: who owns
+    it (for fair scheduling and cross-campaign budget enforcement) and
+    how often the driver checkpoints it.
+
+    Attributes:
+        campaign: The campaign to run.
+        user: Owning tenant; admission reserves the campaign budget
+            against this user's :class:`~repro.server.TenantLedger`
+            allowance.
+        checkpoint_every: Epoch interval between durable checkpoints
+            (``0`` inherits the server default).
+    """
+
+    TYPE: ClassVar[str] = "job"
+    _NESTED: ClassVar[dict[str, type[Spec]]] = {"campaign": CampaignSpec}
+
+    campaign: CampaignSpec = field(default_factory=CampaignSpec)
+    user: str = "anonymous"
+    checkpoint_every: int = 0
+
+    def __post_init__(self) -> None:
+        _check(isinstance(self.campaign, CampaignSpec),
+               f"job campaign must be a CampaignSpec, got {type(self.campaign).__name__}")
+        _check(isinstance(self.user, str) and bool(self.user),
+               f"job user must be a non-empty string, got {self.user!r}")
+        _check(_is_int(self.checkpoint_every) and self.checkpoint_every >= 0,
+               f"job checkpoint_every must be a non-negative int, got {self.checkpoint_every!r}")
+
+
+@dataclass(frozen=True)
+class ServerSpec(Spec):
+    """Configuration of one :mod:`repro.server` scheduler instance.
+
+    Attributes:
+        root: Durable state directory (job journal, checkpoints, CLI
+            inbox/control files).
+        slots: Concurrent jobs stepped per scheduling round.
+        max_queued: Bounded admission queue — submissions beyond this
+            many waiting jobs are rejected.
+        checkpoint_every: Default epoch interval between job checkpoints
+            (``0`` disables periodic checkpoints; jobs still checkpoint
+            on pause/shutdown).
+        budgets: Per-user cross-campaign budget caps
+            (``user -> reward units``), overriding ``default_budget``.
+        default_budget: Budget cap for users absent from ``budgets``
+            (``None`` = uncapped).
+        telemetry: Optional :class:`TelemetrySpec` (see
+            :class:`AllocateSpec`); telemetry only observes, so job
+            traces are byte-identical with it on or off.
+    """
+
+    TYPE: ClassVar[str] = "server"
+    _NESTED: ClassVar[dict[str, type[Spec]]] = {"telemetry": TelemetrySpec}
+
+    root: str = "server-state"
+    slots: int = 4
+    max_queued: int = 64
+    checkpoint_every: int = 5
+    budgets: dict[str, int] = field(default_factory=dict)
+    default_budget: int | None = None
+    telemetry: TelemetrySpec | None = None
+
+    def __post_init__(self) -> None:
+        _check(isinstance(self.root, str) and bool(self.root),
+               f"server root must be a non-empty path string, got {self.root!r}")
+        _check(_is_int(self.slots) and self.slots >= 1,
+               f"server slots must be a positive int, got {self.slots!r}")
+        _check(_is_int(self.max_queued) and self.max_queued >= 1,
+               f"server max_queued must be a positive int, got {self.max_queued!r}")
+        _check(_is_int(self.checkpoint_every) and self.checkpoint_every >= 0,
+               f"server checkpoint_every must be a non-negative int, "
+               f"got {self.checkpoint_every!r}")
+        _check(isinstance(self.budgets, dict), f"server budgets must be a dict, got {self.budgets!r}")
+        for user, cap in (self.budgets or {}).items():
+            _check(isinstance(user, str) and bool(user),
+                   f"server budgets keys must be non-empty user strings, got {user!r}")
+            _check(_is_int(cap) and cap >= 0,
+                   f"server budget for {user!r} must be a non-negative int, got {cap!r}")
+        _check(self.default_budget is None
+               or (_is_int(self.default_budget) and self.default_budget >= 0),
+               f"server default_budget must be a non-negative int or None, "
+               f"got {self.default_budget!r}")
+        _check(self.telemetry is None or isinstance(self.telemetry, TelemetrySpec),
+               f"server telemetry must be a TelemetrySpec or None, got {self.telemetry!r}")
+
+
 _SPEC_TYPES: dict[str, type[Spec]] = {
     cls.TYPE: cls
-    for cls in (CorpusSpec, TelemetrySpec, AllocateSpec, CampaignSpec, IngestSpec)
+    for cls in (
+        CorpusSpec, TelemetrySpec, AllocateSpec, CampaignSpec, IngestSpec,
+        JobSpec, ServerSpec,
+    )
 }
 
 

@@ -10,7 +10,11 @@ Commands:
 * ``ingest`` — stream an interleaved event log through the vectorized
   engine (optionally sharded / checkpointed);
 * ``stats`` — render a telemetry snapshot, ``RunResult`` JSON, or
-  Chrome-trace JSONL as latency/counter tables.
+  Chrome-trace JSONL as latency/counter tables;
+* ``serve`` / ``submit`` / ``jobs`` / ``job`` — the multi-tenant
+  campaign service (:mod:`repro.server`): run the scheduler over a
+  durable state directory, queue campaign specs into its inbox, and
+  inspect or pause/resume/cancel jobs.
 
 The run-style commands (``allocate``, ``campaign``, ``ingest``) are pure
 argv→spec translators: each builds the matching :mod:`repro.api` spec
@@ -225,6 +229,47 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="render telemetry (snapshot JSON, RunResult JSON, or trace JSONL)"
     )
     stats.add_argument("path", type=Path, help="telemetry file to render")
+
+    serve = sub.add_parser("serve", help="run the multi-tenant campaign service")
+    serve.add_argument("--root", type=Path, default=Path("server-state"),
+                       help="durable state directory (journal, checkpoints, inbox)")
+    serve.add_argument("--slots", type=int, default=4,
+                       help="concurrent jobs stepped per scheduling round")
+    serve.add_argument("--max-queued", type=int, default=64,
+                       help="bounded admission queue size")
+    serve.add_argument("--checkpoint-every", type=int, default=5,
+                       help="epochs between durable job checkpoints (0 = only on pause)")
+    serve.add_argument("--budget", action="append", default=[], metavar="USER=UNITS",
+                       help="per-user cross-campaign budget cap (repeatable)")
+    serve.add_argument("--default-budget", type=int, default=None,
+                       help="budget cap for users without an explicit --budget")
+    serve.add_argument("--poll-interval", type=float, default=0.25,
+                       help="seconds between inbox/control scans")
+    serve.add_argument("--until-idle", action="store_true",
+                       help="process the current inbox and queue, then exit "
+                       "(instead of serving forever)")
+    _add_telemetry_args(serve)
+
+    submit = sub.add_parser("submit", help="queue a campaign spec into a server's inbox")
+    submit.add_argument("spec", type=Path, help="CampaignSpec or JobSpec JSON file")
+    submit.add_argument("--root", type=Path, default=Path("server-state"),
+                        help="the server's state directory")
+    submit.add_argument("--user", default=None, help="owning tenant")
+    submit.add_argument("--wait", type=float, default=0.0, metavar="SECONDS",
+                        help="wait up to this long for the server's receipt")
+
+    jobs = sub.add_parser("jobs", help="list a server's jobs")
+    jobs.add_argument("--root", type=Path, default=Path("server-state"),
+                      help="the server's state directory")
+
+    jobctl = sub.add_parser("job", help="inspect or control one job")
+    jobctl.add_argument("job_id", help="job id (see `jobs`)")
+    jobctl.add_argument("--root", type=Path, default=Path("server-state"),
+                        help="the server's state directory")
+    action = jobctl.add_mutually_exclusive_group()
+    action.add_argument("--pause", action="store_true", help="pause at the next epoch")
+    action.add_argument("--resume", action="store_true", help="requeue a paused job")
+    action.add_argument("--cancel", action="store_true", help="terminate the job")
 
     return parser
 
@@ -443,6 +488,151 @@ def _command_health(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_budgets(pairs: list[str]) -> dict[str, int]:
+    budgets: dict[str, int] = {}
+    for pair in pairs:
+        user, sep, amount = pair.partition("=")
+        if not sep or not user:
+            raise SystemExit(f"serve: --budget expects USER=UNITS, got {pair!r}")
+        try:
+            budgets[user] = int(amount)
+        except ValueError:
+            raise SystemExit(f"serve: budget for {user!r} must be an int, got {amount!r}")
+    return budgets
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import contextlib
+    import signal
+
+    from repro import obs
+    from repro.api import ServerSpec
+    from repro.server import Scheduler
+
+    spec = ServerSpec(
+        root=str(args.root),
+        slots=args.slots,
+        max_queued=args.max_queued,
+        checkpoint_every=args.checkpoint_every,
+        budgets=_parse_budgets(args.budget),
+        default_budget=args.default_budget,
+        telemetry=_telemetry_spec(args),
+    )
+
+    async def _run() -> None:
+        scheduler = Scheduler(spec)
+        if args.until_idle:
+            scheduler.poll_once()
+            await scheduler.run_until_idle()
+            return
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, shutdown.set)
+        print(f"serving campaigns from {args.root} ({spec.slots} slots); Ctrl-C to stop")
+        await scheduler.serve(poll_interval=args.poll_interval, shutdown=shutdown)
+
+    telemetry_spec = spec.telemetry
+    if telemetry_spec is not None and telemetry_spec.enabled:
+        recorder = obs.Telemetry(trace_path=telemetry_spec.trace_path)
+        with obs.activated(recorder):
+            asyncio.run(_run())
+        print(obs.render_snapshot(recorder.snapshot()))
+        recorder.close()
+    else:
+        asyncio.run(_run())
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.api import JobSpec, spec_from_json
+    from repro.core.errors import ReproError
+
+    try:
+        spec = spec_from_json(args.spec.read_text(encoding="utf-8"))
+    except (OSError, ReproError) as exc:
+        print(f"submit: cannot load {args.spec}: {exc}", file=sys.stderr)
+        return 1
+    if isinstance(spec, CampaignSpec):
+        spec = JobSpec(campaign=spec, user=args.user or "anonymous")
+    elif isinstance(spec, JobSpec):
+        if args.user is not None and args.user != spec.user:
+            spec = spec.replace(user=args.user)
+    else:
+        print(f"submit: {args.spec} is a {spec.TYPE!r} spec, not a campaign/job",
+              file=sys.stderr)
+        return 1
+    inbox = args.root / "inbox"
+    inbox.mkdir(parents=True, exist_ok=True)
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    serial = sum(1 for _ in inbox.glob(f"{stamp}-*.json"))
+    name = f"{stamp}-{serial:03d}.json"
+    (inbox / name).write_text(spec.to_json() + "\n", encoding="utf-8")
+    print(f"queued {name} for user {spec.user!r} in {inbox}")
+    receipt_path = inbox / "processed" / (name + ".receipt")
+    deadline = time.monotonic() + args.wait
+    while args.wait and time.monotonic() < deadline:
+        if receipt_path.exists():
+            receipt = json.loads(receipt_path.read_text(encoding="utf-8"))
+            if "job_id" in receipt:
+                print(f"accepted as {receipt['job_id']}")
+                return 0
+            print(f"rejected: {receipt.get('error', 'unknown error')}", file=sys.stderr)
+            return 1
+        time.sleep(0.05)
+    if args.wait:
+        print("no receipt yet (is the server running?)", file=sys.stderr)
+    return 0
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    from repro.server import JobStore
+
+    if not (args.root / "journal.jsonl").exists():
+        print(f"jobs: no server state at {args.root}", file=sys.stderr)
+        return 1
+    store = JobStore(args.root)
+    listing = store.jobs()
+    if not listing:
+        print("no jobs")
+        return 0
+    print(f"{'JOB':<10} {'USER':<12} {'STATE':<13} {'EPOCHS':>6} {'SPENT':>6} {'CKPT':>5}")
+    for job in listing:
+        checkpoint = str(job.checkpoint_epoch) if job.checkpoint_epoch >= 0 else "-"
+        print(f"{job.job_id:<10} {job.user:<12} {job.state.value:<13} "
+              f"{job.epochs:>6} {job.spent:>6} {checkpoint:>5}")
+    return 0
+
+
+def _command_job(args: argparse.Namespace) -> int:
+    from repro.server import JobStore
+
+    actions = [name for name in ("pause", "resume", "cancel") if getattr(args, name)]
+    if actions:
+        control = args.root / "control"
+        control.mkdir(parents=True, exist_ok=True)
+        (control / f"{args.job_id}.{actions[0]}").touch()
+        print(f"requested {actions[0]} of {args.job_id} "
+              "(applied at the job's next epoch boundary)")
+        return 0
+    if not (args.root / "journal.jsonl").exists():
+        print(f"job: no server state at {args.root}", file=sys.stderr)
+        return 1
+    store = JobStore(args.root)
+    try:
+        job = store.get(args.job_id)
+    except KeyError:
+        print(f"job: unknown job {args.job_id!r}", file=sys.stderr)
+        return 1
+    print(job.record().to_json(indent=2))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point.
 
@@ -464,6 +654,10 @@ def main(argv: list[str] | None = None) -> int:
         "ingest": _command_ingest,
         "health": _command_health,
         "stats": _command_stats,
+        "serve": _command_serve,
+        "submit": _command_submit,
+        "jobs": _command_jobs,
+        "job": _command_job,
     }
     return handlers[args.command](args)
 

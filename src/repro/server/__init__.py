@@ -1,0 +1,59 @@
+"""repro.server — the multi-tenant campaign service.
+
+The paper's Fig 2 system as a *service*: many users submit
+:class:`~repro.api.specs.CampaignSpec`s, an asyncio scheduler interleaves
+them epoch-by-epoch under fair round-robin, per-user budgets are enforced
+across campaigns, and everything is durable — jobs survive restarts and
+resume from checkpoints with byte-identical traces.
+
+The pieces, bottom-up:
+
+* :mod:`~repro.server.jobstore` — :class:`CampaignJob` lifecycle
+  (``QUEUED → RUNNING → PAUSED/CHECKPOINTED → DONE/FAILED/CANCELLED``)
+  in a :class:`JobStore` with a JSONL write-ahead journal;
+* :mod:`~repro.server.tenants` — :class:`TenantLedger`, reserve/settle
+  budget accounting per user across campaigns, fully auditable;
+* :mod:`~repro.server.checkpoint` — journal-replay campaign checkpoints
+  (pause/crash/resume, byte-identical);
+* :mod:`~repro.server.driver` — :class:`CampaignDriver`, one epoch per
+  scheduling slice with periodic checkpoints;
+* :mod:`~repro.server.scheduler` — :class:`Scheduler`, the asyncio front
+  door (``submit``/``pause``/``resume``/``cancel``/``status``) with
+  bounded admission and the inbox/control file protocol behind the
+  ``repro-tagging serve``/``submit``/``jobs``/``job`` CLI verbs.
+
+Quickstart::
+
+    import asyncio
+    from repro.api import CampaignSpec, ServerSpec
+    from repro.server import Scheduler
+
+    sched = Scheduler(ServerSpec(root="state", slots=4, default_budget=500))
+    job_id = sched.submit(CampaignSpec(budget=250), user="alice")
+    asyncio.run(sched.run_until_idle())
+    print(sched.status(job_id).state)   # "done"
+"""
+
+from repro.server.checkpoint import (
+    has_campaign_checkpoint,
+    restore_campaign_checkpoint,
+    save_campaign_checkpoint,
+)
+from repro.server.driver import CampaignDriver
+from repro.server.jobstore import CampaignJob, JobState, JobStore
+from repro.server.scheduler import AdmissionError, Scheduler
+from repro.server.tenants import TenantLedger, TenantTransaction
+
+__all__ = [
+    "AdmissionError",
+    "CampaignDriver",
+    "CampaignJob",
+    "JobState",
+    "JobStore",
+    "Scheduler",
+    "TenantLedger",
+    "TenantTransaction",
+    "has_campaign_checkpoint",
+    "restore_campaign_checkpoint",
+    "save_campaign_checkpoint",
+]

@@ -1,0 +1,149 @@
+"""Durable campaign checkpoints: pause, crash and resume byte-identically.
+
+A campaign's trace-visible state is large and heterogeneous (strategy
+heaps, MA trackers or columnar banks, the board, the ledger, a NumPy
+generator).  Rather than pickling all of it, a checkpoint stores the
+campaign's *decision history*:
+
+* ``state.json`` — epoch count, the per-epoch task-event journal
+  (:attr:`~repro.service.campaign.IncentiveCampaign.journal`) and the
+  exact bit-generator state of the campaign rng;
+* ``bank-NNNNNN/`` — for engine-backed stability monitors, the columnar
+  bank via :func:`repro.engine.checkpoint.save_checkpoint`, used as an
+  integrity cross-check after restore.
+
+Restore rebuilds the campaign from its spec, **replays** the journal
+through the real strategy/board/ledger/monitor code paths
+(:meth:`~repro.service.campaign.IncentiveCampaign.replay_epoch`), then
+restores the rng state — so every future epoch consumes exactly the
+draws the uninterrupted run would have, and the final trace is
+byte-identical to a never-killed campaign.
+
+Writes are crash-safe: the bank directory is written first, then
+``state.json`` is swapped in atomically (``os.replace``), so a kill at
+any instant leaves either the previous checkpoint or the new one —
+never a torn mix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+
+from repro.core.errors import SpecError
+from repro.engine.checkpoint import load_checkpoint as _load_bank_checkpoint
+from repro.engine.checkpoint import save_checkpoint as _save_bank_checkpoint
+from repro.service.campaign import IncentiveCampaign
+
+__all__ = [
+    "CAMPAIGN_CHECKPOINT_FORMAT",
+    "has_campaign_checkpoint",
+    "save_campaign_checkpoint",
+    "restore_campaign_checkpoint",
+]
+
+CAMPAIGN_CHECKPOINT_FORMAT = 1
+_STATE = "state.json"
+
+
+def has_campaign_checkpoint(directory: str | Path) -> bool:
+    """Whether ``directory`` holds a restorable campaign checkpoint."""
+    return (Path(directory) / _STATE).is_file()
+
+
+def save_campaign_checkpoint(
+    campaign: IncentiveCampaign, directory: str | Path
+) -> Path:
+    """Write ``campaign``'s decision history under ``directory``.
+
+    Returns:
+        The checkpoint directory path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    state = {
+        "format": CAMPAIGN_CHECKPOINT_FORMAT,
+        "epoch": campaign.epochs_run,
+        "finished": campaign.finished,
+        "rng_state": campaign.rng.bit_generator.state,
+        "journal": campaign.journal,
+    }
+    bank = getattr(campaign._monitor, "_bank", None)
+    bank_name = None
+    if bank is not None:
+        bank_name = f"bank-{campaign.epochs_run:06d}"
+        _save_bank_checkpoint(bank, directory / bank_name)
+        state["bank"] = bank_name
+    tmp = directory / (_STATE + ".tmp")
+    tmp.write_text(json.dumps(state, sort_keys=True) + "\n", encoding="utf-8")
+    os.replace(tmp, directory / _STATE)
+    # older bank snapshots are now unreachable from state.json
+    for stale in directory.glob("bank-*"):
+        if stale.is_dir() and stale.name != bank_name:
+            shutil.rmtree(stale, ignore_errors=True)
+    return directory
+
+
+def restore_campaign_checkpoint(spec, corpus, directory: str | Path) -> IncentiveCampaign:
+    """Rebuild a campaign to exactly its checkpointed state.
+
+    Args:
+        spec: The originating :class:`~repro.api.specs.CampaignSpec`.
+        corpus: Its materialized corpus (must match the one the
+            checkpointed campaign ran against — both derive
+            deterministically from the spec).
+        directory: A directory written by :func:`save_campaign_checkpoint`.
+
+    Raises:
+        SpecError: On missing/incompatible checkpoints or when the
+            replayed state disagrees with the saved bank snapshot
+            (corruption, or a spec that drifted since the checkpoint).
+    """
+    directory = Path(directory)
+    path = directory / _STATE
+    if not path.is_file():
+        raise SpecError(f"no campaign checkpoint at {directory}")
+    state = json.loads(path.read_text(encoding="utf-8"))
+    if state.get("format") != CAMPAIGN_CHECKPOINT_FORMAT:
+        raise SpecError(
+            f"campaign checkpoint format {state.get('format')!r} not supported "
+            f"(expected {CAMPAIGN_CHECKPOINT_FORMAT})"
+        )
+    campaign = IncentiveCampaign.from_spec(spec, corpus)
+    campaign.start()
+    for events in state["journal"]:
+        campaign.replay_epoch(events)
+    if campaign.epochs_run != int(state["epoch"]):
+        raise SpecError(
+            f"campaign checkpoint replay reached epoch {campaign.epochs_run}, "
+            f"expected {state['epoch']} — spec/corpus drifted since the checkpoint"
+        )
+    # replay consumed rng draws the live run never made (and skipped the
+    # worker draws it did make); the saved generator state erases the
+    # difference so future epochs are byte-identical to an unkilled run
+    campaign.rng.bit_generator.state = state["rng_state"]
+    campaign._finished = bool(state.get("finished", False))
+    _verify_bank(campaign, directory, state)
+    return campaign
+
+
+def _verify_bank(campaign: IncentiveCampaign, directory: Path, state: dict) -> None:
+    """Cross-check replayed stability state against the saved bank."""
+    bank_name = state.get("bank")
+    rebuilt = getattr(campaign._monitor, "_bank", None)
+    if not bank_name or rebuilt is None:
+        return
+    bank_dir = directory / bank_name
+    if not bank_dir.is_dir():
+        return  # bank snapshot pruned/lost; the journal remains authoritative
+    saved = _load_bank_checkpoint(bank_dir)
+    saved_stable = sorted(saved.stable_points().items())
+    rebuilt_stable = sorted(rebuilt.stable_points().items())
+    if saved_stable != rebuilt_stable:
+        raise SpecError(
+            "campaign checkpoint integrity failure: replayed stability state "
+            f"disagrees with the saved bank ({len(rebuilt_stable)} vs "
+            f"{len(saved_stable)} stable resources)"
+        )

@@ -1,0 +1,127 @@
+"""Epoch-granular campaign execution: :class:`CampaignDriver`.
+
+The driver owns the bridge between a durable :class:`~repro.server.jobstore.CampaignJob`
+and a live :class:`~repro.service.campaign.IncentiveCampaign`.  The
+scheduler never touches campaign internals; it calls exactly three
+things:
+
+* :meth:`CampaignDriver.prepare` — build the campaign from the job's
+  spec, or restore it from the job's last checkpoint (crash/pause
+  recovery);
+* :meth:`CampaignDriver.step` — run **one epoch** and persist progress;
+  one epoch is the scheduling quantum, so N jobs interleave fairly on a
+  cooperative event loop;
+* :meth:`CampaignDriver.finalize` / :meth:`CampaignDriver.checkpoint` —
+  seal the final trace, or cut a durable resume point.
+
+Checkpoint cadence is ``checkpoint_every`` epochs (``0`` = only on
+explicit pause/shutdown).  Because checkpoints restore byte-identically
+(see :mod:`repro.server.checkpoint`), a job killed *between* checkpoints
+simply re-runs the uncheckpointed epochs and produces the same trace.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.server.checkpoint import (
+    has_campaign_checkpoint,
+    restore_campaign_checkpoint,
+    save_campaign_checkpoint,
+)
+from repro.server.jobstore import CampaignJob, JobStore
+from repro.service.campaign import CampaignResult, IncentiveCampaign
+
+__all__ = ["CampaignDriver"]
+
+
+class CampaignDriver:
+    """Steps one job's campaign, epoch by epoch, with durable progress.
+
+    Args:
+        job: The job to drive.
+        store: Its job store (for journaling progress and locating the
+            checkpoint directory; in-memory stores simply never
+            checkpoint to disk).
+        checkpoint_every: Epochs between durable checkpoints; ``0``
+            disables the periodic cadence.
+    """
+
+    def __init__(
+        self, job: CampaignJob, store: JobStore, *, checkpoint_every: int = 0
+    ) -> None:
+        self.job = job
+        self.store = store
+        self.checkpoint_every = max(0, checkpoint_every)
+        self.campaign: IncentiveCampaign | None = None
+        self.result: CampaignResult | None = None
+        self._obs = obs.get()
+
+    @property
+    def _durable(self) -> bool:
+        return self.store.root is not None
+
+    def prepare(self) -> None:
+        """Build the campaign — fresh, or restored from the last checkpoint."""
+        import repro.api as api
+
+        spec = self.job.spec.campaign
+        corpus = api.materialize(spec.corpus)
+        if self._durable:
+            ckpt = self.store.checkpoint_dir(self.job.job_id)
+            if self.job.checkpoint_epoch >= 0 and has_campaign_checkpoint(ckpt):
+                with self._obs.span("server.restore", job=self.job.job_id):
+                    self.campaign = restore_campaign_checkpoint(spec, corpus, ckpt)
+                self._obs.count("server.restores")
+                return
+        self.campaign = IncentiveCampaign.from_spec(spec, corpus)
+        self.campaign.start()
+
+    def step(self) -> bool:
+        """Run one epoch; journal progress.  ``False`` once no work remains.
+
+        The campaign's own stopping conditions (budget exhausted, nothing
+        proposable) and the spec's ``max_epochs`` both end the job.
+        """
+        campaign = self.campaign
+        assert campaign is not None, "step() before prepare()"
+        if campaign.epochs_run >= self.job.spec.campaign.max_epochs:
+            return False
+        started = time.perf_counter() if self._obs.enabled else 0.0
+        report = campaign.step_epoch()
+        if report is None:
+            return False
+        if self._obs.enabled:
+            self._obs.observe("server.epoch", (time.perf_counter() - started) * 1000.0)
+            self._obs.count("server.epochs")
+        self.job.epochs = campaign.epochs_run
+        self.job.spent = campaign.ledger.spent
+        if self.checkpoint_every and campaign.epochs_run % self.checkpoint_every == 0:
+            self.checkpoint()
+        else:
+            self.store.save(self.job)
+        return not campaign.finished
+
+    def checkpoint(self) -> None:
+        """Cut a durable resume point (no-op for in-memory stores)."""
+        campaign = self.campaign
+        assert campaign is not None, "checkpoint() before prepare()"
+        if self._durable:
+            with self._obs.span("server.checkpoint", job=self.job.job_id):
+                save_campaign_checkpoint(
+                    campaign, self.store.checkpoint_dir(self.job.job_id)
+                )
+            self.job.checkpoint_epoch = campaign.epochs_run
+            self._obs.count("server.checkpoints")
+        self.store.save(self.job)
+
+    def finalize(self) -> CampaignResult:
+        """Seal the finished campaign: final trace onto the job record."""
+        campaign = self.campaign
+        assert campaign is not None, "finalize() before prepare()"
+        self.result = campaign.finish()
+        self.job.epochs = campaign.epochs_run
+        self.job.spent = campaign.ledger.spent
+        self.job.trace = self.result.trace_payload()
+        return self.result

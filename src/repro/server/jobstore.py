@@ -1,0 +1,259 @@
+"""Durable campaign-job lifecycle: :class:`CampaignJob` + :class:`JobStore`.
+
+A *job* is one submitted :class:`~repro.api.specs.JobSpec` working its
+way through the server::
+
+    QUEUED -> RUNNING -> DONE
+                |     -> FAILED
+                |     -> CANCELLED
+                +-> PAUSED / CHECKPOINTED -> RUNNING (resume)
+
+The store is the server's source of truth and survives restarts: every
+submission and state change is appended to a single JSONL journal
+(``<root>/journal.jsonl``), and opening a store replays the journal to
+rebuild the job table.  Jobs found ``RUNNING`` at open were interrupted
+by a crash; they are demoted to ``CHECKPOINTED`` (resumable from their
+last checkpoint) or back to ``QUEUED`` if they never checkpointed, so a
+restarted server picks them up automatically.
+
+Durability is append-only and single-writer by design — the scheduler is
+one asyncio loop, so no locking is needed, and a torn final line (power
+loss mid-append) is detected and dropped during replay.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.api.results import JobRecord
+from repro.api.specs import JobSpec
+from repro.core.errors import SpecError
+
+__all__ = ["JobState", "CampaignJob", "JobStore"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a campaign job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    PAUSED = "paused"
+    CHECKPOINTED = "checkpointed"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+TERMINAL_STATES = frozenset({JobState.DONE, JobState.FAILED, JobState.CANCELLED})
+"""States a job never leaves."""
+
+RUNNABLE_STATES = frozenset({JobState.QUEUED, JobState.PAUSED, JobState.CHECKPOINTED})
+"""States from which the scheduler may (re)start a job."""
+
+
+@dataclass
+class CampaignJob:
+    """One submitted campaign and its current lifecycle state.
+
+    Attributes:
+        job_id: Store-unique identifier (``job-0001``, ...).
+        spec: The submitted job description.
+        state: Current lifecycle state.
+        epochs: Campaign epochs completed so far.
+        spent: Reward units paid out so far.
+        checkpoint_epoch: Epoch of the latest durable checkpoint
+            (``-1`` = never checkpointed).
+        trace: Final canonical trace payload once ``DONE`` (see
+            :meth:`~repro.service.campaign.CampaignResult.trace_payload`).
+        error: Failure description once ``FAILED``.
+    """
+
+    job_id: str
+    spec: JobSpec
+    state: JobState = JobState.QUEUED
+    epochs: int = 0
+    spent: int = 0
+    checkpoint_epoch: int = -1
+    trace: dict[str, Any] = field(default_factory=dict)
+    error: str = ""
+
+    @property
+    def user(self) -> str:
+        """The owning tenant (straight from the spec)."""
+        return self.spec.user
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job can never run again."""
+        return self.state in TERMINAL_STATES
+
+    def record(self) -> JobRecord:
+        """The job as a plain-data :class:`~repro.api.results.JobRecord`."""
+        return JobRecord(
+            job_id=self.job_id,
+            user=self.user,
+            state=self.state.value,
+            spec=self.spec.to_dict(),
+            epochs=self.epochs,
+            spent=self.spent,
+            checkpoint_epoch=self.checkpoint_epoch,
+            trace=dict(self.trace),
+            error=self.error,
+        )
+
+
+class JobStore:
+    """The server's durable job table.
+
+    Args:
+        root: State directory.  ``None`` runs the store purely in
+            memory (tests, benchmarks); otherwise the directory is
+            created, ``<root>/journal.jsonl`` is replayed, and every
+            mutation is appended to it before the in-memory table is
+            updated (write-ahead ordering).
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._jobs: dict[str, CampaignJob] = {}
+        self._seq = 0
+        self._journal_path: Path | None = None
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._journal_path = self.root / "journal.jsonl"
+            self._replay()
+
+    # -- durability ----------------------------------------------------
+
+    def _append(self, entry: dict[str, Any]) -> None:
+        if self._journal_path is None:
+            return
+        with self._journal_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def _replay(self) -> None:
+        assert self._journal_path is not None
+        if not self._journal_path.exists():
+            return
+        for line in self._journal_path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                # torn final append from a crash mid-write; everything
+                # before it already replayed, so just stop here
+                break
+            self._apply(entry)
+        # RUNNING at open means the previous process died mid-job:
+        # resumable from its checkpoint, or from scratch if none exists.
+        # Demoted in memory only — replay re-derives it, and keeping the
+        # open read-only lets CLI tools inspect a live server's store.
+        for job in self._jobs.values():
+            if job.state is JobState.RUNNING:
+                job.state = (
+                    JobState.CHECKPOINTED if job.checkpoint_epoch >= 0 else JobState.QUEUED
+                )
+
+    def _apply(self, entry: dict[str, Any]) -> None:
+        kind = entry.get("event")
+        if kind == "submit":
+            spec = JobSpec.from_dict(entry["spec"])
+            job = CampaignJob(job_id=entry["job_id"], spec=spec)
+            self._jobs[job.job_id] = job
+            self._seq = max(self._seq, _job_seq(job.job_id))
+        elif kind == "state":
+            job = self._jobs.get(entry.get("job_id", ""))
+            if job is None:
+                return  # state for an unknown job: journal truncated upstream
+            job.state = JobState(entry["state"])
+            job.epochs = int(entry.get("epochs", job.epochs))
+            job.spent = int(entry.get("spent", job.spent))
+            job.checkpoint_epoch = int(entry.get("checkpoint_epoch", job.checkpoint_epoch))
+            job.trace = entry.get("trace", job.trace)
+            job.error = entry.get("error", job.error)
+        # unknown event kinds are skipped: journals are forward-compatible
+
+    @staticmethod
+    def _state_entry(job: CampaignJob) -> dict[str, Any]:
+        entry: dict[str, Any] = {
+            "event": "state",
+            "job_id": job.job_id,
+            "state": job.state.value,
+            "epochs": job.epochs,
+            "spent": job.spent,
+            "checkpoint_epoch": job.checkpoint_epoch,
+        }
+        if job.trace:
+            entry["trace"] = job.trace
+        if job.error:
+            entry["error"] = job.error
+        return entry
+
+    # -- job table -----------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> CampaignJob:
+        """Create a ``QUEUED`` job for ``spec`` and journal the submission."""
+        if not isinstance(spec, JobSpec):
+            raise SpecError(f"JobStore.submit expects a JobSpec, got {type(spec).__name__}")
+        self._seq += 1
+        job = CampaignJob(job_id=f"job-{self._seq:04d}", spec=spec)
+        self._append({"event": "submit", "job_id": job.job_id, "spec": spec.to_dict()})
+        self._jobs[job.job_id] = job
+        return job
+
+    def save(self, job: CampaignJob) -> None:
+        """Journal ``job``'s current state (call after every mutation)."""
+        self._append(self._state_entry(job))
+
+    def log(self, entry: dict[str, Any]) -> None:
+        """Append an auxiliary event (e.g. tenant transactions) to the journal.
+
+        Replay skips event kinds it does not recognise, so auxiliary
+        entries are pure audit trail.
+        """
+        self._append(dict(entry))
+
+    def get(self, job_id: str) -> CampaignJob:
+        """Look a job up by id.
+
+        Raises:
+            KeyError: If unknown.
+        """
+        return self._jobs[job_id]
+
+    def jobs(self) -> list[CampaignJob]:
+        """All jobs in submission order."""
+        return sorted(self._jobs.values(), key=lambda job: _job_seq(job.job_id))
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    # -- per-job filesystem layout ------------------------------------
+
+    def job_dir(self, job_id: str) -> Path:
+        """``<root>/jobs/<job_id>`` (created on demand).
+
+        Raises:
+            SpecError: For in-memory stores, which have no directories.
+        """
+        if self.root is None:
+            raise SpecError("in-memory JobStore has no job directories")
+        path = self.root / "jobs" / job_id
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def checkpoint_dir(self, job_id: str) -> Path:
+        """Where ``job_id``'s campaign checkpoints live."""
+        return self.job_dir(job_id) / "checkpoint"
+
+
+def _job_seq(job_id: str) -> int:
+    try:
+        return int(job_id.rsplit("-", 1)[-1])
+    except ValueError:
+        return 0

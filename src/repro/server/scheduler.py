@@ -1,0 +1,415 @@
+"""The asyncio front door of the campaign service: :class:`Scheduler`.
+
+One event loop, many campaigns.  The scheduler is deliberately
+single-threaded: campaign epochs are synchronous CPU slices, and the
+loop interleaves them cooperatively — one epoch per scheduling slice,
+``slots`` jobs in flight, fair round-robin across users (each user's
+jobs take turns, and users take turns with each other, so one tenant
+submitting fifty campaigns cannot starve another's one).
+
+Determinism is the design invariant: every job owns an independent rng
+seeded from its spec, so *any* interleaving of epoch slices produces
+traces byte-identical to running each spec serially through
+:func:`repro.api.run`.  Concurrency changes wall-clock, never results.
+
+Admission is where multi-tenancy bites (cf. "Incentivized Advertising"
+on per-owner incentive accounting):
+
+* a **bounded queue** — more than ``max_queued`` waiting jobs and the
+  submission is refused outright;
+* a **tenant budget check** — the campaign's full budget is reserved
+  against the user's cross-campaign allowance
+  (:class:`~repro.server.tenants.TenantLedger`); over-budget users are
+  rejected *before* any work happens, with the rejection in the audit
+  log.
+
+Durability: all lifecycle transitions go through the
+:class:`~repro.server.jobstore.JobStore` journal, and the
+:class:`~repro.server.driver.CampaignDriver` checkpoints every K epochs
+— kill the process at any instant, build a new scheduler on the same
+root, and interrupted jobs resume from their last checkpoint with
+byte-identical final traces.
+
+A file protocol makes the CLI work without sockets: ``<root>/inbox/``
+receives ``JobSpec`` JSON files (``repro-tagging submit``) and
+``<root>/control/`` receives ``<job_id>.<pause|resume|cancel>`` marker
+files (``repro-tagging job``); :meth:`Scheduler.serve` polls both.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import defaultdict, deque
+
+from repro import obs
+from repro.api.results import JobRecord
+from repro.api.specs import CampaignSpec, JobSpec, ServerSpec
+from repro.core.errors import ReproError, SpecError
+from repro.server.driver import CampaignDriver
+from repro.server.jobstore import CampaignJob, JobState, JobStore
+from repro.server.tenants import TenantLedger
+
+__all__ = ["AdmissionError", "Scheduler"]
+
+_CONTROL_ACTIONS = ("pause", "resume", "cancel")
+
+
+class AdmissionError(ReproError):
+    """A submission was refused at the front door (queue full / over budget)."""
+
+
+class Scheduler:
+    """Runs many users' campaigns concurrently over one job store.
+
+    Args:
+        spec: Service configuration; ``spec.root`` locates the durable
+            state directory.
+        store: Optional pre-built store (pass ``JobStore(None)`` for a
+            pure in-memory scheduler in tests/benchmarks).  When given,
+            it overrides ``spec.root``.
+    """
+
+    def __init__(self, spec: ServerSpec | None = None, *, store: JobStore | None = None) -> None:
+        self.spec = spec if spec is not None else ServerSpec()
+        self.store = store if store is not None else JobStore(self.spec.root)
+        self._obs = obs.get()
+        self.tenants = TenantLedger(
+            self.spec.budgets,
+            default_budget=self.spec.default_budget,
+            sink=self._tenant_sink,
+        )
+        self._queues: dict[str, deque[str]] = defaultdict(deque)
+        self._ring: deque[str] = deque()  # users, in round-robin order
+        self._busy: set[str] = set()
+        self._drivers: dict[str, CampaignDriver] = {}
+        self._pause_requested: set[str] = set()
+        self._cancel_requested: set[str] = set()
+        self._stop: asyncio.Event | None = None
+        self._recover()
+
+    def _tenant_sink(self, payload: dict) -> None:
+        self.store.log({"event": "tenant", **payload})
+
+    # -- recovery ------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild tenant balances and requeue interrupted jobs.
+
+        The store already demoted crash-interrupted ``RUNNING`` jobs to
+        ``CHECKPOINTED``/``QUEUED`` during journal replay; here the
+        scheduler re-establishes their budget reservations (forced —
+        admission decisions are never re-litigated) and puts every
+        runnable job back in its user's queue.  ``PAUSED`` jobs stay
+        parked until an explicit resume.
+        """
+        for job in self.store.jobs():
+            if job.terminal:
+                # history: the spend is already final; rebuild committed
+                self.tenants.reserve(job.user, job.job_id, job.spent, force=True)
+                self.tenants.settle(job.job_id, job.spent)
+            else:
+                self.tenants.reserve(
+                    job.user, job.job_id, job.spec.campaign.budget, force=True
+                )
+                if job.state in (JobState.QUEUED, JobState.CHECKPOINTED):
+                    self._enqueue(job.job_id)
+
+    # -- admission -----------------------------------------------------
+
+    def submit(self, spec: JobSpec | CampaignSpec, *, user: str | None = None) -> str:
+        """Admit one campaign; returns its job id.
+
+        Args:
+            spec: A :class:`~repro.api.specs.JobSpec`, or a bare
+                :class:`~repro.api.specs.CampaignSpec` (wrapped with
+                ``user``).
+            user: Owner override (a bare campaign spec defaults to
+                ``anonymous`` without it).
+
+        Raises:
+            AdmissionError: Queue full, or the user's cross-campaign
+                budget cannot cover the campaign (the rejection is
+                journalled and the tenant ledger still reconciles).
+        """
+        if isinstance(spec, CampaignSpec):
+            spec = JobSpec(campaign=spec, user=user or "anonymous")
+        elif not isinstance(spec, JobSpec):
+            raise SpecError(
+                f"submit expects a JobSpec or CampaignSpec, got {type(spec).__name__}"
+            )
+        elif user is not None and user != spec.user:
+            spec = spec.replace(user=user)
+        queued = sum(len(queue) for queue in self._queues.values())
+        if queued >= self.spec.max_queued:
+            self._obs.count("server.rejected")
+            raise AdmissionError(
+                f"admission queue full ({queued}/{self.spec.max_queued} jobs waiting)"
+            )
+        job = self.store.submit(spec)
+        if not self.tenants.reserve(job.user, job.job_id, spec.campaign.budget):
+            job.state = JobState.FAILED
+            job.error = (
+                f"rejected at admission: budget {spec.campaign.budget} exceeds "
+                f"user {job.user!r} remaining allowance {self.tenants.available(job.user)}"
+            )
+            self.store.save(job)
+            self._obs.count("server.rejected")
+            raise AdmissionError(job.error)
+        self._obs.count("server.submitted")
+        self._enqueue(job.job_id)
+        return job.job_id
+
+    # -- queue mechanics ----------------------------------------------
+
+    def _enqueue(self, job_id: str) -> None:
+        user = self.store.get(job_id).user
+        if user not in self._ring:
+            self._ring.append(user)
+        self._queues[user].append(job_id)
+        self._gauge_queue()
+
+    def _dequeue(self, job_id: str) -> bool:
+        user = self.store.get(job_id).user
+        queue = self._queues.get(user)
+        if queue and job_id in queue:
+            queue.remove(job_id)
+            self._gauge_queue()
+            return True
+        return False
+
+    def _next_ready(self) -> str | None:
+        """Fair round-robin: next user with a waiting job, their oldest job."""
+        for _ in range(len(self._ring)):
+            user = self._ring[0]
+            self._ring.rotate(-1)
+            queue = self._queues[user]
+            if queue:
+                job_id = queue.popleft()
+                self._gauge_queue()
+                return job_id
+        return None
+
+    def _gauge_queue(self) -> None:
+        if self._obs.enabled:
+            self._obs.gauge(
+                "server.queue_depth",
+                sum(len(queue) for queue in self._queues.values()),
+            )
+
+    # -- job control ---------------------------------------------------
+
+    def pause(self, job_id: str) -> None:
+        """Park a job at its next epoch boundary (immediately if queued)."""
+        job = self.store.get(job_id)
+        if job.terminal:
+            raise SpecError(f"cannot pause {job_id}: already {job.state.value}")
+        if job.state is JobState.PAUSED:
+            return
+        if self._dequeue(job_id):
+            self._apply_pause(job)
+        else:
+            self._pause_requested.add(job_id)
+
+    def resume(self, job_id: str) -> None:
+        """Requeue a paused job (restores from its checkpoint if durable)."""
+        job = self.store.get(job_id)
+        self._pause_requested.discard(job_id)
+        if job.state not in (JobState.PAUSED, JobState.CHECKPOINTED):
+            raise SpecError(f"cannot resume {job_id}: state is {job.state.value}")
+        job.state = (
+            JobState.CHECKPOINTED if job.checkpoint_epoch >= 0 else JobState.QUEUED
+        )
+        self.store.save(job)
+        self._obs.count("server.resumed")
+        self._enqueue(job_id)
+
+    def cancel(self, job_id: str) -> None:
+        """Terminate a job (at its next epoch boundary if mid-run)."""
+        job = self.store.get(job_id)
+        if job.terminal:
+            return
+        self._pause_requested.discard(job_id)
+        if job_id in self._busy:
+            self._cancel_requested.add(job_id)
+        else:
+            self._dequeue(job_id)
+            self._apply_cancel(job)
+
+    def status(self, job_id: str) -> JobRecord:
+        """The job's current :class:`~repro.api.results.JobRecord`."""
+        return self.store.get(job_id).record()
+
+    def jobs(self) -> list[JobRecord]:
+        """All job records, in submission order."""
+        return [job.record() for job in self.store.jobs()]
+
+    def _apply_pause(self, job: CampaignJob) -> None:
+        driver = self._drivers.get(job.job_id)
+        if driver is not None and driver.campaign is not None:
+            driver.checkpoint()
+            if self.store.root is not None:
+                # durable checkpoint taken: the live campaign can be
+                # dropped and restored on resume (the crash-safe path)
+                del self._drivers[job.job_id]
+        job.state = JobState.PAUSED
+        self.store.save(job)
+        self._obs.count("server.paused")
+
+    def _apply_cancel(self, job: CampaignJob) -> None:
+        job.state = JobState.CANCELLED
+        self.store.save(job)
+        self._drivers.pop(job.job_id, None)
+        self.tenants.settle(job.job_id, job.spent)
+        self._obs.count("server.cancelled")
+
+    # -- the scheduling loop ------------------------------------------
+
+    async def _slice(self, job_id: str) -> None:
+        """One scheduling quantum: (prepare and) step one epoch of one job."""
+        job = self.store.get(job_id)
+        if job.terminal:
+            return
+        if job_id in self._cancel_requested:
+            self._cancel_requested.discard(job_id)
+            self._apply_cancel(job)
+            return
+        self._busy.add(job_id)
+        try:
+            with self._obs.span("server.slice", job=job_id, user=job.user):
+                driver = self._drivers.get(job_id)
+                if driver is None:
+                    driver = CampaignDriver(
+                        job,
+                        self.store,
+                        checkpoint_every=job.spec.checkpoint_every
+                        or self.spec.checkpoint_every,
+                    )
+                    driver.prepare()
+                    self._drivers[job_id] = driver
+                if job.state is not JobState.RUNNING:
+                    job.state = JobState.RUNNING
+                    self.store.save(job)
+                more = driver.step()
+        except ReproError as exc:
+            job.state = JobState.FAILED
+            job.error = str(exc)
+            self.store.save(job)
+            self._drivers.pop(job_id, None)
+            self.tenants.settle(job_id, job.spent)
+            self._obs.count("server.failed")
+            return
+        finally:
+            self._busy.discard(job_id)
+        if job_id in self._cancel_requested:
+            self._cancel_requested.discard(job_id)
+            self._apply_cancel(job)
+        elif job_id in self._pause_requested:
+            self._pause_requested.discard(job_id)
+            self._apply_pause(job)
+        elif more:
+            self._enqueue(job_id)
+        else:
+            driver.finalize()
+            job.state = JobState.DONE
+            self.store.save(job)
+            self._drivers.pop(job_id, None)
+            self.tenants.settle(job_id, job.spent)
+            self._obs.count("server.completed")
+        # yield: one epoch per slice is the fairness quantum
+        await asyncio.sleep(0)
+
+    async def _worker(self, *, idle_exit: bool, poll_interval: float) -> None:
+        while self._stop is None or not self._stop.is_set():
+            job_id = self._next_ready()
+            if job_id is None:
+                if not self._busy:
+                    if idle_exit:
+                        return
+                    await asyncio.sleep(poll_interval)
+                else:
+                    await asyncio.sleep(0)
+                continue
+            await self._slice(job_id)
+
+    async def run_until_idle(self) -> None:
+        """Drive every queued job to a parked or terminal state, then return."""
+        self._stop = None
+        workers = [
+            asyncio.create_task(self._worker(idle_exit=True, poll_interval=0.0))
+            for _ in range(self.spec.slots)
+        ]
+        await asyncio.gather(*workers)
+
+    async def serve(
+        self,
+        *,
+        poll_interval: float = 0.25,
+        shutdown: asyncio.Event | None = None,
+    ) -> None:
+        """Run forever: drive jobs and poll the inbox/control directories.
+
+        Returns after ``shutdown`` is set, checkpointing every live job
+        first so nothing re-runs more than its last uncheckpointed
+        epochs on the next start.
+        """
+        self._stop = shutdown if shutdown is not None else asyncio.Event()
+        tasks = [
+            asyncio.create_task(self._worker(idle_exit=False, poll_interval=poll_interval))
+            for _ in range(self.spec.slots)
+        ]
+        tasks.append(asyncio.create_task(self._poll_files(poll_interval)))
+        await asyncio.gather(*tasks)
+        self._drain_for_shutdown()
+
+    def _drain_for_shutdown(self) -> None:
+        for job_id, driver in list(self._drivers.items()):
+            job = self.store.get(job_id)
+            if job.terminal or driver.campaign is None:
+                continue
+            driver.checkpoint()
+            job.state = JobState.CHECKPOINTED
+            self.store.save(job)
+            del self._drivers[job_id]
+
+    # -- file protocol (CLI without sockets) --------------------------
+
+    async def _poll_files(self, poll_interval: float) -> None:
+        assert self._stop is not None
+        while not self._stop.is_set():
+            self.poll_once()
+            await asyncio.sleep(poll_interval)
+
+    def poll_once(self) -> None:
+        """Process pending inbox submissions and control requests."""
+        if self.store.root is None:
+            return
+        inbox = self.store.root / "inbox"
+        done = inbox / "processed"
+        if inbox.is_dir():
+            for path in sorted(inbox.glob("*.json")):
+                done.mkdir(parents=True, exist_ok=True)
+                receipt: dict[str, str] = {}
+                try:
+                    payload = json.loads(path.read_text(encoding="utf-8"))
+                    if payload.get("type") == "campaign":
+                        submitted = CampaignSpec.from_dict(payload)
+                    else:
+                        submitted = JobSpec.from_dict(payload)
+                    receipt["job_id"] = self.submit(submitted)
+                except (ReproError, json.JSONDecodeError, OSError) as exc:
+                    receipt["error"] = str(exc)
+                (done / (path.name + ".receipt")).write_text(
+                    json.dumps(receipt, sort_keys=True) + "\n", encoding="utf-8"
+                )
+                path.rename(done / path.name)
+        control = self.store.root / "control"
+        if control.is_dir():
+            for path in sorted(control.iterdir()):
+                job_id, _, action = path.name.rpartition(".")
+                if action in _CONTROL_ACTIONS and job_id:
+                    try:
+                        getattr(self, action)(job_id)
+                    except (ReproError, KeyError):
+                        pass  # unknown/terminal job: request is stale
+                path.unlink(missing_ok=True)

@@ -1,0 +1,206 @@
+"""Per-user budget accounting across campaigns: :class:`TenantLedger`.
+
+Each campaign already audits its own spend through
+:class:`~repro.service.ledger.RewardLedger`; the *tenant* ledger sits one
+level up and answers the multi-tenant question the paper's Fig 2 never
+had to: may this user start another campaign at all?
+
+The accounting discipline is reserve/settle, the same shape as the
+related "Incentivized Advertising" analysis where incentive spend must
+be attributable per campaign owner:
+
+* **reserve** — admission takes the campaign's *full* budget out of the
+  user's allowance up front, so concurrent campaigns can never
+  collectively overshoot a cap, whatever order they finish in.
+* **settle** — when the job reaches a terminal state, the units actually
+  spent are committed and the unspent remainder released back.
+* **reject** — an admission that would exceed the allowance is recorded
+  too, so the audit trail shows every decision, not just the approvals.
+
+Every movement is a :class:`TenantTransaction` in an append-only log;
+:meth:`TenantLedger.reconcile` recomputes all balances from that log and
+verifies they match the tracked state exactly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.errors import BudgetError
+
+__all__ = ["TenantTransaction", "TenantLedger"]
+
+
+@dataclass(frozen=True)
+class TenantTransaction:
+    """One movement on a user's cross-campaign balance.
+
+    Attributes:
+        seq: Position in the ledger's append-only log.
+        user: The tenant.
+        job_id: The campaign job that caused the movement.
+        kind: ``reserve`` | ``commit`` | ``release`` | ``reject``.
+        amount: Reward units moved (always non-negative).
+    """
+
+    seq: int
+    user: str
+    job_id: str
+    kind: str
+    amount: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "user": self.user,
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "amount": self.amount,
+        }
+
+
+class TenantLedger:
+    """Enforces per-user budgets across concurrent campaigns.
+
+    Args:
+        budgets: Per-user caps (``user -> reward units``); users listed
+            here are capped even if ``default_budget`` is ``None``.
+        default_budget: Cap for users absent from ``budgets``
+            (``None`` = uncapped).
+        sink: Optional callback invoked with each transaction's
+            ``to_dict`` payload as it is logged — the scheduler points
+            this at the job store's journal for durability.
+    """
+
+    def __init__(
+        self,
+        budgets: dict[str, int] | None = None,
+        *,
+        default_budget: int | None = None,
+        sink: Callable[[dict[str, Any]], None] | None = None,
+    ) -> None:
+        self._budgets = dict(budgets or {})
+        self._default_budget = default_budget
+        self._sink = sink
+        self._reserved: dict[str, int] = defaultdict(int)
+        self._committed: dict[str, int] = defaultdict(int)
+        self._open: dict[str, tuple[str, int]] = {}  # job_id -> (user, reserved)
+        self._log: list[TenantTransaction] = []
+
+    # -- queries -------------------------------------------------------
+
+    def allowance(self, user: str) -> int | None:
+        """The user's total cap (``None`` = uncapped)."""
+        return self._budgets.get(user, self._default_budget)
+
+    def reserved_for(self, user: str) -> int:
+        """Units currently reserved by the user's live jobs."""
+        return self._reserved[user]
+
+    def committed_for(self, user: str) -> int:
+        """Units the user's settled jobs actually spent."""
+        return self._committed[user]
+
+    def available(self, user: str) -> int | None:
+        """Units the user may still reserve (``None`` = uncapped)."""
+        cap = self.allowance(user)
+        if cap is None:
+            return None
+        return cap - self._reserved[user] - self._committed[user]
+
+    @property
+    def transactions(self) -> list[TenantTransaction]:
+        """The full append-only movement log."""
+        return list(self._log)
+
+    # -- movements -----------------------------------------------------
+
+    def _record(self, user: str, job_id: str, kind: str, amount: int) -> None:
+        txn = TenantTransaction(
+            seq=len(self._log), user=user, job_id=job_id, kind=kind, amount=amount
+        )
+        self._log.append(txn)
+        if self._sink is not None:
+            self._sink(txn.to_dict())
+
+    def reserve(self, user: str, job_id: str, amount: int, *, force: bool = False) -> bool:
+        """Reserve ``amount`` against ``user``'s allowance at admission.
+
+        Returns ``True`` on success; ``False`` (with a ``reject``
+        transaction logged) when the reservation would exceed the cap.
+
+        Args:
+            user: The tenant.
+            job_id: The campaign job taking the reservation.
+            amount: Units to reserve.
+            force: Skip the cap check — used only when replaying already
+                admitted jobs from a journal after a restart (admission
+                decisions are never re-litigated).
+
+        Raises:
+            BudgetError: For negative amounts or a job_id that already
+                holds a reservation — both are caller bugs, not budget
+                decisions.
+        """
+        if amount < 0:
+            raise BudgetError(f"cannot reserve a negative amount ({amount})")
+        if job_id in self._open:
+            raise BudgetError(f"job {job_id} already holds a reservation")
+        available = self.available(user)
+        if not force and available is not None and amount > available:
+            self._record(user, job_id, "reject", amount)
+            return False
+        self._reserved[user] += amount
+        self._open[job_id] = (user, amount)
+        self._record(user, job_id, "reserve", amount)
+        return True
+
+    def settle(self, job_id: str, spent: int) -> None:
+        """Close ``job_id``'s reservation: commit ``spent``, release the rest.
+
+        Raises:
+            BudgetError: If the job holds no reservation or claims to
+                have spent more than it reserved.
+        """
+        if job_id not in self._open:
+            raise BudgetError(f"job {job_id} holds no reservation to settle")
+        user, reserved = self._open.pop(job_id)
+        if spent < 0 or spent > reserved:
+            self._open[job_id] = (user, reserved)
+            raise BudgetError(
+                f"job {job_id} settled {spent} outside its reservation of {reserved}"
+            )
+        self._reserved[user] -= reserved
+        self._committed[user] += spent
+        if spent:
+            self._record(user, job_id, "commit", spent)
+        if reserved - spent:
+            self._record(user, job_id, "release", reserved - spent)
+        if reserved == spent == 0:
+            self._record(user, job_id, "release", 0)
+
+    def reconcile(self) -> bool:
+        """Recompute every balance from the log and compare to tracked state.
+
+        The audit invariant: for every user,
+        ``sum(reserves) - sum(releases) - sum(commits) == reserved`` and
+        ``sum(commits) == committed``; rejects move nothing.
+        """
+        reserved: dict[str, int] = defaultdict(int)
+        committed: dict[str, int] = defaultdict(int)
+        for txn in self._log:
+            if txn.kind == "reserve":
+                reserved[txn.user] += txn.amount
+            elif txn.kind == "release":
+                reserved[txn.user] -= txn.amount
+            elif txn.kind == "commit":
+                reserved[txn.user] -= txn.amount
+                committed[txn.user] += txn.amount
+        users = set(reserved) | set(committed) | set(self._reserved) | set(self._committed)
+        return all(
+            reserved[user] == self._reserved[user]
+            and committed[user] == self._committed[user]
+            for user in users
+        )

@@ -40,7 +40,7 @@ backends.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from collections.abc import Sequence
 
 import numpy as np
@@ -72,6 +72,12 @@ class EpochReport:
         spent: Reward units paid this epoch.
         observed_stable: Resources whose *observed* MA has crossed the
             stopping threshold so far.
+        withdrawn: Tasks still ``OPEN`` at the end of the epoch that the
+            board withdrew (abandoned tasks are expired, never left open
+            forever).
+        task_counts: The board's cumulative task-state histogram at the
+            end of the epoch (``state value -> count``), straight from
+            :meth:`~repro.service.jobs.JobBoard.counts_by_state`.
     """
 
     epoch: int
@@ -80,6 +86,8 @@ class EpochReport:
     unfilled: int
     spent: int
     observed_stable: int
+    withdrawn: int = 0
+    task_counts: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -107,6 +115,40 @@ class CampaignResult:
     def total_completed(self) -> int:
         """All completed tasks across epochs."""
         return sum(r.completed for r in self.reports)
+
+    def trace_payload(self) -> dict:
+        """Canonical JSON-safe trace of everything decision-visible.
+
+        The byte-identity currency of the repo: the pinned fixture
+        (``tests/fixtures/campaign_traces.json``), the campaign-server
+        acceptance tests and the crash/resume determinism tests all
+        compare these payloads.  Epoch reports, final counts and the
+        stopped set capture the decision sequence; the bought-posts
+        digest pins the exact post content (tags and timestamps) the
+        worker pool produced, so any divergence in rng consumption shows
+        up even when the aggregate numbers happen to agree.  Additive
+        report fields (``withdrawn``, ``task_counts``) are deliberately
+        excluded to keep historical fixtures stable.
+        """
+        import hashlib
+        import json
+
+        bought = [
+            [[round(post.timestamp, 9), sorted(post.tags)] for post in posts]
+            for posts in self.bought_posts
+        ]
+        return {
+            "epochs": [
+                [r.epoch, r.published, r.completed, r.unfilled, r.spent, r.observed_stable]
+                for r in self.reports
+            ],
+            "final_counts": self.final_counts.tolist(),
+            "stopped": sorted(self.stopped_resources),
+            "spent": self.ledger.spent,
+            "bought_sha256": hashlib.sha256(
+                json.dumps(bought, sort_keys=True).encode()
+            ).hexdigest(),
+        }
 
     def render(self) -> str:
         lines = [
@@ -140,6 +182,9 @@ class IncentiveCampaign:
             retired (``None`` disables adaptive stopping).
         batch_size: Task offers attempted per epoch.
         reward_per_task: Units paid per completed task.
+        max_offers: Workers offered one task before it is abandoned for
+            the epoch (forwarded to
+            :meth:`~repro.service.workers.WorkerPool.try_fill`).
         stability_backend: Monitor backend name, passed straight to
             :func:`~repro.allocation.monitor.make_monitor` —
             ``"tracker"`` (per-post stopping), ``"engine"`` (vectorized,
@@ -166,6 +211,7 @@ class IncentiveCampaign:
         stop_tau: float | None = 0.999,
         batch_size: int = 25,
         reward_per_task: int = 1,
+        max_offers: int = 10,
         stability_backend: str = "tracker",
         stability_shards: int = 4,
         stability_executor: str = "serial",
@@ -175,6 +221,8 @@ class IncentiveCampaign:
             raise AllocationError("models and initial_posts must align")
         if batch_size < 1:
             raise AllocationError("batch_size must be positive")
+        if max_offers < 1:
+            raise AllocationError("max_offers must be positive")
         self.models = list(models)
         self.initial_posts = [list(posts) for posts in initial_posts]
         self.strategy = strategy
@@ -184,6 +232,7 @@ class IncentiveCampaign:
         self.stop_tau = stop_tau
         self.batch_size = batch_size
         self.reward_per_task = reward_per_task
+        self.max_offers = max_offers
         self.stability_backend = stability_backend
 
         self._obs = obs.get()
@@ -192,6 +241,11 @@ class IncentiveCampaign:
         self._counts = np.array([len(p) for p in self.initial_posts], dtype=np.int64)
         self._bought: list[list[Post]] = [[] for _ in self.models]
         self._stopped: set[int] = set()
+        self._reports: list[EpochReport] = []
+        self._journal: list[list[list]] = []
+        self._epoch = 0
+        self._started = False
+        self._finished = False
 
         # Workers read observed counts between engine flushes, so the
         # monitor keeps live frequency dicts (track_observed).
@@ -258,6 +312,7 @@ class IncentiveCampaign:
             stop_tau=spec.stop_tau,
             batch_size=spec.batch_size,
             reward_per_task=spec.reward_per_task,
+            max_offers=spec.max_offers,
             stability_backend=spec.stability_backend,
             stability_shards=spec.stability_shards,
             stability_executor=spec.stability_executor,
@@ -311,89 +366,187 @@ class IncentiveCampaign:
                     )
 
     # ------------------------------------------------------------------
+    # stepwise execution (the campaign-server driver entry points)
+    # ------------------------------------------------------------------
 
-    def run(self, max_epochs: int = 100) -> CampaignResult:
-        """Run epochs until the budget is gone or nothing is proposable.
+    @property
+    def epochs_run(self) -> int:
+        """Epochs completed so far."""
+        return self._epoch
 
-        Args:
-            max_epochs: Hard stop on campaign length.
+    @property
+    def finished(self) -> bool:
+        """Whether the campaign has nothing left to do."""
+        return self._finished
 
-        Returns:
-            The final :class:`CampaignResult`.
+    @property
+    def journal(self) -> list[list[list]]:
+        """Per-epoch task outcomes, JSON-safe.
+
+        One list per epoch; each entry is ``["done", index, worker_id,
+        sorted_tags, timestamp, tagger]`` for a completed task or
+        ``["refused", index]`` for an abandoned one.  Replaying the
+        journal through :meth:`replay_epoch` on a freshly built campaign
+        reproduces this campaign's state exactly — the durable-resume
+        path of :mod:`repro.server`.
         """
+        return self._journal
+
+    def start(self) -> None:
+        """INIT: prime the strategy and retire already-stable resources.
+
+        Idempotent; :meth:`run` calls it automatically.
+        """
+        if self._started:
+            return
+        self._started = True
         self.strategy.initialize(self._make_context())
         self._drain_and_retire()  # resources already stable at kickoff
 
+    def step_epoch(self) -> EpochReport | None:
+        """Run one live epoch; ``None`` once the campaign is finished."""
+        return self._run_epoch(None)
+
+    def replay_epoch(self, events: Sequence[Sequence]) -> EpochReport | None:
+        """Re-apply one journaled epoch without consuming worker draws.
+
+        The scripted twin of :meth:`step_epoch`: task outcomes come from
+        ``events`` (one :attr:`journal` epoch) instead of the worker
+        pool, but every state update — strategy CHOOSE/UPDATE hooks,
+        board transitions, ledger payouts, monitor ingest, adaptive
+        stopping — runs through the exact live-path code, so the rebuilt
+        campaign is indistinguishable from the one that wrote the
+        journal.  (CHOOSE is still called for its state effects; the
+        journaled index is authoritative, which also covers strategies
+        whose choice itself is random, e.g. FC.  Any RNG consumed here
+        is irrelevant: resume restores the generator state afterwards.)
+        """
+        return self._run_epoch(list(events))
+
+    def _run_epoch(self, script: list | None) -> EpochReport | None:
+        if self._started is False:
+            raise AllocationError("campaign epoch stepped before start()")
+        if self._finished or self.ledger.remaining < self.reward_per_task:
+            self._finished = True
+            return None
         monitor = self._monitor
         per_post_stopping = not monitor.batched
         telemetry = self._obs
-        reports: list[EpochReport] = []
-        for epoch in range(max_epochs):
+        epoch = self._epoch
+        epoch_started = time.perf_counter() if telemetry.enabled else 0.0
+        published = completed = unfilled = spent = 0
+        events: list[list] = []
+        steps = self.batch_size if script is None else len(script)
+        for step in range(steps):
             if self.ledger.remaining < self.reward_per_task:
                 break
-            epoch_started = time.perf_counter() if telemetry.enabled else 0.0
-            published = completed = unfilled = spent = 0
-            for _ in range(self.batch_size):
-                if self.ledger.remaining < self.reward_per_task:
-                    break
-                index = self.strategy.choose()
-                if index is None:
-                    break
-                task = self.board.publish(index, reward=self.reward_per_task)
-                published += 1
+            index = self.strategy.choose()
+            if script is not None:
+                # the journaled choice is authoritative (identical for
+                # deterministic strategies; FC redraws are discarded)
+                index = int(script[step][1])
+            if index is None:
+                break
+            task = self.board.publish(index, reward=self.reward_per_task)
+            published += 1
+            if script is None:
                 post = self.workers.try_fill(
                     task,
                     self.models[index],
                     post_index=int(self._counts[index]),
                     timestamp=float(epoch),
                     observed_counts=monitor.observed_counts(index),
+                    max_offers=self.max_offers,
                 )
-                if post is None:
-                    task.expire()
-                    unfilled += 1
-                    self.strategy.notify_refusal(index)
-                    continue
-                self.ledger.pay(task.task_id, task.worker_id or "?", task.reward)
-                spent += task.reward
-                completed += 1
-                self._counts[index] += 1
-                self._bought[index].append(post)
-                self.strategy.update(index, post)
-                monitor.observe_batch(((index, post),))
-                if per_post_stopping:
-                    self._drain_and_retire()
-            if not per_post_stopping:
-                # engine fast path: one vectorized stability update per epoch
+            else:
+                event = script[step]
+                if event[0] == "refused":
+                    post = None
+                else:
+                    _, _, worker_id, tags, timestamp, tagger = event
+                    post = Post(frozenset(tags), timestamp=float(timestamp), tagger=tagger)
+                    task.claim(worker_id)
+                    task.complete(post)
+            if post is None:
+                task.expire()
+                unfilled += 1
+                self.strategy.notify_refusal(index)
+                events.append(["refused", index])
+                continue
+            self.ledger.pay(task.task_id, task.worker_id or "?", task.reward)
+            spent += task.reward
+            completed += 1
+            self._counts[index] += 1
+            self._bought[index].append(post)
+            self.strategy.update(index, post)
+            monitor.observe_batch(((index, post),))
+            if per_post_stopping:
                 self._drain_and_retire()
-            if telemetry.enabled:
-                telemetry.observe(
-                    "campaign.epoch", (time.perf_counter() - epoch_started) * 1000.0
-                )
-                telemetry.count("campaign.epochs")
-                telemetry.count("campaign.published", published)
-                telemetry.count("campaign.completed", completed)
-                if unfilled:
-                    telemetry.count("campaign.unfilled", unfilled)
-                telemetry.count("campaign.spent", spent)
-                telemetry.gauge("campaign.budget_remaining", self.ledger.remaining)
-            reports.append(
-                EpochReport(
-                    epoch=epoch,
-                    published=published,
-                    completed=completed,
-                    unfilled=unfilled,
-                    spent=spent,
-                    observed_stable=len(self._stopped),
-                )
+            events.append(
+                ["done", index, task.worker_id, sorted(post.tags), post.timestamp, post.tagger]
             )
-            if published == 0:
-                break
+        if not per_post_stopping:
+            # engine fast path: one vectorized stability update per epoch
+            self._drain_and_retire()
+        # Withdraw anything still OPEN so abandoned tasks never linger on
+        # the board (a no-op in the built-in loop, which settles every
+        # task inline, but load-bearing for external task feeds).
+        withdrawn = self.board.expire_open()
+        if telemetry.enabled:
+            telemetry.observe(
+                "campaign.epoch", (time.perf_counter() - epoch_started) * 1000.0
+            )
+            telemetry.count("campaign.epochs")
+            telemetry.count("campaign.published", published)
+            telemetry.count("campaign.completed", completed)
+            if unfilled:
+                telemetry.count("campaign.unfilled", unfilled)
+            telemetry.count("campaign.spent", spent)
+            telemetry.gauge("campaign.budget_remaining", self.ledger.remaining)
+        report = EpochReport(
+            epoch=epoch,
+            published=published,
+            completed=completed,
+            unfilled=unfilled,
+            spent=spent,
+            observed_stable=len(self._stopped),
+            withdrawn=withdrawn,
+            task_counts={
+                state.value: count
+                for state, count in self.board.counts_by_state().items()
+            },
+        )
+        self._reports.append(report)
+        self._journal.append(events)
+        self._epoch += 1
+        if published == 0:
+            self._finished = True
+        return report
+
+    def finish(self) -> CampaignResult:
+        """Package the campaign's final state (callable at any epoch)."""
         assert self.ledger.reconcile()
         return CampaignResult(
-            reports=reports,
+            reports=list(self._reports),
             final_counts=self._counts.copy(),
             bought_posts=[list(posts) for posts in self._bought],
             ledger=self.ledger,
             board=self.board,
             stopped_resources=set(self._stopped),
         )
+
+    def run(self, max_epochs: int = 100) -> CampaignResult:
+        """Run epochs until the budget is gone or nothing is proposable.
+
+        Args:
+            max_epochs: Hard stop on campaign length (counted from epoch
+                0, so a resumed campaign runs at most the remainder).
+
+        Returns:
+            The final :class:`CampaignResult`.
+        """
+        self.start()
+        while self._epoch < max_epochs:
+            if self.step_epoch() is None:
+                break
+        return self.finish()

@@ -8,13 +8,21 @@ a crowd, taggers claim and complete them, and rewards are paid out.
 (``OPEN -> CLAIMED -> COMPLETED`` or ``-> EXPIRED``); :class:`JobBoard`
 stores and indexes them.  The board is deliberately dumb — policy lives
 in the campaign and the strategies.
+
+The board keeps one id-set per state, maintained incrementally by the
+task transitions themselves, so :meth:`JobBoard.open_tasks`,
+:meth:`JobBoard.completed_tasks` and :meth:`JobBoard.counts_by_state`
+cost ``O(tasks in that state)`` / ``O(1)`` instead of scanning every
+task ever published — the difference between a report query and a full
+table scan once a long-running campaign server has pushed millions of
+tasks through one board.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.errors import AllocationError
 from repro.core.posts import Post
@@ -50,6 +58,13 @@ class PostTask:
     state: TaskState = TaskState.OPEN
     worker_id: str | None = None
     result: Post | None = None
+    _board: "JobBoard | None" = field(default=None, repr=False, compare=False)
+
+    def _move(self, new_state: TaskState) -> None:
+        old = self.state
+        self.state = new_state
+        if self._board is not None:
+            self._board._transitioned(self.task_id, old, new_state)
 
     def claim(self, worker_id: str) -> None:
         """Move ``OPEN -> CLAIMED``.
@@ -59,7 +74,7 @@ class PostTask:
         """
         if self.state is not TaskState.OPEN:
             raise AllocationError(f"task {self.task_id} is {self.state.value}, not open")
-        self.state = TaskState.CLAIMED
+        self._move(TaskState.CLAIMED)
         self.worker_id = worker_id
 
     def complete(self, post: Post) -> None:
@@ -72,26 +87,34 @@ class PostTask:
             raise AllocationError(
                 f"task {self.task_id} is {self.state.value}, not claimed"
             )
-        self.state = TaskState.COMPLETED
+        self._move(TaskState.COMPLETED)
         self.result = post
 
     def expire(self) -> None:
         """Withdraw an open or claimed task (end of campaign epoch)."""
         if self.state in (TaskState.COMPLETED, TaskState.EXPIRED):
             raise AllocationError(f"task {self.task_id} already {self.state.value}")
-        self.state = TaskState.EXPIRED
+        self._move(TaskState.EXPIRED)
 
 
 class JobBoard:
     """Stores post tasks and serves open ones to workers.
 
     The board preserves publication order — workers browsing it see the
-    oldest open jobs first, like a real task marketplace.
+    oldest open jobs first, like a real task marketplace.  (Task ids are
+    a monotone counter, so sorting a state's id-set recovers publication
+    order without touching the full task table.)
     """
 
     def __init__(self) -> None:
         self._tasks: dict[int, PostTask] = {}
         self._ids = itertools.count()
+        self._by_state: dict[TaskState, set[int]] = {state: set() for state in TaskState}
+
+    def _transitioned(self, task_id: int, old: TaskState, new: TaskState) -> None:
+        """Keep the per-state indexes in sync (called by the task itself)."""
+        self._by_state[old].discard(task_id)
+        self._by_state[new].add(task_id)
 
     def publish(self, resource_index: int, reward: int = 1) -> PostTask:
         """Create and list a new open task.
@@ -101,8 +124,14 @@ class JobBoard:
         """
         if reward < 1:
             raise AllocationError(f"reward must be >= 1 unit, got {reward}")
-        task = PostTask(task_id=next(self._ids), resource_index=resource_index, reward=reward)
+        task = PostTask(
+            task_id=next(self._ids),
+            resource_index=resource_index,
+            reward=reward,
+            _board=self,
+        )
         self._tasks[task.task_id] = task
+        self._by_state[TaskState.OPEN].add(task.task_id)
         return task
 
     def get(self, task_id: int) -> PostTask:
@@ -113,29 +142,27 @@ class JobBoard:
         """
         return self._tasks[task_id]
 
+    def _in_state(self, state: TaskState) -> list[PostTask]:
+        return [self._tasks[task_id] for task_id in sorted(self._by_state[state])]
+
     def open_tasks(self) -> list[PostTask]:
         """All open tasks in publication order."""
-        return [t for t in self._tasks.values() if t.state is TaskState.OPEN]
+        return self._in_state(TaskState.OPEN)
 
     def expire_open(self) -> int:
         """Expire every open task; return how many were withdrawn."""
-        count = 0
-        for task in self._tasks.values():
-            if task.state is TaskState.OPEN:
-                task.expire()
-                count += 1
-        return count
+        open_ids = sorted(self._by_state[TaskState.OPEN])
+        for task_id in open_ids:
+            self._tasks[task_id].expire()
+        return len(open_ids)
 
     def completed_tasks(self) -> list[PostTask]:
         """All completed tasks in publication order."""
-        return [t for t in self._tasks.values() if t.state is TaskState.COMPLETED]
+        return self._in_state(TaskState.COMPLETED)
 
     def __len__(self) -> int:
         return len(self._tasks)
 
     def counts_by_state(self) -> dict[TaskState, int]:
-        """Histogram of task states (for campaign reports)."""
-        histogram = {state: 0 for state in TaskState}
-        for task in self._tasks.values():
-            histogram[task.state] += 1
-        return histogram
+        """Histogram of task states (for campaign reports) — ``O(1)``."""
+        return {state: len(ids) for state, ids in self._by_state.items()}

@@ -1,0 +1,164 @@
+"""Campaign checkpoints restore byte-identically, for both stability backends."""
+
+import json
+
+import pytest
+
+import repro.api as api
+from repro.api import CampaignSpec, CorpusSpec
+from repro.core.errors import SpecError
+from repro.server import (
+    has_campaign_checkpoint,
+    restore_campaign_checkpoint,
+    save_campaign_checkpoint,
+)
+from repro.service import IncentiveCampaign
+
+
+def make_spec(backend="tracker"):
+    return CampaignSpec(
+        corpus=CorpusSpec(kind="paper", resources=15, seed=7),
+        strategy="FP",
+        budget=80,
+        workers=6,
+        seed=11,
+        stop_tau=0.99,
+        batch_size=15,
+        max_epochs=40,
+        stability_backend=backend,
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return api.materialize(make_spec().corpus)
+
+
+def run_to_completion(campaign, max_epochs=40):
+    while campaign.epochs_run < max_epochs:
+        if campaign.step_epoch() is None:
+            break
+    return campaign.finish().trace_payload()
+
+
+@pytest.mark.parametrize("backend", ["tracker", "engine"])
+class TestRoundTrip:
+    def test_restore_then_finish_is_byte_identical(self, tmp_path, corpus, backend):
+        spec = make_spec(backend)
+        baseline = IncentiveCampaign.from_spec(spec, corpus)
+        baseline.start()
+        expected = run_to_completion(baseline)
+
+        killed = IncentiveCampaign.from_spec(spec, corpus)
+        killed.start()
+        for _ in range(5):
+            killed.step_epoch()
+        save_campaign_checkpoint(killed, tmp_path)
+        assert has_campaign_checkpoint(tmp_path)
+
+        restored = restore_campaign_checkpoint(spec, corpus, tmp_path)
+        assert restored.epochs_run == 5
+        got = run_to_completion(restored)
+        assert json.dumps(got, sort_keys=True) == json.dumps(expected, sort_keys=True)
+
+    def test_kill_between_checkpoints_reruns_identically(self, tmp_path, corpus, backend):
+        """Checkpoint at epoch 4, crash at 7: the re-run epochs match exactly."""
+        spec = make_spec(backend)
+        baseline = IncentiveCampaign.from_spec(spec, corpus)
+        baseline.start()
+        expected = run_to_completion(baseline)
+
+        killed = IncentiveCampaign.from_spec(spec, corpus)
+        killed.start()
+        for _ in range(4):
+            killed.step_epoch()
+        save_campaign_checkpoint(killed, tmp_path)
+        for _ in range(3):
+            killed.step_epoch()  # progress past the checkpoint, then "crash"
+
+        restored = restore_campaign_checkpoint(spec, corpus, tmp_path)
+        assert restored.epochs_run == 4
+        got = run_to_completion(restored)
+        assert json.dumps(got, sort_keys=True) == json.dumps(expected, sort_keys=True)
+
+
+class TestCheckpointFiles:
+    def test_missing_checkpoint_detected(self, tmp_path):
+        assert not has_campaign_checkpoint(tmp_path)
+        with pytest.raises(SpecError):
+            restore_campaign_checkpoint(make_spec(), None, tmp_path)
+
+    def test_unknown_format_rejected(self, tmp_path, corpus):
+        spec = make_spec()
+        campaign = IncentiveCampaign.from_spec(spec, corpus)
+        campaign.start()
+        campaign.step_epoch()
+        save_campaign_checkpoint(campaign, tmp_path)
+        state_path = tmp_path / "state.json"
+        state = json.loads(state_path.read_text())
+        state["format"] = 99
+        state_path.write_text(json.dumps(state))
+        with pytest.raises(SpecError, match="format"):
+            restore_campaign_checkpoint(spec, corpus, tmp_path)
+
+    def test_epoch_drift_rejected(self, tmp_path, corpus):
+        spec = make_spec()
+        campaign = IncentiveCampaign.from_spec(spec, corpus)
+        campaign.start()
+        for _ in range(3):
+            campaign.step_epoch()
+        save_campaign_checkpoint(campaign, tmp_path)
+        state_path = tmp_path / "state.json"
+        state = json.loads(state_path.read_text())
+        state["epoch"] = 7  # claims more epochs than the journal replays
+        state_path.write_text(json.dumps(state))
+        with pytest.raises(SpecError, match="epoch"):
+            restore_campaign_checkpoint(spec, corpus, tmp_path)
+
+    def test_engine_checkpoint_carries_a_bank_snapshot(self, tmp_path, corpus):
+        spec = make_spec("engine")
+        campaign = IncentiveCampaign.from_spec(spec, corpus)
+        campaign.start()
+        for _ in range(5):
+            campaign.step_epoch()
+        save_campaign_checkpoint(campaign, tmp_path)
+        state = json.loads((tmp_path / "state.json").read_text())
+        assert state["bank"] == "bank-000005"
+        assert (tmp_path / "bank-000005").is_dir()
+
+    def test_stale_bank_snapshots_pruned(self, tmp_path, corpus):
+        spec = make_spec("engine")
+        campaign = IncentiveCampaign.from_spec(spec, corpus)
+        campaign.start()
+        for _ in range(3):
+            campaign.step_epoch()
+        save_campaign_checkpoint(campaign, tmp_path)
+        for _ in range(2):
+            campaign.step_epoch()
+        save_campaign_checkpoint(campaign, tmp_path)
+        banks = sorted(p.name for p in tmp_path.glob("bank-*"))
+        assert banks == ["bank-000005"]
+
+    def test_restore_survives_a_pruned_bank(self, tmp_path, corpus):
+        """The journal is authoritative; the bank is only a cross-check."""
+        import shutil
+
+        spec = make_spec("engine")
+        campaign = IncentiveCampaign.from_spec(spec, corpus)
+        campaign.start()
+        for _ in range(4):
+            campaign.step_epoch()
+        save_campaign_checkpoint(campaign, tmp_path)
+        shutil.rmtree(tmp_path / "bank-000004")
+        restored = restore_campaign_checkpoint(spec, corpus, tmp_path)
+        assert restored.epochs_run == 4
+
+    def test_tracker_checkpoint_has_no_bank(self, tmp_path, corpus):
+        spec = make_spec("tracker")
+        campaign = IncentiveCampaign.from_spec(spec, corpus)
+        campaign.start()
+        campaign.step_epoch()
+        save_campaign_checkpoint(campaign, tmp_path)
+        state = json.loads((tmp_path / "state.json").read_text())
+        assert "bank" not in state
+        assert list(tmp_path.glob("bank-*")) == []

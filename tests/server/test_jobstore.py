@@ -1,0 +1,159 @@
+"""JobStore durability: journal replay, crash demotion, torn writes."""
+
+import json
+
+import pytest
+
+from repro.api import CampaignSpec, JobRecord, JobSpec
+from repro.core.errors import SpecError
+from repro.server import CampaignJob, JobState, JobStore
+
+
+def job_spec(user="alice", budget=50):
+    return JobSpec(user=user, campaign=CampaignSpec(budget=budget))
+
+
+class TestInMemoryStore:
+    def test_submit_assigns_sequential_ids(self):
+        store = JobStore(None)
+        ids = [store.submit(job_spec()).job_id for _ in range(3)]
+        assert ids == ["job-0001", "job-0002", "job-0003"]
+        assert len(store) == 3
+        assert [j.job_id for j in store.jobs()] == ids
+
+    def test_only_job_specs_accepted(self):
+        with pytest.raises(SpecError):
+            JobStore(None).submit(CampaignSpec(budget=10))
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            JobStore(None).get("job-9999")
+
+    def test_no_directories_in_memory(self):
+        store = JobStore(None)
+        job = store.submit(job_spec())
+        with pytest.raises(SpecError):
+            store.job_dir(job.job_id)
+
+    def test_save_and_log_are_noops_without_root(self):
+        store = JobStore(None)
+        job = store.submit(job_spec())
+        job.state = JobState.RUNNING
+        store.save(job)  # nothing to write, nothing to raise
+        store.log({"event": "tenant", "kind": "reserve"})
+
+
+class TestDurableStore:
+    def test_journal_replay_rebuilds_jobs(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(job_spec(user="bob", budget=77))
+        job.state = JobState.DONE
+        job.epochs = 9
+        job.spent = 42
+        job.trace = {"bought_sha256": "abc"}
+        store.save(job)
+
+        reopened = JobStore(tmp_path)
+        got = reopened.get(job.job_id)
+        assert got.state is JobState.DONE
+        assert got.user == "bob"
+        assert got.epochs == 9
+        assert got.spent == 42
+        assert got.trace == {"bought_sha256": "abc"}
+        assert got.spec.campaign.budget == 77
+
+    def test_sequence_continues_after_reopen(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit(job_spec())
+        store.submit(job_spec())
+        reopened = JobStore(tmp_path)
+        assert reopened.submit(job_spec()).job_id == "job-0003"
+
+    def test_running_without_checkpoint_demotes_to_queued(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(job_spec())
+        job.state = JobState.RUNNING
+        job.epochs = 3
+        store.save(job)
+        reopened = JobStore(tmp_path)
+        assert reopened.get(job.job_id).state is JobState.QUEUED
+
+    def test_running_with_checkpoint_demotes_to_checkpointed(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(job_spec())
+        job.state = JobState.RUNNING
+        job.epochs = 6
+        job.checkpoint_epoch = 5
+        store.save(job)
+        reopened = JobStore(tmp_path)
+        got = reopened.get(job.job_id)
+        assert got.state is JobState.CHECKPOINTED
+        assert got.checkpoint_epoch == 5
+
+    def test_demotion_never_writes_to_the_journal(self, tmp_path):
+        """Opening a store is read-only: CLI tools may inspect a live server."""
+        store = JobStore(tmp_path)
+        job = store.submit(job_spec())
+        job.state = JobState.RUNNING
+        store.save(job)
+        journal = tmp_path / "journal.jsonl"
+        before = journal.read_text()
+        JobStore(tmp_path)
+        assert journal.read_text() == before
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(job_spec())
+        job.state = JobState.DONE
+        store.save(job)
+        journal = tmp_path / "journal.jsonl"
+        with journal.open("a", encoding="utf-8") as handle:
+            handle.write('{"event": "state", "job_id": "job-0001", "sta')
+        reopened = JobStore(tmp_path)
+        assert reopened.get(job.job_id).state is JobState.DONE
+
+    def test_unknown_events_are_skipped(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(job_spec())
+        store.log({"event": "tenant", "kind": "reserve", "amount": 50})
+        store.log({"event": "from-the-future", "payload": [1, 2, 3]})
+        reopened = JobStore(tmp_path)
+        assert reopened.get(job.job_id).state is JobState.QUEUED
+
+    def test_state_for_unknown_job_is_ignored(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        journal.write_text(
+            json.dumps({"event": "state", "job_id": "job-0042", "state": "done"}) + "\n"
+        )
+        assert len(JobStore(tmp_path)) == 0
+
+    def test_checkpoint_dir_under_job_dir(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(job_spec())
+        ckpt = store.checkpoint_dir(job.job_id)
+        assert ckpt == tmp_path / "jobs" / job.job_id / "checkpoint"
+        assert ckpt.parent.is_dir()
+
+
+class TestJobRecord:
+    def test_record_round_trip(self):
+        job = CampaignJob(job_id="job-0007", spec=job_spec(user="carol"))
+        job.state = JobState.FAILED
+        job.epochs = 4
+        job.spent = 11
+        job.error = "boom"
+        record = job.record()
+        assert isinstance(record, JobRecord)
+        assert record.user == "carol"
+        assert record.state == "failed"
+        clone = JobRecord.from_json(record.to_json())
+        assert clone == record
+
+    def test_terminal_property(self):
+        job = CampaignJob(job_id="job-0001", spec=job_spec())
+        assert not job.terminal
+        for state in (JobState.DONE, JobState.FAILED, JobState.CANCELLED):
+            job.state = state
+            assert job.terminal
+        job.state = JobState.PAUSED
+        assert not job.terminal

@@ -1,0 +1,334 @@
+"""Scheduler acceptance: concurrency is invisible in the results.
+
+The headline guarantees of the campaign service, as tests:
+
+* N campaigns from multiple users interleaved through the scheduler
+  produce traces byte-identical to the pinned serial fixtures
+  (``tests/fixtures/campaign_traces.json``);
+* killing the server mid-job and restarting over the same state
+  directory resumes from the last checkpoint and still lands on the
+  identical final trace;
+* an over-budget user is rejected at admission and the tenant ledger
+  reconciles exactly in every path (done, failed, cancelled, rejected).
+"""
+
+import asyncio
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.api as api
+from repro.api import CampaignSpec, CorpusSpec, JobSpec, ServerSpec
+from repro.core.errors import SpecError
+from repro.server import AdmissionError, JobState, JobStore, Scheduler
+from repro.service import IncentiveCampaign
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURE = REPO_ROOT / "tests" / "fixtures" / "campaign_traces.json"
+
+
+@pytest.fixture(scope="module")
+def pinned():
+    return json.loads(FIXTURE.read_text())["traces"]
+
+
+def small_spec(seed=11, budget=80, backend="tracker"):
+    return CampaignSpec(
+        corpus=CorpusSpec(kind="paper", resources=15, seed=7),
+        strategy="FP",
+        budget=budget,
+        workers=6,
+        seed=seed,
+        stop_tau=0.99,
+        batch_size=15,
+        max_epochs=40,
+        stability_backend=backend,
+    )
+
+
+def serial_trace(spec):
+    campaign = IncentiveCampaign.from_spec(spec, api.materialize(spec.corpus))
+    return campaign.run(max_epochs=spec.max_epochs).trace_payload()
+
+
+def canon(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestConcurrentDeterminism:
+    def test_interleaved_jobs_match_pinned_serial_traces(self, pinned):
+        """Acceptance: 4 concurrent specs, 2 users, byte-identical traces."""
+        users = ("alice", "bob")
+        scheduler = Scheduler(ServerSpec(slots=4), store=JobStore(None))
+        job_ids = [
+            scheduler.submit(
+                JobSpec(
+                    campaign=CampaignSpec.from_dict(entry["spec"]),
+                    user=users[i % len(users)],
+                )
+            )
+            for i, entry in enumerate(pinned)
+        ]
+        assert len(job_ids) >= 4
+        assert len({scheduler.store.get(j).user for j in job_ids}) == 2
+        asyncio.run(scheduler.run_until_idle())
+        for job_id, entry in zip(job_ids, pinned):
+            job = scheduler.store.get(job_id)
+            assert job.state is JobState.DONE
+            assert canon(job.trace) == canon(entry["trace"]), (
+                f"concurrent trace diverged from serial for {entry['spec']}"
+            )
+        assert scheduler.tenants.reconcile()
+
+    def test_slot_count_does_not_change_traces(self):
+        specs = [small_spec(seed=3), small_spec(seed=4, backend="engine")]
+        traces = []
+        for slots in (1, 3):
+            scheduler = Scheduler(ServerSpec(slots=slots), store=JobStore(None))
+            ids = [scheduler.submit(s, user="alice") for s in specs]
+            asyncio.run(scheduler.run_until_idle())
+            traces.append([canon(scheduler.store.get(j).trace) for j in ids])
+        assert traces[0] == traces[1]
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("backend", ["tracker", "engine"])
+    def test_kill_mid_job_then_restart_is_byte_identical(self, tmp_path, backend):
+        """Acceptance: crash the server mid-run, restart, traces still match."""
+        spec = ServerSpec(root=str(tmp_path), slots=2, checkpoint_every=3)
+        campaigns = [
+            small_spec(seed=21, budget=120, backend=backend),
+            small_spec(seed=22, budget=120),
+        ]
+        expected = [serial_trace(c) for c in campaigns]
+
+        async def run_and_crash():
+            scheduler = Scheduler(spec)
+            job_ids = [scheduler.submit(c, user="alice") for c in campaigns]
+            runner = asyncio.ensure_future(scheduler.run_until_idle())
+            while not runner.done() and any(
+                scheduler.store.get(j).epochs < 4 for j in job_ids
+            ):
+                await asyncio.sleep(0)
+            runner.cancel()
+            try:
+                await runner
+            except asyncio.CancelledError:
+                pass
+            return job_ids, [scheduler.store.get(j) for j in job_ids]
+
+        job_ids, crashed = asyncio.run(run_and_crash())
+        assert any(not job.terminal for job in crashed), "crash happened too late"
+
+        revived = Scheduler(spec)
+        recovered = [revived.store.get(j) for j in job_ids]
+        assert all(job.state is not JobState.RUNNING for job in recovered)
+        asyncio.run(revived.run_until_idle())
+        for job_id, want in zip(job_ids, expected):
+            job = revived.store.get(job_id)
+            assert job.state is JobState.DONE
+            assert canon(job.trace) == canon(want), "resumed trace diverged"
+        assert revived.tenants.reconcile()
+
+    def test_serve_shutdown_checkpoints_live_jobs(self, tmp_path):
+        spec = ServerSpec(root=str(tmp_path), slots=1, checkpoint_every=0)
+        scheduler = Scheduler(spec)
+        job_id = scheduler.submit(small_spec(seed=31), user="alice")
+
+        async def run():
+            shutdown = asyncio.Event()
+
+            async def stopper():
+                while scheduler.store.get(job_id).epochs < 2:
+                    await asyncio.sleep(0)
+                shutdown.set()
+
+            await asyncio.gather(
+                scheduler.serve(poll_interval=0.001, shutdown=shutdown), stopper()
+            )
+
+        asyncio.run(run())
+        job = scheduler.store.get(job_id)
+        assert job.state is JobState.CHECKPOINTED
+        assert job.checkpoint_epoch == job.epochs
+        # a fresh scheduler picks the checkpointed job up and finishes it
+        revived = Scheduler(spec)
+        asyncio.run(revived.run_until_idle())
+        final = revived.store.get(job_id)
+        assert final.state is JobState.DONE
+        assert canon(final.trace) == canon(serial_trace(small_spec(seed=31)))
+
+
+class TestAdmission:
+    def test_over_budget_user_rejected_with_exact_reconciliation(self):
+        """Acceptance: rejection at admission, ledger reconciles exactly."""
+        scheduler = Scheduler(
+            ServerSpec(budgets={"alice": 100}), store=JobStore(None)
+        )
+        ok = scheduler.submit(small_spec(budget=80), user="alice")
+        with pytest.raises(AdmissionError, match="allowance"):
+            scheduler.submit(small_spec(budget=30), user="alice")
+        failed = [j for j in scheduler.store.jobs() if j.job_id != ok]
+        assert len(failed) == 1
+        assert failed[0].state is JobState.FAILED
+        assert "rejected at admission" in failed[0].error
+        assert scheduler.tenants.reserved_for("alice") == 80
+        assert scheduler.tenants.reconcile()
+        # the admitted job still runs to completion and settles
+        asyncio.run(scheduler.run_until_idle())
+        assert scheduler.store.get(ok).state is JobState.DONE
+        assert scheduler.tenants.committed_for("alice") == scheduler.store.get(ok).spent
+        assert scheduler.tenants.reconcile()
+
+    def test_queue_bound_refuses_excess_submissions(self):
+        scheduler = Scheduler(ServerSpec(max_queued=2), store=JobStore(None))
+        scheduler.submit(small_spec(seed=1), user="alice")
+        scheduler.submit(small_spec(seed=2), user="bob")
+        with pytest.raises(AdmissionError, match="queue full"):
+            scheduler.submit(small_spec(seed=3), user="carol")
+
+    def test_bare_campaign_spec_wrapped_with_user(self):
+        scheduler = Scheduler(store=JobStore(None))
+        anon = scheduler.submit(small_spec())
+        named = scheduler.submit(small_spec(), user="dana")
+        assert scheduler.store.get(anon).user == "anonymous"
+        assert scheduler.store.get(named).user == "dana"
+
+    def test_rejected_submission_frees_no_queue_slot(self):
+        scheduler = Scheduler(
+            ServerSpec(budgets={"alice": 10}), store=JobStore(None)
+        )
+        with pytest.raises(AdmissionError):
+            scheduler.submit(small_spec(budget=50), user="alice")
+        assert scheduler.submit(small_spec(budget=10), user="alice")
+
+
+class TestJobControl:
+    def test_pause_parked_job_then_resume(self):
+        scheduler = Scheduler(store=JobStore(None))
+        job_id = scheduler.submit(small_spec(seed=41), user="alice")
+        scheduler.pause(job_id)
+        assert scheduler.store.get(job_id).state is JobState.PAUSED
+        # paused jobs are ignored by the loop
+        asyncio.run(scheduler.run_until_idle())
+        assert scheduler.store.get(job_id).state is JobState.PAUSED
+        scheduler.resume(job_id)
+        asyncio.run(scheduler.run_until_idle())
+        final = scheduler.store.get(job_id)
+        assert final.state is JobState.DONE
+        assert canon(final.trace) == canon(serial_trace(small_spec(seed=41)))
+
+    def test_pause_mid_run_checkpoints_and_resumes_identically(self, tmp_path):
+        spec = ServerSpec(root=str(tmp_path), slots=1, checkpoint_every=0)
+        scheduler = Scheduler(spec)
+        job_id = scheduler.submit(small_spec(seed=42), user="alice")
+
+        async def run():
+            runner = asyncio.ensure_future(scheduler.run_until_idle())
+            while not runner.done() and scheduler.store.get(job_id).epochs < 3:
+                await asyncio.sleep(0)
+            if not runner.done():
+                scheduler.pause(job_id)
+            await runner
+
+        asyncio.run(run())
+        job = scheduler.store.get(job_id)
+        assert job.state is JobState.PAUSED
+        assert job.checkpoint_epoch == job.epochs  # pause cut a checkpoint
+        scheduler.resume(job_id)
+        asyncio.run(scheduler.run_until_idle())
+        final = scheduler.store.get(job_id)
+        assert final.state is JobState.DONE
+        assert canon(final.trace) == canon(serial_trace(small_spec(seed=42)))
+
+    def test_cancel_mid_run_settles_partial_spend(self):
+        scheduler = Scheduler(
+            ServerSpec(budgets={"alice": 200}, slots=1), store=JobStore(None)
+        )
+        job_id = scheduler.submit(small_spec(seed=43), user="alice")
+
+        async def run():
+            runner = asyncio.ensure_future(scheduler.run_until_idle())
+            while not runner.done() and scheduler.store.get(job_id).epochs < 2:
+                await asyncio.sleep(0)
+            if not runner.done():
+                scheduler.cancel(job_id)
+            await runner
+
+        asyncio.run(run())
+        job = scheduler.store.get(job_id)
+        assert job.state is JobState.CANCELLED
+        assert 0 < job.spent < small_spec().budget
+        assert scheduler.tenants.committed_for("alice") == job.spent
+        assert scheduler.tenants.reconcile()
+
+    def test_invalid_control_transitions_rejected(self):
+        scheduler = Scheduler(store=JobStore(None))
+        job_id = scheduler.submit(small_spec(seed=44), user="alice")
+        with pytest.raises(SpecError):
+            scheduler.resume(job_id)  # not paused
+        asyncio.run(scheduler.run_until_idle())
+        with pytest.raises(SpecError):
+            scheduler.pause(job_id)  # already done
+        scheduler.cancel(job_id)  # cancelling a done job is a no-op
+        assert scheduler.store.get(job_id).state is JobState.DONE
+
+    def test_status_and_jobs_views(self):
+        scheduler = Scheduler(store=JobStore(None))
+        job_id = scheduler.submit(small_spec(seed=45), user="alice")
+        record = scheduler.status(job_id)
+        assert record.job_id == job_id
+        assert record.state == "queued"
+        assert [r.job_id for r in scheduler.jobs()] == [job_id]
+
+
+class TestFileProtocol:
+    def test_inbox_submission_yields_receipt(self, tmp_path):
+        scheduler = Scheduler(ServerSpec(root=str(tmp_path)))
+        inbox = tmp_path / "inbox"
+        inbox.mkdir()
+        payload = JobSpec(user="alice", campaign=small_spec()).to_dict()
+        (inbox / "a.json").write_text(json.dumps(payload))
+        scheduler.poll_once()
+        receipt = json.loads((inbox / "processed" / "a.json.receipt").read_text())
+        assert receipt["job_id"] == "job-0001"
+        assert not (inbox / "a.json").exists()
+        assert scheduler.store.get("job-0001").user == "alice"
+
+    def test_inbox_accepts_bare_campaign_payloads(self, tmp_path):
+        scheduler = Scheduler(ServerSpec(root=str(tmp_path)))
+        inbox = tmp_path / "inbox"
+        inbox.mkdir()
+        (inbox / "c.json").write_text(json.dumps(small_spec().to_dict()))
+        scheduler.poll_once()
+        assert scheduler.store.get("job-0001").user == "anonymous"
+
+    def test_inbox_rejection_writes_error_receipt(self, tmp_path):
+        scheduler = Scheduler(ServerSpec(root=str(tmp_path), budgets={"alice": 1}))
+        inbox = tmp_path / "inbox"
+        inbox.mkdir()
+        payload = JobSpec(user="alice", campaign=small_spec(budget=50)).to_dict()
+        (inbox / "over.json").write_text(json.dumps(payload))
+        (inbox / "broken.json").write_text("{not json")
+        scheduler.poll_once()
+        over = json.loads((inbox / "processed" / "over.json.receipt").read_text())
+        broken = json.loads((inbox / "processed" / "broken.json.receipt").read_text())
+        assert "rejected at admission" in over["error"]
+        assert "error" in broken
+        assert scheduler.tenants.reconcile()
+
+    def test_control_files_drive_pause_resume_cancel(self, tmp_path):
+        scheduler = Scheduler(ServerSpec(root=str(tmp_path)))
+        job_id = scheduler.submit(small_spec(), user="alice")
+        control = tmp_path / "control"
+        control.mkdir()
+        (control / f"{job_id}.pause").touch()
+        scheduler.poll_once()
+        assert scheduler.store.get(job_id).state is JobState.PAUSED
+        (control / f"{job_id}.resume").touch()
+        (control / "job-nope.cancel").touch()  # stale request: ignored
+        (control / "garbage").touch()  # no action suffix: ignored
+        scheduler.poll_once()
+        assert scheduler.store.get(job_id).state is JobState.QUEUED
+        assert list(control.iterdir()) == []

@@ -1,0 +1,130 @@
+"""TenantLedger: reserve/settle discipline and audit-log reconciliation."""
+
+import pytest
+
+from repro.core.errors import BudgetError
+from repro.server import TenantLedger
+
+
+class TestReserve:
+    def test_reserve_within_allowance(self):
+        ledger = TenantLedger({"alice": 100})
+        assert ledger.reserve("alice", "job-0001", 60)
+        assert ledger.reserved_for("alice") == 60
+        assert ledger.available("alice") == 40
+
+    def test_reserve_over_allowance_rejected_and_logged(self):
+        ledger = TenantLedger({"alice": 100})
+        assert not ledger.reserve("alice", "job-0001", 150)
+        assert ledger.reserved_for("alice") == 0
+        assert ledger.available("alice") == 100
+        kinds = [txn.kind for txn in ledger.transactions]
+        assert kinds == ["reject"]
+        assert ledger.reconcile()
+
+    def test_concurrent_reservations_cannot_overshoot(self):
+        ledger = TenantLedger({"alice": 100})
+        assert ledger.reserve("alice", "job-0001", 60)
+        assert not ledger.reserve("alice", "job-0002", 60)
+        assert ledger.reserve("alice", "job-0003", 40)
+        assert ledger.available("alice") == 0
+
+    def test_uncapped_user_always_admitted(self):
+        ledger = TenantLedger({"alice": 10})
+        assert ledger.available("bob") is None
+        assert ledger.reserve("bob", "job-0001", 10**9)
+
+    def test_default_budget_caps_unlisted_users(self):
+        ledger = TenantLedger({"alice": 500}, default_budget=50)
+        assert ledger.allowance("bob") == 50
+        assert not ledger.reserve("bob", "job-0001", 60)
+        assert ledger.reserve("alice", "job-0002", 400)
+
+    def test_force_skips_the_cap(self):
+        ledger = TenantLedger({"alice": 10})
+        assert ledger.reserve("alice", "job-0001", 500, force=True)
+        assert ledger.available("alice") == -490
+        assert ledger.reconcile()
+
+    def test_negative_amount_is_a_caller_bug(self):
+        with pytest.raises(BudgetError):
+            TenantLedger().reserve("alice", "job-0001", -1)
+
+    def test_double_reservation_is_a_caller_bug(self):
+        ledger = TenantLedger()
+        ledger.reserve("alice", "job-0001", 5)
+        with pytest.raises(BudgetError):
+            ledger.reserve("alice", "job-0001", 5)
+
+
+class TestSettle:
+    def test_settle_commits_spend_and_releases_rest(self):
+        ledger = TenantLedger({"alice": 100})
+        ledger.reserve("alice", "job-0001", 60)
+        ledger.settle("job-0001", 45)
+        assert ledger.reserved_for("alice") == 0
+        assert ledger.committed_for("alice") == 45
+        assert ledger.available("alice") == 55
+        kinds = [txn.kind for txn in ledger.transactions]
+        assert kinds == ["reserve", "commit", "release"]
+        assert ledger.reconcile()
+
+    def test_settle_without_reservation_raises(self):
+        with pytest.raises(BudgetError):
+            TenantLedger().settle("job-0001", 0)
+
+    def test_overspend_beyond_reservation_raises(self):
+        ledger = TenantLedger({"alice": 100})
+        ledger.reserve("alice", "job-0001", 30)
+        with pytest.raises(BudgetError):
+            ledger.settle("job-0001", 31)
+        # the failed settle must not corrupt the open reservation
+        ledger.settle("job-0001", 30)
+        assert ledger.committed_for("alice") == 30
+        assert ledger.reconcile()
+
+    def test_zero_spend_settle_still_audited(self):
+        ledger = TenantLedger()
+        ledger.reserve("alice", "job-0001", 0)
+        ledger.settle("job-0001", 0)
+        assert [txn.kind for txn in ledger.transactions] == ["reserve", "release"]
+        assert ledger.reconcile()
+
+    def test_released_budget_admits_the_next_campaign(self):
+        ledger = TenantLedger({"alice": 100})
+        ledger.reserve("alice", "job-0001", 100)
+        assert not ledger.reserve("alice", "job-0002", 10)
+        ledger.settle("job-0001", 40)
+        assert ledger.reserve("alice", "job-0003", 60)
+        assert ledger.reconcile()
+
+
+class TestAudit:
+    def test_sink_receives_every_transaction(self):
+        seen = []
+        ledger = TenantLedger({"alice": 50}, sink=seen.append)
+        ledger.reserve("alice", "job-0001", 30)
+        ledger.reserve("alice", "job-0002", 30)  # rejected
+        ledger.settle("job-0001", 10)
+        assert [p["kind"] for p in seen] == ["reserve", "reject", "commit", "release"]
+        assert all(p["seq"] == i for i, p in enumerate(seen))
+
+    def test_reconcile_detects_tampering(self):
+        ledger = TenantLedger({"alice": 100})
+        ledger.reserve("alice", "job-0001", 60)
+        ledger.settle("job-0001", 60)
+        assert ledger.reconcile()
+        ledger._committed["alice"] += 1  # simulate state corruption
+        assert not ledger.reconcile()
+
+    def test_reconcile_across_many_users_and_rejects(self):
+        ledger = TenantLedger({"alice": 100, "bob": 80}, default_budget=20)
+        ledger.reserve("alice", "job-0001", 70)
+        ledger.reserve("bob", "job-0002", 80)
+        ledger.reserve("carol", "job-0003", 30)  # rejected by default cap
+        ledger.reserve("carol", "job-0004", 20)
+        ledger.settle("job-0001", 55)
+        ledger.settle("job-0002", 0)
+        assert ledger.committed_for("alice") == 55
+        assert ledger.reserved_for("carol") == 20
+        assert ledger.reconcile()

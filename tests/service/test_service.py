@@ -315,3 +315,161 @@ class TestEngineBackedCampaign:
         assert tracker_result.ledger.reconcile()
         # epoch-batched stopping can only delay retirement, never invent it
         assert engine_result.total_completed >= tracker_result.total_completed
+
+
+class TestJobBoardStateIndex:
+    """The per-state index sets must mirror every task transition."""
+
+    def brute_force(self, tasks):
+        from collections import Counter
+
+        return Counter(t.state for t in tasks)
+
+    def assert_index_consistent(self, board, tasks):
+        want = self.brute_force(tasks)
+        counts = board.counts_by_state()
+        for state in TaskState:
+            assert counts.get(state, 0) == want.get(state, 0)
+        assert board.open_tasks() == [t for t in tasks if t.state is TaskState.OPEN]
+        assert board.completed_tasks() == [
+            t for t in tasks if t.state is TaskState.COMPLETED
+        ]
+
+    def test_index_tracks_every_transition(self):
+        board = JobBoard()
+        tasks = [board.publish(i) for i in range(6)]
+        self.assert_index_consistent(board, tasks)
+        tasks[0].claim("w1")
+        tasks[0].complete(Post.of("a"))
+        tasks[1].claim("w2")
+        tasks[2].expire()
+        self.assert_index_consistent(board, tasks)
+        assert board.expire_open() == 3  # tasks 3, 4, 5
+        self.assert_index_consistent(board, tasks)
+        tasks[1].complete(Post.of("b"))
+        self.assert_index_consistent(board, tasks)
+
+    def test_failed_transitions_leave_index_unchanged(self):
+        board = JobBoard()
+        tasks = [board.publish(i) for i in range(2)]
+        tasks[0].claim("w1")
+        before = board.counts_by_state()
+        with pytest.raises(AllocationError):
+            tasks[0].claim("w2")  # double claim
+        with pytest.raises(AllocationError):
+            tasks[1].complete(Post.of("a"))  # complete while unclaimed
+        assert board.counts_by_state() == before
+        self.assert_index_consistent(board, tasks)
+
+    def test_queries_preserve_publication_order(self):
+        board = JobBoard()
+        tasks = [board.publish(i) for i in range(5)]
+        # claim/complete out of publication order
+        for task in (tasks[3], tasks[0], tasks[4]):
+            task.claim("w")
+            task.complete(Post.of("x"))
+        assert board.completed_tasks() == [tasks[0], tasks[3], tasks[4]]
+        assert board.open_tasks() == [tasks[1], tasks[2]]
+
+
+class TestCampaignStepwise:
+    """The epoch-granular API: start/step/replay must equal run()."""
+
+    def build(self, corpus, budget=120, seed=0, **kwargs):
+        rng = np.random.default_rng(seed)
+        split = corpus.dataset.split(corpus.cutoff)
+        pool = WorkerPool.uniform(8, corpus.hierarchy, rng)
+        return IncentiveCampaign(
+            corpus.models,
+            [split.initial_posts(i) for i in range(split.n)],
+            FewestPostsFirst(),
+            pool,
+            budget=budget,
+            rng=rng,
+            stop_tau=0.999,
+            batch_size=20,
+            **kwargs,
+        )
+
+    def test_step_loop_matches_run(self, campaign_corpus):
+        import json
+
+        whole = self.build(campaign_corpus).run(max_epochs=30)
+        stepped = self.build(campaign_corpus)
+        stepped.start()
+        while stepped.epochs_run < 30:
+            if stepped.step_epoch() is None:
+                break
+        result = stepped.finish()
+        assert json.dumps(result.trace_payload(), sort_keys=True) == json.dumps(
+            whole.trace_payload(), sort_keys=True
+        )
+
+    def test_step_before_start_raises(self, campaign_corpus):
+        with pytest.raises(AllocationError):
+            self.build(campaign_corpus).step_epoch()
+
+    def test_replay_journal_reproduces_the_run(self, campaign_corpus):
+        import json
+
+        live = self.build(campaign_corpus, budget=80)
+        live.start()
+        while live.step_epoch() is not None:
+            pass
+        replayed = self.build(campaign_corpus, budget=80)
+        replayed.start()
+        for events in live.journal:
+            replayed.replay_epoch(events)
+        assert json.dumps(replayed.finish().trace_payload(), sort_keys=True) == (
+            json.dumps(live.finish().trace_payload(), sort_keys=True)
+        )
+
+    def test_reports_carry_withdrawn_and_task_counts(self, campaign_corpus):
+        campaign = self.build(campaign_corpus, budget=100)
+        campaign.start()
+        reports = []
+        while len(reports) < 5:
+            report = campaign.step_epoch()
+            if report is None:
+                break
+            reports.append(report)
+        assert reports, "campaign should run at least one epoch"
+        published_so_far = 0
+        for report in reports:
+            # unfilled tasks are withdrawn (expired) at the epoch boundary
+            assert report.withdrawn == report.unfilled
+            published_so_far += report.published
+            # the histogram is a cumulative snapshot of the whole board
+            assert sum(report.task_counts.values()) == published_so_far
+        assert published_so_far == len(campaign.board)
+        last = reports[-1]
+        assert last.task_counts.get(TaskState.COMPLETED.value, 0) == sum(
+            r.completed for r in reports
+        )
+
+    def test_max_offers_plumbed_to_worker_pool(self, campaign_corpus, monkeypatch):
+        campaign = self.build(campaign_corpus, budget=40, max_offers=3)
+        seen = []
+        original = WorkerPool.try_fill
+
+        def spy(self, *args, **kwargs):
+            seen.append(kwargs.get("max_offers"))
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(WorkerPool, "try_fill", spy)
+        campaign.start()
+        campaign.step_epoch()
+        assert seen and set(seen) == {3}
+
+    def test_max_offers_validation(self, campaign_corpus):
+        with pytest.raises(AllocationError):
+            self.build(campaign_corpus, max_offers=0)
+
+    def test_max_offers_from_spec(self):
+        from repro.api import CampaignSpec
+        from repro.core.errors import SpecError
+
+        assert CampaignSpec().max_offers == 10
+        assert CampaignSpec(max_offers=4).max_offers == 4
+        with pytest.raises(SpecError):
+            CampaignSpec(max_offers=0)

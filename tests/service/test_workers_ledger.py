@@ -135,6 +135,29 @@ class TestLedgerAccounting:
         assert len(ledger.payouts) == 1
         assert ledger.reconcile()
 
+    def test_reconcile_after_interleaved_failures(self):
+        """Failed payouts between successes never skew the books."""
+        ledger = RewardLedger(6)
+        ledger.pay(1, "alice", 2)
+        with pytest.raises(BudgetError):
+            ledger.pay(2, "bob", 5)
+        ledger.pay(3, "bob", 4)
+        with pytest.raises(BudgetError):
+            ledger.pay(4, "alice", 1)
+        assert ledger.spent == 6
+        assert ledger.remaining == 0
+        assert ledger.balance_of("alice") == 2
+        assert ledger.balance_of("bob") == 4
+        assert [p.task_id for p in ledger.payouts] == [1, 3]
+        assert ledger.reconcile()
+
+    def test_reconcile_detects_corrupted_state(self):
+        ledger = RewardLedger(10)
+        ledger.pay(1, "w", 3)
+        assert ledger.reconcile()
+        ledger._spent += 1  # simulate state corruption
+        assert not ledger.reconcile()
+
     def test_payout_counters(self, telemetry):
         ledger = RewardLedger(20)  # built under the active telemetry
         ledger.pay(1, "alice", 3)

@@ -53,6 +53,12 @@ class TestExamples:
         assert "campaign:" in output
         assert "observably stable" in output
 
+    def test_campaign_server(self):
+        output = run_example("campaign_server.py")
+        assert "admission control" in output
+        assert "crashed mid-run" in output
+        assert "tenant ledger reconciles exactly" in output
+
     def test_spec_driven_run(self):
         output = run_example(
             "spec_driven_run.py", "--resources", "20", "--budget", "150"
