@@ -1,0 +1,72 @@
+"""Scenario-pack build throughput and quality-pipeline overhead.
+
+Two numbers for the pack subsystem:
+
+* ``packs.gen_events_per_sec`` — raw corpus generation rate through
+  :func:`repro.packs.build_pack` (posts per second), informational:
+  absolute rates are machine-dependent.
+* ``packs.filter_overhead_ratio`` — wall-clock of the quality pipeline
+  (fingerprinting + three filters) over the wall-clock of generation
+  itself, best-of-N.  The pipeline must stay a small fraction of
+  generation cost; the ratio is a machine-independent property of the
+  code and is regression-gated against ``BENCH_BASELINE.json``
+  (lower is better).
+"""
+
+import time
+
+import _metrics
+from repro.packs import PACKS, PackSpec, build_pack
+from repro.packs.quality import run_filters
+
+SMOKE = _metrics.smoke_mode()
+
+BENCH_PACK = "capped-vocab"
+BENCH_PARAMS = {"n": 40 if SMOKE else 120, "cap": 6}
+ROUNDS = 3 if SMOKE else 5
+
+
+def _build_corpus():
+    entry = PACKS.get(BENCH_PACK)
+    return entry.build_corpus(7, **BENCH_PARAMS), entry
+
+
+class TestPackBenchmarks:
+    def test_generation_throughput(self):
+        start = time.perf_counter()
+        build = build_pack(PackSpec(name=BENCH_PACK, seed=7, params=BENCH_PARAMS))
+        elapsed = time.perf_counter() - start
+        posts = build.corpus.dataset.total_posts
+        rate = posts / elapsed
+        print(f"\n{BENCH_PACK}: {posts} posts in {elapsed * 1e3:.1f} ms "
+              f"({rate:,.0f} posts/s)")
+        _metrics.record(
+            "packs.gen_events_per_sec", rate, unit="posts/s", gate=False
+        )
+        assert posts > 0
+
+    def test_filter_overhead_ratio(self):
+        # Time generation and the quality pipeline back-to-back on the
+        # same corpus; best-of-N on both sides to cut scheduler noise.
+        entry = PACKS.get(BENCH_PACK)
+        gen_best = filter_best = float("inf")
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            corpus, _entry = _build_corpus()
+            gen_best = min(gen_best, time.perf_counter() - start)
+            start = time.perf_counter()
+            run_filters(corpus, entry.filters, enforce=entry.enforce,
+                        pack=BENCH_PACK)
+            filter_best = min(filter_best, time.perf_counter() - start)
+        ratio = filter_best / gen_best
+        print(f"\nquality pipeline: {filter_best * 1e3:.1f} ms over "
+              f"{gen_best * 1e3:.1f} ms generation (ratio {ratio:.3f})")
+        _metrics.record(
+            "packs.filter_overhead_ratio",
+            ratio,
+            unit="x",
+            higher_is_better=False,
+            gate=True,
+        )
+        # generous hard ceiling: filters must stay well under generation
+        assert ratio < 1.0

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Regenerate ``tests/fixtures/pack_fingerprints.json``.
+
+The fixture pins, for every registered scenario pack, one small
+deterministic build: the (seed, params) used and the resulting corpus
+fingerprint (a SHA-256 over canonical post content — see
+:func:`repro.packs.quality.corpus_fingerprint`).  The pack test suite
+rebuilds each entry and compares fingerprints, in-process and across
+subprocesses with different ``PYTHONHASHSEED`` values, so any
+accidental rng or iteration-order change in a builder shows up as a
+pinned-fingerprint mismatch.
+
+Run from the repo root after intentionally changing a builder:
+
+    PYTHONPATH=src python scripts/generate_pack_fingerprints.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.packs import PACKS, PackSpec, build_pack  # noqa: E402
+
+FIXTURE = REPO / "tests" / "fixtures" / "pack_fingerprints.json"
+
+# Small parameterisations: every pack builds in well under a second so
+# the fixture check can run on every registered pack in tier-1 CI.
+SMALL_PARAMS: dict[str, dict] = {
+    "paper-default": {"n": 12, "overgeneration": 3.0},
+    "small": {"n": 12},
+    "tiny": {},
+    "universe": {"n": 25},
+    "figure1a": {"num_posts": 80},
+    "capped-vocab": {"n": 12, "cap": 4},
+    "adverse-selection": {"n": 12, "incentive": 0.5},
+    "incentive-framing": {"n": 12, "framing": "lottery"},
+    "budget-seeded": {"n": 12, "seeds": 4},
+}
+
+SEED = 1
+
+
+def main() -> int:
+    missing = sorted(set(PACKS.names()) - set(SMALL_PARAMS))
+    if missing:
+        raise SystemExit(
+            f"no small parameterisation declared for pack(s): {', '.join(missing)}; "
+            f"add them to SMALL_PARAMS in {__file__}"
+        )
+    entries: dict[str, dict] = {}
+    for name in PACKS.names():
+        spec = PackSpec(name=name, seed=SEED, params=SMALL_PARAMS[name])
+        build = build_pack(spec)
+        entries[name] = {
+            "seed": spec.seed,
+            "params": SMALL_PARAMS[name],
+            "fingerprint": build.report.fingerprint,
+            "resources": build.report.kept,
+            "posts": build.corpus.dataset.total_posts,
+        }
+        print(f"{name}: {build.report.fingerprint[:16]} "
+              f"({build.report.kept} resources)")
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {FIXTURE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

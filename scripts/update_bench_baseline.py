@@ -38,6 +38,8 @@ HOT_PATH_BENCHES = (
     "benchmarks/bench_batched_runner.py",
     "benchmarks/bench_campaign_backends.py",
     "benchmarks/bench_load_replay.py",
+    "benchmarks/bench_server_replay.py",
+    "benchmarks/bench_corpus_packs.py",
 )
 
 

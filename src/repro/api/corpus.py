@@ -13,7 +13,7 @@ from pathlib import Path
 
 from repro.core.dataset import TaggingDataset
 from repro.core.errors import SpecError
-from repro.api.specs import CorpusSpec
+from repro.api.specs import CORPUS_KINDS, CorpusSpec
 
 __all__ = ["MaterializedCorpus", "materialize"]
 
@@ -40,6 +40,10 @@ class MaterializedCorpus:
     """The underlying :class:`~repro.simulate.generator.GeneratedCorpus`
     for generated kinds (``None`` for ``jsonl``); consumers that need the
     full generation provenance (e.g. the experiment harness) use this."""
+    quality: dict | None = None
+    """The pack build's :class:`~repro.packs.quality.QualityReport` as a
+    dict (``kind="pack"`` only) — embedded in run results for
+    provenance."""
 
     @property
     def n(self) -> int:
@@ -82,6 +86,24 @@ def materialize(spec: CorpusSpec) -> MaterializedCorpus:
         dataset = TaggingDataset.from_jsonl(path)
         return MaterializedCorpus(spec=spec, dataset=dataset, cutoff=spec.cutoff)
 
+    if spec.kind == "pack":
+        from repro.packs import PackSpec, build_pack
+
+        build = build_pack(
+            PackSpec(name=spec.pack, seed=spec.seed, params=spec.pack_params)
+        )
+        corpus = build.corpus
+        cutoff = spec.cutoff if spec.cutoff is not None else corpus.cutoff
+        return MaterializedCorpus(
+            spec=spec,
+            dataset=corpus.dataset,
+            cutoff=float(cutoff),
+            models=corpus.models,
+            hierarchy=corpus.hierarchy,
+            generated=corpus,
+            quality=build.report.to_dict(),
+        )
+
     from repro.simulate import (
         paper_scenario,
         small_scenario,
@@ -95,8 +117,16 @@ def materialize(spec: CorpusSpec) -> MaterializedCorpus:
         corpus = universe_scenario(seed=spec.seed, n=spec.resources)
     elif spec.kind == "small":
         corpus = small_scenario(seed=spec.seed, n=spec.resources)
-    else:  # "tiny" — fixed-size by construction
+    elif spec.kind == "tiny":  # fixed-size by construction
         corpus = tiny_scenario(seed=spec.seed)
+    else:
+        from repro.packs import PACKS
+
+        raise SpecError(
+            f"cannot materialize corpus kind {spec.kind!r}; known kinds: "
+            f"{', '.join(sorted(CORPUS_KINDS))} "
+            f"(registered packs: {', '.join(PACKS.names()) or '(none)'})"
+        )
     cutoff = spec.cutoff if spec.cutoff is not None else corpus.cutoff
     return MaterializedCorpus(
         spec=spec,

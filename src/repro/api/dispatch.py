@@ -181,6 +181,8 @@ def _run_allocate(spec: AllocateSpec) -> RunResult:
         "order": list(trace.order),
         "x": trace.x.tolist(),
     }
+    if corpus.quality is not None:
+        details["corpus_quality"] = corpus.quality
     if monitor is not None:
         metrics["observed_stable"] = len(stable)
         details["observed_stable_indices"] = stable
@@ -232,6 +234,8 @@ def _run_campaign(spec: CampaignSpec) -> RunResult:
             for r in result.reports
         ],
     }
+    if corpus.quality is not None:
+        details["corpus_quality"] = corpus.quality
     return RunResult(
         kind="campaign", spec=spec.to_dict(), metrics=metrics,
         summary=result.render(), details=details,

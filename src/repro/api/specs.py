@@ -39,8 +39,9 @@ __all__ = [
     "spec_from_json",
 ]
 
-CORPUS_KINDS = ("paper", "universe", "tiny", "small", "jsonl")
-"""Recognised corpus sources (generated scenarios plus JSONL files)."""
+CORPUS_KINDS = ("paper", "universe", "tiny", "small", "jsonl", "pack")
+"""Recognised corpus sources: legacy generated scenarios, JSONL files on
+disk, and registered scenario packs (``kind="pack"`` + a pack name)."""
 
 STABILITY_BACKENDS = ("tracker", "engine", "sharded")
 """Per-post scalar trackers, the batched columnar ``StabilityBank``, or
@@ -147,15 +148,21 @@ class CorpusSpec(Spec):
 
     Attributes:
         kind: One of :data:`CORPUS_KINDS` — a generated scenario
-            (``paper``/``universe``/``tiny``/``small``) or a ``jsonl``
-            corpus on disk.
+            (``paper``/``universe``/``tiny``/``small``), a ``jsonl``
+            corpus on disk, or a registered scenario ``pack``.
         resources: Resource count for generated kinds (ignored for
-            ``jsonl``; ``tiny`` is fixed-size by definition).
-        seed: Generation seed (generated kinds only).
+            ``jsonl`` and ``pack``; ``tiny`` is fixed-size by
+            definition — packs size themselves through ``pack_params``).
+        seed: Generation seed (generated kinds and packs).
         path: JSONL file path (required iff ``kind == 'jsonl'``).
         cutoff: Optional split cutoff override.  Generated corpora carry
             their own cutoff; a ``jsonl`` corpus needs one whenever the
             run splits initial from future posts.
+        pack: Registered pack name (required iff ``kind == 'pack'``);
+            validated against :data:`repro.packs.PACKS`, so an unknown
+            name raises at construction listing the registered packs.
+        pack_params: Pack parameter overrides, checked against the
+            pack's declared schema at construction.
     """
 
     TYPE: ClassVar[str] = "corpus"
@@ -165,6 +172,8 @@ class CorpusSpec(Spec):
     seed: int = 7
     path: str | None = None
     cutoff: float | None = None
+    pack: str | None = None
+    pack_params: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         _check(self.kind in CORPUS_KINDS, f"corpus kind must be one of {CORPUS_KINDS}, got {self.kind!r}")
@@ -179,6 +188,27 @@ class CorpusSpec(Spec):
             _check(self.path is None, f"corpus kind {self.kind!r} does not take a path")
         _check(self.cutoff is None or _is_number(self.cutoff),
                f"corpus cutoff must be a number or None, got {self.cutoff!r}")
+        _check(isinstance(self.pack_params, dict),
+               f"corpus pack_params must be a dict, got {self.pack_params!r}")
+        _check(all(isinstance(k, str) for k in self.pack_params),
+               "corpus pack_params keys must be strings")
+        if self.kind == "pack":
+            _check(isinstance(self.pack, str) and bool(self.pack),
+                   "corpus kind 'pack' requires a pack name; "
+                   "list the registered packs with `repro packs list`")
+            # Validate eagerly against the registry (lazy import: the
+            # pack families pull in the simulate layer) so an unknown
+            # name or undeclared parameter fails at spec construction
+            # with the full registered-pack listing, not mid-run.
+            from repro.packs import PACKS
+
+            PACKS.get(self.pack).validate_params(self.pack_params)
+        else:
+            _check(self.pack is None,
+                   f"corpus kind {self.kind!r} does not take a pack name "
+                   f"(got pack={self.pack!r}); use kind='pack'")
+            _check(not self.pack_params,
+                   f"corpus kind {self.kind!r} does not take pack_params; use kind='pack'")
 
 
 @dataclass(frozen=True)

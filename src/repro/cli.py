@@ -11,6 +11,10 @@ Commands:
   engine (optionally sharded / checkpointed);
 * ``stats`` — render a telemetry snapshot, ``RunResult`` JSON, or
   Chrome-trace JSONL as latency/counter tables;
+* ``packs list`` / ``packs show`` / ``packs build`` — the scenario-pack
+  registry (:mod:`repro.packs`): list registered corpus workloads,
+  inspect a pack's declared parameters, build one and print its
+  quality report (optionally writing the corpus to JSONL);
 * ``serve`` / ``submit`` / ``jobs`` / ``job`` — the multi-tenant
   campaign service (:mod:`repro.server`): run the scheduler over a
   durable state directory, queue campaign specs into its inbox, and
@@ -261,6 +265,28 @@ def build_parser() -> argparse.ArgumentParser:
     jobs = sub.add_parser("jobs", help="list a server's jobs")
     jobs.add_argument("--root", type=Path, default=Path("server-state"),
                       help="the server's state directory")
+
+    packs = sub.add_parser("packs", help="list, inspect and build scenario packs")
+    packs_sub = packs.add_subparsers(dest="packs_command", required=True)
+    packs_sub.add_parser("list", help="table of registered packs")
+    packs_show = packs_sub.add_parser("show", help="one pack's parameters and filters")
+    packs_show.add_argument("name", help="registered pack name")
+    packs_build = packs_sub.add_parser(
+        "build", help="build a pack and print its quality report"
+    )
+    packs_build.add_argument("name", help="registered pack name")
+    packs_build.add_argument("--seed", type=int, default=0)
+    packs_build.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="pack parameter override (repeatable; VALUE parsed as JSON, "
+        "else taken as a string)",
+    )
+    packs_build.add_argument(
+        "--output", type=Path, default=None, help="write the built corpus to JSONL"
+    )
 
     jobctl = sub.add_parser("job", help="inspect or control one job")
     jobctl.add_argument("job_id", help="job id (see `jobs`)")
@@ -633,6 +659,70 @@ def _command_job(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_pack_params(pairs: list[str]) -> dict:
+    """``NAME=VALUE`` overrides; values parse as JSON, else stay strings."""
+    import json
+
+    params: dict = {}
+    for pair in pairs:
+        name, sep, raw = pair.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"packs build: --param expects NAME=VALUE, got {pair!r}")
+        try:
+            params[name] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[name] = raw
+    return params
+
+
+def _command_packs(args: argparse.Namespace) -> int:
+    from repro.core.errors import ReproError
+    from repro.packs import PACKS, PackSpec, build_pack
+
+    if args.packs_command == "list":
+        print(f"{'PACK':<20} {'FAMILY':<18} {'FILTERS':<9} DESCRIPTION")
+        for entry in PACKS.entries():
+            mode = "drop" if entry.enforce else "report"
+            print(f"{entry.name:<20} {entry.family:<18} {mode:<9} {entry.doc}")
+        return 0
+
+    try:
+        if args.packs_command == "show":
+            entry = PACKS.get(args.name)
+            print(f"{entry.name} (family {entry.family})")
+            print(f"  {entry.doc}")
+            if entry.source:
+                print(f"  source: {entry.source}")
+            print(f"  filters: {', '.join(entry.filters)} "
+                  f"({'drop flagged' if entry.enforce else 'report only'})")
+            if entry.params:
+                print("  parameters:")
+                for name, param in sorted(entry.params.items()):
+                    print(f"    {name:<16} {param.type.__name__:<6} "
+                          f"default={param.default!r}  {param.doc}")
+            else:
+                print("  parameters: (none)")
+            return 0
+
+        # build
+        spec = PackSpec(
+            name=args.name, seed=args.seed, params=_parse_pack_params(args.param)
+        )
+        build = build_pack(spec)
+        dataset = build.corpus.dataset
+        print(f"built {spec.name} seed={spec.seed} "
+              f"params={spec.resolved_params()}: "
+              f"{len(dataset)} resources / {dataset.total_posts} posts")
+        print(build.report.render())
+        if args.output is not None:
+            dataset.to_jsonl(args.output)
+            print(f"wrote corpus to {args.output}")
+        return 0
+    except ReproError as exc:
+        print(f"packs {args.packs_command}: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point.
 
@@ -654,6 +744,7 @@ def main(argv: list[str] | None = None) -> int:
         "ingest": _command_ingest,
         "health": _command_health,
         "stats": _command_stats,
+        "packs": _command_packs,
         "serve": _command_serve,
         "submit": _command_submit,
         "jobs": _command_jobs,

@@ -1,0 +1,70 @@
+"""repro.packs — the declarative scenario-pack registry + corpus quality pipeline.
+
+One way to ask for a corpus, by name::
+
+    from repro.packs import PACKS, PackSpec, build_pack
+
+    build = build_pack(PackSpec(name="adverse-selection", seed=3,
+                                params={"incentive": 0.8}))
+    build.corpus            # a GeneratedCorpus, quality-filtered
+    print(build.report.render())
+
+The pieces:
+
+* **Registry** (:mod:`repro.packs.registry`) — corpus builders register
+  themselves with declared :class:`~repro.api.registry.Param` schemas,
+  exactly like allocation strategies; :data:`PACKS` is the process
+  global.
+* **Families** (:mod:`repro.packs.families`) — the five legacy presets
+  (migrated from :mod:`repro.simulate.scenario`, which keeps thin
+  wrappers) plus four new workload families drawn from the related
+  work.
+* **Quality** (:mod:`repro.packs.quality`) — composable post-generation
+  filters (duplicate fingerprints, degeneracy, vocabulary skew) whose
+  verdict ships with every build as a :class:`QualityReport`.
+* **Spec** (:mod:`repro.packs.spec`) — :class:`PackSpec`, the frozen
+  JSON-round-tripping request; :class:`~repro.api.specs.CorpusSpec`
+  embeds one via ``kind="pack"`` so a single JSON blob flows CLI →
+  :func:`repro.api.run` → campaign → server job.
+
+Importing this package populates the registry (the family modules
+register at definition time).
+"""
+
+from __future__ import annotations
+
+from repro.packs.families import FRAMING_BEHAVIORS
+from repro.packs.quality import (
+    FILTERS,
+    FilterOutcome,
+    QualityReport,
+    corpus_fingerprint,
+    resource_fingerprint,
+    run_filters,
+)
+from repro.packs.registry import (
+    DEFAULT_FILTERS,
+    PACKS,
+    PackRegistry,
+    RegisteredPack,
+    register_pack,
+)
+from repro.packs.spec import PackBuild, PackSpec, build_pack
+
+__all__ = [
+    "DEFAULT_FILTERS",
+    "FILTERS",
+    "FRAMING_BEHAVIORS",
+    "FilterOutcome",
+    "PACKS",
+    "PackBuild",
+    "PackRegistry",
+    "PackSpec",
+    "QualityReport",
+    "RegisteredPack",
+    "build_pack",
+    "corpus_fingerprint",
+    "register_pack",
+    "resource_fingerprint",
+    "run_filters",
+]

@@ -1,0 +1,514 @@
+"""The registered corpus builders: legacy presets + new workload families.
+
+The five legacy presets (``tiny``/``small``/``paper-default``/
+``universe``/``figure1a``) are the former hard-coded
+:mod:`repro.simulate.scenario` functions migrated onto the registry —
+``scenario.py`` keeps thin back-compat wrappers that delegate here, so
+every existing corpus stays byte-identical (the campaign trace fixtures
+pin that).  Legacy packs run the quality pipeline in report-only mode
+for the same reason.
+
+The four new families come from the related work:
+
+* ``capped-vocab`` — taggers pick from a capped tag vocabulary
+  ("Limiting Tags Fosters Efficiency": constrained vocabularies
+  concentrate rfds and speed convergence).
+* ``adverse-selection`` — incentive-chasing taggers whose accept
+  probability rises with the incentive level while their tag quality
+  falls ("Incentivized Advertising: Treatment Effect and Adverse
+  Selection").
+* ``incentive-framing`` — how the reward is framed modulates tagger
+  effort ("Qualitative Framing of Financial Incentives"): per-tag
+  framing buys volume at the cost of noise, lottery framing buys
+  minimal, imitative effort.
+* ``budget-seeded`` — a budget-constrained seed selection: only the
+  resources a bounded seeding budget covers carry any pre-cutoff posts
+  ("Budgeted Influence Maximisation with Tags"), so allocation
+  strategies face a cold-start population shaped by the seeding choice.
+
+Every builder is deterministic in ``(seed, params)``; the determinism
+fixtures in ``tests/fixtures/pack_fingerprints.json`` pin one corpus
+fingerprint per pack and a cross-process test holds them across
+``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.api.registry import Param
+from repro.core.dataset import TaggingDataset
+from repro.core.errors import DataModelError, NotStableError, SpecError
+from repro.core.resources import Resource, ResourceSet
+from repro.core.stability import PREPARATION_OMEGA, PREPARATION_TAU, practically_stable_rfd
+from repro.packs.registry import register_pack
+from repro.simulate.generator import (
+    CorpusConfig,
+    CorpusGenerator,
+    GeneratedCorpus,
+    generate_posts_for_model,
+)
+from repro.simulate.ontology import TopicHierarchy
+from repro.simulate.popularity import PopularityConfig
+from repro.simulate.resource_models import ResourceModel
+from repro.simulate.taggers import TaggerBehavior
+
+__all__ = [
+    "filter_stable",
+    "tiny_corpus",
+    "small_corpus",
+    "paper_corpus",
+    "universe_corpus",
+    "figure1a_corpus",
+    "capped_vocab_corpus",
+    "adverse_selection_corpus",
+    "incentive_framing_corpus",
+    "budget_seeded_corpus",
+    "FRAMING_BEHAVIORS",
+]
+
+
+def filter_stable(corpus: GeneratedCorpus, n: int) -> GeneratedCorpus:
+    """Keep the first ``n`` resources whose sequences reach stability.
+
+    This mirrors the paper's dataset preparation: only resources whose
+    full post sequence satisfies ``m(k, ω_s) > τ_s`` for some ``k``
+    qualify for the evaluation.
+
+    Raises:
+        DataModelError: If fewer than ``n`` resources qualify (the
+            caller should over-generate more).
+    """
+    kept: list[int] = []
+    for index, resource in enumerate(corpus.dataset.resources):
+        try:
+            practically_stable_rfd(
+                resource.sequence,
+                PREPARATION_OMEGA,
+                PREPARATION_TAU,
+                resource_id=resource.resource_id,
+            )
+        except NotStableError:
+            continue
+        kept.append(index)
+        if len(kept) == n:
+            break
+    if len(kept) < n:
+        raise DataModelError(
+            f"only {len(kept)} of {len(corpus.dataset)} generated resources reach "
+            f"stability; requested {n} — increase the over-generation factor"
+        )
+    return GeneratedCorpus(
+        dataset=corpus.dataset.subset(kept, name=corpus.dataset.name),
+        models=[corpus.models[i] for i in kept],
+        hierarchy=corpus.hierarchy,
+        config=corpus.config,
+    )
+
+
+# ----------------------------------------------------------------------
+# legacy presets (migrated from repro.simulate.scenario)
+# ----------------------------------------------------------------------
+
+
+@register_pack(
+    "paper-default",
+    family="paper",
+    params={
+        "n": Param(int, 600, "qualifying resources to keep"),
+        "overgeneration": Param(float, 1.8, "candidates generated per kept resource"),
+    },
+    enforce=False,
+    source="paper §V-A",
+)
+def paper_default(seed: int, *, n: int, overgeneration: float) -> GeneratedCorpus:
+    """The Section V-A experiment corpus: stability-filtered, any scale."""
+    return paper_corpus(n=n, seed=seed, overgeneration=overgeneration)
+
+
+def paper_corpus(
+    n: int = 600,
+    seed: int = 0,
+    *,
+    overgeneration: float = 1.8,
+    config: CorpusConfig | None = None,
+) -> GeneratedCorpus:
+    """The Section V-A experiment corpus (scaled).
+
+    Generates ``overgeneration * n`` resources and keeps the first ``n``
+    that reach stability under the stringent preparation parameters —
+    the same selection the paper applies to its del.icio.us dump.  The
+    paper runs on 5,000 resources; the default here is laptop-sized, and
+    any scale is one argument away.
+
+    Args:
+        n: Number of qualifying resources to keep.
+        seed: Corpus seed.
+        overgeneration: How many candidate resources to generate per
+            kept resource (the default stability pass rate is ~65%).
+        config: Optional base config; its ``n_resources`` is overridden.
+
+    Returns:
+        A stability-filtered :class:`GeneratedCorpus` of exactly ``n``
+        resources.
+    """
+    base = config or CorpusConfig()
+    raw_n = max(n + 5, int(np.ceil(n * overgeneration)))
+    generator = CorpusGenerator(
+        CorpusConfig(
+            n_resources=raw_n,
+            year_days=base.year_days,
+            cutoff_day=base.cutoff_day,
+            popularity=base.popularity,
+            aspects=base.aspects,
+            tagger=base.tagger,
+            name=f"paper-scale-{n}",
+        ),
+        seed=seed,
+    )
+    return filter_stable(generator.generate(), n)
+
+
+@register_pack(
+    "tiny",
+    family="paper",
+    enforce=False,
+    source="paper §V (test scale)",
+)
+def tiny_pack(seed: int) -> GeneratedCorpus:
+    """A ~25-resource unfiltered corpus for unit tests and doc snippets."""
+    return tiny_corpus(seed=seed)
+
+
+def tiny_corpus(seed: int = 0) -> GeneratedCorpus:
+    """A ~25-resource corpus for unit tests and doc snippets (unfiltered)."""
+    generator = CorpusGenerator(
+        CorpusConfig(
+            n_resources=25,
+            popularity=PopularityConfig(min_posts=60, max_posts=200),
+            name="tiny",
+        ),
+        seed=seed,
+    )
+    return generator.generate()
+
+
+@register_pack(
+    "small",
+    family="paper",
+    params={"n": Param(int, 80, "qualifying resources to keep")},
+    enforce=False,
+    source="paper §V-A (integration scale)",
+)
+def small_pack(seed: int, *, n: int) -> GeneratedCorpus:
+    """A stability-filtered small corpus for integration tests."""
+    return small_corpus(seed=seed, n=n)
+
+
+def small_corpus(seed: int = 0, n: int = 80) -> GeneratedCorpus:
+    """A stability-filtered small corpus for integration tests."""
+    return paper_corpus(n=n, seed=seed, overgeneration=2.0)
+
+
+@register_pack(
+    "universe",
+    family="paper",
+    params={"n": Param(int, 5000, "population size")},
+    enforce=False,
+    source="paper §I / Fig 1(b)",
+)
+def universe_pack(seed: int, *, n: int) -> GeneratedCorpus:
+    """The heavy-tailed population of Fig 1(b) and the Section I stats."""
+    return universe_corpus(seed=seed, n=n)
+
+
+def universe_corpus(seed: int = 0, n: int = 5000) -> GeneratedCorpus:
+    """The heavy-tailed population of Fig 1(b) and the Section I stats.
+
+    Most resources receive a single post; the head receives thousands.
+    Use :meth:`TaggingDataset.posts_distribution` for the log-log
+    histogram.
+    """
+    generator = CorpusGenerator(CorpusConfig(n_resources=n, name="universe"), seed=seed)
+    return generator.generate_universe()
+
+
+@register_pack(
+    "figure1a",
+    family="paper",
+    params={"num_posts": Param(int, 500, "posts on the single resource")},
+    enforce=False,
+    source="paper Fig 1(a)",
+)
+def figure1a_pack(seed: int, *, num_posts: int) -> GeneratedCorpus:
+    """A single Google-Earth-like resource (Fig 1(a)'s subject)."""
+    return figure1a_corpus(seed=seed, num_posts=num_posts)
+
+
+def figure1a_corpus(seed: int = 0, num_posts: int = 500) -> GeneratedCorpus:
+    """A single Google-Earth-like resource (Fig 1(a)'s subject).
+
+    The latent distribution is hand-set so the five tracked tags
+    (google, maps, earth, software, travel) dominate, with a long tail
+    of minor tags; 500 posts reproduce the convergence picture.
+    """
+    hierarchy = TopicHierarchy.from_taxonomy()
+    head = {"google": 0.20, "maps": 0.16, "earth": 0.12, "software": 0.08, "travel": 0.05}
+    tail_tags = [
+        "geography", "satellite", "imagery", "globe", "gis", "3d", "flight",
+        "cool", "reference", "tools", "free", "visualization", "world", "atlas",
+        "navigation", "weather", "scenery", "photos", "terrain", "routes",
+        "cities", "planet", "explore", "mapping", "aerial", "landmarks",
+        "geo", "virtual", "sightseeing", "panorama", "streets", "borders",
+        "countries", "elevation", "compass", "latitude", "longitude",
+    ]
+    # A long, fairly flat tail keeps the rfd jiggling for ~100 posts, so
+    # the MA-score picture matches the paper's illustration timescales.
+    tail_mass = 1.0 - sum(head.values())
+    weights = np.array([1.0 / (r + 2) ** 0.7 for r in range(len(tail_tags))])
+    weights = weights / weights.sum() * tail_mass
+    distribution = dict(head)
+    for tag, weight in zip(tail_tags, weights):
+        distribution[tag] = float(weight)
+    model = ResourceModel(
+        resource_id="google-earth",
+        title="earth.google.com",
+        aspects=((("travel", "destinations"), 1.0),),
+        distribution=distribution,
+    )
+    rng = np.random.default_rng(seed)
+    timestamps = np.sort(rng.uniform(0.0, 365.0, size=num_posts))
+    # Imitation (the Pólya-urn dynamic) gives the early rfd the slow
+    # drift visible in the paper's Fig 1(a)/Fig 3 traces.
+    behavior = TaggerBehavior(typo_rate=0.02, personal_rate=0.10, imitation_rate=0.35)
+    sequence = generate_posts_for_model(model, timestamps, rng, behavior)
+    resources = ResourceSet(
+        [
+            Resource(
+                resource_id=model.resource_id,
+                sequence=sequence,
+                title=model.title,
+                category=model.primary_category,
+            )
+        ]
+    )
+    config = CorpusConfig(n_resources=1, name="figure1a")
+    return GeneratedCorpus(
+        dataset=TaggingDataset(resources, name="figure1a"),
+        models=[model],
+        hierarchy=hierarchy,
+        config=config,
+    )
+
+
+# ----------------------------------------------------------------------
+# new workload families
+# ----------------------------------------------------------------------
+
+
+def _truncate_distribution(model: ResourceModel, cap: int) -> ResourceModel:
+    """The model with its latent distribution capped to the top ``cap`` tags."""
+    items = sorted(model.distribution.items(), key=lambda kv: (-kv[1], kv[0]))[:cap]
+    total = sum(weight for _, weight in items)
+    return dataclasses.replace(
+        model, distribution={tag: weight / total for tag, weight in items}
+    )
+
+
+@register_pack(
+    "capped-vocab",
+    family="vocabulary-cap",
+    params={
+        "n": Param(int, 120, "corpus size"),
+        "cap": Param(int, 6, "latent vocabulary cap per resource"),
+    },
+    source="Limiting Tags Fosters Efficiency",
+)
+def capped_vocab_pack(seed: int, *, n: int, cap: int) -> GeneratedCorpus:
+    """Taggers pick from a capped per-resource tag vocabulary."""
+    return capped_vocab_corpus(seed=seed, n=n, cap=cap)
+
+
+def capped_vocab_corpus(seed: int = 0, n: int = 120, cap: int = 6) -> GeneratedCorpus:
+    """A corpus whose resources expose only their top-``cap`` tags.
+
+    Models a tagging UI that limits the offered vocabulary ("Limiting
+    Tags Fosters Efficiency"): each latent distribution is truncated to
+    its ``cap`` heaviest tags and renormalised, and the noise channels a
+    selection UI rules out (free-text typos, personal tags, off-topic
+    spam) are disabled.  Concentrated rfds stabilise early, so this is
+    the cheap-convergence end of the workload spectrum.
+    """
+    if cap < 2:
+        raise SpecError(f"capped-vocab cap must be >= 2, got {cap}")
+    config = CorpusConfig(
+        n_resources=n,
+        popularity=PopularityConfig(min_posts=40, max_posts=260),
+        tagger=TaggerBehavior(typo_rate=0.0, personal_rate=0.0, spam_rate=0.0),
+        name=f"capped-vocab-{cap}",
+    )
+    return CorpusGenerator(config, seed=seed).generate(
+        transform_model=lambda model, index: _truncate_distribution(model, cap)
+    )
+
+
+@register_pack(
+    "adverse-selection",
+    family="adverse-selection",
+    params={
+        "n": Param(int, 120, "corpus size"),
+        "incentive": Param(float, 0.6, "incentive level in [0, 1]"),
+    },
+    source="Incentivized Advertising: Treatment Effect and Adverse Selection",
+)
+def adverse_selection_pack(seed: int, *, n: int, incentive: float) -> GeneratedCorpus:
+    """Incentive-chasing taggers: more accepts, worse tags."""
+    return adverse_selection_corpus(seed=seed, n=n, incentive=incentive)
+
+
+def adverse_selection_corpus(
+    seed: int = 0, n: int = 120, incentive: float = 0.6
+) -> GeneratedCorpus:
+    """A corpus tagged by an adversely-selected crowd.
+
+    The incentive level pulls in two directions at once, the adverse
+    selection of "Incentivized Advertising": raising it raises the
+    accept probability — post counts scale up with the incentive — while
+    the marginal tagger it attracts is worse: spam, typo and
+    personal-tag rates climb, and the latent distributions flatten
+    (tags chosen with less care), delaying every stable point.
+    """
+    if not 0.0 <= incentive <= 1.0:
+        raise SpecError(
+            f"adverse-selection incentive must lie in [0, 1], got {incentive}"
+        )
+    # Accept probability rises with the incentive: the same crowd
+    # produces up to ~2.5x the posts at full incentive.
+    uptake = 1.0 + 1.5 * incentive
+    tagger = TaggerBehavior(
+        typo_rate=0.01 + 0.06 * incentive,
+        personal_rate=0.08 + 0.25 * incentive,
+        spam_rate=0.004 + 0.12 * incentive,
+    )
+    config = CorpusConfig(
+        n_resources=n,
+        popularity=PopularityConfig(
+            min_posts=int(round(60 * uptake)), max_posts=int(round(300 * uptake))
+        ),
+        tagger=tagger,
+        name=f"adverse-selection-{incentive:.2f}",
+    )
+    # Tag quality falls with the incentive: flatten each latent
+    # distribution by temperature (p -> p^(1/(1+2i)), renormalised).
+    exponent = 1.0 / (1.0 + 2.0 * incentive)
+
+    def flatten(model: ResourceModel, index: int) -> ResourceModel:
+        flattened = {tag: weight**exponent for tag, weight in model.distribution.items()}
+        total = sum(flattened.values())
+        return dataclasses.replace(
+            model, distribution={tag: w / total for tag, w in flattened.items()}
+        )
+
+    return CorpusGenerator(config, seed=seed).generate(transform_model=flatten)
+
+
+FRAMING_BEHAVIORS: dict[str, TaggerBehavior] = {
+    # Flat participation payment: the baseline crowd.
+    "flat": TaggerBehavior(),
+    # Paid per tag: volume-chasing effort — bigger posts, sloppier tags.
+    "per-tag": TaggerBehavior(
+        extra_tag_trials=8, extra_tag_prob=0.6, typo_rate=0.02, personal_rate=0.14
+    ),
+    # Lottery entry per post: minimal effort, heavy imitation of what is
+    # already on the resource.
+    "lottery": TaggerBehavior(
+        extra_tag_trials=3, extra_tag_prob=0.35, imitation_rate=0.30
+    ),
+}
+"""How each incentive framing modulates tagger effort."""
+
+
+@register_pack(
+    "incentive-framing",
+    family="incentive-framing",
+    params={
+        "n": Param(int, 120, "corpus size"),
+        "framing": Param(str, "per-tag", "one of flat / per-tag / lottery"),
+    },
+    source="Qualitative Framing of Financial Incentives",
+)
+def incentive_framing_pack(seed: int, *, n: int, framing: str) -> GeneratedCorpus:
+    """Reward framing modulates tagger effort (volume vs imitation)."""
+    return incentive_framing_corpus(seed=seed, n=n, framing=framing)
+
+
+def incentive_framing_corpus(
+    seed: int = 0, n: int = 120, framing: str = "per-tag"
+) -> GeneratedCorpus:
+    """A corpus whose crowd effort follows the reward framing.
+
+    "Qualitative Framing of Financial Incentives" finds the *description*
+    of a reward changes effort as much as its size.  Each framing maps to
+    a :class:`TaggerBehavior`: ``flat`` is the baseline crowd, ``per-tag``
+    buys volume at the cost of noise, ``lottery`` buys minimal imitative
+    effort (the Pólya-urn dynamic dominates, slowing convergence).
+    """
+    behavior = FRAMING_BEHAVIORS.get(framing)
+    if behavior is None:
+        raise SpecError(
+            f"unknown incentive framing {framing!r}; known framings: "
+            f"{', '.join(sorted(FRAMING_BEHAVIORS))}"
+        )
+    config = CorpusConfig(
+        n_resources=n,
+        popularity=PopularityConfig(min_posts=50, max_posts=280),
+        tagger=behavior,
+        name=f"incentive-framing-{framing}",
+    )
+    return CorpusGenerator(config, seed=seed).generate()
+
+
+@register_pack(
+    "budget-seeded",
+    family="budget-seeding",
+    params={
+        "n": Param(int, 150, "corpus size"),
+        "seeds": Param(int, 30, "resources the seeding budget covers"),
+    },
+    source="Budgeted Influence Maximisation with Tags",
+)
+def budget_seeded_pack(seed: int, *, n: int, seeds: int) -> GeneratedCorpus:
+    """Only a budget-constrained seed set carries pre-cutoff posts."""
+    return budget_seeded_corpus(seed=seed, n=n, seeds=seeds)
+
+
+def budget_seeded_corpus(
+    seed: int = 0, n: int = 150, seeds: int = 30
+) -> GeneratedCorpus:
+    """A corpus where a bounded seeding budget decides the initial state.
+
+    Models budget-constrained seed selection ("Budgeted Influence
+    Maximisation with Tags"): a seeding budget covers only ``seeds``
+    resources, chosen greedily by expected popularity (total post
+    count, ties to the lower index).  Seeded resources keep their drawn
+    initial posts (at least one); the rest start completely cold, so
+    allocation strategies face the sharpest possible under-tagged
+    population at the cutoff.
+    """
+    if seeds < 1:
+        raise SpecError(f"budget-seeded seeds must be >= 1, got {seeds}")
+
+    def seed_selection(totals: np.ndarray, initials: np.ndarray) -> np.ndarray:
+        chosen = np.argsort(-totals, kind="stable")[:seeds]
+        adjusted = np.zeros_like(initials)
+        adjusted[chosen] = np.maximum(initials[chosen], 1)
+        return adjusted
+
+    config = CorpusConfig(
+        n_resources=n,
+        popularity=PopularityConfig(min_posts=60, max_posts=400),
+        name=f"budget-seeded-{seeds}",
+    )
+    return CorpusGenerator(config, seed=seed).generate(adjust_initials=seed_selection)

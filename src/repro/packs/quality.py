@@ -1,0 +1,345 @@
+"""The corpus quality pipeline: composable post-generation filters.
+
+Synthetic workload families can (deliberately or accidentally) produce
+pathological resources — duplicated content, empty or single-tag
+sequences, resources too short to ever satisfy the stability definition,
+vocabularies so skewed the rfd is a delta function.  Every pack build
+runs a declared set of filters over the generated corpus and records a
+:class:`QualityReport`; packs that declare ``enforce=True`` drop the
+flagged resources, legacy presets report only (their corpora are pinned
+byte-identical by existing trace fixtures).
+
+**Order invariance by construction**: each filter inspects the *full*
+generated corpus independently and the flagged index sets are unioned,
+so the kept set — and therefore the corpus fingerprint — is identical
+for every filter ordering.  (A sequential pipeline would not be: if the
+degeneracy filter dropped the first member of a duplicate group, the
+duplicate filter would then keep the second.)
+
+Content fingerprints are stable SHA-256 hashes of the canonical post
+payload (sorted tags, rounded timestamps), so they are identical across
+processes, platforms and ``PYTHONHASHSEED`` values — the same bar the
+cross-process determinism tests hold the generator itself to.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.core.errors import DataModelError, SpecError
+from repro.core.stability import DEFAULT_OMEGA
+
+__all__ = [
+    "FilterOutcome",
+    "QualityReport",
+    "FILTERS",
+    "resource_fingerprint",
+    "corpus_fingerprint",
+    "run_filters",
+]
+
+MIN_STABILIZABLE_POSTS = DEFAULT_OMEGA
+"""Resources with fewer posts than the MA window can never present a
+moving-average score, let alone cross a stability threshold."""
+
+MAX_DOMINANT_SHARE = 0.95
+"""Vocabulary-skew bound: a resource whose single most frequent tag
+carries more than this share of all its tag assignments has a
+near-degenerate rfd (stability is trivially reached, carrying no
+signal for allocation experiments)."""
+
+
+def resource_fingerprint(resource) -> str:
+    """A stable content hash of one resource's post sequence.
+
+    The payload is canonical — sorted tags per post, timestamps rounded
+    to 9 decimals — so identical content always hashes identically,
+    independent of tag-set iteration order or float repr drift.
+    """
+    payload = [
+        [round(post.timestamp, 9), sorted(post.tags)] for post in resource.sequence
+    ]
+    return hashlib.sha256(
+        json.dumps(payload, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+def corpus_fingerprint(corpus) -> str:
+    """A stable content hash of a whole corpus (ids + per-resource hashes)."""
+    digest = hashlib.sha256()
+    for resource in corpus.dataset.resources:
+        digest.update(resource.resource_id.encode())
+        digest.update(resource_fingerprint(resource).encode())
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# filters
+# ----------------------------------------------------------------------
+
+
+def _filter_duplicates(corpus) -> dict[int, str]:
+    """Flag every resource whose content duplicates an earlier one."""
+    seen: dict[str, int] = {}
+    flagged: dict[int, str] = {}
+    for index, resource in enumerate(corpus.dataset.resources):
+        fingerprint = resource_fingerprint(resource)
+        first = seen.setdefault(fingerprint, index)
+        if first != index:
+            other = corpus.dataset.resources[first].resource_id
+            flagged[index] = f"duplicate of {other!r} (fingerprint {fingerprint[:12]})"
+    return flagged
+
+
+def _filter_degenerate(corpus) -> dict[int, str]:
+    """Flag empty, single-tag, and never-stabilizable resources."""
+    flagged: dict[int, str] = {}
+    for index, resource in enumerate(corpus.dataset.resources):
+        n_posts = len(resource.sequence)
+        if n_posts == 0:
+            flagged[index] = "empty post sequence"
+            continue
+        if n_posts < MIN_STABILIZABLE_POSTS:
+            flagged[index] = (
+                f"never stabilizable: {n_posts} posts < "
+                f"MA window {MIN_STABILIZABLE_POSTS}"
+            )
+            continue
+        vocabulary = set()
+        for post in resource.sequence:
+            vocabulary.update(post.tags)
+            if len(vocabulary) > 1:
+                break
+        if len(vocabulary) <= 1:
+            only = next(iter(vocabulary))
+            flagged[index] = f"single-tag vocabulary ({only!r})"
+    return flagged
+
+
+def _filter_vocab_skew(corpus) -> dict[int, str]:
+    """Flag resources whose dominant tag exceeds the skew bound."""
+    flagged: dict[int, str] = {}
+    for index, resource in enumerate(corpus.dataset.resources):
+        counts: dict[str, int] = {}
+        total = 0
+        for post in resource.sequence:
+            for tag in post.tags:
+                counts[tag] = counts.get(tag, 0) + 1
+                total += 1
+        if total == 0 or len(counts) <= 1:
+            continue  # the degeneracy filter owns empty/single-tag cases
+        top = max(counts.values())
+        share = top / total
+        if share > MAX_DOMINANT_SHARE:
+            tag = min(t for t, c in counts.items() if c == top)
+            flagged[index] = (
+                f"vocabulary skew: tag {tag!r} carries {share:.3f} of "
+                f"assignments (bound {MAX_DOMINANT_SHARE})"
+            )
+    return flagged
+
+
+FILTERS: dict[str, Callable[..., dict[int, str]]] = {
+    "duplicates": _filter_duplicates,
+    "degenerate": _filter_degenerate,
+    "vocab-skew": _filter_vocab_skew,
+}
+"""Registered quality filters, by the names packs declare."""
+
+
+# ----------------------------------------------------------------------
+# report
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FilterOutcome:
+    """One filter's verdict over the full generated corpus.
+
+    Attributes:
+        name: Filter name.
+        flagged: Flagged resource count.
+        reasons: ``resource_id -> reason`` for every flagged resource.
+    """
+
+    name: str
+    flagged: int
+    reasons: Mapping[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "flagged": self.flagged,
+            "reasons": dict(sorted(self.reasons.items())),
+        }
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """What the quality pipeline saw and did for one pack build.
+
+    Attributes:
+        pack: Pack name ("" for ad-hoc :func:`run_filters` calls).
+        generated: Resource count before filtering.
+        kept: Resource count after filtering.
+        dropped: Resources removed (always 0 when ``enforced`` is off).
+        enforced: Whether flagged resources were actually dropped.
+        outcomes: Per-filter verdicts, in declared order.
+        fingerprint: Content hash of the *surviving* corpus — the value
+            pinned by the determinism fixtures.
+        distinct_tags: Corpus vocabulary size after filtering.
+        total_assignments: Tag assignments after filtering.
+        top_tag_share: Share of the most frequent tag after filtering.
+    """
+
+    pack: str
+    generated: int
+    kept: int
+    dropped: int
+    enforced: bool
+    outcomes: tuple[FilterOutcome, ...]
+    fingerprint: str
+    distinct_tags: int
+    total_assignments: int
+    top_tag_share: float
+
+    def to_dict(self) -> dict:
+        return {
+            "pack": self.pack,
+            "generated": self.generated,
+            "kept": self.kept,
+            "dropped": self.dropped,
+            "enforced": self.enforced,
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+            "fingerprint": self.fingerprint,
+            "distinct_tags": self.distinct_tags,
+            "total_assignments": self.total_assignments,
+            "top_tag_share": self.top_tag_share,
+        }
+
+    def render(self) -> str:
+        """A human-readable multi-line summary."""
+        mode = "drop" if self.enforced else "report-only"
+        lines = [
+            f"quality [{mode}]: generated {self.generated}, "
+            f"kept {self.kept}, dropped {self.dropped}"
+        ]
+        for outcome in self.outcomes:
+            lines.append(f"  {outcome.name}: {outcome.flagged} flagged")
+            for resource_id, reason in sorted(outcome.reasons.items())[:5]:
+                lines.append(f"    {resource_id}: {reason}")
+            if len(outcome.reasons) > 5:
+                lines.append(f"    ... and {len(outcome.reasons) - 5} more")
+        lines.append(
+            f"  vocabulary: {self.distinct_tags} distinct tags over "
+            f"{self.total_assignments} assignments "
+            f"(top tag share {self.top_tag_share:.3f})"
+        )
+        lines.append(f"  fingerprint: {self.fingerprint[:16]}")
+        return "\n".join(lines)
+
+
+def _vocab_stats(corpus) -> tuple[int, int, float]:
+    counts: dict[str, int] = {}
+    total = 0
+    for resource in corpus.dataset.resources:
+        for post in resource.sequence:
+            for tag in post.tags:
+                counts[tag] = counts.get(tag, 0) + 1
+                total += 1
+    if not counts:
+        return 0, 0, 0.0
+    return len(counts), total, max(counts.values()) / total
+
+
+# ----------------------------------------------------------------------
+# pipeline
+# ----------------------------------------------------------------------
+
+
+def run_filters(
+    corpus,
+    filters: Iterable[str],
+    *,
+    enforce: bool = True,
+    pack: str = "",
+):
+    """Run quality filters over a generated corpus.
+
+    Every filter inspects the full input corpus; flagged index sets are
+    unioned, so the result is invariant under filter ordering.
+
+    Args:
+        corpus: A :class:`~repro.simulate.generator.GeneratedCorpus`.
+        filters: Filter names from :data:`FILTERS`, run in order (order
+            affects only the report's outcome listing, never the kept
+            set).
+        enforce: Drop flagged resources (``True``) or keep everything
+            and only report.
+        pack: Pack name recorded in the report and telemetry.
+
+    Returns:
+        ``(corpus, report)`` — the (possibly subset) corpus and its
+        :class:`QualityReport`.
+
+    Raises:
+        SpecError: On an unknown filter name.
+        DataModelError: When enforcement would drop every resource.
+    """
+    telemetry = obs.get()
+    resources = corpus.dataset.resources
+    n = len(resources)
+    outcomes: list[FilterOutcome] = []
+    flagged_union: set[int] = set()
+    with telemetry.span("packs.quality", pack=pack, resources=n):
+        for name in filters:
+            try:
+                filter_fn = FILTERS[name]
+            except KeyError:
+                raise SpecError(
+                    f"unknown quality filter {name!r}; known filters: "
+                    f"{', '.join(sorted(FILTERS))}"
+                ) from None
+            flagged = filter_fn(corpus)
+            flagged_union.update(flagged)
+            outcomes.append(
+                FilterOutcome(
+                    name=name,
+                    flagged=len(flagged),
+                    reasons={
+                        resources[index].resource_id: reason
+                        for index, reason in flagged.items()
+                    },
+                )
+            )
+            telemetry.count(f"packs.filter.{name}.flagged", len(flagged))
+    if enforce and flagged_union:
+        kept_indices = [i for i in range(n) if i not in flagged_union]
+        if not kept_indices:
+            raise DataModelError(
+                f"pack {pack or '(ad-hoc)'}: quality filters flagged all "
+                f"{n} generated resources; relax the pack's parameters"
+            )
+        corpus = corpus.subset(kept_indices)
+    kept = len(corpus.dataset)
+    dropped = n - kept
+    telemetry.count("packs.checked_resources", n)
+    telemetry.count("packs.dropped_resources", dropped)
+    distinct_tags, total_assignments, top_share = _vocab_stats(corpus)
+    report = QualityReport(
+        pack=pack,
+        generated=n,
+        kept=kept,
+        dropped=dropped,
+        enforced=enforce,
+        outcomes=tuple(outcomes),
+        fingerprint=corpus_fingerprint(corpus),
+        distinct_tags=distinct_tags,
+        total_assignments=total_assignments,
+        top_tag_share=top_share,
+    )
+    return corpus, report

@@ -1,0 +1,217 @@
+"""The scenario-pack registry: declared corpus builders instead of hard-coded presets.
+
+Before this module existed, scenario diversity was whatever
+:mod:`repro.simulate.scenario` hard-coded — ``paper_scenario``,
+``figure1a_scenario``, ... — and anything that wanted a corpus by name
+had to know the function, its signature, and its defaults.  Here every
+corpus family instead **registers** itself, exactly the way allocation
+strategies register with :class:`repro.api.registry.StrategyRegistry`::
+
+    @register_pack(
+        "capped-vocab",
+        family="vocabulary-cap",
+        params={"n": Param(int, 120, "corpus size"),
+                "cap": Param(int, 6, "tags per resource")},
+    )
+    def capped_vocab(seed: int, *, n: int, cap: int) -> GeneratedCorpus:
+        ...
+
+so :meth:`PackRegistry.get` can validate names and parameters up front
+and raise one precise :class:`~repro.core.errors.SpecError` listing the
+registered packs, instead of a bare ``KeyError`` downstream.
+
+The process-global default registry is :data:`PACKS`; it is fully
+populated as a side effect of importing :mod:`repro.packs` (the family
+modules register themselves at function-definition time).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.api.registry import Param
+from repro.core.errors import SpecError
+
+__all__ = ["RegisteredPack", "PackRegistry", "PACKS", "register_pack"]
+
+DEFAULT_FILTERS = ("duplicates", "degenerate", "vocab-skew")
+"""The quality filters a pack runs unless it declares its own set."""
+
+
+@dataclass(frozen=True)
+class RegisteredPack:
+    """A registry entry: the builder plus its declared parameter schema.
+
+    Attributes:
+        name: Public pack name (``"paper-default"``, ``"capped-vocab"``).
+        family: Workload family label (groups related packs in listings).
+        builder: ``(seed, **params) -> GeneratedCorpus``; must be
+            deterministic in ``seed`` and the parameters.
+        params: Declared builder parameters (name -> :class:`Param`).
+        filters: Quality-filter names run post-generation, in order.
+        enforce: Whether flagged resources are dropped (``True``) or
+            only reported (``False`` — the legacy presets, whose corpora
+            are pinned byte-identical by existing trace fixtures).
+        doc: One-line description for listings.
+        source: Where the workload comes from (paper section or related
+            work title).
+    """
+
+    name: str
+    family: str
+    builder: Callable[..., Any]
+    params: Mapping[str, Param] = field(default_factory=dict)
+    filters: tuple[str, ...] = DEFAULT_FILTERS
+    enforce: bool = True
+    doc: str = ""
+    source: str = ""
+
+    def validate_params(self, overrides: Mapping[str, Any]) -> dict[str, Any]:
+        """Type-check ``overrides`` and fill declared defaults.
+
+        Raises:
+            SpecError: On an undeclared parameter name or a value that
+                fails its declared type.
+        """
+        unknown = sorted(set(overrides) - set(self.params))
+        if unknown:
+            declared = ", ".join(sorted(self.params)) or "(none)"
+            raise SpecError(
+                f"pack {self.name!r} does not declare parameter(s) "
+                f"{', '.join(repr(u) for u in unknown)}; declared: {declared}"
+            )
+        resolved: dict[str, Any] = {}
+        for pname, spec in self.params.items():
+            value = overrides.get(pname, spec.default)
+            resolved[pname] = spec.validate(pname, value, self.name)
+        return resolved
+
+    def build_corpus(self, seed: int, **overrides: Any):
+        """Run the builder with validated parameters (defaults filled)."""
+        return self.builder(seed, **self.validate_params(overrides))
+
+    def defaults(self) -> dict[str, Any]:
+        """The declared parameter defaults."""
+        return {name: spec.default for name, spec in self.params.items()}
+
+
+class PackRegistry:
+    """Name -> scenario pack mapping with declared parameter schemas.
+
+    The registry is the single source of truth for "which corpus
+    workloads exist and how they are parameterised": the CLI's ``packs``
+    verbs derive their listings from :meth:`entries`, a
+    :class:`~repro.api.specs.CorpusSpec` with ``kind="pack"`` is
+    validated against :meth:`get`, and the determinism fixtures iterate
+    :meth:`names` so a new pack cannot ship without a pinned fingerprint.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, RegisteredPack] = {}
+
+    # -- registration ---------------------------------------------------
+
+    def register(self, entry: RegisteredPack) -> None:
+        """Register a pack.
+
+        Raises:
+            SpecError: On a duplicate or blank name.
+        """
+        if not entry.name or not isinstance(entry.name, str):
+            raise SpecError(f"pack name must be a non-empty string, got {entry.name!r}")
+        existing = self._entries.get(entry.name)
+        if existing is not None:
+            raise SpecError(
+                f"pack name {entry.name!r} already registered by "
+                f"{existing.builder.__module__}.{existing.builder.__qualname__}"
+            )
+        self._entries[entry.name] = entry
+
+    # -- lookup ---------------------------------------------------------
+
+    def get(self, name: str) -> RegisteredPack:
+        """The entry for ``name``.
+
+        Raises:
+            SpecError: On an unknown name, listing the registered packs
+                sorted — never a bare ``KeyError``.
+        """
+        entry = self._entries.get(name)
+        if entry is None:
+            raise SpecError(
+                f"unknown scenario pack {name!r}; registered packs: "
+                f"{', '.join(sorted(self._entries)) or '(none)'}"
+            )
+        return entry
+
+    def names(self) -> list[str]:
+        """Registered names, sorted."""
+        return sorted(self._entries)
+
+    def entries(self) -> list[RegisteredPack]:
+        """Registered packs, sorted by (family, name) for listings."""
+        return sorted(self._entries.values(), key=lambda e: (e.family, e.name))
+
+    def families(self) -> list[str]:
+        """Distinct family labels, sorted."""
+        return sorted({entry.family for entry in self._entries.values()})
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+PACKS = PackRegistry()
+"""The process-global registry; populated by importing :mod:`repro.packs`."""
+
+
+def register_pack(
+    name: str,
+    *,
+    family: str,
+    params: Mapping[str, Param] | None = None,
+    filters: tuple[str, ...] = DEFAULT_FILTERS,
+    enforce: bool = True,
+    source: str = "",
+    registry: PackRegistry | None = None,
+):
+    """Function decorator: register a corpus builder under ``name``.
+
+    Args:
+        name: Public pack name.
+        family: Workload family label.
+        params: Declared builder parameters (name -> :class:`Param`).
+            Parameters *not* declared here cannot be set through the
+            pack-spec path.
+        filters: Quality filters to run post-generation (names from
+            :data:`repro.packs.quality.FILTERS`).
+        enforce: Drop flagged resources (``True``) or report only.
+        source: Paper section / related-work title the family models.
+        registry: Target registry (default: the global :data:`PACKS`).
+
+    The builder's first line of docstring becomes the pack's ``doc``.
+    """
+
+    def decorate(builder: Callable[..., Any]) -> Callable[..., Any]:
+        doc = (builder.__doc__ or "").strip().splitlines()
+        entry = RegisteredPack(
+            name=name,
+            family=family,
+            builder=builder,
+            params=dict(params or {}),
+            filters=tuple(filters),
+            enforce=enforce,
+            doc=doc[0] if doc else "",
+            source=source,
+        )
+        (registry if registry is not None else PACKS).register(entry)
+        return builder
+
+    return decorate

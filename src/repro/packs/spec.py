@@ -1,0 +1,110 @@
+"""``PackSpec`` — one frozen, JSON-round-tripping corpus request.
+
+A pack spec is the pack-side analogue of :class:`repro.api.specs.Spec`:
+``(name, seed, params)`` fully determines a corpus, so the same JSON
+blob can be built locally, embedded in a :class:`~repro.api.specs.CorpusSpec`
+(``kind="pack"``), shipped inside a :class:`~repro.api.specs.CampaignSpec`
+to the server scheduler, and rebuilt anywhere with an identical content
+fingerprint (pinned by ``tests/fixtures/pack_fingerprints.json``).
+
+:func:`build_pack` is the one build path: resolve the registry entry,
+run the builder, run the pack's declared quality filters, return the
+surviving corpus with its :class:`~repro.packs.quality.QualityReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+from repro import obs
+from repro.api.specs import Spec, _check, _is_int
+from repro.packs.quality import QualityReport, run_filters
+from repro.packs.registry import PACKS, PackRegistry
+
+__all__ = ["PackSpec", "PackBuild", "build_pack"]
+
+
+@dataclass(frozen=True)
+class PackSpec(Spec):
+    """One deterministic corpus request: pack name + seed + parameters.
+
+    Validation happens at construction: the name must be registered and
+    every parameter must match the pack's declared schema, so a
+    ``PackSpec`` that exists is a ``PackSpec`` that builds.
+
+    Attributes:
+        name: Registered pack name (see ``repro packs list``).
+        seed: Corpus seed — identical ``(name, seed, params)`` triples
+            yield identical corpus fingerprints, across processes and
+            ``PYTHONHASHSEED`` values.
+        params: Pack parameter overrides; undeclared names are rejected.
+    """
+
+    TYPE: ClassVar[str] = "pack"
+
+    name: str = "tiny"
+    seed: int = 0
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check(isinstance(self.name, str) and bool(self.name),
+               f"pack name must be a non-empty string, got {self.name!r}")
+        _check(_is_int(self.seed), f"pack seed must be an int, got {self.seed!r}")
+        _check(isinstance(self.params, dict), f"pack params must be a dict, got {self.params!r}")
+        # Registry validation: unknown names raise listing the registered
+        # packs; parameter overrides are checked against the declared
+        # schema (and this also normalises e.g. int -> float).
+        entry = PACKS.get(self.name)
+        resolved = entry.validate_params(self.params)
+        overridden = {k: resolved[k] for k in self.params}
+        object.__setattr__(self, "params", overridden)
+
+    def resolved_params(self) -> dict[str, Any]:
+        """The full parameter set (declared defaults + overrides)."""
+        return PACKS.get(self.name).validate_params(self.params)
+
+
+@dataclass(frozen=True)
+class PackBuild:
+    """The result of one :func:`build_pack` call.
+
+    Attributes:
+        spec: The request that produced this build.
+        corpus: The surviving corpus (flagged resources dropped when the
+            pack enforces its filters).
+        report: The quality pipeline's verdicts and the corpus
+            fingerprint.
+    """
+
+    spec: PackSpec
+    corpus: Any
+    report: QualityReport
+
+
+def build_pack(spec: PackSpec, *, registry: PackRegistry | None = None) -> PackBuild:
+    """Build a pack spec into a quality-checked corpus.
+
+    Args:
+        spec: The corpus request.
+        registry: Pack registry to resolve against (default
+            :data:`~repro.packs.registry.PACKS`).
+
+    Returns:
+        A :class:`PackBuild` — corpus plus :class:`QualityReport`.
+
+    Raises:
+        SpecError: On an unknown pack name or invalid parameters.
+        DataModelError: When enforcement would drop every resource.
+    """
+    packs = registry if registry is not None else PACKS
+    entry = packs.get(spec.name)
+    telemetry = obs.get()
+    with telemetry.span("packs.build", pack=spec.name, seed=spec.seed):
+        corpus = entry.build_corpus(spec.seed, **spec.params)
+        telemetry.count("packs.generated_resources", len(corpus.dataset))
+        corpus, report = run_filters(
+            corpus, entry.filters, enforce=entry.enforce, pack=spec.name
+        )
+    telemetry.count("packs.built")
+    return PackBuild(spec=spec, corpus=corpus, report=report)

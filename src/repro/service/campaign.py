@@ -296,6 +296,10 @@ class IncentiveCampaign:
         from repro.api.registry import STRATEGIES
 
         models = corpus.require_models()
+        if getattr(corpus, "quality", None) is not None:
+            # Pack-built corpus: record which pack fed this campaign so
+            # fleet dashboards can slice campaign metrics by workload.
+            obs.get().count(f"campaign.corpus.pack.{corpus.spec.pack}")
         if rng is None:
             rng = np.random.default_rng(spec.seed)
         pool = WorkerPool.uniform(spec.workers, corpus.hierarchy, rng)

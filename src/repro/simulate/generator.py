@@ -17,6 +17,7 @@ and a large under-tagged population at the cutoff.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -161,13 +162,35 @@ class CorpusGenerator:
         )
         return np.concatenate([np.sort(early), np.sort(late)])
 
-    def generate(self) -> GeneratedCorpus:
-        """Generate the experiment corpus described by the config."""
+    def generate(
+        self,
+        *,
+        transform_model: Callable[[ResourceModel, int], ResourceModel] | None = None,
+        adjust_initials: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+    ) -> GeneratedCorpus:
+        """Generate the experiment corpus described by the config.
+
+        Args:
+            transform_model: Optional ``(model, index) -> model`` hook
+                applied before any post is drawn from the model — this is
+                how scenario packs cap vocabularies or flatten latent
+                distributions.  Must not consume ``rng`` draws if the
+                corpus should stay comparable to the un-hooked one.
+            adjust_initials: Optional ``(totals, initials) -> initials``
+                hook rewriting the per-resource initial (pre-cutoff) post
+                counts — budget-constrained seeding packs zero out the
+                unseeded population here.  The return value is clipped to
+                ``[0, totals]``.
+        """
         config = self.config
         rng = np.random.default_rng(self.seed)
         totals = draw_total_posts(config.n_resources, rng, config.popularity)
         shares = draw_initial_share(config.n_resources, rng, config.popularity)
         initials = np.clip(np.round(totals * shares).astype(np.int64), 0, totals)
+        if adjust_initials is not None:
+            initials = np.clip(
+                np.asarray(adjust_initials(totals, initials), dtype=np.int64), 0, totals
+            )
 
         resources = ResourceSet()
         models: list[ResourceModel] = []
@@ -175,6 +198,8 @@ class CorpusGenerator:
             model = build_resource_model(
                 f"r{index:05d}", self.hierarchy, rng, config.aspects
             )
+            if transform_model is not None:
+                model = transform_model(model, index)
             timestamps = self._timestamps(int(totals[index]), int(initials[index]), rng)
             sequence = generate_posts_for_model(model, timestamps, rng, config.tagger)
             resources.add(

@@ -2,20 +2,30 @@
 
 Every preset is deterministic in its seed and returns a
 :class:`~repro.simulate.generator.GeneratedCorpus` (dataset + latent
-ground truth).  The main presets:
+ground truth).  The preset *builders* now live in
+:mod:`repro.packs.families`, registered on the scenario-pack registry
+(:data:`repro.packs.PACKS`) alongside the newer workload families; the
+functions here are thin back-compat wrappers that delegate to them, so
+every corpus stays byte-identical with its pre-registry self.  The main
+presets:
 
 * :func:`tiny_scenario` / :func:`small_scenario` — fast corpora for tests
-  and documentation examples;
+  and documentation examples (packs ``tiny`` / ``small``);
 * :func:`paper_scenario` — the Section V-A analogue: resources are
   *pre-filtered to those whose full sequences reach stability* under the
   stringent ``(ω_s, τ_s) = (20, 0.9999)``, exactly like the paper's
-  5,000-URL selection;
+  5,000-URL selection (pack ``paper-default``);
 * :func:`universe_scenario` — the heavy-tailed population behind
-  Fig 1(b) and the Section I statistics;
+  Fig 1(b) and the Section I statistics (pack ``universe``);
 * :func:`figure1a_scenario` — a single Google-Earth-like resource whose
-  tag trajectories reproduce Fig 1(a);
+  tag trajectories reproduce Fig 1(a) (pack ``figure1a``);
 * :func:`case_study_scenario` — the engineered subjects and resource
-  pools behind Tables VI and VII.
+  pools behind Tables VI and VII (stays here: it returns a
+  :class:`CaseStudyScenario`, not a bare corpus).
+
+The delegation imports are lazy: :mod:`repro.packs` pulls in
+:mod:`repro.api`, which must stay importable without this module being
+fully initialised.
 """
 
 from __future__ import annotations
@@ -25,17 +35,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.dataset import TaggingDataset
-from repro.core.errors import DataModelError, NotStableError
 from repro.core.resources import Resource, ResourceSet
-from repro.core.stability import PREPARATION_OMEGA, PREPARATION_TAU, practically_stable_rfd
 from repro.simulate.generator import (
     CorpusConfig,
-    CorpusGenerator,
     GeneratedCorpus,
     generate_posts_for_model,
 )
 from repro.simulate.ontology import CategoryPath, TopicHierarchy
-from repro.simulate.popularity import PopularityConfig
 from repro.simulate.resource_models import (
     AspectConfig,
     ResourceModel,
@@ -56,44 +62,6 @@ __all__ = [
 ]
 
 
-def _filter_stable(corpus: GeneratedCorpus, n: int) -> GeneratedCorpus:
-    """Keep the first ``n`` resources whose sequences reach stability.
-
-    This mirrors the paper's dataset preparation: only resources whose
-    full post sequence satisfies ``m(k, ω_s) > τ_s`` for some ``k``
-    qualify for the evaluation.
-
-    Raises:
-        DataModelError: If fewer than ``n`` resources qualify (the
-            caller should over-generate more).
-    """
-    kept: list[int] = []
-    for index, resource in enumerate(corpus.dataset.resources):
-        try:
-            practically_stable_rfd(
-                resource.sequence,
-                PREPARATION_OMEGA,
-                PREPARATION_TAU,
-                resource_id=resource.resource_id,
-            )
-        except NotStableError:
-            continue
-        kept.append(index)
-        if len(kept) == n:
-            break
-    if len(kept) < n:
-        raise DataModelError(
-            f"only {len(kept)} of {len(corpus.dataset)} generated resources reach "
-            f"stability; requested {n} — increase the over-generation factor"
-        )
-    return GeneratedCorpus(
-        dataset=corpus.dataset.subset(kept, name=corpus.dataset.name),
-        models=[corpus.models[i] for i in kept],
-        hierarchy=corpus.hierarchy,
-        config=corpus.config,
-    )
-
-
 def paper_scenario(
     n: int = 600,
     seed: int = 0,
@@ -101,7 +69,7 @@ def paper_scenario(
     overgeneration: float = 1.8,
     config: CorpusConfig | None = None,
 ) -> GeneratedCorpus:
-    """The Section V-A experiment corpus (scaled).
+    """The Section V-A experiment corpus (scaled) — pack ``paper-default``.
 
     Generates ``overgeneration * n`` resources and keeps the first ``n``
     that reach stability under the stringent preparation parameters —
@@ -120,106 +88,47 @@ def paper_scenario(
         A stability-filtered :class:`GeneratedCorpus` of exactly ``n``
         resources.
     """
-    base = config or CorpusConfig()
-    raw_n = max(n + 5, int(np.ceil(n * overgeneration)))
-    generator = CorpusGenerator(
-        CorpusConfig(
-            n_resources=raw_n,
-            year_days=base.year_days,
-            cutoff_day=base.cutoff_day,
-            popularity=base.popularity,
-            aspects=base.aspects,
-            tagger=base.tagger,
-            name=f"paper-scale-{n}",
-        ),
-        seed=seed,
-    )
-    return _filter_stable(generator.generate(), n)
+    from repro.packs.families import paper_corpus
+
+    return paper_corpus(n=n, seed=seed, overgeneration=overgeneration, config=config)
 
 
 def tiny_scenario(seed: int = 0) -> GeneratedCorpus:
-    """A ~25-resource corpus for unit tests and doc snippets (unfiltered)."""
-    generator = CorpusGenerator(
-        CorpusConfig(
-            n_resources=25,
-            popularity=PopularityConfig(min_posts=60, max_posts=200),
-            name="tiny",
-        ),
-        seed=seed,
-    )
-    return generator.generate()
+    """A ~25-resource corpus for unit tests and doc snippets — pack ``tiny``."""
+    from repro.packs.families import tiny_corpus
+
+    return tiny_corpus(seed=seed)
 
 
 def small_scenario(seed: int = 0, n: int = 80) -> GeneratedCorpus:
-    """A stability-filtered small corpus for integration tests."""
-    return paper_scenario(n=n, seed=seed, overgeneration=2.0)
+    """A stability-filtered small corpus for integration tests — pack ``small``."""
+    from repro.packs.families import small_corpus
+
+    return small_corpus(seed=seed, n=n)
 
 
 def universe_scenario(seed: int = 0, n: int = 5000) -> GeneratedCorpus:
-    """The heavy-tailed population of Fig 1(b) and the Section I stats.
+    """The heavy-tailed population of Fig 1(b) — pack ``universe``.
 
     Most resources receive a single post; the head receives thousands.
     Use :meth:`TaggingDataset.posts_distribution` for the log-log
     histogram.
     """
-    generator = CorpusGenerator(CorpusConfig(n_resources=n, name="universe"), seed=seed)
-    return generator.generate_universe()
+    from repro.packs.families import universe_corpus
+
+    return universe_corpus(seed=seed, n=n)
 
 
 def figure1a_scenario(seed: int = 0, num_posts: int = 500) -> GeneratedCorpus:
-    """A single Google-Earth-like resource (Fig 1(a)'s subject).
+    """A single Google-Earth-like resource (Fig 1(a)) — pack ``figure1a``.
 
     The latent distribution is hand-set so the five tracked tags
     (google, maps, earth, software, travel) dominate, with a long tail
     of minor tags; 500 posts reproduce the convergence picture.
     """
-    hierarchy = TopicHierarchy.from_taxonomy()
-    head = {"google": 0.20, "maps": 0.16, "earth": 0.12, "software": 0.08, "travel": 0.05}
-    tail_tags = [
-        "geography", "satellite", "imagery", "globe", "gis", "3d", "flight",
-        "cool", "reference", "tools", "free", "visualization", "world", "atlas",
-        "navigation", "weather", "scenery", "photos", "terrain", "routes",
-        "cities", "planet", "explore", "mapping", "aerial", "landmarks",
-        "geo", "virtual", "sightseeing", "panorama", "streets", "borders",
-        "countries", "elevation", "compass", "latitude", "longitude",
-    ]
-    # A long, fairly flat tail keeps the rfd jiggling for ~100 posts, so
-    # the MA-score picture matches the paper's illustration timescales.
-    tail_mass = 1.0 - sum(head.values())
-    weights = np.array([1.0 / (r + 2) ** 0.7 for r in range(len(tail_tags))])
-    weights = weights / weights.sum() * tail_mass
-    distribution = dict(head)
-    for tag, weight in zip(tail_tags, weights):
-        distribution[tag] = float(weight)
-    model = ResourceModel(
-        resource_id="google-earth",
-        title="earth.google.com",
-        aspects=((("travel", "destinations"), 1.0),),
-        distribution=distribution,
-    )
-    rng = np.random.default_rng(seed)
-    timestamps = np.sort(rng.uniform(0.0, 365.0, size=num_posts))
-    # Imitation (the Pólya-urn dynamic) gives the early rfd the slow
-    # drift visible in the paper's Fig 1(a)/Fig 3 traces.
-    behavior = TaggerBehavior(typo_rate=0.02, personal_rate=0.10, imitation_rate=0.35)
-    sequence = generate_posts_for_model(model, timestamps, rng, behavior)
-    resources = ResourceSet(
-        [
-            Resource(
-                resource_id=model.resource_id,
-                sequence=sequence,
-                title=model.title,
-                category=model.primary_category,
-            )
-        ]
-    )
-    config = CorpusConfig(n_resources=1, name="figure1a")
-    return GeneratedCorpus(
-        dataset=TaggingDataset(resources, name="figure1a"),
-        models=[model],
-        hierarchy=hierarchy,
-        config=config,
-    )
+    from repro.packs.families import figure1a_corpus
+
+    return figure1a_corpus(seed=seed, num_posts=num_posts)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,102 @@
+"""Every registered pack builds, matches its pinned fingerprint, and is
+deterministic across processes and ``PYTHONHASHSEED`` values."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.packs import PACKS, PackSpec, build_pack
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = str(REPO / "src")
+FIXTURE = REPO / "tests" / "fixtures" / "pack_fingerprints.json"
+
+PINNED = json.loads(FIXTURE.read_text())
+
+
+class TestFixtureCoverage:
+    def test_every_registered_pack_has_a_pinned_fingerprint(self):
+        # a new pack cannot ship without running
+        # scripts/generate_pack_fingerprints.py
+        assert sorted(PINNED) == PACKS.names()
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+class TestPinnedBuilds:
+    def test_build_matches_pinned_fingerprint(self, name):
+        pin = PINNED[name]
+        build = build_pack(
+            PackSpec(name=name, seed=pin["seed"], params=pin["params"])
+        )
+        assert build.report.fingerprint == pin["fingerprint"], (
+            f"pack {name!r} no longer reproduces its pinned corpus; if the "
+            "change is intentional, rerun scripts/generate_pack_fingerprints.py"
+        )
+        assert build.report.kept == pin["resources"]
+        assert build.corpus.dataset.total_posts == pin["posts"]
+
+    def test_enforcement_matches_registration(self, name):
+        pin = PINNED[name]
+        build = build_pack(
+            PackSpec(name=name, seed=pin["seed"], params=pin["params"])
+        )
+        assert build.report.enforced is PACKS.get(name).enforce
+        if not PACKS.get(name).enforce:
+            assert build.report.dropped == 0
+
+
+DIGEST_SCRIPT = """
+import json, sys
+from repro.packs import PACKS, PackSpec, build_pack
+
+pinned = json.loads(open(sys.argv[1]).read())
+prints = {
+    name: build_pack(
+        PackSpec(name=name, seed=pin["seed"], params=pin["params"])
+    ).report.fingerprint
+    for name, pin in sorted(pinned.items())
+}
+print(json.dumps(prints, sort_keys=True))
+"""
+
+
+def subprocess_fingerprints(hash_seed: str) -> dict:
+    env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-c", DIGEST_SCRIPT, str(FIXTURE)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(result.stdout)
+
+
+class TestCrossProcessDeterminism:
+    def test_every_pack_identical_across_hash_seeds(self):
+        # two interpreters with different hash salts must reproduce the
+        # committed fingerprints exactly, for every registered pack
+        for hash_seed in ("0", "1"):
+            prints = subprocess_fingerprints(hash_seed)
+            for name, pin in PINNED.items():
+                assert prints[name] == pin["fingerprint"], (
+                    f"pack {name!r} differs under PYTHONHASHSEED={hash_seed}; "
+                    "some set/dict iteration feeds an rng-visible order"
+                )
+
+
+class TestBuildTelemetry:
+    def test_build_records_counters(self):
+        telemetry = obs.Telemetry()
+        with obs.activated(telemetry):
+            build_pack(PackSpec(name="tiny", seed=0))
+        counters = telemetry.snapshot()["counters"]
+        assert counters["packs.built"] == 1
+        assert counters["packs.generated_resources"] == 25
+        assert counters["packs.checked_resources"] == 25

@@ -1,0 +1,164 @@
+"""Pack corpora through the full stack: CorpusSpec -> run() -> server job."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api import CampaignSpec, CorpusSpec, JobSpec, run, spec_from_json
+from repro.api import materialize
+from repro.api.specs import AllocateSpec, ServerSpec
+from repro.core.errors import SpecError
+from repro.server import JobStore, Scheduler
+
+
+def pack_corpus_spec(**overrides):
+    defaults = dict(kind="pack", pack="capped-vocab",
+                    pack_params={"n": 12, "cap": 4}, seed=1)
+    defaults.update(overrides)
+    return CorpusSpec(**defaults)
+
+
+class TestCorpusSpecValidation:
+    def test_unknown_pack_lists_registered(self):
+        with pytest.raises(SpecError, match="registered packs") as exc:
+            CorpusSpec(kind="pack", pack="nope")
+        assert "capped-vocab" in str(exc.value)
+
+    def test_pack_kind_requires_name(self):
+        with pytest.raises(SpecError, match="requires a pack name"):
+            CorpusSpec(kind="pack")
+
+    def test_undeclared_pack_param_rejected(self):
+        with pytest.raises(SpecError, match="does not declare"):
+            CorpusSpec(kind="pack", pack="tiny", pack_params={"n": 5})
+
+    def test_non_pack_kind_rejects_pack_fields(self):
+        with pytest.raises(SpecError, match="use kind='pack'"):
+            CorpusSpec(kind="tiny", pack="tiny")
+        with pytest.raises(SpecError, match="use kind='pack'"):
+            CorpusSpec(kind="tiny", pack_params={"n": 5})
+
+    def test_round_trips_through_json(self):
+        spec = pack_corpus_spec()
+        again = CorpusSpec.from_json(spec.to_json())
+        assert again == spec
+
+
+class TestMaterialize:
+    def test_pack_corpus_carries_models_and_quality(self):
+        corpus = materialize(pack_corpus_spec())
+        assert corpus.n == 12
+        assert corpus.models is not None
+        assert corpus.hierarchy is not None
+        assert corpus.quality is not None
+        assert corpus.quality["pack"] == "capped-vocab"
+        assert corpus.quality["fingerprint"]
+
+    def test_cutoff_defaults_to_generated(self):
+        corpus = materialize(pack_corpus_spec())
+        assert corpus.require_cutoff() == 31.0
+
+    def test_cutoff_override_wins(self):
+        corpus = materialize(pack_corpus_spec(cutoff=45.0))
+        assert corpus.require_cutoff() == 45.0
+
+    def test_legacy_kinds_have_no_quality(self):
+        corpus = materialize(CorpusSpec(kind="tiny", seed=0))
+        assert corpus.quality is None
+
+
+class TestRun:
+    def test_allocate_from_json_blob(self):
+        blob = json.dumps({
+            "type": "allocate",
+            "corpus": {"type": "corpus", "kind": "pack", "pack": "small",
+                       "pack_params": {"n": 12}, "seed": 3},
+            "strategy": "FP",
+            "budget": 30,
+        })
+        result = run(spec_from_json(blob))
+        assert result.kind == "allocate"
+        assert result.metrics["delivered"] == 30
+        assert result.details["corpus_quality"]["pack"] == "small"
+
+    def test_campaign_from_json_blob(self):
+        blob = json.dumps({
+            "type": "campaign",
+            "corpus": {"type": "corpus", "kind": "pack", "pack": "budget-seeded",
+                       "pack_params": {"n": 12, "seeds": 4}, "seed": 1},
+            "strategy": "FP",
+            "budget": 30,
+            "workers": 3,
+            "max_epochs": 4,
+        })
+        result = run(spec_from_json(blob))
+        assert result.kind == "campaign"
+        assert result.metrics["epochs"] >= 1
+        assert result.details["corpus_quality"]["pack"] == "budget-seeded"
+
+    def test_campaign_runs_are_deterministic(self):
+        spec = CampaignSpec(
+            corpus=pack_corpus_spec(),
+            strategy="FP", budget=30, workers=3, max_epochs=4,
+        )
+        a = run(spec)
+        b = run(CampaignSpec.from_json(spec.to_json()))
+        assert a.details["final_counts"] == b.details["final_counts"]
+        assert (a.details["corpus_quality"]["fingerprint"]
+                == b.details["corpus_quality"]["fingerprint"])
+
+    def test_allocate_unknown_pack_fails_with_listing(self):
+        blob = json.dumps({
+            "type": "allocate",
+            "corpus": {"type": "corpus", "kind": "pack", "pack": "missing-pack"},
+            "strategy": "FP",
+            "budget": 10,
+        })
+        with pytest.raises(SpecError, match="registered packs"):
+            spec_from_json(blob)
+
+
+class TestServerJobs:
+    def test_pack_campaign_submits_and_completes(self):
+        scheduler = Scheduler(ServerSpec(slots=2), store=JobStore(None))
+        campaign = CampaignSpec(
+            corpus=pack_corpus_spec(),
+            strategy="FP", budget=30, workers=3, max_epochs=4,
+        )
+        # the JSON blob survives the job envelope round trip
+        job = JobSpec.from_json(JobSpec(campaign=campaign, user="alice").to_json())
+        job_id = scheduler.submit(job.campaign, user=job.user)
+        asyncio.run(scheduler.run_until_idle())
+        record = scheduler.status(job_id)
+        assert record.state == "done"
+        assert record.user == "alice"
+
+    def test_multiple_pack_jobs_complete(self):
+        scheduler = Scheduler(ServerSpec(slots=4), store=JobStore(None))
+        packs = {
+            "adverse-selection": {"n": 10, "incentive": 0.5},
+            "incentive-framing": {"n": 10, "framing": "lottery"},
+        }
+        ids = []
+        for name, params in sorted(packs.items()):
+            spec = CampaignSpec(
+                corpus=CorpusSpec(kind="pack", pack=name, pack_params=params, seed=2),
+                strategy="FP", budget=20, workers=3, max_epochs=3,
+            )
+            ids.append(scheduler.submit(spec, user="bob"))
+        asyncio.run(scheduler.run_until_idle())
+        assert all(scheduler.status(i).state == "done" for i in ids)
+
+
+class TestAllocateSpecDefaultsStillWork:
+    def test_plain_corpus_spec_unchanged(self):
+        # the new fields default away: legacy dict payloads still load
+        payload = {"type": "corpus", "kind": "tiny", "resources": 5, "seed": 0}
+        spec = CorpusSpec.from_dict(payload)
+        assert spec.pack is None
+        assert spec.pack_params == {}
+
+    def test_allocate_spec_with_pack_round_trips(self):
+        spec = AllocateSpec(corpus=pack_corpus_spec(), strategy="FP", budget=10)
+        assert AllocateSpec.from_json(spec.to_json()) == spec

@@ -1,0 +1,217 @@
+"""The corpus quality pipeline: filters, reports, order invariance."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core.dataset import TaggingDataset
+from repro.core.errors import DataModelError, SpecError
+from repro.core.posts import Post, PostSequence
+from repro.core.resources import Resource, ResourceSet
+from repro.packs.quality import (
+    FILTERS,
+    MIN_STABILIZABLE_POSTS,
+    QualityReport,
+    corpus_fingerprint,
+    resource_fingerprint,
+    run_filters,
+)
+from repro.simulate.generator import CorpusConfig, GeneratedCorpus
+
+
+def make_resource(resource_id, posts):
+    """A resource from ``[(timestamp, [tags...]), ...]``."""
+    return Resource(
+        resource_id=resource_id,
+        sequence=PostSequence(
+            [Post(tags=frozenset(tags), timestamp=t) for t, tags in posts]
+        ),
+    )
+
+
+def make_corpus(resources):
+    return GeneratedCorpus(
+        dataset=TaggingDataset(ResourceSet(resources), name="crafted"),
+        models=[None] * len(resources),
+        hierarchy=None,
+        config=CorpusConfig(n_resources=max(len(resources), 1)),
+    )
+
+
+def healthy_posts(n=12, tag_cycle=("alpha", "beta", "gamma")):
+    """``n`` posts cycling through a small vocabulary — flags nothing."""
+    return [
+        (float(i), [tag_cycle[i % len(tag_cycle)], "common"]) for i in range(n)
+    ]
+
+
+class TestFingerprints:
+    def test_identical_content_identical_fingerprint(self):
+        a = make_resource("a", [(1.0, ["x", "y"]), (2.0, ["z"])])
+        b = make_resource("b", [(1.0, ["y", "x"]), (2.0, ["z"])])  # tag order differs
+        assert resource_fingerprint(a) == resource_fingerprint(b)
+
+    def test_content_change_changes_fingerprint(self):
+        a = make_resource("a", [(1.0, ["x"])])
+        b = make_resource("b", [(1.0, ["x", "y"])])
+        assert resource_fingerprint(a) != resource_fingerprint(b)
+
+    def test_corpus_fingerprint_covers_ids(self):
+        posts = [(1.0, ["x"]), (2.0, ["y"])]
+        c1 = make_corpus([make_resource("a", posts)])
+        c2 = make_corpus([make_resource("b", posts)])
+        assert corpus_fingerprint(c1) != corpus_fingerprint(c2)
+
+
+class TestDuplicateFilter:
+    def test_flags_later_duplicates_keeps_first(self):
+        posts = healthy_posts()
+        corpus = make_corpus([
+            make_resource("first", posts),
+            make_resource("clone", posts),
+            make_resource("other", healthy_posts(tag_cycle=("delta", "eps", "zeta"))),
+            make_resource("clone2", posts),
+        ])
+        kept, report = run_filters(corpus, ["duplicates"], enforce=True)
+        ids = [r.resource_id for r in kept.dataset.resources]
+        assert ids == ["first", "other"]
+        assert report.outcomes[0].flagged == 2
+        assert "duplicate of 'first'" in report.outcomes[0].reasons["clone"]
+
+    def test_no_duplicates_flags_nothing(self):
+        corpus = make_corpus([
+            make_resource("a", healthy_posts()),
+            make_resource("b", healthy_posts(tag_cycle=("p", "q", "r"))),
+        ])
+        _, report = run_filters(corpus, ["duplicates"], enforce=True)
+        assert report.dropped == 0
+
+
+class TestDegenerateFilter:
+    def test_empty_sequence_flagged(self):
+        corpus = make_corpus([
+            make_resource("empty", []),
+            make_resource("ok", healthy_posts()),
+        ])
+        kept, report = run_filters(corpus, ["degenerate"], enforce=True)
+        assert [r.resource_id for r in kept.dataset.resources] == ["ok"]
+        assert report.outcomes[0].reasons["empty"] == "empty post sequence"
+
+    def test_short_sequence_never_stabilizable(self):
+        short = healthy_posts(n=MIN_STABILIZABLE_POSTS - 1)
+        corpus = make_corpus([
+            make_resource("short", short),
+            make_resource("ok", healthy_posts()),
+        ])
+        kept, report = run_filters(corpus, ["degenerate"], enforce=True)
+        assert [r.resource_id for r in kept.dataset.resources] == ["ok"]
+        assert "never stabilizable" in report.outcomes[0].reasons["short"]
+
+    def test_single_tag_vocabulary_flagged(self):
+        mono = [(float(i), ["only"]) for i in range(12)]
+        corpus = make_corpus([
+            make_resource("mono", mono),
+            make_resource("ok", healthy_posts()),
+        ])
+        kept, report = run_filters(corpus, ["degenerate"], enforce=True)
+        assert [r.resource_id for r in kept.dataset.resources] == ["ok"]
+        assert "single-tag" in report.outcomes[0].reasons["mono"]
+
+    def test_all_healthy_corpus_untouched(self):
+        corpus = make_corpus([make_resource("a", healthy_posts()),
+                              make_resource("b", healthy_posts())])
+        kept, report = run_filters(corpus, ["degenerate"], enforce=True)
+        assert report.dropped == 0
+        assert kept is corpus  # nothing flagged -> no subset taken
+
+
+class TestVocabSkewFilter:
+    def test_dominant_tag_flagged(self):
+        # 99 of 100 assignments are "huge": way past the 0.95 bound
+        skewed = [(float(i), ["huge"]) for i in range(99)] + [(99.0, ["rare"])]
+        corpus = make_corpus([
+            make_resource("skew", skewed),
+            make_resource("ok", healthy_posts()),
+        ])
+        kept, report = run_filters(corpus, ["vocab-skew"], enforce=True)
+        assert [r.resource_id for r in kept.dataset.resources] == ["ok"]
+        assert "vocabulary skew" in report.outcomes[0].reasons["skew"]
+
+    def test_balanced_resource_not_flagged(self):
+        corpus = make_corpus([make_resource("ok", healthy_posts())])
+        _, report = run_filters(corpus, ["vocab-skew"], enforce=True)
+        assert report.outcomes[0].flagged == 0
+
+    def test_single_tag_left_to_degenerate_filter(self):
+        mono = [(float(i), ["only"]) for i in range(12)]
+        corpus = make_corpus([make_resource("mono", mono)])
+        _, report = run_filters(corpus, ["vocab-skew"], enforce=True)
+        assert report.outcomes[0].flagged == 0
+
+
+class TestPipeline:
+    def crafted(self):
+        posts = healthy_posts()
+        return make_corpus([
+            make_resource("keep-a", posts),
+            make_resource("dup", posts),                        # duplicates
+            make_resource("empty", []),                          # degenerate
+            make_resource("skew",
+                          [(float(i), ["huge"]) for i in range(99)]
+                          + [(99.0, ["rare"])]),                 # vocab-skew
+            make_resource("keep-b", healthy_posts(tag_cycle=("p", "q", "r"))),
+        ])
+
+    def test_filter_order_invariance(self):
+        results = set()
+        for order in permutations(["duplicates", "degenerate", "vocab-skew"]):
+            kept, report = run_filters(self.crafted(), list(order), enforce=True)
+            ids = tuple(r.resource_id for r in kept.dataset.resources)
+            results.add((ids, report.fingerprint))
+        assert len(results) == 1
+        (ids, _), = results
+        assert ids == ("keep-a", "keep-b")
+
+    def test_report_only_mode_keeps_everything(self):
+        corpus = self.crafted()
+        kept, report = run_filters(
+            corpus, ["duplicates", "degenerate", "vocab-skew"],
+            enforce=False, pack="legacy",
+        )
+        assert kept is corpus
+        assert report.dropped == 0
+        assert report.enforced is False
+        assert sum(o.flagged for o in report.outcomes) == 3
+        assert report.fingerprint == corpus_fingerprint(corpus)
+
+    def test_all_flagged_raises(self):
+        mono = [(float(i), ["only"]) for i in range(12)]
+        corpus = make_corpus([make_resource("mono", mono)])
+        with pytest.raises(DataModelError, match="flagged all"):
+            run_filters(corpus, ["degenerate"], enforce=True, pack="doomed")
+
+    def test_empty_corpus_reports_cleanly(self):
+        corpus = make_corpus([])
+        kept, report = run_filters(corpus, FILTERS, enforce=True)
+        assert report.generated == 0
+        assert report.kept == 0
+        assert report.total_assignments == 0
+
+    def test_unknown_filter_name_rejected(self):
+        corpus = make_corpus([make_resource("a", healthy_posts())])
+        with pytest.raises(SpecError, match="unknown quality filter"):
+            run_filters(corpus, ["bogus"])
+
+    def test_report_round_trips_and_renders(self):
+        _, report = run_filters(
+            self.crafted(), ["duplicates", "degenerate", "vocab-skew"],
+            enforce=True, pack="crafted",
+        )
+        payload = report.to_dict()
+        assert payload["pack"] == "crafted"
+        assert payload["generated"] == 5
+        assert payload["kept"] == 2
+        assert isinstance(report, QualityReport)
+        text = report.render()
+        assert "generated 5, kept 2, dropped 3" in text
+        assert "duplicates: 1 flagged" in text

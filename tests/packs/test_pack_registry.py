@@ -1,0 +1,154 @@
+"""The pack registry: registration, lookup errors, parameter schemas, PackSpec."""
+
+import json
+
+import pytest
+
+from repro.api.registry import Param
+from repro.core.errors import SpecError
+from repro.packs import PACKS, PackRegistry, PackSpec, register_pack
+from repro.packs.registry import DEFAULT_FILTERS, RegisteredPack
+
+EXPECTED_PACKS = {
+    "tiny", "small", "paper-default", "universe", "figure1a",
+    "capped-vocab", "adverse-selection", "incentive-framing", "budget-seeded",
+}
+
+
+class TestGlobalRegistry:
+    def test_all_expected_packs_registered(self):
+        assert EXPECTED_PACKS <= set(PACKS.names())
+
+    def test_at_least_eight_packs(self):
+        assert len(PACKS) >= 8
+
+    def test_names_sorted(self):
+        assert PACKS.names() == sorted(PACKS.names())
+
+    def test_entries_sorted_by_family_then_name(self):
+        keys = [(e.family, e.name) for e in PACKS.entries()]
+        assert keys == sorted(keys)
+
+    def test_families_cover_new_workloads(self):
+        families = set(PACKS.families())
+        assert {"vocabulary-cap", "adverse-selection",
+                "incentive-framing", "budget-seeding"} <= families
+
+    def test_unknown_name_lists_registered_packs(self):
+        with pytest.raises(SpecError, match="unknown scenario pack 'nope'") as exc:
+            PACKS.get("nope")
+        # the sorted full listing is part of the message
+        for name in sorted(EXPECTED_PACKS):
+            assert name in str(exc.value)
+
+    def test_contains_and_iter(self):
+        assert "tiny" in PACKS
+        assert "nope" not in PACKS
+        assert list(PACKS) == PACKS.names()
+
+    def test_legacy_packs_report_only(self):
+        for name in ("tiny", "small", "paper-default", "universe", "figure1a"):
+            assert PACKS.get(name).enforce is False, name
+
+    def test_new_packs_enforce(self):
+        for name in ("capped-vocab", "adverse-selection",
+                     "incentive-framing", "budget-seeded"):
+            assert PACKS.get(name).enforce is True, name
+
+    def test_every_pack_documents_itself(self):
+        for entry in PACKS.entries():
+            assert entry.doc, f"pack {entry.name} has no doc line"
+            assert entry.source, f"pack {entry.name} has no source"
+
+
+class TestRegistration:
+    def test_decorator_registers_with_doc_and_schema(self):
+        registry = PackRegistry()
+
+        @register_pack(
+            "demo", family="test",
+            params={"n": Param(int, 5, "size")},
+            registry=registry,
+        )
+        def demo(seed, *, n):
+            """A demo pack.
+
+            Longer text ignored.
+            """
+            return n
+
+        entry = registry.get("demo")
+        assert entry.doc == "A demo pack."
+        assert entry.filters == DEFAULT_FILTERS
+        assert entry.defaults() == {"n": 5}
+        assert entry.build_corpus(0) == 5
+        assert entry.build_corpus(0, n=9) == 9
+
+    def test_duplicate_name_rejected(self):
+        registry = PackRegistry()
+        entry = RegisteredPack(name="dup", family="f", builder=lambda seed: None)
+        registry.register(entry)
+        with pytest.raises(SpecError, match="already registered"):
+            registry.register(entry)
+
+    def test_blank_name_rejected(self):
+        with pytest.raises(SpecError, match="non-empty string"):
+            PackRegistry().register(
+                RegisteredPack(name="", family="f", builder=lambda seed: None)
+            )
+
+
+class TestParamValidation:
+    def setup_method(self):
+        self.entry = RegisteredPack(
+            name="p", family="f", builder=lambda seed, **kw: kw,
+            params={"n": Param(int, 10, "size"), "rate": Param(float, 0.5, "rate")},
+        )
+
+    def test_defaults_filled(self):
+        assert self.entry.validate_params({}) == {"n": 10, "rate": 0.5}
+
+    def test_undeclared_param_listed(self):
+        with pytest.raises(SpecError, match="does not declare"):
+            self.entry.validate_params({"bogus": 1})
+
+    def test_int_accepted_for_float(self):
+        assert self.entry.validate_params({"rate": 1})["rate"] == 1
+
+    def test_bool_rejected_for_int(self):
+        with pytest.raises(SpecError):
+            self.entry.validate_params({"n": True})
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(SpecError):
+            self.entry.validate_params({"n": "ten"})
+
+
+class TestPackSpec:
+    def test_round_trips_through_json(self):
+        spec = PackSpec(name="capped-vocab", seed=4, params={"cap": 3})
+        again = PackSpec.from_json(spec.to_json())
+        assert again == spec
+        assert json.loads(spec.to_json())["type"] == "pack"
+
+    def test_unknown_name_raises_at_construction(self):
+        with pytest.raises(SpecError, match="registered packs"):
+            PackSpec(name="nope")
+
+    def test_undeclared_param_raises_at_construction(self):
+        with pytest.raises(SpecError, match="does not declare"):
+            PackSpec(name="tiny", params={"n": 5})
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(SpecError, match="seed"):
+            PackSpec(name="tiny", seed="zero")
+
+    def test_unknown_key_rejected_by_from_dict(self):
+        with pytest.raises(SpecError, match="does not define"):
+            PackSpec.from_dict({"type": "pack", "name": "tiny", "bogus": 1})
+
+    def test_resolved_params_fills_defaults(self):
+        spec = PackSpec(name="capped-vocab", params={"cap": 3})
+        assert spec.resolved_params() == {"n": 120, "cap": 3}
+        # the spec itself stores only the overrides
+        assert spec.params == {"cap": 3}

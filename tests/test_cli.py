@@ -245,3 +245,62 @@ class TestStatsCommand:
         path.write_text("[1, 2]")
         assert main(["stats", str(path)]) == 1
         assert "not telemetry data" in capsys.readouterr().err
+
+
+class TestPacksCommands:
+    def test_list_shows_every_registered_pack(self, capsys):
+        from repro.packs import PACKS
+
+        assert main(["packs", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in PACKS.names():
+            assert name in output
+
+    def test_show_prints_parameters_and_source(self, capsys):
+        assert main(["packs", "show", "adverse-selection"]) == 0
+        output = capsys.readouterr().out
+        assert "incentive" in output
+        assert "Adverse Selection" in output
+        assert "drop flagged" in output
+
+    def test_show_unknown_pack_fails_with_listing(self, capsys):
+        assert main(["packs", "show", "nope"]) == 1
+        err = capsys.readouterr().err
+        assert "registered packs" in err
+
+    def test_build_prints_quality_report(self, capsys):
+        assert main(
+            ["packs", "build", "capped-vocab", "--seed", "3",
+             "--param", "n=10", "--param", "cap=4"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "built capped-vocab seed=3" in output
+        assert "quality [drop]" in output
+        assert "fingerprint:" in output
+
+    def test_build_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "pack.jsonl"
+        assert main(
+            ["packs", "build", "tiny", "--output", str(out)]
+        ) == 0
+        assert out.exists()
+        assert "wrote corpus" in capsys.readouterr().out
+
+    def test_build_string_param(self, capsys):
+        assert main(
+            ["packs", "build", "incentive-framing",
+             "--param", "n=8", "--param", "framing=lottery"]
+        ) == 0
+        assert "incentive-framing" in capsys.readouterr().out
+
+    def test_build_bad_param_fails_cleanly(self, capsys):
+        assert main(
+            ["packs", "build", "tiny", "--param", "bogus=1"]
+        ) == 1
+        assert "does not declare" in capsys.readouterr().err
+
+    def test_build_malformed_param_pair_exits(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["packs", "build", "tiny", "--param", "noequals"])

@@ -59,6 +59,13 @@ class TestExamples:
         assert "crashed mid-run" in output
         assert "tenant ledger reconciles exactly" in output
 
+    def test_scenario_packs(self):
+        output = run_example("scenario_packs.py", "--resources", "12")
+        assert "registered packs (9)" in output
+        assert "quality [drop]" in output
+        assert "corpus quality travelled with the result" in output
+        assert "server job job-0001 for 'demo': done" in output
+
     def test_spec_driven_run(self):
         output = run_example(
             "spec_driven_run.py", "--resources", "20", "--budget", "150"
