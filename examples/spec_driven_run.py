@@ -26,6 +26,7 @@ from repro.api import (
     AllocateSpec,
     CampaignSpec,
     CorpusSpec,
+    ExecutionSpec,
     IngestSpec,
     STRATEGIES,
     run,
@@ -79,7 +80,9 @@ def main() -> None:
         )
     )
     print(campaign.summary.splitlines()[0])
-    ingest = run(IngestSpec(resources=50, max_events=2_000, shards=2))
+    ingest = run(
+        IngestSpec(resources=50, max_events=2_000, execution=ExecutionSpec(shards=2))
+    )
     print(ingest.summary.splitlines()[0])
     print("\nevery result above is one JSON-serializable RunResult")
 

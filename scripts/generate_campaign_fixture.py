@@ -96,7 +96,10 @@ def campaign_trace(spec_payload: dict) -> dict:
     spec = CampaignSpec.from_dict(spec_payload)
     corpus = api.materialize(spec.corpus)
     campaign = IncentiveCampaign.from_spec(spec, corpus)
-    result = campaign.run(max_epochs=spec.max_epochs)
+    try:
+        result = campaign.run(max_epochs=spec.max_epochs)
+    finally:
+        campaign.close()  # release pooled shard executors
     return result.trace_payload()
 
 

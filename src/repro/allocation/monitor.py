@@ -454,8 +454,10 @@ class ShardedBankStabilityMonitor(_EngineStabilityMonitor):
         track_observed: As for :class:`BankStabilityMonitor`.
         executor: Shard-kernel executor kind
             (:data:`~repro.engine.executor.EXECUTOR_BACKENDS`).
-        workers: Thread-pool size for ``executor="thread"`` (``0`` = one
-            per core, capped).
+        workers: Pool size for pooled executors (``0`` = one per core,
+            capped).
+        parallel_min_events: Optional override of the bank's
+            inline-flush cutoff (``None`` keeps the engine default).
     """
 
     def __init__(
@@ -468,6 +470,7 @@ class ShardedBankStabilityMonitor(_EngineStabilityMonitor):
         track_observed: bool = False,
         executor: str = "serial",
         workers: int = 0,
+        parallel_min_events: int | None = None,
     ) -> None:
         if n_shards < 1:
             raise AllocationError(f"n_shards must be positive, got {n_shards}")
@@ -475,7 +478,7 @@ class ShardedBankStabilityMonitor(_EngineStabilityMonitor):
         from repro.engine.executor import make_executor
 
         self.n_shards = n_shards
-        self._pending_parallel_min: int | None = None
+        self._pending_parallel_min: int | None = parallel_min_events
         try:
             self._executor = make_executor(executor, workers)
         except Exception as exc:  # normalize to the allocation error type
@@ -589,6 +592,7 @@ def make_monitor(
     n_shards: int = 4,
     executor: str = "serial",
     workers: int = 0,
+    parallel_min_events: int | None = None,
 ) -> StabilityMonitor | None:
     """Monitor factory keyed by backend name (``None`` -> no monitoring).
 
@@ -604,8 +608,10 @@ def make_monitor(
         n_shards: Shard count (``"sharded"`` only).
         executor: Shard-kernel executor kind (``"sharded"`` only; one of
             :data:`~repro.engine.executor.EXECUTOR_BACKENDS`).
-        workers: Thread-pool size for ``executor="thread"`` (``0`` = one
-            per core, capped; ``"sharded"`` only).
+        workers: Pool size for pooled executors (``0`` = one per core,
+            capped; ``"sharded"`` only).
+        parallel_min_events: Optional inline-flush-cutoff override
+            (``"sharded"`` only; ``None`` keeps the engine default).
     """
     if backend is None:
         return None
@@ -624,6 +630,7 @@ def make_monitor(
             track_observed=track_observed,
             executor=executor,
             workers=workers,
+            parallel_min_events=parallel_min_events,
         )
     raise AllocationError(
         f"unknown stability monitor backend {backend!r} "

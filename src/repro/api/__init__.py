@@ -55,6 +55,7 @@ from repro.api.specs import (
     AllocateSpec,
     CampaignSpec,
     CorpusSpec,
+    ExecutionSpec,
     IngestSpec,
     JobSpec,
     ServerSpec,
@@ -71,6 +72,7 @@ __all__ = [
     "CampaignSpec",
     "CorpusSpec",
     "EXECUTOR_BACKENDS",
+    "ExecutionSpec",
     "IngestSpec",
     "JobRecord",
     "JobSpec",

@@ -132,17 +132,19 @@ def _run_allocate(spec: AllocateSpec) -> RunResult:
     strategy = STRATEGIES.create(spec.strategy, **spec.params)
     # The monitor shares the strategy's declared MA window (when it has
     # one) so "observed stable" is judged on the window the user chose.
+    before = evaluator.quality_of_counts(split.initial_counts)
     monitor_omega = spec.params.get("omega", DEFAULT_OMEGA)
+    # nothing fallible between monitor creation and the try below, so
+    # the finally covers the monitor's pool for the whole run
     monitor = make_monitor(
         spec.stability,
         omega=monitor_omega,
         tau=spec.stability_tau,
-        n_shards=spec.stability_shards,
-        executor=spec.stability_executor,
-        workers=spec.stability_workers,
+        n_shards=spec.execution.shards,
+        executor=spec.execution.backend,
+        workers=spec.execution.workers,
+        parallel_min_events=spec.execution.min_parallel_events,
     )
-
-    before = evaluator.quality_of_counts(split.initial_counts)
     try:
         trace = runner.run(
             strategy, spec.budget, batch_size=spec.batch_size, monitor=monitor
@@ -203,11 +205,14 @@ def _run_campaign(spec: CampaignSpec) -> RunResult:
     from repro.service import IncentiveCampaign
 
     corpus = materialize(spec.corpus)
+    # from_spec cleans up after itself on failure; from here the
+    # campaign owns the monitor's pool and close() releases it even
+    # when the run raises
     campaign = IncentiveCampaign.from_spec(spec, corpus)
     try:
         result = campaign.run(max_epochs=spec.max_epochs)
     finally:
-        campaign.monitor.close()  # release pooled shard-executor threads
+        campaign.close()  # release pooled shard executors
 
     metrics = {
         "budget": spec.budget,
@@ -254,13 +259,16 @@ def _run_ingest(spec: IngestSpec) -> RunResult:
 
     lines: list[str] = []
     already_ingested = 0
+    exec_spec = spec.execution
     if spec.resume is not None:
         from repro.engine import make_executor
 
         bank = load_checkpoint(Path(spec.resume))
         if hasattr(bank, "executor"):
             # checkpoints carry no executor; the spec's knobs still apply
-            bank.executor = make_executor(spec.executor, spec.workers)
+            bank.executor = make_executor(exec_spec.backend, exec_spec.workers)
+            if exec_spec.min_parallel_events is not None:
+                bank.parallel_min_events = exec_spec.min_parallel_events
         engine = IngestEngine(bank=bank, batch_size=spec.batch_size)
         already_ingested = bank.total_posts
         n_shards = bank.n_shards if hasattr(bank, "n_shards") else 1
@@ -271,42 +279,48 @@ def _run_ingest(spec: IngestSpec) -> RunResult:
         )
     else:
         engine = IngestEngine.create(
-            n_shards=spec.shards,
+            n_shards=exec_spec.shards,
             omega=spec.omega,
             tau=spec.tau,
             batch_size=spec.batch_size,
-            executor=spec.executor,
-            workers=spec.workers,
+            executor=exec_spec.backend,
+            workers=exec_spec.workers,
+            parallel_min_events=exec_spec.min_parallel_events,
         )
-    if spec.dataset is not None:
-        dataset = TaggingDataset.from_jsonl(Path(spec.dataset))
-        events = dataset_event_stream(dataset)
-    else:
-        events = interleaved_event_stream(
-            n_resources=spec.resources, seed=spec.seed, max_events=spec.max_events
-        )
-    if already_ingested:
-        # the stream replays deterministically from the start; skip the
-        # prefix the checkpointed bank has already consumed so resuming
-        # never double-counts posts
-        events = islice(events, already_ingested, None)
+    # Everything touching the bank runs inside the try: with a
+    # state-owning (process) executor, queries and the final checkpoint
+    # need the workers alive, and any exception path must still release
+    # the pool.
     try:
+        if spec.dataset is not None:
+            dataset = TaggingDataset.from_jsonl(Path(spec.dataset))
+            events = dataset_event_stream(dataset)
+        else:
+            events = interleaved_event_stream(
+                n_resources=spec.resources, seed=spec.seed, max_events=spec.max_events
+            )
+        if already_ingested:
+            # the stream replays deterministically from the start; skip the
+            # prefix the checkpointed bank has already consumed so resuming
+            # never double-counts posts
+            events = islice(events, already_ingested, None)
         stats = engine.feed(events)
+        stable_points = engine.bank.stable_points()
+        n_resources = engine.bank.n_resources
+        total_posts = engine.bank.total_posts
+        lines.append(stats.render())
+        lines.append(
+            f"resources: {n_resources}, posts: {total_posts}, "
+            f"stable: {len(stable_points)}"
+        )
+        checkpoint_path: str | None = None
+        if spec.checkpoint is not None:
+            checkpoint_path = str(save_checkpoint(engine.bank, Path(spec.checkpoint)))
+            lines.append(f"checkpoint written to {checkpoint_path}")
     finally:
         pool = getattr(engine.bank, "executor", None)
         if pool is not None:
-            pool.close()  # release pooled shard-executor threads
-    stable_points = engine.bank.stable_points()
-    lines.append(stats.render())
-    lines.append(
-        f"resources: {engine.bank.n_resources}, "
-        f"posts: {engine.bank.total_posts}, "
-        f"stable: {len(stable_points)}"
-    )
-    checkpoint_path: str | None = None
-    if spec.checkpoint is not None:
-        checkpoint_path = str(save_checkpoint(engine.bank, Path(spec.checkpoint)))
-        lines.append(f"checkpoint written to {checkpoint_path}")
+            pool.close()  # release pooled shard executors
 
     metrics = {
         "events": stats.events,

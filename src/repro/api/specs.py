@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, ClassVar
 
@@ -29,6 +30,7 @@ __all__ = [
     "EXECUTOR_BACKENDS",
     "Spec",
     "CorpusSpec",
+    "ExecutionSpec",
     "TelemetrySpec",
     "AllocateSpec",
     "CampaignSpec",
@@ -49,15 +51,6 @@ the sharded bank behind the CRC32 hash router (large populations)."""
 
 ALLOCATION_MODES = ("replay", "generative")
 """Replay the corpus' future posts, or synthesise posts from its models."""
-
-
-def _check_executor(
-    executor_field: str, executor: Any, workers_field: str, workers: Any
-) -> None:
-    _check(executor in EXECUTOR_BACKENDS,
-           f"{executor_field} must be one of {EXECUTOR_BACKENDS}, got {executor!r}")
-    _check(_is_int(workers) and workers >= 0,
-           f"{workers_field} must be a non-negative int, got {workers!r}")
 
 
 def _check(condition: bool, message: str) -> None:
@@ -81,10 +74,22 @@ class Spec:
         TYPE: The tag written into ``to_dict()['type']`` and dispatched
             on by :func:`spec_from_dict`.
         _NESTED: Field name -> spec class, for fields holding sub-specs.
+        _NESTED_DEFAULTS: Field name -> default overrides merged *under*
+            a nested dict payload (so a partial nested dict inherits the
+            **embedding** spec's defaults, not the nested class' own —
+            e.g. ``IngestSpec`` defaults its execution block to one
+            shard).
+        _EXEC_ALIASES: Deprecated flat key -> ``execution`` field name.
+            ``from_dict`` folds these into the ``execution`` block with
+            a :class:`DeprecationWarning`, so every spec JSON written
+            before :class:`ExecutionSpec` existed still loads and runs
+            identically.
     """
 
     TYPE: ClassVar[str] = ""
     _NESTED: ClassVar[dict[str, type[Spec]]] = {}
+    _NESTED_DEFAULTS: ClassVar[dict[str, dict[str, Any]]] = {}
+    _EXEC_ALIASES: ClassVar[dict[str, str]] = {}
 
     def to_dict(self) -> dict[str, Any]:
         """A JSON-serializable dict; ``from_dict`` inverts it losslessly."""
@@ -112,6 +117,8 @@ class Spec:
         tag = data.pop("type", cls.TYPE)
         if tag != cls.TYPE:
             raise SpecError(f"{cls.__name__}.from_dict got type tag {tag!r}, expected {cls.TYPE!r}")
+        if cls._EXEC_ALIASES:
+            data = cls._fold_exec_aliases(data)
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = sorted(set(data) - known)
         if unknown:
@@ -121,8 +128,54 @@ class Spec:
             )
         for name, nested_cls in cls._NESTED.items():
             if name in data and isinstance(data[name], dict):
-                data[name] = nested_cls.from_dict(data[name])
+                nested = data[name]
+                defaults = cls._NESTED_DEFAULTS.get(name)
+                if defaults:
+                    merged = dict(defaults)
+                    merged.update(nested)
+                    nested = merged
+                data[name] = nested_cls.from_dict(nested)
         return cls(**data)
+
+    @classmethod
+    def _fold_exec_aliases(cls, data: dict[str, Any]) -> dict[str, Any]:
+        """Fold deprecated flat execution keys into the nested block."""
+        folded: dict[str, Any] = {}
+        for old_key, new_key in cls._EXEC_ALIASES.items():
+            if old_key not in data:
+                continue
+            warnings.warn(
+                f"{cls.__name__} key {old_key!r} is deprecated; "
+                f"use execution.{new_key} (ExecutionSpec) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            folded[new_key] = data.pop(old_key)
+        if not folded:
+            return data
+        target = data.get("execution")
+        if target is None:
+            data["execution"] = folded
+        elif isinstance(target, dict):
+            target = dict(target)
+            for key, value in folded.items():
+                if key in target and target[key] != value:
+                    raise SpecError(
+                        f"{cls.__name__}: deprecated key for execution.{key} "
+                        f"({value!r}) conflicts with the execution block "
+                        f"({target[key]!r}); drop the deprecated key"
+                    )
+                target[key] = value
+            data["execution"] = target
+        else:
+            for key, value in folded.items():
+                if getattr(target, key) != value:
+                    raise SpecError(
+                        f"{cls.__name__}: deprecated key for execution.{key} "
+                        f"({value!r}) conflicts with the execution spec "
+                        f"({getattr(target, key)!r}); drop the deprecated key"
+                    )
+        return data
 
     def to_json(self, **dumps_kwargs: Any) -> str:
         """The spec as a JSON string."""
@@ -245,6 +298,49 @@ class TelemetrySpec(Spec):
 
 
 @dataclass(frozen=True)
+class ExecutionSpec(Spec):
+    """How a run's sharded stability kernels execute.
+
+    One frozen block replacing the flat knob trio that used to be
+    copy-pasted across :class:`AllocateSpec`, :class:`CampaignSpec` and
+    :class:`IngestSpec`.  Execution is *mechanism, not meaning*: every
+    backend × shards × workers combination produces byte-identical
+    traces; this spec only decides how fast they arrive.
+
+    Attributes:
+        backend: One of :data:`EXECUTOR_BACKENDS` — ``serial`` (inline),
+            ``thread`` (pooled GIL-releasing kernels) or ``process``
+            (long-lived workers owning their shards' banks, fed through
+            shared memory; the only backend that scales past the GIL).
+        shards: Shard count of the sharded stability bank.
+        workers: Pool size for pooled backends (``0`` = one per core,
+            capped).
+        min_parallel_events: Optional override of the inline-dispatch
+            cutoff (batches below it skip the pool); ``None`` keeps
+            the engine default.  State-owning backends ignore it.
+    """
+
+    TYPE: ClassVar[str] = "execution"
+
+    backend: str = "serial"
+    shards: int = 4
+    workers: int = 0
+    min_parallel_events: int | None = None
+
+    def __post_init__(self) -> None:
+        _check(self.backend in EXECUTOR_BACKENDS,
+               f"execution backend must be one of {EXECUTOR_BACKENDS}, got {self.backend!r}")
+        _check(_is_int(self.shards) and self.shards >= 1,
+               f"execution shards must be a positive int, got {self.shards!r}")
+        _check(_is_int(self.workers) and self.workers >= 0,
+               f"execution workers must be a non-negative int, got {self.workers!r}")
+        _check(self.min_parallel_events is None
+               or (_is_int(self.min_parallel_events) and self.min_parallel_events >= 0),
+               f"execution min_parallel_events must be a non-negative int or None, "
+               f"got {self.min_parallel_events!r}")
+
+
+@dataclass(frozen=True)
 class AllocateSpec(Spec):
     """One allocation run: a strategy spending a budget on a corpus.
 
@@ -265,11 +361,11 @@ class AllocateSpec(Spec):
             (The monitor's window is ``params['omega']`` when the
             strategy declares one, so strategy and monitor never
             silently disagree.)
-        stability_shards: Shard count of the ``sharded`` monitor.
-        stability_executor: How the ``sharded`` monitor runs its
-            per-shard kernels (:data:`EXECUTOR_BACKENDS`).
-        stability_workers: Thread-pool size for
-            ``stability_executor="thread"`` (``0`` = one per core).
+        execution: How the ``sharded`` monitor's kernels run
+            (:class:`ExecutionSpec`).  The flat keys
+            ``stability_shards``/``stability_executor``/
+            ``stability_workers`` are accepted by ``from_dict`` as
+            deprecated aliases.
         seed: Run-time randomness seed (generative post synthesis).
         telemetry: Optional :class:`TelemetrySpec`; when present and
             enabled, :func:`repro.api.run` records counters/latency
@@ -279,7 +375,12 @@ class AllocateSpec(Spec):
 
     TYPE: ClassVar[str] = "allocate"
     _NESTED: ClassVar[dict[str, type[Spec]]] = {
-        "corpus": CorpusSpec, "telemetry": TelemetrySpec
+        "corpus": CorpusSpec, "execution": ExecutionSpec, "telemetry": TelemetrySpec
+    }
+    _EXEC_ALIASES: ClassVar[dict[str, str]] = {
+        "stability_shards": "shards",
+        "stability_executor": "backend",
+        "stability_workers": "workers",
     }
 
     corpus: CorpusSpec = field(default_factory=CorpusSpec)
@@ -290,11 +391,23 @@ class AllocateSpec(Spec):
     mode: str = "replay"
     stability: str | None = None
     stability_tau: float = 0.99
-    stability_shards: int = 4
-    stability_executor: str = "serial"
-    stability_workers: int = 0
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
     seed: int = 0
     telemetry: TelemetrySpec | None = None
+
+    # Deprecated flat views of the execution block (kept so existing
+    # call sites read the same values they always did).
+    @property
+    def stability_shards(self) -> int:
+        return self.execution.shards
+
+    @property
+    def stability_executor(self) -> str:
+        return self.execution.backend
+
+    @property
+    def stability_workers(self) -> int:
+        return self.execution.workers
 
     def __post_init__(self) -> None:
         _check(isinstance(self.corpus, CorpusSpec),
@@ -313,12 +426,8 @@ class AllocateSpec(Spec):
                f"allocate stability must be None or one of {STABILITY_BACKENDS}, got {self.stability!r}")
         _check(_is_number(self.stability_tau) and 0.0 <= self.stability_tau <= 1.0,
                f"allocate stability_tau must lie in [0, 1], got {self.stability_tau!r}")
-        _check(_is_int(self.stability_shards) and self.stability_shards >= 1,
-               f"allocate stability_shards must be a positive int, got {self.stability_shards!r}")
-        _check_executor(
-            "allocate stability_executor", self.stability_executor,
-            "allocate stability_workers", self.stability_workers,
-        )
+        _check(isinstance(self.execution, ExecutionSpec),
+               f"allocate execution must be an ExecutionSpec, got {type(self.execution).__name__}")
         _check(_is_int(self.seed), f"allocate seed must be an int, got {self.seed!r}")
         _check(self.telemetry is None or isinstance(self.telemetry, TelemetrySpec),
                f"allocate telemetry must be a TelemetrySpec or None, got {self.telemetry!r}")
@@ -342,12 +451,11 @@ class CampaignSpec(Spec):
         stability_backend: ``tracker`` (per-post stopping), ``engine``
             (epoch-batched ``StabilityBank``) or ``sharded`` (the bank
             behind the hash router, for large resource populations).
-        stability_shards: Shard count of the ``sharded`` backend.
-        stability_executor: How the ``sharded`` backend runs its
-            per-shard kernels (:data:`EXECUTOR_BACKENDS`) — traces are
-            byte-identical for every choice.
-        stability_workers: Thread-pool size for
-            ``stability_executor="thread"`` (``0`` = one per core).
+        execution: How the ``sharded`` backend's kernels run
+            (:class:`ExecutionSpec`) — traces are byte-identical for
+            every choice.  ``stability_shards``/``stability_executor``/
+            ``stability_workers`` are accepted by ``from_dict`` as
+            deprecated aliases.
         batch_size: Task offers attempted per epoch.
         max_epochs: Hard stop on campaign length.
         max_offers: Worker draws attempted per published task before the
@@ -360,7 +468,12 @@ class CampaignSpec(Spec):
 
     TYPE: ClassVar[str] = "campaign"
     _NESTED: ClassVar[dict[str, type[Spec]]] = {
-        "corpus": CorpusSpec, "telemetry": TelemetrySpec
+        "corpus": CorpusSpec, "execution": ExecutionSpec, "telemetry": TelemetrySpec
+    }
+    _EXEC_ALIASES: ClassVar[dict[str, str]] = {
+        "stability_shards": "shards",
+        "stability_executor": "backend",
+        "stability_workers": "workers",
     }
 
     corpus: CorpusSpec = field(default_factory=lambda: CorpusSpec(resources=40))
@@ -372,14 +485,27 @@ class CampaignSpec(Spec):
     omega: int = 5
     stop_tau: float | None = 0.995
     stability_backend: str = "tracker"
-    stability_shards: int = 4
-    stability_executor: str = "serial"
-    stability_workers: int = 0
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
     batch_size: int = 25
     max_epochs: int = 100
     max_offers: int = 10
     reward_per_task: int = 1
     telemetry: TelemetrySpec | None = None
+
+    # Deprecated flat views of the execution block.  (``workers`` is the
+    # simulated crowd size — a campaign concept — and stays a real
+    # field; only the stability-execution knobs moved.)
+    @property
+    def stability_shards(self) -> int:
+        return self.execution.shards
+
+    @property
+    def stability_executor(self) -> str:
+        return self.execution.backend
+
+    @property
+    def stability_workers(self) -> int:
+        return self.execution.workers
 
     def __post_init__(self) -> None:
         _check(isinstance(self.corpus, CorpusSpec),
@@ -401,12 +527,8 @@ class CampaignSpec(Spec):
         _check(self.stability_backend in STABILITY_BACKENDS,
                f"campaign stability_backend must be one of {STABILITY_BACKENDS}, "
                f"got {self.stability_backend!r}")
-        _check(_is_int(self.stability_shards) and self.stability_shards >= 1,
-               f"campaign stability_shards must be a positive int, got {self.stability_shards!r}")
-        _check_executor(
-            "campaign stability_executor", self.stability_executor,
-            "campaign stability_workers", self.stability_workers,
-        )
+        _check(isinstance(self.execution, ExecutionSpec),
+               f"campaign execution must be an ExecutionSpec, got {type(self.execution).__name__}")
         _check(_is_int(self.batch_size) and self.batch_size >= 1,
                f"campaign batch_size must be a positive int, got {self.batch_size!r}")
         _check(_is_int(self.max_epochs) and self.max_epochs >= 1,
@@ -428,33 +550,40 @@ class IngestSpec(Spec):
             for the deterministic synthetic interleaved stream.
         resources: Synthetic-stream resource count.
         seed: Synthetic-stream seed.
-        shards: Bank shard count (1 = single columnar bank).
-        executor: How per-shard ingest kernels run
-            (:data:`EXECUTOR_BACKENDS`); only meaningful with
-            ``shards > 1``.  Results are identical for every choice.
-        workers: Thread-pool size for ``executor="thread"``
-            (``0`` = one per core, capped).
+        execution: Bank sharding and kernel execution
+            (:class:`ExecutionSpec`; defaults to one shard here —
+            results are identical for every choice).  The flat keys
+            ``shards``/``executor``/``workers`` are accepted by
+            ``from_dict`` as deprecated aliases.
         batch_size: Events per engine batch (the vectorization grain).
         omega: MA window.
         tau: Stability threshold.
         max_events: Optional cap on the synthetic stream length.
         checkpoint: Directory to write a final checkpoint to.
         resume: Checkpoint directory to resume from (its bank parameters
-            override ``omega``/``tau``/``shards``; the executor knobs
+            override ``omega``/``tau``/shard count; the execution knobs
             still apply).
         telemetry: Optional :class:`TelemetrySpec` (see
             :class:`AllocateSpec`).
     """
 
     TYPE: ClassVar[str] = "ingest"
-    _NESTED: ClassVar[dict[str, type[Spec]]] = {"telemetry": TelemetrySpec}
+    _NESTED: ClassVar[dict[str, type[Spec]]] = {
+        "execution": ExecutionSpec, "telemetry": TelemetrySpec
+    }
+    _NESTED_DEFAULTS: ClassVar[dict[str, dict[str, Any]]] = {
+        "execution": {"shards": 1}
+    }
+    _EXEC_ALIASES: ClassVar[dict[str, str]] = {
+        "shards": "shards",
+        "executor": "backend",
+        "workers": "workers",
+    }
 
     dataset: str | None = None
     resources: int = 500
     seed: int = 7
-    shards: int = 1
-    executor: str = "serial"
-    workers: int = 0
+    execution: ExecutionSpec = field(default_factory=lambda: ExecutionSpec(shards=1))
     batch_size: int = 4096
     omega: int = 5
     tau: float = 0.99
@@ -463,17 +592,27 @@ class IngestSpec(Spec):
     resume: str | None = None
     telemetry: TelemetrySpec | None = None
 
+    # Deprecated flat views of the execution block.
+    @property
+    def shards(self) -> int:
+        return self.execution.shards
+
+    @property
+    def executor(self) -> str:
+        return self.execution.backend
+
+    @property
+    def workers(self) -> int:
+        return self.execution.workers
+
     def __post_init__(self) -> None:
         _check(self.dataset is None or isinstance(self.dataset, str),
                f"ingest dataset must be a path string or None, got {self.dataset!r}")
         _check(_is_int(self.resources) and self.resources >= 1,
                f"ingest resources must be a positive int, got {self.resources!r}")
         _check(_is_int(self.seed), f"ingest seed must be an int, got {self.seed!r}")
-        _check(_is_int(self.shards) and self.shards >= 1,
-               f"ingest shards must be a positive int, got {self.shards!r}")
-        _check_executor(
-            "ingest executor", self.executor, "ingest workers", self.workers
-        )
+        _check(isinstance(self.execution, ExecutionSpec),
+               f"ingest execution must be an ExecutionSpec, got {type(self.execution).__name__}")
         _check(_is_int(self.batch_size) and self.batch_size >= 1,
                f"ingest batch_size must be a positive int, got {self.batch_size!r}")
         _check(_is_int(self.omega) and self.omega >= 2,
@@ -583,8 +722,8 @@ class ServerSpec(Spec):
 _SPEC_TYPES: dict[str, type[Spec]] = {
     cls.TYPE: cls
     for cls in (
-        CorpusSpec, TelemetrySpec, AllocateSpec, CampaignSpec, IngestSpec,
-        JobSpec, ServerSpec,
+        CorpusSpec, ExecutionSpec, TelemetrySpec, AllocateSpec, CampaignSpec,
+        IngestSpec, JobSpec, ServerSpec,
     )
 }
 

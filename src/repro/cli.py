@@ -45,6 +45,8 @@ from repro.api import (
     AllocateSpec,
     CampaignSpec,
     CorpusSpec,
+    EXECUTOR_BACKENDS,
+    ExecutionSpec,
     IngestSpec,
     STRATEGIES,
     TelemetrySpec,
@@ -92,6 +94,63 @@ def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="PATH",
         help="stream a Chrome-trace JSONL here (implies --telemetry)",
+    )
+
+
+def _add_exec_args(parser: argparse.ArgumentParser) -> None:
+    """The ``--exec-*`` group: one vocabulary for shard execution.
+
+    These map 1:1 onto :class:`~repro.api.ExecutionSpec` and take
+    precedence over the command's legacy sharding flags (``--shards``,
+    ``--shard-workers``, ingest's ``--workers``), which remain as
+    deprecated aliases.
+    """
+    group = parser.add_argument_group(
+        "execution", "how sharded stability state is partitioned and run"
+    )
+    group.add_argument(
+        "--exec-backend",
+        choices=list(EXECUTOR_BACKENDS),
+        default=None,
+        help="shard executor backend (default: thread when workers > 0, else serial)",
+    )
+    group.add_argument(
+        "--exec-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of independent stability shards",
+    )
+    group.add_argument(
+        "--exec-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pool size for thread/process backends (0 = one per core)",
+    )
+    group.add_argument(
+        "--exec-min-parallel-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="flush size below which pooled dispatch falls back inline",
+    )
+
+
+def _execution_spec(
+    args: argparse.Namespace, *, legacy_shards: int, legacy_workers: int
+) -> ExecutionSpec:
+    """Fold ``--exec-*`` flags (preferred) and legacy flags into one spec."""
+    shards = args.exec_shards if args.exec_shards is not None else legacy_shards
+    workers = args.exec_workers if args.exec_workers is not None else legacy_workers
+    backend = args.exec_backend
+    if backend is None:
+        backend = "thread" if workers > 0 else "serial"
+    return ExecutionSpec(
+        backend=backend,
+        shards=shards,
+        workers=workers,
+        min_parallel_events=args.exec_min_parallel_events,
     )
 
 
@@ -183,15 +242,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards",
         type=int,
         default=4,
-        help="shard count of the sharded stability backend",
+        help="deprecated alias for --exec-shards",
     )
     campaign.add_argument(
         "--shard-workers",
         type=int,
         default=0,
-        help="ingest shard buffers on a thread pool of this size "
+        help="deprecated alias for --exec-workers "
         "(0 = serial; traces are identical either way)",
     )
+    _add_exec_args(campaign)
     _add_telemetry_args(campaign)
 
     ingest = sub.add_parser(
@@ -202,14 +262,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ingest.add_argument("--resources", type=int, default=500)
     ingest.add_argument("--seed", type=int, default=7)
-    ingest.add_argument("--shards", type=int, default=1)
+    ingest.add_argument(
+        "--shards", type=int, default=1, help="deprecated alias for --exec-shards"
+    )
     ingest.add_argument(
         "--workers",
         type=int,
         default=0,
-        help="ingest shard slices on a thread pool of this size "
-        "(0 = serial; needs --shards > 1; results are identical)",
+        help="deprecated alias for --exec-workers "
+        "(0 = serial; needs shards > 1; results are identical)",
     )
+    _add_exec_args(ingest)
     ingest.add_argument("--batch-size", type=int, default=4096)
     ingest.add_argument("--omega", type=int, default=5)
     ingest.add_argument("--tau", type=float, default=0.99)
@@ -459,9 +522,9 @@ def _command_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         stop_tau=None if args.no_adaptive_stop else 0.995,
         stability_backend=backend,
-        stability_shards=args.shards,
-        stability_executor="thread" if args.shard_workers > 0 else "serial",
-        stability_workers=args.shard_workers,
+        execution=_execution_spec(
+            args, legacy_shards=args.shards, legacy_workers=args.shard_workers
+        ),
         telemetry=_telemetry_spec(args),
     )
     _print_result(api.run(spec), args)
@@ -473,9 +536,9 @@ def _command_ingest(args: argparse.Namespace) -> int:
         dataset=None if args.dataset is None else str(args.dataset),
         resources=args.resources,
         seed=args.seed,
-        shards=args.shards,
-        executor="thread" if args.workers > 0 else "serial",
-        workers=args.workers,
+        execution=_execution_spec(
+            args, legacy_shards=args.shards, legacy_workers=args.workers
+        ),
         batch_size=args.batch_size,
         omega=args.omega,
         tau=args.tau,

@@ -15,11 +15,14 @@ the batch/columnar counterpart built for the ROADMAP's scale goals:
 * :mod:`repro.engine.shard` — a vectorized hash router (shard ids cached
   at intern time) and an N-shard bank whose shards share no state;
 * :mod:`repro.engine.executor` — the :class:`ShardExecutor` seam that
-  runs the independent per-shard kernels (inline, or overlapped on a
-  pooled thread executor — the kernels are NumPy-dominated and release
-  the GIL);
-* :mod:`repro.engine.checkpoint` — npz/JSONL snapshots with deterministic
-  resume;
+  runs the independent per-shard kernels (inline, overlapped on a pooled
+  thread executor, or shipped to state-owning worker processes) plus the
+  registry the backends self-register on;
+* :mod:`repro.engine.procpool` — the ``process`` backend: long-lived
+  workers owning their shards' banks, fed CSR slices through
+  shared-memory ring buffers (no NumPy pickling on the hot path);
+* :mod:`repro.engine.checkpoint` — npz/mmap + JSONL snapshots with
+  deterministic resume;
 * :mod:`repro.engine.stream` — :class:`IngestEngine`, the batching driver
   with throughput stats and stable-point callbacks.
 
@@ -28,35 +31,52 @@ rfds to within float noise) is enforced by the property tests in
 ``tests/properties/test_engine_properties.py``.
 """
 
-from repro.engine.checkpoint import load_checkpoint, save_checkpoint
+from repro.engine.checkpoint import (
+    CHECKPOINT_LAYOUTS,
+    load_checkpoint,
+    load_shard_bank,
+    save_checkpoint,
+    write_shard_state,
+)
 from repro.engine.columnar import IngestReport, StabilityBank
 from repro.engine.events import EventBatch, Interner, TagEvent, encode_events
 from repro.engine.executor import (
     EXECUTOR_BACKENDS,
+    EXECUTORS,
+    ProcessExecutor,
     SerialExecutor,
     ShardExecutor,
+    ShardWorkerCrashed,
     ThreadExecutor,
     make_executor,
+    register_executor,
 )
 from repro.engine.shard import ShardedStabilityBank, shard_of
 from repro.engine.stream import EngineStats, IngestEngine
 
 __all__ = [
+    "CHECKPOINT_LAYOUTS",
     "EXECUTOR_BACKENDS",
+    "EXECUTORS",
     "EngineStats",
     "EventBatch",
     "IngestEngine",
     "IngestReport",
     "Interner",
+    "ProcessExecutor",
     "SerialExecutor",
     "ShardExecutor",
+    "ShardWorkerCrashed",
     "ShardedStabilityBank",
     "StabilityBank",
     "TagEvent",
     "ThreadExecutor",
     "encode_events",
     "load_checkpoint",
+    "load_shard_bank",
     "make_executor",
+    "register_executor",
     "save_checkpoint",
     "shard_of",
+    "write_shard_state",
 ]

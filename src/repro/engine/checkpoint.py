@@ -1,17 +1,33 @@
-"""Engine checkpoints: npz array snapshots + JSONL stable records.
+"""Engine checkpoints: array snapshots + JSONL stable records.
 
 A checkpoint is a directory:
 
 * ``manifest.json`` — format version, bank kind (single/sharded), omega,
-  tau and shard count;
-* ``shard_NNNN.npz`` — one compressed archive per shard holding the CSR
-  count arrays, the running totals / squared norms / post counts, the MA
-  window state and the interned tag & resource vocabularies;
+  tau, shard count and array layout;
+* per-shard arrays in one of two layouts:
+
+  - ``npz`` (default): ``shard_NNNN.npz``, one compressed archive per
+    shard holding the CSR count arrays, the running totals / squared
+    norms / post counts, the MA window state and the interned tag &
+    resource vocabularies;
+  - ``mmap``: ``shard_NNNN/`` with one raw ``.npy`` file per state
+    array plus ``vocab.json``.  Writing is a straight flush of each
+    array into a memory-mapped file (no compression pass), and loading
+    can memory-map the arrays back (``mmap_mode="r"``) — which is how
+    the ``process`` executor's workers re-seed themselves from a resumed
+    checkpoint without the parent shipping any arrays;
+
 * ``stable.jsonl`` — one line per stable resource with its shard, stable
   point and the *raw count* snapshot (integers survive JSON exactly, so
   resume is bit-deterministic: a bank loaded from a checkpoint and fed
   the remaining events finishes in the same state as one that ingested
   the whole stream — see ``tests/engine/test_checkpoint.py``).
+
+When a sharded bank runs on a state-owning executor (the ``process``
+backend), :func:`save_checkpoint` routes each shard's write to the
+worker that owns it — the snapshot is a flush of the worker's own
+arrays, and no state crosses the pipe.  :func:`write_shard_state` and
+:func:`load_shard_bank` are the per-shard halves the workers call.
 """
 
 from __future__ import annotations
@@ -25,17 +41,42 @@ from repro.core.errors import DataModelError
 from repro.engine.columnar import StabilityBank, StableSnapshot
 from repro.engine.shard import ShardedStabilityBank
 
-__all__ = ["save_checkpoint", "load_checkpoint", "CHECKPOINT_FORMAT"]
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_LAYOUTS",
+    "load_checkpoint",
+    "load_shard_bank",
+    "save_checkpoint",
+    "write_shard_state",
+]
 
 CHECKPOINT_FORMAT = 1
 """On-disk format version (bump on incompatible layout changes)."""
 
+CHECKPOINT_LAYOUTS = ("npz", "mmap")
+"""Supported per-shard array layouts (``manifest["layout"]``; an absent
+key means ``npz`` — checkpoints written before the mmap layout existed
+load unchanged)."""
+
 _MANIFEST = "manifest.json"
 _STABLE = "stable.jsonl"
+_VOCAB = "vocab.json"
+
+
+def _check_layout(layout: str) -> None:
+    if layout not in CHECKPOINT_LAYOUTS:
+        raise DataModelError(
+            f"unknown checkpoint layout {layout!r} "
+            f"(expected one of {CHECKPOINT_LAYOUTS})"
+        )
 
 
 def _shard_file(index: int) -> str:
     return f"shard_{index:04d}.npz"
+
+
+def _shard_dir(index: int) -> str:
+    return f"shard_{index:04d}"
 
 
 def _save_bank_arrays(bank: StabilityBank, path: Path) -> None:
@@ -43,6 +84,26 @@ def _save_bank_arrays(bank: StabilityBank, path: Path) -> None:
     arrays["tags"] = np.asarray(bank.tags.items(), dtype=str)
     arrays["resources"] = np.asarray(bank.resources.items(), dtype=str)
     np.savez_compressed(path, **arrays)
+
+
+def _save_bank_mmap(bank: StabilityBank, shard_dir: Path) -> None:
+    shard_dir.mkdir(parents=True, exist_ok=True)
+    for name, array in bank.state_arrays().items():
+        path = shard_dir / f"{name}.npy"
+        if array.size == 0:
+            # an empty file cannot be mmapped; plain save writes the
+            # same .npy format and mmap-mode loading handles it
+            np.save(path, array)
+            continue
+        out = np.lib.format.open_memmap(
+            path, mode="w+", dtype=array.dtype, shape=array.shape
+        )
+        out[:] = array
+        out.flush()
+        del out  # release the mapping before the file handle closes
+    (shard_dir / _VOCAB).write_text(
+        json.dumps({"tags": bank.tags.items(), "resources": bank.resources.items()})
+    )
 
 
 def _stable_records(bank: StabilityBank, shard_index: int) -> list[dict]:
@@ -61,14 +122,41 @@ def _stable_records(bank: StabilityBank, shard_index: int) -> list[dict]:
     return records
 
 
+def write_shard_state(
+    bank: StabilityBank, directory: str | Path, index: int, *, layout: str = "npz"
+) -> list[dict]:
+    """Write one shard's arrays + vocabulary under ``directory``.
+
+    The per-shard half of :func:`save_checkpoint`; a ``process`` worker
+    calls this directly on its own bank so checkpointing a worker-owned
+    shard is a local flush.  Returns the shard's stable records for the
+    caller to merge into ``stable.jsonl``.
+    """
+    _check_layout(layout)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if layout == "npz":
+        _save_bank_arrays(bank, directory / _shard_file(index))
+    else:
+        _save_bank_mmap(bank, directory / _shard_dir(index))
+    return _stable_records(bank, index)
+
+
 def save_checkpoint(
-    bank: StabilityBank | ShardedStabilityBank, directory: str | Path
+    bank: StabilityBank | ShardedStabilityBank,
+    directory: str | Path,
+    *,
+    layout: str = "npz",
 ) -> Path:
     """Write ``bank``'s full state under ``directory`` (created if needed).
+
+    Args:
+        layout: One of :data:`CHECKPOINT_LAYOUTS`.
 
     Returns:
         The checkpoint directory path.
     """
+    _check_layout(layout)
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     sharded = isinstance(bank, ShardedStabilityBank)
@@ -79,33 +167,75 @@ def save_checkpoint(
         "omega": bank.omega,
         "tau": bank.tau,
         "n_shards": len(shards),
+        "layout": layout,
     }
     (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2) + "\n")
     records: list[dict] = []
-    for index, shard in enumerate(shards):
-        _save_bank_arrays(shard, directory / _shard_file(index))
-        records.extend(_stable_records(shard, index))
+    executor = getattr(bank, "executor", None) if sharded else None
+    if (
+        executor is not None
+        and getattr(executor, "owns_state", False)
+        and getattr(executor, "bound", False)
+    ):
+        # worker-owned shards: each owning worker flushes its own arrays
+        for index in range(len(shards)):
+            records.extend(executor.checkpoint_shard(bank, index, directory, layout))
+    else:
+        for index, shard in enumerate(shards):
+            records.extend(write_shard_state(shard, directory, index, layout=layout))
     with (directory / _STABLE).open("w") as handle:
         for record in records:
             handle.write(json.dumps(record) + "\n")
     return directory
 
 
-def _load_bank(
-    path: Path,
+def _read_manifest(directory: Path) -> dict:
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.is_file():
+        raise DataModelError(f"no checkpoint manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format") != CHECKPOINT_FORMAT:
+        raise DataModelError(
+            f"unsupported checkpoint format {manifest.get('format')!r} "
+            f"(expected {CHECKPOINT_FORMAT})"
+        )
+    layout = manifest.get("layout", "npz")
+    _check_layout(layout)
+    return manifest
+
+
+def _read_shard_payload(
+    directory: Path, index: int, layout: str
+) -> tuple[list[str], list[str], dict[str, np.ndarray]]:
+    """One shard's ``(tags, resources, arrays)`` from disk."""
+    if layout == "npz":
+        with np.load(directory / _shard_file(index), allow_pickle=False) as archive:
+            tags = [str(t) for t in archive["tags"]]
+            resources = [str(r) for r in archive["resources"]]
+            arrays = {
+                key: archive[key]
+                for key in archive.files
+                if key not in ("tags", "resources")
+            }
+        return tags, resources, arrays
+    shard_dir = directory / _shard_dir(index)
+    vocab = json.loads((shard_dir / _VOCAB).read_text())
+    arrays = {
+        path.stem: np.load(path, mmap_mode="r")
+        for path in sorted(shard_dir.glob("*.npy"))
+    }
+    return list(vocab["tags"]), list(vocab["resources"]), arrays
+
+
+def _build_bank(
+    tags: list[str],
+    resources: list[str],
+    arrays: dict[str, np.ndarray],
     *,
     omega: int,
     tau: float | None,
     stable_records: list[dict],
 ) -> StabilityBank:
-    with np.load(path, allow_pickle=False) as archive:
-        tags = [str(t) for t in archive["tags"]]
-        resources = [str(r) for r in archive["resources"]]
-        arrays = {
-            key: archive[key]
-            for key in archive.files
-            if key not in ("tags", "resources")
-        }
     resource_rows = {resource_id: row for row, resource_id in enumerate(resources)}
     tag_ids = {tag: index for index, tag in enumerate(tags)}
     snapshots: dict[int, StableSnapshot] = {}
@@ -127,32 +257,7 @@ def _load_bank(
     )
 
 
-def load_checkpoint(directory: str | Path) -> StabilityBank | ShardedStabilityBank:
-    """Rebuild the bank saved by :func:`save_checkpoint`.
-
-    Returns:
-        A :class:`StabilityBank` for single-bank checkpoints, a
-        :class:`ShardedStabilityBank` otherwise.
-
-    Raises:
-        DataModelError: If the directory is not a readable checkpoint of
-            a supported format version.
-    """
-    directory = Path(directory)
-    manifest_path = directory / _MANIFEST
-    if not manifest_path.is_file():
-        raise DataModelError(f"no checkpoint manifest at {manifest_path}")
-    manifest = json.loads(manifest_path.read_text())
-    if manifest.get("format") != CHECKPOINT_FORMAT:
-        raise DataModelError(
-            f"unsupported checkpoint format {manifest.get('format')!r} "
-            f"(expected {CHECKPOINT_FORMAT})"
-        )
-    omega = int(manifest["omega"])
-    tau = manifest["tau"]
-    tau = None if tau is None else float(tau)
-    n_shards = int(manifest["n_shards"])
-
+def _read_stable_records(directory: Path, n_shards: int) -> list[list[dict]]:
     per_shard: list[list[dict]] = [[] for _ in range(n_shards)]
     stable_path = directory / _STABLE
     if stable_path.is_file():
@@ -163,10 +268,63 @@ def load_checkpoint(directory: str | Path) -> StabilityBank | ShardedStabilityBa
                     continue
                 record = json.loads(line)
                 per_shard[int(record["shard"])].append(record)
+    return per_shard
 
+
+def load_shard_bank(directory: str | Path, index: int) -> StabilityBank:
+    """Load a single shard's bank from a sharded (or single) checkpoint.
+
+    The per-shard half of :func:`load_checkpoint`: a ``process`` worker
+    re-seeds itself by loading only the shards it owns — with the
+    ``mmap`` layout the arrays are memory-mapped straight from the
+    checkpoint files.
+    """
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    n_shards = int(manifest["n_shards"])
+    if not 0 <= index < n_shards:
+        raise DataModelError(
+            f"shard {index} out of range for a {n_shards}-shard checkpoint"
+        )
+    tau = manifest["tau"]
+    tags, resources, arrays = _read_shard_payload(
+        directory, index, manifest.get("layout", "npz")
+    )
+    return _build_bank(
+        tags,
+        resources,
+        arrays,
+        omega=int(manifest["omega"]),
+        tau=None if tau is None else float(tau),
+        stable_records=_read_stable_records(directory, n_shards)[index],
+    )
+
+
+def load_checkpoint(directory: str | Path) -> StabilityBank | ShardedStabilityBank:
+    """Rebuild the bank saved by :func:`save_checkpoint`.
+
+    Returns:
+        A :class:`StabilityBank` for single-bank checkpoints, a
+        :class:`ShardedStabilityBank` otherwise.  Sharded banks remember
+        the checkpoint directory (``resume_source``) so a state-owning
+        executor attached afterwards can seed its workers from the same
+        files instead of shipping state.
+
+    Raises:
+        DataModelError: If the directory is not a readable checkpoint of
+            a supported format version.
+    """
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    omega = int(manifest["omega"])
+    tau = manifest["tau"]
+    tau = None if tau is None else float(tau)
+    n_shards = int(manifest["n_shards"])
+    layout = manifest.get("layout", "npz")
+    per_shard = _read_stable_records(directory, n_shards)
     banks = [
-        _load_bank(
-            directory / _shard_file(index),
+        _build_bank(
+            *_read_shard_payload(directory, index, layout),
             omega=omega,
             tau=tau,
             stable_records=per_shard[index],
@@ -177,4 +335,5 @@ def load_checkpoint(directory: str | Path) -> StabilityBank | ShardedStabilityBa
         return banks[0]
     sharded = ShardedStabilityBank(n_shards, omega, tau)
     sharded.shards = banks
+    sharded.resume_source = str(directory)
     return sharded

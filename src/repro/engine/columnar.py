@@ -951,6 +951,51 @@ class StabilityBank:
             "stable_point": self._stable_point[:count].copy(),
         }
 
+    def export_state(self) -> dict:
+        """Full bank state as one picklable payload (worker ownership).
+
+        The ``process`` executor's workers own their shards' banks; this
+        is how a worker ships its state back for the parent's
+        lazily-materialized query mirror (and how a warm-started worker
+        is seeded).  The payload round-trips exactly through
+        :meth:`import_state` — same arrays, same interner orders, same
+        snapshots — so a materialized mirror is trace-identical to the
+        worker's bank.
+        """
+        return {
+            "omega": self.omega,
+            "tau": self.tau,
+            "tags": self.tags.items(),
+            "resources": self.resources.items(),
+            "arrays": self.state_arrays(),
+            "snapshots": {
+                row: (snap.stable_point, snap.tag_ids, snap.counts, snap.total)
+                for row, snap in self._snapshots.items()
+            },
+        }
+
+    @classmethod
+    def import_state(cls, payload: dict) -> StabilityBank:
+        """Rebuild a bank from an :meth:`export_state` payload."""
+        snapshots = {
+            int(row): StableSnapshot(
+                int(stable_point),
+                np.asarray(tag_ids),
+                np.asarray(counts),
+                int(total),
+            )
+            for row, (stable_point, tag_ids, counts, total)
+            in payload["snapshots"].items()
+        }
+        return cls.from_state(
+            omega=payload["omega"],
+            tau=payload["tau"],
+            tags=list(payload["tags"]),
+            resources=list(payload["resources"]),
+            arrays=payload["arrays"],
+            snapshots=snapshots,
+        )
+
     @classmethod
     def from_state(
         cls,

@@ -15,6 +15,16 @@ ThreadPoolExecutor`.  At bulk-ingest batch sizes the per-shard kernels
   (Tiny slices are a different regime — the scalar small-batch kernel
   and NumPy dispatch both hold the GIL — which is what the
   :data:`PARALLEL_MIN_EVENTS` inline cutoff is for.)
+* :class:`ProcessExecutor` (:mod:`repro.engine.procpool`) — long-lived
+  worker processes that *own* their shards' banks.  Batch slices travel
+  through shared-memory ring buffers as (offset, length) descriptors, so
+  the steady-state ingest path never pickles a NumPy array; workers send
+  back only compact stable-crossing deltas.
+
+Backends self-register on an :class:`ExecutorRegistry` via the
+:func:`register_executor` decorator (mirroring the strategy registry in
+:mod:`repro.api.registry`), so :func:`make_executor` is a lookup, not an
+if/elif ladder, and unknown names fail with the sorted backend listing.
 
 Determinism is the executor's contract, not an accident: :meth:`run`
 always returns results **in submission order**, whatever order the
@@ -43,28 +53,31 @@ from repro.core.errors import DataModelError
 
 __all__ = [
     "EXECUTOR_BACKENDS",
+    "EXECUTORS",
+    "ExecutorRegistry",
+    "ProcessExecutor",
     "ShardExecutor",
+    "ShardWorkerCrashed",
     "SerialExecutor",
     "ThreadExecutor",
     "default_workers",
     "make_executor",
+    "register_executor",
 ]
 
 T = TypeVar("T")
-
-EXECUTOR_BACKENDS = ("serial", "thread")
-"""The executor kinds :func:`make_executor` accepts."""
 
 PARALLEL_MIN_EVENTS = 512
 """Below this many events in a batch, pooled callers run shard kernels
 inline: a tiny flush finishes faster than the pool's submit/collect
 round-trip, and results are byte-identical either way.  Callers holding
 a pooled executor (the sharded bank, the sharded monitor) consult this
-before dispatching."""
+before dispatching.  State-owning executors (``process``) are exempt —
+their banks live in the workers, so every batch must cross the pipe."""
 
 
 def default_workers() -> int:
-    """Worker count used when a thread executor is asked for ``workers=0``.
+    """Worker count used when a pooled executor is asked for ``workers=0``.
 
     One worker per available core, capped at 8 — shard counts are small,
     and past the shard count extra workers only add dispatch overhead.
@@ -72,12 +85,27 @@ def default_workers() -> int:
     return min(8, os.cpu_count() or 1)
 
 
+class ShardWorkerCrashed(DataModelError):
+    """A shard worker process died mid-operation.
+
+    Raised by the ``process`` backend instead of hanging on a dead pipe:
+    the pool detects the worker's exit, tears the remaining workers down
+    and surfaces which worker was lost.  The owning bank's state is gone
+    with the worker — the caller must rebuild from a checkpoint.
+    """
+
+
 class ShardExecutor(ABC):
     """Runs a list of independent no-argument tasks; order-preserving.
 
     Attributes:
-        kind: The backend name (``"serial"`` or ``"thread"``).
+        kind: The backend name (``"serial"``, ``"thread"``, ``"process"``).
         workers: Concurrency the executor was built with (1 for serial).
+        owns_state: True when shard bank state lives *inside* the
+            executor's workers (the ``process`` backend).  State-owning
+            executors are fed through the sharded bank's
+            ``ingest_shards`` path instead of :meth:`run`, and the bank
+            keeps only a lazily-materialized mirror for queries.
         run_calls: Number of :meth:`run` invocations so far.
         tasks_run: Total tasks executed across all :meth:`run` calls.
             Together with the sharded bank's ``inline_cutoff_hits`` this
@@ -87,6 +115,7 @@ class ShardExecutor(ABC):
 
     kind: str = ""
     workers: int = 1
+    owns_state: bool = False
     run_calls: int = 0
     tasks_run: int = 0
 
@@ -111,11 +140,72 @@ class ShardExecutor(ABC):
         return f"{type(self).__name__}(workers={self.workers})"
 
 
+class ExecutorRegistry:
+    """Name → executor-class registry with sorted, self-describing errors.
+
+    Mirrors :class:`repro.api.registry.StrategyRegistry`: backends
+    declare themselves with the :func:`register_executor` decorator, and
+    everything that needs the backend list (spec validation, CLI
+    choices, error messages) derives it from :meth:`names` instead of a
+    hand-maintained tuple.
+    """
+
+    def __init__(self) -> None:
+        self._backends: dict[str, type[ShardExecutor]] = {}
+
+    def register(self, name: str, cls: type[ShardExecutor]) -> None:
+        if not name:
+            raise DataModelError("executor backend name must be non-empty")
+        if name in self._backends:
+            raise DataModelError(f"executor backend {name!r} is already registered")
+        self._backends[name] = cls
+
+    def names(self) -> list[str]:
+        """Registered backend names, sorted for stable listings."""
+        return sorted(self._backends)
+
+    def get(self, name: str) -> type[ShardExecutor]:
+        try:
+            return self._backends[name]
+        except KeyError:
+            raise DataModelError(
+                f"unknown shard executor {name!r} "
+                f"(expected one of {tuple(self.names())})"
+            ) from None
+
+    def create(self, name: str, workers: int = 0) -> ShardExecutor:
+        if not isinstance(workers, int) or isinstance(workers, bool):
+            raise DataModelError(f"workers must be an int, got {workers!r}")
+        if workers < 0:
+            raise DataModelError(f"workers must be >= 0, got {workers}")
+        return self.get(name)(workers=workers)
+
+
+EXECUTORS = ExecutorRegistry()
+"""The process-wide executor registry all backends register on."""
+
+
+def register_executor(name: str) -> Callable[[type[ShardExecutor]], type[ShardExecutor]]:
+    """Class decorator: register a :class:`ShardExecutor` under ``name``."""
+
+    def decorate(cls: type[ShardExecutor]) -> type[ShardExecutor]:
+        cls.kind = name
+        EXECUTORS.register(name, cls)
+        return cls
+
+    return decorate
+
+
+@register_executor("serial")
 class SerialExecutor(ShardExecutor):
     """Inline execution — the degenerate, dispatch-free pool."""
 
-    kind = "serial"
     workers = 1
+
+    def __init__(self, workers: int = 0) -> None:
+        # serial ignores the worker knob; accepting it keeps the
+        # registry's uniform ``cls(workers=...)`` construction honest
+        del workers
 
     def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
         self.run_calls += 1
@@ -123,14 +213,13 @@ class SerialExecutor(ShardExecutor):
         return [task() for task in tasks]
 
 
+@register_executor("thread")
 class ThreadExecutor(ShardExecutor):
     """A persistent thread pool over GIL-releasing shard kernels.
 
     Args:
         workers: Pool size; ``0`` picks :func:`default_workers`.
     """
-
-    kind = "thread"
 
     def __init__(self, workers: int = 0) -> None:
         if workers < 0:
@@ -191,15 +280,17 @@ def make_executor(executor: str = "serial", workers: int = 0) -> ShardExecutor:
 
     Args:
         executor: One of :data:`EXECUTOR_BACKENDS`.
-        workers: Thread-pool size for ``"thread"`` (``0`` = one per core,
+        workers: Pool size for pooled backends (``0`` = one per core,
             capped); ignored by ``"serial"``.
     """
-    if workers < 0:
-        raise DataModelError(f"workers must be >= 0, got {workers}")
-    if executor == "serial":
-        return SerialExecutor()
-    if executor == "thread":
-        return ThreadExecutor(workers)
-    raise DataModelError(
-        f"unknown shard executor {executor!r} (expected one of {EXECUTOR_BACKENDS})"
-    )
+    return EXECUTORS.create(executor, workers)
+
+
+# The process backend lives in its own module (shared-memory plumbing is
+# sizable) and registers itself on import; importing it at the bottom
+# avoids the executor<->procpool cycle the same way repro.api.registry
+# handles strategies.
+from repro.engine.procpool import ProcessExecutor  # noqa: E402
+
+EXECUTOR_BACKENDS = tuple(EXECUTORS.names())
+"""The executor kinds :func:`make_executor` accepts (sorted)."""

@@ -1,0 +1,643 @@
+"""The ``process`` shard executor: workers that *own* their shards' banks.
+
+Threads overlap the GIL-releasing NumPy kernels but serialize everything
+else; true multi-core ingest needs processes, and processes make state
+placement the design question.  The answer here is worker ownership:
+
+* **Long-lived workers.**  :class:`ProcessExecutor` spawns its workers
+  once, at :meth:`~ProcessExecutor.bind` time, and each worker builds the
+  :class:`~repro.engine.columnar.StabilityBank` for every shard it owns
+  (``shard % n_workers``).  After that warm-up, shard state never
+  crosses the pipe again — batches go out, compact stable-crossing
+  deltas come back.
+
+* **Shared-memory CSR slices.**  Each worker pair shares two file-backed
+  ``mmap`` ring buffers (``/dev/shm`` when available).  The parent
+  writes a flush's pre-encoded per-shard CSR arrays (resources, indptr,
+  tag_ids, timestamps) into the request buffer as **one contiguous
+  block** and sends only ``(offset, length)`` descriptors over the pipe;
+  the worker writes per-event similarities into the response buffer the
+  same way.  No NumPy array is ever pickled on the steady-state ingest
+  path — the serialization-spy test pins this.
+
+* **Vocabulary deltas.**  Batches are encoded against the parent's
+  per-shard interners (the "shells"), so workers must intern the same
+  strings in the same order.  Every command carries the interner suffix
+  the worker hasn't seen; interning is idempotent and order-preserving,
+  so the counters can safely start at zero (a seeded worker just
+  re-interns its known vocabulary once).
+
+* **Synchronous per-worker protocol.**  The parent collects every reply
+  of a flush before placing the next one, so a flush's contiguous block
+  is always fully consumed before the allocator may wrap to offset 0 —
+  the classic ring-buffer overlap bug cannot occur.
+
+* **Lazily-materialized mirrors.**  The parent's shells stay
+  interner-authoritative but numerically stale; the sharded bank marks
+  ingested shards dirty and rebuilds their mirrors from a worker
+  ``export`` (the only path that pickles arrays — a query-time,
+  not steady-state, cost).
+
+Determinism: commands are sent and replies collected in submission
+order per worker, and the sharded bank reassembles reports in shard
+order exactly as the serial path does — pinned campaign traces are
+byte-identical at any worker × shard combination.
+
+A worker that dies mid-operation surfaces as
+:class:`~repro.engine.executor.ShardWorkerCrashed` (never a hang): the
+parent polls the pipe *and* the process liveness while waiting.
+"""
+
+from __future__ import annotations
+
+import mmap
+import multiprocessing
+import os
+import tempfile
+import weakref
+from collections.abc import Callable, Sequence
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro import obs
+from repro.core.errors import DataModelError
+from repro.engine.columnar import IngestReport, StabilityBank
+from repro.engine.events import EventBatch
+from repro.engine.executor import (
+    ShardExecutor,
+    ShardWorkerCrashed,
+    default_workers,
+    register_executor,
+)
+
+__all__ = ["ProcessExecutor"]
+
+_INITIAL_CAPACITY = 1 << 20  # 1 MiB per direction; grows by doubling
+_ITEM = 8  # every descriptor-addressed array is int64/float64
+
+
+def _shm_dir() -> str:
+    """Prefer a RAM-backed tmpfs for the ring buffers."""
+    candidate = "/dev/shm"
+    if os.path.isdir(candidate) and os.access(candidate, os.W_OK):
+        return candidate
+    return tempfile.gettempdir()
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork keeps warm-up free (seed state is inherited, not pickled);
+    # spawn is the portable fallback
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    return multiprocessing.get_context(method)
+
+
+class _MappedBuffer:
+    """A growable file-backed byte buffer shared by parent and worker.
+
+    Only the parent ever grows the file (``ensure``); the worker remaps
+    lazily (``refresh``) to the capacity carried in each command, so the
+    two sides never race on ``truncate``.  All views taken on the map
+    are transient — numpy views into an mmap block ``close`` until they
+    are garbage collected, so readers copy out and writers drop their
+    view before returning.
+    """
+
+    def __init__(self, path: str, capacity: int = 0, *, create: bool = False) -> None:
+        self.path = path
+        if create:
+            with open(path, "wb") as handle:
+                handle.truncate(max(capacity, mmap.PAGESIZE))
+        self._file = open(path, "r+b")
+        self._map: mmap.mmap | None = mmap.mmap(self._file.fileno(), 0)
+        self.capacity = self._map.size()
+
+    def ensure(self, capacity: int) -> int:
+        """Grow (doubling) until ``capacity`` fits; returns the new size."""
+        if capacity > self.capacity:
+            new_capacity = self.capacity
+            while new_capacity < capacity:
+                new_capacity *= 2
+            self._map.close()
+            self._file.truncate(new_capacity)
+            self._map = mmap.mmap(self._file.fileno(), 0)
+            self.capacity = self._map.size()
+        return self.capacity
+
+    def refresh(self, capacity: int) -> None:
+        """Reader-side remap after the peer grew the file."""
+        if capacity > self.capacity:
+            self._map.close()
+            self._map = mmap.mmap(self._file.fileno(), 0)
+            self.capacity = self._map.size()
+
+    def write_array(self, offset: int, array: np.ndarray) -> int:
+        """Copy ``array``'s bytes in at ``offset``; returns bytes written."""
+        data = np.ascontiguousarray(array)
+        nbytes = data.nbytes
+        if nbytes:
+            view = np.frombuffer(self._map, dtype=np.uint8, count=nbytes, offset=offset)
+            view[:] = data.view(np.uint8).reshape(-1)
+            del view  # release the buffer export before any remap
+        return nbytes
+
+    def read_array(self, offset: int, dtype: np.dtype, count: int) -> np.ndarray:
+        """Copy ``count`` items out from ``offset`` (owning array)."""
+        return np.frombuffer(self._map, dtype=dtype, count=count, offset=offset).copy()
+
+    def close(self, *, unlink: bool = False) -> None:
+        if self._map is not None:
+            try:
+                self._map.close()
+            except BufferError:  # pragma: no cover - leaked view
+                pass
+            self._map = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if unlink:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+
+def _apply_vocab(
+    bank: StabilityBank, new_resources: Sequence[str], new_tags: Sequence[str]
+) -> None:
+    """Replay the parent's interner suffix (idempotent, order-preserving)."""
+    for tag in new_tags:
+        bank.tags.intern(tag)
+    bank.ensure(new_resources)  # interns resources + grows rows and columns
+
+
+def _build_banks(
+    omega: int, tau: float | None, shard_ids: Sequence[int], seed: tuple | None
+) -> dict[int, StabilityBank]:
+    if seed is None:
+        return {shard: StabilityBank(omega, tau) for shard in shard_ids}
+    kind, payload = seed
+    if kind == "state":
+        return {shard: StabilityBank.import_state(payload[shard]) for shard in shard_ids}
+    if kind == "checkpoint":
+        from repro.engine.checkpoint import load_shard_bank
+
+        return {shard: load_shard_bank(Path(payload), shard) for shard in shard_ids}
+    raise DataModelError(f"unknown worker seed kind {kind!r}")
+
+
+def _handle_ingest(
+    banks: dict[int, StabilityBank],
+    req: _MappedBuffer,
+    resp: _MappedBuffer,
+    command: tuple,
+) -> tuple[int, list[str]]:
+    (
+        _,
+        shard,
+        req_capacity,
+        resp_capacity,
+        base,
+        n_events,
+        n_tags,
+        resp_offset,
+        new_resources,
+        new_tags,
+    ) = command
+    req.refresh(req_capacity)
+    resp.refresh(resp_capacity)
+    bank = banks[shard]
+    _apply_vocab(bank, new_resources, new_tags)
+    offset = base
+    resources = req.read_array(offset, np.int64, n_events)
+    offset += n_events * _ITEM
+    indptr = req.read_array(offset, np.int64, n_events + 1)
+    offset += (n_events + 1) * _ITEM
+    tag_ids = req.read_array(offset, np.int64, n_tags)
+    offset += n_tags * _ITEM
+    timestamps = req.read_array(offset, np.float64, n_events)
+    report = bank.ingest(
+        EventBatch(
+            resources=resources,
+            indptr=indptr,
+            tag_ids=tag_ids,
+            timestamps=timestamps,
+        )
+    )
+    resp.write_array(resp_offset, np.ascontiguousarray(report.similarities, np.float64))
+    return report.n_tag_assignments, list(report.newly_stable)
+
+
+def _handle_export(banks: dict[int, StabilityBank], command: tuple) -> dict:
+    _, shard, new_resources, new_tags = command
+    bank = banks[shard]
+    _apply_vocab(bank, new_resources, new_tags)
+    return bank.export_state()
+
+
+def _handle_checkpoint(banks: dict[int, StabilityBank], command: tuple) -> list[dict]:
+    _, shard, directory, layout, new_resources, new_tags = command
+    from repro.engine.checkpoint import write_shard_state
+
+    bank = banks[shard]
+    _apply_vocab(bank, new_resources, new_tags)
+    return write_shard_state(bank, Path(directory), shard, layout=layout)
+
+
+def _worker_main(
+    conn,
+    req_path: str,
+    resp_path: str,
+    omega: int,
+    tau: float | None,
+    shard_ids: Sequence[int],
+    seed: tuple | None,
+) -> None:
+    req = _MappedBuffer(req_path)
+    resp = _MappedBuffer(resp_path)
+    banks = _build_banks(omega, tau, shard_ids, seed)
+    del seed  # free the warm-up payload; the banks own the state now
+    try:
+        while True:
+            try:
+                command = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = command[0]
+            if op == "stop":
+                break
+            try:
+                if op == "ingest":
+                    result: Any = _handle_ingest(banks, req, resp, command)
+                elif op == "export":
+                    result = _handle_export(banks, command)
+                elif op == "checkpoint":
+                    result = _handle_checkpoint(banks, command)
+                else:
+                    raise DataModelError(f"unknown worker op {op!r}")
+            except BaseException as exc:
+                import traceback
+
+                conn.send(("err", type(exc).__name__, str(exc), traceback.format_exc()))
+            else:
+                conn.send(("ok", result))
+    finally:
+        req.close()
+        resp.close()
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """One worker process plus its pipe and shared ring buffers."""
+
+    def __init__(self, proc, conn, req: _MappedBuffer, resp: _MappedBuffer) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.req = req
+        self.resp = resp
+        self.req_cursor = 0
+        self.resp_cursor = 0
+
+    @classmethod
+    def spawn(
+        cls,
+        ctx,
+        directory: str,
+        index: int,
+        omega: int,
+        tau: float | None,
+        shard_ids: Sequence[int],
+        seed: tuple | None,
+    ) -> _WorkerHandle:
+        def buffer(tag: str) -> _MappedBuffer:
+            fd, path = tempfile.mkstemp(prefix=f"repro-shard-{tag}-", dir=directory)
+            os.close(fd)
+            return _MappedBuffer(path, _INITIAL_CAPACITY, create=True)
+
+        req = buffer("req")
+        resp = buffer("resp")
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, req.path, resp.path, omega, tau, list(shard_ids), seed),
+            daemon=True,
+            name=f"repro-shard-worker-{index}",
+        )
+        proc.start()
+        child_conn.close()
+        return cls(proc, parent_conn, req, resp)
+
+    def place(self, which: str, total: int) -> int:
+        """Reserve one contiguous ``total``-byte block; returns its offset.
+
+        Called once per flush per direction, *after* the previous flush's
+        replies were collected — so wrapping to 0 can never overwrite
+        unconsumed data, and a flush's arrays are never split.
+        """
+        buffer = self.req if which == "req" else self.resp
+        cursor = self.req_cursor if which == "req" else self.resp_cursor
+        if cursor + total > buffer.capacity:
+            cursor = 0
+            buffer.ensure(total)
+        if which == "req":
+            self.req_cursor = cursor + total
+        else:
+            self.resp_cursor = cursor + total
+        return cursor
+
+
+def _shutdown_pool(procs, conns, buffers) -> None:
+    """Stop workers, reap them, release the shared buffers (idempotent)."""
+    for conn in conns:
+        try:
+            conn.send(("stop",))
+        except (ValueError, OSError):
+            pass
+    for proc in procs:
+        proc.join(timeout=2.0)
+        if proc.is_alive():  # pragma: no cover - wedged worker
+            proc.terminate()
+            proc.join(timeout=1.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    for buffer in buffers:
+        buffer.close(unlink=True)
+
+
+@register_executor("process")
+class ProcessExecutor(ShardExecutor):
+    """Long-lived worker processes owning their shards' banks.
+
+    Args:
+        workers: Pool size; ``0`` picks :func:`~repro.engine.executor.\
+default_workers`.  The pool is capped at the bound bank's shard count —
+            extra workers would own nothing.
+    """
+
+    owns_state = True
+
+    def __init__(self, workers: int = 0) -> None:
+        if workers < 0:
+            raise DataModelError(f"workers must be >= 0, got {workers}")
+        self.workers = workers if workers > 0 else default_workers()
+        self._handles: list[_WorkerHandle] | None = None
+        self._shard_worker: list[int] = []
+        # per shard: [resources sent, tags sent] interner watermarks
+        self._sent_vocab: list[list[int]] = []
+        self._finalizer = None
+        self._obs = obs.get()
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def bound(self) -> bool:
+        """True once :meth:`bind` spawned the worker pool."""
+        return self._handles is not None
+
+    def worker_pids(self) -> list[int]:
+        """The live worker process ids (empty before :meth:`bind`)."""
+        if self._handles is None:
+            return []
+        return [handle.proc.pid for handle in self._handles]
+
+    @staticmethod
+    def _seed_for(bank) -> tuple | None:
+        source = getattr(bank, "resume_source", None)
+        if source is not None:
+            return ("checkpoint", str(source))
+        # read the shard shells directly: bank.total_posts would trigger
+        # _materialize(), which clears the caller's freshly-marked stale
+        # set while the pool is still unbound
+        if any(shard.total_posts for shard in bank.shards):
+            # the shells hold live numeric state (a bank that ingested
+            # serially before the pool attached): ship it once, at warm-up
+            return (
+                "state",
+                {
+                    shard: bank.shards[shard].export_state()
+                    for shard in range(bank.n_shards)
+                },
+            )
+        return None
+
+    def bind(self, bank) -> None:
+        """Spawn the pool for ``bank``'s shards (idempotent once bound).
+
+        Workers are seeded from the bank's current state: a fresh bank
+        costs nothing, a checkpoint-loaded bank re-seeds each worker from
+        the checkpoint's (memory-mapped) files, and a bank with live
+        in-parent state ships it across once.
+        """
+        if self._handles is not None:
+            if len(self._shard_worker) != bank.n_shards:
+                raise DataModelError(
+                    f"process executor is bound to {len(self._shard_worker)} shards; "
+                    f"cannot rebind to {bank.n_shards}"
+                )
+            return
+        n_shards = bank.n_shards
+        n_workers = max(1, min(self.workers, n_shards))
+        self.workers = n_workers
+        self._shard_worker = [shard % n_workers for shard in range(n_shards)]
+        self._sent_vocab = [[0, 0] for _ in range(n_shards)]
+        seed = self._seed_for(bank)
+        ctx = _pool_context()
+        directory = _shm_dir()
+        handles: list[_WorkerHandle] = []
+        try:
+            for index in range(n_workers):
+                shard_ids = [s for s in range(n_shards) if s % n_workers == index]
+                worker_seed = seed
+                if seed is not None and seed[0] == "state":
+                    worker_seed = (
+                        "state", {shard: seed[1][shard] for shard in shard_ids}
+                    )
+                handles.append(
+                    _WorkerHandle.spawn(
+                        ctx, directory, index, bank.omega, bank.tau, shard_ids,
+                        worker_seed,
+                    )
+                )
+        except BaseException:
+            _shutdown_pool(
+                [h.proc for h in handles],
+                [h.conn for h in handles],
+                [h.req for h in handles] + [h.resp for h in handles],
+            )
+            raise
+        self._handles = handles
+        self._finalizer = weakref.finalize(
+            self,
+            _shutdown_pool,
+            [h.proc for h in handles],
+            [h.conn for h in handles],
+            [h.req for h in handles] + [h.resp for h in handles],
+        )
+        if self._obs.enabled:
+            self._obs.count("engine.procpool.workers", n_workers)
+
+    def close(self) -> None:
+        handles, self._handles = self._handles, None
+        self._shard_worker = []
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if handles:
+            _shutdown_pool(
+                [h.proc for h in handles],
+                [h.conn for h in handles],
+                [h.req for h in handles] + [h.resp for h in handles],
+            )
+
+    # -- wire helpers ---------------------------------------------------
+
+    def _fail(self, handle: _WorkerHandle, cause: BaseException | None = None):
+        pid = handle.proc.pid
+        self.close()
+        raise ShardWorkerCrashed(
+            f"shard worker (pid {pid}) died mid-operation; its shards' state "
+            "is lost — rebuild the bank from a checkpoint"
+        ) from cause
+
+    def _send(self, handle: _WorkerHandle, message: tuple) -> None:
+        try:
+            handle.conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            self._fail(handle, exc)
+
+    def _recv(self, handle: _WorkerHandle) -> tuple:
+        while True:
+            try:
+                if handle.conn.poll(0.05):
+                    return handle.conn.recv()
+            except (EOFError, OSError) as exc:
+                self._fail(handle, exc)
+            if not handle.proc.is_alive():
+                # drain: the worker may have replied just before exiting
+                try:
+                    if handle.conn.poll(0):
+                        return handle.conn.recv()
+                except (EOFError, OSError):
+                    pass
+                self._fail(handle)
+
+    def _result(self, reply: tuple):
+        if reply[0] == "ok":
+            return reply[1]
+        _, name, message, trace = reply
+        raise DataModelError(
+            f"shard worker raised {name}: {message}\n--- worker traceback ---\n{trace}"
+        )
+
+    def _vocab_delta(self, bank, shard: int) -> tuple[list[str], list[str]]:
+        shell = bank.shards[shard]
+        sent = self._sent_vocab[shard]
+        resources = shell.resources.items()[sent[0]:]
+        tags = shell.tags.items()[sent[1]:]
+        sent[0] += len(resources)
+        sent[1] += len(tags)
+        return resources, tags
+
+    # -- shard-affine operations ---------------------------------------
+
+    def ingest_shards(
+        self, bank, shard_indices: Sequence[int], batches: Sequence[EventBatch]
+    ) -> list[IngestReport]:
+        """Ship pre-encoded per-shard batches; reports in submission order."""
+        self.bind(bank)
+        self.run_calls += 1
+        self.tasks_run += len(shard_indices)
+        per_worker: dict[int, list[tuple[int, int, EventBatch]]] = {}
+        for position, (shard, batch) in enumerate(zip(shard_indices, batches)):
+            per_worker.setdefault(self._shard_worker[shard], []).append(
+                (position, shard, batch)
+            )
+        reports: list[IngestReport | None] = [None] * len(shard_indices)
+        pending: list[tuple[int, _WorkerHandle, int, int]] = []
+        for worker_index, entries in per_worker.items():
+            handle = self._handles[worker_index]
+            req_total = sum(
+                (3 * batch.n_events + 1 + batch.tag_ids.size) * _ITEM
+                for _, _, batch in entries
+            )
+            resp_total = sum(batch.n_events * _ITEM for _, _, batch in entries)
+            offset = handle.place("req", req_total)
+            resp_offset = handle.place("resp", resp_total)
+            commands: list[tuple] = []
+            for position, shard, batch in entries:
+                base = offset
+                offset += handle.req.write_array(offset, batch.resources)
+                offset += handle.req.write_array(offset, batch.indptr)
+                offset += handle.req.write_array(offset, batch.tag_ids)
+                offset += handle.req.write_array(offset, batch.timestamps)
+                new_resources, new_tags = self._vocab_delta(bank, shard)
+                commands.append(
+                    (
+                        "ingest",
+                        shard,
+                        handle.req.capacity,
+                        handle.resp.capacity,
+                        base,
+                        batch.n_events,
+                        int(batch.tag_ids.size),
+                        resp_offset,
+                        new_resources,
+                        new_tags,
+                    )
+                )
+                pending.append((position, handle, resp_offset, batch.n_events))
+                resp_offset += batch.n_events * _ITEM
+            for command in commands:
+                self._send(handle, command)
+        # Collect in per-worker submission order — each worker replies in
+        # the order it was fed, so reassembly is deterministic.
+        for position, handle, resp_offset, n_events in pending:
+            n_tag_assignments, newly_stable = self._result(self._recv(handle))
+            similarities = handle.resp.read_array(resp_offset, np.float64, n_events)
+            reports[position] = IngestReport(
+                n_events, n_tag_assignments, similarities, list(newly_stable)
+            )
+        return reports  # type: ignore[return-value]
+
+    def export_shard(self, bank, shard: int) -> dict:
+        """Pull one shard's full state payload (query-path only)."""
+        self.bind(bank)
+        handle = self._handles[self._shard_worker[shard]]
+        new_resources, new_tags = self._vocab_delta(bank, shard)
+        self._send(handle, ("export", shard, new_resources, new_tags))
+        return self._result(self._recv(handle))
+
+    def checkpoint_shard(
+        self, bank, shard: int, directory: str | Path, layout: str
+    ) -> list[dict]:
+        """Have the owning worker flush one shard to a checkpoint dir."""
+        self.bind(bank)
+        handle = self._handles[self._shard_worker[shard]]
+        new_resources, new_tags = self._vocab_delta(bank, shard)
+        self._send(
+            handle, ("checkpoint", shard, str(directory), layout, new_resources, new_tags)
+        )
+        return self._result(self._recv(handle))
+
+    # -- the generic task interface does not apply ---------------------
+
+    def run(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+        raise DataModelError(
+            "the process backend is shard-affine: tasks are closures over "
+            "parent-process state and cannot run in workers that own their "
+            "own banks; use ingest_shards/export_shard/checkpoint_shard"
+        )

@@ -98,6 +98,15 @@ class ShardedStabilityBank:
         # resource id -> shard id, filled at first sight (vectorized
         # routing gathers from this dict instead of re-running CRC32)
         self._shard_cache: dict[str, int] = {}
+        #: Checkpoint directory this bank was loaded from, if any — a
+        #: state-owning executor re-seeds its workers straight from the
+        #: (memory-mappable) checkpoint files instead of shipping arrays.
+        #: Cleared the moment in-parent state mutates past the load.
+        self.resume_source: str | None = None
+        # With a state-owning executor the local shards become stale
+        # numeric mirrors; these are the ones needing a worker export
+        # before the next query.
+        self._stale_shards: set[int] = set()
 
     # ------------------------------------------------------------------
     # routing
@@ -212,6 +221,36 @@ class ShardedStabilityBank:
     # ingestion
     # ------------------------------------------------------------------
 
+    @property
+    def _owns_state(self) -> bool:
+        """True when the executor's workers own the shard banks."""
+        executor = self.executor
+        return executor is not None and getattr(executor, "owns_state", False)
+
+    def _mark_mutated(self) -> None:
+        # in-parent state moved past the checkpoint it was loaded from;
+        # a later worker warm-up must ship live state, not re-read disk
+        self.resume_source = None
+
+    def _materialize(self) -> None:
+        """Refresh stale shard mirrors from their owning workers.
+
+        With a state-owning executor the authoritative banks live in the
+        worker processes; numeric queries pull each dirty shard's full
+        state across once (the only path that pickles arrays) and serve
+        from the rebuilt mirror until the next ingest dirties it again.
+        """
+        if not self._stale_shards or not self._owns_state:
+            return
+        executor = self.executor
+        if not getattr(executor, "bound", False):
+            self._stale_shards.clear()
+            return
+        for shard in sorted(self._stale_shards):
+            payload = executor.export_shard(self, shard)
+            self.shards[shard] = StabilityBank.import_state(payload)
+        self._stale_shards.clear()
+
     def ingest_shard(
         self, shard_index: int, events: Sequence[TagEvent]
     ) -> IngestReport:
@@ -220,6 +259,13 @@ class ShardedStabilityBank:
         Every event must belong to ``shard_index``; this is the unit of
         work a parallel executor submits per shard.
         """
+        if self._owns_state:
+            shard_bank = self.shards[shard_index]
+            batch = encode_events(
+                events, tags=shard_bank.tags, resources=shard_bank.resources
+            )
+            return self.ingest_encoded([shard_index], [batch], batch.n_events)[0]
+        self._mark_mutated()
         return self.shards[shard_index].ingest_events(events)
 
     def ingest_encoded(
@@ -235,8 +281,24 @@ class ShardedStabilityBank:
         round-trip dwarfs tiny kernels), larger ones go to the bank's
         executor.  Reports come back in ``shard_indices`` order either
         way, so callers reassemble deterministically.
+
+        A state-owning executor (the ``process`` backend) bypasses the
+        inline cutoff entirely — the banks live in its workers, so every
+        batch must cross regardless of size — and the touched shards'
+        local mirrors are marked stale for the next numeric query.
         """
         telemetry = self._obs
+        if self._owns_state:
+            if telemetry.enabled:
+                telemetry.count("engine.shard.pooled_flushes")
+            reports = self.executor.ingest_shards(
+                self, list(shard_indices), list(batches)
+            )
+            # mark *after* dispatch: bind-time warm-up may consult the
+            # shell mirrors, which are only stale once workers ingested
+            self._stale_shards.update(shard_indices)
+            return reports
+        self._mark_mutated()
         if telemetry.enabled:
             # per-shard flush spans aggregate into one histogram (and the
             # trace stream, labelled by shard); safe from worker threads
@@ -284,7 +346,8 @@ class ShardedStabilityBank:
         """
         if not isinstance(events, Sequence):
             events = list(events)
-        if self.n_shards == 1:
+        if self.n_shards == 1 and not self._owns_state:
+            self._mark_mutated()
             return self.shards[0].ingest_events(events)
         encoded = self.encode_partition(events)
         touched = [shard for shard, slot in enumerate(encoded) if slot is not None]
@@ -322,34 +385,43 @@ class ShardedStabilityBank:
     @property
     def total_posts(self) -> int:
         """Posts ingested across all shards."""
+        self._materialize()
         return sum(shard.total_posts for shard in self.shards)
 
     def num_posts(self, resource_id: str) -> int:
+        self._materialize()
         return self.shard_for(resource_id).num_posts(resource_id)
 
     def ma_score(self, resource_id: str) -> float | None:
+        self._materialize()
         return self.shard_for(resource_id).ma_score(resource_id)
 
     def is_stable(self, resource_id: str) -> bool:
+        self._materialize()
         return self.shard_for(resource_id).is_stable(resource_id)
 
     def stable_point(self, resource_id: str) -> int | None:
+        self._materialize()
         return self.shard_for(resource_id).stable_point(resource_id)
 
     def stable_points(self) -> dict[str, int]:
         """All stable resources across shards."""
+        self._materialize()
         merged: dict[str, int] = {}
         for shard in self.shards:
             merged.update(shard.stable_points())
         return merged
 
     def stable_rfd(self, resource_id: str) -> dict[str, float] | None:
+        self._materialize()
         return self.shard_for(resource_id).stable_rfd(resource_id)
 
     def counts_of(self, resource_id: str) -> dict[str, int]:
+        self._materialize()
         return self.shard_for(resource_id).counts_of(resource_id)
 
     def rfd(self, resource_id: str) -> dict[str, float]:
+        self._materialize()
         return self.shard_for(resource_id).rfd(resource_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

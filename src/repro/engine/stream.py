@@ -88,6 +88,7 @@ class IngestEngine:
     on_stable: StableCallback | None = None
     checkpoint_dir: str | Path | None = None
     checkpoint_every: int | None = None
+    checkpoint_layout: str = "npz"
     stats: EngineStats = field(default_factory=EngineStats)
     _obs: object = field(default_factory=obs.get, init=False, repr=False, compare=False)
 
@@ -110,6 +111,7 @@ class IngestEngine:
         batch_size: int = 1024,
         executor: str = "serial",
         workers: int = 0,
+        parallel_min_events: int | None = None,
         **kwargs,
     ) -> IngestEngine:
         """Build an engine with a fresh bank (sharded when asked).
@@ -121,18 +123,24 @@ class IngestEngine:
             batch_size: Events per batch (the vectorization grain).
             executor: Shard-kernel executor kind
                 (:data:`~repro.engine.executor.EXECUTOR_BACKENDS`);
-                only meaningful with ``n_shards > 1``.
-            workers: Thread-pool size for ``executor="thread"``
+                only meaningful with ``n_shards > 1`` (except
+                ``"process"``, whose workers own the bank state and are
+                built even for one shard).
+            workers: Pool size for pooled executors
                 (``0`` = one per core, capped).
+            parallel_min_events: Override the sharded bank's inline
+                cutoff (``None`` keeps the default).
         """
         bank: StabilityBank | ShardedStabilityBank
-        if n_shards == 1:
-            # a single bank has nothing to parallelize; don't build a pool
+        pool = make_executor(executor, workers)
+        if n_shards == 1 and not pool.owns_state:
+            # a single bank has nothing to parallelize; don't keep a pool
+            pool.close()
             bank = StabilityBank(omega, tau)
         else:
-            bank = ShardedStabilityBank(
-                n_shards, omega, tau, executor=make_executor(executor, workers)
-            )
+            bank = ShardedStabilityBank(n_shards, omega, tau, executor=pool)
+            if parallel_min_events is not None:
+                bank.parallel_min_events = parallel_min_events
         return cls(bank=bank, batch_size=batch_size, **kwargs)
 
     # ------------------------------------------------------------------
@@ -175,7 +183,9 @@ class IngestEngine:
         """Write a checkpoint now (requires ``checkpoint_dir``)."""
         if self.checkpoint_dir is None:
             raise DataModelError("engine has no checkpoint_dir configured")
-        path = save_checkpoint(self.bank, self.checkpoint_dir)
+        path = save_checkpoint(
+            self.bank, self.checkpoint_dir, layout=self.checkpoint_layout
+        )
         self.stats.checkpoints += 1
         return path
 

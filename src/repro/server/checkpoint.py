@@ -112,20 +112,25 @@ def restore_campaign_checkpoint(spec, corpus, directory: str | Path) -> Incentiv
             f"(expected {CAMPAIGN_CHECKPOINT_FORMAT})"
         )
     campaign = IncentiveCampaign.from_spec(spec, corpus)
-    campaign.start()
-    for events in state["journal"]:
-        campaign.replay_epoch(events)
-    if campaign.epochs_run != int(state["epoch"]):
-        raise SpecError(
-            f"campaign checkpoint replay reached epoch {campaign.epochs_run}, "
-            f"expected {state['epoch']} — spec/corpus drifted since the checkpoint"
-        )
-    # replay consumed rng draws the live run never made (and skipped the
-    # worker draws it did make); the saved generator state erases the
-    # difference so future epochs are byte-identical to an unkilled run
-    campaign.rng.bit_generator.state = state["rng_state"]
-    campaign._finished = bool(state.get("finished", False))
-    _verify_bank(campaign, directory, state)
+    try:
+        campaign.start()
+        for events in state["journal"]:
+            campaign.replay_epoch(events)
+        if campaign.epochs_run != int(state["epoch"]):
+            raise SpecError(
+                f"campaign checkpoint replay reached epoch {campaign.epochs_run}, "
+                f"expected {state['epoch']} — spec/corpus drifted since the checkpoint"
+            )
+        # replay consumed rng draws the live run never made (and skipped
+        # the worker draws it did make); the saved generator state erases
+        # the difference so future epochs are byte-identical to an
+        # unkilled run
+        campaign.rng.bit_generator.state = state["rng_state"]
+        campaign._finished = bool(state.get("finished", False))
+        _verify_bank(campaign, directory, state)
+    except BaseException:
+        campaign.close()  # a failed restore must not leak the monitor pool
+        raise
     return campaign
 
 

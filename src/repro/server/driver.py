@@ -76,7 +76,16 @@ class CampaignDriver:
                 self._obs.count("server.restores")
                 return
         self.campaign = IncentiveCampaign.from_spec(spec, corpus)
-        self.campaign.start()
+        try:
+            self.campaign.start()
+        except BaseException:
+            self.close()  # a failed start must not leak the monitor pool
+            raise
+
+    def close(self) -> None:
+        """Release the campaign's pooled resources.  Idempotent."""
+        if self.campaign is not None:
+            self.campaign.close()
 
     def step(self) -> bool:
         """Run one epoch; journal progress.  ``False`` once no work remains.

@@ -244,6 +244,12 @@ class Scheduler:
         """All job records, in submission order."""
         return [job.record() for job in self.store.jobs()]
 
+    def _drop_driver(self, job_id: str) -> None:
+        """Forget a job's driver, releasing its campaign's pooled resources."""
+        driver = self._drivers.pop(job_id, None)
+        if driver is not None:
+            driver.close()
+
     def _apply_pause(self, job: CampaignJob) -> None:
         driver = self._drivers.get(job.job_id)
         if driver is not None and driver.campaign is not None:
@@ -251,7 +257,7 @@ class Scheduler:
             if self.store.root is not None:
                 # durable checkpoint taken: the live campaign can be
                 # dropped and restored on resume (the crash-safe path)
-                del self._drivers[job.job_id]
+                self._drop_driver(job.job_id)
         job.state = JobState.PAUSED
         self.store.save(job)
         self._obs.count("server.paused")
@@ -259,7 +265,7 @@ class Scheduler:
     def _apply_cancel(self, job: CampaignJob) -> None:
         job.state = JobState.CANCELLED
         self.store.save(job)
-        self._drivers.pop(job.job_id, None)
+        self._drop_driver(job.job_id)
         self.tenants.settle(job.job_id, job.spent)
         self._obs.count("server.cancelled")
 
@@ -295,7 +301,7 @@ class Scheduler:
             job.state = JobState.FAILED
             job.error = str(exc)
             self.store.save(job)
-            self._drivers.pop(job_id, None)
+            self._drop_driver(job_id)
             self.tenants.settle(job_id, job.spent)
             self._obs.count("server.failed")
             return
@@ -313,7 +319,7 @@ class Scheduler:
             driver.finalize()
             job.state = JobState.DONE
             self.store.save(job)
-            self._drivers.pop(job_id, None)
+            self._drop_driver(job_id)
             self.tenants.settle(job_id, job.spent)
             self._obs.count("server.completed")
         # yield: one epoch per slice is the fairness quantum
@@ -370,7 +376,7 @@ class Scheduler:
             driver.checkpoint()
             job.state = JobState.CHECKPOINTED
             self.store.save(job)
-            del self._drivers[job_id]
+            self._drop_driver(job_id)
 
     # -- file protocol (CLI without sockets) --------------------------
 

@@ -192,10 +192,18 @@ class IncentiveCampaign:
             a hash router, for large resource populations).
         stability_shards: Shard count of the ``"sharded"`` backend.
         stability_executor: How the ``"sharded"`` backend runs its
-            per-shard ingest kernels (``"serial"`` or ``"thread"``);
-            campaign traces are byte-identical for every choice.
-        stability_workers: Thread-pool size for
-            ``stability_executor="thread"`` (``0`` = one per core).
+            per-shard ingest kernels (``"serial"``, ``"thread"`` or
+            ``"process"``); campaign traces are byte-identical for every
+            choice.
+        stability_workers: Pool size for the threaded/process executors
+            (``0`` = one per core).
+        stability_min_parallel_events: Override of the sharded bank's
+            parallel-dispatch cutoff (``None`` keeps the default).
+
+    A campaign owns its monitor's executor pool: call :meth:`close` (or
+    use the campaign as a context manager) to release it.  Construction
+    itself is exception-safe — if priming the monitor fails, the pool is
+    released before the error propagates.
     """
 
     def __init__(
@@ -216,6 +224,7 @@ class IncentiveCampaign:
         stability_shards: int = 4,
         stability_executor: str = "serial",
         stability_workers: int = 0,
+        stability_min_parallel_events: int | None = None,
     ) -> None:
         if len(models) != len(initial_posts):
             raise AllocationError("models and initial_posts must align")
@@ -257,6 +266,7 @@ class IncentiveCampaign:
             n_shards=stability_shards,
             executor=stability_executor,
             workers=stability_workers,
+            parallel_min_events=stability_min_parallel_events,
         )
         if monitor is None:  # make_monitor(None) means "no monitoring"
             raise AllocationError(
@@ -264,7 +274,14 @@ class IncentiveCampaign:
                 f"stability_backend must not be {stability_backend!r}"
             )
         self._monitor: StabilityMonitor = monitor
-        self._monitor.begin(len(self.models), self.initial_posts)
+        self._closed = False
+        try:
+            self._monitor.begin(len(self.models), self.initial_posts)
+        except BaseException:
+            # begin() may spawn (and then lose) worker processes; never
+            # leak the pool when construction fails
+            self.close()
+            raise
 
     # ------------------------------------------------------------------
 
@@ -318,15 +335,31 @@ class IncentiveCampaign:
             reward_per_task=spec.reward_per_task,
             max_offers=spec.max_offers,
             stability_backend=spec.stability_backend,
-            stability_shards=spec.stability_shards,
-            stability_executor=spec.stability_executor,
-            stability_workers=spec.stability_workers,
+            stability_shards=spec.execution.shards,
+            stability_executor=spec.execution.backend,
+            stability_workers=spec.execution.workers,
+            stability_min_parallel_events=spec.execution.min_parallel_events,
         )
 
     @property
     def monitor(self) -> StabilityMonitor:
         """The campaign's stability monitor (read-only observability)."""
         return self._monitor
+
+    def close(self) -> None:
+        """Release the monitor's executor pool.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        monitor = getattr(self, "_monitor", None)
+        if monitor is not None:
+            monitor.close()
+
+    def __enter__(self) -> IncentiveCampaign:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _make_context(self) -> AllocationContext:
         """Strategy context; free choice follows current popularity."""

@@ -9,6 +9,7 @@ from repro.api import (
     AllocateSpec,
     CampaignSpec,
     CorpusSpec,
+    ExecutionSpec,
     IngestSpec,
     RunResult,
     TelemetrySpec,
@@ -150,11 +151,53 @@ class TestRunCampaign:
 
 class TestRunIngest:
     def test_synthetic_ingest(self):
-        result = run(IngestSpec(resources=12, max_events=400, shards=2))
+        result = run(
+            IngestSpec(resources=12, max_events=400, execution=ExecutionSpec(shards=2))
+        )
         assert result.kind == "ingest"
         assert result.metrics["events"] == 400
         assert result.metrics["resources"] == 12
         assert "ingested 400 events" in result.summary
+
+    def test_process_backend_matches_serial(self):
+        serial = run(IngestSpec(resources=12, max_events=400))
+        process = run(
+            IngestSpec(
+                resources=12,
+                max_events=400,
+                execution=ExecutionSpec(backend="process", shards=3, workers=2),
+            )
+        )
+        assert process.metrics["events"] == serial.metrics["events"]
+        assert process.metrics["stable"] == serial.metrics["stable"]
+        assert process.details["stable_points"] == serial.details["stable_points"]
+
+    def test_legacy_flat_spec_json_still_runs(self):
+        # a pre-ExecutionSpec payload (flat shards/executor/workers keys)
+        # must load through the deprecation shim and produce the same run
+        from repro.api import spec_from_dict
+
+        payload = {
+            "type": "ingest",
+            "resources": 12,
+            "max_events": 400,
+            "shards": 2,
+            "executor": "thread",
+            "workers": 2,
+        }
+        with pytest.warns(DeprecationWarning):
+            spec = spec_from_dict(payload)
+        legacy = run(spec)
+        modern = run(
+            IngestSpec(
+                resources=12,
+                max_events=400,
+                execution=ExecutionSpec(backend="thread", shards=2, workers=2),
+            )
+        )
+        assert legacy.details["stable_points"] == modern.details["stable_points"]
+        assert legacy.metrics["events"] == modern.metrics["events"]
+        assert legacy.metrics["stable"] == modern.metrics["stable"]
 
     def test_ingest_checkpoint_and_resume(self, tmp_path):
         checkpoint = tmp_path / "ck"

@@ -1,0 +1,184 @@
+"""Pooled-resource lifecycle: ``api.run`` must never leak executor pools.
+
+Every runnable spec that builds a sharded stability bank owns a shard
+executor (threads or worker processes).  These tests interpose a spy on
+:func:`~repro.engine.executor.make_executor` and assert that every pool
+created during a run is closed again — on the success path *and* when
+the run raises mid-flight.
+"""
+
+import pytest
+
+import repro.api as api
+from repro.api import AllocateSpec, CampaignSpec, CorpusSpec, ExecutionSpec, IngestSpec
+from repro.core.errors import ReproError
+
+
+@pytest.fixture()
+def spawned_pools(monkeypatch):
+    """Spy on every executor the run builds; record close() calls."""
+    import repro.engine
+    import repro.engine.executor as executor_mod
+    import repro.engine.stream as stream_mod
+
+    original = executor_mod.make_executor
+    pools = []
+
+    def spying(kind, workers=0):
+        pool = original(kind, workers)
+        pool.spy_closed = False
+        original_close = pool.close
+
+        def close():
+            pool.spy_closed = True
+            original_close()
+
+        pool.close = close
+        pools.append(pool)
+        return pool
+
+    # every import site resolves through one of these three bindings
+    monkeypatch.setattr(executor_mod, "make_executor", spying)
+    monkeypatch.setattr(stream_mod, "make_executor", spying)
+    monkeypatch.setattr(repro.engine, "make_executor", spying)
+    return pools
+
+
+def _assert_all_closed(pools):
+    assert pools, "the run never built a pool — the spy saw nothing"
+    leaked = [p for p in pools if not p.spy_closed]
+    assert not leaked, f"leaked executor pools: {leaked}"
+
+
+SHARDED_EXEC = ExecutionSpec(backend="thread", shards=3, workers=2)
+
+
+class TestAllocateLifecycle:
+    def test_success_path_closes_monitor_pool(self, spawned_pools):
+        spec = AllocateSpec(
+            corpus=CorpusSpec(kind="paper", resources=10, seed=3),
+            budget=40,
+            stability="sharded",
+            execution=SHARDED_EXEC,
+        )
+        api.run(spec)
+        _assert_all_closed(spawned_pools)
+
+    def test_exception_path_closes_monitor_pool(self, spawned_pools, monkeypatch):
+        from repro.allocation import IncentiveRunner
+
+        def boom(self, *args, **kwargs):
+            raise ReproError("runner exploded mid-allocation")
+
+        monkeypatch.setattr(IncentiveRunner, "run", boom)
+        spec = AllocateSpec(
+            corpus=CorpusSpec(kind="paper", resources=10, seed=3),
+            budget=40,
+            stability="sharded",
+            execution=SHARDED_EXEC,
+        )
+        with pytest.raises(ReproError, match="mid-allocation"):
+            api.run(spec)
+        _assert_all_closed(spawned_pools)
+
+
+class TestCampaignLifecycle:
+    SPEC = CampaignSpec(
+        corpus=CorpusSpec(kind="paper", resources=10, seed=3),
+        budget=60,
+        workers=4,
+        batch_size=10,
+        max_epochs=6,
+        stability_backend="sharded",
+        execution=SHARDED_EXEC,
+    )
+
+    def test_success_path_closes_monitor_pool(self, spawned_pools):
+        api.run(self.SPEC)
+        _assert_all_closed(spawned_pools)
+
+    def test_run_exception_closes_monitor_pool(self, spawned_pools, monkeypatch):
+        from repro.service import IncentiveCampaign
+
+        def boom(self, *args, **kwargs):
+            raise ReproError("campaign exploded mid-run")
+
+        monkeypatch.setattr(IncentiveCampaign, "run", boom)
+        with pytest.raises(ReproError, match="mid-run"):
+            api.run(self.SPEC)
+        _assert_all_closed(spawned_pools)
+
+    def test_begin_exception_closes_monitor_pool(self, spawned_pools, monkeypatch):
+        # a monitor that dies inside begin(): the campaign constructor
+        # must release the already-built pool before re-raising
+        from repro.allocation.monitor import ShardedBankStabilityMonitor
+
+        def boom(self, *args, **kwargs):
+            raise ReproError("monitor begin exploded")
+
+        monkeypatch.setattr(ShardedBankStabilityMonitor, "begin", boom)
+        with pytest.raises(ReproError, match="begin exploded"):
+            api.run(self.SPEC)
+        _assert_all_closed(spawned_pools)
+
+    def test_campaign_is_a_context_manager(self, spawned_pools):
+        from repro.service import IncentiveCampaign
+
+        corpus = api.materialize(self.SPEC.corpus)
+        with IncentiveCampaign.from_spec(self.SPEC, corpus) as campaign:
+            campaign.run(max_epochs=2)
+        _assert_all_closed(spawned_pools)
+
+
+class TestIngestLifecycle:
+    def test_success_path_closes_engine_pool(self, spawned_pools):
+        spec = IngestSpec(
+            resources=8,
+            seed=5,
+            max_events=400,
+            execution=SHARDED_EXEC,
+        )
+        api.run(spec)
+        _assert_all_closed(spawned_pools)
+
+    def test_process_backend_success_closes_engine_pool(self, spawned_pools):
+        spec = IngestSpec(
+            resources=8,
+            seed=5,
+            max_events=400,
+            execution=ExecutionSpec(backend="process", shards=2, workers=2),
+        )
+        api.run(spec)
+        _assert_all_closed(spawned_pools)
+
+    def test_exception_path_closes_engine_pool(self, spawned_pools, tmp_path):
+        spec = IngestSpec(
+            dataset=str(tmp_path / "does-not-exist.jsonl"),
+            execution=SHARDED_EXEC,
+        )
+        with pytest.raises(Exception):
+            api.run(spec)
+        _assert_all_closed(spawned_pools)
+
+    def test_resume_closes_the_fresh_pool(self, spawned_pools, tmp_path):
+        from repro.engine import IngestEngine, save_checkpoint
+        from repro.simulate import interleaved_event_stream
+
+        engine = IngestEngine.create(n_shards=2, omega=4, tau=0.9)
+        try:
+            engine.feed(
+                interleaved_event_stream(n_resources=8, seed=5, max_events=200)
+            )
+            target = save_checkpoint(engine.bank, tmp_path / "ck")
+        finally:
+            engine.bank.executor.close()
+
+        spec = IngestSpec(
+            resume=str(target),
+            resources=8,
+            seed=5,
+            max_events=400,
+            execution=SHARDED_EXEC,
+        )
+        api.run(spec)
+        _assert_all_closed(spawned_pools)

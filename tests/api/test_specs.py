@@ -7,6 +7,7 @@ from repro.api import (
     AllocateSpec,
     CampaignSpec,
     CorpusSpec,
+    ExecutionSpec,
     IngestSpec,
     TelemetrySpec,
     spec_from_dict,
@@ -41,8 +42,24 @@ ALL_SPECS = [
         max_epochs=40,
     ),
     CampaignSpec(stability_backend="sharded"),
+    CampaignSpec(
+        stability_backend="sharded",
+        execution=ExecutionSpec(backend="process", shards=3, workers=2),
+    ),
     IngestSpec(),
-    IngestSpec(dataset="in.jsonl", shards=4, checkpoint="/tmp/ck", max_events=10_000),
+    IngestSpec(
+        dataset="in.jsonl",
+        execution=ExecutionSpec(shards=4),
+        checkpoint="/tmp/ck",
+        max_events=10_000,
+    ),
+    IngestSpec(
+        execution=ExecutionSpec(
+            backend="process", shards=8, workers=4, min_parallel_events=0
+        )
+    ),
+    ExecutionSpec(),
+    ExecutionSpec(backend="thread", shards=2, workers=3, min_parallel_events=128),
     TelemetrySpec(),
     TelemetrySpec(enabled=False),
     TelemetrySpec(trace_path="trace.jsonl", snapshot_path="snapshot.json"),
@@ -139,10 +156,8 @@ class TestRejection:
             {"mode": "telepathic"},
             {"stability": "abacus"},
             {"corpus": "paper"},
-            {"stability_shards": 0},
-            {"stability_executor": "fork"},
-            {"stability_workers": -1},
-            {"stability_workers": 2.5},
+            {"execution": "serial"},
+            {"execution": {"backend": "thread"}},
         ],
     )
     def test_bad_allocate_values_rejected(self, kwargs):
@@ -156,9 +171,7 @@ class TestRejection:
             {"omega": 1},
             {"stop_tau": 1.5},
             {"stability_backend": "quantum"},
-            {"stability_shards": 0},
-            {"stability_executor": "fork"},
-            {"stability_workers": -1},
+            {"execution": 4},
             {"max_epochs": 0},
             {"reward_per_task": 0},
             {"corpus": CorpusSpec(kind="jsonl", path="x.jsonl")},  # model-less
@@ -171,9 +184,7 @@ class TestRejection:
     @pytest.mark.parametrize(
         "kwargs",
         [
-            {"shards": 0},
-            {"executor": "fork"},
-            {"workers": -1},
+            {"execution": "thread"},
             {"batch_size": 0},
             {"omega": 1},
             {"tau": -0.1},
@@ -207,3 +218,110 @@ class TestRejection:
     def test_from_dict_requires_a_dict(self):
         with pytest.raises(SpecError):
             AllocateSpec.from_dict(["type", "allocate"])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"backend": "fork"},
+            {"backend": ""},
+            {"shards": 0},
+            {"shards": 2.5},
+            {"workers": -1},
+            {"workers": True},
+            {"min_parallel_events": -1},
+            {"min_parallel_events": 1.5},
+        ],
+    )
+    def test_bad_execution_values_rejected(self, kwargs):
+        with pytest.raises(SpecError):
+            ExecutionSpec(**kwargs)
+
+
+class TestExecutionAliases:
+    """The deprecated flat executor keys still load (with a warning)."""
+
+    def test_campaign_old_keys_fold_into_execution(self):
+        payload = CampaignSpec(stability_backend="sharded").to_dict()
+        del payload["execution"]
+        payload["stability_shards"] = 6
+        payload["stability_executor"] = "thread"
+        payload["stability_workers"] = 3
+        with pytest.warns(DeprecationWarning, match="stability_shards"):
+            spec = CampaignSpec.from_dict(payload)
+        assert spec.execution == ExecutionSpec(backend="thread", shards=6, workers=3)
+        # the old names remain readable as properties
+        assert spec.stability_shards == 6
+        assert spec.stability_executor == "thread"
+        assert spec.stability_workers == 3
+
+    def test_allocate_old_keys_fold_into_execution(self):
+        payload = AllocateSpec(stability="sharded").to_dict()
+        del payload["execution"]
+        payload["stability_shards"] = 2
+        with pytest.warns(DeprecationWarning):
+            spec = AllocateSpec.from_dict(payload)
+        assert spec.execution.shards == 2
+        assert spec.execution.backend == "serial"  # untouched default
+
+    def test_ingest_old_keys_fold_into_execution(self):
+        payload = IngestSpec().to_dict()
+        del payload["execution"]
+        payload["shards"] = 4
+        payload["executor"] = "thread"
+        payload["workers"] = 2
+        with pytest.warns(DeprecationWarning, match="executor"):
+            spec = IngestSpec.from_dict(payload)
+        assert spec.execution == ExecutionSpec(backend="thread", shards=4, workers=2)
+        assert spec.shards == 4
+        assert spec.executor == "thread"
+        assert spec.workers == 2
+
+    def test_ingest_execution_defaults_to_one_shard(self):
+        # IngestSpec's nested default: a bare payload means one shard
+        payload = IngestSpec().to_dict()
+        del payload["execution"]
+        assert IngestSpec.from_dict(payload).execution.shards == 1
+        # and a partial execution block inherits that default too
+        payload["execution"] = {"backend": "thread", "workers": 2}
+        assert IngestSpec.from_dict(payload).execution.shards == 1
+
+    def test_old_key_conflicting_with_execution_block_rejected(self):
+        payload = CampaignSpec().to_dict()
+        payload["execution"] = {"backend": "serial", "shards": 4, "workers": 0}
+        payload["stability_shards"] = 8
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SpecError, match="conflicts"):
+                CampaignSpec.from_dict(payload)
+
+    def test_old_key_agreeing_with_execution_block_allowed(self):
+        payload = CampaignSpec().to_dict()
+        payload["execution"] = {"backend": "serial", "shards": 4, "workers": 0}
+        payload["stability_shards"] = 4
+        with pytest.warns(DeprecationWarning):
+            spec = CampaignSpec.from_dict(payload)
+        assert spec.execution.shards == 4
+
+    @pytest.mark.parametrize(
+        "key, value",
+        [
+            ("stability_shards", 0),
+            ("stability_executor", "fork"),
+            ("stability_workers", -1),
+            ("stability_workers", 2.5),
+        ],
+    )
+    def test_bad_alias_values_still_rejected(self, key, value):
+        payload = CampaignSpec().to_dict()
+        del payload["execution"]
+        payload[key] = value
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SpecError):
+                CampaignSpec.from_dict(payload)
+
+    def test_campaign_workers_still_means_crowd_size(self):
+        # CampaignSpec.workers is the simulated crowd, not the pool: it
+        # must not fold into the execution block
+        payload = CampaignSpec(workers=25).to_dict()
+        spec = CampaignSpec.from_dict(payload)
+        assert spec.workers == 25
+        assert spec.execution.workers == 0

@@ -3,11 +3,12 @@
 Expensive corpora are session-scoped; tests must not mutate them.
 
 Setting ``REPRO_TEST_SHARD_WORKERS=N`` reruns every test that builds a
-sharded stability monitor on an N-worker thread pool (with the inline
-cutoff zeroed, so the pool genuinely engages).  CI's threaded leg uses
-this to drive the campaign/monitor suite through parallel shard
-ingestion on every PR; since parallel ingestion is trace-identical to
-serial, the whole suite must still pass untouched.
+sharded stability monitor on an N-worker pool (with the inline cutoff
+zeroed, so the pool genuinely engages); ``REPRO_TEST_SHARD_BACKEND``
+picks the executor (default ``thread``, CI also runs ``process``).  CI's
+pooled legs use this to drive the campaign/monitor suite through
+parallel shard ingestion on every PR; since parallel ingestion is
+trace-identical to serial, the whole suite must still pass untouched.
 """
 
 from __future__ import annotations
@@ -22,19 +23,20 @@ from repro.experiments import TEST_SCALE, ExperimentHarness
 from repro.simulate import case_study_scenario, tiny_scenario
 
 _FORCED_SHARD_WORKERS = int(os.environ.get("REPRO_TEST_SHARD_WORKERS", "0") or "0")
+_FORCED_SHARD_BACKEND = os.environ.get("REPRO_TEST_SHARD_BACKEND", "thread")
 
-if _FORCED_SHARD_WORKERS > 0:  # pragma: no cover - exercised by the CI leg
+if _FORCED_SHARD_WORKERS > 0:  # pragma: no cover - exercised by the CI legs
     from repro.allocation.monitor import ShardedBankStabilityMonitor
 
     _original_sharded_init = ShardedBankStabilityMonitor.__init__
 
-    def _threaded_sharded_init(self, *args, **kwargs):
-        kwargs["executor"] = "thread"
+    def _pooled_sharded_init(self, *args, **kwargs):
+        kwargs["executor"] = _FORCED_SHARD_BACKEND
         kwargs["workers"] = _FORCED_SHARD_WORKERS
         _original_sharded_init(self, *args, **kwargs)
         self.parallel_min_events = 0
 
-    ShardedBankStabilityMonitor.__init__ = _threaded_sharded_init
+    ShardedBankStabilityMonitor.__init__ = _pooled_sharded_init
 
 
 # ----------------------------------------------------------------------

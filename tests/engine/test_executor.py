@@ -16,7 +16,7 @@ from repro.engine.executor import default_workers
 
 class TestFactory:
     def test_backends_constant(self):
-        assert EXECUTOR_BACKENDS == ("serial", "thread")
+        assert EXECUTOR_BACKENDS == ("process", "serial", "thread")
 
     def test_serial(self):
         executor = make_executor("serial")

@@ -1,0 +1,300 @@
+"""The process backend: shared-memory shard workers (`repro.engine.procpool`).
+
+Covers the registry seam, trace identity against serial at several
+worker × shard combinations, the no-pickling hot-path contract,
+checkpoint/restore through worker-owned state, and fault behaviour when
+a worker dies mid-operation.
+"""
+
+import multiprocessing.reduction
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core import DataModelError
+from repro.engine import (
+    EXECUTORS,
+    IngestEngine,
+    ProcessExecutor,
+    ShardedStabilityBank,
+    ShardWorkerCrashed,
+    StabilityBank,
+    load_checkpoint,
+    load_shard_bank,
+    make_executor,
+    register_executor,
+    save_checkpoint,
+)
+from repro.engine.events import TagEvent
+
+
+def _events(n, n_resources=24, tag_pool=8, seed=3):
+    rng = np.random.default_rng(seed)
+    events = []
+    for i in range(n):
+        resource = f"r{rng.integers(n_resources)}"
+        n_tags = int(rng.integers(1, 4))
+        tags = tuple(
+            f"t{t}" for t in rng.choice(tag_pool, size=n_tags, replace=False)
+        )
+        events.append(TagEvent(resource_id=resource, tags=tags, timestamp=float(i)))
+    return events
+
+
+def _process_bank(n_shards, workers, omega=4, tau=0.9):
+    executor = make_executor("process", workers)
+    return ShardedStabilityBank(n_shards, omega, tau, executor=executor)
+
+
+class TestRegistry:
+    def test_process_is_registered(self):
+        assert "process" in EXECUTORS.names()
+        assert EXECUTORS.names() == sorted(EXECUTORS.names())
+
+    def test_unknown_backend_lists_registry_sorted(self):
+        with pytest.raises(DataModelError, match=r"'process', 'serial', 'thread'"):
+            make_executor("fork")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(DataModelError, match="already registered"):
+            register_executor("process")(ProcessExecutor)
+
+    def test_make_executor_builds_process_backend(self):
+        with make_executor("process", workers=2) as executor:
+            assert isinstance(executor, ProcessExecutor)
+            assert executor.kind == "process"
+            assert executor.owns_state
+            assert not executor.bound
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(DataModelError):
+            ProcessExecutor(-1)
+
+    def test_run_interface_rejected(self):
+        # shard-affine: closures over parent state cannot cross processes
+        with ProcessExecutor(1) as executor:
+            with pytest.raises(DataModelError, match="shard-affine"):
+                executor.run([lambda: 1])
+
+
+@pytest.mark.parametrize("n_shards", [1, 3, 8])
+@pytest.mark.parametrize("workers", [1, 2, 4])
+class TestTraceIdentity:
+    """Process ingestion is byte-identical to serial at any geometry."""
+
+    def test_matches_serial_reference(self, n_shards, workers):
+        events = _events(900)
+        chunks = [events[i : i + 300] for i in range(0, 900, 300)]
+
+        serial = ShardedStabilityBank(n_shards, 4, 0.9)
+        serial_reports = [serial.ingest_events(chunk) for chunk in chunks]
+
+        bank = _process_bank(n_shards, workers)
+        try:
+            for chunk, reference in zip(chunks, serial_reports):
+                report = bank.ingest_events(chunk)
+                assert report.n_events == reference.n_events
+                assert report.n_tag_assignments == reference.n_tag_assignments
+                assert report.newly_stable == reference.newly_stable
+                np.testing.assert_array_equal(
+                    report.similarities, reference.similarities
+                )
+            assert bank.stable_points() == serial.stable_points()
+            assert bank.total_posts == serial.total_posts
+            for i in range(24):
+                rid = f"r{i}"
+                assert bank.counts_of(rid) == serial.counts_of(rid)
+                assert bank.ma_score(rid) == serial.ma_score(rid)
+        finally:
+            bank.executor.close()
+
+
+class TestNoPickling:
+    def test_steady_state_ingest_never_pickles_ndarrays(self):
+        """The hot path ships CSR slices through shared memory only.
+
+        Poisoning the ForkingPickler's ndarray reducer makes any pickled
+        array — command or reply — raise immediately; steady-state ingest
+        must survive the whole run.
+        """
+
+        def _poison(array):  # pragma: no cover - called only on violation
+            raise AssertionError("ndarray crossed the pipe via pickle")
+
+        bank = _process_bank(3, 2)
+        try:
+            # register before bind: forked workers inherit the poison, so
+            # both command pickling (parent) and reply pickling (worker)
+            # are under surveillance for the whole steady-state run
+            multiprocessing.reduction.ForkingPickler.register(np.ndarray, _poison)
+            try:
+                ingested = 0
+                crossings: list[str] = []
+                for start in range(0, 600, 200):
+                    report = bank.ingest_events(_events(200, seed=start))
+                    ingested += report.n_events
+                    crossings.extend(report.newly_stable)
+                assert ingested == 600
+                assert crossings  # the stream genuinely stabilized resources
+            finally:
+                multiprocessing.reduction.ForkingPickler._extra_reducers.pop(
+                    np.ndarray, None
+                )
+        finally:
+            bank.executor.close()
+        # the query path (export/materialize) is allowed to pickle — but
+        # only the parent side; check it against a non-poisoned pool
+        bank2 = _process_bank(3, 2)
+        try:
+            bank2.ingest_events(_events(200, seed=0))
+            assert bank2.total_posts == 200
+        finally:
+            bank2.executor.close()
+
+
+class TestLifecycle:
+    def test_bind_is_idempotent_and_close_releases_workers(self):
+        bank = _process_bank(4, 2)
+        bank.ingest_events(_events(100))
+        executor = bank.executor
+        pids = executor.worker_pids()
+        assert len(pids) == 2
+        executor.bind(bank)  # idempotent: same pool
+        assert executor.worker_pids() == pids
+        executor.close()
+        executor.close()  # idempotent
+        assert not executor.bound
+        for pid in pids:
+            # processes are gone (or at worst zombies being reaped)
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                continue
+
+    def test_workers_capped_at_shard_count(self):
+        bank = _process_bank(2, 8)
+        try:
+            bank.ingest_events(_events(50))
+            assert len(bank.executor.worker_pids()) == 2
+        finally:
+            bank.executor.close()
+
+    def test_rebind_to_different_shard_count_rejected(self):
+        bank = _process_bank(2, 2)
+        try:
+            bank.ingest_events(_events(50))
+            other = ShardedStabilityBank(5, 4, 0.9)
+            with pytest.raises(DataModelError, match="cannot rebind"):
+                bank.executor.bind(other)
+        finally:
+            bank.executor.close()
+
+    def test_warm_start_ships_preexisting_state(self):
+        # serial ingest first, pool attached afterwards: the live shell
+        # state must be seeded into the workers exactly once
+        events = _events(400)
+        reference = ShardedStabilityBank(3, 4, 0.9)
+        reference.ingest_events(events[:200])
+        reference.ingest_events(events[200:])
+
+        bank = ShardedStabilityBank(3, 4, 0.9)
+        bank.ingest_events(events[:200])  # inline: no executor yet
+        bank.executor = make_executor("process", 2)
+        try:
+            bank.ingest_events(events[200:])
+            assert bank.stable_points() == reference.stable_points()
+            assert bank.total_posts == reference.total_posts
+        finally:
+            bank.executor.close()
+
+
+class TestFaults:
+    def test_killed_worker_raises_instead_of_hanging(self):
+        bank = _process_bank(3, 2)
+        executor = bank.executor
+        try:
+            bank.ingest_events(_events(200))
+            for pid in executor.worker_pids():
+                os.kill(pid, signal.SIGKILL)
+            with pytest.raises(ShardWorkerCrashed, match="died mid-operation"):
+                bank.ingest_events(_events(200, seed=9))
+            assert not executor.bound  # pool torn down, not wedged
+        finally:
+            executor.close()
+
+    def test_killed_worker_fails_query_path_too(self):
+        bank = _process_bank(2, 2)
+        executor = bank.executor
+        try:
+            bank.ingest_events(_events(200))
+            for pid in executor.worker_pids():
+                os.kill(pid, signal.SIGKILL)
+            with pytest.raises(ShardWorkerCrashed):
+                bank.stable_points()
+        finally:
+            executor.close()
+
+    def test_worker_exception_carries_worker_traceback(self):
+        bank = _process_bank(2, 1)
+        executor = bank.executor
+        try:
+            bank.ingest_events(_events(100))
+            with pytest.raises(DataModelError, match="worker traceback"):
+                # an unwritable checkpoint target: the worker-side handler
+                # raises and the error text crosses back intact, with the
+                # worker still alive for further commands
+                executor.checkpoint_shard(
+                    bank, 0, "/proc/definitely/not/writable", "npz"
+                )
+            # the pool survived the error (no crash, no teardown)
+            assert executor.bound
+            bank.ingest_events(_events(50, seed=11))
+        finally:
+            executor.close()
+
+
+class TestCheckpoints:
+    def test_mmap_checkpoint_via_workers_round_trips(self, tmp_path):
+        events = _events(700)
+        reference = ShardedStabilityBank(3, 4, 0.9)
+        reference.ingest_events(events)
+
+        engine = IngestEngine.create(
+            n_shards=3, omega=4, tau=0.9, executor="process", workers=2
+        )
+        engine.checkpoint_layout = "mmap"
+        bank = engine.bank
+        try:
+            bank.ingest_events(events)
+            target = save_checkpoint(bank, tmp_path / "ck", layout="mmap")
+        finally:
+            bank.executor.close()
+
+        # per-shard mmap loads (the worker re-seed path)
+        for shard in range(3):
+            loaded = load_shard_bank(target, shard)
+            assert isinstance(loaded, StabilityBank)
+            assert loaded.total_posts == reference.shards[shard].total_posts
+
+        restored = load_checkpoint(target)
+        assert restored.stable_points() == reference.stable_points()
+        assert restored.total_posts == reference.total_posts
+
+    def test_resume_reseeds_workers_from_checkpoint(self, tmp_path):
+        events = _events(800)
+        reference = ShardedStabilityBank(3, 4, 0.9)
+        reference.ingest_events(events[:400])
+        target = save_checkpoint(reference, tmp_path / "ck", layout="mmap")
+        reference.ingest_events(events[400:])
+
+        resumed = load_checkpoint(target)
+        assert resumed.resume_source == str(target)
+        resumed.executor = make_executor("process", 2)
+        try:
+            resumed.ingest_events(events[400:])
+            assert resumed.stable_points() == reference.stable_points()
+            assert resumed.total_posts == reference.total_posts
+        finally:
+            resumed.executor.close()

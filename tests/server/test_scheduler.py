@@ -81,6 +81,28 @@ class TestConcurrentDeterminism:
             )
         assert scheduler.tenants.reconcile()
 
+    def test_legacy_flat_spec_payload_runs_as_a_job(self, pinned):
+        # a pre-ExecutionSpec payload (flat stability_* knobs) submits
+        # through the deprecation shim and lands on the pinned trace
+        entry = next(
+            e for e in pinned if e["spec"]["stability_backend"] == "engine"
+        )
+        payload = dict(
+            entry["spec"],
+            stability_backend="sharded",
+            stability_shards=4,
+            stability_executor="thread",
+            stability_workers=2,
+        )
+        with pytest.warns(DeprecationWarning, match="stability_shards"):
+            spec = CampaignSpec.from_dict(payload)
+        scheduler = Scheduler(ServerSpec(slots=1), store=JobStore(None))
+        job_id = scheduler.submit(spec, user="alice")
+        asyncio.run(scheduler.run_until_idle())
+        job = scheduler.store.get(job_id)
+        assert job.state is JobState.DONE
+        assert canon(job.trace) == canon(entry["trace"])
+
     def test_slot_count_does_not_change_traces(self):
         specs = [small_spec(seed=3), small_spec(seed=4, backend="engine")]
         traces = []

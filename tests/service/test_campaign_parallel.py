@@ -2,12 +2,12 @@
 
 The sharded stability backend routes per-shard ingest kernels through a
 :class:`~repro.engine.executor.ShardExecutor`.  Shards share no state and
-results are reassembled in shard-index order, so the executor choice (and
+results are reassembled in submission order, so the executor choice (and
 its worker count) must be invisible in every trace.  These tests replay
 the pinned campaign specs of ``tests/fixtures/campaign_traces.json`` with
-the ``sharded`` backend across worker counts and shard counts and require
-byte-identical traces — the same bar the monitor-unification refactor was
-held to.
+the ``sharded`` backend — thread pools *and* the process shard engine —
+across worker counts and shard counts and require byte-identical traces,
+the same bar the monitor-unification refactor was held to.
 """
 
 import importlib.util
@@ -23,7 +23,7 @@ FIXTURE = REPO_ROOT / "tests" / "fixtures" / "campaign_traces.json"
 @pytest.fixture(autouse=True)
 def _force_pool_dispatch(monkeypatch):
     """Campaign epochs buffer ~100 events — below the inline cutoff, so
-    zero it here or these tests would never reach the thread pool."""
+    zero it here or these tests would never reach the worker pool."""
     monkeypatch.setattr("repro.engine.executor.PARALLEL_MIN_EVENTS", 0)
     monkeypatch.setattr("repro.engine.shard.PARALLEL_MIN_EVENTS", 0)
 
@@ -47,6 +47,20 @@ def engine_entries():
     return entries
 
 
+def _sharded_spec(entry, *, backend, n_shards, workers=0):
+    return dict(
+        entry["spec"],
+        stability_backend="sharded",
+        execution={
+            "type": "execution",
+            "backend": backend,
+            "shards": n_shards,
+            "workers": workers,
+            "min_parallel_events": None,
+        },
+    )
+
+
 class TestParallelShardedCampaign:
     @pytest.mark.parametrize("workers", [1, 2, 8])
     @pytest.mark.parametrize("n_shards", [1, 3, 8])
@@ -54,12 +68,8 @@ class TestParallelShardedCampaign:
         self, fixture_module, engine_entries, n_shards, workers
     ):
         entry = engine_entries[0]
-        spec = dict(
-            entry["spec"],
-            stability_backend="sharded",
-            stability_shards=n_shards,
-            stability_executor="thread",
-            stability_workers=workers,
+        spec = _sharded_spec(
+            entry, backend="thread", n_shards=n_shards, workers=workers
         )
         got = fixture_module.campaign_trace(spec)
         assert json.dumps(got, sort_keys=True) == json.dumps(
@@ -70,12 +80,7 @@ class TestParallelShardedCampaign:
         self, fixture_module, engine_entries
     ):
         for entry in engine_entries:
-            spec = dict(
-                entry["spec"],
-                stability_backend="sharded",
-                stability_shards=4,
-                stability_executor="serial",
-            )
+            spec = _sharded_spec(entry, backend="serial", n_shards=4)
             got = fixture_module.campaign_trace(spec)
             assert json.dumps(got, sort_keys=True) == json.dumps(
                 entry["trace"], sort_keys=True
@@ -86,14 +91,56 @@ class TestParallelShardedCampaign:
     ):
         # the full pinned set (FP and MU) through a 2-worker pool
         for entry in engine_entries:
-            spec = dict(
-                entry["spec"],
-                stability_backend="sharded",
-                stability_shards=4,
-                stability_executor="thread",
-                stability_workers=2,
-            )
+            spec = _sharded_spec(entry, backend="thread", n_shards=4, workers=2)
             got = fixture_module.campaign_trace(spec)
             assert json.dumps(got, sort_keys=True) == json.dumps(
                 entry["trace"], sort_keys=True
             ), f"threaded sharded trace diverged for {entry['spec']}"
+
+    def test_legacy_flat_keys_still_replay_identically(
+        self, fixture_module, engine_entries
+    ):
+        # a pre-ExecutionSpec payload (flat stability_* knobs) must load
+        # through the deprecation shim and produce the same bytes
+        entry = engine_entries[0]
+        spec = dict(
+            entry["spec"],
+            stability_backend="sharded",
+            stability_shards=4,
+            stability_executor="thread",
+            stability_workers=2,
+        )
+        with pytest.warns(DeprecationWarning, match="stability_shards"):
+            got = fixture_module.campaign_trace(spec)
+        assert json.dumps(got, sort_keys=True) == json.dumps(
+            entry["trace"], sort_keys=True
+        ), "legacy-keyed sharded trace diverged"
+
+
+class TestProcessShardedCampaign:
+    """The process shard engine is trace-identical to the pinned serial
+    fixtures at every worker × shard geometry (ISSUE 9 acceptance)."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("n_shards", [1, 3, 8])
+    def test_matches_engine_trace_at_any_worker_and_shard_count(
+        self, fixture_module, engine_entries, n_shards, workers
+    ):
+        entry = engine_entries[0]
+        spec = _sharded_spec(
+            entry, backend="process", n_shards=n_shards, workers=workers
+        )
+        got = fixture_module.campaign_trace(spec)
+        assert json.dumps(got, sort_keys=True) == json.dumps(
+            entry["trace"], sort_keys=True
+        ), f"process sharded trace diverged (shards={n_shards}, workers={workers})"
+
+    def test_process_pool_matches_every_pinned_engine_spec(
+        self, fixture_module, engine_entries
+    ):
+        for entry in engine_entries:
+            spec = _sharded_spec(entry, backend="process", n_shards=3, workers=2)
+            got = fixture_module.campaign_trace(spec)
+            assert json.dumps(got, sort_keys=True) == json.dumps(
+                entry["trace"], sort_keys=True
+            ), f"process sharded trace diverged for {entry['spec']}"
