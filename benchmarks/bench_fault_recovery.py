@@ -1,0 +1,134 @@
+"""Fault-recovery overhead of the supervised process shard engine.
+
+The self-healing machinery (heartbeats, delta journaling, respawn +
+re-seed) must be cheap in both directions:
+
+* **steady state** — journaling every flushed batch in the parent while
+  no fault ever fires must not meaningfully slow a clean run;
+* **recovery** — a SIGKILLed worker mid-ingest costs one respawn plus a
+  journal replay, and the run still ends in the exact reference state.
+
+The gated metric is ``faults.recovery_overhead_ratio``: wall-clock of a
+run that loses a worker mid-ingest over the clean supervised run.  It is
+machine-independent (both runs share the machine and the workload) and
+bounded by design — recovery replays only the delta journal, never the
+whole stream.  Recorded lower-is-better; CI's 25% gate catches a
+recovery path that starts re-ingesting from scratch.
+"""
+
+import time
+import warnings
+
+import pytest
+
+import _metrics
+from repro import faults
+from repro.engine import ProcessExecutor, ShardedStabilityBank
+from repro.faults.plan import _reset_for_tests
+from repro.simulate import interleaved_event_stream
+from repro.simulate.popularity import PopularityConfig
+
+SMOKE = _metrics.smoke_mode()
+
+N_RESOURCES = 150 if SMOKE else 400
+N_SHARDS = 3
+WORKERS = 2
+OMEGA = 5
+TAU = 0.99
+N_BATCHES = 6
+ROUNDS = 2 if SMOKE else 3
+
+POPULARITY = (
+    PopularityConfig(min_posts=20, max_posts=120)
+    if SMOKE
+    else PopularityConfig(min_posts=40, max_posts=250)
+)
+
+# A worker lost once mid-run must not double the wall-clock: replaying
+# the bounded delta journal is the whole recovery cost.  Smoke runs on
+# shared CI runners get a looser absolute bar; the regression gate
+# against BENCH_BASELINE.json is the precise check.
+MAX_OVERHEAD_RATIO = 4.0 if SMOKE else 3.0
+
+
+@pytest.fixture(scope="module")
+def batches():
+    events = list(
+        interleaved_event_stream(
+            n_resources=N_RESOURCES, seed=23, popularity=POPULARITY
+        )
+    )
+    size = (len(events) + N_BATCHES - 1) // N_BATCHES
+    return [events[i : i + size] for i in range(0, len(events), size)]
+
+
+def _run_once(batches, plan=None):
+    """One supervised process-engine pass; returns (seconds, state)."""
+    if plan is None:
+        faults.deactivate()
+    else:
+        faults.activate(plan)
+    executor = ProcessExecutor(WORKERS)
+    bank = ShardedStabilityBank(N_SHARDS, OMEGA, TAU, executor=executor)
+    started = time.perf_counter()
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            for batch in batches:
+                bank.ingest_events(batch)
+            state = sorted(bank.stable_points().items())
+        elapsed = time.perf_counter() - started
+    finally:
+        executor.close()
+        _reset_for_tests()
+    return elapsed, state
+
+
+KILL_PLAN = {
+    "specs": [
+        # lose a worker twice: once early, once after state has built up
+        {"site": "procpool.flush", "kind": "kill_worker", "at": 2},
+        {"site": "procpool.flush", "kind": "kill_worker", "at": 7},
+    ]
+}
+
+
+def test_recovery_overhead_is_bounded(batches):
+    reference = ShardedStabilityBank(N_SHARDS, OMEGA, TAU)
+    for batch in batches:
+        reference.ingest_events(batch)
+    expected = sorted(reference.stable_points().items())
+
+    clean_times, faulted_times = [], []
+    for _ in range(ROUNDS):
+        clean, clean_state = _run_once(batches)
+        faulted, faulted_state = _run_once(batches, KILL_PLAN)
+        assert clean_state == expected, "clean supervised run diverged"
+        assert faulted_state == expected, "post-recovery state diverged"
+        clean_times.append(clean)
+        faulted_times.append(faulted)
+
+    ratio = min(faulted_times) / min(clean_times)
+    print(
+        f"\nfault recovery: clean {min(clean_times) * 1000:.1f} ms, "
+        f"2 worker kills {min(faulted_times) * 1000:.1f} ms, "
+        f"overhead ratio {ratio:.2f}x"
+    )
+    _metrics.record(
+        "faults.recovery_overhead_ratio",
+        ratio,
+        unit="x",
+        higher_is_better=False,
+        gate=True,
+    )
+    _metrics.record(
+        "faults.clean_supervised_ingest_s",
+        min(clean_times),
+        unit="s",
+        higher_is_better=False,
+        gate=False,
+    )
+    assert ratio < MAX_OVERHEAD_RATIO, (
+        f"losing a worker twice cost {ratio:.2f}x the clean run "
+        f"(bar: {MAX_OVERHEAD_RATIO}x) — recovery is replaying too much"
+    )

@@ -40,6 +40,7 @@ HOT_PATH_BENCHES = (
     "benchmarks/bench_load_replay.py",
     "benchmarks/bench_server_replay.py",
     "benchmarks/bench_corpus_packs.py",
+    "benchmarks/bench_fault_recovery.py",
 )
 
 

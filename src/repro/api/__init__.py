@@ -58,6 +58,7 @@ from repro.api.specs import (
     ExecutionSpec,
     IngestSpec,
     JobSpec,
+    RetryPolicy,
     ServerSpec,
     Spec,
     TelemetrySpec,
@@ -79,6 +80,7 @@ __all__ = [
     "MaterializedCorpus",
     "Param",
     "RegisteredStrategy",
+    "RetryPolicy",
     "RunResult",
     "STABILITY_BACKENDS",
     "STRATEGIES",

@@ -129,10 +129,12 @@ class JobRecord:
         spent: Reward units the job's campaign has paid out so far.
         checkpoint_epoch: Epoch of the latest durable checkpoint
             (``-1`` = never checkpointed).
+        attempts: Execution attempts consumed (bounded by the job's
+            :class:`~repro.api.specs.RetryPolicy`).
         metrics: Flat name -> scalar map (JSON numbers only).
         trace: The final canonical trace payload once the job is done
             (see ``CampaignResult.trace_payload``); ``{}`` while running.
-        error: Failure description for ``FAILED`` jobs, else ``""``.
+        error: Latest captured failure traceback, else ``""``.
     """
 
     job_id: str
@@ -142,6 +144,7 @@ class JobRecord:
     epochs: int = 0
     spent: int = 0
     checkpoint_epoch: int = -1
+    attempts: int = 0
     metrics: dict[str, Any] = field(default_factory=dict)
     trace: dict[str, Any] = field(default_factory=dict)
     error: str = ""
@@ -156,7 +159,8 @@ class JobRecord:
             if not isinstance(payload, dict):
                 raise SpecError(f"JobRecord {label} must be a dict, got {type(payload).__name__}")
         for label, value in (("epochs", self.epochs), ("spent", self.spent),
-                             ("checkpoint_epoch", self.checkpoint_epoch)):
+                             ("checkpoint_epoch", self.checkpoint_epoch),
+                             ("attempts", self.attempts)):
             if isinstance(value, bool) or not isinstance(value, int):
                 raise SpecError(f"JobRecord {label} must be an int, got {value!r}")
         for name, value in self.metrics.items():
@@ -172,7 +176,7 @@ class JobRecord:
             raise SpecError(f"JobRecord trace is not JSON-serializable: {exc}") from exc
 
     _FIELDS = ("job_id", "user", "state", "spec", "epochs", "spent",
-               "checkpoint_epoch", "metrics", "trace", "error")
+               "checkpoint_epoch", "attempts", "metrics", "trace", "error")
 
     def to_dict(self) -> dict[str, Any]:
         """A JSON-serializable dict; :meth:`from_dict` inverts it."""
@@ -184,6 +188,7 @@ class JobRecord:
             "epochs": self.epochs,
             "spent": self.spent,
             "checkpoint_epoch": self.checkpoint_epoch,
+            "attempts": self.attempts,
             "metrics": dict(self.metrics),
             "trace": dict(self.trace),
             "error": self.error,
@@ -207,6 +212,7 @@ class JobRecord:
             epochs=payload.get("epochs", 0),
             spent=payload.get("spent", 0),
             checkpoint_epoch=payload.get("checkpoint_epoch", -1),
+            attempts=payload.get("attempts", 0),
             metrics=payload.get("metrics", {}),
             trace=payload.get("trace", {}),
             error=payload.get("error", ""),

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import random
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, ClassVar
@@ -35,6 +36,7 @@ __all__ = [
     "AllocateSpec",
     "CampaignSpec",
     "IngestSpec",
+    "RetryPolicy",
     "JobSpec",
     "ServerSpec",
     "spec_from_dict",
@@ -630,12 +632,67 @@ class IngestSpec(Spec):
 
 
 @dataclass(frozen=True)
+class RetryPolicy(Spec):
+    """How the scheduler retries a job whose slice raised an error.
+
+    Deterministic by construction: the backoff schedule is a pure
+    function of ``(policy, attempt)`` — exponential growth from
+    ``backoff_base``, capped at ``backoff_cap``, jittered by a factor in
+    ``[0.5, 1.0)`` drawn from a generator seeded with
+    ``jitter_seed`` and the attempt number.  Two schedulers given the
+    same policy produce the same schedule, so retried campaign traces
+    stay pinned.
+
+    Attributes:
+        max_attempts: Total tries a job gets before ``FAILED`` (``1`` =
+            today's fail-fast behaviour, the default).
+        backoff_base: First-retry delay in seconds (``0`` retries
+            immediately — what tests use).
+        backoff_cap: Upper bound on any single delay, in seconds.
+        jitter_seed: Seed for the deterministic jitter factor.
+    """
+
+    TYPE: ClassVar[str] = "retry"
+
+    max_attempts: int = 1
+    backoff_base: float = 0.5
+    backoff_cap: float = 30.0
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        _check(_is_int(self.max_attempts) and self.max_attempts >= 1,
+               f"retry max_attempts must be a positive int, got {self.max_attempts!r}")
+        _check(_is_number(self.backoff_base) and self.backoff_base >= 0,
+               f"retry backoff_base must be a non-negative number, got {self.backoff_base!r}")
+        _check(_is_number(self.backoff_cap) and self.backoff_cap >= 0,
+               f"retry backoff_cap must be a non-negative number, got {self.backoff_cap!r}")
+        _check(_is_int(self.jitter_seed) and self.jitter_seed >= 0,
+               f"retry jitter_seed must be a non-negative int, got {self.jitter_seed!r}")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait after the ``attempt``-th failure (1-based)."""
+        _check(_is_int(attempt) and attempt >= 1,
+               f"retry delay attempt must be a positive int, got {attempt!r}")
+        if self.backoff_base <= 0:
+            return 0.0
+        raw = min(self.backoff_base * (2.0 ** (attempt - 1)), self.backoff_cap)
+        # ints hash to themselves, so this seed (and hence the schedule)
+        # is stable across processes and PYTHONHASHSEED values
+        jitter = random.Random(self.jitter_seed * 1_000_003 + attempt).random()
+        return raw * (0.5 + 0.5 * jitter)
+
+    def schedule(self) -> list[float]:
+        """The full delay schedule (one entry per possible retry)."""
+        return [self.delay(attempt) for attempt in range(1, self.max_attempts)]
+
+
+@dataclass(frozen=True)
 class JobSpec(Spec):
     """One campaign submission to the :mod:`repro.server` scheduler.
 
     A job is a :class:`CampaignSpec` plus the service envelope: who owns
-    it (for fair scheduling and cross-campaign budget enforcement) and
-    how often the driver checkpoints it.
+    it (for fair scheduling and cross-campaign budget enforcement), how
+    often the driver checkpoints it, and how failures are retried.
 
     Attributes:
         campaign: The campaign to run.
@@ -644,14 +701,19 @@ class JobSpec(Spec):
             allowance.
         checkpoint_every: Epoch interval between durable checkpoints
             (``0`` inherits the server default).
+        retry: The job's :class:`RetryPolicy`; the default is fail-fast
+            (one attempt), matching the scheduler's historic behaviour.
     """
 
     TYPE: ClassVar[str] = "job"
-    _NESTED: ClassVar[dict[str, type[Spec]]] = {"campaign": CampaignSpec}
+    _NESTED: ClassVar[dict[str, type[Spec]]] = {
+        "campaign": CampaignSpec, "retry": RetryPolicy,
+    }
 
     campaign: CampaignSpec = field(default_factory=CampaignSpec)
     user: str = "anonymous"
     checkpoint_every: int = 0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         _check(isinstance(self.campaign, CampaignSpec),
@@ -660,6 +722,8 @@ class JobSpec(Spec):
                f"job user must be a non-empty string, got {self.user!r}")
         _check(_is_int(self.checkpoint_every) and self.checkpoint_every >= 0,
                f"job checkpoint_every must be a non-negative int, got {self.checkpoint_every!r}")
+        _check(isinstance(self.retry, RetryPolicy),
+               f"job retry must be a RetryPolicy, got {type(self.retry).__name__}")
 
 
 @dataclass(frozen=True)
@@ -723,7 +787,7 @@ _SPEC_TYPES: dict[str, type[Spec]] = {
     cls.TYPE: cls
     for cls in (
         CorpusSpec, ExecutionSpec, TelemetrySpec, AllocateSpec, CampaignSpec,
-        IngestSpec, JobSpec, ServerSpec,
+        IngestSpec, RetryPolicy, JobSpec, ServerSpec,
     )
 }
 

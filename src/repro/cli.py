@@ -165,6 +165,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="version",
         version=f"%(prog)s {repro.__version__}",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN",
+        default=None,
+        help="activate a deterministic fault-injection plan before the "
+        "command runs: a JSON file path or inline JSON (chaos testing; "
+        "same schema as the REPRO_TEST_FAULT_PLAN environment variable)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     generate = sub.add_parser("generate", help="generate a synthetic corpus")
@@ -797,6 +805,10 @@ def main(argv: list[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.faults:
+        from repro import faults
+
+        faults.activate(args.faults)
     handlers = {
         "generate": _command_generate,
         "analyze": _command_analyze,

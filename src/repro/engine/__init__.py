@@ -33,6 +33,7 @@ rfds to within float noise) is enforced by the property tests in
 
 from repro.engine.checkpoint import (
     CHECKPOINT_LAYOUTS,
+    CheckpointCorrupted,
     load_checkpoint,
     load_shard_bank,
     save_checkpoint,
@@ -56,6 +57,7 @@ from repro.engine.stream import EngineStats, IngestEngine
 
 __all__ = [
     "CHECKPOINT_LAYOUTS",
+    "CheckpointCorrupted",
     "EXECUTOR_BACKENDS",
     "EXECUTORS",
     "EngineStats",

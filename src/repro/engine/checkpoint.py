@@ -33,10 +33,12 @@ arrays, and no state crosses the pipe.  :func:`write_shard_state` and
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.core.errors import DataModelError
 from repro.engine.columnar import StabilityBank, StableSnapshot
 from repro.engine.shard import ShardedStabilityBank
@@ -44,11 +46,24 @@ from repro.engine.shard import ShardedStabilityBank
 __all__ = [
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_LAYOUTS",
+    "CheckpointCorrupted",
     "load_checkpoint",
     "load_shard_bank",
     "save_checkpoint",
     "write_shard_state",
 ]
+
+
+class CheckpointCorrupted(DataModelError):
+    """A checkpoint directory exists but its contents cannot be trusted.
+
+    Raised instead of raw NumPy/zipfile/struct/JSON errors when a shard
+    archive is short (a torn write — the process died mid-flush), a
+    memory-mapped array file is truncated, a vocabulary file is
+    unreadable, or the stable log references state the arrays do not
+    hold.  Callers holding an older checkpoint (the campaign driver
+    keeps the previous epoch's) catch this and fall back.
+    """
 
 CHECKPOINT_FORMAT = 1
 """On-disk format version (bump on incompatible layout changes)."""
@@ -139,7 +154,28 @@ def write_shard_state(
         _save_bank_arrays(bank, directory / _shard_file(index))
     else:
         _save_bank_mmap(bank, directory / _shard_dir(index))
+    spec = faults.check("checkpoint.shard")
+    if spec is not None and spec.kind == "torn_write":
+        _tear_shard_write(directory, index, layout, int(spec.param.get("bytes", 64)))
     return _stable_records(bank, index)
+
+
+def _tear_shard_write(directory: Path, index: int, layout: str, n_bytes: int) -> None:
+    """Chaos helper: truncate the tail of the shard state just written.
+
+    Simulates a crash mid-flush — exactly the torn trailing write
+    :class:`CheckpointCorrupted` detection exists for.
+    """
+    if layout == "npz":
+        target = directory / _shard_file(index)
+    else:
+        candidates = sorted((directory / _shard_dir(index)).glob("*.npy"))
+        target = candidates[-1] if candidates else None
+    if target is None or not target.is_file():  # pragma: no cover - no file to tear
+        return
+    size = target.stat().st_size
+    with target.open("r+b") as handle:
+        handle.truncate(max(0, size - n_bytes))
 
 
 def save_checkpoint(
@@ -186,6 +222,11 @@ def save_checkpoint(
     with (directory / _STABLE).open("w") as handle:
         for record in records:
             handle.write(json.dumps(record) + "\n")
+    # the checkpoint is complete on disk: only now may a supervising
+    # executor adopt it as its workers' recovery base
+    note = getattr(executor, "note_checkpoint", None)
+    if note is not None:
+        note(directory)
     return directory
 
 
@@ -193,7 +234,12 @@ def _read_manifest(directory: Path) -> dict:
     manifest_path = directory / _MANIFEST
     if not manifest_path.is_file():
         raise DataModelError(f"no checkpoint manifest at {manifest_path}")
-    manifest = json.loads(manifest_path.read_text())
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (json.JSONDecodeError, OSError) as exc:
+        raise CheckpointCorrupted(
+            f"checkpoint manifest {manifest_path} is unreadable: {exc}"
+        ) from exc
     if manifest.get("format") != CHECKPOINT_FORMAT:
         raise DataModelError(
             f"unsupported checkpoint format {manifest.get('format')!r} "
@@ -207,24 +253,43 @@ def _read_manifest(directory: Path) -> dict:
 def _read_shard_payload(
     directory: Path, index: int, layout: str
 ) -> tuple[list[str], list[str], dict[str, np.ndarray]]:
-    """One shard's ``(tags, resources, arrays)`` from disk."""
-    if layout == "npz":
-        with np.load(directory / _shard_file(index), allow_pickle=False) as archive:
-            tags = [str(t) for t in archive["tags"]]
-            resources = [str(r) for r in archive["resources"]]
-            arrays = {
-                key: archive[key]
-                for key in archive.files
-                if key not in ("tags", "resources")
-            }
-        return tags, resources, arrays
-    shard_dir = directory / _shard_dir(index)
-    vocab = json.loads((shard_dir / _VOCAB).read_text())
-    arrays = {
-        path.stem: np.load(path, mmap_mode="r")
-        for path in sorted(shard_dir.glob("*.npy"))
-    }
-    return list(vocab["tags"]), list(vocab["resources"]), arrays
+    """One shard's ``(tags, resources, arrays)`` from disk.
+
+    Raises :class:`CheckpointCorrupted` — never a raw NumPy, zipfile,
+    struct or JSON error — when the on-disk state is short or mangled:
+    a torn trailing write must surface as one clean typed failure.
+    """
+    try:
+        if layout == "npz":
+            archive_path = directory / _shard_file(index)
+            with np.load(archive_path, allow_pickle=False) as archive:
+                tags = [str(t) for t in archive["tags"]]
+                resources = [str(r) for r in archive["resources"]]
+                arrays = {
+                    key: archive[key]
+                    for key in archive.files
+                    if key not in ("tags", "resources")
+                }
+            return tags, resources, arrays
+        shard_dir = directory / _shard_dir(index)
+        vocab = json.loads((shard_dir / _VOCAB).read_text())
+        arrays = {
+            path.stem: np.load(path, mmap_mode="r")
+            for path in sorted(shard_dir.glob("*.npy"))
+        }
+        return list(vocab["tags"]), list(vocab["resources"]), arrays
+    except (
+        ValueError,  # numpy: truncated mmap / short .npy header or data
+        OSError,  # missing or unreadable shard files
+        EOFError,  # npz archive cut mid-member
+        KeyError,  # archive lost a required array
+        zipfile.BadZipFile,  # npz central directory torn off
+        json.JSONDecodeError,  # vocab.json torn mid-write
+    ) as exc:
+        raise CheckpointCorrupted(
+            f"checkpoint shard {index} under {directory} is torn or corrupt "
+            f"({type(exc).__name__}: {exc}); restore from an earlier checkpoint"
+        ) from exc
 
 
 def _build_bank(
@@ -257,6 +322,32 @@ def _build_bank(
     )
 
 
+def _build_bank_checked(
+    directory: Path,
+    index: int,
+    layout: str,
+    *,
+    omega: int,
+    tau: float | None,
+    stable_records: list[dict],
+) -> StabilityBank:
+    """Read + rebuild one shard, mapping reconstruction errors to
+    :class:`CheckpointCorrupted` (arrays may load yet disagree with the
+    stable log when a write was torn between the two)."""
+    tags, resources, arrays = _read_shard_payload(directory, index, layout)
+    try:
+        return _build_bank(
+            tags, resources, arrays, omega=omega, tau=tau,
+            stable_records=stable_records,
+        )
+    except (KeyError, ValueError, IndexError) as exc:
+        raise CheckpointCorrupted(
+            f"checkpoint shard {index} under {directory} is internally "
+            f"inconsistent ({type(exc).__name__}: {exc}); restore from an "
+            "earlier checkpoint"
+        ) from exc
+
+
 def _read_stable_records(directory: Path, n_shards: int) -> list[list[dict]]:
     per_shard: list[list[dict]] = [[] for _ in range(n_shards)]
     stable_path = directory / _STABLE
@@ -287,13 +378,10 @@ def load_shard_bank(directory: str | Path, index: int) -> StabilityBank:
             f"shard {index} out of range for a {n_shards}-shard checkpoint"
         )
     tau = manifest["tau"]
-    tags, resources, arrays = _read_shard_payload(
-        directory, index, manifest.get("layout", "npz")
-    )
-    return _build_bank(
-        tags,
-        resources,
-        arrays,
+    return _build_bank_checked(
+        directory,
+        index,
+        manifest.get("layout", "npz"),
         omega=int(manifest["omega"]),
         tau=None if tau is None else float(tau),
         stable_records=_read_stable_records(directory, n_shards)[index],
@@ -323,8 +411,10 @@ def load_checkpoint(directory: str | Path) -> StabilityBank | ShardedStabilityBa
     layout = manifest.get("layout", "npz")
     per_shard = _read_stable_records(directory, n_shards)
     banks = [
-        _build_bank(
-            *_read_shard_payload(directory, index, layout),
+        _build_bank_checked(
+            directory,
+            index,
+            layout,
             omega=omega,
             tau=tau,
             stable_records=per_shard[index],

@@ -43,9 +43,32 @@ order per worker, and the sharded bank reassembles reports in shard
 order exactly as the serial path does — pinned campaign traces are
 byte-identical at any worker × shard combination.
 
-A worker that dies mid-operation surfaces as
-:class:`~repro.engine.executor.ShardWorkerCrashed` (never a hang): the
-parent polls the pipe *and* the process liveness while waiting.
+**Supervision.**  Worker death is an event, not an error.  Workers
+acknowledge every command with a heartbeat frame before executing it;
+the parent watches the pipe, process liveness, a heartbeat timeout, and
+a per-flush deadline while collecting replies.  When a worker dies or
+stalls, the parent kills and respawns it, re-seeds its shards from each
+shard's *recovery base* — the last full checkpoint the executor was
+told about (:meth:`~ProcessExecutor.note_checkpoint`) or the state
+shipped at bind time — replays the bounded in-executor **delta journal**
+of post-base CSR batches, and re-sends the in-flight flush.  Journal
+entries are appended only after a flush's replies are fully collected
+and the resend targets a worker rebuilt to its pre-flush state, so every
+batch is applied exactly once and recovered runs are byte-identical to
+undisturbed ones (the kill-anywhere suite pins this).  After
+``max_respawns`` failed recoveries the executor *degrades* instead of
+dying: it rebuilds every shard bank in the parent from base + journal,
+hands them back to the sharded bank, and serves further work through an
+internal thread (or, failing that, serial) executor — warned and
+counted via the ``executor.respawn`` / ``executor.degraded`` telemetry
+counters.  Setting :attr:`~ProcessExecutor.supervise` to ``False``
+restores the old fail-fast contract
+(:class:`~repro.engine.executor.ShardWorkerCrashed`).
+
+Deterministic chaos (kills, stalls) is injected through
+:mod:`repro.faults` at the ``procpool.flush`` (parent, once per
+per-worker flush) and ``procpool.worker`` (child, once per command)
+sites.
 """
 
 from __future__ import annotations
@@ -53,7 +76,10 @@ from __future__ import annotations
 import mmap
 import multiprocessing
 import os
+import signal
 import tempfile
+import time
+import warnings
 import weakref
 from collections.abc import Callable, Sequence
 from pathlib import Path
@@ -61,13 +87,15 @@ from typing import Any
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.core.errors import DataModelError
 from repro.engine.columnar import IngestReport, StabilityBank
 from repro.engine.events import EventBatch
 from repro.engine.executor import (
+    SerialExecutor,
     ShardExecutor,
     ShardWorkerCrashed,
+    ThreadExecutor,
     default_workers,
     register_executor,
 )
@@ -76,6 +104,11 @@ __all__ = ["ProcessExecutor"]
 
 _INITIAL_CAPACITY = 1 << 20  # 1 MiB per direction; grows by doubling
 _ITEM = 8  # every descriptor-addressed array is int64/float64
+
+# shutdown escalation grace periods (monkeypatchable in tests)
+_STOP_GRACE = 2.0  # after a cooperative "stop" command
+_TERM_GRACE = 1.0  # after SIGTERM
+_KILL_GRACE = 5.0  # after SIGKILL (only the kernel can refuse now)
 
 
 def _shm_dir() -> str:
@@ -177,6 +210,22 @@ def _apply_vocab(
     bank.ensure(new_resources)  # interns resources + grows rows and columns
 
 
+def _bank_from_base(
+    omega: int, tau: float | None, shard: int, base: tuple | None
+) -> StabilityBank:
+    """Build one shard bank from its recovery base descriptor."""
+    if base is None:
+        return StabilityBank(omega, tau)
+    kind, payload = base
+    if kind == "state":
+        return StabilityBank.import_state(payload)
+    if kind == "checkpoint":
+        from repro.engine.checkpoint import load_shard_bank
+
+        return load_shard_bank(Path(payload), shard)
+    raise DataModelError(f"unknown shard seed kind {kind!r}")
+
+
 def _build_banks(
     omega: int, tau: float | None, shard_ids: Sequence[int], seed: tuple | None
 ) -> dict[int, StabilityBank]:
@@ -189,7 +238,23 @@ def _build_banks(
         from repro.engine.checkpoint import load_shard_bank
 
         return {shard: load_shard_bank(Path(payload), shard) for shard in shard_ids}
+    if kind == "mixed":
+        # respawn seeding: each shard carries its own recovery base
+        return {
+            shard: _bank_from_base(omega, tau, shard, payload[shard])
+            for shard in shard_ids
+        }
     raise DataModelError(f"unknown worker seed kind {kind!r}")
+
+
+def _fire_worker_fault(spec) -> None:
+    """Execute a worker-side injected fault (chaos testing only)."""
+    if spec.kind == "kill_worker":
+        os._exit(3)
+    if spec.kind == "stall_worker":
+        if spec.param.get("ignore_term", True):
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        time.sleep(float(spec.param.get("seconds", 30.0)))
 
 
 def _handle_ingest(
@@ -272,6 +337,16 @@ def _worker_main(
             op = command[0]
             if op == "stop":
                 break
+            # chaos first (a stalled worker never acknowledges), then the
+            # heartbeat: the parent knows the command was picked up and
+            # restarts its silence clock before the kernel runs
+            spec = faults.check("procpool.worker")
+            if spec is not None:
+                _fire_worker_fault(spec)
+            try:
+                conn.send(("hb",))
+            except (BrokenPipeError, OSError):
+                break
             try:
                 if op == "ingest":
                     result: Any = _handle_ingest(banks, req, resp, command)
@@ -296,6 +371,18 @@ def _worker_main(
 # ----------------------------------------------------------------------
 # parent side
 # ----------------------------------------------------------------------
+
+
+class _WorkerLost(Exception):
+    """Internal: a worker died or went silent mid-protocol."""
+
+    def __init__(
+        self, worker_index: int, cause: BaseException | None = None, *, stalled: bool = False
+    ) -> None:
+        super().__init__(f"worker {worker_index} {'stalled' if stalled else 'lost'}")
+        self.worker_index = worker_index
+        self.cause = cause
+        self.stalled = stalled
 
 
 class _WorkerHandle:
@@ -357,6 +444,26 @@ class _WorkerHandle:
         return cursor
 
 
+def _reap_process(proc) -> None:
+    """Escalate join → SIGTERM → SIGKILL until the process is reaped.
+
+    A wedged worker (stuck in a non-Python loop, or with SIGTERM masked)
+    must never outlive the pool: after the cooperative grace the parent
+    terminates, then kills.  SIGKILL cannot be caught, so the final join
+    only waits on the kernel.
+    """
+    proc.join(timeout=_STOP_GRACE)
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(timeout=_TERM_GRACE)
+    if proc.is_alive():  # pragma: no branch - racy either way
+        proc.kill()
+        proc.join(timeout=_KILL_GRACE)
+    else:
+        # already exited: join again without timeout to reap the zombie
+        proc.join()
+
+
 def _shutdown_pool(procs, conns, buffers) -> None:
     """Stop workers, reap them, release the shared buffers (idempotent)."""
     for conn in conns:
@@ -365,10 +472,7 @@ def _shutdown_pool(procs, conns, buffers) -> None:
         except (ValueError, OSError):
             pass
     for proc in procs:
-        proc.join(timeout=2.0)
-        if proc.is_alive():  # pragma: no cover - wedged worker
-            proc.terminate()
-            proc.join(timeout=1.0)
+        _reap_process(proc)
     for conn in conns:
         try:
             conn.close()
@@ -386,22 +490,62 @@ class ProcessExecutor(ShardExecutor):
         workers: Pool size; ``0`` picks :func:`~repro.engine.executor.\
 default_workers`.  The pool is capped at the bound bank's shard count —
             extra workers would own nothing.
+
+    Supervision knobs (attributes, settable after construction):
+
+    * ``supervise`` — respawn dead/stalled workers (default ``True``);
+      ``False`` restores fail-fast :class:`ShardWorkerCrashed`.
+    * ``max_respawns`` — respawn budget before degrading to an in-parent
+      thread (then serial) executor.
+    * ``heartbeat_timeout`` — seconds of worker silence (no heartbeat,
+      no reply) before the worker is declared stalled.
+    * ``flush_timeout`` — per-flush deadline in seconds.
+    * ``max_journal_bytes`` — per-shard delta-journal bound; exceeding
+      it compacts the journal into a fresh state snapshot.
     """
 
-    owns_state = True
-
-    def __init__(self, workers: int = 0) -> None:
+    def __init__(self, workers: int = 0, *, supervise: bool = True) -> None:
         if workers < 0:
             raise DataModelError(f"workers must be >= 0, got {workers}")
         self.workers = workers if workers > 0 else default_workers()
+        self.supervise = supervise
+        self.max_respawns = 3
+        self.heartbeat_timeout = 60.0
+        self.flush_timeout = 600.0
+        self.max_journal_bytes = 64 << 20
+        self.respawns = 0
         self._handles: list[_WorkerHandle] | None = None
         self._shard_worker: list[int] = []
         # per shard: [resources sent, tags sent] interner watermarks
         self._sent_vocab: list[list[int]] = []
+        # per shard: recovery base + post-base delta journal of batches
+        self._base: dict[int, tuple | None] = {}
+        self._journal: dict[int, list[EventBatch]] = {}
+        self._journal_bytes: dict[int, int] = {}
+        self._degraded: ShardExecutor | None = None
+        self._ctx = None
+        self._directory = ""
+        self._omega = 0
+        self._tau: float | None = None
         self._finalizer = None
+        # mutable registries shared with the GC finalizer: respawns swap
+        # entries in place so the finalizer always sees the live pool
+        self._fin_procs: list = []
+        self._fin_conns: list = []
+        self._fin_buffers: list = []
         self._obs = obs.get()
 
     # -- lifecycle ------------------------------------------------------
+
+    @property
+    def owns_state(self) -> bool:  # type: ignore[override]
+        """Workers own shard state — until the executor degrades."""
+        return self._degraded is None
+
+    @property
+    def degraded(self) -> str | None:
+        """The fallback backend kind once degraded (``None`` while healthy)."""
+        return self._degraded.kind if self._degraded is not None else None
 
     @property
     def bound(self) -> bool:
@@ -440,8 +584,11 @@ default_workers`.  The pool is capped at the bound bank's shard count —
         Workers are seeded from the bank's current state: a fresh bank
         costs nothing, a checkpoint-loaded bank re-seeds each worker from
         the checkpoint's (memory-mapped) files, and a bank with live
-        in-parent state ships it across once.
+        in-parent state ships it across once.  The same per-shard seed
+        becomes each shard's *recovery base* for supervision.
         """
+        if self._degraded is not None:
+            return
         if self._handles is not None:
             if len(self._shard_worker) != bank.n_shards:
                 raise DataModelError(
@@ -455,8 +602,19 @@ default_workers`.  The pool is capped at the bound bank's shard count —
         self._shard_worker = [shard % n_workers for shard in range(n_shards)]
         self._sent_vocab = [[0, 0] for _ in range(n_shards)]
         seed = self._seed_for(bank)
-        ctx = _pool_context()
-        directory = _shm_dir()
+        for shard in range(n_shards):
+            if seed is None:
+                self._base[shard] = None
+            elif seed[0] == "checkpoint":
+                self._base[shard] = ("checkpoint", seed[1])
+            else:
+                self._base[shard] = ("state", seed[1][shard])
+        self._journal = {shard: [] for shard in range(n_shards)}
+        self._journal_bytes = {shard: 0 for shard in range(n_shards)}
+        self._ctx = _pool_context()
+        self._directory = _shm_dir()
+        self._omega = bank.omega
+        self._tau = bank.tau
         handles: list[_WorkerHandle] = []
         try:
             for index in range(n_workers):
@@ -468,8 +626,8 @@ default_workers`.  The pool is capped at the bound bank's shard count —
                     )
                 handles.append(
                     _WorkerHandle.spawn(
-                        ctx, directory, index, bank.omega, bank.tau, shard_ids,
-                        worker_seed,
+                        self._ctx, self._directory, index, bank.omega, bank.tau,
+                        shard_ids, worker_seed,
                     )
                 )
         except BaseException:
@@ -480,19 +638,19 @@ default_workers`.  The pool is capped at the bound bank's shard count —
             )
             raise
         self._handles = handles
+        self._fin_procs = [h.proc for h in handles]
+        self._fin_conns = [h.conn for h in handles]
+        self._fin_buffers = []
+        for h in handles:
+            self._fin_buffers.extend((h.req, h.resp))
         self._finalizer = weakref.finalize(
-            self,
-            _shutdown_pool,
-            [h.proc for h in handles],
-            [h.conn for h in handles],
-            [h.req for h in handles] + [h.resp for h in handles],
+            self, _shutdown_pool, self._fin_procs, self._fin_conns, self._fin_buffers
         )
         if self._obs.enabled:
             self._obs.count("engine.procpool.workers", n_workers)
 
-    def close(self) -> None:
+    def _teardown_pool(self) -> None:
         handles, self._handles = self._handles, None
-        self._shard_worker = []
         if self._finalizer is not None:
             self._finalizer.detach()
             self._finalizer = None
@@ -501,6 +659,212 @@ default_workers`.  The pool is capped at the bound bank's shard count —
                 [h.proc for h in handles],
                 [h.conn for h in handles],
                 [h.req for h in handles] + [h.resp for h in handles],
+            )
+
+    def close(self) -> None:
+        self._teardown_pool()
+        self._shard_worker = []
+        self._base = {}
+        self._journal = {}
+        self._journal_bytes = {}
+        if self._degraded is not None:
+            self._degraded.close()
+            self._degraded = None
+
+    # -- supervision ----------------------------------------------------
+
+    def note_checkpoint(self, directory: str | Path) -> None:
+        """Adopt a fully-written checkpoint as every shard's recovery base.
+
+        Called by :func:`repro.engine.checkpoint.save_checkpoint` *after*
+        the manifest, all shard arrays, and the stable log are on disk —
+        a torn checkpoint must never become a recovery base.  The delta
+        journals restart empty from here.
+        """
+        if self._handles is None:
+            return
+        base = ("checkpoint", str(directory))
+        for shard in range(len(self._shard_worker)):
+            self._base[shard] = base
+            self._journal[shard] = []
+            self._journal_bytes[shard] = 0
+
+    @staticmethod
+    def _batch_nbytes(batch: EventBatch) -> int:
+        return (
+            batch.resources.nbytes
+            + batch.indptr.nbytes
+            + batch.tag_ids.nbytes
+            + batch.timestamps.nbytes
+        )
+
+    def _journal_entries(self, entries: Sequence[tuple[int, int, EventBatch]]) -> None:
+        for _, shard, batch in entries:
+            self._journal.setdefault(shard, []).append(batch)
+            self._journal_bytes[shard] = (
+                self._journal_bytes.get(shard, 0) + self._batch_nbytes(batch)
+            )
+
+    def _compact_shard(self, bank, shard: int) -> None:
+        """Fold an oversized delta journal into a fresh state snapshot."""
+        worker_index = self._shard_worker[shard]
+        handle = self._handles[worker_index]
+        deadline = time.monotonic() + self.flush_timeout
+        try:
+            self._raw_send(handle, worker_index, ("export", shard, [], []))
+            payload = self._result(self._raw_recv(handle, worker_index, deadline))
+        except _WorkerLost:
+            # the worker died right after its flush; keep the journal —
+            # the next interaction recovers and replays it
+            return
+        self._base[shard] = ("state", payload)
+        self._journal[shard] = []
+        self._journal_bytes[shard] = 0
+        if self._obs.enabled:
+            self._obs.count("executor.journal_compactions")
+
+    def _reap_handle(self, handle: _WorkerHandle) -> None:
+        """Kill one worker (dead or stalled) and release its resources."""
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        proc = handle.proc
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=_TERM_GRACE)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=_KILL_GRACE)
+        else:
+            proc.join()
+        handle.req.close(unlink=True)
+        handle.resp.close(unlink=True)
+
+    def _recover_worker(self, bank, lost: _WorkerLost) -> _WorkerHandle | None:
+        """Respawn a lost worker re-seeded from base + journal.
+
+        Returns the fresh handle, or ``None`` when the respawn budget is
+        exhausted (the caller degrades).  Raises ``ShardWorkerCrashed``
+        when supervision is off.
+        """
+        worker_index = lost.worker_index
+        handle = self._handles[worker_index]
+        if not self.supervise:
+            self._fail(handle, lost.cause)
+        self.respawns += 1
+        if self._obs.enabled:
+            self._obs.count("executor.respawn")
+        if self.respawns > self.max_respawns:
+            return None
+        warnings.warn(
+            f"shard worker {worker_index} (pid {handle.proc.pid}) "
+            f"{'stalled' if lost.stalled else 'died'} mid-operation; respawning "
+            f"(attempt {self.respawns}/{self.max_respawns})",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        self._reap_handle(handle)
+        shard_ids = [
+            s for s, w in enumerate(self._shard_worker) if w == worker_index
+        ]
+        seed = ("mixed", {shard: self._base.get(shard) for shard in shard_ids})
+        try:
+            fresh = _WorkerHandle.spawn(
+                self._ctx, self._directory, worker_index,
+                self._omega, self._tau, shard_ids, seed,
+            )
+        except OSError:  # pragma: no cover - fork failure
+            return None
+        self._handles[worker_index] = fresh
+        self._fin_procs[worker_index] = fresh.proc
+        self._fin_conns[worker_index] = fresh.conn
+        self._fin_buffers[2 * worker_index] = fresh.req
+        self._fin_buffers[2 * worker_index + 1] = fresh.resp
+        # the fresh worker has seen no vocabulary: restart the watermarks
+        # so the first replayed (or re-sent) command carries the full
+        # shell interner suffix — idempotent, order-preserving
+        for shard in shard_ids:
+            self._sent_vocab[shard] = [0, 0]
+        try:
+            for shard in shard_ids:
+                for batch in self._journal.get(shard, []):
+                    self._replay_batch(fresh, worker_index, bank, shard, batch)
+        except _WorkerLost:
+            # the replacement died during replay: spend another attempt
+            # (or degrade) rather than looping here
+            return None
+        return fresh
+
+    def _replay_batch(
+        self, handle: _WorkerHandle, worker_index: int, bank, shard: int,
+        batch: EventBatch,
+    ) -> None:
+        """Re-ingest one journaled batch into a respawned worker."""
+        req_total = (3 * batch.n_events + 1 + batch.tag_ids.size) * _ITEM
+        resp_total = batch.n_events * _ITEM
+        offset = handle.place("req", req_total)
+        resp_offset = handle.place("resp", resp_total)
+        base = offset
+        offset += handle.req.write_array(offset, batch.resources)
+        offset += handle.req.write_array(offset, batch.indptr)
+        offset += handle.req.write_array(offset, batch.tag_ids)
+        offset += handle.req.write_array(offset, batch.timestamps)
+        new_resources, new_tags = self._vocab_delta(bank, shard)
+        command = (
+            "ingest", shard, handle.req.capacity, handle.resp.capacity, base,
+            batch.n_events, int(batch.tag_ids.size), resp_offset,
+            new_resources, new_tags,
+        )
+        deadline = time.monotonic() + self.flush_timeout
+        self._raw_send(handle, worker_index, command)
+        self._result(self._raw_recv(handle, worker_index, deadline))
+
+    def _rebuild_shard(self, bank, shard: int) -> StabilityBank:
+        """Parent-side shard reconstruction: base + full vocab + journal."""
+        rebuilt = _bank_from_base(self._omega, self._tau, shard, self._base.get(shard))
+        shell = bank.shards[shard]
+        _apply_vocab(rebuilt, shell.resources.items(), shell.tags.items())
+        for batch in self._journal.get(shard, []):
+            rebuilt.ingest(batch)
+        return rebuilt
+
+    def _degrade(self, bank) -> None:
+        """Respawn budget exhausted: fall back process → thread → serial.
+
+        Rebuilds every shard bank in the parent (recovery base + delta
+        journal + the authoritative shell vocabulary), hands them to the
+        sharded bank, and routes future ``run()`` calls through an
+        internal thread pool (serial if threads are unavailable).  The
+        executor stops owning state, so the sharded bank's normal
+        non-owning paths take over — traces stay byte-identical.
+        """
+        rebuilt = {
+            shard: self._rebuild_shard(bank, shard)
+            for shard in range(len(self._shard_worker))
+        }
+        self._teardown_pool()
+        self._journal = {}
+        self._journal_bytes = {}
+        self._base = {}
+        bank.adopt_shards(rebuilt)
+        try:
+            inner: ShardExecutor = ThreadExecutor(self.workers)
+            inner.run([lambda: None])  # probe: can this host start threads?
+        except Exception:  # pragma: no cover - thread-less host
+            inner = SerialExecutor()
+        self._degraded = inner
+        warnings.warn(
+            f"process shard pool exceeded its respawn budget "
+            f"({self.max_respawns}); degraded to the {inner.kind!r} executor "
+            "with state rebuilt in-parent",
+            RuntimeWarning,
+            stacklevel=5,
+        )
+        if self._obs.enabled:
+            self._obs.count("executor.degraded")
+            self._obs.event(
+                "executor.degraded", backend=inner.kind, respawns=self.respawns
             )
 
     # -- wire helpers ---------------------------------------------------
@@ -513,27 +877,42 @@ default_workers`.  The pool is capped at the bound bank's shard count —
             "is lost — rebuild the bank from a checkpoint"
         ) from cause
 
-    def _send(self, handle: _WorkerHandle, message: tuple) -> None:
+    def _raw_send(self, handle: _WorkerHandle, worker_index: int, message: tuple) -> None:
         try:
             handle.conn.send(message)
         except (BrokenPipeError, OSError) as exc:
-            self._fail(handle, exc)
+            raise _WorkerLost(worker_index, exc) from exc
 
-    def _recv(self, handle: _WorkerHandle) -> tuple:
+    def _raw_recv(self, handle: _WorkerHandle, worker_index: int, deadline: float) -> tuple:
+        """Wait for a reply, filtering heartbeats and watching liveness.
+
+        Raises :class:`_WorkerLost` when the worker exits, goes silent
+        past ``heartbeat_timeout``, or the flush deadline passes.
+        """
+        last_signal = time.monotonic()
         while True:
             try:
                 if handle.conn.poll(0.05):
-                    return handle.conn.recv()
+                    reply = handle.conn.recv()
+                    if reply[0] == "hb":
+                        last_signal = time.monotonic()
+                        continue
+                    return reply
             except (EOFError, OSError) as exc:
-                self._fail(handle, exc)
+                raise _WorkerLost(worker_index, exc) from exc
             if not handle.proc.is_alive():
                 # drain: the worker may have replied just before exiting
                 try:
-                    if handle.conn.poll(0):
-                        return handle.conn.recv()
+                    while handle.conn.poll(0):
+                        reply = handle.conn.recv()
+                        if reply[0] != "hb":
+                            return reply
                 except (EOFError, OSError):
                     pass
-                self._fail(handle)
+                raise _WorkerLost(worker_index)
+            now = time.monotonic()
+            if now - last_signal > self.heartbeat_timeout or now > deadline:
+                raise _WorkerLost(worker_index, stalled=True)
 
     def _result(self, reply: tuple):
         if reply[0] == "ok":
@@ -554,88 +933,198 @@ default_workers`.  The pool is capped at the bound bank's shard count —
 
     # -- shard-affine operations ---------------------------------------
 
+    def _flush_worker(
+        self, bank, worker_index: int, entries: Sequence[tuple[int, int, EventBatch]]
+    ) -> list[tuple[int, IngestReport]]:
+        """Send one worker's slice of a flush and collect its replies.
+
+        Self-contained so a recovery can re-run it exactly-once: the
+        respawned worker is rebuilt to its pre-flush state, and the
+        retry re-places blocks on the fresh ring buffers.
+        """
+        handle = self._handles[worker_index]
+        req_total = sum(
+            (3 * batch.n_events + 1 + batch.tag_ids.size) * _ITEM
+            for _, _, batch in entries
+        )
+        resp_total = sum(batch.n_events * _ITEM for _, _, batch in entries)
+        offset = handle.place("req", req_total)
+        resp_offset = handle.place("resp", resp_total)
+        commands: list[tuple] = []
+        slots: list[tuple[int, int, int]] = []
+        for position, shard, batch in entries:
+            base = offset
+            offset += handle.req.write_array(offset, batch.resources)
+            offset += handle.req.write_array(offset, batch.indptr)
+            offset += handle.req.write_array(offset, batch.tag_ids)
+            offset += handle.req.write_array(offset, batch.timestamps)
+            new_resources, new_tags = self._vocab_delta(bank, shard)
+            commands.append(
+                (
+                    "ingest",
+                    shard,
+                    handle.req.capacity,
+                    handle.resp.capacity,
+                    base,
+                    batch.n_events,
+                    int(batch.tag_ids.size),
+                    resp_offset,
+                    new_resources,
+                    new_tags,
+                )
+            )
+            slots.append((position, resp_offset, batch.n_events))
+            resp_offset += batch.n_events * _ITEM
+        for command in commands:
+            self._raw_send(handle, worker_index, command)
+        # chaos site: one visit per per-worker flush, after the commands
+        # are on the wire — the worker may die having applied any prefix
+        spec = faults.check("procpool.flush")
+        if spec is not None and spec.kind == "kill_worker":
+            victim = spec.param.get("worker")
+            index = worker_index if victim is None else int(victim) % len(self._handles)
+            try:
+                os.kill(self._handles[index].proc.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):  # pragma: no cover
+                pass
+        deadline = time.monotonic() + self.flush_timeout
+        results: list[tuple[int, IngestReport]] = []
+        for position, slot_offset, n_events in slots:
+            n_tag_assignments, newly_stable = self._result(
+                self._raw_recv(handle, worker_index, deadline)
+            )
+            similarities = handle.resp.read_array(slot_offset, np.float64, n_events)
+            results.append(
+                (
+                    position,
+                    IngestReport(
+                        n_events, n_tag_assignments, similarities, list(newly_stable)
+                    ),
+                )
+            )
+        return results
+
     def ingest_shards(
         self, bank, shard_indices: Sequence[int], batches: Sequence[EventBatch]
     ) -> list[IngestReport]:
-        """Ship pre-encoded per-shard batches; reports in submission order."""
+        """Ship pre-encoded per-shard batches; reports in submission order.
+
+        Worker loss mid-flush recovers in place (respawn, re-seed,
+        replay, re-send) and, past the respawn budget, degrades to
+        in-parent execution — either way every batch lands exactly once
+        and the reports are byte-identical to an undisturbed run.
+        """
         self.bind(bank)
         self.run_calls += 1
         self.tasks_run += len(shard_indices)
+        if self._degraded is not None:
+            # a degrade slipped between the caller's owns_state check and
+            # this call: the rebuilt in-parent banks are authoritative
+            return [
+                bank.shards[shard].ingest(batch)
+                for shard, batch in zip(shard_indices, batches)
+            ]
         per_worker: dict[int, list[tuple[int, int, EventBatch]]] = {}
         for position, (shard, batch) in enumerate(zip(shard_indices, batches)):
             per_worker.setdefault(self._shard_worker[shard], []).append(
                 (position, shard, batch)
             )
         reports: list[IngestReport | None] = [None] * len(shard_indices)
-        pending: list[tuple[int, _WorkerHandle, int, int]] = []
-        for worker_index, entries in per_worker.items():
-            handle = self._handles[worker_index]
-            req_total = sum(
-                (3 * batch.n_events + 1 + batch.tag_ids.size) * _ITEM
-                for _, _, batch in entries
-            )
-            resp_total = sum(batch.n_events * _ITEM for _, _, batch in entries)
-            offset = handle.place("req", req_total)
-            resp_offset = handle.place("resp", resp_total)
-            commands: list[tuple] = []
-            for position, shard, batch in entries:
-                base = offset
-                offset += handle.req.write_array(offset, batch.resources)
-                offset += handle.req.write_array(offset, batch.indptr)
-                offset += handle.req.write_array(offset, batch.tag_ids)
-                offset += handle.req.write_array(offset, batch.timestamps)
-                new_resources, new_tags = self._vocab_delta(bank, shard)
-                commands.append(
-                    (
-                        "ingest",
-                        shard,
-                        handle.req.capacity,
-                        handle.resp.capacity,
-                        base,
-                        batch.n_events,
-                        int(batch.tag_ids.size),
-                        resp_offset,
-                        new_resources,
-                        new_tags,
-                    )
-                )
-                pending.append((position, handle, resp_offset, batch.n_events))
-                resp_offset += batch.n_events * _ITEM
-            for command in commands:
-                self._send(handle, command)
-        # Collect in per-worker submission order — each worker replies in
-        # the order it was fed, so reassembly is deterministic.
-        for position, handle, resp_offset, n_events in pending:
-            n_tag_assignments, newly_stable = self._result(self._recv(handle))
-            similarities = handle.resp.read_array(resp_offset, np.float64, n_events)
-            reports[position] = IngestReport(
-                n_events, n_tag_assignments, similarities, list(newly_stable)
-            )
+        remaining = dict(sorted(per_worker.items()))
+        for worker_index in list(remaining):
+            entries = remaining[worker_index]
+            while True:
+                try:
+                    results = self._flush_worker(bank, worker_index, entries)
+                except _WorkerLost as lost:
+                    if self._recover_worker(bank, lost) is None:
+                        self._degrade_mid_flush(bank, remaining, reports)
+                        return reports  # type: ignore[return-value]
+                    continue
+                for position, report in results:
+                    reports[position] = report
+                self._journal_entries(entries)
+                for _, shard, _ in entries:
+                    if self._journal_bytes.get(shard, 0) > self.max_journal_bytes:
+                        self._compact_shard(bank, shard)
+                del remaining[worker_index]
+                break
         return reports  # type: ignore[return-value]
+
+    def _degrade_mid_flush(self, bank, remaining, reports) -> None:
+        """Degrade with a flush in flight: finish the stragglers inline.
+
+        Workers already collected this flush have it in the journal (so
+        the rebuild includes it); the remaining workers' slices are
+        ingested inline into the rebuilt banks — exactly once each.
+        """
+        self._degrade(bank)
+        stragglers = sorted(
+            (position, shard, batch)
+            for entries in remaining.values()
+            for position, shard, batch in entries
+        )
+        for position, shard, batch in stragglers:
+            reports[position] = bank.shards[shard].ingest(batch)
 
     def export_shard(self, bank, shard: int) -> dict:
         """Pull one shard's full state payload (query-path only)."""
         self.bind(bank)
-        handle = self._handles[self._shard_worker[shard]]
-        new_resources, new_tags = self._vocab_delta(bank, shard)
-        self._send(handle, ("export", shard, new_resources, new_tags))
-        return self._result(self._recv(handle))
+        if self._degraded is not None:
+            return bank.shards[shard].export_state()
+        while True:
+            worker_index = self._shard_worker[shard]
+            handle = self._handles[worker_index]
+            try:
+                new_resources, new_tags = self._vocab_delta(bank, shard)
+                self._raw_send(
+                    handle, worker_index, ("export", shard, new_resources, new_tags)
+                )
+                deadline = time.monotonic() + self.flush_timeout
+                return self._result(self._raw_recv(handle, worker_index, deadline))
+            except _WorkerLost as lost:
+                if self._recover_worker(bank, lost) is None:
+                    self._degrade(bank)
+                    return bank.shards[shard].export_state()
 
     def checkpoint_shard(
         self, bank, shard: int, directory: str | Path, layout: str
     ) -> list[dict]:
         """Have the owning worker flush one shard to a checkpoint dir."""
         self.bind(bank)
-        handle = self._handles[self._shard_worker[shard]]
-        new_resources, new_tags = self._vocab_delta(bank, shard)
-        self._send(
-            handle, ("checkpoint", shard, str(directory), layout, new_resources, new_tags)
-        )
-        return self._result(self._recv(handle))
+        if self._degraded is not None:
+            from repro.engine.checkpoint import write_shard_state
 
-    # -- the generic task interface does not apply ---------------------
+            return write_shard_state(
+                bank.shards[shard], Path(directory), shard, layout=layout
+            )
+        while True:
+            worker_index = self._shard_worker[shard]
+            handle = self._handles[worker_index]
+            try:
+                new_resources, new_tags = self._vocab_delta(bank, shard)
+                self._raw_send(
+                    handle,
+                    worker_index,
+                    ("checkpoint", shard, str(directory), layout,
+                     new_resources, new_tags),
+                )
+                deadline = time.monotonic() + self.flush_timeout
+                return self._result(self._raw_recv(handle, worker_index, deadline))
+            except _WorkerLost as lost:
+                if self._recover_worker(bank, lost) is None:
+                    self._degrade(bank)
+                    from repro.engine.checkpoint import write_shard_state
+
+                    return write_shard_state(
+                        bank.shards[shard], Path(directory), shard, layout=layout
+                    )
+
+    # -- the generic task interface -------------------------------------
 
     def run(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+        if self._degraded is not None:
+            return self._degraded.run(tasks)
         raise DataModelError(
             "the process backend is shard-affine: tasks are closures over "
             "parent-process state and cannot run in workers that own their "

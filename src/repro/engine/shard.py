@@ -232,6 +232,20 @@ class ShardedStabilityBank:
         # a later worker warm-up must ship live state, not re-read disk
         self.resume_source = None
 
+    def adopt_shards(self, banks: dict[int, StabilityBank]) -> None:
+        """Install authoritative in-parent shard banks (executor handback).
+
+        A degrading state-owning executor rebuilds each shard it owned
+        (recovery base + delta journal, interned in shell order) and
+        hands the results back here: the rebuilt banks replace the stale
+        shells, nothing is stale any more, and in-parent state has moved
+        past whatever checkpoint the bank was loaded from.
+        """
+        for shard, rebuilt in banks.items():
+            self.shards[shard] = rebuilt
+        self._stale_shards.clear()
+        self._mark_mutated()
+
     def _materialize(self) -> None:
         """Refresh stale shard mirrors from their owning workers.
 

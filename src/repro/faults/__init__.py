@@ -1,0 +1,43 @@
+"""Deterministic fault injection for chaos testing (:mod:`repro.faults`).
+
+See :mod:`repro.faults.plan` for the model.  Quick use::
+
+    from repro import faults
+
+    faults.activate({"specs": [
+        {"site": "procpool.flush", "kind": "kill_worker", "at": 2},
+    ]})
+
+or set ``REPRO_TEST_FAULT_PLAN`` to a plan file path / inline JSON before
+the process starts (the chaos CI leg does exactly this).
+"""
+
+from .plan import (
+    ENV_FAULT_PLAN,
+    FAULT_KINDS,
+    FaultError,
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    activate,
+    active,
+    check,
+    deactivate,
+    load_plan,
+)
+
+__all__ = [
+    "ENV_FAULT_PLAN",
+    "FAULT_KINDS",
+    "FaultError",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "activate",
+    "active",
+    "check",
+    "deactivate",
+    "load_plan",
+]

@@ -1,0 +1,306 @@
+"""Seeded deterministic fault injection (`FaultPlan` / `FaultSpec`).
+
+Production-scale campaigns run over crowd timescales; worker death and
+torn writes are routine there, not exceptional.  This module gives the
+test suite (and the chaos CI leg) a way to *schedule* those events
+deterministically: a :class:`FaultPlan` is a JSON-round-tripping list of
+:class:`FaultSpec` entries, each naming an injection *site* (a counted
+code location such as ``procpool.flush``), a fault *kind*, and the
+occurrence indices at which it fires.
+
+Sites call :func:`check` — a no-op returning ``None`` unless a plan is
+active — so the production hot path pays one module-global load and a
+``None`` test per site visit.  Activation is explicit (:func:`activate`)
+or via the ``REPRO_TEST_FAULT_PLAN`` environment variable, which holds
+either a path to a plan JSON file or the inline JSON itself.  Forked
+worker processes inherit the active injector (with independent copies of
+its counters), so worker-side sites fire deterministically too.
+
+Injection sites wired through the codebase:
+
+==================== ====================================================
+site                 counted at
+==================== ====================================================
+``procpool.flush``   each parent-side flush of the process shard pool
+``procpool.worker``  each command handled by a process shard worker
+``checkpoint.shard`` each per-shard state write in an engine checkpoint
+``jobstore.append``  each line appended to the server job journal
+``driver.step``      each epoch slice the server drives for a job
+``campaign.epoch``   each live campaign epoch
+==================== ====================================================
+
+Kinds: ``kill_worker`` (SIGKILL a pool worker / hard-exit the worker
+process), ``stall_worker`` (worker sleeps, optionally ignoring SIGTERM),
+``torn_write`` (truncate the tail of the just-written checkpoint file),
+``truncate_journal`` (tear the just-appended journal line in half), and
+``error`` (raise :class:`FaultInjected`, a ``ReproError``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.errors import ReproError
+from ..obs import get as _get_telemetry
+
+__all__ = [
+    "FAULT_KINDS",
+    "ENV_FAULT_PLAN",
+    "FaultError",
+    "FaultInjected",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "activate",
+    "deactivate",
+    "active",
+    "check",
+    "load_plan",
+]
+
+FAULT_KINDS = (
+    "error",
+    "kill_worker",
+    "stall_worker",
+    "torn_write",
+    "truncate_journal",
+)
+
+ENV_FAULT_PLAN = "REPRO_TEST_FAULT_PLAN"
+
+
+class FaultError(ReproError):
+    """A fault plan is malformed (bad kind, negative index, bad JSON)."""
+
+
+class FaultInjected(ReproError):
+    """An ``error``-kind fault fired at an injection site.
+
+    Subclasses ``ReproError`` so the scheduler's job-failure handling
+    treats it exactly like a genuine campaign error.
+    """
+
+
+def _require_int(name: str, value: Any, *, minimum: int = 0) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise FaultError(f"fault spec field {name!r} must be an int, got {value!r}")
+    if value < minimum:
+        raise FaultError(f"fault spec field {name!r} must be >= {minimum}, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: fire ``kind`` at occurrence ``at`` of ``site``.
+
+    ``every > 0`` repeats the fault at ``at``, ``at + every``,
+    ``at + 2*every``, …; ``times`` bounds the total number of firings
+    (``0`` means unbounded).  ``param`` carries kind-specific knobs
+    (e.g. ``{"worker": 1}`` for ``kill_worker``, ``{"seconds": 5.0}``
+    for ``stall_worker``, ``{"bytes": 64}`` for ``torn_write``).
+    """
+
+    site: str
+    kind: str
+    at: int = 0
+    every: int = 0
+    times: int = 1
+    param: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.site, str) or not self.site:
+            raise FaultError(f"fault spec site must be a nonempty string, got {self.site!r}")
+        if self.kind not in FAULT_KINDS:
+            known = ", ".join(sorted(FAULT_KINDS))
+            raise FaultError(f"unknown fault kind {self.kind!r} (known: {known})")
+        _require_int("at", self.at)
+        _require_int("every", self.every)
+        _require_int("times", self.times)
+        if not isinstance(self.param, Mapping):
+            raise FaultError(f"fault spec param must be a mapping, got {self.param!r}")
+        object.__setattr__(self, "param", dict(self.param))
+
+    def matches(self, index: int) -> bool:
+        """Does this spec fire at occurrence ``index`` of its site?"""
+        if index < self.at:
+            return False
+        if index == self.at:
+            return True
+        return self.every > 0 and (index - self.at) % self.every == 0
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"site": self.site, "kind": self.kind}
+        if self.at:
+            payload["at"] = self.at
+        if self.every:
+            payload["every"] = self.every
+        if self.times != 1:
+            payload["times"] = self.times
+        if self.param:
+            payload["param"] = dict(self.param)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultSpec":
+        if not isinstance(payload, Mapping):
+            raise FaultError(f"fault spec payload must be a mapping, got {payload!r}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise FaultError(f"unknown fault spec keys: {', '.join(unknown)}")
+        if "site" not in payload or "kind" not in payload:
+            raise FaultError("fault spec payload requires 'site' and 'kind'")
+        return cls(**dict(payload))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of :class:`FaultSpec` plus a plan seed.
+
+    The seed does not feed any randomness inside the injector (firing is
+    purely occurrence-counted) — it is carried so chaos runs can stamp
+    which schedule produced a trace and regenerate variations.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        specs = tuple(self.specs)
+        for spec in specs:
+            if not isinstance(spec, FaultSpec):
+                raise FaultError(f"plan entries must be FaultSpec, got {spec!r}")
+        object.__setattr__(self, "specs", specs)
+        _require_int("seed", self.seed)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"specs": [s.to_dict() for s in self.specs], "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        if not isinstance(payload, Mapping):
+            raise FaultError(f"fault plan payload must be a mapping, got {payload!r}")
+        unknown = sorted(set(payload) - {"specs", "seed"})
+        if unknown:
+            raise FaultError(f"unknown fault plan keys: {', '.join(unknown)}")
+        raw_specs = payload.get("specs", [])
+        if not isinstance(raw_specs, (list, tuple)):
+            raise FaultError(f"fault plan 'specs' must be a list, got {raw_specs!r}")
+        specs = tuple(FaultSpec.from_dict(s) for s in raw_specs)
+        return cls(specs=specs, seed=payload.get("seed", 0))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultError(f"fault plan is not valid JSON: {exc}") from None
+        return cls.from_dict(payload)
+
+
+def load_plan(source: str) -> FaultPlan:
+    """Load a plan from a JSON file path or an inline JSON string."""
+    text = source.strip()
+    if not text.startswith("{"):
+        try:
+            text = open(source, encoding="utf-8").read()
+        except OSError as exc:
+            raise FaultError(f"cannot read fault plan {source!r}: {exc}") from None
+    return FaultPlan.from_json(text)
+
+
+class FaultInjector:
+    """Live occurrence counters over a :class:`FaultPlan`.
+
+    One injector is active per process; forked children inherit it (with
+    copied counter state at fork time), which is what makes worker-side
+    sites deterministic: the parent's counters never advance for sites
+    only the worker visits and vice versa.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._indices: dict[str, int] = {}
+        self._fired: dict[int, int] = {}
+        self._obs = _get_telemetry()
+
+    def check(self, site: str) -> FaultSpec | None:
+        """Count a visit to ``site``; return the spec to fire, if any."""
+        index = self._indices.get(site, 0)
+        self._indices[site] = index + 1
+        for position, spec in enumerate(self.plan.specs):
+            if spec.site != site:
+                continue
+            if spec.times and self._fired.get(position, 0) >= spec.times:
+                continue
+            if spec.matches(index):
+                self._fired[position] = self._fired.get(position, 0) + 1
+                if self._obs.enabled:
+                    self._obs.count("faults.injected")
+                    self._obs.count(f"faults.{spec.kind}")
+                return spec
+        return None
+
+    def site_index(self, site: str) -> int:
+        """How many times ``site`` has been visited so far."""
+        return self._indices.get(site, 0)
+
+    def fired_total(self) -> int:
+        return sum(self._fired.values())
+
+
+_ACTIVE: FaultInjector | None = None
+_ENV_CHECKED = False
+
+
+def activate(plan: FaultPlan | Mapping[str, Any] | str) -> FaultInjector:
+    """Install ``plan`` (a FaultPlan, dict payload, or path/JSON string)."""
+    global _ACTIVE, _ENV_CHECKED
+    if isinstance(plan, str):
+        plan = load_plan(plan)
+    elif isinstance(plan, Mapping):
+        plan = FaultPlan.from_dict(plan)
+    elif not isinstance(plan, FaultPlan):
+        raise FaultError(f"cannot activate fault plan from {plan!r}")
+    _ACTIVE = FaultInjector(plan)
+    _ENV_CHECKED = True  # explicit activation overrides the env plan
+    return _ACTIVE
+
+
+def deactivate() -> None:
+    """Remove the active injector (the env plan does not resurrect)."""
+    global _ACTIVE, _ENV_CHECKED
+    _ACTIVE = None
+    _ENV_CHECKED = True
+
+
+def _reset_for_tests() -> None:
+    global _ACTIVE, _ENV_CHECKED
+    _ACTIVE = None
+    _ENV_CHECKED = False
+
+
+def active() -> FaultInjector | None:
+    """The process-wide injector, lazily loading ``REPRO_TEST_FAULT_PLAN``."""
+    global _ACTIVE, _ENV_CHECKED
+    if _ACTIVE is None and not _ENV_CHECKED:
+        _ENV_CHECKED = True
+        source = os.environ.get(ENV_FAULT_PLAN, "").strip()
+        if source:
+            _ACTIVE = FaultInjector(load_plan(source))
+    return _ACTIVE
+
+
+def check(site: str) -> FaultSpec | None:
+    """Site entry point: count a visit, return a spec when one fires."""
+    injector = active()
+    if injector is None:
+        return None
+    return injector.check(site)

@@ -22,7 +22,12 @@ byte-identical to a never-killed campaign.
 Writes are crash-safe: the bank directory is written first, then
 ``state.json`` is swapped in atomically (``os.replace``), so a kill at
 any instant leaves either the previous checkpoint or the new one —
-never a torn mix.
+never a torn mix.  The *previous* checkpoint survives one save cycle
+(``state-prev.json`` + its bank directory): the engine-level bank files
+are not written atomically, so a torn bank write
+(:class:`~repro.engine.checkpoint.CheckpointCorrupted`) is detected at
+restore time and the driver falls back one epoch instead of failing the
+job — replaying a few more epochs costs time, never bytes.
 """
 
 from __future__ import annotations
@@ -30,9 +35,12 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import warnings
 from pathlib import Path
 
+from repro import obs
 from repro.core.errors import SpecError
+from repro.engine.checkpoint import CheckpointCorrupted
 from repro.engine.checkpoint import load_checkpoint as _load_bank_checkpoint
 from repro.engine.checkpoint import save_checkpoint as _save_bank_checkpoint
 from repro.service.campaign import IncentiveCampaign
@@ -46,6 +54,7 @@ __all__ = [
 
 CAMPAIGN_CHECKPOINT_FORMAT = 1
 _STATE = "state.json"
+_STATE_PREV = "state-prev.json"
 
 
 def has_campaign_checkpoint(directory: str | Path) -> bool:
@@ -76,12 +85,28 @@ def save_campaign_checkpoint(
         bank_name = f"bank-{campaign.epochs_run:06d}"
         _save_bank_checkpoint(bank, directory / bank_name)
         state["bank"] = bank_name
+    state_path = directory / _STATE
+    if state_path.is_file():
+        # demote the current checkpoint to the fallback slot before the
+        # swap: a torn bank write in *this* cycle must leave the previous
+        # epoch fully restorable
+        prev_tmp = directory / (_STATE_PREV + ".tmp")
+        shutil.copyfile(state_path, prev_tmp)
+        os.replace(prev_tmp, directory / _STATE_PREV)
     tmp = directory / (_STATE + ".tmp")
     tmp.write_text(json.dumps(state, sort_keys=True) + "\n", encoding="utf-8")
-    os.replace(tmp, directory / _STATE)
-    # older bank snapshots are now unreachable from state.json
+    os.replace(tmp, state_path)
+    # prune bank snapshots unreachable from both the current and the
+    # fallback state files
+    keep = {bank_name}
+    prev_path = directory / _STATE_PREV
+    if prev_path.is_file():
+        try:
+            keep.add(json.loads(prev_path.read_text(encoding="utf-8")).get("bank"))
+        except json.JSONDecodeError:  # pragma: no cover - torn fallback slot
+            pass
     for stale in directory.glob("bank-*"):
-        if stale.is_dir() and stale.name != bank_name:
+        if stale.is_dir() and stale.name not in keep:
             shutil.rmtree(stale, ignore_errors=True)
     return directory
 
@@ -99,18 +124,55 @@ def restore_campaign_checkpoint(spec, corpus, directory: str | Path) -> Incentiv
     Raises:
         SpecError: On missing/incompatible checkpoints or when the
             replayed state disagrees with the saved bank snapshot
-            (corruption, or a spec that drifted since the checkpoint).
+            (a spec that drifted since the checkpoint).
+        CheckpointCorrupted: When the latest checkpoint's bank files are
+            torn/truncated *and* no previous epoch's checkpoint remains
+            to fall back to (one save cycle of history is kept).
     """
     directory = Path(directory)
-    path = directory / _STATE
-    if not path.is_file():
+    candidates = [
+        path
+        for path in (directory / _STATE, directory / _STATE_PREV)
+        if path.is_file()
+    ]
+    if not candidates:
         raise SpecError(f"no campaign checkpoint at {directory}")
-    state = json.loads(path.read_text(encoding="utf-8"))
+    corruption: CheckpointCorrupted | None = None
+    for position, path in enumerate(candidates):
+        try:
+            return _restore_from_state(spec, corpus, directory, _read_state(path))
+        except CheckpointCorrupted as exc:
+            corruption = exc
+            if position + 1 < len(candidates):
+                warnings.warn(
+                    f"campaign checkpoint {path.name} under {directory} is "
+                    f"corrupt ({exc}); falling back to the previous epoch's "
+                    "checkpoint",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                telemetry = obs.get()
+                if telemetry.enabled:
+                    telemetry.count("server.checkpoint_fallbacks")
+    raise corruption
+
+
+def _read_state(path: Path) -> dict:
+    try:
+        state = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError) as exc:
+        raise CheckpointCorrupted(
+            f"campaign checkpoint state {path} is unreadable: {exc}"
+        ) from exc
     if state.get("format") != CAMPAIGN_CHECKPOINT_FORMAT:
         raise SpecError(
             f"campaign checkpoint format {state.get('format')!r} not supported "
             f"(expected {CAMPAIGN_CHECKPOINT_FORMAT})"
         )
+    return state
+
+
+def _restore_from_state(spec, corpus, directory: Path, state: dict) -> IncentiveCampaign:
     campaign = IncentiveCampaign.from_spec(spec, corpus)
     try:
         campaign.start()

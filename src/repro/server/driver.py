@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import time
 
-from repro import obs
+from repro import faults, obs
+from repro.faults import FaultInjected
 from repro.server.checkpoint import (
     has_campaign_checkpoint,
     restore_campaign_checkpoint,
@@ -97,6 +98,12 @@ class CampaignDriver:
         assert campaign is not None, "step() before prepare()"
         if campaign.epochs_run >= self.job.spec.campaign.max_epochs:
             return False
+        injected = faults.check("driver.step")
+        if injected is not None and injected.kind == "error":
+            raise FaultInjected(
+                f"injected driver fault for {self.job.job_id} "
+                f"at epoch {campaign.epochs_run}"
+            )
         started = time.perf_counter() if self._obs.enabled else 0.0
         report = campaign.step_epoch()
         if report is None:

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro import faults
 from repro.api.results import JobRecord
 from repro.api.specs import JobSpec
 from repro.core.errors import SpecError
@@ -67,9 +68,13 @@ class CampaignJob:
         spent: Reward units paid out so far.
         checkpoint_epoch: Epoch of the latest durable checkpoint
             (``-1`` = never checkpointed).
+        attempts: Execution attempts consumed so far (each failed slice
+            counts one; bounded by the spec's retry policy).
         trace: Final canonical trace payload once ``DONE`` (see
             :meth:`~repro.service.campaign.CampaignResult.trace_payload`).
-        error: Failure description once ``FAILED``.
+        error: Failure description — the latest captured traceback; kept
+            across retries so a job that eventually succeeds still shows
+            what it survived, authoritative once ``FAILED``.
     """
 
     job_id: str
@@ -78,6 +83,7 @@ class CampaignJob:
     epochs: int = 0
     spent: int = 0
     checkpoint_epoch: int = -1
+    attempts: int = 0
     trace: dict[str, Any] = field(default_factory=dict)
     error: str = ""
 
@@ -101,6 +107,7 @@ class CampaignJob:
             epochs=self.epochs,
             spent=self.spent,
             checkpoint_epoch=self.checkpoint_epoch,
+            attempts=self.attempts,
             trace=dict(self.trace),
             error=self.error,
         )
@@ -132,8 +139,13 @@ class JobStore:
     def _append(self, entry: dict[str, Any]) -> None:
         if self._journal_path is None:
             return
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        spec = faults.check("jobstore.append")
+        if spec is not None and spec.kind == "truncate_journal":
+            # simulate power loss mid-append: half the line hits disk
+            line = line[: max(1, len(line) // 2)]
         with self._journal_path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.write(line)
 
     def _replay(self) -> None:
         assert self._journal_path is not None
@@ -174,6 +186,7 @@ class JobStore:
             job.epochs = int(entry.get("epochs", job.epochs))
             job.spent = int(entry.get("spent", job.spent))
             job.checkpoint_epoch = int(entry.get("checkpoint_epoch", job.checkpoint_epoch))
+            job.attempts = int(entry.get("attempts", job.attempts))
             job.trace = entry.get("trace", job.trace)
             job.error = entry.get("error", job.error)
         # unknown event kinds are skipped: journals are forward-compatible
@@ -187,6 +200,7 @@ class JobStore:
             "epochs": job.epochs,
             "spent": job.spent,
             "checkpoint_epoch": job.checkpoint_epoch,
+            "attempts": job.attempts,
         }
         if job.trace:
             entry["trace"] = job.trace

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import traceback
 from collections import defaultdict, deque
 
 from repro import obs
@@ -85,6 +86,7 @@ class Scheduler:
         self._drivers: dict[str, CampaignDriver] = {}
         self._pause_requested: set[str] = set()
         self._cancel_requested: set[str] = set()
+        self._retry_timers: dict[str, asyncio.Task] = {}
         self._stop: asyncio.Event | None = None
         self._recover()
 
@@ -206,7 +208,7 @@ class Scheduler:
             raise SpecError(f"cannot pause {job_id}: already {job.state.value}")
         if job.state is JobState.PAUSED:
             return
-        if self._dequeue(job_id):
+        if self._cancel_retry_timer(job_id) or self._dequeue(job_id):
             self._apply_pause(job)
         else:
             self._pause_requested.add(job_id)
@@ -217,6 +219,11 @@ class Scheduler:
         self._pause_requested.discard(job_id)
         if job.state not in (JobState.PAUSED, JobState.CHECKPOINTED):
             raise SpecError(f"cannot resume {job_id}: state is {job.state.value}")
+        if self._cancel_retry_timer(job_id):
+            # resuming a job parked on a retry backoff skips the rest of
+            # the wait — the operator's nudge outranks the timer
+            self._enqueue(job_id)
+            return
         job.state = (
             JobState.CHECKPOINTED if job.checkpoint_epoch >= 0 else JobState.QUEUED
         )
@@ -230,6 +237,7 @@ class Scheduler:
         if job.terminal:
             return
         self._pause_requested.discard(job_id)
+        self._cancel_retry_timer(job_id)
         if job_id in self._busy:
             self._cancel_requested.add(job_id)
         else:
@@ -269,6 +277,67 @@ class Scheduler:
         self.tenants.settle(job.job_id, job.spent)
         self._obs.count("server.cancelled")
 
+    # -- failure and retry ---------------------------------------------
+
+    def _handle_job_failure(self, job: CampaignJob) -> None:
+        """One attempt burned: requeue with backoff, or fail for good.
+
+        The budget reservation stays in place across retries — the
+        ledger settles exactly once, when the job reaches a terminal
+        state — and every attempt is journalled, so a restarted server
+        resumes with the correct attempt count.
+        """
+        job.attempts += 1
+        job.error = traceback.format_exc().rstrip()
+        self._drop_driver(job.job_id)
+        policy = job.spec.retry
+        if job.attempts < policy.max_attempts:
+            # rewind to the last durable point; QUEUED restarts from
+            # scratch when the job never checkpointed
+            job.state = (
+                JobState.CHECKPOINTED if job.checkpoint_epoch >= 0 else JobState.QUEUED
+            )
+            self.store.save(job)
+            delay = policy.delay(job.attempts)
+            self.store.log({
+                "event": "attempt",
+                "job_id": job.job_id,
+                "attempt": job.attempts,
+                "of": policy.max_attempts,
+                "delay": delay,
+                "resume_epoch": job.checkpoint_epoch,
+            })
+            self._obs.count("server.retries")
+            self._schedule_retry(job.job_id, delay)
+        else:
+            job.state = JobState.FAILED
+            self.store.save(job)
+            self.tenants.settle(job.job_id, job.spent)
+            self._obs.count("server.failed")
+
+    def _schedule_retry(self, job_id: str, delay: float) -> None:
+        if delay <= 0:
+            self._enqueue(job_id)
+            return
+        self._retry_timers[job_id] = asyncio.create_task(
+            self._retry_after(job_id, delay)
+        )
+
+    async def _retry_after(self, job_id: str, delay: float) -> None:
+        try:
+            await asyncio.sleep(delay)
+        finally:
+            self._retry_timers.pop(job_id, None)
+        self._enqueue(job_id)
+
+    def _cancel_retry_timer(self, job_id: str) -> bool:
+        """Kill a pending backoff timer; ``True`` if one was pending."""
+        timer = self._retry_timers.pop(job_id, None)
+        if timer is None:
+            return False
+        timer.cancel()
+        return True
+
     # -- the scheduling loop ------------------------------------------
 
     async def _slice(self, job_id: str) -> None:
@@ -297,13 +366,8 @@ class Scheduler:
                     job.state = JobState.RUNNING
                     self.store.save(job)
                 more = driver.step()
-        except ReproError as exc:
-            job.state = JobState.FAILED
-            job.error = str(exc)
-            self.store.save(job)
-            self._drop_driver(job_id)
-            self.tenants.settle(job_id, job.spent)
-            self._obs.count("server.failed")
+        except ReproError:
+            self._handle_job_failure(job)
             return
         finally:
             self._busy.discard(job_id)
@@ -329,7 +393,11 @@ class Scheduler:
         while self._stop is None or not self._stop.is_set():
             job_id = self._next_ready()
             if job_id is None:
-                if not self._busy:
+                if self._retry_timers:
+                    # jobs parked on backoff timers still count as work;
+                    # nap until one requeues itself
+                    await asyncio.sleep(0.005)
+                elif not self._busy:
                     if idle_exit:
                         return
                     await asyncio.sleep(poll_interval)
@@ -369,6 +437,10 @@ class Scheduler:
         self._drain_for_shutdown()
 
     def _drain_for_shutdown(self) -> None:
+        # pending backoff timers die with the loop; journalled attempt
+        # state requeues those jobs on the next start
+        for job_id in list(self._retry_timers):
+            self._cancel_retry_timer(job_id)
         for job_id, driver in list(self._drivers.items()):
             job = self.store.get(job_id)
             if job.terminal or driver.campaign is None:

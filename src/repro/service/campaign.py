@@ -45,8 +45,9 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.core.errors import AllocationError
+from repro.faults import FaultInjected
 from repro.core.posts import Post
 from repro.core.stability import DEFAULT_OMEGA
 from repro.allocation.base import AllocationContext, AllocationStrategy
@@ -442,6 +443,13 @@ class IncentiveCampaign:
 
     def step_epoch(self) -> EpochReport | None:
         """Run one live epoch; ``None`` once the campaign is finished."""
+        injected = faults.check("campaign.epoch")
+        if injected is not None and injected.kind == "error":
+            # replay_epoch never fires this site: recovery paths must
+            # not re-trip the fault that killed the original attempt
+            raise FaultInjected(
+                f"injected campaign fault at epoch {self.epochs_run}"
+            )
         return self._run_epoch(None)
 
     def replay_epoch(self, events: Sequence[Sequence]) -> EpochReport | None:

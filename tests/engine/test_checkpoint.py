@@ -121,3 +121,62 @@ class TestErrors:
         (tmp_path / "manifest.json").write_text(json.dumps({"format": 99}))
         with pytest.raises(DataModelError):
             load_checkpoint(tmp_path)
+
+
+class TestTornWrites:
+    """Truncated shard files raise :class:`CheckpointCorrupted` cleanly
+    (a typed :class:`DataModelError`), never an opaque NumPy/zip error."""
+
+    @pytest.fixture(autouse=True)
+    def clean_injector(self, monkeypatch):
+        from repro import faults
+        from repro.faults.plan import _reset_for_tests
+
+        monkeypatch.delenv(faults.ENV_FAULT_PLAN, raising=False)
+        _reset_for_tests()
+        yield
+        _reset_for_tests()
+
+    def _checkpoint(self, tmp_path, layout):
+        bank = ShardedStabilityBank(3, 5, 0.9)
+        bank.ingest_events(random_events(15, 500, seed=1))
+        return save_checkpoint(bank, tmp_path / "ckpt", layout=layout)
+
+    @pytest.mark.parametrize("layout", ["npz", "mmap"])
+    def test_injected_torn_write_detected_at_load(self, tmp_path, layout):
+        from repro import faults
+        from repro.engine import CheckpointCorrupted, load_shard_bank
+
+        faults.activate({"specs": [
+            {"site": "checkpoint.shard", "kind": "torn_write", "at": 1},
+        ]})
+        target = self._checkpoint(tmp_path, layout)
+        faults.deactivate()
+        assert faults.active() is None
+        # the untouched shards still load; the torn one raises typed
+        load_shard_bank(target, 0)
+        with pytest.raises(CheckpointCorrupted):
+            load_shard_bank(target, 1)
+
+    @pytest.mark.parametrize("layout", ["npz", "mmap"])
+    def test_full_load_of_torn_checkpoint_raises_typed(self, tmp_path, layout):
+        from repro import faults
+        from repro.engine import CheckpointCorrupted
+
+        faults.activate({"specs": [
+            {"site": "checkpoint.shard", "kind": "torn_write", "at": 0, "every": 1,
+             "times": 0},
+        ]})
+        target = self._checkpoint(tmp_path, layout)
+        faults.deactivate()
+        with pytest.raises(CheckpointCorrupted):
+            load_checkpoint(target)
+
+    def test_corrupt_manifest_raises_typed(self, tmp_path):
+        from repro.engine import CheckpointCorrupted
+
+        target = self._checkpoint(tmp_path, "npz")
+        manifest = target / "manifest.json"
+        manifest.write_text(manifest.read_text()[:10])
+        with pytest.raises(CheckpointCorrupted):
+            load_checkpoint(target)

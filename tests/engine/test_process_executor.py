@@ -211,9 +211,35 @@ class TestLifecycle:
 
 
 class TestFaults:
-    def test_killed_worker_raises_instead_of_hanging(self):
+    def test_killed_workers_are_respawned_transparently(self):
+        """SIGKILLing every worker mid-run is survivable: the supervisor
+        respawns them from the journaled deltas and the final state is
+        identical to a serial run."""
+        events_a, events_b = _events(200), _events(200, seed=9)
+        reference = ShardedStabilityBank(3, 4, 0.9)
+        reference.ingest_events(events_a)
+        reference.ingest_events(events_b)
+
         bank = _process_bank(3, 2)
         executor = bank.executor
+        try:
+            bank.ingest_events(events_a)
+            for pid in executor.worker_pids():
+                os.kill(pid, signal.SIGKILL)
+            with pytest.warns(RuntimeWarning, match="respawn"):
+                bank.ingest_events(events_b)
+            assert executor.bound
+            assert executor.respawns >= 1
+            assert executor.degraded is None
+            assert sorted(bank.stable_points().items()) == sorted(
+                reference.stable_points().items()
+            )
+        finally:
+            executor.close()
+
+    def test_unsupervised_killed_worker_raises_instead_of_hanging(self):
+        executor = ProcessExecutor(2, supervise=False)
+        bank = ShardedStabilityBank(3, 4, 0.9, executor=executor)
         try:
             bank.ingest_events(_events(200))
             for pid in executor.worker_pids():
@@ -224,15 +250,16 @@ class TestFaults:
         finally:
             executor.close()
 
-    def test_killed_worker_fails_query_path_too(self):
+    def test_killed_worker_recovers_query_path_too(self):
         bank = _process_bank(2, 2)
         executor = bank.executor
         try:
             bank.ingest_events(_events(200))
             for pid in executor.worker_pids():
                 os.kill(pid, signal.SIGKILL)
-            with pytest.raises(ShardWorkerCrashed):
-                bank.stable_points()
+            with pytest.warns(RuntimeWarning, match="respawn"):
+                points = bank.stable_points()
+            assert points  # recovered state still answers queries
         finally:
             executor.close()
 

@@ -1,0 +1,257 @@
+"""Worker supervision: kill-anywhere recovery, stalls, degrade, shutdown.
+
+The self-healing contract of the process shard engine: a worker lost at
+*any* point of a run — killed, stalled, or wedged — is respawned and
+re-seeded from its last checkpoint base plus the in-executor delta
+journal, and the recovered state is indistinguishable from an
+uninterrupted run.  When the respawn budget is exhausted the executor
+degrades process → thread → serial instead of failing the run.  All
+fault schedules come from :mod:`repro.faults`, so every scenario here is
+deterministic and replayable.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.engine import (
+    ProcessExecutor,
+    ShardedStabilityBank,
+    save_checkpoint,
+)
+from repro.engine import procpool
+from repro.engine.events import TagEvent
+from repro.faults.plan import _reset_for_tests
+
+
+@pytest.fixture(autouse=True)
+def clean_injector(monkeypatch):
+    monkeypatch.delenv(faults.ENV_FAULT_PLAN, raising=False)
+    _reset_for_tests()
+    yield
+    _reset_for_tests()
+
+
+def _events(n, n_resources=24, tag_pool=8, seed=3):
+    rng = np.random.default_rng(seed)
+    events = []
+    for i in range(n):
+        resource = f"r{rng.integers(n_resources)}"
+        n_tags = int(rng.integers(1, 4))
+        tags = tuple(
+            f"t{t}" for t in rng.choice(tag_pool, size=n_tags, replace=False)
+        )
+        events.append(TagEvent(resource_id=resource, tags=tags, timestamp=float(i)))
+    return events
+
+
+BATCHES = [_events(150, seed=s) for s in (3, 9, 17)]
+
+
+def _reference_state():
+    bank = ShardedStabilityBank(3, 4, 0.9)
+    for batch in BATCHES:
+        bank.ingest_events(batch)
+    return sorted(bank.stable_points().items()), sorted(bank.counts_of("r1").items())
+
+
+def _run_supervised(executor):
+    bank = ShardedStabilityBank(3, 4, 0.9, executor=executor)
+    try:
+        for batch in BATCHES:
+            bank.ingest_events(batch)
+        return (
+            sorted(bank.stable_points().items()),
+            sorted(bank.counts_of("r1").items()),
+        )
+    finally:
+        executor.close()
+
+
+class TestKillAnywhere:
+    def test_recovery_is_identical_at_every_flush_index(self):
+        """SIGKILL the serving worker at flush 0, 1, 2, … — each run must
+        still end in exactly the serial-reference state."""
+        expected = _reference_state()
+
+        # count how many times the flush site is visited in a clean run
+        faults.activate({"specs": []})
+        assert _run_supervised(ProcessExecutor(2)) == expected
+        n_flushes = faults.active().site_index("procpool.flush")
+        assert n_flushes >= 3, "fixture too small to exercise kill-anywhere"
+
+        for at in range(n_flushes):
+            faults.activate({"specs": [
+                {"site": "procpool.flush", "kind": "kill_worker", "at": at},
+            ]})
+            with pytest.warns(RuntimeWarning, match="respawn"):
+                got = _run_supervised(ProcessExecutor(2))
+            assert got == expected, f"state diverged after kill at flush {at}"
+            assert faults.active().fired_total() == 1
+
+    def test_worker_side_kill_recovers_too(self):
+        """``procpool.worker`` kills fire inside the child (os._exit)."""
+        expected = _reference_state()
+        faults.activate({"specs": [
+            {"site": "procpool.worker", "kind": "kill_worker", "at": 2},
+        ]})
+        with pytest.warns(RuntimeWarning, match="respawn"):
+            got = _run_supervised(ProcessExecutor(2))
+        assert got == expected
+
+    def test_repeated_kills_within_budget_recover(self):
+        expected = _reference_state()
+        faults.activate({"specs": [
+            {"site": "procpool.flush", "kind": "kill_worker", "at": 1, "every": 2,
+             "times": 2},
+        ]})
+        executor = ProcessExecutor(2)
+        with pytest.warns(RuntimeWarning, match="respawn"):
+            got = _run_supervised(executor)
+        assert got == expected
+
+    def test_recovery_after_checkpoint_reseeds_from_checkpoint(self, tmp_path):
+        """``save_checkpoint`` resets the recovery base: a worker killed
+        *after* a checkpoint is rebuilt from the checkpoint directory plus
+        the post-checkpoint delta journal."""
+        expected = _reference_state()
+        executor = ProcessExecutor(2)
+        bank = ShardedStabilityBank(3, 4, 0.9, executor=executor)
+        try:
+            bank.ingest_events(BATCHES[0])
+            save_checkpoint(bank, tmp_path / "ck", layout="mmap")
+            bank.ingest_events(BATCHES[1])
+            for pid in executor.worker_pids():
+                os.kill(pid, signal.SIGKILL)
+            with pytest.warns(RuntimeWarning, match="respawn"):
+                bank.ingest_events(BATCHES[2])
+            got = (
+                sorted(bank.stable_points().items()),
+                sorted(bank.counts_of("r1").items()),
+            )
+        finally:
+            executor.close()
+        assert got == expected
+
+
+class TestStalledWorkers:
+    def test_stalled_worker_is_detected_and_respawned(self):
+        """A worker that stops heartbeating (sleeps mid-command) is
+        declared lost after ``heartbeat_timeout`` and respawned."""
+        expected = _reference_state()
+        faults.activate({"specs": [
+            {"site": "procpool.worker", "kind": "stall_worker", "at": 2,
+             "param": {"seconds": 30.0, "ignore_term": False}},
+        ]})
+        executor = ProcessExecutor(2)
+        executor.heartbeat_timeout = 0.5
+        started = time.monotonic()
+        with pytest.warns(RuntimeWarning, match="respawn"):
+            got = _run_supervised(executor)
+        assert got == expected
+        # detection came from the heartbeat deadline, not the 30s sleep
+        assert time.monotonic() - started < 20.0
+
+
+class TestDegradeLadder:
+    def test_exhausted_respawn_budget_degrades_to_thread(self):
+        expected = _reference_state()
+        faults.activate({"specs": [
+            {"site": "procpool.flush", "kind": "kill_worker", "at": 0, "every": 1,
+             "times": 0},
+        ]})
+        executor = ProcessExecutor(2)
+        executor.max_respawns = 1
+        bank = ShardedStabilityBank(3, 4, 0.9, executor=executor)
+        try:
+            with pytest.warns(RuntimeWarning):
+                for batch in BATCHES:
+                    bank.ingest_events(batch)
+            got = (
+                sorted(bank.stable_points().items()),
+                sorted(bank.counts_of("r1").items()),
+            )
+            assert executor.degraded == "thread"
+            assert not executor.owns_state
+        finally:
+            executor.close()
+        assert got == expected
+
+    def test_degraded_executor_keeps_serving(self):
+        faults.activate({"specs": [
+            {"site": "procpool.flush", "kind": "kill_worker", "at": 0, "every": 1,
+             "times": 0},
+        ]})
+        executor = ProcessExecutor(2)
+        executor.max_respawns = 0
+        bank = ShardedStabilityBank(3, 4, 0.9, executor=executor)
+        try:
+            with pytest.warns(RuntimeWarning):
+                bank.ingest_events(BATCHES[0])
+            assert executor.degraded == "thread"
+            faults.deactivate()
+            # post-degrade ingest and queries run in-parent, no pool
+            bank.ingest_events(BATCHES[1])
+            bank.ingest_events(BATCHES[2])
+        finally:
+            executor.close()
+        reference = ShardedStabilityBank(3, 4, 0.9)
+        for batch in BATCHES:
+            reference.ingest_events(batch)
+        assert sorted(bank.stable_points().items()) == sorted(
+            reference.stable_points().items()
+        )
+
+    def test_unsupervised_executor_still_fails_fast(self):
+        from repro.engine import ShardWorkerCrashed
+
+        faults.activate({"specs": [
+            {"site": "procpool.flush", "kind": "kill_worker", "at": 0},
+        ]})
+        executor = ProcessExecutor(2, supervise=False)
+        bank = ShardedStabilityBank(3, 4, 0.9, executor=executor)
+        try:
+            with pytest.raises(ShardWorkerCrashed):
+                bank.ingest_events(BATCHES[0])
+        finally:
+            executor.close()
+
+
+class TestShutdownEscalation:
+    def test_close_escalates_join_terminate_kill_and_reaps(self, monkeypatch):
+        """An uninterruptible worker (SIGSTOPped: processes no commands,
+        ignores SIGTERM) must not wedge ``close()`` — the escalation
+        ladder ends in SIGKILL and the corpse is reaped, not left a
+        zombie."""
+        monkeypatch.setattr(procpool, "_STOP_GRACE", 0.2)
+        monkeypatch.setattr(procpool, "_TERM_GRACE", 0.2)
+        executor = ProcessExecutor(2)
+        bank = ShardedStabilityBank(3, 4, 0.9, executor=executor)
+        bank.ingest_events(BATCHES[0])
+        pids = executor.worker_pids()
+        os.kill(pids[0], signal.SIGSTOP)
+        started = time.monotonic()
+        executor.close()
+        assert time.monotonic() - started < 10.0
+        for pid in pids:
+            # ProcessLookupError means dead *and* reaped; a zombie would
+            # still accept signal 0
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+        assert not executor.bound
+
+    def test_close_is_idempotent_after_recovery(self):
+        faults.activate({"specs": [
+            {"site": "procpool.flush", "kind": "kill_worker", "at": 0},
+        ]})
+        executor = ProcessExecutor(2)
+        bank = ShardedStabilityBank(3, 4, 0.9, executor=executor)
+        with pytest.warns(RuntimeWarning, match="respawn"):
+            bank.ingest_events(BATCHES[0])
+        executor.close()
+        executor.close()
+        assert not executor.bound

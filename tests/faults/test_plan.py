@@ -1,0 +1,179 @@
+"""The fault-injection substrate: plans, specs, the injector, activation."""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    ENV_FAULT_PLAN,
+    FAULT_KINDS,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    load_plan,
+)
+from repro.faults.plan import _reset_for_tests
+
+
+@pytest.fixture(autouse=True)
+def clean_injector(monkeypatch):
+    monkeypatch.delenv(ENV_FAULT_PLAN, raising=False)
+    _reset_for_tests()
+    yield
+    _reset_for_tests()
+
+
+class TestFaultSpec:
+    def test_round_trip_omits_defaults(self):
+        spec = FaultSpec(site="procpool.flush", kind="kill_worker")
+        assert spec.to_dict() == {"site": "procpool.flush", "kind": "kill_worker"}
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_full(self):
+        spec = FaultSpec(
+            site="checkpoint.shard",
+            kind="torn_write",
+            at=2,
+            every=3,
+            times=0,
+            param={"bytes": 128},
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault kind"):
+            FaultSpec(site="x", kind="explode")
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault spec keys: when"):
+            FaultSpec.from_dict({"site": "x", "kind": "error", "when": 3})
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(FaultError, match="'at'"):
+            FaultSpec(site="x", kind="error", at=-1)
+
+    def test_matches_one_shot(self):
+        spec = FaultSpec(site="x", kind="error", at=3)
+        assert [i for i in range(10) if spec.matches(i)] == [3]
+
+    def test_matches_periodic(self):
+        spec = FaultSpec(site="x", kind="error", at=2, every=4)
+        assert [i for i in range(12) if spec.matches(i)] == [2, 6, 10]
+
+    def test_all_kinds_constructible(self):
+        for kind in FAULT_KINDS:
+            assert FaultSpec(site="x", kind=kind).kind == kind
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="procpool.worker", kind="kill_worker", at=1),
+                FaultSpec(site="driver.step", kind="error", at=0, every=2, times=3),
+            ),
+            seed=42,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(FaultError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_unknown_plan_keys_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault plan keys"):
+            FaultPlan.from_dict({"specs": [], "chaos": True})
+
+    def test_load_plan_inline(self):
+        plan = load_plan('{"specs": [{"site": "a.b", "kind": "error"}]}')
+        assert plan.specs[0].site == "a.b"
+
+    def test_load_plan_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"specs": [{"site": "jobstore.append", "kind": "truncate_journal"}]}
+        ))
+        plan = load_plan(str(path))
+        assert plan.specs[0].kind == "truncate_journal"
+
+    def test_load_plan_missing_file(self, tmp_path):
+        with pytest.raises(FaultError, match="cannot read fault plan"):
+            load_plan(str(tmp_path / "absent.json"))
+
+
+class TestInjector:
+    def test_counts_sites_independently(self):
+        injector = FaultInjector(FaultPlan(specs=(
+            FaultSpec(site="a", kind="error", at=1),
+        )))
+        assert injector.check("b") is None
+        assert injector.check("a") is None  # index 0
+        fired = injector.check("a")  # index 1
+        assert fired is not None and fired.kind == "error"
+        assert injector.site_index("a") == 2
+        assert injector.site_index("b") == 1
+        assert injector.fired_total() == 1
+
+    def test_times_bounds_periodic_firing(self):
+        injector = FaultInjector(FaultPlan(specs=(
+            FaultSpec(site="s", kind="error", at=0, every=1, times=2),
+        )))
+        fires = [injector.check("s") is not None for _ in range(5)]
+        assert fires == [True, True, False, False, False]
+
+    def test_times_zero_is_unbounded(self):
+        injector = FaultInjector(FaultPlan(specs=(
+            FaultSpec(site="s", kind="error", at=0, every=2, times=0),
+        )))
+        fires = [injector.check("s") is not None for _ in range(6)]
+        assert fires == [True, False, True, False, True, False]
+
+    def test_identical_plans_fire_identically(self):
+        payload = {"specs": [
+            {"site": "s", "kind": "error", "at": 1, "every": 3, "times": 2},
+        ]}
+        a = FaultInjector(FaultPlan.from_dict(payload))
+        b = FaultInjector(FaultPlan.from_dict(payload))
+        trace_a = [a.check("s") is not None for _ in range(10)]
+        trace_b = [b.check("s") is not None for _ in range(10)]
+        assert trace_a == trace_b
+
+
+class TestActivation:
+    def test_check_is_noop_without_plan(self):
+        assert faults.check("anything") is None
+        assert faults.active() is None
+
+    def test_activate_and_deactivate(self):
+        faults.activate({"specs": [{"site": "s", "kind": "error"}]})
+        assert faults.check("s") is not None
+        faults.deactivate()
+        assert faults.check("s") is None
+
+    def test_activate_from_json_string(self):
+        faults.activate('{"specs": [{"site": "s", "kind": "error"}]}')
+        assert faults.check("s") is not None
+
+    def test_env_plan_loaded_lazily(self, monkeypatch):
+        monkeypatch.setenv(
+            ENV_FAULT_PLAN, '{"specs": [{"site": "envsite", "kind": "error"}]}'
+        )
+        _reset_for_tests()
+        assert faults.check("envsite") is not None
+
+    def test_env_plan_from_file(self, monkeypatch, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text('{"specs": [{"site": "filesite", "kind": "error"}]}')
+        monkeypatch.setenv(ENV_FAULT_PLAN, str(path))
+        _reset_for_tests()
+        assert faults.check("filesite") is not None
+
+    def test_deactivate_blocks_env_resurrection(self, monkeypatch):
+        monkeypatch.setenv(
+            ENV_FAULT_PLAN, '{"specs": [{"site": "s", "kind": "error"}]}'
+        )
+        _reset_for_tests()
+        faults.deactivate()
+        assert faults.check("s") is None

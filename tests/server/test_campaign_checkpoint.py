@@ -136,8 +136,14 @@ class TestCheckpointFiles:
         for _ in range(2):
             campaign.step_epoch()
         save_campaign_checkpoint(campaign, tmp_path)
+        # the previous epoch's bank survives one cycle as the torn-write
+        # fallback; anything older is pruned
         banks = sorted(p.name for p in tmp_path.glob("bank-*"))
-        assert banks == ["bank-000005"]
+        assert banks == ["bank-000003", "bank-000005"]
+        campaign.step_epoch()
+        save_campaign_checkpoint(campaign, tmp_path)
+        banks = sorted(p.name for p in tmp_path.glob("bank-*"))
+        assert banks == ["bank-000005", "bank-000006"]
 
     def test_restore_survives_a_pruned_bank(self, tmp_path, corpus):
         """The journal is authoritative; the bank is only a cross-check."""
@@ -152,6 +158,48 @@ class TestCheckpointFiles:
         shutil.rmtree(tmp_path / "bank-000004")
         restored = restore_campaign_checkpoint(spec, corpus, tmp_path)
         assert restored.epochs_run == 4
+
+    def test_torn_bank_falls_back_to_previous_checkpoint(self, tmp_path, corpus):
+        """A torn bank write in the latest cycle is survivable: restore
+        warns, falls back to ``state-prev.json`` (one epoch earlier), and
+        the resumed run still finishes byte-identically."""
+        spec = make_spec("engine")
+        baseline = IncentiveCampaign.from_spec(spec, corpus)
+        baseline.start()
+        expected = run_to_completion(baseline)
+
+        campaign = IncentiveCampaign.from_spec(spec, corpus)
+        campaign.start()
+        for _ in range(4):
+            campaign.step_epoch()
+        save_campaign_checkpoint(campaign, tmp_path)
+        campaign.step_epoch()
+        save_campaign_checkpoint(campaign, tmp_path)
+        # tear the newest bank snapshot: truncate every shard payload
+        for shard_file in (tmp_path / "bank-000005").glob("shard*"):
+            if shard_file.is_file():
+                shard_file.write_bytes(shard_file.read_bytes()[:16])
+            else:
+                for part in shard_file.glob("*.npy"):
+                    part.write_bytes(part.read_bytes()[:16])
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            restored = restore_campaign_checkpoint(spec, corpus, tmp_path)
+        assert restored.epochs_run == 4
+        got = run_to_completion(restored)
+        assert json.dumps(got, sort_keys=True) == json.dumps(expected, sort_keys=True)
+
+    def test_all_checkpoints_torn_raises_typed(self, tmp_path, corpus):
+        from repro.engine import CheckpointCorrupted
+
+        spec = make_spec("engine")
+        campaign = IncentiveCampaign.from_spec(spec, corpus)
+        campaign.start()
+        for _ in range(3):
+            campaign.step_epoch()
+        save_campaign_checkpoint(campaign, tmp_path)
+        (tmp_path / "state.json").write_text('{"to')
+        with pytest.raises(CheckpointCorrupted):
+            restore_campaign_checkpoint(spec, corpus, tmp_path)
 
     def test_tracker_checkpoint_has_no_bank(self, tmp_path, corpus):
         spec = make_spec("tracker")

@@ -1,0 +1,279 @@
+"""Scheduler retry/backoff: deterministic schedules, checkpoint resume,
+exactly-once tenant settlement, and journal durability across restarts."""
+
+import asyncio
+import json
+import warnings
+
+import pytest
+
+from repro import faults
+from repro.api import CampaignSpec, CorpusSpec, JobSpec, RetryPolicy
+from repro.api.results import JobRecord
+from repro.api.specs import ServerSpec
+from repro.core.errors import SpecError
+from repro.faults.plan import _reset_for_tests
+from repro.server.scheduler import Scheduler
+
+
+@pytest.fixture(autouse=True)
+def clean_injector(monkeypatch):
+    monkeypatch.delenv(faults.ENV_FAULT_PLAN, raising=False)
+    _reset_for_tests()
+    yield
+    _reset_for_tests()
+
+
+def _campaign():
+    return CampaignSpec(
+        corpus=CorpusSpec(kind="tiny", seed=3),
+        strategy="FP",
+        budget=30,
+        workers=4,
+        seed=5,
+        batch_size=8,
+        max_epochs=10,
+    )
+
+
+def _run(scheduler):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        asyncio.run(scheduler.run_until_idle())
+
+
+class TestRetryPolicy:
+    def test_defaults_are_fail_fast(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 1
+        assert policy.schedule() == []
+
+    def test_same_seed_same_schedule(self):
+        a = RetryPolicy(max_attempts=5, backoff_base=0.5, backoff_cap=8.0, jitter_seed=3)
+        b = RetryPolicy(max_attempts=5, backoff_base=0.5, backoff_cap=8.0, jitter_seed=3)
+        assert a.schedule() == b.schedule()
+
+    def test_different_seed_different_schedule(self):
+        a = RetryPolicy(max_attempts=5, backoff_base=0.5, jitter_seed=3)
+        b = RetryPolicy(max_attempts=5, backoff_base=0.5, jitter_seed=4)
+        assert a.schedule() != b.schedule()
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(max_attempts=8, backoff_base=1.0, backoff_cap=4.0,
+                             jitter_seed=0)
+        delays = policy.schedule()
+        # raw backoff 1, 2, 4, 4, ... with jitter factor in [0.5, 1.0)
+        assert all(d <= 4.0 for d in delays)
+        assert delays[0] >= 0.5
+        assert len(delays) == 7
+
+    def test_zero_base_retries_immediately(self):
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.0)
+        assert policy.schedule() == [0.0, 0.0]
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(SpecError):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(SpecError):
+            RetryPolicy(jitter_seed=-1)
+
+    def test_job_spec_round_trips_retry(self):
+        spec = JobSpec(
+            campaign=_campaign(),
+            retry=RetryPolicy(max_attempts=4, backoff_base=0.25, jitter_seed=9),
+        )
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_job_record_round_trips_attempts(self):
+        record = JobRecord(job_id="job-0001", user="u", state="failed", attempts=3)
+        assert JobRecord.from_dict(record.to_dict()).attempts == 3
+
+
+class TestSchedulerRetry:
+    def test_transient_fault_retried_from_checkpoint(self, tmp_path):
+        """Two injected epoch failures, max_attempts=3: the job resumes
+        from its checkpoint each time and the final trace is
+        byte-identical to a never-faulted run."""
+        clean = Scheduler(ServerSpec(root=str(tmp_path / "clean"), slots=1,
+                                     checkpoint_every=2))
+        clean_id = clean.submit(JobSpec(campaign=_campaign()))
+        _run(clean)
+        baseline = clean.status(clean_id)
+        assert baseline.state == "done"
+
+        faults.activate({"specs": [
+            {"site": "campaign.epoch", "kind": "error", "at": 3, "every": 1,
+             "times": 2},
+        ]})
+        sched = Scheduler(ServerSpec(root=str(tmp_path / "faulty"), slots=1,
+                                     checkpoint_every=2))
+        job_id = sched.submit(JobSpec(
+            campaign=_campaign(),
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.01, backoff_cap=0.05,
+                              jitter_seed=1),
+        ))
+        _run(sched)
+        record = sched.status(job_id)
+        assert record.state == "done"
+        assert record.attempts == 2
+        assert record.checkpoint_epoch >= 0  # resumed from a checkpoint
+        assert "FaultInjected" in record.error  # survived faults stay audited
+        assert json.dumps(record.trace, sort_keys=True) == json.dumps(
+            baseline.trace, sort_keys=True
+        )
+
+    def test_exhausted_attempts_fail_with_traceback(self, tmp_path):
+        faults.activate({"specs": [
+            {"site": "campaign.epoch", "kind": "error", "at": 0, "every": 1,
+             "times": 0},
+        ]})
+        sched = Scheduler(ServerSpec(root=str(tmp_path), slots=1))
+        job_id = sched.submit(JobSpec(
+            campaign=_campaign(), retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+        ))
+        _run(sched)
+        record = sched.status(job_id)
+        assert record.state == "failed"
+        assert record.attempts == 3
+        assert "Traceback" in record.error
+        assert "FaultInjected" in record.error
+
+    def test_default_policy_keeps_fail_fast_semantics(self, tmp_path):
+        faults.activate({"specs": [
+            {"site": "campaign.epoch", "kind": "error", "at": 0},
+        ]})
+        sched = Scheduler(ServerSpec(root=str(tmp_path), slots=1))
+        job_id = sched.submit(JobSpec(campaign=_campaign()))
+        _run(sched)
+        record = sched.status(job_id)
+        assert record.state == "failed"
+        assert record.attempts == 1
+
+    def test_ledger_settles_exactly_once_across_retries(self, tmp_path):
+        faults.activate({"specs": [
+            {"site": "campaign.epoch", "kind": "error", "at": 0, "every": 1,
+             "times": 0},
+        ]})
+        budget = _campaign().budget
+        sched = Scheduler(ServerSpec(root=str(tmp_path), slots=1,
+                                     budgets={"alice": budget * 2}))
+        job_id = sched.submit(JobSpec(
+            campaign=_campaign(), user="alice",
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+        ))
+        assert sched.tenants.available("alice") == budget  # reserved once
+        _run(sched)
+        assert sched.status(job_id).state == "failed"
+        # failed before spending: the full reservation is released, once
+        assert sched.tenants.available("alice") == budget * 2
+
+    def test_attempts_survive_restart(self, tmp_path):
+        faults.activate({"specs": [
+            {"site": "campaign.epoch", "kind": "error", "at": 0, "every": 1,
+             "times": 0},
+        ]})
+        sched = Scheduler(ServerSpec(root=str(tmp_path), slots=1))
+        job_id = sched.submit(JobSpec(
+            campaign=_campaign(), retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+        ))
+        _run(sched)
+        faults.deactivate()
+        reborn = Scheduler(ServerSpec(root=str(tmp_path), slots=1))
+        record = reborn.status(job_id)
+        assert record.state == "failed"
+        assert record.attempts == 2
+
+    def test_attempt_events_journalled(self, tmp_path):
+        faults.activate({"specs": [
+            {"site": "campaign.epoch", "kind": "error", "at": 0, "every": 1,
+             "times": 0},
+        ]})
+        sched = Scheduler(ServerSpec(root=str(tmp_path), slots=1))
+        sched.submit(JobSpec(
+            campaign=_campaign(), retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+        ))
+        _run(sched)
+        lines = (tmp_path / "journal.jsonl").read_text().splitlines()
+        attempts = [json.loads(l) for l in lines if '"attempt"' in l]
+        attempts = [e for e in attempts if e.get("event") == "attempt"]
+        assert [e["attempt"] for e in attempts] == [1, 2]
+        assert all(e["of"] == 3 for e in attempts)
+
+    def test_cancel_while_waiting_on_backoff(self, tmp_path):
+        """A job parked on a backoff timer can be cancelled; the timer
+        dies with it and the ledger settles."""
+
+        async def scenario():
+            faults.activate({"specs": [
+                {"site": "campaign.epoch", "kind": "error", "at": 0},
+            ]})
+            sched = Scheduler(ServerSpec(root=str(tmp_path), slots=1))
+            job_id = sched.submit(JobSpec(
+                campaign=_campaign(),
+                retry=RetryPolicy(max_attempts=2, backoff_base=30.0,
+                                  backoff_cap=60.0),
+            ))
+            runner = asyncio.create_task(sched.run_until_idle())
+            for _ in range(200):
+                await asyncio.sleep(0.01)
+                if sched._retry_timers:
+                    break
+            assert sched._retry_timers, "job never reached its backoff wait"
+            sched.cancel(job_id)
+            await asyncio.wait_for(runner, timeout=10.0)
+            record = sched.status(job_id)
+            assert record.state == "cancelled"
+            assert not sched._retry_timers
+
+        asyncio.run(scenario())
+
+    def test_resume_skips_the_backoff_wait(self, tmp_path):
+        async def scenario():
+            faults.activate({"specs": [
+                {"site": "campaign.epoch", "kind": "error", "at": 3},
+            ]})
+            sched = Scheduler(ServerSpec(root=str(tmp_path), slots=1,
+                                         checkpoint_every=2))
+            job_id = sched.submit(JobSpec(
+                campaign=_campaign(),
+                retry=RetryPolicy(max_attempts=2, backoff_base=30.0,
+                                  backoff_cap=60.0),
+            ))
+            runner = asyncio.create_task(sched.run_until_idle())
+            for _ in range(200):
+                await asyncio.sleep(0.01)
+                if sched._retry_timers:
+                    break
+            assert sched._retry_timers, "job never reached its backoff wait"
+            sched.resume(job_id)  # operator nudge: run now, skip the wait
+            await asyncio.wait_for(runner, timeout=30.0)
+            record = sched.status(job_id)
+            assert record.state == "done"
+            assert record.attempts == 1
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            asyncio.run(scenario())
+
+
+class TestJournalTruncationTolerance:
+    def test_torn_append_drops_only_the_torn_line(self, tmp_path):
+        """``truncate_journal`` tears a journal line mid-append; replay
+        keeps everything before the tear and drops the fragment."""
+        sched = Scheduler(ServerSpec(root=str(tmp_path), slots=1))
+        job_id = sched.submit(JobSpec(campaign=_campaign()))
+        _run(sched)
+        assert sched.status(job_id).state == "done"
+        # tear the *next* append — a post-completion audit entry
+        faults.activate({"specs": [
+            {"site": "jobstore.append", "kind": "truncate_journal", "at": 0},
+        ]})
+        sched.store.log({"event": "audit", "note": "about to be torn"})
+        faults.deactivate()
+        raw = (tmp_path / "journal.jsonl").read_text()
+        assert not raw.endswith("\n")  # the tear really happened
+        reborn = Scheduler(ServerSpec(root=str(tmp_path), slots=1))
+        record = reborn.status(job_id)
+        assert record.state == "done"  # pre-tear state intact

@@ -144,3 +144,87 @@ class TestProcessShardedCampaign:
             assert json.dumps(got, sort_keys=True) == json.dumps(
                 entry["trace"], sort_keys=True
             ), f"process sharded trace diverged for {entry['spec']}"
+
+
+class TestFaultRecoveryCampaign:
+    """Self-healing acceptance: a process-backend campaign whose shard
+    workers are killed mid-ingest recovers to the byte-identical pinned
+    trace (ISSUE 10)."""
+
+    @pytest.fixture(autouse=True)
+    def clean_injector(self, monkeypatch):
+        from repro import faults
+        from repro.faults.plan import _reset_for_tests
+
+        monkeypatch.delenv(faults.ENV_FAULT_PLAN, raising=False)
+        _reset_for_tests()
+        yield
+        _reset_for_tests()
+
+    @pytest.mark.parametrize("kill_at", [0, 2, 5])
+    def test_worker_killed_mid_campaign_trace_is_byte_identical(
+        self, fixture_module, engine_entries, kill_at
+    ):
+        import pytest as _pytest
+
+        from repro import faults
+
+        entry = engine_entries[0]
+        spec = _sharded_spec(entry, backend="process", n_shards=3, workers=2)
+        faults.activate({"specs": [
+            {"site": "procpool.flush", "kind": "kill_worker", "at": kill_at},
+        ]})
+        with _pytest.warns(RuntimeWarning, match="respawn"):
+            got = fixture_module.campaign_trace(spec)
+        assert faults.active().fired_total() == 1, "kill never fired"
+        assert json.dumps(got, sort_keys=True) == json.dumps(
+            entry["trace"], sort_keys=True
+        ), f"trace diverged after worker kill at flush {kill_at}"
+
+    def test_worker_side_kill_trace_is_byte_identical(
+        self, fixture_module, engine_entries
+    ):
+        import pytest as _pytest
+
+        from repro import faults
+
+        entry = engine_entries[0]
+        spec = _sharded_spec(entry, backend="process", n_shards=3, workers=2)
+        faults.activate({"specs": [
+            {"site": "procpool.worker", "kind": "kill_worker", "at": 3},
+        ]})
+        with _pytest.warns(RuntimeWarning, match="respawn"):
+            got = fixture_module.campaign_trace(spec)
+        assert json.dumps(got, sort_keys=True) == json.dumps(
+            entry["trace"], sort_keys=True
+        )
+
+    def test_degraded_campaign_trace_is_byte_identical(
+        self, fixture_module, engine_entries
+    ):
+        """Even the last rung of the ladder — respawn budget exhausted,
+        degraded to an in-parent executor mid-campaign — keeps the trace."""
+        import pytest as _pytest
+
+        from repro import faults
+        from repro.engine import procpool
+
+        entry = engine_entries[0]
+        spec = _sharded_spec(entry, backend="process", n_shards=3, workers=2)
+        faults.activate({"specs": [
+            {"site": "procpool.flush", "kind": "kill_worker", "at": 0, "every": 1,
+             "times": 4},
+        ]})
+        original_init = procpool.ProcessExecutor.__init__
+
+        def tight_budget(self, *args, **kwargs):
+            original_init(self, *args, **kwargs)
+            self.max_respawns = 1
+
+        with _pytest.MonkeyPatch.context() as mp:
+            mp.setattr(procpool.ProcessExecutor, "__init__", tight_budget)
+            with _pytest.warns(RuntimeWarning):
+                got = fixture_module.campaign_trace(spec)
+        assert json.dumps(got, sort_keys=True) == json.dumps(
+            entry["trace"], sort_keys=True
+        ), "trace diverged after mid-campaign degrade"

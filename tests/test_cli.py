@@ -85,6 +85,41 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "campaign:" in output
 
+    def test_faults_flag_activates_plan(self, capsys):
+        from repro import faults
+        from repro.faults.plan import _reset_for_tests
+
+        _reset_for_tests()
+        try:
+            assert main(
+                [
+                    "--faults",
+                    '{"specs": [{"site": "cli.smoke", "kind": "error", "at": 99}]}',
+                    "campaign",
+                    "FP",
+                    "--resources",
+                    "10",
+                    "--budget",
+                    "50",
+                ]
+            ) == 0
+            injector = faults.active()
+            assert injector is not None
+            assert injector.plan.specs[0].site == "cli.smoke"
+        finally:
+            _reset_for_tests()
+
+    def test_faults_flag_rejects_bad_plan(self):
+        from repro.faults import FaultError
+        from repro.faults.plan import _reset_for_tests
+
+        _reset_for_tests()
+        try:
+            with pytest.raises(FaultError):
+                main(["--faults", "{bad json", "campaign", "FP"])
+        finally:
+            _reset_for_tests()
+
     def test_campaign_without_adaptive_stop(self, capsys):
         assert main(
             [
